@@ -1,0 +1,110 @@
+// Ablation B: sensitivity of the reproduced fault-region boundaries to the
+// transient engine's settings (step ceiling, source slew, Newton damping).
+// The physical claim of the reproduction only stands if the region
+// boundaries are solver-converged — this harness quantifies the boundary
+// shift and the cost across solver settings.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "pf/analysis/region.hpp"
+#include "pf/util/strings.hpp"
+#include "pf/util/table.hpp"
+
+namespace {
+
+using namespace pf;
+
+struct Setting {
+  const char* label;
+  double dt_max;
+  double slew;
+};
+
+/// Threshold voltage of the Figure 3(a) partial band at the top R_def row,
+/// plus engine statistics for one sweep.
+struct Outcome {
+  double u_threshold = 0.0;
+  double min_r = 0.0;
+  uint64_t runs = 0;
+};
+
+Outcome run_with(const Setting& s, size_t r_points, size_t u_points) {
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.params.sim.dt_max = s.dt_max;
+  spec.params.sim.default_slew = s.slew;
+  spec.defect = dram::Defect::open(dram::OpenSite::kBitLineOuter, 1e6);
+  spec.sos = faults::Sos::parse("1r1");
+  spec.r_axis = analysis::default_r_axis(r_points);
+  spec.u_axis = analysis::default_u_axis(spec.params, u_points);
+  const auto map = analysis::sweep_region(spec);
+  Outcome out;
+  out.runs = r_points * u_points;
+  const auto band = map.u_band(faults::Ffm::kRDF1, map.grid().height() - 1);
+  out.u_threshold = band.empty() ? std::nan("") : band.hull().hi;
+  out.min_r = map.min_r(faults::Ffm::kRDF1);
+  return out;
+}
+
+void print_reproduction() {
+  const Setting settings[] = {
+      {"fine   (dt_max 50ps, slew 100ps)", 50e-12, 100e-12},
+      {"default(dt_max 200ps, slew 200ps)", 200e-12, 200e-12},
+      {"coarse (dt_max 500ps, slew 300ps)", 500e-12, 300e-12},
+      {"crude  (dt_max 1ns, slew 500ps)", 1e-9, 500e-12},
+  };
+  TextTable table({"solver setting", "Fig 3(a) U threshold [V]",
+                   "min R_def [kOhm]"});
+  for (const Setting& s : settings) {
+    const Outcome out = run_with(s, 9, 12);
+    table.add_row({s.label, pf::format_double(out.u_threshold, 3),
+                   pf::format_double(out.min_r / 1e3, 1)});
+  }
+  std::printf("ablation B — fault-region boundary vs transient-solver "
+              "settings:\n%s\n",
+              table.to_string().c_str());
+  std::printf("the boundary must be stable across the fine/default rows "
+              "(solver-converged); the crude row shows where integration "
+              "error would start to move physics.\n\n");
+}
+
+void BM_SweepAtDtMax(benchmark::State& state) {
+  const double dt_max = static_cast<double>(state.range(0)) * 1e-12;
+  Setting s{"", dt_max, 200e-12};
+  for (auto _ : state) {
+    const Outcome out = run_with(s, 4, 5);
+    benchmark::DoNotOptimize(out.u_threshold);
+  }
+}
+BENCHMARK(BM_SweepAtDtMax)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_OperationAtDtMax(benchmark::State& state) {
+  dram::DramParams params;
+  params.sim.dt_max = static_cast<double>(state.range(0)) * 1e-12;
+  for (auto _ : state) {
+    dram::DramColumn column(params, dram::Defect::none());
+    column.write(0, 1);
+    benchmark::DoNotOptimize(column.read(0));
+  }
+}
+BENCHMARK(BM_OperationAtDtMax)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduction of paper Figure 3: fault-primitive regions in the
+// (R_def, U) plane for a bit-line open between precharge devices and memory
+// cells (Open 4), with
+//   (a) SOS = 1r1             -> a PARTIAL RDF1, bounded in U, and
+//   (b) SOS = 1v [w0BL] r1v   -> the completed fault, independent of U.
+//
+// Paper landmarks (0.35 um technology, VDD = 3.3 V):
+//   * (a) shows RDF1 only below a threshold voltage (~2 V there);
+//   * above the threshold no fault is observed at any R_def;
+//   * (b) covers the whole U axis for R_def above the same minimum.
+// Absolute voltages/resistances differ with the (unpublished) circuit
+// parameters; the SHAPE is the reproduced claim. See EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "pf/analysis/partial.hpp"
+#include "pf/analysis/region.hpp"
+#include "pf/util/strings.hpp"
+
+namespace {
+
+using namespace pf;
+
+analysis::SweepSpec spec_for(const char* sos_text, size_t r_points,
+                             size_t u_points) {
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.defect = dram::Defect::open(dram::OpenSite::kBitLineOuter, 1e6);
+  spec.sos = faults::Sos::parse(sos_text);
+  spec.r_axis = analysis::default_r_axis(r_points);
+  spec.u_axis = analysis::default_u_axis(spec.params, u_points);
+  return spec;
+}
+
+
+void maybe_dump_csv(const analysis::RegionMap& map, const char* filename) {
+  // Set PF_DUMP_CSV=1 to write plot-ready region-map dumps next to the
+  // binary (used to regenerate the figures with external tooling).
+  if (std::getenv("PF_DUMP_CSV") == nullptr) return;
+  std::ofstream out(filename);
+  out << map.to_csv();
+  std::printf("wrote %s\n", filename);
+}
+void print_reproduction() {
+  const size_t kR = 13, kU = 12;
+
+  const analysis::RegionMap fig_a =
+      analysis::sweep_region(spec_for("1r1", kR, kU));
+  std::printf("%s\n",
+              fig_a.render("Figure 3(a): Open 4, S = 1r1").c_str());
+  maybe_dump_csv(fig_a, "fig3a.csv");
+
+  const analysis::RegionMap fig_b =
+      analysis::sweep_region(spec_for("1v [w0BL] r1v", kR, kU));
+  std::printf("%s\n",
+              fig_b.render("Figure 3(b): Open 4, S = 1v [w0BL] r1v").c_str());
+  maybe_dump_csv(fig_b, "fig3b.csv");
+
+  // Quantitative landmarks.
+  const auto findings_a = analysis::identify_partial_faults(fig_a);
+  for (const auto& f : findings_a) {
+    std::printf("(a) %-5s %s  band %s  min R_def %.0f kOhm  coverage %.0f%%\n",
+                faults::ffm_name(f.ffm).data(),
+                f.partial ? "PARTIAL" : "full", f.band_hull.to_string().c_str(),
+                f.min_r_def / 1e3, 100 * f.best_coverage);
+  }
+  std::printf("(b) completed: covers full U axis at some R_def: %s;"
+              "  min R_def %.0f kOhm\n",
+              analysis::is_completed(fig_b, faults::Ffm::kRDF1) ? "yes" : "NO",
+              fig_b.min_r(faults::Ffm::kRDF1) / 1e3);
+  std::printf("\npaper-vs-model: paper threshold ~2 V, model ~%.1f V "
+              "(parameter-dependent); shape (bounded band in (a), full axis "
+              "in (b)) reproduced.\n\n",
+              findings_a.empty() ? 0.0 : findings_a[0].band_hull.hi);
+}
+
+void BM_SweepRow(benchmark::State& state) {
+  auto spec = spec_for("1r1", 1, static_cast<size_t>(state.range(0)));
+  spec.r_axis = {1e6};
+  for (auto _ : state) {
+    const auto map = analysis::sweep_region(spec);
+    benchmark::DoNotOptimize(map.count(faults::Ffm::kRDF1));
+  }
+}
+BENCHMARK(BM_SweepRow)->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_SingleSosExperiment(benchmark::State& state) {
+  const dram::DramParams params;
+  const auto defect = dram::Defect::open(dram::OpenSite::kBitLineOuter, 1e6);
+  const auto lines = dram::floating_lines_for(defect, params);
+  const auto sos = faults::Sos::parse("1r1");
+  for (auto _ : state) {
+    const auto out = analysis::run_sos(params, defect, &lines[0], 0.0, sos);
+    benchmark::DoNotOptimize(out.faulty);
+  }
+}
+BENCHMARK(BM_SingleSosExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Reproduction of paper Figure 4: fault-primitive regions for an open
+// inside the memory cell (Open 1), with
+//   (a) SOS = 0r0            -> RDF0 whose R_def boundary falls as the
+//                               floating cell voltage U rises, and
+//   (b) SOS = [w1 w1 w0] r0  -> the completed fault, whose boundary is flat
+//                               (sensitizable at the minimum R_def for ANY U).
+//
+// Paper landmarks: boundary ~300 kOhm at U = 0 V falling to ~150 kOhm at
+// U ~ 1.6 V; the completed fault holds at ~150 kOhm for every U. Our model
+// lands in the same decade with the same monotone-falling shape; exact
+// values depend on the unpublished circuit parameters (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "pf/analysis/partial.hpp"
+#include "pf/analysis/region.hpp"
+#include "pf/util/strings.hpp"
+
+namespace {
+
+using namespace pf;
+
+analysis::SweepSpec spec_for(const char* sos_text, size_t r_points,
+                             size_t u_points) {
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.defect = dram::Defect::open(dram::OpenSite::kCell, 1e6);
+  spec.sos = faults::Sos::parse(sos_text);
+  spec.r_axis = pf::logspace(30e3, 10e6, r_points);
+  spec.u_axis = analysis::default_u_axis(spec.params, u_points);
+  return spec;
+}
+
+/// For each U, the smallest R_def with an RDF0 observation (the boundary
+/// curve of the figure); NaN when no fault at that U.
+std::vector<double> boundary(const analysis::RegionMap& map) {
+  std::vector<double> out(map.grid().width(), std::nan(""));
+  for (size_t ix = 0; ix < map.grid().width(); ++ix)
+    for (size_t iy = 0; iy < map.grid().height(); ++iy)
+      if (map.grid().at(ix, iy) == faults::Ffm::kRDF0) {
+        out[ix] = map.spec().r_axis[iy];
+        break;
+      }
+  return out;
+}
+
+void print_boundary(const analysis::RegionMap& map, const char* label) {
+  const auto b = boundary(map);
+  std::printf("%s boundary: min R_def with RDF0 per floating voltage U\n",
+              label);
+  std::printf("  U [V]:          ");
+  for (double u : map.spec().u_axis) std::printf("%7.2f", u);
+  std::printf("\n  R_def [kOhm]:   ");
+  for (double r : b) {
+    if (std::isnan(r))
+      std::printf("      -");
+    else
+      std::printf("%7.0f", r / 1e3);
+  }
+  std::printf("\n");
+}
+
+
+void maybe_dump_csv(const analysis::RegionMap& map, const char* filename) {
+  // Set PF_DUMP_CSV=1 to write plot-ready region-map dumps next to the
+  // binary (used to regenerate the figures with external tooling).
+  if (std::getenv("PF_DUMP_CSV") == nullptr) return;
+  std::ofstream out(filename);
+  out << map.to_csv();
+  std::printf("wrote %s\n", filename);
+}
+void print_reproduction() {
+  const size_t kR = 15, kU = 12;
+
+  const analysis::RegionMap fig_a =
+      analysis::sweep_region(spec_for("0r0", kR, kU));
+  std::printf("%s\n", fig_a.render("Figure 4(a): Open 1, S = 0r0").c_str());
+  maybe_dump_csv(fig_a, "fig4a.csv");
+  print_boundary(fig_a, "(a)");
+
+  const analysis::RegionMap fig_b =
+      analysis::sweep_region(spec_for("[w1 w1 w0] r0", kR, kU));
+  std::printf("\n%s\n",
+              fig_b.render("Figure 4(b): Open 1, S = [w1 w1 w0] r0").c_str());
+  maybe_dump_csv(fig_b, "fig4b.csv");
+  print_boundary(fig_b, "(b)");
+
+  // Landmarks: boundary at U = 0 vs the lowest-boundary U of (a); flatness
+  // of (b).
+  const auto ba = boundary(fig_a);
+  const auto bb = boundary(fig_b);
+  double bmin = 1e99, bmax = 0;
+  for (double r : bb)
+    if (!std::isnan(r)) {
+      bmin = std::min(bmin, r);
+      bmax = std::max(bmax, r);
+    }
+  std::printf("\n(a) boundary at U=0: %.0f kOhm (paper ~300 kOhm); boundary "
+              "falls monotonically with U (paper: 150 kOhm at 1.6 V)\n",
+              ba.front() / 1e3);
+  std::printf("(b) boundary flat within one grid step: %.0f..%.0f kOhm for "
+              "all U (paper: ~150 kOhm)\n\n",
+              bmin / 1e3, bmax / 1e3);
+}
+
+void BM_Fig4Point(benchmark::State& state) {
+  const dram::DramParams params;
+  const auto defect = dram::Defect::open(dram::OpenSite::kCell, 300e3);
+  const auto lines = dram::floating_lines_for(defect, params);
+  const auto sos = faults::Sos::parse("[w1 w1 w0] r0");
+  for (auto _ : state) {
+    const auto out = analysis::run_sos(params, defect, &lines[0], 1.6, sos);
+    benchmark::DoNotOptimize(out.faulty);
+  }
+}
+BENCHMARK(BM_Fig4Point)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduction of the paper's Section 4 fault-space arithmetic: the number
+// of single-cell fault primitives as a function of the number of operations
+// #O, and the analysis-effort explosion that motivates the partial-fault
+// method ("any increase in #C or #O translates into an exponential increase
+// in the number of analyzed FPs").
+//
+//   #FPs(#O = 0) = 2,   #FPs(#O = n) = 10 * 3^(n-1)   (n >= 1)
+//
+// The paper's "#O <= 1 -> 12 FPs" matches; its printed figure for #O = 4 is
+// OCR-garbled ("372"), our closed form gives a cumulative 402 (see
+// EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "pf/faults/ffm.hpp"
+#include "pf/faults/space.hpp"
+#include "pf/util/table.hpp"
+
+namespace {
+
+using namespace pf;
+
+void print_reproduction() {
+  TextTable table({"#O", "enumerated FPs", "closed form 10*3^(n-1)",
+                   "cumulative (analysis effort)"});
+  for (int n = 0; n <= 6; ++n) {
+    const auto fps = faults::enumerate_single_cell_fps(n);
+    table.add_row({std::to_string(n), std::to_string(fps.size()),
+                   std::to_string(faults::count_single_cell_fps(n)),
+                   std::to_string(faults::cumulative_single_cell_fps(n))});
+  }
+  std::printf("single-cell fault-primitive space (Section 4):\n%s\n",
+              table.to_string().c_str());
+  std::printf("paper landmarks: #O <= 1 covers %llu FPs (paper: 12); "
+              "straight-forward analysis up to #O = 4 evaluates %llu FPs "
+              "(paper prints an OCR-garbled figure).\n\n",
+              static_cast<unsigned long long>(
+                  faults::cumulative_single_cell_fps(1)),
+              static_cast<unsigned long long>(
+                  faults::cumulative_single_cell_fps(4)));
+
+  // The ten one-operation FPs are exactly the canonical FFMs.
+  std::printf("the #O = 1 fault primitives and their FFM labels:\n");
+  for (const auto& fp : faults::enumerate_single_cell_fps(1))
+    std::printf("  %-14s %s\n", fp.to_string().c_str(),
+                faults::ffm_name(faults::classify(fp)).data());
+  std::printf("\n");
+}
+
+void BM_EnumerateFpSpace(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto fps = faults::enumerate_single_cell_fps(n);
+    benchmark::DoNotOptimize(fps.size());
+  }
+}
+BENCHMARK(BM_EnumerateFpSpace)->DenseRange(1, 6);
+
+void BM_ClassifyAllFps(benchmark::State& state) {
+  const auto fps = faults::enumerate_single_cell_fps(3);
+  for (auto _ : state) {
+    int classified = 0;
+    for (const auto& fp : fps)
+      classified += faults::classify(fp) != faults::Ffm::kUnknown;
+    benchmark::DoNotOptimize(classified);
+  }
+}
+BENCHMARK(BM_ClassifyAllFps);
+
+void BM_ParsePrintRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto fp = faults::FaultPrimitive::parse("<1v [w0BL] r1v/0/0>");
+    benchmark::DoNotOptimize(fp.to_string());
+  }
+}
+BENCHMARK(BM_ParsePrintRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Reproduction of the paper's Section 5 testing claim: March PF
+//   { m(w0,w1); m(r1,w1,w0,w0,w1,r1); m(w1,w0); m(r0,w0,w1,w1,w0,r0) }
+// detects the simulated AND complementary partial faults, while shorter
+// classical tests miss some of them.
+//
+// Two levels:
+//  (1) electrical: every analyzed open defect applied to the 4-cell column,
+//      all march tests executed on the real circuit;
+//  (2) behavioral: the completed partial FPs of Table 1 injected into a
+//      64-cell array with their floating-line guards.
+// Plus throughput benchmarks of the march engine at array scale.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "pf/dram/column.hpp"
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/memsim/memory.hpp"
+#include "pf/util/table.hpp"
+
+namespace {
+
+using namespace pf;
+using dram::Defect;
+using dram::OpenSite;
+using faults::Ffm;
+using memsim::Guard;
+
+std::vector<march::MarchTest> all_tests() {
+  auto tests = march::standard_tests();
+  tests.insert(tests.begin(), march::naive_w1r1());
+  return tests;
+}
+
+void print_circuit_matrix() {
+  struct Row {
+    const char* label;
+    Defect defect;
+  };
+  const Row defects[] = {
+      {"Open 1 cell 250k", Defect::open(OpenSite::kCell, 250e3)},
+      {"Open 1 cell 2M", Defect::open(OpenSite::kCell, 2e6)},
+      {"Open 3 precharge 10M", Defect::open(OpenSite::kPrecharge, 10e6)},
+      {"Open 4 bit line 1M", Defect::open(OpenSite::kBitLineOuter, 1e6)},
+      {"Open 4 bit line 10M", Defect::open(OpenSite::kBitLineOuter, 10e6)},
+      {"Open 5 bit line 10M", Defect::open(OpenSite::kBitLineMid, 10e6)},
+      {"Open 6 bit line 10M", Defect::open(OpenSite::kBitLineSense, 10e6)},
+      {"Open 7 sense amp 10M", Defect::open(OpenSite::kSenseAmp, 10e6)},
+      {"Open 8 IO path 100M", Defect::open(OpenSite::kIoPath, 100e6)},
+      {"Short BT-GND 100", Defect::short_to_ground(100.0)},
+      {"Bridge BT-BC 1k", Defect::bridge(1e3)},
+  };
+  const auto tests = all_tests();
+  std::vector<std::string> header = {"defect \\ test"};
+  for (const auto& t : tests) header.push_back(t.name);
+  TextTable table(header);
+  int pf_detected = 0, naive_detected = 0, total = 0;
+  for (const Row& row : defects) {
+    std::vector<std::string> cells = {row.label};
+    for (const auto& t : tests) {
+      dram::DramColumn column(dram::DramParams{}, row.defect);
+      const bool detected =
+          march::run_march(t, column, dram::DramColumn::kNumCells).detected;
+      cells.push_back(detected ? "X" : ".");
+      if (t.name == "March PF") pf_detected += detected;
+      if (t.name == "naive w1-r1") naive_detected += detected;
+    }
+    ++total;
+    table.add_row(std::move(cells));
+  }
+  std::printf("electrical level — march tests vs injected defects "
+              "(X detected, . escaped):\n%s\n",
+              table.to_string().c_str());
+  std::printf("March PF detects %d/%d defects; the naive {m(w1,r1)} "
+              "detects %d/%d.\n\n",
+              pf_detected, total, naive_detected, total);
+}
+
+void print_fp_matrix() {
+  const memsim::Geometry geom{8, 8};
+  struct FaultRow {
+    const char* label;
+    Ffm ffm;
+    Guard guard;
+  };
+  // The completed partial FPs of Table 1 expressed as guarded FFMs
+  // (simulated + complementary pairs).
+  const FaultRow rows[] = {
+      {"<1v [w0BL] r1v/0/0>  RDF1 | BL=0", Ffm::kRDF1, Guard::bit_line(0)},
+      {"<0v [w1BL] r0v/1/1>  RDF0 | BL=1", Ffm::kRDF0, Guard::bit_line(1)},
+      {"<1v [w1BL] r1v/0/1>  DRDF1 | BL=1", Ffm::kDRDF1, Guard::bit_line(1)},
+      {"<0v [w0BL] r0v/1/0>  DRDF0 | BL=0", Ffm::kDRDF0, Guard::bit_line(0)},
+      {"<0v [w1BL] r0v/0/1>  IRF0 | buf=1", Ffm::kIRF0, Guard::buffer(1)},
+      {"<1v [w0BL] r1v/1/0>  IRF1 | buf=0", Ffm::kIRF1, Guard::buffer(0)},
+      {"<1v [w0BL] w1v/0/->  WDF1 | BL=0", Ffm::kWDF1, Guard::bit_line(0)},
+      {"<0v [w1BL] w0v/1/->  WDF0 | BL=1", Ffm::kWDF0, Guard::bit_line(1)},
+      {"<1v [w1BL] w0v/1/->  TFdown | BL=1", Ffm::kTFDown, Guard::bit_line(1)},
+      {"<0v [w0BL] w1v/0/->  TFup | BL=0", Ffm::kTFUp, Guard::bit_line(0)},
+      {"SF0 (word line, active)", Ffm::kSF0, Guard::hidden(true)},
+      {"SF1 (word line, active)", Ffm::kSF1, Guard::hidden(true)},
+  };
+  const auto tests = all_tests();
+  std::vector<std::string> header = {"partial fault \\ test"};
+  for (const auto& t : tests) header.push_back(t.name);
+  TextTable table(header);
+  for (const FaultRow& row : rows) {
+    std::vector<std::string> cells = {row.label};
+    for (const auto& t : tests) {
+      const auto outcome = march::evaluate_detection(t, geom, row.ffm, row.guard);
+      cells.push_back(outcome.detected_all        ? "X"
+                      : outcome.detected_count > 0 ? "(x)"
+                                                   : ".");
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("behavioral level — guarded partial FPs on an 8x8 array\n"
+              "(X every victim, (x) some victims, . escaped):\n%s\n",
+              table.to_string().c_str());
+}
+
+void BM_MarchPfOnMemsim(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const memsim::Geometry geom{rows, 8};
+  const auto test = march::march_pf();
+  for (auto _ : state) {
+    memsim::Memory mem(geom);
+    mem.inject({0, Ffm::kRDF1, Guard::bit_line(0)});
+    benchmark::DoNotOptimize(march::run_march(test, mem, mem.size()).detected);
+  }
+  state.SetItemsProcessed(state.iterations() * test.length(geom.num_cells()));
+}
+BENCHMARK(BM_MarchPfOnMemsim)->Arg(8)->Arg(128)->Arg(1024);
+
+void BM_MarchPfOnCircuit(benchmark::State& state) {
+  const auto test = march::march_pf();
+  for (auto _ : state) {
+    dram::DramColumn column(dram::DramParams{},
+                            Defect::open(OpenSite::kBitLineOuter, 10e6));
+    benchmark::DoNotOptimize(
+        march::run_march(test, column, dram::DramColumn::kNumCells).detected);
+  }
+}
+BENCHMARK(BM_MarchPfOnCircuit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_circuit_matrix();
+  print_fp_matrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension bench: automatic march-test synthesis for chosen fault sets —
+// the mechanical step the paper's conclusion leaves open once completed
+// partial faults are known. Compares synthesized tests against the library
+// (including March PF) on length and verifies them on the electrical model.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "pf/dram/column.hpp"
+#include "pf/march/library.hpp"
+#include "pf/march/synthesis.hpp"
+#include "pf/util/table.hpp"
+
+namespace {
+
+using namespace pf;
+using faults::Ffm;
+using march::TargetFault;
+using memsim::Guard;
+
+std::vector<TargetFault> partial_targets() {
+  return {
+      TargetFault::single(Ffm::kRDF1, Guard::bit_line(0)),
+      TargetFault::single(Ffm::kRDF0, Guard::bit_line(1)),
+      TargetFault::single(Ffm::kIRF1, Guard::bit_line(0)),
+      TargetFault::single(Ffm::kIRF0, Guard::bit_line(1)),
+      TargetFault::single(Ffm::kDRDF1, Guard::bit_line(1)),
+      TargetFault::single(Ffm::kDRDF0, Guard::bit_line(0)),
+  };
+}
+
+std::vector<TargetFault> static_targets() {
+  std::vector<TargetFault> out;
+  for (Ffm ffm : faults::all_ffms()) out.push_back(TargetFault::single(ffm));
+  return out;
+}
+
+void print_reproduction() {
+  march::SynthesisOptions options;
+  options.geometry = memsim::Geometry{4, 2};
+  options.max_elements = 10;
+
+  pf::TextTable table({"target set", "synthesized test", "ops/cell",
+                       "targets detected", "march runs"});
+  struct Case {
+    const char* label;
+    std::vector<TargetFault> targets;
+  };
+  const Case cases[] = {
+      {"12 static single-cell FFMs", static_targets()},
+      {"Table 1 completed partial faults", partial_targets()},
+      {"static + partial combined", [] {
+         auto t = static_targets();
+         const auto p = partial_targets();
+         t.insert(t.end(), p.begin(), p.end());
+         return t;
+       }()},
+  };
+  std::vector<march::MarchTest> synthesized;
+  for (const Case& c : cases) {
+    const auto result = march::synthesize_march(c.targets, options);
+    synthesized.push_back(result.test);
+    table.add_row({c.label, result.test.to_string(),
+                   std::to_string(result.test.ops_per_cell()),
+                   std::to_string(result.detected_targets) + "/" +
+                       std::to_string(result.total_targets),
+                   std::to_string(result.evaluations)});
+  }
+  std::printf("synthesized march tests:\n%s\n", table.to_string().c_str());
+  std::printf("reference lengths: March C- = %dN, March PF = %dN\n\n",
+              march::march_c_minus().ops_per_cell(),
+              march::march_pf().ops_per_cell());
+
+  // Electrical validation of the combined test against real defects.
+  const auto& combined = synthesized.back();
+  pf::TextTable circuit({"defect", "synthesized", "March PF"});
+  const dram::Defect defects[] = {
+      dram::Defect::open(dram::OpenSite::kBitLineOuter, 10e6),
+      dram::Defect::open(dram::OpenSite::kCell, 400e3),
+      dram::Defect::open(dram::OpenSite::kIoPath, 100e6),
+      dram::Defect::open(dram::OpenSite::kBitLineOuterComp, 10e6),
+  };
+  for (const auto& d : defects) {
+    std::vector<std::string> row = {dram::defect_name(d)};
+    for (const auto& test : {combined, march::march_pf()}) {
+      dram::DramColumn col(dram::DramParams{}, d);
+      row.push_back(
+          march::run_march(test, col, dram::DramColumn::kNumCells).detected
+              ? "X"
+              : ".");
+    }
+    circuit.add_row(std::move(row));
+  }
+  std::printf("electrical validation of the combined synthesized test:\n%s\n",
+              circuit.to_string().c_str());
+}
+
+void BM_SynthesizeStaticSet(benchmark::State& state) {
+  march::SynthesisOptions options;
+  options.geometry = memsim::Geometry{4, 2};
+  for (auto _ : state) {
+    const auto result = march::synthesize_march(static_targets(), options);
+    benchmark::DoNotOptimize(result.evaluations);
+  }
+}
+BENCHMARK(BM_SynthesizeStaticSet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

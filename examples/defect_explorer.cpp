@@ -1,0 +1,106 @@
+// Defect explorer: interactive reproduction of the paper's fault-analysis
+// method for any open defect and SOS.
+//
+// Usage: defect_explorer [open_number] [sos] [r_points] [u_points]
+//   defect_explorer                 # Open 4, SOS "1r1"  (paper Figure 3a)
+//   defect_explorer 4 "1v [w0BL] r1v"   # Figure 3(b)
+//   defect_explorer 1 "0r0" 13 12       # Figure 4(a) at high resolution
+//
+// Prints the (R_def, U) region map, the partial-fault classification per
+// observed FFM, and — for each partial fault — the completing operations
+// found by the search.
+#include <cstdio>
+#include <cstdlib>
+
+#include "pf/analysis/completion.hpp"
+#include "pf/analysis/partial.hpp"
+#include "pf/analysis/table1.hpp"
+
+namespace {
+
+pf::dram::OpenSite site_of(int number) {
+  using pf::dram::OpenSite;
+  static const OpenSite kSites[] = {
+      OpenSite::kNone,         OpenSite::kCell,       OpenSite::kRefCell,
+      OpenSite::kPrecharge,    OpenSite::kBitLineOuter,
+      OpenSite::kBitLineMid,   OpenSite::kBitLineSense,
+      OpenSite::kSenseAmp,     OpenSite::kIoPath,     OpenSite::kWordLine};
+  if (number < 1 || number > 9) {
+    std::fprintf(stderr, "open number must be 1..9\n");
+    std::exit(1);
+  }
+  return kSites[number];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pf;
+  const int open_number = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::string sos_text = argc > 2 ? argv[2] : "1r1";
+  const size_t r_points = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 9;
+  const size_t u_points = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 10;
+
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.defect = dram::Defect::open(site_of(open_number), 1e6);
+  spec.sos = faults::Sos::parse(sos_text);
+  spec.r_axis = analysis::default_r_axis(r_points);
+
+  const auto lines = dram::floating_lines_for(spec.defect, spec.params);
+  if (lines.empty()) {
+    std::fprintf(stderr, "defect has no floating lines\n");
+    return 1;
+  }
+  for (size_t li = 0; li < lines.size(); ++li) {
+    spec.floating_line_index = li;
+    spec.u_axis = pf::linspace(lines[li].min_v, lines[li].max_v, u_points);
+    std::printf("analyzing %s, floating line '%s', SOS %s ...\n",
+                dram::defect_name(spec.defect).c_str(), lines[li].label.c_str(),
+                spec.sos.to_string().c_str());
+    const analysis::RegionMap map = analysis::sweep_region(spec);
+    std::printf("%s\n", map.render("FP regions in the (R_def, U) plane").c_str());
+
+    for (const auto& finding : analysis::identify_partial_faults(map)) {
+      std::printf("  %s: %s  (min R_def %.0f kOhm, widest band %s, "
+                  "coverage %.0f%%)\n",
+                  faults::ffm_name(finding.ffm).data(),
+                  finding.partial ? "PARTIAL fault" : "full fault",
+                  finding.min_r_def / 1e3,
+                  finding.band_hull.to_string().c_str(),
+                  100.0 * finding.best_coverage);
+      if (!finding.partial) continue;
+
+      analysis::CompletionSpec cspec;
+      cspec.params = spec.params;
+      cspec.defect = spec.defect;
+      cspec.floating_line_index = li;
+      cspec.base.sos = spec.sos;
+      cspec.probe_r = analysis::choose_probe_rows(map, finding.ffm, 2);
+      cspec.probe_u = pf::linspace(lines[li].min_v, lines[li].max_v, 5);
+      {
+        // Observe the base <F, R> at the band centre.
+        dram::Defect probe = spec.defect;
+        probe.resistance = cspec.probe_r.front();
+        const auto out = analysis::run_sos(
+            spec.params, probe, &lines[li],
+            (finding.band_hull.lo + finding.band_hull.hi) / 2, spec.sos);
+        cspec.base.faulty_state = out.final_state;
+        cspec.base.read_result = out.read_result;
+      }
+      const auto comp = analysis::search_completing_ops(cspec);
+      if (comp.possible) {
+        std::printf("    completed as %s  (%d candidates, %llu runs)\n",
+                    comp.completed.to_string().c_str(),
+                    comp.candidates_evaluated,
+                    static_cast<unsigned long long>(comp.sos_runs));
+      } else {
+        std::printf("    completing operations: Not possible "
+                    "(%d candidates tried)\n",
+                    comp.candidates_evaluated);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// March workbench: detection matrix of the standard march tests against
+// (a) electrically injected defects on the 4-cell DRAM column, and
+// (b) behaviorally injected (partial) fault primitives on a 64-cell array.
+//
+// Usage: march_workbench
+#include <cstdio>
+
+#include "pf/dram/column.hpp"
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/util/table.hpp"
+
+int main() {
+  using namespace pf;
+
+  // --- (a) electrical defects -------------------------------------------
+  struct Row {
+    const char* label;
+    dram::Defect defect;
+  };
+  const Row defects[] = {
+      {"Open 1 cell 400k", dram::Defect::open(dram::OpenSite::kCell, 400e3)},
+      {"Open 3 precharge 10M",
+       dram::Defect::open(dram::OpenSite::kPrecharge, 10e6)},
+      {"Open 4 bit line 10M",
+       dram::Defect::open(dram::OpenSite::kBitLineOuter, 10e6)},
+      {"Open 5 bit line 10M",
+       dram::Defect::open(dram::OpenSite::kBitLineMid, 10e6)},
+      {"Open 8 IO path 100M",
+       dram::Defect::open(dram::OpenSite::kIoPath, 100e6)},
+      {"Short BT-GND 100",   dram::Defect::short_to_ground(100.0)},
+      {"Bridge BT-BC 100",   dram::Defect::bridge(100.0)},
+  };
+  auto tests = march::standard_tests();
+  tests.insert(tests.begin(), march::naive_w1r1());
+
+  std::vector<std::string> header = {"defect \\ test"};
+  for (const auto& t : tests) header.push_back(t.name);
+  pf::TextTable circuit_table(header);
+  for (const Row& row : defects) {
+    std::vector<std::string> cells = {row.label};
+    for (const auto& t : tests) {
+      dram::DramColumn column(dram::DramParams{}, row.defect);
+      const auto result =
+          march::run_march(t, column, dram::DramColumn::kNumCells);
+      cells.push_back(result.detected ? "X" : ".");
+    }
+    circuit_table.add_row(std::move(cells));
+  }
+  std::printf("march tests vs electrical defects "
+              "(X = detected, . = escaped):\n%s\n",
+              circuit_table.to_string().c_str());
+
+  // --- (b) behavioral partial faults ------------------------------------
+  const memsim::Geometry geom{8, 8};
+  struct FaultRow {
+    const char* label;
+    faults::Ffm ffm;
+    memsim::Guard guard;
+  };
+  const FaultRow fault_rows[] = {
+      {"RDF1 (full)", faults::Ffm::kRDF1, memsim::Guard::none()},
+      {"RDF1 partial [BL=0]", faults::Ffm::kRDF1, memsim::Guard::bit_line(0)},
+      {"RDF0 partial [BL=1]", faults::Ffm::kRDF0, memsim::Guard::bit_line(1)},
+      {"IRF0 partial [buf=1]", faults::Ffm::kIRF0, memsim::Guard::buffer(1)},
+      {"WDF1 partial [BL=0]", faults::Ffm::kWDF1, memsim::Guard::bit_line(0)},
+      {"SF0 hidden (active)", faults::Ffm::kSF0, memsim::Guard::hidden(true)},
+  };
+  pf::TextTable fp_table(header);
+  for (const FaultRow& row : fault_rows) {
+    std::vector<std::string> cells = {row.label};
+    for (const auto& t : tests) {
+      const auto outcome =
+          march::evaluate_detection(t, geom, row.ffm, row.guard);
+      if (outcome.detected_all)
+        cells.push_back("X");
+      else if (outcome.detected_count > 0)
+        cells.push_back("(x)");
+      else
+        cells.push_back(".");
+    }
+    fp_table.add_row(std::move(cells));
+  }
+  std::printf("march tests vs injected fault primitives on a %dx%d array\n"
+              "(X = detected at every victim, (x) = some victims, "
+              ". = escaped):\n%s\n",
+              geom.num_rows, geom.num_columns, fp_table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Defect diagnosis from march fail logs.
+//
+// A march test run produces a fail log (which reads failed, where, with
+// what value). Different defects produce characteristically different logs;
+// a *fault dictionary* built by simulating candidate defects on the
+// electrical column maps observed fail signatures back to defect
+// candidates. This turns the paper's analysis flow around: instead of
+// asking "what faults does this defect cause", production debug asks "what
+// defect explains this fail log".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pf/dram/column.hpp"
+#include "pf/march/test.hpp"
+
+namespace pf::analysis {
+
+/// Canonical string form of a march fail log (element/address/expected/got
+/// tuples in execution order), usable as a dictionary key. An empty log
+/// canonicalizes to "PASS".
+std::string signature_key(const march::MarchResult& result);
+
+/// Run `test` on a fresh column with `defect` and return the signature.
+std::string simulate_signature(const march::MarchTest& test,
+                               const dram::DramParams& params,
+                               const dram::Defect& defect);
+
+struct DiagnosisMatch {
+  dram::Defect defect;
+  bool exact = true;  ///< key matched exactly (vs. nearest by fail overlap)
+};
+
+class FaultDictionary {
+ public:
+  /// Build by simulating every candidate defect under `test`.
+  static FaultDictionary build(const march::MarchTest& test,
+                               const dram::DramParams& params,
+                               const std::vector<dram::Defect>& candidates);
+
+  /// Build with SEVERAL tests: the signature concatenates each test's fail
+  /// log (run on a fresh column each time). Defects that alias under one
+  /// test usually separate under a second with different conditioning.
+  static FaultDictionary build(const std::vector<march::MarchTest>& tests,
+                               const dram::DramParams& params,
+                               const std::vector<dram::Defect>& candidates);
+
+  const std::vector<march::MarchTest>& tests() const { return tests_; }
+  size_t size() const { return entries_.size(); }
+  /// Number of distinct signatures (ambiguity = size() - distinct()).
+  size_t distinct_signatures() const;
+
+  /// Defects whose dictionary signature equals the observed one. Empty when
+  /// the signature is unknown (including an all-PASS signature).
+  std::vector<dram::Defect> lookup(const std::string& key) const;
+
+  /// Combined signature of a device under test across the dictionary's
+  /// tests (the device is NOT re-powered between tests; each test starts on
+  /// a fresh column in build(), so diagnose uses fresh columns per test via
+  /// the caller-provided factory below when exact state matters).
+  std::string signature_of(dram::DramColumn& dut) const;
+
+  /// Convenience: run the dictionary's tests on a device under test and
+  /// look the combined signature up.
+  std::vector<dram::Defect> diagnose(dram::DramColumn& dut) const;
+
+ private:
+  std::vector<march::MarchTest> tests_;
+  std::vector<std::pair<std::string, dram::Defect>> entries_;
+};
+
+}  // namespace pf::analysis

@@ -1,0 +1,35 @@
+// The paper's partial-fault identification rule (Section 3):
+//
+//   "Assume that a given memory defect results in a floating voltage V_f on
+//    some signal line, and results in observing the fault FP1. If FP1 is
+//    only observed for a limited range of V_f values, then completing
+//    operations should be added to FP1 to ensure it is sensitized."
+//
+// Operationally: an FFM observed in a region map is *partial* when no
+// R_def row's observation band covers the full floating-voltage domain,
+// and *full* (already guaranteed sensitizable) when some row is covered.
+#pragma once
+
+#include <vector>
+
+#include "pf/analysis/region.hpp"
+
+namespace pf::analysis {
+
+struct PartialFaultFinding {
+  faults::Ffm ffm = faults::Ffm::kUnknown;
+  bool partial = false;     ///< bounded V_f band -> needs completing ops
+  double min_r_def = 0.0;   ///< smallest R_def where the FFM is observed
+  pf::Interval band_hull;   ///< hull of the widest observation band
+  double best_coverage = 0.0;  ///< widest row band length / domain length
+};
+
+/// Classify every FFM observed in the map.
+std::vector<PartialFaultFinding> identify_partial_faults(const RegionMap& map);
+
+/// True when the map demonstrates a *completed* fault: some R_def row's
+/// band covers the entire floating-voltage domain (the paper's Figures 3(b)
+/// and 4(b)).
+bool is_completed(const RegionMap& map, faults::Ffm ffm);
+
+}  // namespace pf::analysis

@@ -1,0 +1,66 @@
+// Fault-primitive region maps in the (R_def, U) plane — the paper's
+// Figures 3 and 4. One sweep fixes a defect site, a floating line and an
+// SOS; each grid point runs the SOS with R_def on the y axis and the
+// floating initial voltage U on the x axis, recording the observed FFM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pf/analysis/sos_runner.hpp"
+#include "pf/util/grid.hpp"
+#include "pf/util/interval.hpp"
+
+namespace pf::analysis {
+
+struct SweepSpec {
+  dram::DramParams params;
+  dram::Defect defect;                 ///< resistance ignored (axis value used)
+  size_t floating_line_index = 0;      ///< which of floating_lines_for(defect)
+  faults::Sos sos;
+  std::vector<double> r_axis;          ///< R_def values (log-spaced, ascending)
+  std::vector<double> u_axis;          ///< floating voltages
+};
+
+/// Default axes used by the figure reproductions: log R in [10k, 10M],
+/// linear U in [0, vdd].
+std::vector<double> default_r_axis(size_t n = 13);
+std::vector<double> default_u_axis(const dram::DramParams& params,
+                                   size_t n = 12);
+
+class RegionMap {
+ public:
+  RegionMap(SweepSpec spec, Grid2D<faults::Ffm> grid);
+
+  const SweepSpec& spec() const { return spec_; }
+  const Grid2D<faults::Ffm>& grid() const { return grid_; }
+
+  /// All FFMs observed anywhere in the map.
+  std::vector<faults::Ffm> observed_ffms() const;
+  /// Grid points where `ffm` is observed.
+  size_t count(faults::Ffm ffm) const;
+  /// U values where `ffm` is observed at row `iy`, merged into bands
+  /// (adjacent grid samples merge).
+  Interval u_domain() const;
+  pf::IntervalSet u_band(faults::Ffm ffm, size_t iy) const;
+  /// Smallest R_def at which `ffm` is observed (NaN if never).
+  double min_r(faults::Ffm ffm) const;
+  /// True when some row's observation band covers the full U domain.
+  bool has_fully_covered_row(faults::Ffm ffm) const;
+
+  /// ASCII rendering in the style of the paper's figures ('.' = no fault;
+  /// one glyph per FFM, with a legend).
+  std::string render(const std::string& title) const;
+
+  /// Machine-readable dump: one row per grid point (r_def, u, ffm).
+  std::string to_csv() const;
+
+ private:
+  SweepSpec spec_;
+  Grid2D<faults::Ffm> grid_;
+};
+
+/// Run the sweep (|r_axis| * |u_axis| SOS experiments).
+RegionMap sweep_region(const SweepSpec& spec);
+
+}  // namespace pf::analysis

@@ -1,0 +1,44 @@
+// Execution of a sensitizing operation sequence on the electrical DRAM
+// column with floating-voltage injection — the measurement primitive of the
+// paper's fault-analysis method (Section 3):
+//
+//   1. power the column up and apply the SOS's initializing states
+//      (ordinary write operations),
+//   2. override the defect's floating line to the probe voltage U,
+//   3. apply the SOS's operations (completing prefix + sensitizing suffix),
+//   4. observe the victim's final state F and the final read result R and
+//      classify the deviation as a fault primitive / FFM.
+#pragma once
+
+#include "pf/dram/column.hpp"
+#include "pf/dram/defect.hpp"
+#include "pf/faults/ffm.hpp"
+#include "pf/faults/fp.hpp"
+
+namespace pf::analysis {
+
+struct SosOutcome {
+  int final_state = -1;  ///< victim's logical content after the SOS
+  int read_result = -1;  ///< result of the SOS's final victim read (-1: none)
+  bool faulty = false;   ///< deviates from the SOS's fault-free expectation
+  faults::FaultPrimitive observed;  ///< SOS + observed <F, R>
+  faults::Ffm ffm = faults::Ffm::kUnknown;  ///< classification (when faulty)
+};
+
+/// Run one (defect, floating-voltage, SOS) experiment on a fresh column.
+/// `line` may be null (no override — nominal behaviour). For an
+/// operation-free SOS (state faults) one idle precharge cycle runs between
+/// the override and the observation, which is the paper's SF mechanism;
+/// `idle_before_observe` forces that extra cycle for op-carrying SOSes too
+/// (used when searching completing operations for state faults).
+SosOutcome run_sos(const dram::DramParams& params, const dram::Defect& defect,
+                   const dram::FloatingLine* line, double u,
+                   const faults::Sos& sos, bool idle_before_observe = false);
+
+/// Convenience overload reusing an existing column (caller must power_up()
+/// between experiments).
+SosOutcome run_sos_on(dram::DramColumn& column, const dram::FloatingLine* line,
+                      double u, const faults::Sos& sos,
+                      bool idle_before_observe = false);
+
+}  // namespace pf::analysis

@@ -1,0 +1,83 @@
+#include "pf/analysis/diagnosis.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "pf/util/log.hpp"
+#include "pf/util/strings.hpp"
+
+namespace pf::analysis {
+
+std::string signature_key(const march::MarchResult& result) {
+  if (result.fails.empty()) return "PASS";
+  std::ostringstream os;
+  for (const auto& f : result.fails)
+    os << 'e' << f.element << '@' << f.addr << ':' << f.expected << '>'
+       << f.got << ';';
+  return os.str();
+}
+
+std::string simulate_signature(const march::MarchTest& test,
+                               const dram::DramParams& params,
+                               const dram::Defect& defect) {
+  dram::DramColumn column(params, defect);
+  return signature_key(
+      march::run_march(test, column, column.num_cells()));
+}
+
+FaultDictionary FaultDictionary::build(
+    const march::MarchTest& test, const dram::DramParams& params,
+    const std::vector<dram::Defect>& candidates) {
+  return build(std::vector<march::MarchTest>{test}, params, candidates);
+}
+
+FaultDictionary FaultDictionary::build(
+    const std::vector<march::MarchTest>& tests, const dram::DramParams& params,
+    const std::vector<dram::Defect>& candidates) {
+  PF_CHECK_MSG(!tests.empty(), "dictionary needs at least one test");
+  FaultDictionary dict;
+  dict.tests_ = tests;
+  for (const dram::Defect& defect : candidates) {
+    std::string key;
+    for (const auto& test : tests)
+      key += simulate_signature(test, params, defect) + "|";
+    PF_LOG_DEBUG("dictionary: " << dram::defect_name(defect) << " -> " << key);
+    dict.entries_.emplace_back(std::move(key), defect);
+  }
+  return dict;
+}
+
+size_t FaultDictionary::distinct_signatures() const {
+  std::set<std::string> keys;
+  for (const auto& [key, defect] : entries_) keys.insert(key);
+  return keys.size();
+}
+
+std::vector<dram::Defect> FaultDictionary::lookup(
+    const std::string& key) const {
+  std::vector<dram::Defect> out;
+  // An all-PASS combined signature means "no defect visible".
+  bool all_pass = true;
+  for (const auto& part : pf::split_nonempty(key, '|'))
+    all_pass &= part == "PASS";
+  if (all_pass) return out;
+  for (const auto& [k, defect] : entries_)
+    if (k == key) out.push_back(defect);
+  return out;
+}
+
+std::string FaultDictionary::signature_of(dram::DramColumn& dut) const {
+  std::string key;
+  for (const auto& test : tests_) {
+    dut.power_up();  // defined state before each test, as in build()
+    key += signature_key(march::run_march(test, dut, dut.num_cells())) + "|";
+  }
+  return key;
+}
+
+std::vector<dram::Defect> FaultDictionary::diagnose(
+    dram::DramColumn& dut) const {
+  return lookup(signature_of(dut));
+}
+
+}  // namespace pf::analysis

@@ -1,0 +1,46 @@
+#include "pf/analysis/partial.hpp"
+
+#include <algorithm>
+
+namespace pf::analysis {
+
+using faults::Ffm;
+
+std::vector<PartialFaultFinding> identify_partial_faults(const RegionMap& map) {
+  std::vector<PartialFaultFinding> findings;
+  const pf::Interval domain = map.u_domain();
+  for (Ffm ffm : map.observed_ffms()) {
+    PartialFaultFinding f;
+    f.ffm = ffm;
+    f.min_r_def = map.min_r(ffm);
+    double best_len = 0.0;
+    pf::Interval best_hull;
+    const auto& u = map.spec().u_axis;
+    const double step =
+        u.size() > 1 ? (u.back() - u.front()) / double(u.size() - 1) : 1.0;
+    bool any_proper_subband = false;
+    for (size_t iy = 0; iy < map.grid().height(); ++iy) {
+      const pf::IntervalSet band = map.u_band(ffm, iy);
+      if (band.empty()) continue;
+      if (!band.covers(domain, step)) any_proper_subband = true;
+      if (band.total_length() > best_len) {
+        best_len = band.total_length();
+        best_hull = band.hull();
+      }
+    }
+    // Partial: at some defect resistance, sensitization depends on the
+    // floating voltage. A chip with that R_def escapes a test that does not
+    // control V_f — even if other resistances fault for every V_f.
+    f.partial = any_proper_subband;
+    f.band_hull = best_hull;
+    f.best_coverage = domain.length() > 0 ? best_len / domain.length() : 1.0;
+    findings.push_back(f);
+  }
+  return findings;
+}
+
+bool is_completed(const RegionMap& map, Ffm ffm) {
+  return map.has_fully_covered_row(ffm);
+}
+
+}  // namespace pf::analysis

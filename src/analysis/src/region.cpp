@@ -1,0 +1,156 @@
+#include "pf/analysis/region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "pf/util/ascii_plot.hpp"
+#include "pf/util/log.hpp"
+
+namespace pf::analysis {
+
+using faults::Ffm;
+
+std::vector<double> default_r_axis(size_t n) {
+  return pf::logspace(10e3, 10e6, n);
+}
+
+std::vector<double> default_u_axis(const dram::DramParams& params, size_t n) {
+  return pf::linspace(0.0, params.vdd, n);
+}
+
+RegionMap::RegionMap(SweepSpec spec, Grid2D<Ffm> grid)
+    : spec_(std::move(spec)), grid_(std::move(grid)) {}
+
+std::vector<Ffm> RegionMap::observed_ffms() const {
+  std::set<Ffm> seen;
+  for (Ffm f : grid_.data())
+    if (f != Ffm::kUnknown) seen.insert(f);
+  return {seen.begin(), seen.end()};
+}
+
+size_t RegionMap::count(Ffm ffm) const {
+  return static_cast<size_t>(
+      std::count(grid_.data().begin(), grid_.data().end(), ffm));
+}
+
+Interval RegionMap::u_domain() const {
+  return Interval{spec_.u_axis.front(), spec_.u_axis.back()};
+}
+
+pf::IntervalSet RegionMap::u_band(Ffm ffm, size_t iy) const {
+  // Merge adjacent observed samples into bands: half a grid step of slack on
+  // each side so neighbouring samples fuse.
+  pf::IntervalSet band;
+  const auto& u = spec_.u_axis;
+  const double step =
+      u.size() > 1 ? (u.back() - u.front()) / double(u.size() - 1) : 1.0;
+  for (size_t ix = 0; ix < grid_.width(); ++ix) {
+    if (grid_.at(ix, iy) == ffm)
+      band.insert({u[ix] - step / 2, u[ix] + step / 2}, step / 4);
+  }
+  return band;
+}
+
+double RegionMap::min_r(Ffm ffm) const {
+  for (size_t iy = 0; iy < grid_.height(); ++iy)
+    for (size_t ix = 0; ix < grid_.width(); ++ix)
+      if (grid_.at(ix, iy) == ffm) return spec_.r_axis[iy];
+  return std::nan("");
+}
+
+bool RegionMap::has_fully_covered_row(Ffm ffm) const {
+  const Interval domain = u_domain();
+  const auto& u = spec_.u_axis;
+  const double step =
+      u.size() > 1 ? (u.back() - u.front()) / double(u.size() - 1) : 1.0;
+  for (size_t iy = 0; iy < grid_.height(); ++iy)
+    if (u_band(ffm, iy).covers(domain, step)) return true;
+  return false;
+}
+
+namespace {
+
+char glyph_for(Ffm ffm) {
+  switch (ffm) {
+    case Ffm::kUnknown: return '?';
+    case Ffm::kSF0: return 's';
+    case Ffm::kSF1: return 'S';
+    case Ffm::kTFUp: return 't';
+    case Ffm::kTFDown: return 'T';
+    case Ffm::kWDF0: return 'w';
+    case Ffm::kWDF1: return 'W';
+    case Ffm::kRDF0: return 'r';
+    case Ffm::kRDF1: return 'R';
+    case Ffm::kDRDF0: return 'd';
+    case Ffm::kDRDF1: return 'D';
+    case Ffm::kIRF0: return 'i';
+    case Ffm::kIRF1: return 'I';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string RegionMap::render(const std::string& title) const {
+  AsciiPlotOptions opt;
+  opt.title = title;
+  opt.y_log = true;
+  opt.y_label = "R_def";
+  const std::string plot = pf::render_region_map(
+      grid_.width(), grid_.height(), spec_.u_axis, spec_.r_axis,
+      [&](size_t ix, size_t iy) {
+        const Ffm f = grid_.at(ix, iy);
+        return f == Ffm::kUnknown ? '.' : glyph_for(f);
+      },
+      opt);
+  std::ostringstream os;
+  os << plot;
+  const auto seen = observed_ffms();
+  if (!seen.empty()) {
+    os << "  legend:";
+    for (Ffm f : seen) os << "  " << glyph_for(f) << " = " << faults::ffm_name(f);
+    os << "  . = no fault\n";
+  } else {
+    os << "  (no fault observed anywhere)\n";
+  }
+  return os.str();
+}
+
+std::string RegionMap::to_csv() const {
+  std::ostringstream os;
+  os << "r_def,u,ffm\n";
+  for (size_t iy = 0; iy < grid_.height(); ++iy)
+    for (size_t ix = 0; ix < grid_.width(); ++ix) {
+      const Ffm f = grid_.at(ix, iy);
+      os << spec_.r_axis[iy] << ',' << spec_.u_axis[ix] << ','
+         << (f == Ffm::kUnknown ? "-" : faults::ffm_name(f)) << '\n';
+    }
+  return os.str();
+}
+
+RegionMap sweep_region(const SweepSpec& spec) {
+  PF_CHECK(!spec.r_axis.empty() && !spec.u_axis.empty());
+  const auto lines = dram::floating_lines_for(spec.defect, spec.params);
+  PF_CHECK_MSG(spec.floating_line_index < lines.size(),
+               "defect " << dram::defect_name(spec.defect)
+                         << " has no floating line "
+                         << spec.floating_line_index);
+  const dram::FloatingLine& line = lines[spec.floating_line_index];
+
+  Grid2D<Ffm> grid(spec.u_axis, spec.r_axis, Ffm::kUnknown);
+  for (size_t iy = 0; iy < spec.r_axis.size(); ++iy) {
+    dram::Defect defect = spec.defect;
+    defect.resistance = spec.r_axis[iy];
+    for (size_t ix = 0; ix < spec.u_axis.size(); ++ix) {
+      const SosOutcome out =
+          run_sos(spec.params, defect, &line, spec.u_axis[ix], spec.sos);
+      if (out.faulty) grid.at(ix, iy) = out.ffm;
+    }
+    PF_LOG_DEBUG("sweep row R_def=" << spec.r_axis[iy] << " done");
+  }
+  return RegionMap(spec, std::move(grid));
+}
+
+}  // namespace pf::analysis

@@ -1,0 +1,67 @@
+#include "pf/analysis/sos_runner.hpp"
+
+namespace pf::analysis {
+
+using dram::DramColumn;
+using faults::CellRole;
+using faults::Op;
+using faults::Sos;
+
+SosOutcome run_sos_on(DramColumn& column, const dram::FloatingLine* line,
+                      double u, const Sos& sos, bool idle_before_observe) {
+  const int victim = DramColumn::kVictim;
+  const int aggressor = DramColumn::kAggressorSameBl;
+
+  // 1. Initializing states, applied as ordinary (defective) operations.
+  if (sos.initial_aggressor >= 0) column.write(aggressor, sos.initial_aggressor);
+  if (sos.initial_victim >= 0) column.write(victim, sos.initial_victim);
+
+  // 2. Floating-voltage injection.
+  if (line != nullptr) column.apply_floating_voltage(*line, u);
+
+  // 3. Operations.
+  int last_victim_read = -1;
+  bool last_op_is_victim_read = false;
+  for (const Op& op : sos.ops) {
+    const int addr = op.target == CellRole::kVictim ? victim : aggressor;
+    if (op.is_read()) {
+      const int got = column.read(addr);
+      if (op.target == CellRole::kVictim) last_victim_read = got;
+    } else {
+      column.write(addr, op.write_value());
+    }
+    last_op_is_victim_read =
+        op.is_read() && op.target == CellRole::kVictim;
+  }
+  // Operation-free SOS (state faults): give the floating line one precharge
+  // cycle to act on the cell.
+  int pre_idle_state = -1;
+  if (sos.ops.empty() || idle_before_observe) {
+    pre_idle_state = column.cell_logical(victim);
+    column.idle_cycle();
+  }
+
+  // 4. Observation and classification.
+  SosOutcome out;
+  out.final_state = column.cell_logical(victim);
+  out.read_result = last_op_is_victim_read ? last_victim_read : -1;
+  out.observed.sos = sos;
+  out.observed.faulty_state = out.final_state;
+  out.observed.read_result = out.read_result;
+  out.faulty = out.observed.is_fault();
+  // A state fault must be CAUSED by the memory during the idle cycle;
+  // merely retaining the injected floating voltage is not a fault of the
+  // cell's own dynamics (the injection itself encodes unknown history).
+  if (sos.ops.empty() && out.final_state == pre_idle_state) out.faulty = false;
+  if (out.faulty) out.ffm = faults::classify(out.observed);
+  return out;
+}
+
+SosOutcome run_sos(const dram::DramParams& params, const dram::Defect& defect,
+                   const dram::FloatingLine* line, double u, const Sos& sos,
+                   bool idle_before_observe) {
+  DramColumn column(params, defect);
+  return run_sos_on(column, line, u, sos, idle_before_observe);
+}
+
+}  // namespace pf::analysis

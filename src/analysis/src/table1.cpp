@@ -1,0 +1,109 @@
+#include "pf/analysis/table1.hpp"
+
+#include <algorithm>
+
+#include "pf/util/log.hpp"
+#include "pf/util/strings.hpp"
+#include "pf/util/table.hpp"
+
+namespace pf::analysis {
+
+using dram::OpenSite;
+using faults::Ffm;
+using faults::Sos;
+
+std::vector<Sos> base_soses() {
+  std::vector<Sos> out;
+  for (const char* text : {"0", "1", "0w0", "0w1", "1w0", "1w1", "0r0", "1r1"})
+    out.push_back(Sos::parse(text));
+  return out;
+}
+
+std::vector<Table1Row> generate_table1(const dram::DramParams& params,
+                                       const Table1Options& options) {
+  std::vector<Table1Row> rows;
+  for (OpenSite site : options.sites) {
+    const dram::Defect proto = dram::Defect::open(site, 1e6);
+    const bool cell_internal =
+        site == OpenSite::kCell || site == OpenSite::kRefCell;
+    double r_min = options.r_min;
+    double r_max = cell_internal ? options.r_max_cell : options.r_max_default;
+    if (site == OpenSite::kWordLine) {
+      r_min = options.r_min_wordline;
+      r_max = options.r_max_wordline;
+    }
+    const auto lines = dram::floating_lines_for(proto, params);
+    for (size_t li = 0; li < lines.size(); ++li) {
+      for (const Sos& sos : base_soses()) {
+        SweepSpec spec;
+        spec.params = params;
+        spec.defect = proto;
+        spec.floating_line_index = li;
+        spec.sos = sos;
+        spec.r_axis = pf::logspace(r_min, r_max, options.r_points);
+        spec.u_axis =
+            pf::linspace(lines[li].min_v, lines[li].max_v, options.u_points);
+        const RegionMap map = sweep_region(spec);
+        for (const PartialFaultFinding& finding :
+             identify_partial_faults(map)) {
+          if (!finding.partial || finding.ffm == Ffm::kUnknown) continue;
+          // Deduplicate: keep one row per (FFM, site, line label).
+          const bool dup = std::any_of(
+              rows.begin(), rows.end(), [&](const Table1Row& r) {
+                return r.sim_ffm == finding.ffm && r.site == site &&
+                       r.initialized_voltage == lines[li].label;
+              });
+          if (dup) continue;
+          PF_LOG_INFO("partial " << faults::ffm_name(finding.ffm) << " at "
+                                 << dram::defect_name(proto) << " / "
+                                 << lines[li].label);
+          Table1Row row;
+          row.sim_ffm = finding.ffm;
+          row.com_ffm = faults::complement_ffm(finding.ffm);
+          row.site = site;
+          row.initialized_voltage = lines[li].label;
+          row.min_r_def = finding.min_r_def;
+          row.band_coverage = finding.best_coverage;
+
+          CompletionSpec cspec;
+          cspec.params = params;
+          cspec.defect = proto;
+          cspec.floating_line_index = li;
+          cspec.base.sos = sos;
+          cspec.probe_u = pf::linspace(lines[li].min_v, lines[li].max_v,
+                                       options.probe_u_points);
+          cspec.max_prefix_ops = options.max_prefix_ops;
+          const CompletionResult comp = search_completing_ops_with_fallback(
+              cspec, map, finding.ffm, /*rows_per_window=*/1,
+              options.fallback_windows);
+          row.completable = comp.possible;
+          if (comp.possible) row.completed = comp.completed;
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Table1Row& a,
+                                         const Table1Row& b) {
+    if (a.sim_ffm != b.sim_ffm) return a.sim_ffm < b.sim_ffm;
+    return dram::open_number(a.site) < dram::open_number(b.site);
+  });
+  return rows;
+}
+
+std::string format_table1(const std::vector<Table1Row>& rows) {
+  pf::TextTable table({"Sim. FFM", "Com. FFM", "Open", "Completed FP",
+                       "Initialized volt.", "min R_def [kOhm]"});
+  for (const Table1Row& row : rows) {
+    table.add_row({std::string(faults::ffm_name(row.sim_ffm)),
+                   std::string(faults::ffm_name(row.com_ffm)),
+                   "Open " + std::to_string(dram::open_number(row.site)),
+                   row.completable ? row.completed.to_string()
+                                   : "Not possible",
+                   row.initialized_voltage,
+                   pf::format_double(row.min_r_def / 1e3, 1)});
+  }
+  return table.to_string();
+}
+
+}  // namespace pf::analysis

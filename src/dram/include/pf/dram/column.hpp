@@ -1,0 +1,129 @@
+// The DRAM cell-array column of the paper's Figure 2, as an executable
+// electrical model:
+//
+//   precharge devices | memory cells | reference cells | sense amplifier |
+//   column select | read/write circuitry (shared IO + output buffer)
+//
+// Topology (true side shown; the complement side BC mirrors it without
+// defect sockets):
+//
+//   VBLEQ --[precharge NMOS]--(open 3)-- BT0 --(open 4)-- BT1 --(open 5)--
+//      BT2 --(open 6)-- BT3 --[CSL pass]-- IOT_a --(open 8)-- IOT_b
+//
+//   cells 0 (victim) and 1 hang off BT1 (cell 0 through the open-1 socket,
+//   its gate through the open-9 socket); cells 2 and 3 hang off BC1.
+//   Reference cells sit on BT2/BC2 (open 2 in the true one) and are
+//   conditioned from the bit lines during precharge (RWLs high with PRE).
+//   The cross-coupled sense amplifier sits on BT3/BC3; its NMOS footer is
+//   reached through the open-7 socket. Write drivers and the output-buffer
+//   latch live on IOT_b/IOC_b, behind the open-8 socket (shared IO).
+//
+// Cells attached to BC store inverted data; the column handles the polarity
+// on write data and read results, so the logical interface is uniform.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pf/dram/defect.hpp"
+#include "pf/dram/params.hpp"
+#include "pf/spice/simulator.hpp"
+
+namespace pf::dram {
+
+class DramColumn {
+ public:
+  /// Address count with the default DramParams (cells_per_bl = 2).
+  static constexpr int kNumCells = 4;
+  static constexpr int kVictim = 0;
+  static constexpr int kAggressorSameBl = 1;  ///< shares BT with the victim
+
+  DramColumn(const DramParams& params, const Defect& defect);
+
+  const DramParams& params() const { return params_; }
+  const Defect& defect() const { return defect_; }
+
+  /// Actual address count: 2 * params().cells_per_bl.
+  int num_cells() const { return 2 * params_.cells_per_bl; }
+
+  /// Bring the column to a defined post-power-up state: all cells logical 0,
+  /// bit lines precharged, output buffer cleared, one settling cycle run.
+  void power_up();
+
+  /// Execute a full write operation (precharge/access/sense/drive/recover).
+  void write(int addr, int value);
+
+  /// Execute a full read operation; returns the output-buffer value.
+  int read(int addr);
+
+  /// A precharge-only cycle (no word line raised).
+  void idle_cycle();
+
+  /// An idle pause with everything switched off (word lines low, SA off):
+  /// storage nodes decay through whatever leakage paths exist (the gmin
+  /// floor plus injected kLeakyCell defects). This is the "Del" element of
+  /// data-retention march tests. Uses a relaxed step ceiling internally, so
+  /// millisecond pauses cost only ~100 solver steps.
+  void pause(double seconds);
+
+  // --- Observation and fault-analysis hooks -------------------------------
+
+  /// Raw storage-node voltage of a cell.
+  double cell_voltage(int addr) const;
+  /// Thresholded, polarity-corrected logical content of a cell.
+  int cell_logical(int addr) const;
+  /// Override the raw storage-node voltage (floating-voltage injection).
+  void set_cell_voltage(int addr, double volts);
+
+  /// The output buffer (read latch) on the shared IO lines.
+  int output_buffer() const { return buffer_; }
+  void set_output_buffer(int value);
+
+  /// Override every node of a floating line to U (complement nodes to
+  /// vdd - U; optionally ties the output buffer). This is the analysis hook
+  /// of Section 3 of the paper.
+  void apply_floating_voltage(const FloatingLine& line, double u);
+
+  /// Raw node access by netlist name (tests, waveform dumps).
+  double node_voltage(const std::string& name) const;
+  void set_node_voltage(const std::string& name, double volts);
+
+  /// Accumulated engine statistics.
+  const spice::SimStats& sim_stats() const { return sim_->stats(); }
+
+  /// The column's circuit netlist (e.g. for deck export via
+  /// spice::write_deck).
+  const spice::Netlist& netlist() const { return net_; }
+
+  /// Observe every accepted engine step during subsequent operations
+  /// (waveform tracing); pass nullptr to stop tracing.
+  using TraceCallback = std::function<void(double, const DramColumn&)>;
+  void set_trace(TraceCallback trace) { trace_ = std::move(trace); }
+
+  /// True when `addr` is attached to the complement bit line (inverted
+  /// raw data polarity on the shared lines).
+  bool on_complement_bl(int addr) const {
+    return addr >= params_.cells_per_bl;
+  }
+
+ private:
+  void run_phase(double duration);
+  void run_operation(int addr, bool is_write, int value);
+  void latch_output_buffer();
+  spice::NodeId nid(const std::string& name) const;
+
+  DramParams params_;
+  Defect defect_;
+  spice::Netlist net_;
+  std::unique_ptr<spice::Simulator> sim_;
+  TraceCallback trace_;
+  int buffer_ = 0;
+
+  // Rail handles.
+  spice::NodeId vdd_, vbleq_, pre_, rwlt_, rwlc_, sen_, sepb_, csl_, wen_,
+      vdt_, vdc_;
+  std::vector<spice::NodeId> wl_;  // one word-line rail per address
+};
+
+}  // namespace pf::dram

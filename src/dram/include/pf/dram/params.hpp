@@ -1,0 +1,109 @@
+// Electrical and timing parameters of the DRAM cell-array column model.
+//
+// The defaults model a 0.35 um-class embedded DRAM column (VDD = 3.3 V,
+// boosted word lines, VDD/2 bit-line precharge) with a cell-to-bit-line
+// capacitance ratio of 1:3 — a short embedded-array column, which keeps the
+// charge-sharing signal large and the circuit small. The values are
+// calibrated so the paper's landmark numbers (cell-open read fault around
+// 150-300 kOhm, bit-line-open fault vanishing above a threshold voltage)
+// fall in the right decade; see EXPERIMENTS.md for paper-vs-model deltas.
+#pragma once
+
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/simulator.hpp"
+
+namespace pf::dram {
+
+struct DramParams {
+  // Supplies.
+  double vdd = 3.3;    ///< core supply [V]
+  double vpp = 4.5;    ///< boosted word-line / control level [V]
+  double vbleq = 1.65; ///< bit-line precharge level (VDD/2) [V]
+
+  /// Cells attached to each bit line of the pair (the column holds
+  /// 2 * cells_per_bl addresses: the first half on BT, the rest on BC).
+  /// Bit-line capacitance is independent of this count (a short embedded
+  /// column); larger values mainly enrich march address patterns.
+  int cells_per_bl = 2;
+
+  // Devices.
+  spice::MosParams access{0.7, 300e-6, 0.02};     ///< cell access transistor
+  spice::MosParams precharge{0.7, 400e-6, 0.02};  ///< BL precharge device
+  spice::MosParams sa_nmos{0.7, 400e-6, 0.02};    ///< SA cross-coupled NMOS
+  spice::MosParams sa_pmos{0.8, 200e-6, 0.02};    ///< SA cross-coupled PMOS
+  spice::MosParams sa_en_nmos{0.7, 800e-6, 0.02}; ///< SA enable footer
+  spice::MosParams sa_en_pmos{0.8, 400e-6, 0.02}; ///< SA enable header
+  spice::MosParams csl{0.7, 600e-6, 0.02};        ///< column-select pass
+  spice::MosParams wdrv{0.7, 2e-3, 0.02};         ///< write-driver pass
+
+  // Capacitances.
+  double c_cell = 30e-15; ///< storage capacitor [F]
+  /// Reference (dummy) cell capacitor. Dummies are reset to ground during
+  /// precharge and connected to the complement bit line during access, so
+  /// the reference side sits ~100 mV below the precharge level: an isolated
+  /// bit line (no cell signal, e.g. a large cell open) reads as 1 — the
+  /// asymmetry behind the paper's Figure 4 RDF0 region.
+  double c_ref = 6e-15;
+  double c_gate = 5e-15;  ///< floating word-line gate node [F]
+  double c_bl0 = 10e-15;  ///< BL segment at the precharge devices [F]
+  double c_bl1 = 40e-15;  ///< BL segment at the memory cells [F]
+  double c_bl2 = 20e-15;  ///< BL segment at the reference cells [F]
+  double c_bl3 = 20e-15;  ///< BL segment at the sense amplifier [F]
+  double c_io = 15e-15;   ///< each IO line segment [F]
+  double c_sa = 5e-15;    ///< SA common source nodes [F]
+
+  // Defect sockets.
+  double r_socket = 10.0;        ///< benign series socket resistance [ohm]
+  double r_benign_shunt = 1e12;  ///< benign shunt (short/bridge) [ohm]
+
+  // Operation timing.
+  double t_precharge = 3e-9;
+  double t_settle = 0.3e-9; ///< precharge release before word-line rise
+  double t_access = 2e-9;
+  double t_sense = 3e-9;
+  double t_io = 3e-9;
+  double t_isolate = 0.5e-9; ///< word line down before SA off (restore end)
+  double t_recover = 1e-9;
+
+  /// Minimum IO differential the output buffer resolves; below this the
+  /// buffer retains its previous state [V].
+  double buf_resolution = 0.1;
+
+  /// Engine options (step control, slews).
+  spice::SimOptions sim{};
+
+  /// Duration of one complete operation.
+  double operation_time() const {
+    return t_precharge + t_settle + t_access + t_sense + t_io + t_isolate +
+           t_recover;
+  }
+
+  /// Total bit-line capacitance of one line.
+  double c_bl_total() const { return c_bl0 + c_bl1 + c_bl2 + c_bl3; }
+
+  /// Voltage the reference side settles to during sensing (precharged bit
+  /// line sharing with the discharged dummy cell).
+  double reference_level() const {
+    return vbleq * c_bl_total() / (c_bl_total() + c_ref);
+  }
+
+  /// Storage-node voltage above which a (healthy) read returns 1: the cell
+  /// voltage whose charge-shared bit-line level equals reference_level().
+  double cell_read_threshold() const {
+    const double cb = c_bl_total();
+    return (reference_level() * (cb + c_cell) - cb * vbleq) / c_cell;
+  }
+
+  /// A copy of these parameters adjusted to an operating temperature
+  /// (defaults model 27 C). First-order silicon trends: carrier mobility
+  /// falls as (T/300K)^-1.5 (all transconductances scale down), thresholds
+  /// drop ~2 mV/K, and junction leakage doubles every ~10 K (a kLeakyCell
+  /// defect's effective resistance halves). This models the temperature
+  /// dependence the authors studied in the companion ITC'01 paper.
+  DramParams at_temperature(double celsius) const;
+
+  /// Leakage-resistance scale factor at `celsius` relative to 27 C.
+  static double leakage_scale(double celsius);
+};
+
+}  // namespace pf::dram

@@ -1,0 +1,44 @@
+#include "pf/dram/params.hpp"
+
+#include <cmath>
+
+#include "pf/util/error.hpp"
+
+namespace pf::dram {
+namespace {
+
+constexpr double kNominalCelsius = 27.0;
+
+void scale_device(spice::MosParams& p, double mobility_scale,
+                  double delta_vt) {
+  p.k *= mobility_scale;
+  p.vt = std::max(0.1, p.vt + delta_vt);
+}
+
+}  // namespace
+
+double DramParams::leakage_scale(double celsius) {
+  // Junction leakage doubles every ~10 K: resistance halves.
+  return std::pow(2.0, -(celsius - kNominalCelsius) / 10.0);
+}
+
+DramParams DramParams::at_temperature(double celsius) const {
+  PF_CHECK_MSG(celsius > -100 && celsius < 300,
+               "temperature out of modeled range");
+  DramParams out = *this;
+  const double t_kelvin = celsius + 273.15;
+  const double t_nominal = kNominalCelsius + 273.15;
+  const double mobility = std::pow(t_kelvin / t_nominal, -1.5);
+  const double delta_vt = -2e-3 * (celsius - kNominalCelsius);
+  scale_device(out.access, mobility, delta_vt);
+  scale_device(out.precharge, mobility, delta_vt);
+  scale_device(out.sa_nmos, mobility, delta_vt);
+  scale_device(out.sa_pmos, mobility, delta_vt);
+  scale_device(out.sa_en_nmos, mobility, delta_vt);
+  scale_device(out.sa_en_pmos, mobility, delta_vt);
+  scale_device(out.csl, mobility, delta_vt);
+  scale_device(out.wdrv, mobility, delta_vt);
+  return out;
+}
+
+}  // namespace pf::dram

@@ -1,0 +1,58 @@
+// Two-cell (coupling) functional fault models — the #C = 2 slice of the FP
+// space [vdGoor00]. The reproduced paper restricts itself to single-cell
+// faults plus same-bit-line completing operations; the coupling taxonomy is
+// the natural extension (DESIGN.md Section 8) and is exercised by the march
+// coverage tooling.
+//
+// Conventions: `a` is the aggressor, `v` the victim. State-conditioned
+// faults require the aggressor to hold a given value; disturb faults are
+// sensitized by an operation applied to the aggressor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pf/faults/fp.hpp"
+
+namespace pf::faults {
+
+struct CouplingFault {
+  enum class Kind {
+    kState,            ///< CFst: victim forced while aggressor holds a state
+    kDisturb,          ///< CFds: an aggressor operation flips the victim
+    kTransition,       ///< CFtr: victim transition write fails under a state
+    kWriteDestructive, ///< CFwd: victim non-transition write flips under a state
+    kReadDestructive,  ///< CFrd: victim read flips cell and output under a state
+    kDeceptiveRead,    ///< CFdr: victim read returns correct value, flips cell
+    kIncorrectRead,    ///< CFir: victim read returns wrong value, cell intact
+  };
+
+  Kind kind = Kind::kState;
+  /// Aggressor condition: the required aggressor state (all kinds except
+  /// kDisturb), or the value written/read by the sensitizing aggressor
+  /// operation (kDisturb).
+  int aggressor_value = 0;
+  /// For kDisturb: the sensitizing aggressor operation.
+  Op::Kind aggressor_op = Op::Kind::kWrite0;
+  /// The victim state involved: the state that flips (kState, kDisturb,
+  /// kWriteDestructive, read kinds) or the transition's source state
+  /// (kTransition: victim goes victim_value -> 1 - victim_value).
+  int victim_value = 0;
+
+  /// Short display name, e.g. "CFds<0;w1a>" / "CFst<1;0->1>".
+  std::string name() const;
+
+  /// The defining two-cell fault primitive in <S/F/R> notation.
+  FaultPrimitive to_fp() const;
+
+  /// The data-complement coupling fault.
+  CouplingFault complement() const;
+
+  friend bool operator==(const CouplingFault&, const CouplingFault&) = default;
+};
+
+/// The full static two-cell taxonomy: 4 CFst + 8 CFds (w0/w1/r0/r1 x two
+/// victim states) + 4 CFtr + 4 CFwd + 4 CFrd + 4 CFdr + 4 CFir = 32 faults.
+const std::vector<CouplingFault>& all_coupling_faults();
+
+}  // namespace pf::faults

@@ -1,0 +1,52 @@
+// Functional fault models (FFMs): the single-cell static taxonomy used by
+// the paper (Table 1), classification of fault primitives into FFMs, and the
+// complementary-defect mapping of [Al-Ars00].
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pf/faults/fp.hpp"
+
+namespace pf::faults {
+
+/// Single-cell static FFMs with at most one (final, sensitizing) operation.
+/// A completed FP (prefix of completing operations) is classified by its
+/// final victim operation, exactly as the paper labels Table 1 rows.
+enum class Ffm {
+  kUnknown,
+  kSF0,    ///< state fault          <0/1/->
+  kSF1,    ///< state fault          <1/0/->
+  kTFUp,   ///< up-transition fault  <0w1/0/->
+  kTFDown, ///< down-transition      <1w0/1/->
+  kWDF0,   ///< write destructive    <0w0/1/->
+  kWDF1,   ///< write destructive    <1w1/0/->
+  kRDF0,   ///< read destructive     <0r0/1/1>
+  kRDF1,   ///< read destructive     <1r1/0/0>
+  kDRDF0,  ///< deceptive RDF        <0r0/1/0>
+  kDRDF1,  ///< deceptive RDF        <1r1/0/1>
+  kIRF0,   ///< incorrect read       <0r0/0/1>
+  kIRF1,   ///< incorrect read       <1r1/1/0>
+};
+
+/// Short display name ("RDF0", "TFup", ...).
+std::string_view ffm_name(Ffm ffm);
+
+/// All concrete FFMs (excluding kUnknown), in taxonomy order.
+const std::vector<Ffm>& all_ffms();
+
+/// Classify a fault primitive by its final victim operation plus <F, R>.
+/// Multi-operation prefixes (initializing or completing operations) are
+/// ignored for classification; returns kUnknown when the FP does not match
+/// any single-cell static FFM (e.g. not a fault at all, or an
+/// aggressor-final sequence).
+Ffm classify(const FaultPrimitive& fp);
+
+/// The FFM the *complementary defect* produces: all data values inverted
+/// (RDF0 <-> RDF1, TFup <-> TFdown, ...). [Al-Ars00]
+Ffm complement_ffm(Ffm ffm);
+
+/// The canonical (minimal, uncompleted) FP that defines an FFM.
+FaultPrimitive canonical_fp(Ffm ffm);
+
+}  // namespace pf::faults

@@ -1,0 +1,104 @@
+// Fault primitives <S/F/R> and sensitizing operation sequences (SOS),
+// following the notation of [vdGoor00] ("Functional Memory Faults: A Formal
+// Notation and a Taxonomy") extended with the *completing operation*
+// brackets introduced by the reproduced paper:
+//
+//   <1v [w0BL] r1v / 0 / 0>
+//
+// reads: victim contains 1; a completing w0 to ANY cell on the victim's bit
+// line; then a read-1 of the victim senses the fault; the victim ends in
+// state 0 and the read returns 0.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pf/util/error.hpp"
+
+namespace pf::faults {
+
+/// Which cell an operation addresses.
+enum class CellRole {
+  kVictim,      ///< subscript v (or no subscript in single-cell notation)
+  kAggressorBl, ///< subscript BL: any other cell on the victim's bit line
+};
+
+/// One memory operation inside an SOS.
+struct Op {
+  enum class Kind { kWrite0, kWrite1, kRead };
+
+  Kind kind = Kind::kRead;
+  CellRole target = CellRole::kVictim;
+  bool completing = false;  ///< inside the [...] completing-operation bracket
+  /// For reads: the value the SOS notation expects (the digit in r0/r1).
+  /// -1 when the expectation is implicit (not used in this project's
+  /// notation, which always writes r0/r1).
+  int expected = -1;
+
+  bool is_read() const { return kind == Kind::kRead; }
+  bool is_write() const { return !is_read(); }
+  int write_value() const {
+    PF_CHECK(is_write());
+    return kind == Kind::kWrite1 ? 1 : 0;
+  }
+
+  std::string to_string() const;
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// A sensitizing operation sequence: optional initial states plus operations.
+class Sos {
+ public:
+  /// Initial victim state: -1 (unspecified), 0 or 1.
+  int initial_victim = -1;
+  /// Initial aggressor state (the `0a` prefix of multi-cell SOSes): -1/0/1.
+  int initial_aggressor = -1;
+  std::vector<Op> ops;
+
+  /// #C: number of distinct cells accessed (initializations count as access).
+  int num_cells() const;
+  /// #O: number of operations (initializations do not count).
+  int num_ops() const { return static_cast<int>(ops.size()); }
+
+  bool has_completing_ops() const;
+  bool involves_aggressor() const;
+
+  /// Expected logical victim value after fault-free execution of the SOS
+  /// (-1 if never defined: no initialization and no victim write).
+  int expected_final_victim() const;
+
+  /// Expected result of the final read (-1 when the SOS does not end with a
+  /// read of the victim).
+  int expected_read() const;
+
+  std::string to_string() const;
+
+  /// Parse notation such as "1r1", "0w1", "1", "1v [w0BL] r1v",
+  /// "[w1 w1 w0] r0", "0a 0v w1a r1a r0v". Throws pf::ParseError.
+  static Sos parse(const std::string& text);
+
+  friend bool operator==(const Sos&, const Sos&) = default;
+};
+
+/// A fault primitive <S / F / R>.
+struct FaultPrimitive {
+  Sos sos;
+  int faulty_state = 0;  ///< F: victim state after the SOS (0/1)
+  int read_result = -1;  ///< R: output of the final read; -1 printed as '-'
+
+  std::string to_string() const;
+  static FaultPrimitive parse(const std::string& text);
+
+  /// The complementary FP: every data value inverted (the faulty behaviour
+  /// the complementary defect produces, [Al-Ars00]).
+  FaultPrimitive complement() const;
+
+  /// True when F/R actually deviate from fault-free behaviour (a
+  /// well-formed fault primitive must deviate somewhere).
+  bool is_fault() const;
+
+  friend bool operator==(const FaultPrimitive&, const FaultPrimitive&) = default;
+};
+
+}  // namespace pf::faults

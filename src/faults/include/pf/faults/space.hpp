@@ -1,0 +1,34 @@
+// Enumeration and counting of the single-cell fault-primitive space as a
+// function of the number of operations #O (Section 4 of the paper).
+//
+// Construction: an SOS with n >= 1 operations has 2 initial states and at
+// each position one of {w0, w1, r}, where a read's expected value is the
+// fault-free tracked state. An SOS ending in a write admits exactly one
+// faulty outcome (the written value flips); an SOS ending in a read admits
+// three (<F,R> in {(x,!x),(!x,x),(!x,!x)} for expected x). This yields
+//
+//   #FPs(#O = 0) = 2,        #FPs(#O = n) = 10 * 3^(n-1)  for n >= 1,
+//
+// consistent with the paper's "12 FPs analyzed for #O <= 1".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pf/faults/fp.hpp"
+
+namespace pf::faults {
+
+/// All single-cell FPs with exactly `num_ops` operations (num_ops >= 0).
+/// The sequences carry explicit r0/r1 expected values.
+std::vector<FaultPrimitive> enumerate_single_cell_fps(int num_ops);
+
+/// Closed-form count matching enumerate_single_cell_fps().size().
+uint64_t count_single_cell_fps(int num_ops);
+
+/// Sum of count_single_cell_fps(k) for k = 0..max_ops: the number of FPs a
+/// straight-forward fault analysis must evaluate when considering up to
+/// max_ops operations (the paper's fault-analysis-effort explosion).
+uint64_t cumulative_single_cell_fps(int max_ops);
+
+}  // namespace pf::faults

@@ -1,0 +1,150 @@
+#include "pf/faults/coupling.hpp"
+
+#include <sstream>
+
+namespace pf::faults {
+namespace {
+
+std::string op_text(Op::Kind kind, int value) {
+  switch (kind) {
+    case Op::Kind::kWrite0: return "w0";
+    case Op::Kind::kWrite1: return "w1";
+    case Op::Kind::kRead: return "r" + std::to_string(value);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CouplingFault::name() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kState:
+      os << "CFst<" << aggressor_value << ";" << victim_value << "->"
+         << (1 - victim_value) << ">";
+      return os.str();
+    case Kind::kDisturb:
+      os << "CFds<" << op_text(aggressor_op, aggressor_value) << "a;"
+         << victim_value << "->" << (1 - victim_value) << ">";
+      return os.str();
+    case Kind::kTransition:
+      os << "CFtr<" << aggressor_value << ";" << victim_value << "w"
+         << (1 - victim_value) << ">";
+      return os.str();
+    case Kind::kWriteDestructive:
+      os << "CFwd<" << aggressor_value << ";w" << victim_value << ">";
+      return os.str();
+    case Kind::kReadDestructive:
+      os << "CFrd<" << aggressor_value << ";r" << victim_value << ">";
+      return os.str();
+    case Kind::kDeceptiveRead:
+      os << "CFdr<" << aggressor_value << ";r" << victim_value << ">";
+      return os.str();
+    case Kind::kIncorrectRead:
+      os << "CFir<" << aggressor_value << ";r" << victim_value << ">";
+      return os.str();
+  }
+  return "CF?";
+}
+
+FaultPrimitive CouplingFault::to_fp() const {
+  FaultPrimitive fp;
+  Sos& sos = fp.sos;
+  auto victim_op = [&](Op::Kind k, int expected) {
+    Op op;
+    op.kind = k;
+    op.target = CellRole::kVictim;
+    op.expected = k == Op::Kind::kRead ? expected : -1;
+    return op;
+  };
+  auto aggressor_op_of = [&](Op::Kind k, int expected) {
+    Op op;
+    op.kind = k;
+    op.target = CellRole::kAggressorBl;
+    op.expected = k == Op::Kind::kRead ? expected : -1;
+    return op;
+  };
+  sos.initial_victim = victim_value;
+  switch (kind) {
+    case Kind::kState:
+      sos.initial_aggressor = aggressor_value;
+      fp.faulty_state = 1 - victim_value;
+      break;
+    case Kind::kDisturb:
+      if (aggressor_op == Op::Kind::kRead)
+        sos.initial_aggressor = aggressor_value;
+      sos.ops.push_back(aggressor_op_of(aggressor_op, aggressor_value));
+      fp.faulty_state = 1 - victim_value;
+      break;
+    case Kind::kTransition:
+      sos.initial_aggressor = aggressor_value;
+      sos.ops.push_back(victim_op(
+          victim_value == 0 ? Op::Kind::kWrite1 : Op::Kind::kWrite0, -1));
+      fp.faulty_state = victim_value;  // the transition failed
+      break;
+    case Kind::kWriteDestructive:
+      sos.initial_aggressor = aggressor_value;
+      sos.ops.push_back(victim_op(
+          victim_value == 0 ? Op::Kind::kWrite0 : Op::Kind::kWrite1, -1));
+      fp.faulty_state = 1 - victim_value;
+      break;
+    case Kind::kReadDestructive:
+      sos.initial_aggressor = aggressor_value;
+      sos.ops.push_back(victim_op(Op::Kind::kRead, victim_value));
+      fp.faulty_state = 1 - victim_value;
+      fp.read_result = 1 - victim_value;
+      break;
+    case Kind::kDeceptiveRead:
+      sos.initial_aggressor = aggressor_value;
+      sos.ops.push_back(victim_op(Op::Kind::kRead, victim_value));
+      fp.faulty_state = 1 - victim_value;
+      fp.read_result = victim_value;
+      break;
+    case Kind::kIncorrectRead:
+      sos.initial_aggressor = aggressor_value;
+      sos.ops.push_back(victim_op(Op::Kind::kRead, victim_value));
+      fp.faulty_state = victim_value;
+      fp.read_result = 1 - victim_value;
+      break;
+  }
+  return fp;
+}
+
+CouplingFault CouplingFault::complement() const {
+  CouplingFault out = *this;
+  out.aggressor_value = 1 - out.aggressor_value;
+  out.victim_value = 1 - out.victim_value;
+  if (kind == Kind::kDisturb) {
+    if (aggressor_op == Op::Kind::kWrite0)
+      out.aggressor_op = Op::Kind::kWrite1;
+    else if (aggressor_op == Op::Kind::kWrite1)
+      out.aggressor_op = Op::Kind::kWrite0;
+  }
+  return out;
+}
+
+const std::vector<CouplingFault>& all_coupling_faults() {
+  static const std::vector<CouplingFault> kAll = [] {
+    std::vector<CouplingFault> out;
+    using K = CouplingFault::Kind;
+    for (int v = 0; v <= 1; ++v) {
+      for (int a = 0; a <= 1; ++a) {
+        out.push_back({K::kState, a, Op::Kind::kWrite0, v});
+        out.push_back({K::kTransition, a, Op::Kind::kWrite0, v});
+        out.push_back({K::kWriteDestructive, a, Op::Kind::kWrite0, v});
+        out.push_back({K::kReadDestructive, a, Op::Kind::kWrite0, v});
+        out.push_back({K::kDeceptiveRead, a, Op::Kind::kWrite0, v});
+        out.push_back({K::kIncorrectRead, a, Op::Kind::kWrite0, v});
+      }
+      // Disturbs: the four aggressor operations.
+      out.push_back({K::kDisturb, 0, Op::Kind::kWrite0, v});
+      out.push_back({K::kDisturb, 1, Op::Kind::kWrite1, v});
+      out.push_back({K::kDisturb, 0, Op::Kind::kRead, v});
+      out.push_back({K::kDisturb, 1, Op::Kind::kRead, v});
+    }
+    return out;
+  }();
+  return kAll;
+}
+
+}  // namespace pf::faults

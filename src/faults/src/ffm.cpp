@@ -1,0 +1,124 @@
+#include "pf/faults/ffm.hpp"
+
+namespace pf::faults {
+
+std::string_view ffm_name(Ffm ffm) {
+  switch (ffm) {
+    case Ffm::kUnknown: return "?";
+    case Ffm::kSF0: return "SF0";
+    case Ffm::kSF1: return "SF1";
+    case Ffm::kTFUp: return "TFup";
+    case Ffm::kTFDown: return "TFdown";
+    case Ffm::kWDF0: return "WDF0";
+    case Ffm::kWDF1: return "WDF1";
+    case Ffm::kRDF0: return "RDF0";
+    case Ffm::kRDF1: return "RDF1";
+    case Ffm::kDRDF0: return "DRDF0";
+    case Ffm::kDRDF1: return "DRDF1";
+    case Ffm::kIRF0: return "IRF0";
+    case Ffm::kIRF1: return "IRF1";
+  }
+  return "?";
+}
+
+const std::vector<Ffm>& all_ffms() {
+  static const std::vector<Ffm> kAll = {
+      Ffm::kSF0,   Ffm::kSF1,   Ffm::kTFUp,  Ffm::kTFDown,
+      Ffm::kWDF0,  Ffm::kWDF1,  Ffm::kRDF0,  Ffm::kRDF1,
+      Ffm::kDRDF0, Ffm::kDRDF1, Ffm::kIRF0,  Ffm::kIRF1};
+  return kAll;
+}
+
+Ffm classify(const FaultPrimitive& fp) {
+  const Sos& sos = fp.sos;
+  const int f = fp.faulty_state;
+  const int r = fp.read_result;
+
+  // Find the final victim operation.
+  int last_victim = -1;
+  for (int i = static_cast<int>(sos.ops.size()) - 1; i >= 0; --i) {
+    if (sos.ops[i].target == CellRole::kVictim) {
+      last_victim = i;
+      break;
+    }
+  }
+
+  if (last_victim < 0) {
+    // State faults need an operation-free SOS; an SOS whose only operations
+    // address the aggressor is a coupling fault, outside this taxonomy.
+    if (!sos.ops.empty()) return Ffm::kUnknown;
+    if (sos.initial_victim < 0 || r >= 0) return Ffm::kUnknown;
+    if (sos.initial_victim == 0 && f == 1) return Ffm::kSF0;
+    if (sos.initial_victim == 1 && f == 0) return Ffm::kSF1;
+    return Ffm::kUnknown;
+  }
+  // Classification must be about the *final* operation of the SOS.
+  if (static_cast<size_t>(last_victim) + 1 != sos.ops.size())
+    return Ffm::kUnknown;
+
+  const Op& op = sos.ops[last_victim];
+
+  // Expected victim value just before the final operation.
+  int before = sos.initial_victim;
+  for (int i = 0; i < last_victim; ++i)
+    if (sos.ops[i].target == CellRole::kVictim && sos.ops[i].is_write())
+      before = sos.ops[i].write_value();
+
+  if (op.is_write()) {
+    if (r >= 0) return Ffm::kUnknown;  // writes produce no read result
+    const int w = op.write_value();
+    if (before >= 0 && before != w && f == before)
+      return w == 1 ? Ffm::kTFUp : Ffm::kTFDown;
+    if (before >= 0 && before == w && f == 1 - w)
+      return w == 0 ? Ffm::kWDF0 : Ffm::kWDF1;
+    return Ffm::kUnknown;
+  }
+
+  // Final operation is a read of the victim.
+  const int x = op.expected >= 0 ? op.expected : before;
+  if (x < 0 || r < 0) return Ffm::kUnknown;
+  if (f == 1 - x && r == 1 - x) return x == 0 ? Ffm::kRDF0 : Ffm::kRDF1;
+  if (f == 1 - x && r == x) return x == 0 ? Ffm::kDRDF0 : Ffm::kDRDF1;
+  if (f == x && r == 1 - x) return x == 0 ? Ffm::kIRF0 : Ffm::kIRF1;
+  return Ffm::kUnknown;
+}
+
+Ffm complement_ffm(Ffm ffm) {
+  switch (ffm) {
+    case Ffm::kSF0: return Ffm::kSF1;
+    case Ffm::kSF1: return Ffm::kSF0;
+    case Ffm::kTFUp: return Ffm::kTFDown;
+    case Ffm::kTFDown: return Ffm::kTFUp;
+    case Ffm::kWDF0: return Ffm::kWDF1;
+    case Ffm::kWDF1: return Ffm::kWDF0;
+    case Ffm::kRDF0: return Ffm::kRDF1;
+    case Ffm::kRDF1: return Ffm::kRDF0;
+    case Ffm::kDRDF0: return Ffm::kDRDF1;
+    case Ffm::kDRDF1: return Ffm::kDRDF0;
+    case Ffm::kIRF0: return Ffm::kIRF1;
+    case Ffm::kIRF1: return Ffm::kIRF0;
+    case Ffm::kUnknown: return Ffm::kUnknown;
+  }
+  return Ffm::kUnknown;
+}
+
+FaultPrimitive canonical_fp(Ffm ffm) {
+  switch (ffm) {
+    case Ffm::kSF0: return FaultPrimitive::parse("<0/1/->");
+    case Ffm::kSF1: return FaultPrimitive::parse("<1/0/->");
+    case Ffm::kTFUp: return FaultPrimitive::parse("<0w1/0/->");
+    case Ffm::kTFDown: return FaultPrimitive::parse("<1w0/1/->");
+    case Ffm::kWDF0: return FaultPrimitive::parse("<0w0/1/->");
+    case Ffm::kWDF1: return FaultPrimitive::parse("<1w1/0/->");
+    case Ffm::kRDF0: return FaultPrimitive::parse("<0r0/1/1>");
+    case Ffm::kRDF1: return FaultPrimitive::parse("<1r1/0/0>");
+    case Ffm::kDRDF0: return FaultPrimitive::parse("<0r0/1/0>");
+    case Ffm::kDRDF1: return FaultPrimitive::parse("<1r1/0/1>");
+    case Ffm::kIRF0: return FaultPrimitive::parse("<0r0/0/1>");
+    case Ffm::kIRF1: return FaultPrimitive::parse("<1r1/1/0>");
+    case Ffm::kUnknown: break;
+  }
+  throw Error("no canonical FP for unknown FFM");
+}
+
+}  // namespace pf::faults

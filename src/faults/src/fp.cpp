@@ -1,0 +1,262 @@
+#include "pf/faults/fp.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "pf/util/strings.hpp"
+
+namespace pf::faults {
+namespace {
+
+std::string op_token(const Op& op, bool with_subscripts) {
+  std::string s;
+  switch (op.kind) {
+    case Op::Kind::kWrite0:
+      s = "w0";
+      break;
+    case Op::Kind::kWrite1:
+      s = "w1";
+      break;
+    case Op::Kind::kRead:
+      s = "r";
+      if (op.expected >= 0) s += static_cast<char>('0' + op.expected);
+      break;
+  }
+  if (op.target == CellRole::kAggressorBl)
+    s += "BL";
+  else if (with_subscripts)
+    s += "v";
+  return s;
+}
+
+}  // namespace
+
+std::string Op::to_string() const { return op_token(*this, false); }
+
+int Sos::num_cells() const {
+  bool victim = initial_victim >= 0;
+  bool aggressor = initial_aggressor >= 0;
+  for (const auto& op : ops) {
+    if (op.target == CellRole::kVictim)
+      victim = true;
+    else
+      aggressor = true;
+  }
+  return (victim ? 1 : 0) + (aggressor ? 1 : 0);
+}
+
+bool Sos::has_completing_ops() const {
+  for (const auto& op : ops)
+    if (op.completing) return true;
+  return false;
+}
+
+bool Sos::involves_aggressor() const {
+  if (initial_aggressor >= 0) return true;
+  for (const auto& op : ops)
+    if (op.target == CellRole::kAggressorBl) return true;
+  return false;
+}
+
+int Sos::expected_final_victim() const {
+  int state = initial_victim;
+  for (const auto& op : ops)
+    if (op.target == CellRole::kVictim && op.is_write())
+      state = op.write_value();
+  return state;
+}
+
+int Sos::expected_read() const {
+  if (ops.empty()) return -1;
+  const Op& last = ops.back();
+  if (!last.is_read() || last.target != CellRole::kVictim) return -1;
+  if (last.expected >= 0) return last.expected;
+  // Fall back to the tracked expectation.
+  int state = initial_victim;
+  for (size_t i = 0; i + 1 < ops.size(); ++i)
+    if (ops[i].target == CellRole::kVictim && ops[i].is_write())
+      state = ops[i].write_value();
+  return state;
+}
+
+std::string Sos::to_string() const {
+  const bool subs = involves_aggressor();
+  std::vector<std::string> parts;
+  if (initial_aggressor >= 0)
+    parts.push_back(std::string(1, static_cast<char>('0' + initial_aggressor)) + "a");
+  if (initial_victim >= 0) {
+    std::string t(1, static_cast<char>('0' + initial_victim));
+    if (subs) t += "v";
+    parts.push_back(t);
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::string t = op_token(ops[i], subs);
+    if (ops[i].completing) {
+      const bool first = i == 0 || !ops[i - 1].completing;
+      const bool last = i + 1 == ops.size() || !ops[i + 1].completing;
+      if (first) t = "[" + t;
+      if (last) t += "]";
+    }
+    parts.push_back(std::move(t));
+  }
+  if (parts.empty()) return "";
+  // Pure simple notation (no brackets, no subscripts) concatenates: "0r0".
+  if (!subs && !has_completing_ops()) return pf::join(parts, "");
+  return pf::join(parts, " ");
+}
+
+Sos Sos::parse(const std::string& text) {
+  Sos sos;
+  bool in_bracket = false;
+  bool seen_op = false;
+  size_t i = 0;
+  const auto fail = [&](const std::string& why) -> void {
+    throw ParseError("cannot parse SOS '" + text + "': " + why);
+  };
+  auto parse_subscript = [&]() -> std::optional<CellRole> {
+    if (i + 1 < text.size() &&
+        (text[i] == 'B' || text[i] == 'b') &&
+        (text[i + 1] == 'L' || text[i + 1] == 'l')) {
+      i += 2;
+      return CellRole::kAggressorBl;
+    }
+    if (i < text.size() && text[i] == 'a') {
+      ++i;
+      return CellRole::kAggressorBl;
+    }
+    if (i < text.size() && text[i] == 'v') {
+      ++i;
+      return CellRole::kVictim;
+    }
+    return std::nullopt;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      if (in_bracket) fail("nested '['");
+      in_bracket = true;
+      ++i;
+      continue;
+    }
+    if (c == ']') {
+      if (!in_bracket) fail("unmatched ']'");
+      in_bracket = false;
+      ++i;
+      continue;
+    }
+    if (c == '0' || c == '1') {
+      if (seen_op || in_bracket) fail("initial state after operations");
+      const int value = c - '0';
+      ++i;
+      const auto sub = parse_subscript();
+      if (sub == CellRole::kAggressorBl) {
+        if (sos.initial_aggressor >= 0) fail("duplicate aggressor init");
+        sos.initial_aggressor = value;
+      } else {
+        if (sos.initial_victim >= 0) fail("duplicate victim init");
+        sos.initial_victim = value;
+      }
+      continue;
+    }
+    if (c == 'w' || c == 'W' || c == 'r' || c == 'R') {
+      Op op;
+      ++i;
+      if (c == 'w' || c == 'W') {
+        if (i >= text.size() || (text[i] != '0' && text[i] != '1'))
+          fail("write needs a value digit");
+        op.kind = text[i] == '1' ? Op::Kind::kWrite1 : Op::Kind::kWrite0;
+        ++i;
+      } else {
+        op.kind = Op::Kind::kRead;
+        if (i < text.size() && (text[i] == '0' || text[i] == '1')) {
+          op.expected = text[i] - '0';
+          ++i;
+        }
+      }
+      op.target = parse_subscript().value_or(CellRole::kVictim);
+      op.completing = in_bracket;
+      if (op.is_read() && op.target == CellRole::kAggressorBl &&
+          op.expected < 0)
+        fail("aggressor read needs a value digit");
+      sos.ops.push_back(op);
+      seen_op = true;
+      continue;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+  if (in_bracket) fail("unterminated '['");
+  if (sos.initial_victim < 0 && sos.initial_aggressor < 0 && sos.ops.empty())
+    fail("empty SOS");
+  return sos;
+}
+
+std::string FaultPrimitive::to_string() const {
+  std::ostringstream os;
+  os << '<' << sos.to_string() << '/' << faulty_state << '/';
+  if (read_result < 0)
+    os << '-';
+  else
+    os << read_result;
+  os << '>';
+  return os.str();
+}
+
+FaultPrimitive FaultPrimitive::parse(const std::string& text) {
+  std::string t = pf::trim(text);
+  if (!t.empty() && t.front() == '<') t.erase(t.begin());
+  if (!t.empty() && t.back() == '>') t.pop_back();
+  const auto parts = pf::split(t, '/');
+  if (parts.size() != 3)
+    throw ParseError("fault primitive needs <S/F/R>: '" + text + "'");
+  FaultPrimitive fp;
+  fp.sos = Sos::parse(parts[0]);
+  if (parts[1] != "0" && parts[1] != "1")
+    throw ParseError("F must be 0 or 1 in '" + text + "'");
+  fp.faulty_state = parts[1][0] - '0';
+  if (parts[2] == "-") {
+    fp.read_result = -1;
+  } else if (parts[2] == "0" || parts[2] == "1") {
+    fp.read_result = parts[2][0] - '0';
+  } else {
+    throw ParseError("R must be 0, 1 or - in '" + text + "'");
+  }
+  return fp;
+}
+
+FaultPrimitive FaultPrimitive::complement() const {
+  FaultPrimitive out = *this;
+  auto flip = [](int v) { return v < 0 ? v : 1 - v; };
+  out.sos.initial_victim = flip(out.sos.initial_victim);
+  out.sos.initial_aggressor = flip(out.sos.initial_aggressor);
+  for (auto& op : out.sos.ops) {
+    switch (op.kind) {
+      case Op::Kind::kWrite0:
+        op.kind = Op::Kind::kWrite1;
+        break;
+      case Op::Kind::kWrite1:
+        op.kind = Op::Kind::kWrite0;
+        break;
+      case Op::Kind::kRead:
+        op.expected = flip(op.expected);
+        break;
+    }
+  }
+  out.faulty_state = flip(out.faulty_state);
+  out.read_result = flip(out.read_result);
+  return out;
+}
+
+bool FaultPrimitive::is_fault() const {
+  const int expected_f = sos.expected_final_victim();
+  if (expected_f >= 0 && faulty_state != expected_f) return true;
+  const int expected_r = sos.expected_read();
+  if (expected_r >= 0 && read_result >= 0 && read_result != expected_r)
+    return true;
+  return false;
+}
+
+}  // namespace pf::faults

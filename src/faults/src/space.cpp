@@ -1,0 +1,83 @@
+#include "pf/faults/space.hpp"
+
+namespace pf::faults {
+namespace {
+
+void extend(const Sos& prefix, int state, int remaining,
+            std::vector<FaultPrimitive>& out) {
+  if (remaining == 0) {
+    // Emit the faulty outcomes for this complete SOS.
+    const Op& last = prefix.ops.back();
+    if (last.is_write()) {
+      FaultPrimitive fp;
+      fp.sos = prefix;
+      fp.faulty_state = 1 - last.write_value();
+      fp.read_result = -1;
+      out.push_back(std::move(fp));
+    } else {
+      const int x = last.expected;
+      const int combos[3][2] = {{x, 1 - x}, {1 - x, x}, {1 - x, 1 - x}};
+      for (const auto& c : combos) {
+        FaultPrimitive fp;
+        fp.sos = prefix;
+        fp.faulty_state = c[0];
+        fp.read_result = c[1];
+        out.push_back(fp);
+      }
+    }
+    return;
+  }
+  // Append one more operation.
+  for (int choice = 0; choice < 3; ++choice) {
+    Sos next = prefix;
+    Op op;
+    int new_state = state;
+    if (choice == 0) {
+      op.kind = Op::Kind::kWrite0;
+      new_state = 0;
+    } else if (choice == 1) {
+      op.kind = Op::Kind::kWrite1;
+      new_state = 1;
+    } else {
+      op.kind = Op::Kind::kRead;
+      op.expected = state;
+    }
+    next.ops.push_back(op);
+    extend(next, new_state, remaining - 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultPrimitive> enumerate_single_cell_fps(int num_ops) {
+  PF_CHECK(num_ops >= 0);
+  std::vector<FaultPrimitive> out;
+  if (num_ops == 0) {
+    out.push_back(FaultPrimitive::parse("<0/1/->"));
+    out.push_back(FaultPrimitive::parse("<1/0/->"));
+    return out;
+  }
+  for (int init = 0; init <= 1; ++init) {
+    Sos sos;
+    sos.initial_victim = init;
+    extend(sos, init, num_ops, out);
+  }
+  return out;
+}
+
+uint64_t count_single_cell_fps(int num_ops) {
+  PF_CHECK(num_ops >= 0);
+  if (num_ops == 0) return 2;
+  uint64_t pow3 = 1;
+  for (int i = 1; i < num_ops; ++i) pow3 *= 3;
+  return 10 * pow3;
+}
+
+uint64_t cumulative_single_cell_fps(int max_ops) {
+  PF_CHECK(max_ops >= 0);
+  uint64_t total = 0;
+  for (int n = 0; n <= max_ops; ++n) total += count_single_cell_fps(n);
+  return total;
+}
+
+}  // namespace pf::faults

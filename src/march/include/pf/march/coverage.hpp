@@ -1,0 +1,45 @@
+// Fault-coverage evaluation: does a march test detect a given (possibly
+// partial) fault at *every* victim location of a memory?
+#pragma once
+
+#include "pf/march/test.hpp"
+#include "pf/memsim/memory.hpp"
+
+namespace pf::march {
+
+struct DetectionOutcome {
+  bool detected_all = false; ///< detected at every victim address
+  int detected_count = 0;
+  int total_victims = 0;
+  int first_escape = -1;     ///< first victim address that escaped (-1: none)
+};
+
+/// Inject `ffm` with `guard` at each victim address in turn (fresh memory
+/// per victim) and run the march test. A partial fault counts as detected
+/// only if the test exposes it at that address.
+DetectionOutcome evaluate_detection(const MarchTest& test,
+                                    const memsim::Geometry& geometry,
+                                    faults::Ffm ffm,
+                                    const memsim::Guard& guard);
+
+/// Fraction of the 12 single-cell static FFMs (as full faults) the test
+/// detects at every address.
+double static_ffm_coverage(const MarchTest& test,
+                           const memsim::Geometry& geometry);
+
+/// Inject the coupling fault for EVERY ordered (aggressor, victim) pair of
+/// the memory in turn and run the test; detected_all requires detection for
+/// every pair (march detection of coupling faults depends on the
+/// aggressor/victim address order).
+DetectionOutcome evaluate_coupling_detection(const MarchTest& test,
+                                             const memsim::Geometry& geometry,
+                                             const faults::CouplingFault& cf,
+                                             const memsim::Guard& guard =
+                                                 memsim::Guard::none());
+
+/// Fraction of the 32 static two-cell coupling faults the test detects for
+/// every aggressor/victim pair.
+double coupling_coverage(const MarchTest& test,
+                         const memsim::Geometry& geometry);
+
+}  // namespace pf::march

@@ -1,0 +1,44 @@
+// Library of standard march tests plus the paper's March PF.
+#pragma once
+
+#include <vector>
+
+#include "pf/march/test.hpp"
+
+namespace pf::march {
+
+/// The paper's March PF (Section 5): a 16N test that detects both the
+/// simulated and the complementary completed partial fault primitives.
+///   { m(w0,w1); m(r1,w1,w0,w0,w1,r1); m(w1,w0); m(r0,w0,w1,w1,w0,r0) }
+MarchTest march_pf();
+
+/// Classical march tests, by name.
+MarchTest mats();        ///< 4N  {m(w0); m(r0,w1); m(r1)}
+MarchTest mats_plus();   ///< 5N  {m(w0); u(r0,w1); d(r1,w0)}
+MarchTest mats_pp();     ///< 6N  {m(w0); u(r0,w1); d(r1,w0,r0)}
+MarchTest march_x();     ///< 6N
+MarchTest march_y();     ///< 8N
+MarchTest march_c_minus(); ///< 10N
+MarchTest march_a();     ///< 15N
+MarchTest march_b();     ///< 17N
+MarchTest march_u();     ///< 13N
+MarchTest march_sr();    ///< 14N
+MarchTest march_lr();    ///< 14N
+/// March SS (22N): the static-FFM-complete test — its r,r pairs and
+/// non-transition writes cover deceptive reads and write destructive
+/// faults that March C- misses.
+MarchTest march_ss();
+
+/// The naive test of the paper's introduction: { m(w1,r1) } — detects the
+/// full RDF1 but not its partial counterpart.
+MarchTest naive_w1r1();
+
+/// MATS+ extended with retention pauses ("Del" elements) before each read
+/// pass: the classical data-retention-fault test pattern.
+///   { m(w0); del; u(r0,w1); del; d(r1,w0) }
+MarchTest mats_plus_drf();
+
+/// All tests above (March PF last), for coverage sweeps.
+std::vector<MarchTest> standard_tests();
+
+}  // namespace pf::march

@@ -1,0 +1,70 @@
+// Greedy march-test synthesis: generate a (short) march test that detects a
+// chosen set of (possibly partial / coupling) faults at every victim
+// location. This is tooling the paper's conclusion points toward — "there
+// is no rule for generating the completing operations"; once the completed
+// faults are known, a test can be assembled mechanically.
+//
+// Algorithm: grow the test element by element from a candidate pool,
+// each step appending the element that newly detects the most remaining
+// faults; candidates that fail on a fault-free memory (inconsistent read
+// expectations) are discarded. A reverse pass then drops elements that are
+// not needed for full detection.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/test.hpp"
+#include "pf/memsim/memory.hpp"
+
+namespace pf::march {
+
+/// One synthesis target: a guarded FFM or a coupling fault.
+struct TargetFault {
+  // Exactly one of ffm / coupling is used.
+  faults::Ffm ffm = faults::Ffm::kUnknown;
+  std::optional<faults::CouplingFault> coupling;
+  memsim::Guard guard;
+
+  static TargetFault single(faults::Ffm f,
+                            memsim::Guard g = memsim::Guard::none()) {
+    TargetFault t;
+    t.ffm = f;
+    t.guard = g;
+    return t;
+  }
+  static TargetFault coupled(faults::CouplingFault cf,
+                             memsim::Guard g = memsim::Guard::none()) {
+    TargetFault t;
+    t.coupling = cf;
+    t.guard = g;
+    return t;
+  }
+
+  std::string name() const;
+};
+
+struct SynthesisOptions {
+  memsim::Geometry geometry{4, 2};
+  int max_elements = 8;
+  /// Extra candidate elements beyond the built-in pool.
+  std::vector<MarchElement> extra_candidates;
+};
+
+struct SynthesisResult {
+  MarchTest test;
+  bool success = false;             ///< all targets detected everywhere
+  int detected_targets = 0;
+  int total_targets = 0;
+  uint64_t evaluations = 0;         ///< march executions performed
+};
+
+/// The built-in candidate element pool (read/write passes in both orders,
+/// double reads, the March PF hammer elements, ...).
+std::vector<MarchElement> default_candidate_pool();
+
+SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
+                                 const SynthesisOptions& options = {});
+
+}  // namespace pf::march

@@ -1,0 +1,119 @@
+// March test notation: a march test is a sequence of march elements, each an
+// address order (up / down / either) plus a list of operations applied to
+// every cell before moving to the next.
+//
+// ASCII notation used by the parser and printer (the usual arrows are not
+// portable):  "{ m(w0,w1); u(r0,w1); d(r1,w0) }"
+// where m = either order, u = ascending, d = descending.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pf/util/error.hpp"
+
+namespace pf::march {
+
+enum class Order {
+  kAny,  ///< either order permitted (applied ascending here)
+  kUp,   ///< ascending addresses
+  kDown, ///< descending addresses
+};
+
+struct MarchOp {
+  bool is_read = false;
+  int value = 0;  ///< written value, or expected read value
+
+  static MarchOp w(int v) { return {false, v}; }
+  static MarchOp r(int v) { return {true, v}; }
+  std::string to_string() const;
+  friend bool operator==(const MarchOp&, const MarchOp&) = default;
+};
+
+struct MarchElement {
+  Order order = Order::kAny;
+  std::vector<MarchOp> ops;
+  /// A delay ("Del") element: an idle retention pause instead of operations
+  /// (used by data-retention tests). Delay elements have no ops; the pause
+  /// duration is chosen at run time.
+  bool is_delay = false;
+  friend bool operator==(const MarchElement&, const MarchElement&) = default;
+};
+
+class MarchTest {
+ public:
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Number of operations applied per cell (the test's complexity factor:
+  /// a "kN" march test has ops_per_cell() == k).
+  int ops_per_cell() const;
+  /// Total operations for a memory of `n` cells.
+  uint64_t length(uint64_t n) const { return n * ops_per_cell(); }
+
+  /// True when the test contains delay elements (a data-retention test).
+  bool has_delays() const;
+
+  std::string to_string() const;
+  /// Parse ASCII notation (elements m/u/d(...) plus the delay element
+  /// "del"); the optional name is not part of the notation.
+  static MarchTest parse(const std::string& notation, std::string name = "");
+
+  friend bool operator==(const MarchTest& a, const MarchTest& b) {
+    return a.elements == b.elements;
+  }
+};
+
+/// One read that deviated from its expected value during a march run.
+struct MarchFail {
+  size_t element = 0;  ///< index of the march element
+  int addr = 0;
+  int expected = 0;
+  int got = 0;
+};
+
+struct MarchResult {
+  bool detected = false;      ///< at least one read mismatched
+  std::vector<MarchFail> fails;
+  uint64_t ops_executed = 0;
+};
+
+/// Apply a march test to anything with `write(int addr, int value)` and
+/// `int read(int addr)` (memsim::Memory, dram::DramColumn, ...). Detection
+/// is judged against the r0/r1 digits of the notation — the fault-free
+/// expectation every march test encodes. `num_cells` is the address space.
+/// Delay elements call `memory.pause(delay_seconds)` when the memory
+/// supports it and are skipped otherwise.
+template <typename MemoryLike>
+MarchResult run_march(const MarchTest& test, MemoryLike& memory,
+                      int num_cells, double delay_seconds = 1e-3) {
+  PF_CHECK(num_cells > 0);
+  MarchResult result;
+  for (size_t e = 0; e < test.elements.size(); ++e) {
+    const MarchElement& elem = test.elements[e];
+    if (elem.is_delay) {
+      if constexpr (requires { memory.pause(delay_seconds); })
+        memory.pause(delay_seconds);
+      continue;
+    }
+    const bool descending = elem.order == Order::kDown;
+    for (int i = 0; i < num_cells; ++i) {
+      const int addr = descending ? num_cells - 1 - i : i;
+      for (const MarchOp& op : elem.ops) {
+        ++result.ops_executed;
+        if (op.is_read) {
+          const int got = memory.read(addr);
+          if (got != op.value) {
+            result.detected = true;
+            result.fails.push_back({e, addr, op.value, got});
+          }
+        } else {
+          memory.write(addr, op.value);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pf::march

@@ -1,0 +1,72 @@
+#include "pf/march/coverage.hpp"
+
+#include "pf/faults/ffm.hpp"
+
+namespace pf::march {
+
+DetectionOutcome evaluate_detection(const MarchTest& test,
+                                    const memsim::Geometry& geometry,
+                                    faults::Ffm ffm,
+                                    const memsim::Guard& guard) {
+  DetectionOutcome outcome;
+  outcome.total_victims = geometry.num_cells();
+  for (int victim = 0; victim < geometry.num_cells(); ++victim) {
+    memsim::Memory mem(geometry);
+    mem.inject({victim, ffm, guard});
+    const MarchResult r = run_march(test, mem, mem.size());
+    if (r.detected) {
+      ++outcome.detected_count;
+    } else if (outcome.first_escape < 0) {
+      outcome.first_escape = victim;
+    }
+  }
+  outcome.detected_all = outcome.detected_count == outcome.total_victims;
+  return outcome;
+}
+
+double static_ffm_coverage(const MarchTest& test,
+                           const memsim::Geometry& geometry) {
+  int detected = 0;
+  const auto& ffms = faults::all_ffms();
+  for (faults::Ffm ffm : ffms) {
+    if (evaluate_detection(test, geometry, ffm, memsim::Guard::none())
+            .detected_all)
+      ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(ffms.size());
+}
+
+DetectionOutcome evaluate_coupling_detection(const MarchTest& test,
+                                             const memsim::Geometry& geometry,
+                                             const faults::CouplingFault& cf,
+                                             const memsim::Guard& guard) {
+  DetectionOutcome outcome;
+  const int n = geometry.num_cells();
+  for (int aggressor = 0; aggressor < n; ++aggressor) {
+    for (int victim = 0; victim < n; ++victim) {
+      if (aggressor == victim) continue;
+      ++outcome.total_victims;
+      memsim::Memory mem(geometry);
+      mem.inject_coupling({aggressor, victim, cf, guard});
+      if (run_march(test, mem, mem.size()).detected) {
+        ++outcome.detected_count;
+      } else if (outcome.first_escape < 0) {
+        outcome.first_escape = victim;
+      }
+    }
+  }
+  outcome.detected_all = outcome.detected_count == outcome.total_victims;
+  return outcome;
+}
+
+double coupling_coverage(const MarchTest& test,
+                         const memsim::Geometry& geometry) {
+  int detected = 0;
+  const auto& cfs = faults::all_coupling_faults();
+  for (const auto& cf : cfs)
+    if (evaluate_coupling_detection(test, geometry, cf).detected_all)
+      ++detected;
+  return static_cast<double>(detected) / static_cast<double>(cfs.size());
+}
+
+}  // namespace pf::march

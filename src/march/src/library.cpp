@@ -1,0 +1,91 @@
+#include "pf/march/library.hpp"
+
+namespace pf::march {
+
+MarchTest march_pf() {
+  return MarchTest::parse(
+      "{ m(w0,w1); m(r1,w1,w0,w0,w1,r1); m(w1,w0); m(r0,w0,w1,w1,w0,r0) }",
+      "March PF");
+}
+
+MarchTest mats() {
+  return MarchTest::parse("{ m(w0); m(r0,w1); m(r1) }", "MATS");
+}
+
+MarchTest mats_plus() {
+  return MarchTest::parse("{ m(w0); u(r0,w1); d(r1,w0) }", "MATS+");
+}
+
+MarchTest mats_pp() {
+  return MarchTest::parse("{ m(w0); u(r0,w1); d(r1,w0,r0) }", "MATS++");
+}
+
+MarchTest march_x() {
+  return MarchTest::parse("{ m(w0); u(r0,w1); d(r1,w0); m(r0) }", "March X");
+}
+
+MarchTest march_y() {
+  return MarchTest::parse("{ m(w0); u(r0,w1,r1); d(r1,w0,r0); m(r0) }",
+                          "March Y");
+}
+
+MarchTest march_c_minus() {
+  return MarchTest::parse(
+      "{ m(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); m(r0) }", "March C-");
+}
+
+MarchTest march_a() {
+  return MarchTest::parse(
+      "{ m(w0); u(r0,w1,w0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0) }",
+      "March A");
+}
+
+MarchTest march_b() {
+  return MarchTest::parse(
+      "{ m(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); "
+      "d(r0,w1,w0) }",
+      "March B");
+}
+
+MarchTest march_u() {
+  return MarchTest::parse(
+      "{ m(w0); u(r0,w1,r1,w0); u(r0,w1); d(r1,w0,r0,w1); d(r1,w0) }",
+      "March U");
+}
+
+MarchTest march_sr() {
+  return MarchTest::parse(
+      "{ d(w0); u(r0,w1,r1,w0); u(r0,r0); u(w1); d(r1,w0,r0,w1); d(r1,r1) }",
+      "March SR");
+}
+
+MarchTest march_lr() {
+  return MarchTest::parse(
+      "{ m(w0); d(r0,w1); u(r1,w0,r0,w1); u(r1,w0); u(r0,w1,r1,w0); m(r0) }",
+      "March LR");
+}
+
+MarchTest march_ss() {
+  return MarchTest::parse(
+      "{ m(w0); u(r0,r0,w0,r0,w1); u(r1,r1,w1,r1,w0); d(r0,r0,w0,r0,w1); "
+      "d(r1,r1,w1,r1,w0); m(r0) }",
+      "March SS");
+}
+
+MarchTest naive_w1r1() {
+  return MarchTest::parse("{ m(w1,r1) }", "naive w1-r1");
+}
+
+MarchTest mats_plus_drf() {
+  return MarchTest::parse("{ m(w0); del; u(r0,w1); del; d(r1,w0) }",
+                          "MATS+ DRF");
+}
+
+std::vector<MarchTest> standard_tests() {
+  return {mats(),    mats_plus(),     mats_pp(),  march_x(),
+          march_y(), march_c_minus(), march_a(),  march_b(),
+          march_u(), march_sr(),      march_lr(), march_ss(),
+          march_pf()};
+}
+
+}  // namespace pf::march

@@ -1,0 +1,221 @@
+#include "pf/march/synthesis.hpp"
+
+#include <algorithm>
+
+#include "pf/util/log.hpp"
+
+namespace pf::march {
+namespace {
+
+/// One atomic detection obligation: a target fault at a specific victim
+/// (and aggressor, for coupling targets). Scoring at unit granularity keeps
+/// the greedy search informed of partial progress — detection of a guarded
+/// fault usually needs several cooperating elements, and whole-target
+/// scoring would report zero gain until the last one lands.
+struct Unit {
+  size_t target = 0;
+  int aggressor = -1;  ///< -1 for single-cell targets
+  int victim = 0;
+};
+
+std::vector<Unit> build_units(const std::vector<TargetFault>& targets,
+                              const memsim::Geometry& geom) {
+  std::vector<Unit> units;
+  for (size_t t = 0; t < targets.size(); ++t) {
+    if (targets[t].coupling.has_value()) {
+      for (int a = 0; a < geom.num_cells(); ++a)
+        for (int v = 0; v < geom.num_cells(); ++v)
+          if (a != v) units.push_back({t, a, v});
+    } else {
+      for (int v = 0; v < geom.num_cells(); ++v) units.push_back({t, -1, v});
+    }
+  }
+  return units;
+}
+
+bool detects_unit(const MarchTest& test, const memsim::Geometry& geom,
+                  const std::vector<TargetFault>& targets, const Unit& unit,
+                  uint64_t& evaluations) {
+  memsim::Memory mem(geom);
+  const TargetFault& target = targets[unit.target];
+  if (target.coupling.has_value())
+    mem.inject_coupling(
+        {unit.aggressor, unit.victim, *target.coupling, target.guard});
+  else
+    mem.inject({unit.victim, target.ffm, target.guard});
+  ++evaluations;
+  return run_march(test, mem, mem.size()).detected;
+}
+
+/// A test is self-consistent when a fault-free memory passes it (its read
+/// expectations match the data its own writes establish).
+bool self_consistent(const MarchTest& test, const memsim::Geometry& geom,
+                     uint64_t& evaluations) {
+  memsim::Memory mem(geom);
+  ++evaluations;
+  return !run_march(test, mem, mem.size()).detected;
+}
+
+MarchElement elem(Order order, std::initializer_list<MarchOp> ops) {
+  MarchElement e;
+  e.order = order;
+  e.ops = ops;
+  return e;
+}
+
+}  // namespace
+
+std::string TargetFault::name() const {
+  if (coupling.has_value()) return coupling->name();
+  std::string n{faults::ffm_name(ffm)};
+  switch (guard.kind) {
+    case memsim::Guard::Kind::kNone:
+      break;
+    case memsim::Guard::Kind::kBitLine:
+      n += "|BL=" + std::to_string(guard.value);
+      break;
+    case memsim::Guard::Kind::kBuffer:
+      n += "|buf=" + std::to_string(guard.value);
+      break;
+    case memsim::Guard::Kind::kHidden:
+      n += guard.hidden_active ? "|hidden+" : "|hidden-";
+      break;
+  }
+  return n;
+}
+
+std::vector<MarchElement> default_candidate_pool() {
+  using O = Order;
+  const MarchOp w0 = MarchOp::w(0), w1 = MarchOp::w(1);
+  const MarchOp r0 = MarchOp::r(0), r1 = MarchOp::r(1);
+  std::vector<MarchElement> pool;
+  for (Order order : {O::kUp, O::kDown}) {
+    pool.push_back(elem(order, {r0, w1}));
+    pool.push_back(elem(order, {r1, w0}));
+    pool.push_back(elem(order, {r0, w1, r1}));
+    pool.push_back(elem(order, {r1, w0, r0}));
+    pool.push_back(elem(order, {r0, r0}));
+    pool.push_back(elem(order, {r1, r1}));
+    pool.push_back(elem(order, {r0, w1, w1}));
+    pool.push_back(elem(order, {r1, w0, w0}));
+    // March SS-style: non-transition write plus verification (WDF/CFwd).
+    pool.push_back(elem(order, {r0, w0, r0}));
+    pool.push_back(elem(order, {r1, w1, r1}));
+    // The paper's March PF hammer elements.
+    pool.push_back(elem(order, {r1, w1, w0, w0, w1, r1}));
+    pool.push_back(elem(order, {r0, w0, w1, w1, w0, r0}));
+  }
+  pool.push_back(elem(O::kUp, {w0}));
+  pool.push_back(elem(O::kUp, {w1}));
+  pool.push_back(elem(O::kUp, {w0, w1}));
+  pool.push_back(elem(O::kUp, {w1, w0}));
+  pool.push_back(elem(O::kUp, {r0}));
+  pool.push_back(elem(O::kUp, {r1}));
+  return pool;
+}
+
+SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
+                                 const SynthesisOptions& options) {
+  PF_CHECK_MSG(!targets.empty(), "synthesis needs at least one target");
+  SynthesisResult result;
+  result.total_targets = static_cast<int>(targets.size());
+
+  std::vector<MarchElement> pool = default_candidate_pool();
+  pool.insert(pool.end(), options.extra_candidates.begin(),
+              options.extra_candidates.end());
+
+  // Start from a blind initialization pass.
+  MarchTest test;
+  test.name = "synthesized";
+  test.elements.push_back(elem(Order::kUp, {MarchOp::w(0)}));
+
+  const std::vector<Unit> units = build_units(targets, options.geometry);
+  auto count_units = [&](const MarchTest& t) {
+    int detected = 0;
+    for (const Unit& u : units)
+      detected += detects_unit(t, options.geometry, targets, u,
+                               result.evaluations);
+    return detected;
+  };
+
+  const int total_units = static_cast<int>(units.size());
+  int best_count = count_units(test);
+
+  while (best_count < total_units &&
+         static_cast<int>(test.elements.size()) < options.max_elements) {
+    int best_gain = 0;
+    MarchElement best_elem;
+    for (const MarchElement& candidate : pool) {
+      MarchTest trial = test;
+      trial.elements.push_back(candidate);
+      if (!self_consistent(trial, options.geometry, result.evaluations))
+        continue;
+      const int count = count_units(trial);
+      if (count - best_count > best_gain) {
+        best_gain = count - best_count;
+        best_elem = candidate;
+      }
+    }
+    if (best_gain > 0) {
+      test.elements.push_back(best_elem);
+      best_count = count_units(test);
+      continue;
+    }
+    // Stalled: no single element helps (e.g. detecting a guarded RDF1 needs
+    // an initializing write pass AND a separate read pass). Look ahead one
+    // level: try ordered pairs of pool elements.
+    if (static_cast<int>(test.elements.size()) + 2 > options.max_elements)
+      break;
+    MarchElement best_a, best_b;
+    for (const MarchElement& a : pool) {
+      for (const MarchElement& b : pool) {
+        MarchTest trial = test;
+        trial.elements.push_back(a);
+        trial.elements.push_back(b);
+        if (!self_consistent(trial, options.geometry, result.evaluations))
+          continue;
+        const int count = count_units(trial);
+        if (count - best_count > best_gain) {
+          best_gain = count - best_count;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_gain == 0) break;  // even pairs do not help: stop
+    test.elements.push_back(best_a);
+    test.elements.push_back(best_b);
+    best_count = count_units(test);
+  }
+
+  // Reverse pass: drop elements that are not needed.
+  for (size_t i = test.elements.size(); i-- > 0;) {
+    if (test.elements.size() <= 1) break;
+    MarchTest trial = test;
+    trial.elements.erase(trial.elements.begin() + static_cast<long>(i));
+    if (!self_consistent(trial, options.geometry, result.evaluations))
+      continue;
+    if (count_units(trial) == best_count)
+      test.elements.erase(test.elements.begin() + static_cast<long>(i));
+  }
+
+  result.test = std::move(test);
+  result.success = best_count == total_units;
+  // Report at target granularity: a target counts when all its units hold.
+  {
+    std::vector<int> per_target_total(targets.size(), 0);
+    std::vector<int> per_target_hit(targets.size(), 0);
+    for (const Unit& u : units) {
+      ++per_target_total[u.target];
+      per_target_hit[u.target] += detects_unit(
+          result.test, options.geometry, targets, u, result.evaluations);
+    }
+    for (size_t t = 0; t < targets.size(); ++t)
+      result.detected_targets += per_target_hit[t] == per_target_total[t];
+  }
+  PF_LOG_INFO("synthesized " << result.test.to_string() << " detecting "
+                             << best_count << "/" << result.total_targets);
+  return result;
+}
+
+}  // namespace pf::march

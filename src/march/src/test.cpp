@@ -1,0 +1,103 @@
+#include "pf/march/test.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "pf/util/strings.hpp"
+
+namespace pf::march {
+
+std::string MarchOp::to_string() const {
+  std::string s(1, is_read ? 'r' : 'w');
+  s += static_cast<char>('0' + value);
+  return s;
+}
+
+int MarchTest::ops_per_cell() const {
+  int n = 0;
+  for (const auto& e : elements) n += static_cast<int>(e.ops.size());
+  return n;
+}
+
+bool MarchTest::has_delays() const {
+  for (const auto& e : elements)
+    if (e.is_delay) return true;
+  return false;
+}
+
+std::string MarchTest::to_string() const {
+  std::ostringstream os;
+  os << "{ ";
+  for (size_t e = 0; e < elements.size(); ++e) {
+    if (e) os << "; ";
+    if (elements[e].is_delay) {
+      os << "del";
+      continue;
+    }
+    switch (elements[e].order) {
+      case Order::kAny: os << 'm'; break;
+      case Order::kUp: os << 'u'; break;
+      case Order::kDown: os << 'd'; break;
+    }
+    os << '(';
+    for (size_t i = 0; i < elements[e].ops.size(); ++i) {
+      if (i) os << ',';
+      os << elements[e].ops[i].to_string();
+    }
+    os << ')';
+  }
+  os << " }";
+  return os.str();
+}
+
+MarchTest MarchTest::parse(const std::string& notation, std::string name) {
+  MarchTest test;
+  test.name = std::move(name);
+  std::string body = pf::trim(notation);
+  if (!body.empty() && body.front() == '{') body.erase(body.begin());
+  if (!body.empty() && body.back() == '}') body.pop_back();
+
+  const auto fail = [&](const std::string& why) -> void {
+    throw ParseError("cannot parse march test '" + notation + "': " + why);
+  };
+
+  for (const std::string& chunk : pf::split_nonempty(body, ';')) {
+    MarchElement elem;
+    if (pf::to_lower(pf::trim(chunk)) == "del") {
+      elem.is_delay = true;
+      test.elements.push_back(std::move(elem));
+      continue;
+    }
+    size_t i = 0;
+    while (i < chunk.size() &&
+           std::isspace(static_cast<unsigned char>(chunk[i])))
+      ++i;
+    if (i >= chunk.size()) fail("empty element");
+    switch (std::tolower(static_cast<unsigned char>(chunk[i]))) {
+      case 'm': elem.order = Order::kAny; break;
+      case 'u': elem.order = Order::kUp; break;
+      case 'd': elem.order = Order::kDown; break;
+      default: fail(std::string("bad order character '") + chunk[i] + "'");
+    }
+    ++i;
+    const size_t open = chunk.find('(', i);
+    const size_t close = chunk.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+      fail("element needs (...)");
+    const std::string inner = chunk.substr(open + 1, close - open - 1);
+    for (const std::string& tok : pf::split_nonempty(inner, ',')) {
+      if (tok.size() != 2 || (tok[0] != 'w' && tok[0] != 'r') ||
+          (tok[1] != '0' && tok[1] != '1'))
+        fail("bad operation '" + tok + "'");
+      elem.ops.push_back(tok[0] == 'w' ? MarchOp::w(tok[1] - '0')
+                                       : MarchOp::r(tok[1] - '0'));
+    }
+    if (elem.ops.empty()) fail("element with no operations");
+    test.elements.push_back(std::move(elem));
+  }
+  if (test.elements.empty()) fail("no elements");
+  return test;
+}
+
+}  // namespace pf::march

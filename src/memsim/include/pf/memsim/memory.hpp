@@ -1,0 +1,177 @@
+// Behavioral, fault-injectable memory model.
+//
+// This is the functional ground truth for march-test experiments at array
+// scale. Besides the logical cell contents it tracks the internal state a
+// *partial fault* is guarded by (paper Sections 1-3):
+//
+//  * the raw voltage last driven onto each column's true bit line (in a
+//    defective column the precharge no longer normalizes it, so the last
+//    driven level is what the next operation sees),
+//  * the output-buffer latch on the shared IO lines.
+//
+// Cells on odd rows attach to the complement bit line of their column
+// (folded array), so a write of logical v to such a cell drives the true
+// bit line to the *inverted* raw level — which is exactly how march tests
+// end up performing the paper's completing operations.
+#pragma once
+
+#include <vector>
+
+#include "pf/faults/coupling.hpp"
+#include "pf/faults/ffm.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::memsim {
+
+struct Geometry {
+  int num_rows = 8;
+  int num_columns = 8;
+
+  int num_cells() const { return num_rows * num_columns; }
+  int column_of(int addr) const { return addr % num_columns; }
+  int row_of(int addr) const { return addr / num_columns; }
+  /// Odd rows attach to the complement bit line (folded array).
+  bool on_complement_bl(int addr) const { return row_of(addr) % 2 == 1; }
+  /// Raw (true-bit-line) level corresponding to logical v at this address.
+  int raw_level(int addr, int v) const {
+    return on_complement_bl(addr) ? 1 - v : v;
+  }
+};
+
+/// The condition a partial fault needs to be sensitized. Values are
+/// victim-local: kBitLine value 0 means the victim's OWN bit line is low
+/// (for complement-row victims that is the complement line), and kBuffer
+/// values are interpreted with the victim's data polarity.
+struct Guard {
+  enum class Kind {
+    kNone,    ///< full (non-partial) fault: always sensitized
+    kBitLine, ///< victim's own bit line must carry level `value`
+    kBuffer,  ///< output buffer must hold victim-local level `value`
+    kHidden,  ///< uncontrollable floating line (e.g. a word line): the fault
+              ///< is active iff `hidden_active` — operations cannot change it
+  };
+  Kind kind = Kind::kNone;
+  int value = 0;
+  bool hidden_active = true;
+
+  static Guard none() { return {}; }
+  static Guard bit_line(int raw_value) {
+    return {Kind::kBitLine, raw_value, true};
+  }
+  static Guard buffer(int raw_value) { return {Kind::kBuffer, raw_value, true}; }
+  static Guard hidden(bool active) { return {Kind::kHidden, 0, active}; }
+};
+
+/// One injected fault: a base FFM behaviour at a victim address plus the
+/// partial-fault guard (Guard::none() for a classical full fault).
+struct InjectedFault {
+  int victim = 0;
+  faults::Ffm ffm = faults::Ffm::kUnknown;
+  Guard guard;
+};
+
+/// One injected two-cell coupling fault (extension beyond the paper's
+/// single-cell scope). Guards compose: a coupling fault can itself be
+/// partial.
+struct InjectedCouplingFault {
+  int aggressor = 0;
+  int victim = 0;
+  faults::CouplingFault fault;
+  Guard guard;
+};
+
+/// A data-retention fault: the victim loses a stored `lost_value` after
+/// sitting unrefreshed (no read or write of the victim) for at least
+/// `retention_time` seconds of accumulated pause. Exposed only by march
+/// tests with delay elements.
+struct InjectedRetentionFault {
+  int victim = 0;
+  int lost_value = 1;
+  double retention_time = 1e-3;
+};
+
+/// An address-decoder fault (the classical AF classes):
+///  * kNoAccess: `addr` reaches no cell — writes are lost, reads return the
+///    stale shared-IO buffer content;
+///  * kWrongCell: `addr` accesses `other` instead;
+///  * kMultiCell: `addr` accesses both its own cell and `other` — writes go
+///    to both, reads return the wired-AND of the two cells (0-dominant
+///    bit lines).
+struct InjectedDecoderFault {
+  enum class Kind { kNoAccess, kWrongCell, kMultiCell };
+  Kind kind = Kind::kNoAccess;
+  int addr = 0;
+  int other = 0;  ///< unused for kNoAccess
+};
+
+class Memory {
+ public:
+  explicit Memory(Geometry geometry);
+
+  const Geometry& geometry() const { return geom_; }
+  int size() const { return geom_.num_cells(); }
+
+  void inject(const InjectedFault& fault);
+  void inject_coupling(const InjectedCouplingFault& fault);
+  void inject_retention(const InjectedRetentionFault& fault);
+  void inject_decoder(const InjectedDecoderFault& fault);
+  void clear_faults() {
+    faults_.clear();
+    coupling_faults_.clear();
+    retention_faults_.clear();
+    decoder_faults_.clear();
+  }
+  const std::vector<InjectedFault>& faults() const { return faults_; }
+  const std::vector<InjectedCouplingFault>& coupling_faults() const {
+    return coupling_faults_;
+  }
+
+  /// Execute operations (with fault semantics).
+  void write(int addr, int value);
+  int read(int addr);
+
+  /// An idle retention pause (the "Del" element of data-retention tests):
+  /// victims of injected retention faults that have not been refreshed for
+  /// their retention time lose their data.
+  void pause(double seconds);
+
+  /// Atomic scope: between begin_atomic() and end_atomic(), state-type
+  /// faults (SF, CFst) are not evaluated after each individual operation —
+  /// they act once on the settled state at end_atomic(). WordMemory uses
+  /// this so a word access has no artificial mid-word transient windows
+  /// (real word writes drive all bits simultaneously).
+  void begin_atomic();
+  void end_atomic();
+
+  /// Direct state access (test setup / assertions, not operations).
+  int cell(int addr) const;
+  void set_cell(int addr, int value);
+
+  /// Tracked internal state.
+  int bit_line_raw(int column) const;  ///< -1 until first driven
+  int buffer_raw() const { return buffer_raw_; }
+  void set_bit_line_raw(int column, int raw);
+  void set_buffer_raw(int raw);
+
+  uint64_t operations_executed() const { return ops_; }
+
+ private:
+  bool guard_satisfied(const Guard& guard, int victim) const;
+  void apply_state_faults();
+  void apply_disturbs(int addr, bool is_read, int value);
+  int apply_victim_write_couplings(int addr, int value, int stored) const;
+
+  Geometry geom_;
+  std::vector<int> cells_;
+  std::vector<int> bl_raw_;
+  int buffer_raw_ = -1;
+  uint64_t ops_ = 0;
+  bool atomic_ = false;
+  std::vector<InjectedFault> faults_;
+  std::vector<InjectedCouplingFault> coupling_faults_;
+  std::vector<InjectedRetentionFault> retention_faults_;
+  std::vector<double> since_refresh_;  // parallel to retention_faults_
+  std::vector<InjectedDecoderFault> decoder_faults_;
+};
+
+}  // namespace pf::memsim

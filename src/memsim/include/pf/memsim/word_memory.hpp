@@ -1,0 +1,56 @@
+// Word-oriented memory built on the bit-level fault-injectable Memory.
+//
+// Real memories read and write W-bit words; bit-level fault models still
+// apply, but intra-word faults (coupling between bits of the same word)
+// interact with the DATA BACKGROUND a march test uses: with a solid
+// background every bit of a word always carries the same value, so a
+// coupling between two bits of one word can stay invisible. The classical
+// remedy is to repeat the march with log2(W) + 1 backgrounds (solid,
+// checkerboard, double-checkerboard, ...) — implemented in pf_march.
+//
+// Layout: word address `a`, bit `b` maps to bit-cell `a * width + b`, so
+// bits of one word are adjacent cells and intra-word faults are ordinary
+// injected coupling faults.
+//
+// Semantics note: a word write applies its bit writes in ascending bit
+// order, and a bit written later in the same word write overwrites any
+// disturbance an earlier bit caused — matching atomic word writes, where
+// every victim bit is strongly driven by its own write driver while the
+// aggressor bit switches. Intra-word write disturbs are therefore masked;
+// intra-word STATE couplings are the background-sensitive class.
+#pragma once
+
+#include <cstdint>
+
+#include "pf/memsim/memory.hpp"
+
+namespace pf::memsim {
+
+class WordMemory {
+ public:
+  /// `num_words` addresses of `width`-bit words (width <= 32).
+  WordMemory(int num_words, int width, int columns_per_row = 8);
+
+  int size() const { return num_words_; }
+  int width() const { return width_; }
+
+  void write(int addr, uint32_t value);
+  uint32_t read(int addr);
+
+  /// The underlying bit-cell memory (fault injection, state inspection).
+  Memory& bits() { return bits_; }
+  const Memory& bits() const { return bits_; }
+
+  /// The bit-cell index of (word, bit).
+  int cell_of(int addr, int bit) const;
+
+  /// Direct word state (no operation semantics).
+  uint32_t word(int addr) const;
+
+ private:
+  int num_words_;
+  int width_;
+  Memory bits_;
+};
+
+}  // namespace pf::memsim

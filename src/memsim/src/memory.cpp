@@ -1,0 +1,340 @@
+#include "pf/memsim/memory.hpp"
+
+namespace pf::memsim {
+
+using faults::Ffm;
+
+Memory::Memory(Geometry geometry) : geom_(geometry) {
+  PF_CHECK_MSG(geom_.num_rows > 0 && geom_.num_columns > 0,
+               "geometry must be positive");
+  cells_.assign(geom_.num_cells(), 0);
+  bl_raw_.assign(geom_.num_columns, -1);
+}
+
+void Memory::inject(const InjectedFault& fault) {
+  PF_CHECK_MSG(fault.victim >= 0 && fault.victim < size(),
+               "victim address out of range");
+  PF_CHECK_MSG(fault.ffm != Ffm::kUnknown, "injected fault needs an FFM");
+  faults_.push_back(fault);
+}
+
+void Memory::inject_retention(const InjectedRetentionFault& fault) {
+  PF_CHECK_MSG(fault.victim >= 0 && fault.victim < size(),
+               "victim address out of range");
+  PF_CHECK_MSG(fault.lost_value == 0 || fault.lost_value == 1,
+               "lost_value must be 0 or 1");
+  PF_CHECK_MSG(fault.retention_time > 0, "retention time must be positive");
+  retention_faults_.push_back(fault);
+  since_refresh_.push_back(0.0);
+}
+
+void Memory::pause(double seconds) {
+  PF_CHECK(seconds >= 0.0);
+  for (size_t i = 0; i < retention_faults_.size(); ++i) {
+    since_refresh_[i] += seconds;
+    const auto& f = retention_faults_[i];
+    if (since_refresh_[i] >= f.retention_time &&
+        cells_[f.victim] == f.lost_value)
+      cells_[f.victim] = 1 - f.lost_value;
+  }
+}
+
+void Memory::inject_decoder(const InjectedDecoderFault& fault) {
+  PF_CHECK_MSG(fault.addr >= 0 && fault.addr < size(),
+               "decoder fault address out of range");
+  if (fault.kind != InjectedDecoderFault::Kind::kNoAccess) {
+    PF_CHECK_MSG(fault.other >= 0 && fault.other < size(),
+                 "decoder fault target out of range");
+    PF_CHECK_MSG(fault.other != fault.addr,
+                 "decoder fault needs a distinct target cell");
+  }
+  decoder_faults_.push_back(fault);
+}
+
+void Memory::inject_coupling(const InjectedCouplingFault& fault) {
+  PF_CHECK_MSG(fault.victim >= 0 && fault.victim < size(),
+               "victim address out of range");
+  PF_CHECK_MSG(fault.aggressor >= 0 && fault.aggressor < size(),
+               "aggressor address out of range");
+  PF_CHECK_MSG(fault.aggressor != fault.victim,
+               "aggressor and victim must differ");
+  coupling_faults_.push_back(fault);
+}
+
+int Memory::cell(int addr) const {
+  PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
+  return cells_[addr];
+}
+
+void Memory::set_cell(int addr, int value) {
+  PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
+  PF_CHECK_MSG(value == 0 || value == 1, "bad value");
+  cells_[addr] = value;
+}
+
+int Memory::bit_line_raw(int column) const {
+  PF_CHECK_MSG(column >= 0 && column < geom_.num_columns, "bad column");
+  return bl_raw_[column];
+}
+
+void Memory::set_bit_line_raw(int column, int raw) {
+  PF_CHECK_MSG(column >= 0 && column < geom_.num_columns, "bad column");
+  PF_CHECK_MSG(raw >= -1 && raw <= 1, "bad raw level");
+  bl_raw_[column] = raw;
+}
+
+void Memory::set_buffer_raw(int raw) {
+  PF_CHECK_MSG(raw >= -1 && raw <= 1, "bad raw level");
+  buffer_raw_ = raw;
+}
+
+bool Memory::guard_satisfied(const Guard& guard, int victim) const {
+  // Guard values are *victim-local*: "bit line low" means the victim's own
+  // bit line (BC for complement-row victims), and "buffer holds 1" means
+  // the buffer content interpreted with the victim's data polarity. The
+  // tracked state is raw (true-bit-line) level, so translate.
+  switch (guard.kind) {
+    case Guard::Kind::kNone:
+      return true;
+    case Guard::Kind::kBitLine:
+      return bl_raw_[geom_.column_of(victim)] ==
+             geom_.raw_level(victim, guard.value);
+    case Guard::Kind::kBuffer:
+      return buffer_raw_ == geom_.raw_level(victim, guard.value);
+    case Guard::Kind::kHidden:
+      return guard.hidden_active;
+  }
+  return false;
+}
+
+void Memory::begin_atomic() { atomic_ = true; }
+
+void Memory::end_atomic() {
+  atomic_ = false;
+  apply_state_faults();
+}
+
+void Memory::apply_state_faults() {
+  if (atomic_) return;  // deferred to end_atomic()
+  // State faults act whenever the memory is exercised at all (in the paper's
+  // word-line example the cell charges up during every precharge cycle).
+  for (const auto& f : faults_) {
+    if (!guard_satisfied(f.guard, f.victim)) continue;
+    if (f.ffm == Ffm::kSF0 && cells_[f.victim] == 0) cells_[f.victim] = 1;
+    if (f.ffm == Ffm::kSF1 && cells_[f.victim] == 1) cells_[f.victim] = 0;
+  }
+  // State coupling faults: the victim cannot hold victim_value while the
+  // aggressor holds aggressor_value.
+  using CfKind = faults::CouplingFault::Kind;
+  for (const auto& f : coupling_faults_) {
+    if (f.fault.kind != CfKind::kState) continue;
+    if (!guard_satisfied(f.guard, f.victim)) continue;
+    if (cells_[f.aggressor] == f.fault.aggressor_value &&
+        cells_[f.victim] == f.fault.victim_value)
+      cells_[f.victim] = 1 - f.fault.victim_value;
+  }
+}
+
+void Memory::apply_disturbs(int addr, bool is_read, int value) {
+  // Disturb coupling faults: an operation on the aggressor flips the victim.
+  using CfKind = faults::CouplingFault::Kind;
+  using OpKind = faults::Op::Kind;
+  for (const auto& f : coupling_faults_) {
+    if (f.fault.kind != CfKind::kDisturb || f.aggressor != addr) continue;
+    if (!guard_satisfied(f.guard, f.victim)) continue;
+    bool matches = false;
+    if (is_read) {
+      matches = f.fault.aggressor_op == OpKind::kRead &&
+                cells_[addr] == f.fault.aggressor_value;
+    } else {
+      matches = (f.fault.aggressor_op == OpKind::kWrite0 && value == 0) ||
+                (f.fault.aggressor_op == OpKind::kWrite1 && value == 1);
+    }
+    if (matches && cells_[f.victim] == f.fault.victim_value)
+      cells_[f.victim] = 1 - f.fault.victim_value;
+  }
+}
+
+int Memory::apply_victim_write_couplings(int addr, int value,
+                                         int stored) const {
+  using CfKind = faults::CouplingFault::Kind;
+  for (const auto& f : coupling_faults_) {
+    if (f.victim != addr) continue;
+    if (!guard_satisfied(f.guard, f.victim)) continue;
+    if (cells_[f.aggressor] != f.fault.aggressor_value) continue;
+    const int before = cells_[addr];
+    switch (f.fault.kind) {
+      case CfKind::kTransition:
+        if (before == f.fault.victim_value &&
+            value == 1 - f.fault.victim_value)
+          stored = f.fault.victim_value;  // the transition fails
+        break;
+      case CfKind::kWriteDestructive:
+        if (before == f.fault.victim_value && value == f.fault.victim_value)
+          stored = 1 - f.fault.victim_value;
+        break;
+      default:
+        break;
+    }
+  }
+  return stored;
+}
+
+void Memory::write(int addr, int value) {
+  PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
+  PF_CHECK_MSG(value == 0 || value == 1, "bad value");
+  // Address-decoder faults redirect or suppress the access itself; they are
+  // modeled standalone (no interplay with cell-level fault semantics at the
+  // phantom targets).
+  for (const auto& df : decoder_faults_) {
+    if (df.addr != addr) continue;
+    switch (df.kind) {
+      case InjectedDecoderFault::Kind::kNoAccess:
+        // The write is lost, but the drivers still put the data on the
+        // shared IO and the (selected) bit line.
+        ++ops_;
+        apply_state_faults();
+        bl_raw_[geom_.column_of(addr)] = geom_.raw_level(addr, value);
+        buffer_raw_ = geom_.raw_level(addr, value);
+        return;
+      case InjectedDecoderFault::Kind::kWrongCell:
+        addr = df.other;  // access lands on the wrong cell
+        break;
+      case InjectedDecoderFault::Kind::kMultiCell:
+        cells_[df.other] = value;  // the shadow cell is written too
+        break;
+    }
+    break;
+  }
+  ++ops_;
+  apply_state_faults();
+  // Writing refreshes the cell: retention clocks restart.
+  for (size_t i = 0; i < retention_faults_.size(); ++i)
+    if (retention_faults_[i].victim == addr) since_refresh_[i] = 0.0;
+
+  int stored = value;
+  for (const auto& f : faults_) {
+    if (f.victim != addr || !guard_satisfied(f.guard, addr)) continue;
+    const int before = cells_[addr];
+    switch (f.ffm) {
+      case Ffm::kTFUp:
+        if (before == 0 && value == 1) stored = 0;
+        break;
+      case Ffm::kTFDown:
+        if (before == 1 && value == 0) stored = 1;
+        break;
+      case Ffm::kWDF0:
+        if (before == 0 && value == 0) stored = 1;
+        break;
+      case Ffm::kWDF1:
+        if (before == 1 && value == 1) stored = 0;
+        break;
+      default:
+        break;
+    }
+  }
+  stored = apply_victim_write_couplings(addr, value, stored);
+  cells_[addr] = stored;
+  apply_disturbs(addr, /*is_read=*/false, value);
+  // The write driver forces the bit line and the shared IO to the written
+  // raw level whether or not the cell accepted it.
+  bl_raw_[geom_.column_of(addr)] = geom_.raw_level(addr, value);
+  buffer_raw_ = geom_.raw_level(addr, value);
+}
+
+int Memory::read(int addr) {
+  PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
+  for (const auto& df : decoder_faults_) {
+    if (df.addr != addr) continue;
+    switch (df.kind) {
+      case InjectedDecoderFault::Kind::kNoAccess: {
+        // No cell is selected: the output buffer keeps (and returns) its
+        // stale content, interpreted with this address's data polarity.
+        ++ops_;
+        apply_state_faults();
+        return buffer_raw_ < 0 ? 0 : geom_.raw_level(addr, buffer_raw_);
+      }
+      case InjectedDecoderFault::Kind::kWrongCell:
+        addr = df.other;
+        break;
+      case InjectedDecoderFault::Kind::kMultiCell: {
+        // Both cells drive the (0-dominant) bit line: wired-AND sensing,
+        // and the restore writes the sensed value back into both.
+        ++ops_;
+        apply_state_faults();
+        const int sensed = cells_[addr] & cells_[df.other];
+        cells_[addr] = sensed;
+        cells_[df.other] = sensed;
+        bl_raw_[geom_.column_of(addr)] = geom_.raw_level(addr, sensed);
+        buffer_raw_ = geom_.raw_level(addr, sensed);
+        return sensed;
+      }
+    }
+    break;
+  }
+  ++ops_;
+  apply_state_faults();
+  // The read restore refreshes the cell: retention clocks restart.
+  for (size_t i = 0; i < retention_faults_.size(); ++i)
+    if (retention_faults_[i].victim == addr) since_refresh_[i] = 0.0;
+
+  apply_disturbs(addr, /*is_read=*/true, 0);
+
+  const int x = cells_[addr];
+  int result = x;
+  int stored = x;
+  using CfKind = faults::CouplingFault::Kind;
+  for (const auto& f : coupling_faults_) {
+    if (f.victim != addr || x != f.fault.victim_value) continue;
+    if (!guard_satisfied(f.guard, f.victim)) continue;
+    if (cells_[f.aggressor] != f.fault.aggressor_value) continue;
+    switch (f.fault.kind) {
+      case CfKind::kReadDestructive:
+        result = 1 - x;
+        stored = 1 - x;
+        break;
+      case CfKind::kDeceptiveRead:
+        result = x;
+        stored = 1 - x;
+        break;
+      case CfKind::kIncorrectRead:
+        result = 1 - x;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& f : faults_) {
+    if (f.victim != addr || !guard_satisfied(f.guard, addr)) continue;
+    switch (f.ffm) {
+      case Ffm::kRDF0:
+        if (x == 0) { result = 1; stored = 1; }
+        break;
+      case Ffm::kRDF1:
+        if (x == 1) { result = 0; stored = 0; }
+        break;
+      case Ffm::kDRDF0:
+        if (x == 0) { result = 0; stored = 1; }
+        break;
+      case Ffm::kDRDF1:
+        if (x == 1) { result = 1; stored = 0; }
+        break;
+      case Ffm::kIRF0:
+        if (x == 0) result = 1;
+        break;
+      case Ffm::kIRF1:
+        if (x == 1) result = 0;
+        break;
+      default:
+        break;
+    }
+  }
+  cells_[addr] = stored;
+  // The restore drives the (possibly corrupted) stored value back onto the
+  // bit line; the IO lines carry the (possibly incorrect) read result.
+  bl_raw_[geom_.column_of(addr)] = geom_.raw_level(addr, stored);
+  buffer_raw_ = geom_.raw_level(addr, result);
+  return result;
+}
+
+}  // namespace pf::memsim

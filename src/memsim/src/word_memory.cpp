@@ -1,0 +1,58 @@
+#include "pf/memsim/word_memory.hpp"
+
+namespace pf::memsim {
+namespace {
+
+Geometry geometry_for(int num_words, int width, int columns_per_row) {
+  const int cells = num_words * width;
+  PF_CHECK_MSG(cells % columns_per_row == 0,
+               "word memory size must tile the column count");
+  return Geometry{cells / columns_per_row, columns_per_row};
+}
+
+}  // namespace
+
+WordMemory::WordMemory(int num_words, int width, int columns_per_row)
+    : num_words_(num_words),
+      width_(width),
+      bits_(geometry_for(num_words, width, columns_per_row)) {
+  PF_CHECK_MSG(num_words > 0, "need at least one word");
+  PF_CHECK_MSG(width > 0 && width <= 32, "word width must be 1..32");
+}
+
+int WordMemory::cell_of(int addr, int bit) const {
+  PF_CHECK_MSG(addr >= 0 && addr < num_words_, "bad word address " << addr);
+  PF_CHECK_MSG(bit >= 0 && bit < width_, "bad bit index " << bit);
+  return addr * width_ + bit;
+}
+
+void WordMemory::write(int addr, uint32_t value) {
+  PF_CHECK_MSG(addr >= 0 && addr < num_words_, "bad word address " << addr);
+  PF_CHECK_MSG(width_ == 32 || value < (1u << width_),
+               "value wider than the word");
+  // All bits of a word are driven simultaneously: suppress mid-word
+  // state-fault transients (see the header's semantics note).
+  bits_.begin_atomic();
+  for (int b = 0; b < width_; ++b)
+    bits_.write(cell_of(addr, b), static_cast<int>((value >> b) & 1u));
+  bits_.end_atomic();
+}
+
+uint32_t WordMemory::read(int addr) {
+  PF_CHECK_MSG(addr >= 0 && addr < num_words_, "bad word address " << addr);
+  uint32_t out = 0;
+  bits_.begin_atomic();
+  for (int b = 0; b < width_; ++b)
+    out |= static_cast<uint32_t>(bits_.read(cell_of(addr, b))) << b;
+  bits_.end_atomic();
+  return out;
+}
+
+uint32_t WordMemory::word(int addr) const {
+  uint32_t out = 0;
+  for (int b = 0; b < width_; ++b)
+    out |= static_cast<uint32_t>(bits_.cell(cell_of(addr, b))) << b;
+  return out;
+}
+
+}  // namespace pf::memsim

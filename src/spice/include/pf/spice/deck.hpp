@@ -1,0 +1,37 @@
+// Text netlist decks: a SPICE-flavoured format for building Netlists from
+// files/strings and for dumping a built circuit (e.g. the DRAM column) for
+// inspection or external simulation.
+//
+//   * comment lines start with '*' (or '#')
+//   .rail VDD 3.3              a known-voltage rail node
+//   R1   a   b   100k          resistor
+//   C1   n   0   30f           capacitor
+//   V1   in  0   2.5           independent voltage source
+//   MN1  d   g   s  NMOS vt=0.7 k=400u lambda=0.02
+//   MP1  d   g   s  PMOS
+//   .end                       optional terminator
+//
+// Values accept the usual engineering suffixes (f p n u m k meg g t).
+#pragma once
+
+#include <string>
+
+#include "pf/spice/netlist.hpp"
+
+namespace pf::spice {
+
+/// Parse an engineering-notation value ("4.5", "30f", "100k", "2.2meg").
+/// Throws pf::ParseError on malformed input.
+double parse_value(const std::string& text);
+
+/// Render a value with an engineering suffix ("30f", "100k").
+std::string format_value(double value);
+
+/// Build a netlist from a deck. Throws pf::ParseError with the line number
+/// on malformed input.
+Netlist parse_deck(const std::string& deck);
+
+/// Serialize a netlist as a deck (round-trips through parse_deck).
+std::string write_deck(const Netlist& netlist);
+
+}  // namespace pf::spice

@@ -1,0 +1,50 @@
+// Dense linear algebra for the MNA solver.
+//
+// Circuit matrices in this project are tiny (tens of unknowns), so a dense
+// row-major matrix with partial-pivot LU is both simpler and faster than a
+// sparse solver. The LU factorization works in place and reuses caller
+// buffers so the transient loop performs no per-step allocation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pf/util/error.hpp"
+
+namespace pf::spice {
+
+/// Dense row-major matrix of double.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), a_(rows * cols) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return a_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return a_[r * cols_ + c]; }
+
+  /// Set every entry to zero (keeps the allocation).
+  void clear();
+
+  double* data() { return a_.data(); }
+  const double* data() const { return a_.data(); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// In-place LU factorization with partial pivoting.
+/// `perm` receives the row permutation. Throws pf::ConvergenceError when the
+/// matrix is numerically singular (pivot below `min_pivot`).
+void lu_factor(Matrix& a, std::vector<size_t>& perm, double min_pivot = 1e-30);
+
+/// Solve L U x = P b for x using the output of lu_factor. `b` is overwritten
+/// with the solution.
+void lu_solve(const Matrix& lu, const std::vector<size_t>& perm,
+              std::vector<double>& b);
+
+}  // namespace pf::spice

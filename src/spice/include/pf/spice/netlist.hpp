@@ -1,0 +1,122 @@
+// Netlist representation for the MNA transient engine.
+//
+// Device set: resistor, capacitor, independent voltage source (retargetable
+// ramped level), and square-law (Shichman-Hodges) NMOS/PMOS. This is the
+// minimum set needed to model a DRAM cell-array column faithfully at the
+// charge-sharing level: pass devices, precharge devices, cross-coupled sense
+// amplifier, write drivers (source + series pass device) and resistive open
+// defects (plain resistors spliced into signal lines).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pf/util/error.hpp"
+
+namespace pf::spice {
+
+/// Node handle; node 0 is always ground ("0"/"gnd").
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// Handle to an independent voltage source (index into the source table).
+using SourceId = int;
+
+/// Square-law MOSFET parameters. `k` is the full transconductance factor
+/// mu*Cox*W/L in A/V^2; `lambda` models channel-length modulation.
+struct MosParams {
+  double vt = 0.7;      ///< threshold voltage [V] (positive for both types)
+  double k = 200e-6;    ///< transconductance factor [A/V^2]
+  double lambda = 0.02; ///< channel-length modulation [1/V]
+};
+
+struct Resistor {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double ohms = 1.0;
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double farads = 1e-15;
+};
+
+struct VSource {
+  std::string name;
+  NodeId pos = kGround;
+  NodeId neg = kGround;
+  double dc = 0.0;  ///< initial level; run-time value lives in the Simulator
+};
+
+struct Mosfet {
+  std::string name;
+  NodeId d = kGround;
+  NodeId g = kGround;
+  NodeId s = kGround;
+  MosParams params;
+  bool is_pmos = false;
+};
+
+/// A flat netlist. Build once, then hand to one or more Simulators.
+class Netlist {
+ public:
+  Netlist();
+
+  /// Find-or-create a named node.
+  NodeId node(const std::string& name);
+
+  /// Create a *rail*: a node whose voltage is prescribed (retargetable at run
+  /// time through Simulator::set_rail) and therefore eliminated from the MNA
+  /// unknown vector. Ideal for control signals (word lines, sense enables)
+  /// and supplies whose branch current is not of interest — in the DRAM
+  /// column this halves the matrix size. A rail cannot also be driven by a
+  /// voltage source.
+  NodeId add_rail(const std::string& name, double initial);
+  bool is_rail(NodeId id) const;
+  double rail_initial(NodeId id) const;
+  /// Look up an existing node.
+  std::optional<NodeId> find_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  size_t node_count() const { return node_names_.size(); }
+
+  /// Add devices. Names must be unique per device class.
+  void add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  void add_capacitor(const std::string& name, NodeId a, NodeId b, double farads);
+  SourceId add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                       double dc);
+  void add_nmos(const std::string& name, NodeId d, NodeId g, NodeId s,
+                const MosParams& p);
+  void add_pmos(const std::string& name, NodeId d, NodeId g, NodeId s,
+                const MosParams& p);
+
+  /// Change the value of an existing resistor (defect-resistance sweeps
+  /// reuse one netlist instead of rebuilding). Simulators constructed
+  /// before the change are unaffected; construct a new one after updating.
+  void set_resistance(const std::string& name, double ohms);
+
+  SourceId find_source(const std::string& name) const;
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<char> rail_flags_;          // parallel to node_names_
+  std::vector<double> rail_initials_;     // parallel to node_names_
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace pf::spice

@@ -1,0 +1,118 @@
+// Transient MNA engine.
+//
+// Integration: backward Euler with adaptive step control driven by Newton
+// iteration counts (L-stable, which matters because the DRAM sequencer holds
+// quasi-DC plateaus between sharp control edges). Nonlinear solve: damped
+// Newton-Raphson with per-iteration voltage-step limiting and a gmin leak on
+// every node so floating segments (the whole point of open-defect analysis)
+// stay numerically well posed without changing charge-sharing behaviour on
+// simulation timescales (gmin = 1e-12 S -> RC leak >> microseconds).
+//
+// Known-voltage nodes: ground and rails (Netlist::add_rail) are eliminated
+// from the unknown vector; their device contributions are folded into the
+// right-hand side. Control-heavy circuits like the DRAM column shrink their
+// matrix by ~2x this way.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pf/spice/matrix.hpp"
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/waveform.hpp"
+
+namespace pf::spice {
+
+struct SimOptions {
+  double dt_min = 1e-13;       ///< below this a failed step is fatal [s]
+  double dt_max = 2e-10;       ///< step ceiling [s]
+  double dt_initial = 1e-11;   ///< first step of each run_for segment [s]
+  double vntol = 1e-6;         ///< node-voltage convergence tolerance [V]
+  int max_nr_iters = 60;       ///< Newton iterations per step
+  double gmin = 1e-12;         ///< leak conductance per node [S]
+  double v_step_limit = 1.0;   ///< Newton damping clamp [V per iteration]
+  double default_slew = 2e-10; ///< source/rail retarget ramp time [s]
+};
+
+/// Statistics accumulated over the life of a Simulator (for the solver
+/// ablation bench and for convergence regression tests).
+struct SimStats {
+  uint64_t steps = 0;
+  uint64_t nr_iterations = 0;
+  uint64_t rejected_steps = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist, SimOptions options = {});
+
+  double time() const { return t_; }
+  const SimOptions& options() const { return options_; }
+  const SimStats& stats() const { return stats_; }
+
+  /// Current voltage of a node (ground returns 0, rails their level).
+  double node_voltage(NodeId n) const;
+
+  /// Override a node's state voltage. This is the floating-voltage
+  /// initialization hook of the fault-analysis method: it rewrites the
+  /// "previous" solution so the next step starts charge redistribution from
+  /// the overridden value. Rails and ground cannot be overridden; overriding
+  /// a node that a source holds has no lasting effect (the solver snaps it
+  /// back within one step).
+  void set_node_voltage(NodeId n, double volts);
+
+  /// Retarget an independent source with the default (or given) slew.
+  void set_source(SourceId s, double volts);
+  void set_source(SourceId s, double volts, double slew);
+  double source_value(SourceId s) const;
+
+  /// Retarget a rail with the default (or given) slew.
+  void set_rail(NodeId rail, double volts);
+  void set_rail(NodeId rail, double volts, double slew);
+
+  /// Called after every accepted step with (time, simulator).
+  using StepCallback = std::function<void(double, const Simulator&)>;
+
+  /// Advance the simulation by `duration` seconds.
+  void run_for(double duration, const StepCallback& callback = {});
+
+  /// Advance with a temporarily raised step ceiling: used for long idle
+  /// stretches (retention pauses) where nothing switches and backward
+  /// Euler's L-stability makes millisecond steps safe.
+  void run_for_with_ceiling(double duration, double dt_max,
+                            const StepCallback& callback = {});
+
+ private:
+  void load_system(double h, const std::vector<double>& v_prev,
+                   double t_new);
+  /// One backward-Euler step of size h; returns Newton iterations used or -1
+  /// on non-convergence. On success commits the new state.
+  int try_step(double h, double t_new);
+
+  const Netlist& net_;
+  SimOptions options_;
+  SimStats stats_;
+
+  size_t n_nodes_ = 0;        // including ground and rails
+  size_t n_node_unknowns_ = 0;
+  size_t n_unknowns_ = 0;     // node unknowns + #vsources
+  std::vector<int> unknown_of_node_;  // -1 for ground/rails
+  double t_ = 0.0;
+  double dt_ = 0.0;
+
+  std::vector<double> v_;        // node voltages incl. ground/rails, committed
+  std::vector<double> branch_i_; // vsource branch currents, committed
+  std::vector<RampedLevel> source_levels_;
+  std::vector<RampedLevel> rail_levels_;  // indexed by NodeId (unused slots idle)
+
+  // Scratch buffers reused across steps (no per-step allocation).
+  Matrix g_;
+  std::vector<double> rhs_;
+  std::vector<size_t> perm_;
+  std::vector<double> x_;       // candidate unknown vector
+  std::vector<double> v_cand_;  // candidate node voltages incl. known nodes
+  std::vector<double> v_prev_scratch_;
+};
+
+}  // namespace pf::spice

@@ -1,0 +1,46 @@
+// Waveform recording: attach a Trace to a Simulator run and collect named
+// node series for inspection, assertions or CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/simulator.hpp"
+
+namespace pf::spice {
+
+class Trace {
+ public:
+  /// Probe the given nodes (looked up by name in `netlist`).
+  Trace(const Netlist& netlist, std::vector<std::string> probe_names);
+
+  /// The callback to pass to Simulator::run_for.
+  Simulator::StepCallback callback();
+
+  size_t num_samples() const { return times_.size(); }
+  size_t num_probes() const { return names_.size(); }
+  const std::vector<std::string>& probe_names() const { return names_; }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& series(size_t probe) const;
+
+  /// Linear interpolation of probe `probe` at time t (clamped to the ends).
+  double sample_at(size_t probe, double t) const;
+
+  double min_of(size_t probe) const;
+  double max_of(size_t probe) const;
+
+  /// Drop all recorded samples (probes stay attached).
+  void clear();
+
+  /// CSV with a header row: time,<probe...>.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<NodeId> nodes_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> values_;
+};
+
+}  // namespace pf::spice

@@ -1,0 +1,69 @@
+// Source waveforms.
+//
+// The DRAM sequencer drives control signals by retargeting sources between
+// transient segments; to keep Newton iterations well conditioned every
+// retarget is applied as a finite-slew ramp rather than an ideal step.
+#pragma once
+
+#include <vector>
+
+#include "pf/util/error.hpp"
+
+namespace pf::spice {
+
+/// Piecewise-linear waveform over absolute simulation time.
+class Pwl {
+ public:
+  Pwl() = default;
+  explicit Pwl(double dc) { points_.push_back({0.0, dc}); }
+
+  /// Append a breakpoint; times must be non-decreasing.
+  void add_point(double t, double v);
+
+  /// Value at time t: linear interpolation between breakpoints, clamped to
+  /// the first/last value outside the breakpoint range.
+  double value(double t) const;
+
+  /// Times of breakpoints inside (t0, t1): used by the transient engine to
+  /// land steps exactly on waveform corners.
+  std::vector<double> breakpoints_between(double t0, double t1) const;
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  /// Drop breakpoints strictly before `t` (keeping the interpolated value at
+  /// `t` as the new first point) to bound memory in long sequences.
+  void compact_before(double t);
+
+ private:
+  struct Point {
+    double t;
+    double v;
+  };
+  std::vector<Point> points_;
+};
+
+/// A retargetable source value: current level plus an in-flight linear ramp.
+/// This is the engine-facing handle the sequencer uses between segments.
+class RampedLevel {
+ public:
+  explicit RampedLevel(double initial = 0.0)
+      : start_v_(initial), end_v_(initial) {}
+
+  /// Begin a linear ramp from value(t_now) to `target` over `slew` seconds.
+  void retarget(double t_now, double target, double slew);
+
+  double value(double t) const;
+
+  /// End time of the in-flight ramp (== start time when idle).
+  double ramp_end() const { return t_end_; }
+  double target() const { return end_v_; }
+
+ private:
+  double t_start_ = 0.0;
+  double t_end_ = 0.0;
+  double start_v_ = 0.0;
+  double end_v_ = 0.0;
+};
+
+}  // namespace pf::spice

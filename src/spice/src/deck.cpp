@@ -1,0 +1,179 @@
+#include "pf/spice/deck.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "pf/util/strings.hpp"
+
+namespace pf::spice {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+[[noreturn]] void fail(size_t line_no, const std::string& why) {
+  throw ParseError("deck line " + std::to_string(line_no) + ": " + why);
+}
+
+MosParams parse_mos_params(const std::vector<std::string>& tokens,
+                           size_t start, size_t line_no) {
+  MosParams p;
+  for (size_t i = start; i < tokens.size(); ++i) {
+    const auto kv = pf::split(tokens[i], '=');
+    if (kv.size() != 2) fail(line_no, "expected key=value, got " + tokens[i]);
+    const std::string key = pf::to_lower(kv[0]);
+    const double value = parse_value(kv[1]);
+    if (key == "vt")
+      p.vt = value;
+    else if (key == "k")
+      p.k = value;
+    else if (key == "lambda")
+      p.lambda = value;
+    else
+      fail(line_no, "unknown MOS parameter " + key);
+  }
+  return p;
+}
+
+}  // namespace
+
+double parse_value(const std::string& text) {
+  const std::string t = pf::to_lower(pf::trim(text));
+  if (t.empty()) throw ParseError("empty value");
+  size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("bad value '" + text + "'");
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return v;
+  if (suffix == "f") return v * 1e-15;
+  if (suffix == "p") return v * 1e-12;
+  if (suffix == "n") return v * 1e-9;
+  if (suffix == "u") return v * 1e-6;
+  if (suffix == "m") return v * 1e-3;
+  if (suffix == "k") return v * 1e3;
+  if (suffix == "meg") return v * 1e6;
+  if (suffix == "g") return v * 1e9;
+  if (suffix == "t") return v * 1e12;
+  throw ParseError("unknown value suffix '" + suffix + "' in '" + text + "'");
+}
+
+std::string format_value(double value) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static const Scale kScales[] = {{1e12, "t"}, {1e9, "g"},   {1e6, "meg"},
+                                  {1e3, "k"},  {1.0, ""},    {1e-3, "m"},
+                                  {1e-6, "u"}, {1e-9, "n"},  {1e-12, "p"},
+                                  {1e-15, "f"}};
+  if (value == 0.0) return "0";
+  const double mag = std::abs(value);
+  for (const Scale& s : kScales) {
+    if (mag >= s.factor * 0.99999) {
+      return pf::format_double(value / s.factor, 6) + s.suffix;
+    }
+  }
+  return pf::format_double(value / 1e-15, 6) + "f";
+}
+
+Netlist parse_deck(const std::string& deck) {
+  Netlist net;
+  size_t line_no = 0;
+  for (const std::string& raw : pf::split(deck, '\n')) {
+    ++line_no;
+    const std::string line = pf::trim(raw);
+    if (line.empty() || line[0] == '*' || line[0] == '#') continue;
+    const auto tokens = tokenize(line);
+    const std::string head = pf::to_lower(tokens[0]);
+    if (head == ".end") break;
+    if (head == ".rail") {
+      if (tokens.size() != 3) fail(line_no, ".rail needs NAME VALUE");
+      net.add_rail(tokens[1], parse_value(tokens[2]));
+      continue;
+    }
+    if (head[0] == '.') fail(line_no, "unknown directive " + tokens[0]);
+
+    const char kind = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(head[0])));
+    switch (kind) {
+      case 'R': {
+        if (tokens.size() != 4) fail(line_no, "R needs NAME A B VALUE");
+        net.add_resistor(tokens[0], net.node(tokens[1]), net.node(tokens[2]),
+                         parse_value(tokens[3]));
+        break;
+      }
+      case 'C': {
+        if (tokens.size() != 4) fail(line_no, "C needs NAME A B VALUE");
+        net.add_capacitor(tokens[0], net.node(tokens[1]), net.node(tokens[2]),
+                          parse_value(tokens[3]));
+        break;
+      }
+      case 'V': {
+        if (tokens.size() != 4) fail(line_no, "V needs NAME POS NEG VALUE");
+        net.add_vsource(tokens[0], net.node(tokens[1]), net.node(tokens[2]),
+                        parse_value(tokens[3]));
+        break;
+      }
+      case 'M': {
+        if (tokens.size() < 5) fail(line_no, "M needs NAME D G S NMOS|PMOS");
+        const std::string model = pf::to_lower(tokens[4]);
+        const MosParams p = parse_mos_params(tokens, 5, line_no);
+        if (model == "nmos")
+          net.add_nmos(tokens[0], net.node(tokens[1]), net.node(tokens[2]),
+                       net.node(tokens[3]), p);
+        else if (model == "pmos")
+          net.add_pmos(tokens[0], net.node(tokens[1]), net.node(tokens[2]),
+                       net.node(tokens[3]), p);
+        else
+          fail(line_no, "unknown MOS model " + tokens[4]);
+        break;
+      }
+      default:
+        fail(line_no, std::string("unknown element kind '") + head[0] + "'");
+    }
+  }
+  return net;
+}
+
+std::string write_deck(const Netlist& net) {
+  std::ostringstream os;
+  os << "* netlist: " << net.node_count() << " nodes, "
+     << net.resistors().size() << " R, " << net.capacitors().size() << " C, "
+     << net.vsources().size() << " V, " << net.mosfets().size() << " M\n";
+  for (size_t n = 1; n < net.node_count(); ++n) {
+    const NodeId id = static_cast<NodeId>(n);
+    if (net.is_rail(id))
+      os << ".rail " << net.node_name(id) << ' '
+         << format_value(net.rail_initial(id)) << '\n';
+  }
+  for (const auto& r : net.resistors())
+    os << r.name << ' ' << net.node_name(r.a) << ' ' << net.node_name(r.b)
+       << ' ' << format_value(r.ohms) << '\n';
+  for (const auto& c : net.capacitors())
+    os << c.name << ' ' << net.node_name(c.a) << ' ' << net.node_name(c.b)
+       << ' ' << format_value(c.farads) << '\n';
+  for (const auto& v : net.vsources())
+    os << v.name << ' ' << net.node_name(v.pos) << ' ' << net.node_name(v.neg)
+       << ' ' << format_value(v.dc) << '\n';
+  for (const auto& m : net.mosfets()) {
+    os << m.name << ' ' << net.node_name(m.d) << ' ' << net.node_name(m.g)
+       << ' ' << net.node_name(m.s) << (m.is_pmos ? " PMOS" : " NMOS")
+       << " vt=" << format_value(m.params.vt)
+       << " k=" << format_value(m.params.k)
+       << " lambda=" << pf::format_double(m.params.lambda, 6) << '\n';
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace pf::spice

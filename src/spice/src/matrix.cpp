@@ -1,0 +1,70 @@
+#include "pf/spice/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace pf::spice {
+
+void Matrix::clear() {
+  std::memset(a_.data(), 0, a_.size() * sizeof(double));
+}
+
+void lu_factor(Matrix& a, std::vector<size_t>& perm, double min_pivot) {
+  const size_t n = a.rows();
+  PF_CHECK(a.cols() == n);
+  perm.resize(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivot: find the largest magnitude in column k at or below row k.
+    size_t piv = k;
+    double best = std::abs(a(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(a(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < min_pivot)
+      throw ConvergenceError("singular MNA matrix (pivot " +
+                             std::to_string(best) + " at column " +
+                             std::to_string(k) + ")");
+    if (piv != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(k, c), a(piv, c));
+      std::swap(perm[k], perm[piv]);
+    }
+    const double inv_pivot = 1.0 / a(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      const double m = a(r, k) * inv_pivot;
+      a(r, k) = m;
+      if (m == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) a(r, c) -= m * a(k, c);
+    }
+  }
+}
+
+void lu_solve(const Matrix& lu, const std::vector<size_t>& perm,
+              std::vector<double>& b) {
+  const size_t n = lu.rows();
+  PF_CHECK(b.size() == n && perm.size() == n);
+  // Apply permutation.
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = b[perm[i]];
+  // Forward substitution (unit lower triangle).
+  for (size_t r = 1; r < n; ++r) {
+    double s = x[r];
+    for (size_t c = 0; c < r; ++c) s -= lu(r, c) * x[c];
+    x[r] = s;
+  }
+  // Back substitution.
+  for (size_t r = n; r-- > 0;) {
+    double s = x[r];
+    for (size_t c = r + 1; c < n; ++c) s -= lu(r, c) * x[c];
+    x[r] = s / lu(r, r);
+  }
+  b = std::move(x);
+}
+
+}  // namespace pf::spice

@@ -1,0 +1,119 @@
+#include "pf/spice/netlist.hpp"
+
+namespace pf::spice {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  rail_flags_.push_back(0);
+  rail_initials_.push_back(0.0);
+  node_index_["0"] = kGround;
+  node_index_["gnd"] = kGround;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  if (auto it = node_index_.find(name); it != node_index_.end())
+    return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  rail_flags_.push_back(0);
+  rail_initials_.push_back(0.0);
+  node_index_[name] = id;
+  return id;
+}
+
+NodeId Netlist::add_rail(const std::string& name, double initial) {
+  PF_CHECK_MSG(!node_index_.contains(name), "rail " << name << " already a node");
+  const NodeId id = node(name);
+  rail_flags_[id] = 1;
+  rail_initials_[id] = initial;
+  return id;
+}
+
+bool Netlist::is_rail(NodeId id) const {
+  check_node(id);
+  return rail_flags_[id] != 0;
+}
+
+double Netlist::rail_initial(NodeId id) const {
+  check_node(id);
+  PF_CHECK_MSG(rail_flags_[id], node_names_[id] << " is not a rail");
+  return rail_initials_[id];
+}
+
+std::optional<NodeId> Netlist::find_node(const std::string& name) const {
+  if (auto it = node_index_.find(name); it != node_index_.end())
+    return it->second;
+  return std::nullopt;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  PF_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < node_names_.size(),
+               "bad node id " << id);
+  return node_names_[id];
+}
+
+void Netlist::check_node(NodeId id) const {
+  PF_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < node_names_.size(),
+               "bad node id " << id);
+}
+
+void Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
+                           double ohms) {
+  check_node(a);
+  check_node(b);
+  PF_CHECK_MSG(ohms > 0, "resistor " << name << " needs positive resistance");
+  resistors_.push_back({name, a, b, ohms});
+}
+
+void Netlist::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                            double farads) {
+  check_node(a);
+  check_node(b);
+  PF_CHECK_MSG(farads > 0, "capacitor " << name << " needs positive value");
+  capacitors_.push_back({name, a, b, farads});
+}
+
+SourceId Netlist::add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                              double dc) {
+  check_node(pos);
+  check_node(neg);
+  PF_CHECK_MSG(!rail_flags_[pos] && !rail_flags_[neg],
+               "vsource " << name << " may not drive a rail node");
+  vsources_.push_back({name, pos, neg, dc});
+  return static_cast<SourceId>(vsources_.size() - 1);
+}
+
+void Netlist::add_nmos(const std::string& name, NodeId d, NodeId g, NodeId s,
+                       const MosParams& p) {
+  check_node(d);
+  check_node(g);
+  check_node(s);
+  mosfets_.push_back({name, d, g, s, p, /*is_pmos=*/false});
+}
+
+void Netlist::add_pmos(const std::string& name, NodeId d, NodeId g, NodeId s,
+                       const MosParams& p) {
+  check_node(d);
+  check_node(g);
+  check_node(s);
+  mosfets_.push_back({name, d, g, s, p, /*is_pmos=*/true});
+}
+
+void Netlist::set_resistance(const std::string& name, double ohms) {
+  PF_CHECK_MSG(ohms > 0, "resistance must be positive");
+  for (auto& r : resistors_) {
+    if (r.name == name) {
+      r.ohms = ohms;
+      return;
+    }
+  }
+  throw Error("set_resistance: no resistor named " + name);
+}
+
+SourceId Netlist::find_source(const std::string& name) const {
+  for (size_t i = 0; i < vsources_.size(); ++i)
+    if (vsources_[i].name == name) return static_cast<SourceId>(i);
+  throw Error("no voltage source named " + name);
+}
+
+}  // namespace pf::spice

@@ -1,0 +1,76 @@
+#include "pf/spice/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pf/util/strings.hpp"
+
+namespace pf::spice {
+
+Trace::Trace(const Netlist& netlist, std::vector<std::string> probe_names)
+    : names_(std::move(probe_names)) {
+  PF_CHECK_MSG(!names_.empty(), "trace needs at least one probe");
+  for (const auto& name : names_) {
+    const auto id = netlist.find_node(name);
+    PF_CHECK_MSG(id.has_value(), "no node named " << name);
+    nodes_.push_back(*id);
+  }
+  values_.resize(names_.size());
+}
+
+Simulator::StepCallback Trace::callback() {
+  return [this](double t, const Simulator& sim) {
+    times_.push_back(t);
+    for (size_t i = 0; i < nodes_.size(); ++i)
+      values_[i].push_back(sim.node_voltage(nodes_[i]));
+  };
+}
+
+const std::vector<double>& Trace::series(size_t probe) const {
+  PF_CHECK_MSG(probe < values_.size(), "bad probe index " << probe);
+  return values_[probe];
+}
+
+double Trace::sample_at(size_t probe, double t) const {
+  const auto& v = series(probe);
+  PF_CHECK_MSG(!v.empty(), "trace is empty");
+  if (t <= times_.front()) return v.front();
+  if (t >= times_.back()) return v.back();
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  const size_t hi = static_cast<size_t>(it - times_.begin());
+  const size_t lo = hi - 1;
+  const double f = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return v[lo] + f * (v[hi] - v[lo]);
+}
+
+double Trace::min_of(size_t probe) const {
+  const auto& v = series(probe);
+  PF_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Trace::max_of(size_t probe) const {
+  const auto& v = series(probe);
+  PF_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+void Trace::clear() {
+  times_.clear();
+  for (auto& v : values_) v.clear();
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "time";
+  for (const auto& n : names_) os << ',' << n;
+  os << '\n';
+  for (size_t k = 0; k < times_.size(); ++k) {
+    os << times_[k];
+    for (const auto& v : values_) os << ',' << v[k];
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pf::spice

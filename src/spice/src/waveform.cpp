@@ -1,0 +1,64 @@
+#include "pf/spice/waveform.hpp"
+
+#include <algorithm>
+
+namespace pf::spice {
+
+void Pwl::add_point(double t, double v) {
+  PF_CHECK_MSG(points_.empty() || t >= points_.back().t,
+               "PWL times must be non-decreasing");
+  points_.push_back({t, v});
+}
+
+double Pwl::value(double t) const {
+  PF_CHECK(!points_.empty());
+  if (t <= points_.front().t) return points_.front().v;
+  if (t >= points_.back().t) return points_.back().v;
+  // Binary search for the segment containing t.
+  size_t lo = 0, hi = points_.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (points_[mid].t <= t)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const auto& p0 = points_[lo];
+  const auto& p1 = points_[hi];
+  if (p1.t == p0.t) return p1.v;
+  const double f = (t - p0.t) / (p1.t - p0.t);
+  return p0.v + f * (p1.v - p0.v);
+}
+
+std::vector<double> Pwl::breakpoints_between(double t0, double t1) const {
+  std::vector<double> out;
+  for (const auto& p : points_)
+    if (p.t > t0 && p.t < t1) out.push_back(p.t);
+  return out;
+}
+
+void Pwl::compact_before(double t) {
+  if (points_.size() < 2) return;
+  const double v = value(t);
+  auto first_kept = std::find_if(points_.begin(), points_.end(),
+                                 [&](const Point& p) { return p.t >= t; });
+  points_.erase(points_.begin(), first_kept);
+  points_.insert(points_.begin(), Point{t, v});
+}
+
+void RampedLevel::retarget(double t_now, double target, double slew) {
+  PF_CHECK(slew >= 0.0);
+  start_v_ = value(t_now);
+  t_start_ = t_now;
+  t_end_ = t_now + slew;
+  end_v_ = target;
+}
+
+double RampedLevel::value(double t) const {
+  if (t >= t_end_ || t_end_ <= t_start_) return end_v_;
+  if (t <= t_start_) return start_v_;
+  const double f = (t - t_start_) / (t_end_ - t_start_);
+  return start_v_ + f * (end_v_ - start_v_);
+}
+
+}  // namespace pf::spice

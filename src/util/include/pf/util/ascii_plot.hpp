@@ -1,0 +1,35 @@
+// ASCII rendering of region maps — reproduces the look of the paper's
+// Figure 3 / Figure 4 (fault regions in the (R_def, U) plane) on a terminal.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pf/util/grid.hpp"
+
+namespace pf {
+
+struct AsciiPlotOptions {
+  std::string title;
+  std::string x_label = "U [V]";
+  std::string y_label = "R [ohm]";
+  bool y_log = false;       ///< label the y axis with log-spaced ticks
+  char empty_cell = '.';    ///< glyph for "no fault"
+  size_t max_rows = 40;     ///< grid rows are down-sampled to at most this
+  size_t max_cols = 72;
+};
+
+/// Render a character grid. `glyph(ix, iy)` returns the character to draw for
+/// grid cell (ix, iy); rows are drawn with the *last* y row on top so that
+/// increasing y (e.g. R_def) points up, matching the paper's figures.
+std::string render_region_map(size_t width, size_t height,
+                              const std::vector<double>& x_axis,
+                              const std::vector<double>& y_axis,
+                              const std::function<char(size_t, size_t)>& glyph,
+                              const AsciiPlotOptions& opt);
+
+/// Convenience overload for Grid2D<char>.
+std::string render_region_map(const Grid2D<char>& grid,
+                              const AsciiPlotOptions& opt);
+
+}  // namespace pf

@@ -1,0 +1,26 @@
+// Minimal CSV writer used by the benches to dump region maps / sweep series
+// so plots can be regenerated outside the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pf {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws pf::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Quote a CSV field if needed (comma, quote or newline present).
+std::string csv_escape(const std::string& field);
+
+}  // namespace pf

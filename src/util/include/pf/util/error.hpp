@@ -1,0 +1,61 @@
+// Error handling primitives shared by every pf_* library.
+//
+// The libraries signal contract violations and unrecoverable conditions with
+// pf::Error (derived from std::runtime_error) so callers can distinguish
+// library failures from standard-library failures. The PF_CHECK/PF_REQUIRE
+// macros attach file:line context automatically.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pf {
+
+/// Base exception for all pf_* libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when parsing textual notation (FPs, march tests, netlists) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical solve fails to converge.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pf
+
+/// Precondition / invariant check that throws pf::Error with context.
+#define PF_CHECK(expr)                                                    \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::pf::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+
+/// Check with an extra streamed message: PF_CHECK_MSG(x > 0, "x=" << x).
+#define PF_CHECK_MSG(expr, msg)                                           \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream pf_check_os_;                                    \
+      pf_check_os_ << msg;                                                \
+      ::pf::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                        pf_check_os_.str());              \
+    }                                                                     \
+  } while (false)

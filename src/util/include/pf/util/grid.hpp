@@ -1,0 +1,51 @@
+// Axis generation and dense 2-D grids for (R_def, U) region maps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pf/util/error.hpp"
+
+namespace pf {
+
+/// Generate `n` linearly spaced samples over [lo, hi] (inclusive). n >= 1.
+std::vector<double> linspace(double lo, double hi, size_t n);
+
+/// Generate `n` logarithmically spaced samples over [lo, hi]; lo, hi > 0.
+std::vector<double> logspace(double lo, double hi, size_t n);
+
+/// Dense row-major 2-D grid of T with axis metadata. Rows index the y axis
+/// (e.g. R_def), columns index the x axis (e.g. the floating voltage U).
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(std::vector<double> x_axis, std::vector<double> y_axis, T fill = T{})
+      : x_(std::move(x_axis)), y_(std::move(y_axis)),
+        data_(x_.size() * y_.size(), fill) {
+    PF_CHECK(!x_.empty() && !y_.empty());
+  }
+
+  size_t width() const { return x_.size(); }
+  size_t height() const { return y_.size(); }
+  const std::vector<double>& x_axis() const { return x_; }
+  const std::vector<double>& y_axis() const { return y_; }
+
+  T& at(size_t ix, size_t iy) {
+    PF_CHECK_MSG(ix < width() && iy < height(), "ix=" << ix << " iy=" << iy);
+    return data_[iy * width() + ix];
+  }
+  const T& at(size_t ix, size_t iy) const {
+    PF_CHECK_MSG(ix < width() && iy < height(), "ix=" << ix << " iy=" << iy);
+    return data_[iy * width() + ix];
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<T> data_;
+};
+
+}  // namespace pf

@@ -1,0 +1,74 @@
+// Closed-interval and interval-set arithmetic on the real line.
+//
+// The partial-fault rule of the paper (Section 3) asks whether a fault
+// primitive is observed for a *limited range* of a floating voltage V_f, or
+// for the entire physically reachable range. Region extraction therefore
+// needs: unions of observation bands, coverage tests against the full axis,
+// and band boundaries. IntervalSet provides exactly that.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pf {
+
+/// A closed interval [lo, hi]. Empty iff lo > hi.
+struct Interval {
+  double lo = 1.0;
+  double hi = 0.0;  // default-constructed interval is empty
+
+  Interval() = default;
+  Interval(double lo_, double hi_) : lo(lo_), hi(hi_) {}
+
+  bool empty() const { return lo > hi; }
+  double length() const { return empty() ? 0.0 : hi - lo; }
+  bool contains(double x) const { return !empty() && lo <= x && x <= hi; }
+  bool overlaps(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+  /// True when the union of *this and o is a single interval
+  /// (they overlap or touch within `eps`).
+  bool touches(const Interval& o, double eps = 0.0) const {
+    return !empty() && !o.empty() && lo <= o.hi + eps && o.lo <= hi + eps;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return (a.empty() && b.empty()) || (a.lo == b.lo && a.hi == b.hi);
+  }
+
+  std::string to_string() const;
+};
+
+/// A set of disjoint, sorted, non-touching closed intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv) { insert(iv); }
+
+  /// Insert an interval, merging with existing ones that overlap or touch
+  /// within `merge_eps`.
+  void insert(Interval iv, double merge_eps = 0.0);
+
+  bool empty() const { return parts_.empty(); }
+  size_t size() const { return parts_.size(); }
+  const std::vector<Interval>& parts() const { return parts_; }
+
+  bool contains(double x) const;
+  double total_length() const;
+
+  /// Smallest interval containing the whole set (empty set -> empty interval).
+  Interval hull() const;
+
+  /// True when the set covers [domain.lo, domain.hi] up to a slack of `eps`
+  /// at each gap and at each end. This is the paper's test for a fault that
+  /// is sensitized "for any initial voltage".
+  bool covers(const Interval& domain, double eps) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Interval> parts_;
+};
+
+}  // namespace pf

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Off by default; benches and examples raise the
+// level to narrate long sweeps. Not thread-safe by design (all pf_* sweeps
+// log from the driving thread only).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pf {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+/// Global log threshold (default kOff).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace pf
+
+#define PF_LOG_INFO(msg)                                        \
+  do {                                                          \
+    if (::pf::log_level() >= ::pf::LogLevel::kInfo) {           \
+      std::ostringstream pf_log_os_;                            \
+      pf_log_os_ << msg;                                        \
+      ::pf::log_line(::pf::LogLevel::kInfo, pf_log_os_.str());  \
+    }                                                           \
+  } while (false)
+
+#define PF_LOG_DEBUG(msg)                                       \
+  do {                                                          \
+    if (::pf::log_level() >= ::pf::LogLevel::kDebug) {          \
+      std::ostringstream pf_log_os_;                            \
+      pf_log_os_ << msg;                                        \
+      ::pf::log_line(::pf::LogLevel::kDebug, pf_log_os_.str()); \
+    }                                                           \
+  } while (false)

@@ -1,0 +1,40 @@
+// Deterministic splitmix64-based RNG for property tests and randomized
+// workloads. Header-only; seeded explicitly so every run is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace pf {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n) for n > 0.
+  uint64_t next_below(uint64_t n) { return next_u64() % n; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pf

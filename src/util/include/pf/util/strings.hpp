@@ -1,0 +1,32 @@
+// Small string utilities used by the notation parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pf {
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// Split on a single character delimiter; elements are trimmed.
+/// Empty elements are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on a delimiter, dropping empty elements after trimming.
+std::vector<std::string> split_nonempty(std::string_view s, char delim);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style double formatting with trailing-zero trimming ("1.5", "0.25").
+std::string format_double(double v, int max_decimals = 6);
+
+}  // namespace pf

@@ -1,0 +1,30 @@
+// Plain-text table formatter used by the bench harnesses to print the
+// paper's tables (e.g. Table 1) in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pf {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  /// Render as CSV (no alignment padding).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pf

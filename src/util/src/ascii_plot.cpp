@@ -1,0 +1,88 @@
+#include "pf/util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "pf/util/strings.hpp"
+
+namespace pf {
+namespace {
+
+std::string axis_value_label(double v, bool log_axis) {
+  if (log_axis) {
+    if (v >= 1e6) return format_double(v / 1e6, 2) + "M";
+    if (v >= 1e3) return format_double(v / 1e3, 1) + "k";
+  }
+  return format_double(v, 2);
+}
+
+}  // namespace
+
+std::string render_region_map(size_t width, size_t height,
+                              const std::vector<double>& x_axis,
+                              const std::vector<double>& y_axis,
+                              const std::function<char(size_t, size_t)>& glyph,
+                              const AsciiPlotOptions& opt) {
+  PF_CHECK(width == x_axis.size() && height == y_axis.size());
+  const size_t rows = std::min(height, opt.max_rows);
+  const size_t cols = std::min(width, opt.max_cols);
+  auto row_of = [&](size_t r) {
+    return rows == 1 ? size_t{0} : (r * (height - 1)) / (rows - 1);
+  };
+  auto col_of = [&](size_t c) {
+    return cols == 1 ? size_t{0} : (c * (width - 1)) / (cols - 1);
+  };
+
+  std::ostringstream os;
+  if (!opt.title.empty()) os << opt.title << '\n';
+  os << "  " << opt.y_label << '\n';
+
+  const int label_w = 9;
+  for (size_t r = rows; r-- > 0;) {
+    const size_t iy = row_of(r);
+    std::string label;
+    // Tick label every few rows and on the extremes.
+    if (r == 0 || r + 1 == rows || r % 5 == 0)
+      label = axis_value_label(y_axis[iy], opt.y_log);
+    os << ' ';
+    os.width(label_w);
+    os << label;
+    os << " |";
+    for (size_t c = 0; c < cols; ++c) os << glyph(col_of(c), iy);
+    os << '\n';
+  }
+  os << ' ';
+  os.width(label_w);
+  os << ' ';
+  os << " +";
+  for (size_t c = 0; c < cols; ++c) os << '-';
+  os << '\n';
+  // x tick labels: ends and middle.
+  std::string xt(cols + label_w + 3, ' ');
+  auto put = [&](size_t col, const std::string& s) {
+    const size_t pos = label_w + 3 + col;
+    for (size_t i = 0; i < s.size() && pos + i < xt.size(); ++i)
+      xt[pos + i] = s[i];
+  };
+  put(0, axis_value_label(x_axis.front(), false));
+  if (cols >= 24)
+    put(cols / 2, axis_value_label(x_axis[col_of(cols / 2)], false));
+  const std::string last = axis_value_label(x_axis.back(), false);
+  if (cols >= last.size()) put(cols - last.size(), last);
+  os << xt << "  " << opt.x_label << '\n';
+  return os.str();
+}
+
+std::string render_region_map(const Grid2D<char>& grid,
+                              const AsciiPlotOptions& opt) {
+  return render_region_map(
+      grid.width(), grid.height(), grid.x_axis(), grid.y_axis(),
+      [&](size_t ix, size_t iy) {
+        const char c = grid.at(ix, iy);
+        return c == '\0' ? opt.empty_cell : c;
+      },
+      opt);
+}
+
+}  // namespace pf

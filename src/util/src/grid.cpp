@@ -1,0 +1,29 @@
+#include "pf/util/grid.hpp"
+
+#include <cmath>
+
+namespace pf {
+
+std::vector<double> linspace(double lo, double hi, size_t n) {
+  PF_CHECK(n >= 1);
+  std::vector<double> v(n);
+  if (n == 1) {
+    v[0] = lo;
+    return v;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) v[i] = lo + step * static_cast<double>(i);
+  v.back() = hi;  // avoid accumulated rounding at the top end
+  return v;
+}
+
+std::vector<double> logspace(double lo, double hi, size_t n) {
+  PF_CHECK_MSG(lo > 0 && hi > 0, "logspace needs positive bounds");
+  auto exps = linspace(std::log10(lo), std::log10(hi), n);
+  for (auto& e : exps) e = std::pow(10.0, e);
+  exps.back() = hi;
+  if (!exps.empty()) exps.front() = lo;
+  return exps;
+}
+
+}  // namespace pf

@@ -1,0 +1,73 @@
+#include "pf/util/interval.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pf/util/strings.hpp"
+
+namespace pf {
+
+std::string Interval::to_string() const {
+  if (empty()) return "[]";
+  return "[" + format_double(lo, 4) + ", " + format_double(hi, 4) + "]";
+}
+
+void IntervalSet::insert(Interval iv, double merge_eps) {
+  if (iv.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(parts_.size() + 1);
+  for (const auto& p : parts_) {
+    if (p.touches(iv, merge_eps)) {
+      iv.lo = std::min(iv.lo, p.lo);
+      iv.hi = std::max(iv.hi, p.hi);
+    } else {
+      out.push_back(p);
+    }
+  }
+  out.push_back(iv);
+  std::sort(out.begin(), out.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  parts_ = std::move(out);
+}
+
+bool IntervalSet::contains(double x) const {
+  return std::any_of(parts_.begin(), parts_.end(),
+                     [&](const Interval& p) { return p.contains(x); });
+}
+
+double IntervalSet::total_length() const {
+  double s = 0;
+  for (const auto& p : parts_) s += p.length();
+  return s;
+}
+
+Interval IntervalSet::hull() const {
+  if (parts_.empty()) return Interval{};
+  return Interval{parts_.front().lo, parts_.back().hi};
+}
+
+bool IntervalSet::covers(const Interval& domain, double eps) const {
+  if (domain.empty()) return true;
+  if (parts_.empty()) return false;
+  double reach = domain.lo;
+  for (const auto& p : parts_) {
+    if (p.lo > reach + eps) return false;  // gap before this part
+    reach = std::max(reach, p.hi);
+    if (reach + eps >= domain.hi) return true;
+  }
+  return reach + eps >= domain.hi;
+}
+
+std::string IntervalSet::to_string() const {
+  if (parts_.empty()) return "{}";
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i) os << " u ";
+    os << parts_[i].to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pf

@@ -1,0 +1,17 @@
+#include "pf/util/log.hpp"
+
+#include <iostream>
+
+namespace pf {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (g_level >= level) std::cerr << "[pf] " << msg << '\n';
+}
+
+}  // namespace pf

@@ -1,0 +1,61 @@
+#include "pf/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pf/util/error.hpp"
+
+namespace pf {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PF_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PF_CHECK_MSG(row.size() == header_.size(),
+               "row arity " << row.size() << " != header " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> w(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      os << (c ? " | " : "| ") << r[c]
+         << std::string(w[c] - r[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "-+-" : "+-") << std::string(w[c], '-');
+  os << "-+\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      // Quote fields containing commas.
+      if (r[c].find(',') != std::string::npos)
+        os << '"' << r[c] << '"';
+      else
+        os << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace pf

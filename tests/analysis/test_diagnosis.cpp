@@ -1,0 +1,113 @@
+// Fault-dictionary diagnosis from march fail signatures.
+#include <gtest/gtest.h>
+
+#include "pf/analysis/diagnosis.hpp"
+#include "pf/march/library.hpp"
+
+namespace pf::analysis {
+namespace {
+
+using dram::Defect;
+using dram::DramColumn;
+using dram::DramParams;
+using dram::OpenSite;
+
+std::vector<Defect> candidate_set() {
+  return {
+      Defect::open(OpenSite::kBitLineOuter, 10e6),
+      Defect::open(OpenSite::kCell, 400e3),
+      Defect::open(OpenSite::kIoPath, 100e6),
+      Defect::open(OpenSite::kPrecharge, 10e6),
+      Defect::short_to_ground(500.0),
+      Defect::bridge(500.0),
+  };
+}
+
+TEST(Diagnosis, SignatureKeyIsCanonical) {
+  march::MarchResult pass;
+  EXPECT_EQ(signature_key(pass), "PASS");
+  march::MarchResult fail;
+  fail.fails.push_back({1, 2, 1, 0});
+  fail.fails.push_back({3, 0, 0, 1});
+  EXPECT_EQ(signature_key(fail), "e1@2:1>0;e3@0:0>1;");
+}
+
+TEST(Diagnosis, FaultFreeColumnSignatureIsPass) {
+  EXPECT_EQ(simulate_signature(march::march_pf(), DramParams{},
+                               Defect::none()),
+            "PASS");
+}
+
+TEST(Diagnosis, DictionaryRecoversTheInjectedDefect) {
+  const auto dict = FaultDictionary::build(march::march_pf(), DramParams{},
+                                           candidate_set());
+  EXPECT_EQ(dict.size(), candidate_set().size());
+  for (const Defect& truth : candidate_set()) {
+    DramColumn dut(DramParams{}, truth);
+    const auto matches = dict.diagnose(dut);
+    ASSERT_FALSE(matches.empty()) << dram::defect_name(truth);
+    bool found = false;
+    for (const auto& m : matches)
+      found |= m.kind == truth.kind && m.site == truth.site;
+    EXPECT_TRUE(found) << dram::defect_name(truth) << " not among "
+                       << matches.size() << " matches";
+  }
+}
+
+TEST(Diagnosis, DistinctSignaturesSeparateSomeDefects) {
+  const auto dict = FaultDictionary::build(march::march_pf(), DramParams{},
+                                           candidate_set());
+  EXPECT_GE(dict.distinct_signatures(), 3u);
+  EXPECT_LT(dict.distinct_signatures(), dict.size())
+      << "some defects alias under a single test (expected)";
+}
+
+TEST(Diagnosis, MultiTestDictionaryReducesAmbiguity) {
+  const auto single = FaultDictionary::build(march::march_pf(), DramParams{},
+                                             candidate_set());
+  const auto multi = FaultDictionary::build(
+      {march::march_pf(), march::march_c_minus(), march::mats_plus()},
+      DramParams{}, candidate_set());
+  // More tests can only refine the partition (never merge signatures). The
+  // residual groups here — Opens 3/4/5 and short-vs-bridge — are genuinely
+  // electrically equivalent on this column, so equality is legitimate.
+  EXPECT_GE(multi.distinct_signatures(), single.distinct_signatures());
+  // And it still recovers every defect.
+  for (const Defect& truth : candidate_set()) {
+    DramColumn dut(DramParams{}, truth);
+    const auto matches = multi.diagnose(dut);
+    bool found = false;
+    for (const auto& m : matches)
+      found |= m.kind == truth.kind && m.site == truth.site;
+    EXPECT_TRUE(found) << dram::defect_name(truth);
+  }
+}
+
+TEST(Diagnosis, UnknownSignatureReturnsNothing) {
+  const auto dict = FaultDictionary::build(march::march_pf(), DramParams{},
+                                           candidate_set());
+  EXPECT_TRUE(dict.lookup("e9@9:1>0;|").empty());
+  EXPECT_TRUE(dict.lookup("PASS|").empty());
+}
+
+TEST(Diagnosis, FaultFreeDutYieldsNoCandidates) {
+  const auto dict = FaultDictionary::build(march::march_pf(), DramParams{},
+                                           candidate_set());
+  DramColumn healthy(DramParams{}, Defect::none());
+  EXPECT_TRUE(dict.diagnose(healthy).empty());
+}
+
+TEST(Diagnosis, ResistanceVariantsOftenShareSignatures) {
+  // Two R_def values of the same open in its saturated regime produce the
+  // same fail log — diagnosis identifies the LOCATION, not the resistance.
+  const auto k1 = simulate_signature(
+      march::march_pf(), DramParams{},
+      Defect::open(OpenSite::kBitLineOuter, 5e6));
+  const auto k2 = simulate_signature(
+      march::march_pf(), DramParams{},
+      Defect::open(OpenSite::kBitLineOuter, 50e6));
+  EXPECT_EQ(k1, k2);
+}
+
+}  // namespace
+}  // namespace pf::analysis

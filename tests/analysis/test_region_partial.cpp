@@ -1,0 +1,106 @@
+// Region sweeps and the partial-fault identification rule, on coarse grids
+// (the full-resolution sweeps live in the bench harnesses).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pf/analysis/partial.hpp"
+#include "pf/analysis/region.hpp"
+
+namespace pf::analysis {
+namespace {
+
+using dram::Defect;
+using dram::DramParams;
+using dram::OpenSite;
+using faults::Ffm;
+using faults::Sos;
+
+SweepSpec bitline_open_spec(const char* sos_text) {
+  SweepSpec spec;
+  spec.params = DramParams{};
+  spec.defect = Defect::open(OpenSite::kBitLineOuter, 1e6);
+  spec.sos = Sos::parse(sos_text);
+  spec.r_axis = pf::logspace(30e3, 10e6, 5);
+  spec.u_axis = pf::linspace(0.0, 3.3, 6);
+  return spec;
+}
+
+TEST(RegionSweep, Figure3aShape) {
+  // Paper Figure 3(a): SOS 1r1 on a bit-line open shows RDF1 only for LOW
+  // floating voltages; above a threshold no fault is observed.
+  const RegionMap map = sweep_region(bitline_open_spec("1r1"));
+  EXPECT_GT(map.count(Ffm::kRDF1), 0u);
+  // At the top row (largest R_def), the fault band is a proper low-U band.
+  const size_t top = map.grid().height() - 1;
+  const auto band = map.u_band(Ffm::kRDF1, top);
+  ASSERT_FALSE(band.empty());
+  EXPECT_LT(band.hull().hi, 2.0) << "fault must vanish at high U";
+  EXPECT_LE(band.hull().lo, 0.5) << "fault present at low U";
+  EXPECT_FALSE(map.has_fully_covered_row(Ffm::kRDF1));
+}
+
+TEST(RegionSweep, Figure3aIdentifiesPartialRdf1) {
+  const RegionMap map = sweep_region(bitline_open_spec("1r1"));
+  const auto findings = identify_partial_faults(map);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].ffm, Ffm::kRDF1);
+  EXPECT_TRUE(findings[0].partial);
+  EXPECT_LT(findings[0].best_coverage, 0.8);
+  EXPECT_GT(findings[0].min_r_def, 0.0);
+}
+
+TEST(RegionSweep, Figure3bCompletedSosIndependentOfU) {
+  // Paper Figure 3(b): with the completing w0 to a same-BL cell, the fault
+  // covers the entire floating-voltage axis at large R_def.
+  const RegionMap map = sweep_region(bitline_open_spec("1v [w0BL] r1v"));
+  EXPECT_TRUE(map.has_fully_covered_row(Ffm::kRDF1));
+  EXPECT_TRUE(is_completed(map, Ffm::kRDF1));
+}
+
+TEST(RegionSweep, CompletedThresholdMatchesPartialMinimum) {
+  // Section 3: the completed fault's R_def threshold equals the minimum
+  // R_def of the partial region (within one grid step).
+  const RegionMap partial = sweep_region(bitline_open_spec("1r1"));
+  const RegionMap completed =
+      sweep_region(bitline_open_spec("1v [w0BL] r1v"));
+  const double r_partial = partial.min_r(Ffm::kRDF1);
+  const double r_completed = completed.min_r(Ffm::kRDF1);
+  EXPECT_NEAR(std::log10(r_completed), std::log10(r_partial), 0.8);
+}
+
+TEST(RegionSweep, FaultFreeRegionIsEmpty) {
+  // A tiny open behaves like a benign socket: no fault anywhere.
+  SweepSpec spec = bitline_open_spec("1r1");
+  spec.r_axis = {20.0, 100.0};
+  const RegionMap map = sweep_region(spec);
+  EXPECT_TRUE(map.observed_ffms().empty());
+  EXPECT_TRUE(std::isnan(map.min_r(Ffm::kRDF1)));
+}
+
+TEST(RegionSweep, RenderShowsGlyphAndLegend) {
+  const RegionMap map = sweep_region(bitline_open_spec("1r1"));
+  const std::string art = map.render("Fig 3(a)");
+  EXPECT_NE(art.find("Fig 3(a)"), std::string::npos);
+  EXPECT_NE(art.find('R'), std::string::npos);
+  EXPECT_NE(art.find("R = RDF1"), std::string::npos);
+  EXPECT_NE(art.find("U [V]"), std::string::npos);
+}
+
+TEST(RegionSweep, DefaultAxesSane) {
+  const auto r = default_r_axis(7);
+  EXPECT_DOUBLE_EQ(r.front(), 10e3);
+  EXPECT_DOUBLE_EQ(r.back(), 10e6);
+  const auto u = default_u_axis(DramParams{}, 5);
+  EXPECT_DOUBLE_EQ(u.front(), 0.0);
+  EXPECT_DOUBLE_EQ(u.back(), 3.3);
+}
+
+TEST(RegionSweep, BadFloatingLineIndexRejected) {
+  SweepSpec spec = bitline_open_spec("1r1");
+  spec.floating_line_index = 5;
+  EXPECT_THROW(sweep_region(spec), pf::Error);
+}
+
+}  // namespace
+}  // namespace pf::analysis

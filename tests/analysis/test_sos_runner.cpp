@@ -1,0 +1,100 @@
+// SOS execution on the electrical column: fault-free expectations, the
+// paper's Figure 1 partial RDF1, completing-operation behaviour.
+#include <gtest/gtest.h>
+
+#include "pf/analysis/sos_runner.hpp"
+
+namespace pf::analysis {
+namespace {
+
+using dram::Defect;
+using dram::DramParams;
+using dram::OpenSite;
+using faults::Ffm;
+using faults::Sos;
+
+const DramParams& params() {
+  static const DramParams p;
+  return p;
+}
+
+TEST(SosRunner, FaultFreeMemoryPassesAllBaseSoses) {
+  for (const char* text : {"0", "1", "0w0", "0w1", "1w0", "1w1", "0r0", "1r1"}) {
+    const SosOutcome out =
+        run_sos(params(), Defect::none(), nullptr, 0.0, Sos::parse(text));
+    EXPECT_FALSE(out.faulty) << text;
+    EXPECT_EQ(out.ffm, Ffm::kUnknown) << text;
+  }
+}
+
+TEST(SosRunner, ReadResultReported) {
+  const SosOutcome out =
+      run_sos(params(), Defect::none(), nullptr, 0.0, Sos::parse("1r1"));
+  EXPECT_EQ(out.read_result, 1);
+  EXPECT_EQ(out.final_state, 1);
+}
+
+TEST(SosRunner, WriteSosHasNoReadResult) {
+  const SosOutcome out =
+      run_sos(params(), Defect::none(), nullptr, 0.0, Sos::parse("0w1"));
+  EXPECT_EQ(out.read_result, -1);
+  EXPECT_EQ(out.final_state, 1);
+}
+
+TEST(SosRunner, BitLineOpenLowFloatIsRdf1) {
+  const auto defect = Defect::open(OpenSite::kBitLineOuter, 10e6);
+  const auto lines = dram::floating_lines_for(defect, params());
+  const SosOutcome out =
+      run_sos(params(), defect, &lines[0], 0.0, Sos::parse("1r1"));
+  ASSERT_TRUE(out.faulty);
+  EXPECT_EQ(out.ffm, Ffm::kRDF1);
+  EXPECT_EQ(out.observed.to_string(), "<1r1/0/0>");
+}
+
+TEST(SosRunner, BitLineOpenHighFloatIsFaultFree) {
+  const auto defect = Defect::open(OpenSite::kBitLineOuter, 10e6);
+  const auto lines = dram::floating_lines_for(defect, params());
+  const SosOutcome out =
+      run_sos(params(), defect, &lines[0], 3.0, Sos::parse("1r1"));
+  EXPECT_FALSE(out.faulty);
+}
+
+TEST(SosRunner, CompletedSosFaultsAtAnyFloat) {
+  const auto defect = Defect::open(OpenSite::kBitLineOuter, 10e6);
+  const auto lines = dram::floating_lines_for(defect, params());
+  const Sos completed = Sos::parse("1v [w0BL] r1v");
+  for (double u : {0.0, 1.1, 2.2, 3.3}) {
+    const SosOutcome out = run_sos(params(), defect, &lines[0], u, completed);
+    EXPECT_TRUE(out.faulty) << "U = " << u;
+    EXPECT_EQ(out.ffm, Ffm::kRDF1) << "U = " << u;
+  }
+}
+
+TEST(SosRunner, StateFaultSosUsesIdleCycle) {
+  // Word-line open with the gate floating high: the op-free SOS "0" must
+  // observe the SF0 (cell charged by the precharge cycle).
+  const auto defect = Defect::open(OpenSite::kWordLine, 100e6);
+  const auto lines = dram::floating_lines_for(defect, params());
+  const SosOutcome out =
+      run_sos(params(), defect, &lines[0], params().vpp, Sos::parse("0"));
+  ASSERT_TRUE(out.faulty);
+  EXPECT_EQ(out.ffm, Ffm::kSF0);
+}
+
+TEST(SosRunner, StateFaultGateLowIsFaultFree) {
+  const auto defect = Defect::open(OpenSite::kWordLine, 100e6);
+  const auto lines = dram::floating_lines_for(defect, params());
+  const SosOutcome out =
+      run_sos(params(), defect, &lines[0], 0.0, Sos::parse("0"));
+  EXPECT_FALSE(out.faulty);
+}
+
+TEST(SosRunner, AggressorInitialStateIsApplied) {
+  const SosOutcome out = run_sos(params(), Defect::none(), nullptr, 0.0,
+                                 Sos::parse("0a 1v r1v"));
+  EXPECT_FALSE(out.faulty);
+  EXPECT_EQ(out.read_result, 1);
+}
+
+}  // namespace
+}  // namespace pf::analysis

@@ -1,0 +1,185 @@
+// Defective-column behaviour: the electrical mechanisms behind the paper's
+// partial faults, exercised directly (no analysis engine yet).
+#include <gtest/gtest.h>
+
+#include "pf/dram/column.hpp"
+
+namespace pf::dram {
+namespace {
+
+DramParams params() { return DramParams{}; }
+
+TEST(DefectColumn, SmallOpenIsBenign) {
+  DramColumn col(params(), Defect::open(OpenSite::kBitLineOuter, 100.0));
+  col.write(0, 1);
+  EXPECT_EQ(col.read(0), 1);
+  col.write(0, 0);
+  EXPECT_EQ(col.read(0), 0);
+}
+
+// The paper's Figure 1 scenario: a large bit-line open between precharge
+// devices and cells. A read-1 works when the floating BL was left high (the
+// w1 preconditioned it), but fails destructively when the BL is pulled low
+// first — the partial RDF1.
+TEST(DefectColumn, BitLineOpenPartialRdf1) {
+  const auto defect = Defect::open(OpenSite::kBitLineOuter, 10e6);
+  DramColumn col(params(), defect);
+  const auto lines = floating_lines_for(defect, params());
+  ASSERT_EQ(lines.size(), 1u);
+
+  // Initialize victim to 1; w1 preconditions the floating BL high.
+  col.write(0, 1);
+  EXPECT_EQ(col.read(0), 1) << "preconditioned BL must read correctly";
+
+  // Re-initialize, then force the floating BL low: the r1 must now fail and
+  // destroy the cell (RDF1 = <1r1/0/0>).
+  col.write(0, 1);
+  col.apply_floating_voltage(lines[0], 0.0);
+  EXPECT_EQ(col.read(0), 0) << "floating-low BL must flip the read";
+  EXPECT_EQ(col.cell_logical(0), 0) << "read must be destructive";
+}
+
+TEST(DefectColumn, BitLineOpenHighFloatDoesNotFault) {
+  const auto defect = Defect::open(OpenSite::kBitLineOuter, 10e6);
+  DramColumn col(params(), defect);
+  const auto lines = floating_lines_for(defect, params());
+  col.write(0, 1);
+  col.apply_floating_voltage(lines[0], 3.0);
+  EXPECT_EQ(col.read(0), 1);
+  EXPECT_EQ(col.cell_logical(0), 1);
+}
+
+// The completing operation of the paper: a w0 to ANOTHER cell on the same
+// bit line pulls the floating BL low, so the subsequent r1 always senses the
+// fault — <1v [w0BL] r1v/0/0> holds for any initial BL voltage.
+TEST(DefectColumn, CompletingWriteZeroSensitizesForAnyFloat) {
+  const auto defect = Defect::open(OpenSite::kBitLineOuter, 10e6);
+  const auto lines = floating_lines_for(defect, params());
+  for (double u : {0.0, 1.0, 2.0, 3.3}) {
+    DramColumn col(params(), defect);
+    col.write(0, 1);
+    col.apply_floating_voltage(lines[0], u);
+    col.write(1, 0);  // completing w0 to the same-BL aggressor
+    EXPECT_EQ(col.read(0), 0) << "U = " << u;
+    EXPECT_EQ(col.cell_logical(0), 0) << "U = " << u;
+  }
+}
+
+// Cell open (Open 1): with a large R_def the cell cannot be charged or
+// discharged within one write window, and reads fail for defect resistances
+// in the paper's 100 kOhm..1 MOhm decade.
+TEST(DefectColumn, CellOpenBlocksReads) {
+  DramColumn col(params(), Defect::open(OpenSite::kCell, 10e6));
+  col.write(0, 1);
+  // The stored node barely moved: far from a written 1.
+  EXPECT_LT(col.cell_voltage(0), 1.0);
+}
+
+TEST(DefectColumn, CellOpenReadZeroFailsWithHighCellFloat) {
+  const auto defect = Defect::open(OpenSite::kCell, 400e3);
+  DramColumn col(params(), defect);
+  col.write(0, 0);
+  col.set_cell_voltage(0, 0.8);  // floating cell voltage (Figure 4 sweep)
+  EXPECT_EQ(col.read(0), 1)
+      << "large R_def blocks the cell's pull-down: bit line stays above the "
+         "offset reference and the r0 returns 1";
+}
+
+TEST(DefectColumn, CellOpenReadZeroWorksAtSmallRdefSameFloat) {
+  const auto defect = Defect::open(OpenSite::kCell, 20e3);
+  DramColumn col(params(), defect);
+  col.write(0, 0);
+  col.set_cell_voltage(0, 0.8);
+  EXPECT_EQ(col.read(0), 0)
+      << "small R_def lets the 0.8 V cell pull the bit line below reference";
+}
+
+TEST(DefectColumn, CellOpenIsolatedCellReadsOne) {
+  // With a huge open the bit line receives no signal at all and the offset
+  // reference makes the read return 1 for ANY floating cell voltage.
+  const auto defect = Defect::open(OpenSite::kCell, 50e6);
+  for (double u : {0.0, 1.0, 2.0, 3.3}) {
+    DramColumn col(params(), defect);
+    col.write(0, 0);
+    col.set_cell_voltage(0, u);
+    EXPECT_EQ(col.read(0), 1) << "U = " << u;
+  }
+}
+
+// Word-line open (Open 9): when the floating gate is high, the cell is
+// permanently connected and the precharge charges it up — the state fault
+// SF0 the paper describes; operations cannot control the gate voltage.
+TEST(DefectColumn, WordLineOpenHighGateCausesStateFault) {
+  const auto defect = Defect::open(OpenSite::kWordLine, 100e6);
+  DramColumn col(params(), defect);
+  const auto lines = floating_lines_for(defect, params());
+  ASSERT_EQ(lines.size(), 1u);
+  col.set_cell_voltage(0, 0.0);  // cell stores 0
+  col.apply_floating_voltage(lines[0], 4.5);
+  col.idle_cycle();  // precharge with the cell connected
+  EXPECT_GT(col.cell_voltage(0), 1.3) << "cell charged up toward VBLEQ";
+  EXPECT_EQ(col.cell_logical(0), 1) << "SF0: the stored 0 became a 1";
+}
+
+TEST(DefectColumn, WordLineOpenLowGateIsolatesCell) {
+  const auto defect = Defect::open(OpenSite::kWordLine, 100e6);
+  DramColumn col(params(), defect);
+  const auto lines = floating_lines_for(defect, params());
+  col.set_cell_voltage(0, 3.3);
+  col.apply_floating_voltage(lines[0], 0.0);
+  col.read(0);  // word line cannot reach the gate
+  EXPECT_GT(col.cell_voltage(0), 3.0) << "cell unreachable, keeps its charge";
+}
+
+TEST(DefectColumn, IoOpenBuffersRetainOldData) {
+  // Open 8: the output buffer cannot be driven by reads; it retains the last
+  // written value (incorrect read faults guarded by the buffer state).
+  DramColumn col(params(), Defect::open(OpenSite::kIoPath, 100e6));
+  col.write(1, 1);  // shared IO leaves buffer = 1 (driver side of the open)
+  EXPECT_EQ(col.output_buffer(), 1);
+  col.set_cell_voltage(0, 0.0);
+  EXPECT_EQ(col.read(0), 1) << "read cannot update the buffer through the open";
+}
+
+TEST(DefectColumn, HardShortToGroundKillsStoredOnes) {
+  DramColumn col(params(), Defect::short_to_ground(100.0));
+  col.write(0, 1);
+  EXPECT_EQ(col.read(0), 0);
+}
+
+TEST(DefectColumn, WeakShortIsBenign) {
+  DramColumn col(params(), Defect::short_to_ground(100e9));
+  col.write(0, 1);
+  EXPECT_EQ(col.read(0), 1);
+}
+
+TEST(DefectColumn, FloatingLineMetadataMatchesPaperSection2) {
+  const DramParams p;
+  EXPECT_EQ(floating_lines_for(Defect::open(OpenSite::kCell, 1e6), p)[0].label,
+            "Memory cell");
+  EXPECT_EQ(
+      floating_lines_for(Defect::open(OpenSite::kPrecharge, 1e6), p)[0].label,
+      "Bit line");
+  EXPECT_EQ(
+      floating_lines_for(Defect::open(OpenSite::kWordLine, 1e6), p)[0].label,
+      "Word line");
+  const auto o7 = floating_lines_for(Defect::open(OpenSite::kSenseAmp, 1e6), p);
+  ASSERT_EQ(o7.size(), 2u);
+  EXPECT_EQ(o7[0].label, "Reference cell");
+  EXPECT_EQ(o7[1].label, "Output buffer");
+  EXPECT_TRUE(o7[1].ties_output_buffer);
+  // Shorts and bridges float nothing (Section 2).
+  EXPECT_TRUE(floating_lines_for(Defect::bridge(1e3), p).empty());
+  EXPECT_TRUE(floating_lines_for(Defect::short_to_vdd(1e3), p).empty());
+}
+
+TEST(DefectColumn, DefectNamesReadable) {
+  EXPECT_EQ(defect_name(Defect::open(OpenSite::kBitLineOuter, 1e6)), "Open 4");
+  EXPECT_EQ(defect_name(Defect::none()), "fault-free");
+  EXPECT_EQ(open_number(OpenSite::kWordLine), 9);
+  EXPECT_EQ(Defect::open(OpenSite::kCell, 150e3).to_string(),
+            "Open 1 (R_def = 150 kOhm)");
+}
+
+}  // namespace
+}  // namespace pf::dram

@@ -1,0 +1,121 @@
+// Parameterized DRAM-column properties: data storage across the full
+// address/value space, data-background complement symmetry, benign-defect
+// thresholds per open site.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pf/dram/column.hpp"
+
+namespace pf::dram {
+namespace {
+
+// --- every (address, value) pair stores and reads back -------------------
+
+class StorageProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StorageProperty, WriteReadRoundTrip) {
+  const auto [addr, value] = GetParam();
+  DramColumn col(DramParams{}, Defect::none());
+  col.write(addr, value);
+  EXPECT_EQ(col.read(addr), value);
+  // And again after an intervening opposite write elsewhere.
+  col.write((addr + 1) % DramColumn::kNumCells, 1 - value);
+  EXPECT_EQ(col.read(addr), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, StorageProperty,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(0, 1)));
+
+// --- complement data background behaves symmetrically --------------------
+
+class ComplementSymmetry : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplementSymmetry, PatternAndComplementBothHold) {
+  const int pattern = GetParam();
+  DramColumn col(DramParams{}, Defect::none());
+  for (int a = 0; a < DramColumn::kNumCells; ++a)
+    col.write(a, (pattern >> a) & 1);
+  for (int a = 0; a < DramColumn::kNumCells; ++a)
+    EXPECT_EQ(col.read(a), (pattern >> a) & 1) << "pattern " << pattern;
+  for (int a = 0; a < DramColumn::kNumCells; ++a)
+    col.write(a, 1 - ((pattern >> a) & 1));
+  for (int a = 0; a < DramColumn::kNumCells; ++a)
+    EXPECT_EQ(col.read(a), 1 - ((pattern >> a) & 1)) << "pattern " << pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackgrounds, ComplementSymmetry,
+                         ::testing::Range(0, 16));
+
+// --- small opens are benign at every site ---------------------------------
+
+class BenignOpenProperty : public ::testing::TestWithParam<OpenSite> {};
+
+TEST_P(BenignOpenProperty, HundredOhmOpenDoesNotDisturbOperation) {
+  DramColumn col(DramParams{}, Defect::open(GetParam(), 100.0));
+  col.write(0, 1);
+  col.write(1, 0);
+  EXPECT_EQ(col.read(0), 1);
+  EXPECT_EQ(col.read(1), 0);
+  col.write(0, 0);
+  EXPECT_EQ(col.read(0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, BenignOpenProperty,
+    ::testing::Values(OpenSite::kCell, OpenSite::kRefCell,
+                      OpenSite::kPrecharge, OpenSite::kBitLineOuter,
+                      OpenSite::kBitLineMid, OpenSite::kBitLineSense,
+                      OpenSite::kSenseAmp, OpenSite::kIoPath,
+                      OpenSite::kWordLine),
+    [](const auto& param_info) {
+      return "Open" + std::to_string(open_number(param_info.param));
+    });
+
+// --- huge opens always disturb something ----------------------------------
+
+class SevereOpenProperty : public ::testing::TestWithParam<OpenSite> {};
+
+TEST_P(SevereOpenProperty, GigaohmOpenBreaksSomeOperation) {
+  // With the line truly floating, at least one of the four basic checks
+  // must fail (which one depends on the site).
+  DramColumn col(DramParams{}, Defect::open(GetParam(), 1e9));
+  int failures = 0;
+  col.write(0, 1);
+  failures += col.read(0) != 1;
+  col.write(0, 0);
+  failures += col.read(0) != 0;
+  col.write(1, 1);
+  failures += col.read(1) != 1;
+  failures += col.read(0) != 0;
+  EXPECT_GT(failures, 0) << defect_name(Defect::open(GetParam(), 1e9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArraySites, SevereOpenProperty,
+    ::testing::Values(OpenSite::kCell, OpenSite::kPrecharge,
+                      OpenSite::kBitLineOuter, OpenSite::kBitLineMid,
+                      OpenSite::kBitLineSense, OpenSite::kSenseAmp,
+                      OpenSite::kIoPath, OpenSite::kWordLine),
+    [](const auto& param_info) {
+      return "Open" + std::to_string(open_number(param_info.param));
+    });
+
+// --- cell threshold consistency -------------------------------------------
+
+TEST(ColumnProperties, ReadThresholdSeparatesStoredLevels) {
+  const DramParams p;
+  DramColumn col(p, Defect::none());
+  // A cell just above the threshold reads 1, just below reads 0.
+  col.write(0, 0);
+  col.set_cell_voltage(0, p.cell_read_threshold() + 0.15);
+  EXPECT_EQ(col.read(0), 1);
+  col.write(0, 0);
+  col.set_cell_voltage(0, p.cell_read_threshold() - 0.15);
+  EXPECT_EQ(col.read(0), 0);
+}
+
+}  // namespace
+}  // namespace pf::dram

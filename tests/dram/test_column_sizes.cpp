@@ -1,0 +1,66 @@
+// Parameterized column sizes: correctness must be size-independent, and the
+// partial-fault mechanism must hold with more cells per bit line.
+#include <gtest/gtest.h>
+
+#include "pf/dram/column.hpp"
+#include "pf/march/library.hpp"
+#include "pf/march/test.hpp"
+
+namespace pf::dram {
+namespace {
+
+class ColumnSize : public ::testing::TestWithParam<int> {
+ protected:
+  DramParams params() const {
+    DramParams p;
+    p.cells_per_bl = GetParam();
+    return p;
+  }
+};
+
+TEST_P(ColumnSize, AllAddressesStoreIndependently) {
+  DramColumn col(params(), Defect::none());
+  ASSERT_EQ(col.num_cells(), 2 * GetParam());
+  for (int a = 0; a < col.num_cells(); ++a) col.write(a, a % 2);
+  for (int a = 0; a < col.num_cells(); ++a)
+    EXPECT_EQ(col.read(a), a % 2) << "addr " << a;
+}
+
+TEST_P(ColumnSize, MarchPfPassesFaultFree) {
+  DramColumn col(params(), Defect::none());
+  EXPECT_FALSE(
+      march::run_march(march::march_pf(), col, col.num_cells()).detected);
+}
+
+TEST_P(ColumnSize, MarchPfStillDetectsBitLineOpen) {
+  DramColumn col(params(), Defect::open(OpenSite::kBitLineOuter, 10e6));
+  EXPECT_TRUE(
+      march::run_march(march::march_pf(), col, col.num_cells()).detected);
+}
+
+TEST_P(ColumnSize, CompletingOperationWorksFromAnySameBlAggressor) {
+  // The paper's w0_BL may target ANY cell on the victim's bit line.
+  const auto defect = Defect::open(OpenSite::kBitLineOuter, 10e6);
+  const auto lines = floating_lines_for(defect, params());
+  for (int aggressor = 1; aggressor < GetParam(); ++aggressor) {
+    DramColumn col(params(), defect);
+    col.write(0, 1);
+    col.apply_floating_voltage(lines[0], 3.3);
+    col.write(aggressor, 0);  // completing w0 via this aggressor
+    EXPECT_EQ(col.read(0), 0) << "aggressor " << aggressor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellsPerBitLine, ColumnSize, ::testing::Values(2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return std::to_string(param_info.param) + "perBL";
+                         });
+
+TEST(ColumnSizeLimits, RejectsTooFewCells) {
+  DramParams p;
+  p.cells_per_bl = 1;
+  EXPECT_THROW(DramColumn(p, Defect::none()), pf::Error);
+}
+
+}  // namespace
+}  // namespace pf::dram

@@ -1,0 +1,138 @@
+// Electrical data retention (leaky-cell defect + pause) and the
+// temperature model.
+#include <gtest/gtest.h>
+
+#include "pf/dram/column.hpp"
+#include "pf/march/library.hpp"
+#include "pf/march/test.hpp"
+
+namespace pf::dram {
+namespace {
+
+TEST(RetentionCircuit, HealthyCellHoldsThroughMillisecondPause) {
+  DramColumn col(DramParams{}, Defect::none());
+  col.write(0, 1);
+  col.pause(1e-3);
+  EXPECT_EQ(col.read(0), 1);
+}
+
+TEST(RetentionCircuit, LeakyCellLosesStoredOne) {
+  // R_leak = 10 GOhm on a 30 fF cell: tau = 0.3 ms. After 2 ms the 1 is
+  // gone. (Real retention-grade leakage is teraohm-scale; the healthy
+  // column's gmin floor corresponds to tau ~ 7 ms.)
+  DramColumn col(DramParams{}, Defect::leaky_cell(10e9));
+  col.write(0, 1);
+  col.pause(2e-3);
+  EXPECT_LT(col.cell_voltage(0), 0.1);
+  EXPECT_EQ(col.read(0), 0);
+}
+
+TEST(RetentionCircuit, LeakyCellHoldsZero) {
+  DramColumn col(DramParams{}, Defect::leaky_cell(10e9));
+  col.write(0, 0);
+  col.pause(2e-3);
+  EXPECT_EQ(col.read(0), 0) << "leak to ground cannot corrupt a stored 0";
+}
+
+TEST(RetentionCircuit, LeakIsImmediateOperationSafe) {
+  // Without pauses the leak is invisible: operations are ns-scale.
+  DramColumn col(DramParams{}, Defect::leaky_cell(10e9));
+  col.write(0, 1);
+  EXPECT_EQ(col.read(0), 1);
+}
+
+TEST(RetentionCircuit, DrfMarchDetectsLeakyCellOnCircuit) {
+  {
+    DramColumn col(DramParams{}, Defect::leaky_cell(10e9));
+    const auto plain =
+        march::run_march(march::mats_plus(), col, DramColumn::kNumCells);
+    EXPECT_FALSE(plain.detected) << "no delays: the leak is invisible";
+  }
+  {
+    DramColumn col(DramParams{}, Defect::leaky_cell(10e9));
+    const auto drf = march::run_march(march::mats_plus_drf(), col,
+                                      DramColumn::kNumCells,
+                                      /*delay_seconds=*/2e-3);
+    EXPECT_TRUE(drf.detected);
+  }
+}
+
+TEST(Temperature, NominalIsIdentity) {
+  const DramParams p;
+  const DramParams q = p.at_temperature(27.0);
+  EXPECT_DOUBLE_EQ(q.access.k, p.access.k);
+  EXPECT_DOUBLE_EQ(q.access.vt, p.access.vt);
+}
+
+TEST(Temperature, HotSiliconIsSlowerAndLeakier) {
+  const DramParams p;
+  const DramParams hot = p.at_temperature(100.0);
+  EXPECT_LT(hot.access.k, p.access.k) << "mobility falls with temperature";
+  EXPECT_LT(hot.access.vt, p.access.vt) << "threshold falls with temperature";
+  EXPECT_LT(DramParams::leakage_scale(100.0), 0.01)
+      << "leakage grows >100x from 27C to 100C";
+  EXPECT_GT(DramParams::leakage_scale(-20.0), 10.0);
+}
+
+TEST(Temperature, ColumnStillOperatesHotAndCold) {
+  for (double celsius : {-20.0, 27.0, 85.0, 125.0}) {
+    DramColumn col(DramParams{}.at_temperature(celsius), Defect::none());
+    col.write(0, 1);
+    col.write(1, 0);
+    EXPECT_EQ(col.read(0), 1) << celsius << " C";
+    EXPECT_EQ(col.read(1), 0) << celsius << " C";
+  }
+}
+
+TEST(Temperature, HotLeakyCellFailsAtResistanceThatPassesCold) {
+  // The companion-study effect: the same physical leak (nominal 300 GOhm,
+  // tau ~ 9 ms) is benign at 27 C but fails retention at 100 C (leakage
+  // ~160x larger, tau ~ 57 us).
+  const double r_nominal = 300e9;
+  {
+    DramColumn col(DramParams{}, Defect::leaky_cell(r_nominal));
+    col.write(0, 1);
+    col.pause(1e-3);
+    EXPECT_EQ(col.read(0), 1) << "27 C: holds";
+  }
+  {
+    const double r_hot = r_nominal * DramParams::leakage_scale(100.0);
+    DramColumn col(DramParams{}.at_temperature(100.0),
+                   Defect::leaky_cell(r_hot));
+    col.write(0, 1);
+    col.pause(1e-3);
+    EXPECT_EQ(col.read(0), 0) << "100 C: decayed";
+  }
+}
+
+TEST(Temperature, OutOfRangeRejected) {
+  EXPECT_THROW(DramParams{}.at_temperature(500.0), pf::Error);
+}
+
+TEST(DefectNames, NewKindsReadable) {
+  EXPECT_EQ(defect_name(Defect::leaky_cell(1e9)), "Leaky cell");
+  EXPECT_EQ(defect_name(Defect::cell_bridge(1e3)), "Bridge cell-cell");
+}
+
+TEST(CellBridge, HardBridgeCouplesNeighbours) {
+  // A hard bridge between the two same-BL cells makes them share charge:
+  // writing opposite values leaves both at an intermediate level and at
+  // least one reads back wrong.
+  DramColumn col(DramParams{}, Defect::cell_bridge(1e3));
+  col.write(0, 1);
+  col.write(1, 0);
+  const int r0 = col.read(0);
+  const int r1 = col.read(1);
+  EXPECT_FALSE(r0 == 1 && r1 == 0) << "bridge must corrupt one of the pair";
+}
+
+TEST(CellBridge, WeakBridgeIsBenign) {
+  DramColumn col(DramParams{}, Defect::cell_bridge(100e9));
+  col.write(0, 1);
+  col.write(1, 0);
+  EXPECT_EQ(col.read(0), 1);
+  EXPECT_EQ(col.read(1), 0);
+}
+
+}  // namespace
+}  // namespace pf::dram

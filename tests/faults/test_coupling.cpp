@@ -1,0 +1,79 @@
+// The two-cell coupling-fault taxonomy (extension module).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pf/faults/coupling.hpp"
+
+namespace pf::faults {
+namespace {
+
+using Kind = CouplingFault::Kind;
+
+TEST(Coupling, TaxonomyHasThirtyTwoFaults) {
+  EXPECT_EQ(all_coupling_faults().size(), 32u);
+}
+
+TEST(Coupling, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (const auto& cf : all_coupling_faults())
+    EXPECT_TRUE(names.insert(cf.name()).second) << cf.name();
+}
+
+TEST(Coupling, NamesAreReadable) {
+  CouplingFault cfst{Kind::kState, 1, Op::Kind::kWrite0, 0};
+  EXPECT_EQ(cfst.name(), "CFst<1;0->1>");
+  CouplingFault cfds{Kind::kDisturb, 1, Op::Kind::kWrite1, 0};
+  EXPECT_EQ(cfds.name(), "CFds<w1a;0->1>");
+  CouplingFault cfrd{Kind::kReadDestructive, 0, Op::Kind::kWrite0, 1};
+  EXPECT_EQ(cfrd.name(), "CFrd<0;r1>");
+}
+
+TEST(Coupling, ToFpProducesTwoCellPrimitives) {
+  CouplingFault cfds{Kind::kDisturb, 1, Op::Kind::kWrite1, 0};
+  const FaultPrimitive fp = cfds.to_fp();
+  EXPECT_EQ(fp.sos.num_cells(), 2);
+  EXPECT_EQ(fp.to_string(), "<0v w1BL/1/->");
+  EXPECT_TRUE(fp.is_fault());
+}
+
+TEST(Coupling, StateFaultFpHasNoOps) {
+  CouplingFault cfst{Kind::kState, 1, Op::Kind::kWrite0, 0};
+  const FaultPrimitive fp = cfst.to_fp();
+  EXPECT_EQ(fp.sos.num_ops(), 0);
+  EXPECT_EQ(fp.sos.initial_aggressor, 1);
+  EXPECT_EQ(fp.faulty_state, 1);
+}
+
+TEST(Coupling, ReadFaultFpsCarryReadResults) {
+  CouplingFault cfrd{Kind::kReadDestructive, 0, Op::Kind::kWrite0, 1};
+  EXPECT_EQ(cfrd.to_fp().to_string(), "<0a 1v r1v/0/0>");
+  CouplingFault cfir{Kind::kIncorrectRead, 0, Op::Kind::kWrite0, 0};
+  EXPECT_EQ(cfir.to_fp().to_string(), "<0a 0v r0v/0/1>");
+}
+
+TEST(Coupling, EveryTaxonomyFpIsAFault) {
+  for (const auto& cf : all_coupling_faults())
+    EXPECT_TRUE(cf.to_fp().is_fault()) << cf.name();
+}
+
+TEST(Coupling, ComplementIsInvolutionAndStaysInTaxonomy) {
+  const auto& all = all_coupling_faults();
+  std::set<std::string> names;
+  for (const auto& cf : all) names.insert(cf.name());
+  for (const auto& cf : all) {
+    EXPECT_EQ(cf.complement().complement(), cf) << cf.name();
+    EXPECT_TRUE(names.contains(cf.complement().name())) << cf.name();
+  }
+}
+
+TEST(Coupling, TransitionFpExpectationsAreConsistent) {
+  CouplingFault cftr{Kind::kTransition, 1, Op::Kind::kWrite0, 0};
+  const FaultPrimitive fp = cftr.to_fp();
+  // Victim starts 0, writes 1, transition fails -> faulty state 0.
+  EXPECT_EQ(fp.sos.expected_final_victim(), 1);
+  EXPECT_EQ(fp.faulty_state, 0);
+}
+
+}  // namespace
+}  // namespace pf::faults

@@ -1,0 +1,99 @@
+#include "pf/faults/ffm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pf::faults {
+namespace {
+
+TEST(FfmClassify, CanonicalFpsClassifyToThemselves) {
+  for (Ffm ffm : all_ffms()) {
+    EXPECT_EQ(classify(canonical_fp(ffm)), ffm) << ffm_name(ffm);
+  }
+}
+
+TEST(FfmClassify, PaperTableOneCompletedFps) {
+  // Completed FPs are classified by their final victim operation.
+  EXPECT_EQ(classify(FaultPrimitive::parse("<[w1 w1 w0] r0/1/1>")),
+            Ffm::kRDF0);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<0v [w1BL] r0v/1/1>")),
+            Ffm::kRDF0);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<1v [w0BL] r1v/0/0>")),
+            Ffm::kRDF1);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<1v [w1BL] r1v/0/1>")),
+            Ffm::kDRDF1);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<0v [w1BL] r0v/0/1>")),
+            Ffm::kIRF0);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<1v [w0BL] r1v/1/0>")),
+            Ffm::kIRF1);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<1v [w0BL] w1v/0/->")),
+            Ffm::kWDF1);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<1v [w1BL] w0v/1/->")),
+            Ffm::kTFDown);
+}
+
+TEST(FfmClassify, NonFaultIsUnknown) {
+  FaultPrimitive ok;
+  ok.sos = Sos::parse("1r1");
+  ok.faulty_state = 1;
+  ok.read_result = 1;
+  EXPECT_EQ(classify(ok), Ffm::kUnknown);
+}
+
+TEST(FfmClassify, WriteWithReadResultIsUnknown) {
+  FaultPrimitive fp;
+  fp.sos = Sos::parse("0w1");
+  fp.faulty_state = 0;
+  fp.read_result = 1;  // nonsensical: writes have no output
+  EXPECT_EQ(classify(fp), Ffm::kUnknown);
+}
+
+TEST(FfmClassify, AggressorFinalOpIsUnknown) {
+  FaultPrimitive fp;
+  fp.sos = Sos::parse("1v w0BL");
+  fp.faulty_state = 0;
+  fp.read_result = -1;
+  EXPECT_EQ(classify(fp), Ffm::kUnknown);
+}
+
+TEST(FfmClassify, StateFaults) {
+  EXPECT_EQ(classify(FaultPrimitive::parse("<0/1/->")), Ffm::kSF0);
+  EXPECT_EQ(classify(FaultPrimitive::parse("<1/0/->")), Ffm::kSF1);
+}
+
+TEST(FfmComplement, MatchesPaperPairs) {
+  // The Sim./Com. FFM column pairs of Table 1.
+  EXPECT_EQ(complement_ffm(Ffm::kRDF0), Ffm::kRDF1);
+  EXPECT_EQ(complement_ffm(Ffm::kRDF1), Ffm::kRDF0);
+  EXPECT_EQ(complement_ffm(Ffm::kDRDF1), Ffm::kDRDF0);
+  EXPECT_EQ(complement_ffm(Ffm::kIRF0), Ffm::kIRF1);
+  EXPECT_EQ(complement_ffm(Ffm::kWDF1), Ffm::kWDF0);
+  EXPECT_EQ(complement_ffm(Ffm::kTFUp), Ffm::kTFDown);
+  EXPECT_EQ(complement_ffm(Ffm::kSF0), Ffm::kSF1);
+}
+
+TEST(FfmComplement, IsInvolution) {
+  for (Ffm ffm : all_ffms())
+    EXPECT_EQ(complement_ffm(complement_ffm(ffm)), ffm);
+}
+
+TEST(FfmComplement, AgreesWithFpComplement) {
+  // Complementing the canonical FP and classifying it must equal the
+  // complementary FFM.
+  for (Ffm ffm : all_ffms()) {
+    EXPECT_EQ(classify(canonical_fp(ffm).complement()), complement_ffm(ffm))
+        << ffm_name(ffm);
+  }
+}
+
+TEST(FfmNames, AllDistinctAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (Ffm ffm : all_ffms()) {
+    const auto name = ffm_name(ffm);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  EXPECT_EQ(names.size(), 12u);
+}
+
+}  // namespace
+}  // namespace pf::faults

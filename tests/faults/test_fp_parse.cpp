@@ -1,0 +1,159 @@
+// Parsing and printing of the paper's FP / SOS notation, including the
+// completing-operation brackets and aggressor subscripts.
+#include <gtest/gtest.h>
+
+#include "pf/faults/fp.hpp"
+
+namespace pf::faults {
+namespace {
+
+TEST(SosParse, SimpleReadSos) {
+  const Sos s = Sos::parse("1r1");
+  EXPECT_EQ(s.initial_victim, 1);
+  ASSERT_EQ(s.ops.size(), 1u);
+  EXPECT_TRUE(s.ops[0].is_read());
+  EXPECT_EQ(s.ops[0].expected, 1);
+  EXPECT_EQ(s.ops[0].target, CellRole::kVictim);
+  EXPECT_EQ(s.num_cells(), 1);
+  EXPECT_EQ(s.num_ops(), 1);
+}
+
+TEST(SosParse, SimpleWriteSos) {
+  const Sos s = Sos::parse("0w1");
+  EXPECT_EQ(s.initial_victim, 0);
+  ASSERT_EQ(s.ops.size(), 1u);
+  EXPECT_EQ(s.ops[0].kind, Op::Kind::kWrite1);
+  EXPECT_EQ(s.expected_final_victim(), 1);
+}
+
+TEST(SosParse, StateOnlySos) {
+  const Sos s = Sos::parse("1");
+  EXPECT_EQ(s.initial_victim, 1);
+  EXPECT_TRUE(s.ops.empty());
+  EXPECT_EQ(s.num_cells(), 1);
+  EXPECT_EQ(s.num_ops(), 0);
+}
+
+TEST(SosParse, CompletingBracketVictimOps) {
+  const Sos s = Sos::parse("[w1 w1 w0] r0");
+  EXPECT_EQ(s.initial_victim, -1);
+  ASSERT_EQ(s.ops.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(s.ops[i].completing);
+    EXPECT_EQ(s.ops[i].target, CellRole::kVictim);
+  }
+  EXPECT_FALSE(s.ops[3].completing);
+  EXPECT_EQ(s.ops[3].expected, 0);
+  EXPECT_EQ(s.expected_final_victim(), 0);
+  EXPECT_EQ(s.num_ops(), 4);
+  EXPECT_EQ(s.num_cells(), 1);
+}
+
+TEST(SosParse, AggressorBlSubscript) {
+  const Sos s = Sos::parse("1v [w0BL] r1v");
+  EXPECT_EQ(s.initial_victim, 1);
+  ASSERT_EQ(s.ops.size(), 2u);
+  EXPECT_EQ(s.ops[0].target, CellRole::kAggressorBl);
+  EXPECT_TRUE(s.ops[0].completing);
+  EXPECT_EQ(s.ops[1].target, CellRole::kVictim);
+  EXPECT_EQ(s.num_cells(), 2);
+  EXPECT_EQ(s.num_ops(), 2);
+  EXPECT_TRUE(s.involves_aggressor());
+}
+
+TEST(SosParse, TwoCellSosFromTaxonomyPaper) {
+  // "0a 0v w1a r1a r0v": #C = 2, #O = 3 (the paper's Section 4 example).
+  const Sos s = Sos::parse("0a 0v w1a r1a r0v");
+  EXPECT_EQ(s.initial_victim, 0);
+  EXPECT_EQ(s.initial_aggressor, 0);
+  EXPECT_EQ(s.num_cells(), 2);
+  EXPECT_EQ(s.num_ops(), 3);
+  EXPECT_EQ(s.ops[0].target, CellRole::kAggressorBl);
+  EXPECT_EQ(s.ops[2].target, CellRole::kVictim);
+}
+
+TEST(SosParse, ExpectedReadTracksWrites) {
+  EXPECT_EQ(Sos::parse("0w1r1").expected_read(), 1);
+  EXPECT_EQ(Sos::parse("1r1").expected_read(), 1);
+  EXPECT_EQ(Sos::parse("0w1").expected_read(), -1);  // ends in write
+}
+
+TEST(SosParse, RejectsMalformed) {
+  EXPECT_THROW(Sos::parse(""), ParseError);
+  EXPECT_THROW(Sos::parse("w"), ParseError);
+  EXPECT_THROW(Sos::parse("wx"), ParseError);
+  EXPECT_THROW(Sos::parse("[w0"), ParseError);
+  EXPECT_THROW(Sos::parse("w0]"), ParseError);
+  EXPECT_THROW(Sos::parse("[[w0]]"), ParseError);
+  EXPECT_THROW(Sos::parse("r0 1"), ParseError);  // init after op
+  EXPECT_THROW(Sos::parse("0 0"), ParseError);   // duplicate victim init
+  EXPECT_THROW(Sos::parse("x"), ParseError);
+}
+
+TEST(SosRoundTrip, SimpleFormsPrintCompact) {
+  EXPECT_EQ(Sos::parse("1r1").to_string(), "1r1");
+  EXPECT_EQ(Sos::parse("0w1").to_string(), "0w1");
+  EXPECT_EQ(Sos::parse("0").to_string(), "0");
+  EXPECT_EQ(Sos::parse("0r0r0").to_string(), "0r0r0");
+}
+
+TEST(SosRoundTrip, BracketsAndSubscriptsPreserved) {
+  EXPECT_EQ(Sos::parse("[w1 w1 w0] r0").to_string(), "[w1 w1 w0] r0");
+  EXPECT_EQ(Sos::parse("1v [w0BL] r1v").to_string(), "1v [w0BL] r1v");
+  EXPECT_EQ(Sos::parse("1v[w0bl]r1v").to_string(), "1v [w0BL] r1v");
+}
+
+TEST(SosRoundTrip, ParsePrintParseIsIdentity) {
+  for (const char* text :
+       {"1r1", "0w0", "1", "[w1 w1 w0] r0", "1v [w0BL] r1v",
+        "0v [w1BL] r0v", "0a 0v w1a r1a r0v", "1v [w1BL] w0v"}) {
+    const Sos s = Sos::parse(text);
+    EXPECT_EQ(Sos::parse(s.to_string()), s) << text;
+  }
+}
+
+TEST(FpParse, TableOneEntries) {
+  const FaultPrimitive fp = FaultPrimitive::parse("<1v [w0BL] r1v/0/0>");
+  EXPECT_EQ(fp.faulty_state, 0);
+  EXPECT_EQ(fp.read_result, 0);
+  EXPECT_EQ(fp.sos.num_cells(), 2);
+  EXPECT_TRUE(fp.is_fault());
+  EXPECT_EQ(fp.to_string(), "<1v [w0BL] r1v/0/0>");
+}
+
+TEST(FpParse, NoReadResultDash) {
+  const FaultPrimitive fp = FaultPrimitive::parse("<0w1/0/->");
+  EXPECT_EQ(fp.read_result, -1);
+  EXPECT_TRUE(fp.is_fault());
+  EXPECT_EQ(fp.to_string(), "<0w1/0/->");
+}
+
+TEST(FpParse, RejectsBadShape) {
+  EXPECT_THROW(FaultPrimitive::parse("<0r0/1>"), ParseError);
+  EXPECT_THROW(FaultPrimitive::parse("<0r0/x/1>"), ParseError);
+  EXPECT_THROW(FaultPrimitive::parse("<0r0/1/2>"), ParseError);
+}
+
+TEST(FpFaultiness, NonDeviatingIsNotFault) {
+  FaultPrimitive fp;
+  fp.sos = Sos::parse("0r0");
+  fp.faulty_state = 0;
+  fp.read_result = 0;
+  EXPECT_FALSE(fp.is_fault());
+}
+
+TEST(FpComplement, InvertsAllData) {
+  const FaultPrimitive fp = FaultPrimitive::parse("<1v [w0BL] r1v/0/0>");
+  const FaultPrimitive comp = fp.complement();
+  EXPECT_EQ(comp.to_string(), "<0v [w1BL] r0v/1/1>");
+  // Complement is an involution.
+  EXPECT_EQ(comp.complement(), fp);
+}
+
+TEST(FpComplement, HandlesWritesAndDash) {
+  const FaultPrimitive fp = FaultPrimitive::parse("<1v [w0BL] w1v/0/->");
+  EXPECT_EQ(fp.complement().to_string(), "<0v [w1BL] w0v/1/->");
+}
+
+}  // namespace
+}  // namespace pf::faults

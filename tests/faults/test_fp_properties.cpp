@@ -1,0 +1,59 @@
+// Parameterized properties of the FP algebra over the enumerated space.
+#include <gtest/gtest.h>
+
+#include "pf/faults/ffm.hpp"
+#include "pf/faults/space.hpp"
+
+namespace pf::faults {
+namespace {
+
+class FpSpaceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpSpaceProperty, ParsePrintRoundTripIsIdentity) {
+  for (const auto& fp : enumerate_single_cell_fps(GetParam())) {
+    const FaultPrimitive reparsed = FaultPrimitive::parse(fp.to_string());
+    EXPECT_EQ(reparsed, fp) << fp.to_string();
+  }
+}
+
+TEST_P(FpSpaceProperty, ComplementIsInvolution) {
+  for (const auto& fp : enumerate_single_cell_fps(GetParam()))
+    EXPECT_EQ(fp.complement().complement(), fp) << fp.to_string();
+}
+
+TEST_P(FpSpaceProperty, ComplementPreservesFaultiness) {
+  for (const auto& fp : enumerate_single_cell_fps(GetParam()))
+    EXPECT_TRUE(fp.complement().is_fault()) << fp.to_string();
+}
+
+TEST_P(FpSpaceProperty, ComplementPreservesMetrics) {
+  for (const auto& fp : enumerate_single_cell_fps(GetParam())) {
+    EXPECT_EQ(fp.complement().sos.num_ops(), fp.sos.num_ops());
+    EXPECT_EQ(fp.complement().sos.num_cells(), fp.sos.num_cells());
+  }
+}
+
+TEST_P(FpSpaceProperty, ClassificationCommutesWithComplement) {
+  // classify(complement(fp)) == complement_ffm(classify(fp)) for every FP
+  // in the space (kUnknown maps to kUnknown).
+  for (const auto& fp : enumerate_single_cell_fps(GetParam())) {
+    EXPECT_EQ(classify(fp.complement()), complement_ffm(classify(fp)))
+        << fp.to_string();
+  }
+}
+
+TEST_P(FpSpaceProperty, ExpectedReadMatchesLastOpDigit) {
+  for (const auto& fp : enumerate_single_cell_fps(GetParam())) {
+    const auto& ops = fp.sos.ops;
+    if (!ops.empty() && ops.back().is_read()) {
+      EXPECT_EQ(fp.sos.expected_read(), ops.back().expected)
+          << fp.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToThreeOps, FpSpaceProperty,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace pf::faults

@@ -1,0 +1,97 @@
+// FP-space enumeration vs. the Section 4 closed form.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pf/faults/ffm.hpp"
+#include "pf/faults/space.hpp"
+
+namespace pf::faults {
+namespace {
+
+TEST(FpSpace, ZeroOpsAreTheTwoStateFaults) {
+  const auto fps = enumerate_single_cell_fps(0);
+  ASSERT_EQ(fps.size(), 2u);
+  EXPECT_EQ(classify(fps[0]), Ffm::kSF0);
+  EXPECT_EQ(classify(fps[1]), Ffm::kSF1);
+}
+
+TEST(FpSpace, OneOpYieldsTenFps) {
+  // The paper: analysis with #O = 0 and 1 covers 2 + 10 = 12 FPs.
+  const auto fps = enumerate_single_cell_fps(1);
+  EXPECT_EQ(fps.size(), 10u);
+  // They are exactly the ten canonical one-op FFMs.
+  std::set<Ffm> seen;
+  for (const auto& fp : fps) {
+    const Ffm f = classify(fp);
+    EXPECT_NE(f, Ffm::kUnknown) << fp.to_string();
+    seen.insert(f);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_FALSE(seen.contains(Ffm::kSF0));
+  EXPECT_FALSE(seen.contains(Ffm::kSF1));
+}
+
+TEST(FpSpace, ClosedFormMatchesEnumerationUpToFourOps) {
+  for (int n = 0; n <= 4; ++n) {
+    EXPECT_EQ(enumerate_single_cell_fps(n).size(), count_single_cell_fps(n))
+        << "#O = " << n;
+  }
+}
+
+TEST(FpSpace, CountsAreTwoThenTenTimesPowersOfThree) {
+  EXPECT_EQ(count_single_cell_fps(0), 2u);
+  EXPECT_EQ(count_single_cell_fps(1), 10u);
+  EXPECT_EQ(count_single_cell_fps(2), 30u);
+  EXPECT_EQ(count_single_cell_fps(3), 90u);
+  EXPECT_EQ(count_single_cell_fps(4), 270u);
+}
+
+TEST(FpSpace, CumulativeGrowth) {
+  EXPECT_EQ(cumulative_single_cell_fps(1), 12u);   // paper's "12 FPs"
+  EXPECT_EQ(cumulative_single_cell_fps(4), 402u);  // straight-forward cost
+}
+
+TEST(FpSpace, AllEnumeratedAreFaults) {
+  for (int n = 0; n <= 3; ++n)
+    for (const auto& fp : enumerate_single_cell_fps(n))
+      EXPECT_TRUE(fp.is_fault()) << fp.to_string();
+}
+
+TEST(FpSpace, AllEnumeratedAreDistinct) {
+  for (int n = 0; n <= 3; ++n) {
+    const auto fps = enumerate_single_cell_fps(n);
+    std::set<std::string> keys;
+    for (const auto& fp : fps) EXPECT_TRUE(keys.insert(fp.to_string()).second);
+    EXPECT_EQ(keys.size(), fps.size());
+  }
+}
+
+TEST(FpSpace, EnumeratedSosLengthsAreExact) {
+  for (const auto& fp : enumerate_single_cell_fps(3)) {
+    EXPECT_EQ(fp.sos.num_ops(), 3);
+    EXPECT_EQ(fp.sos.num_cells(), 1);
+  }
+}
+
+TEST(FpSpace, ReadsCarryExplicitExpectedValues) {
+  for (const auto& fp : enumerate_single_cell_fps(2))
+    for (const auto& op : fp.sos.ops) {
+      if (op.is_read()) {
+        EXPECT_GE(op.expected, 0);
+      }
+    }
+}
+
+TEST(FpSpace, ComplementClosesTheSpace) {
+  // The complement of every enumerated FP is itself in the enumeration.
+  const auto fps = enumerate_single_cell_fps(2);
+  std::set<std::string> keys;
+  for (const auto& fp : fps) keys.insert(fp.to_string());
+  for (const auto& fp : fps)
+    EXPECT_TRUE(keys.contains(fp.complement().to_string()))
+        << fp.to_string();
+}
+
+}  // namespace
+}  // namespace pf::faults

@@ -1,0 +1,108 @@
+// End-to-end integration: march tests executed on the electrical DRAM
+// column (4 addresses) with injected defects. This is the defect-level
+// verification of the paper's March PF claim — the behavioral memsim layer
+// models single FPs, but a real defect bundles several partial faults, and
+// detection happens through whichever manifests first.
+#include <gtest/gtest.h>
+
+#include "pf/dram/column.hpp"
+#include "pf/march/library.hpp"
+#include "pf/march/test.hpp"
+
+namespace pf {
+namespace {
+
+using dram::Defect;
+using dram::DramColumn;
+using dram::DramParams;
+using dram::OpenSite;
+using march::MarchResult;
+using march::run_march;
+
+MarchResult run_on_circuit(const march::MarchTest& test, const Defect& defect) {
+  DramColumn column(DramParams{}, defect);
+  return run_march(test, column, DramColumn::kNumCells);
+}
+
+TEST(MarchOnCircuit, FaultFreeColumnPassesAllTests) {
+  DramParams params;
+  DramColumn column(params, Defect::none());
+  for (const auto& test : march::standard_tests()) {
+    column.power_up();
+    EXPECT_FALSE(run_march(test, column, DramColumn::kNumCells).detected)
+        << test.name;
+  }
+}
+
+TEST(MarchOnCircuit, MarchPfDetectsBitLineOpen) {
+  // Open 4 with a large R_def: the partial RDF1 defect. March PF's first
+  // read element starts right after element 1 left the true bit line low
+  // (the last cell written sits on the complement line).
+  const auto result =
+      run_on_circuit(march::march_pf(), Defect::open(OpenSite::kBitLineOuter, 10e6));
+  EXPECT_TRUE(result.detected);
+}
+
+TEST(MarchOnCircuit, NaiveTestMissesBitLineOpen) {
+  // The paper's introduction: {m(w1,r1)} preconditions the floating BL with
+  // its own w1, so the defect escapes.
+  const auto result =
+      run_on_circuit(march::naive_w1r1(),
+                     Defect::open(OpenSite::kBitLineOuter, 10e6));
+  EXPECT_FALSE(result.detected);
+}
+
+TEST(MarchOnCircuit, MarchPfDetectsCellOpenAcrossDecade) {
+  for (double r : {200e3, 400e3, 1e6, 10e6}) {
+    const auto result =
+        run_on_circuit(march::march_pf(), Defect::open(OpenSite::kCell, r));
+    EXPECT_TRUE(result.detected) << "R_def = " << r;
+  }
+}
+
+TEST(MarchOnCircuit, MarchPfDetectsIoPathOpen) {
+  const auto result =
+      run_on_circuit(march::march_pf(), Defect::open(OpenSite::kIoPath, 100e6));
+  EXPECT_TRUE(result.detected);
+}
+
+TEST(MarchOnCircuit, NaiveTestMissesIoPathOpen) {
+  // With the IO open, reads return the stale buffer, which the preceding
+  // write of the same cell just set to the expected value.
+  const auto result =
+      run_on_circuit(march::naive_w1r1(), Defect::open(OpenSite::kIoPath, 100e6));
+  EXPECT_FALSE(result.detected);
+}
+
+TEST(MarchOnCircuit, MarchPfDetectsPrechargeAndMidBitLineOpens) {
+  EXPECT_TRUE(run_on_circuit(march::march_pf(),
+                             Defect::open(OpenSite::kPrecharge, 10e6))
+                  .detected);
+  EXPECT_TRUE(run_on_circuit(march::march_pf(),
+                             Defect::open(OpenSite::kBitLineMid, 10e6))
+                  .detected);
+}
+
+TEST(MarchOnCircuit, HardShortDetectedByEveryTest) {
+  for (const auto& test : march::standard_tests()) {
+    EXPECT_TRUE(run_on_circuit(test, Defect::short_to_ground(100.0)).detected)
+        << test.name;
+  }
+}
+
+TEST(MarchOnCircuit, HardBridgeDetected) {
+  EXPECT_TRUE(run_on_circuit(march::march_pf(), Defect::bridge(100.0)).detected);
+}
+
+TEST(MarchOnCircuit, SmallOpensEscapeEverything) {
+  // A 1 kOhm open is electrically benign; no test should flag it.
+  for (const auto& test : march::standard_tests()) {
+    EXPECT_FALSE(
+        run_on_circuit(test, Defect::open(OpenSite::kBitLineOuter, 1e3))
+            .detected)
+        << test.name;
+  }
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,106 @@
+// Cross-module tooling: deck export of the real DRAM column, region-map CSV
+// dumps, engine edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pf/analysis/region.hpp"
+#include "pf/dram/column.hpp"
+#include "pf/spice/deck.hpp"
+#include "pf/spice/trace.hpp"
+
+namespace pf {
+namespace {
+
+TEST(Tooling, DramColumnDeckRoundTrips) {
+  // The full column netlist serializes to a deck and parses back into an
+  // equivalent circuit (same element counts, identical re-serialization).
+  dram::DramColumn column(dram::DramParams{},
+                          dram::Defect::open(dram::OpenSite::kCell, 150e3));
+  const std::string deck = spice::write_deck(column.netlist());
+  EXPECT_NE(deck.find("rdef_cell"), std::string::npos);
+  EXPECT_NE(deck.find("150k"), std::string::npos);
+  EXPECT_NE(deck.find(".rail vdd 3.3"), std::string::npos);
+  const spice::Netlist reparsed = spice::parse_deck(deck);
+  EXPECT_EQ(reparsed.mosfets().size(), column.netlist().mosfets().size());
+  EXPECT_EQ(reparsed.capacitors().size(),
+            column.netlist().capacitors().size());
+  EXPECT_EQ(spice::write_deck(reparsed), deck);
+}
+
+TEST(Tooling, DramColumnDeckSimulates) {
+  // The re-parsed column deck is a live circuit: precharge it via its rails
+  // and watch the bit line approach VBLEQ.
+  dram::DramColumn column(dram::DramParams{}, dram::Defect::none());
+  const spice::Netlist net =
+      spice::parse_deck(spice::write_deck(column.netlist()));
+  spice::Simulator sim(net);
+  sim.set_rail(net.find_node("pre").value(), 4.5);
+  sim.run_for(5e-9);
+  EXPECT_NEAR(sim.node_voltage(net.find_node("bt1").value()), 1.65, 0.05);
+}
+
+TEST(Tooling, RegionMapCsvHasOneRowPerGridPoint) {
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.defect = dram::Defect::open(dram::OpenSite::kBitLineOuter, 1e6);
+  spec.sos = faults::Sos::parse("1r1");
+  spec.r_axis = pf::logspace(1e6, 10e6, 2);
+  spec.u_axis = pf::linspace(0.0, 3.3, 3);
+  const auto map = analysis::sweep_region(spec);
+  const std::string csv = map.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1 + 2 * 3);
+  EXPECT_EQ(csv.substr(0, 12), "r_def,u,ffm\n");
+  EXPECT_NE(csv.find("RDF1"), std::string::npos);
+}
+
+TEST(Tooling, RelaxedCeilingMatchesTightIntegrationForSlowDecay) {
+  // run_for_with_ceiling must agree with normal integration on a smooth
+  // exponential (BE is L-stable; only resolution differs).
+  auto build = [] {
+    spice::Netlist n;
+    const auto x = n.node("x");
+    n.add_capacitor("c", x, spice::kGround, 30e-15);
+    n.add_resistor("r", x, spice::kGround, 10e9);  // tau = 0.3 ms
+    return n;
+  };
+  const spice::Netlist n1 = build(), n2 = build();
+  spice::Simulator tight(n1), relaxed(n2);
+  tight.set_node_voltage(1, 2.0);
+  relaxed.set_node_voltage(1, 2.0);
+  tight.run_for_with_ceiling(0.3e-3, 0.3e-3 / 2000);
+  relaxed.run_for_with_ceiling(0.3e-3, 0.3e-3 / 50);
+  EXPECT_NEAR(tight.node_voltage(1), relaxed.node_voltage(1), 0.02);
+  EXPECT_NEAR(tight.node_voltage(1), 2.0 * std::exp(-1.0), 0.02);
+}
+
+TEST(Tooling, CeilingRestoredAfterRelaxedRun) {
+  spice::Netlist n;
+  const auto x = n.node("x");
+  n.add_capacitor("c", x, spice::kGround, 30e-15);
+  n.add_resistor("r", x, spice::kGround, 1e6);
+  spice::Simulator sim(n);
+  const double dt_max_before = sim.options().dt_max;
+  sim.run_for_with_ceiling(1e-6, 1e-7);
+  EXPECT_DOUBLE_EQ(sim.options().dt_max, dt_max_before);
+}
+
+TEST(Tooling, TraceOnDramColumnReadShowsSenseSplit) {
+  dram::DramParams params;
+  dram::DramColumn column(params, dram::Defect::none());
+  column.write(0, 1);
+  std::vector<double> bt3;
+  column.set_trace([&](double, const dram::DramColumn& col) {
+    bt3.push_back(col.node_voltage("bt3"));
+  });
+  EXPECT_EQ(column.read(0), 1);
+  column.set_trace(nullptr);
+  ASSERT_FALSE(bt3.empty());
+  // During the read, BT3 must have swung from the precharge level to the
+  // full restored rail.
+  EXPECT_GT(*std::max_element(bt3.begin(), bt3.end()), 3.0);
+}
+
+}  // namespace
+}  // namespace pf

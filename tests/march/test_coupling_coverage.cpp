@@ -1,0 +1,106 @@
+// March-test coverage of the two-cell coupling taxonomy (classic results:
+// March C- detects unlinked static CFs; MATS+ misses most of them).
+#include <gtest/gtest.h>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+
+namespace pf::march {
+namespace {
+
+using faults::CouplingFault;
+using faults::Op;
+using Kind = CouplingFault::Kind;
+using memsim::Geometry;
+
+Geometry geom() { return Geometry{3, 3}; }  // 9 cells: 72 ordered pairs
+
+TEST(CouplingCoverage, MarchCMinusDetectsAllStateCouplings) {
+  for (int a = 0; a <= 1; ++a)
+    for (int v = 0; v <= 1; ++v) {
+      const CouplingFault cf{Kind::kState, a, Op::Kind::kWrite0, v};
+      EXPECT_TRUE(
+          evaluate_coupling_detection(march_c_minus(), geom(), cf).detected_all)
+          << cf.name();
+    }
+}
+
+TEST(CouplingCoverage, MarchCMinusDetectsWriteDisturbs) {
+  for (int wv = 0; wv <= 1; ++wv)
+    for (int v = 0; v <= 1; ++v) {
+      const CouplingFault cf{Kind::kDisturb, wv,
+                             wv ? Op::Kind::kWrite1 : Op::Kind::kWrite0, v};
+      EXPECT_TRUE(
+          evaluate_coupling_detection(march_c_minus(), geom(), cf).detected_all)
+          << cf.name();
+    }
+}
+
+TEST(CouplingCoverage, MatsPlusMissesSomeStateCouplings) {
+  int detected = 0;
+  for (int a = 0; a <= 1; ++a)
+    for (int v = 0; v <= 1; ++v) {
+      const CouplingFault cf{Kind::kState, a, Op::Kind::kWrite0, v};
+      detected +=
+          evaluate_coupling_detection(mats_plus(), geom(), cf).detected_all;
+    }
+  EXPECT_LT(detected, 4) << "5N MATS+ cannot cover all CFst variants";
+}
+
+TEST(CouplingCoverage, CoverageOrderingMatchesTestStrength) {
+  const double mats_cov = coupling_coverage(mats_plus(), geom());
+  const double cminus_cov = coupling_coverage(march_c_minus(), geom());
+  EXPECT_LE(mats_cov, cminus_cov);
+  EXPECT_GT(cminus_cov, 0.5);
+}
+
+TEST(CouplingCoverage, DeceptiveReadCouplingsNeedDoubleReads) {
+  // The matching-background deceptive coupling CFdr<0; r0> escapes March C-
+  // (single reads) but March SR's r0,r0 pair exposes the flipped cell.
+  const CouplingFault cfdr{Kind::kDeceptiveRead, 0, Op::Kind::kWrite0, 0};
+  EXPECT_FALSE(
+      evaluate_coupling_detection(march_c_minus(), geom(), cfdr).detected_all);
+  EXPECT_TRUE(
+      evaluate_coupling_detection(march_sr(), geom(), cfdr).detected_all);
+  // The MIXED-background variant CFdr<1; r0> escapes even March SR: during
+  // its double-read-0 passes every cell (including the aggressor) holds 0.
+  const CouplingFault mixed{Kind::kDeceptiveRead, 1, Op::Kind::kWrite0, 0};
+  EXPECT_FALSE(
+      evaluate_coupling_detection(march_sr(), geom(), mixed).detected_all);
+}
+
+TEST(CouplingCoverage, MarchCMinusCatchesAllReadDestructiveCouplings) {
+  // March C-'s r0/r1 passes run against BOTH aggressor backgrounds (the
+  // up/down passes create 0/1 frontiers on each side of the victim).
+  for (int a = 0; a <= 1; ++a)
+    for (int v = 0; v <= 1; ++v) {
+      const CouplingFault cf{Kind::kReadDestructive, a, Op::Kind::kWrite0, v};
+      EXPECT_TRUE(
+          evaluate_coupling_detection(march_c_minus(), geom(), cf).detected_all)
+          << cf.name();
+    }
+}
+
+TEST(CouplingCoverage, MarchPfCatchesMatchedBackgroundReadCouplings) {
+  // March PF keeps uniform data backgrounds (it targets single-cell partial
+  // faults), so it catches the matched-polarity CFrd variants and misses the
+  // mixed ones — coupling coverage is not its design goal.
+  const CouplingFault matched0{Kind::kReadDestructive, 0, Op::Kind::kWrite0, 0};
+  const CouplingFault matched1{Kind::kReadDestructive, 1, Op::Kind::kWrite0, 1};
+  EXPECT_TRUE(
+      evaluate_coupling_detection(march_pf(), geom(), matched0).detected_all);
+  EXPECT_TRUE(
+      evaluate_coupling_detection(march_pf(), geom(), matched1).detected_all);
+  const CouplingFault mixed{Kind::kReadDestructive, 1, Op::Kind::kWrite0, 0};
+  EXPECT_FALSE(
+      evaluate_coupling_detection(march_pf(), geom(), mixed).detected_all);
+}
+
+TEST(CouplingCoverage, PairCountIsOrderedPairs) {
+  const CouplingFault cf{Kind::kState, 1, Op::Kind::kWrite0, 0};
+  const auto outcome = evaluate_coupling_detection(march_c_minus(), geom(), cf);
+  EXPECT_EQ(outcome.total_victims, 9 * 8);
+}
+
+}  // namespace
+}  // namespace pf::march

@@ -1,0 +1,99 @@
+// Parameterized properties over the whole march-test library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/memsim/memory.hpp"
+
+namespace pf::march {
+namespace {
+
+using faults::Ffm;
+using memsim::Geometry;
+using memsim::Guard;
+using memsim::Memory;
+
+class MarchLibraryProperty : public ::testing::TestWithParam<MarchTest> {};
+
+TEST_P(MarchLibraryProperty, FaultFreeMemoryPasses) {
+  Memory mem(Geometry{8, 4});
+  EXPECT_FALSE(run_march(GetParam(), mem, mem.size()).detected);
+}
+
+TEST_P(MarchLibraryProperty, OpsExecutedMatchesDeclaredLength) {
+  Memory mem(Geometry{8, 4});
+  const auto result = run_march(GetParam(), mem, mem.size());
+  EXPECT_EQ(result.ops_executed, GetParam().length(mem.size()));
+  EXPECT_EQ(mem.operations_executed(), GetParam().length(mem.size()));
+}
+
+TEST_P(MarchLibraryProperty, NotationRoundTrips) {
+  const MarchTest& t = GetParam();
+  EXPECT_EQ(MarchTest::parse(t.to_string()), t);
+}
+
+TEST_P(MarchLibraryProperty, DetectsBothFullReadDestructiveFaults) {
+  // Every test in the library (all contain at least one read of each
+  // value after initialization) detects the unguarded RDF0 and RDF1.
+  const Geometry g{8, 4};
+  EXPECT_TRUE(
+      evaluate_detection(GetParam(), g, Ffm::kRDF0, Guard::none()).detected_all)
+      << GetParam().name;
+  EXPECT_TRUE(
+      evaluate_detection(GetParam(), g, Ffm::kRDF1, Guard::none()).detected_all)
+      << GetParam().name;
+}
+
+TEST_P(MarchLibraryProperty, DetectsStuckStateFaults) {
+  const Geometry g{8, 4};
+  EXPECT_TRUE(
+      evaluate_detection(GetParam(), g, Ffm::kSF0, Guard::none()).detected_all);
+  EXPECT_TRUE(
+      evaluate_detection(GetParam(), g, Ffm::kSF1, Guard::none()).detected_all);
+}
+
+TEST_P(MarchLibraryProperty, EveryElementHasOps) {
+  for (const auto& e : GetParam().elements) EXPECT_FALSE(e.ops.empty());
+}
+
+TEST_P(MarchLibraryProperty, FirstElementInitializesBlind) {
+  // Convention: the first element of every library test is write-only (it
+  // cannot assume any initial memory state).
+  const auto& first = GetParam().elements.front();
+  for (const auto& op : first.ops)
+    EXPECT_FALSE(op.is_read) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, MarchLibraryProperty, ::testing::ValuesIn(standard_tests()),
+    [](const ::testing::TestParamInfo<MarchTest>& param_info) {
+      std::string name = param_info.param.name;
+      std::replace_if(name.begin(), name.end(),
+                      [](char c) { return !std::isalnum(c); }, '_');
+      return name + "_" + std::to_string(param_info.index);
+    });
+
+// --- guarded-fault detection is monotone in test strength ----------------
+
+class GuardedRdfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GuardedRdfProperty, MarchPfDetectsGuardedRdfAtEveryColumnCount) {
+  const int columns = GetParam();
+  const Geometry g{8, columns};
+  EXPECT_TRUE(evaluate_detection(march_pf(), g, Ffm::kRDF1,
+                                 Guard::bit_line(0))
+                  .detected_all)
+      << columns << " columns";
+  EXPECT_TRUE(evaluate_detection(march_pf(), g, Ffm::kRDF0,
+                                 Guard::bit_line(1))
+                  .detected_all)
+      << columns << " columns";
+}
+
+INSTANTIATE_TEST_SUITE_P(ColumnCounts, GuardedRdfProperty,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace pf::march

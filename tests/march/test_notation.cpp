@@ -1,0 +1,95 @@
+// March notation: parsing, printing, lengths.
+#include <gtest/gtest.h>
+
+#include "pf/march/library.hpp"
+#include "pf/march/test.hpp"
+
+namespace pf::march {
+namespace {
+
+TEST(MarchParse, SimpleTest) {
+  const MarchTest t = MarchTest::parse("{ m(w0); u(r0,w1); d(r1,w0) }");
+  ASSERT_EQ(t.elements.size(), 3u);
+  EXPECT_EQ(t.elements[0].order, Order::kAny);
+  EXPECT_EQ(t.elements[1].order, Order::kUp);
+  EXPECT_EQ(t.elements[2].order, Order::kDown);
+  EXPECT_EQ(t.elements[1].ops[0], MarchOp::r(0));
+  EXPECT_EQ(t.elements[1].ops[1], MarchOp::w(1));
+  EXPECT_EQ(t.ops_per_cell(), 5);
+  EXPECT_EQ(t.length(64), 320u);
+}
+
+TEST(MarchParse, WhitespaceAndCaseTolerant) {
+  const MarchTest t = MarchTest::parse("{M( w0 , w1 );  U(r1)}");
+  ASSERT_EQ(t.elements.size(), 2u);
+  EXPECT_EQ(t.elements[0].ops.size(), 2u);
+}
+
+TEST(MarchParse, RejectsMalformed) {
+  EXPECT_THROW(MarchTest::parse(""), ParseError);
+  EXPECT_THROW(MarchTest::parse("{ }"), ParseError);
+  EXPECT_THROW(MarchTest::parse("{ x(w0) }"), ParseError);
+  EXPECT_THROW(MarchTest::parse("{ m(w2) }"), ParseError);
+  EXPECT_THROW(MarchTest::parse("{ m(q0) }"), ParseError);
+  EXPECT_THROW(MarchTest::parse("{ m() }"), ParseError);
+  EXPECT_THROW(MarchTest::parse("{ m w0 }"), ParseError);
+}
+
+TEST(MarchParse, RoundTrip) {
+  for (const MarchTest& t : standard_tests()) {
+    const MarchTest reparsed = MarchTest::parse(t.to_string(), t.name);
+    EXPECT_EQ(reparsed, t) << t.name;
+  }
+}
+
+TEST(MarchLibrary, MarchPfMatchesPaper) {
+  const MarchTest t = march_pf();
+  EXPECT_EQ(t.to_string(),
+            "{ m(w0,w1); m(r1,w1,w0,w0,w1,r1); m(w1,w0); "
+            "m(r0,w0,w1,w1,w0,r0) }");
+  EXPECT_EQ(t.ops_per_cell(), 16);
+  EXPECT_EQ(t.name, "March PF");
+}
+
+TEST(MarchLibrary, SecondHalfIsComplementOfFirst) {
+  // March PF's elements 3-4 are the data-complement of elements 1-2 (the
+  // test covers simulated and complementary partial faults symmetrically).
+  const MarchTest t = march_pf();
+  ASSERT_EQ(t.elements.size(), 4u);
+  for (int pair = 0; pair < 2; ++pair) {
+    const auto& a = t.elements[pair].ops;
+    const auto& b = t.elements[pair + 2].ops;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].is_read, b[i].is_read);
+      EXPECT_EQ(a[i].value, 1 - b[i].value);
+    }
+  }
+}
+
+TEST(MarchLibrary, ClassicTestLengths) {
+  EXPECT_EQ(mats().ops_per_cell(), 4);
+  EXPECT_EQ(mats_plus().ops_per_cell(), 5);
+  EXPECT_EQ(mats_pp().ops_per_cell(), 6);
+  EXPECT_EQ(march_x().ops_per_cell(), 6);
+  EXPECT_EQ(march_y().ops_per_cell(), 8);
+  EXPECT_EQ(march_c_minus().ops_per_cell(), 10);
+  EXPECT_EQ(march_a().ops_per_cell(), 15);
+  EXPECT_EQ(march_b().ops_per_cell(), 17);
+  EXPECT_EQ(march_u().ops_per_cell(), 13);
+  EXPECT_EQ(march_sr().ops_per_cell(), 14);
+  EXPECT_EQ(march_lr().ops_per_cell(), 14);
+  EXPECT_EQ(march_ss().ops_per_cell(), 22);
+  EXPECT_EQ(naive_w1r1().ops_per_cell(), 2);
+}
+
+TEST(MarchLibrary, AllNamesUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const auto& t : standard_tests()) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_TRUE(names.insert(t.name).second) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace pf::march

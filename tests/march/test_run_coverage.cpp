@@ -1,0 +1,161 @@
+// March execution and fault coverage, including the paper's headline result:
+// the naive {m(w1,r1)} detects a full RDF1 but MISSES the partial RDF1,
+// while March PF detects both.
+#include <gtest/gtest.h>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/memsim/memory.hpp"
+
+namespace pf::march {
+namespace {
+
+using faults::Ffm;
+using memsim::Geometry;
+using memsim::Guard;
+using memsim::Memory;
+
+Geometry geom() { return Geometry{8, 4}; }
+
+TEST(MarchRun, FaultFreeMemoryPassesEverything) {
+  for (const MarchTest& t : standard_tests()) {
+    Memory m(geom());
+    const MarchResult r = run_march(t, m, m.size());
+    EXPECT_FALSE(r.detected) << t.name;
+    EXPECT_EQ(r.ops_executed, t.length(m.size())) << t.name;
+  }
+}
+
+TEST(MarchRun, FailRecordsCarryLocation) {
+  Memory m(geom());
+  m.inject({5, Ffm::kRDF1, Guard::none()});
+  const MarchResult r = run_march(mats_plus(), m, m.size());
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.fails.front().addr, 5);
+  EXPECT_EQ(r.fails.front().expected, 1);
+  EXPECT_EQ(r.fails.front().got, 0);
+}
+
+TEST(MarchRun, DownOrderVisitsDescending) {
+  // A guard-free DRDF1 at the last address: March elements running down
+  // visit it first; verify detection works in both orders.
+  Memory m(geom());
+  m.inject({m.size() - 1, Ffm::kDRDF1, Guard::none()});
+  EXPECT_TRUE(run_march(march_y(), m, m.size()).detected);
+}
+
+TEST(Coverage, MarchCMinusDetectsStateTransitionAndReadFaults) {
+  // March C- detects the SF/TF/RDF/IRF families but — classically — misses
+  // deceptive read faults (no back-to-back reads) and write destructive
+  // faults (no non-transition writes): 8 of the 12 static FFMs.
+  const auto g = geom();
+  // (WDF0 is caught by the initial m(w0) writing 0 onto the power-up zero
+  // state; WDF1 would need a w1 onto a stored 1, which March C- never does.)
+  for (Ffm ffm : {Ffm::kSF0, Ffm::kSF1, Ffm::kTFUp, Ffm::kTFDown, Ffm::kRDF0,
+                  Ffm::kRDF1, Ffm::kIRF0, Ffm::kIRF1, Ffm::kWDF0}) {
+    EXPECT_TRUE(
+        evaluate_detection(march_c_minus(), g, ffm, Guard::none()).detected_all)
+        << faults::ffm_name(ffm);
+  }
+  for (Ffm ffm : {Ffm::kDRDF0, Ffm::kDRDF1, Ffm::kWDF1}) {
+    EXPECT_FALSE(
+        evaluate_detection(march_c_minus(), g, ffm, Guard::none()).detected_all)
+        << faults::ffm_name(ffm);
+  }
+  EXPECT_DOUBLE_EQ(static_ffm_coverage(march_c_minus(), g), 9.0 / 12.0);
+}
+
+TEST(Coverage, MarchSrDetectsDeceptiveReadFaults) {
+  // March SR's double reads (r0,r0 / r1,r1) expose the flipped cell that a
+  // deceptive read leaves behind.
+  for (Ffm ffm : {Ffm::kDRDF0, Ffm::kDRDF1}) {
+    EXPECT_TRUE(
+        evaluate_detection(march_sr(), geom(), ffm, Guard::none()).detected_all)
+        << faults::ffm_name(ffm);
+  }
+}
+
+TEST(Coverage, MarchSsIsStaticFfmComplete) {
+  // The defining property of March SS: all 12 static single-cell FFMs
+  // (including DRDF via r,r pairs and WDF via non-transition writes).
+  EXPECT_DOUBLE_EQ(static_ffm_coverage(march_ss(), geom()), 1.0);
+}
+
+TEST(Coverage, MatsMissesSomeFaults) {
+  // MATS (4N) cannot detect everything (e.g. deceptive reads need a
+  // re-read); its coverage must be strictly below 1.
+  EXPECT_LT(static_ffm_coverage(mats(), geom()), 1.0);
+}
+
+TEST(PaperHeadline, NaiveTestDetectsFullRdf1) {
+  const auto outcome = evaluate_detection(naive_w1r1(), geom(), Ffm::kRDF1,
+                                          Guard::none());
+  EXPECT_TRUE(outcome.detected_all);
+}
+
+TEST(PaperHeadline, NaiveTestMissesPartialRdf1) {
+  // The introduction's point: the w1 preconditions the floating BL high, so
+  // the following r1 never sees the guard condition.
+  const auto outcome = evaluate_detection(naive_w1r1(), geom(), Ffm::kRDF1,
+                                          Guard::bit_line(0));
+  EXPECT_EQ(outcome.detected_count, 0);
+}
+
+TEST(PaperHeadline, MarchPfDetectsPartialRdf1Everywhere) {
+  const auto outcome = evaluate_detection(march_pf(), geom(), Ffm::kRDF1,
+                                          Guard::bit_line(0));
+  EXPECT_TRUE(outcome.detected_all)
+      << "escaped at victim " << outcome.first_escape;
+}
+
+TEST(PaperHeadline, MarchPfDetectsComplementaryPartialRdf0) {
+  const auto outcome = evaluate_detection(march_pf(), geom(), Ffm::kRDF0,
+                                          Guard::bit_line(1));
+  EXPECT_TRUE(outcome.detected_all)
+      << "escaped at victim " << outcome.first_escape;
+}
+
+TEST(PaperHeadline, BufferGuardedIrfsArePartiallyDetectedAtFpLevel) {
+  // A buffer-guarded IRF modeled as a single-victim FP is only exposed when
+  // some earlier operation left the (shared) buffer at the wrong level right
+  // before the victim read; March PF achieves that for a subset of victim
+  // locations. The full open-8 *defect* (reads never update the buffer at
+  // all) is detected — that claim is verified against the electrical model
+  // in the analysis/march integration tests.
+  const auto irf0 =
+      evaluate_detection(march_pf(), geom(), Ffm::kIRF0, Guard::buffer(1));
+  EXPECT_GT(irf0.detected_count, 0);
+  const auto irf1 =
+      evaluate_detection(march_pf(), geom(), Ffm::kIRF1, Guard::buffer(0));
+  EXPECT_GT(irf1.detected_count, 0);
+}
+
+TEST(PaperHeadline, HiddenFaultDetectedOnlyWhenActive) {
+  // "Not possible" rows of Table 1: when the uncontrollable floating line
+  // happens to activate the fault, tests see it; when not, nothing can.
+  EXPECT_TRUE(evaluate_detection(march_pf(), geom(), Ffm::kSF0,
+                                 Guard::hidden(true))
+                  .detected_all);
+  EXPECT_EQ(evaluate_detection(march_pf(), geom(), Ffm::kSF0,
+                               Guard::hidden(false))
+                .detected_count,
+            0);
+}
+
+TEST(Coverage, PartialFaultsStrictlyHarderThanFull) {
+  // Every classical test detects the full RDF1; several miss the partial.
+  int full_detections = 0;
+  int partial_detections = 0;
+  for (const MarchTest& t : standard_tests()) {
+    if (evaluate_detection(t, geom(), Ffm::kRDF1, Guard::none()).detected_all)
+      ++full_detections;
+    if (evaluate_detection(t, geom(), Ffm::kRDF1, Guard::bit_line(0))
+            .detected_all)
+      ++partial_detections;
+  }
+  EXPECT_EQ(full_detections, static_cast<int>(standard_tests().size()));
+  EXPECT_LT(partial_detections, full_detections);
+}
+
+}  // namespace
+}  // namespace pf::march

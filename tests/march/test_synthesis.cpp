@@ -1,0 +1,116 @@
+// March-test synthesis: greedy assembly of tests for chosen fault sets.
+#include <gtest/gtest.h>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/march/synthesis.hpp"
+
+namespace pf::march {
+namespace {
+
+using faults::Ffm;
+using memsim::Guard;
+
+SynthesisOptions small() {
+  SynthesisOptions opt;
+  opt.geometry = memsim::Geometry{4, 2};
+  return opt;
+}
+
+TEST(Synthesis, TrivialTargetYieldsShortTest) {
+  const auto result =
+      synthesize_march({TargetFault::single(Ffm::kSF1)}, small());
+  ASSERT_TRUE(result.success);
+  EXPECT_LE(result.test.ops_per_cell(), 4);
+  // Verify independently.
+  EXPECT_TRUE(evaluate_detection(result.test, small().geometry, Ffm::kSF1,
+                                 Guard::none())
+                  .detected_all);
+}
+
+TEST(Synthesis, CoversAllTwelveStaticFfms) {
+  std::vector<TargetFault> targets;
+  for (Ffm ffm : faults::all_ffms()) targets.push_back(TargetFault::single(ffm));
+  const auto result = synthesize_march(targets, small());
+  ASSERT_TRUE(result.success)
+      << "detected " << result.detected_targets << "/" << result.total_targets
+      << " with " << result.test.to_string();
+  // Independent re-check of every target.
+  for (Ffm ffm : faults::all_ffms()) {
+    EXPECT_TRUE(evaluate_detection(result.test, small().geometry, ffm,
+                                   Guard::none())
+                    .detected_all)
+        << faults::ffm_name(ffm);
+  }
+}
+
+TEST(Synthesis, CoversThePapersPartialFaults) {
+  // The Table 1 guarded faults March PF was built for: a synthesized test
+  // must detect them too, at comparable or shorter length.
+  const std::vector<TargetFault> targets = {
+      TargetFault::single(Ffm::kRDF1, Guard::bit_line(0)),
+      TargetFault::single(Ffm::kRDF0, Guard::bit_line(1)),
+      TargetFault::single(Ffm::kIRF1, Guard::bit_line(0)),
+      TargetFault::single(Ffm::kIRF0, Guard::bit_line(1)),
+  };
+  const auto result = synthesize_march(targets, small());
+  ASSERT_TRUE(result.success) << result.test.to_string();
+  EXPECT_LE(result.test.ops_per_cell(), march_pf().ops_per_cell());
+}
+
+TEST(Synthesis, SynthesizedTestsAreSelfConsistent) {
+  const auto result = synthesize_march(
+      {TargetFault::single(Ffm::kRDF1), TargetFault::single(Ffm::kDRDF0)},
+      small());
+  memsim::Memory clean(small().geometry);
+  EXPECT_FALSE(run_march(result.test, clean, clean.size()).detected)
+      << "synthesized test must pass a fault-free memory";
+}
+
+TEST(Synthesis, CouplingTargetsSupported) {
+  using CfKind = faults::CouplingFault::Kind;
+  const faults::CouplingFault cfst{CfKind::kState, 1, faults::Op::Kind::kWrite0,
+                                   0};
+  const auto result =
+      synthesize_march({TargetFault::coupled(cfst)}, small());
+  ASSERT_TRUE(result.success) << result.test.to_string();
+  EXPECT_TRUE(evaluate_coupling_detection(result.test, small().geometry, cfst)
+                  .detected_all);
+}
+
+TEST(Synthesis, ImpossibleTargetReportsFailure) {
+  // An inactive hidden fault cannot be detected by anything.
+  const auto result = synthesize_march(
+      {TargetFault::single(Ffm::kSF0, Guard::hidden(false))}, small());
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.detected_targets, 0);
+}
+
+TEST(Synthesis, ReversePassPrunesElements) {
+  // With a single easy target, the greedy + prune pipeline must not keep
+  // more than the initialization plus two elements.
+  const auto result =
+      synthesize_march({TargetFault::single(Ffm::kRDF0)}, small());
+  ASSERT_TRUE(result.success);
+  EXPECT_LE(result.test.elements.size(), 3u) << result.test.to_string();
+}
+
+TEST(Synthesis, TargetNamesReadable) {
+  EXPECT_EQ(TargetFault::single(Ffm::kRDF1, Guard::bit_line(0)).name(),
+            "RDF1|BL=0");
+  EXPECT_EQ(TargetFault::single(Ffm::kIRF0, Guard::buffer(1)).name(),
+            "IRF0|buf=1");
+  using CfKind = faults::CouplingFault::Kind;
+  EXPECT_EQ(TargetFault::coupled(
+                faults::CouplingFault{CfKind::kState, 1,
+                                      faults::Op::Kind::kWrite0, 0})
+                .name(),
+            "CFst<1;0->1>");
+}
+
+TEST(Synthesis, RejectsEmptyTargetList) {
+  EXPECT_THROW(synthesize_march({}, small()), pf::Error);
+}
+
+}  // namespace
+}  // namespace pf::march

@@ -1,0 +1,179 @@
+// Coupling-fault injection semantics, cross-validated against the taxonomy's
+// defining fault primitives.
+#include <gtest/gtest.h>
+
+#include "pf/memsim/memory.hpp"
+
+namespace pf::memsim {
+namespace {
+
+using faults::CouplingFault;
+using faults::Op;
+using Kind = CouplingFault::Kind;
+
+Geometry geom() { return Geometry{4, 2}; }
+
+TEST(CouplingSemantics, StateCouplingForcesVictim) {
+  Memory m(geom());
+  // CFst<1; 0->1>: victim (cell 2) cannot stay 0 while aggressor (cell 1)
+  // holds 1.
+  m.inject_coupling({1, 2, {Kind::kState, 1, Op::Kind::kWrite0, 0}, Guard::none()});
+  m.write(2, 0);
+  m.write(1, 1);
+  EXPECT_EQ(m.read(2), 1);
+  // With the aggressor at 0 the victim holds.
+  m.write(1, 0);
+  m.write(2, 0);
+  m.write(3, 1);  // unrelated activity
+  EXPECT_EQ(m.read(2), 0);
+}
+
+TEST(CouplingSemantics, WriteDisturbFlipsVictim) {
+  Memory m(geom());
+  // CFds<w1a; 0->1>: writing 1 to the aggressor flips a victim storing 0.
+  m.inject_coupling({0, 3, {Kind::kDisturb, 1, Op::Kind::kWrite1, 0}, Guard::none()});
+  m.write(3, 0);
+  m.write(0, 1);
+  EXPECT_EQ(m.read(3), 1);
+  // Writing 0 to the aggressor does not disturb.
+  m.write(3, 0);
+  m.write(0, 0);
+  EXPECT_EQ(m.read(3), 0);
+}
+
+TEST(CouplingSemantics, ReadDisturbFlipsVictim) {
+  Memory m(geom());
+  // CFds<r1a; 1->0>: reading a 1 from the aggressor flips a victim at 1.
+  m.inject_coupling({0, 1, {Kind::kDisturb, 1, Op::Kind::kRead, 1}, Guard::none()});
+  m.write(0, 1);
+  m.write(1, 1);
+  EXPECT_EQ(m.read(0), 1);  // the disturbing read
+  EXPECT_EQ(m.read(1), 0);
+}
+
+TEST(CouplingSemantics, TransitionCouplingBlocksWrite) {
+  Memory m(geom());
+  // CFtr<1; 0w1>: the victim's up-transition fails while aggressor holds 1.
+  m.inject_coupling({2, 0, {Kind::kTransition, 1, Op::Kind::kWrite0, 0}, Guard::none()});
+  m.write(2, 1);
+  m.write(0, 0);
+  m.write(0, 1);  // fails
+  EXPECT_EQ(m.read(0), 0);
+  m.write(2, 0);
+  m.write(0, 0);
+  m.write(0, 1);  // aggressor at 0: succeeds
+  EXPECT_EQ(m.read(0), 1);
+}
+
+TEST(CouplingSemantics, WriteDestructiveCoupling) {
+  Memory m(geom());
+  // CFwd<0; w1>: non-transition w1 on the victim flips it while aggressor 0.
+  m.inject_coupling({1, 0, {Kind::kWriteDestructive, 0, Op::Kind::kWrite0, 1}, Guard::none()});
+  m.write(1, 0);
+  m.write(0, 1);
+  m.write(0, 1);  // non-transition write destroys
+  EXPECT_EQ(m.read(0), 0);
+}
+
+TEST(CouplingSemantics, ReadDestructiveCoupling) {
+  Memory m(geom());
+  m.inject_coupling({1, 0, {Kind::kReadDestructive, 1, Op::Kind::kWrite0, 1}, Guard::none()});
+  m.write(1, 1);
+  m.write(0, 1);
+  EXPECT_EQ(m.read(0), 0);  // wrong output
+  EXPECT_EQ(m.cell(0), 0);  // destroyed
+}
+
+TEST(CouplingSemantics, DeceptiveReadCoupling) {
+  Memory m(geom());
+  m.inject_coupling({1, 0, {Kind::kDeceptiveRead, 1, Op::Kind::kWrite0, 0}, Guard::none()});
+  m.write(1, 1);
+  m.write(0, 0);
+  EXPECT_EQ(m.read(0), 0);  // deceptively correct
+  EXPECT_EQ(m.cell(0), 1);  // but flipped
+}
+
+TEST(CouplingSemantics, IncorrectReadCoupling) {
+  Memory m(geom());
+  m.inject_coupling({1, 0, {Kind::kIncorrectRead, 1, Op::Kind::kWrite0, 0}, Guard::none()});
+  m.write(1, 1);
+  m.write(0, 0);
+  EXPECT_EQ(m.read(0), 1);
+  EXPECT_EQ(m.cell(0), 0);
+}
+
+TEST(CouplingSemantics, GuardComposesWithCoupling) {
+  Memory m(geom());
+  // A PARTIAL coupling fault: only sensitized while the victim's bit line
+  // was left low.
+  m.inject_coupling({1, 0, {Kind::kReadDestructive, 1, Op::Kind::kWrite0, 1},
+                     Guard::bit_line(0)});
+  m.write(1, 1);
+  m.write(0, 1);
+  EXPECT_EQ(m.read(0), 1) << "BL high after the victim's own write";
+  m.write(0, 1);
+  m.write(2, 1);  // complement row: drives the true BL low
+  m.write(1, 1);  // keep the aggressor condition, also BL low (row 0? no: addr 1 row 0 -> BL high)
+  m.write(2, 1);  // re-establish BL low
+  EXPECT_EQ(m.read(0), 0);
+}
+
+TEST(CouplingSemantics, RejectsBadInjection) {
+  Memory m(geom());
+  EXPECT_THROW(m.inject_coupling({0, 0, {}, Guard::none()}), pf::Error);
+  EXPECT_THROW(m.inject_coupling({0, 99, {}, Guard::none()}), pf::Error);
+  EXPECT_THROW(m.inject_coupling({-1, 1, {}, Guard::none()}), pf::Error);
+}
+
+TEST(CouplingSemantics, ClearFaultsRemovesCouplings) {
+  Memory m(geom());
+  m.inject_coupling({1, 0, {Kind::kIncorrectRead, 1, Op::Kind::kWrite0, 0}, Guard::none()});
+  m.clear_faults();
+  m.write(1, 1);
+  m.write(0, 0);
+  EXPECT_EQ(m.read(0), 0);
+}
+
+// Cross-validation: executing each taxonomy fault's defining FP reproduces
+// its <F, R> exactly.
+class CouplingCrossValidation
+    : public ::testing::TestWithParam<CouplingFault> {};
+
+TEST_P(CouplingCrossValidation, DefiningFpReproduces) {
+  const CouplingFault cf = GetParam();
+  const faults::FaultPrimitive fp = cf.to_fp();
+  Memory m(geom());
+  const int victim = 0, aggressor = 1;
+  m.inject_coupling({aggressor, victim, cf, Guard::none()});
+  if (fp.sos.initial_aggressor >= 0)
+    m.set_cell(aggressor, fp.sos.initial_aggressor);
+  if (fp.sos.initial_victim >= 0) m.set_cell(victim, fp.sos.initial_victim);
+  int read_result = -1;
+  for (const auto& op : fp.sos.ops) {
+    const int addr =
+        op.target == faults::CellRole::kVictim ? victim : aggressor;
+    if (op.is_read()) {
+      const int got = m.read(addr);
+      if (op.target == faults::CellRole::kVictim) read_result = got;
+    } else {
+      m.write(addr, op.write_value());
+    }
+  }
+  if (fp.sos.ops.empty()) m.write(3, 0);  // let state couplings act
+  EXPECT_EQ(m.cell(victim), fp.faulty_state) << cf.name();
+  EXPECT_EQ(read_result, fp.read_result) << cf.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCouplings, CouplingCrossValidation,
+    ::testing::ValuesIn(faults::all_coupling_faults()),
+    [](const ::testing::TestParamInfo<CouplingFault>& param_info) {
+      std::string n = param_info.param.name();
+      std::string out;
+      for (char c : n)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      return out + "_" + std::to_string(param_info.index);
+    });
+
+}  // namespace
+}  // namespace pf::memsim

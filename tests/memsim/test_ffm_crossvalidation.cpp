@@ -1,0 +1,91 @@
+// Cross-validation between the FP algebra (pf_faults) and the behavioral
+// memory (pf_memsim): injecting an FFM and executing its canonical FP's SOS
+// must reproduce exactly the canonical <F, R>.
+#include <gtest/gtest.h>
+
+#include "pf/faults/ffm.hpp"
+#include "pf/memsim/memory.hpp"
+
+namespace pf::memsim {
+namespace {
+
+using faults::CellRole;
+using faults::FaultPrimitive;
+using faults::Ffm;
+
+struct SosObservation {
+  int final_state = -1;
+  int read_result = -1;
+};
+
+SosObservation execute_canonical(Memory& mem, int victim,
+                                 const faults::Sos& sos) {
+  // FP initialization is abstract state-setting, not an operation (a write
+  // would itself trigger write faults like WDF0 during initialization).
+  if (sos.initial_victim >= 0) mem.set_cell(victim, sos.initial_victim);
+  SosObservation obs;
+  for (const auto& op : sos.ops) {
+    const int addr = op.target == CellRole::kVictim ? victim : victim + 1;
+    if (op.is_read())
+      obs.read_result = mem.read(addr);
+    else
+      mem.write(addr, op.write_value());
+  }
+  // State faults need some subsequent activity to act.
+  if (sos.ops.empty()) mem.write(victim + 1, 0);
+  obs.final_state = mem.cell(victim);
+  return obs;
+}
+
+class FfmSemantics : public ::testing::TestWithParam<Ffm> {};
+
+TEST_P(FfmSemantics, CanonicalFpReproducesInjectedBehaviour) {
+  const Ffm ffm = GetParam();
+  const FaultPrimitive canon = faults::canonical_fp(ffm);
+  Memory mem(Geometry{4, 2});
+  const int victim = 0;
+  mem.inject({victim, ffm, Guard::none()});
+  const SosObservation obs = execute_canonical(mem, victim, canon.sos);
+  EXPECT_EQ(obs.final_state, canon.faulty_state) << faults::ffm_name(ffm);
+  EXPECT_EQ(obs.read_result, canon.read_result) << faults::ffm_name(ffm);
+}
+
+TEST_P(FfmSemantics, ComplementSosIsFaultFreeUnderInjection) {
+  // The data-complement SOS must NOT trigger the (data-specific) FFM:
+  // e.g. an injected RDF1 leaves 0r0 completely healthy.
+  const Ffm ffm = GetParam();
+  const FaultPrimitive comp = faults::canonical_fp(ffm).complement();
+  Memory mem(Geometry{4, 2});
+  const int victim = 0;
+  mem.inject({victim, ffm, Guard::none()});
+  const SosObservation obs = execute_canonical(mem, victim, comp.sos);
+  const int healthy_state = comp.sos.expected_final_victim();
+  const int healthy_read = comp.sos.expected_read();
+  if (ffm != Ffm::kSF0 && ffm != Ffm::kSF1) {
+    EXPECT_EQ(obs.final_state, healthy_state) << faults::ffm_name(ffm);
+    EXPECT_EQ(obs.read_result, healthy_read) << faults::ffm_name(ffm);
+  }
+}
+
+TEST_P(FfmSemantics, UnsatisfiedGuardSuppressesTheFault) {
+  const Ffm ffm = GetParam();
+  const FaultPrimitive canon = faults::canonical_fp(ffm);
+  Memory mem(Geometry{4, 2});
+  const int victim = 0;
+  // A hidden guard that is inactive must make the memory fault-free.
+  mem.inject({victim, ffm, Guard::hidden(false)});
+  const SosObservation obs = execute_canonical(mem, victim, canon.sos);
+  EXPECT_EQ(obs.final_state, canon.sos.expected_final_victim())
+      << faults::ffm_name(ffm);
+  EXPECT_EQ(obs.read_result, canon.sos.expected_read())
+      << faults::ffm_name(ffm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFfms, FfmSemantics, ::testing::ValuesIn(faults::all_ffms()),
+    [](const ::testing::TestParamInfo<Ffm>& param_info) {
+      return std::string(faults::ffm_name(param_info.param));
+    });
+
+}  // namespace
+}  // namespace pf::memsim

@@ -1,0 +1,90 @@
+// Behavioral memory: fault-free semantics and internal state tracking.
+#include <gtest/gtest.h>
+
+#include "pf/memsim/memory.hpp"
+
+namespace pf::memsim {
+namespace {
+
+TEST(Geometry, AddressMapping) {
+  Geometry g{4, 8};
+  EXPECT_EQ(g.num_cells(), 32);
+  EXPECT_EQ(g.column_of(0), 0);
+  EXPECT_EQ(g.column_of(9), 1);
+  EXPECT_EQ(g.row_of(9), 1);
+  EXPECT_FALSE(g.on_complement_bl(0));   // row 0: true BL
+  EXPECT_TRUE(g.on_complement_bl(9));    // row 1: complement BL
+  EXPECT_FALSE(g.on_complement_bl(17));  // row 2: true BL
+}
+
+TEST(Geometry, RawLevelInvertsOnComplementRows) {
+  Geometry g{4, 4};
+  EXPECT_EQ(g.raw_level(0, 1), 1);
+  EXPECT_EQ(g.raw_level(4, 1), 0);  // row 1
+  EXPECT_EQ(g.raw_level(4, 0), 1);
+}
+
+TEST(Memory, FaultFreeReadWrite) {
+  Memory m(Geometry{4, 4});
+  for (int a = 0; a < m.size(); ++a) {
+    m.write(a, 1);
+    EXPECT_EQ(m.read(a), 1);
+    m.write(a, 0);
+    EXPECT_EQ(m.read(a), 0);
+  }
+}
+
+TEST(Memory, InitialStateAllZero) {
+  Memory m(Geometry{2, 2});
+  for (int a = 0; a < m.size(); ++a) EXPECT_EQ(m.cell(a), 0);
+  EXPECT_EQ(m.bit_line_raw(0), -1);  // nothing driven yet
+  EXPECT_EQ(m.buffer_raw(), -1);
+}
+
+TEST(Memory, WritesTrackBitLineRawWithPolarity) {
+  Memory m(Geometry{4, 2});
+  m.write(0, 1);  // row 0, column 0: true side
+  EXPECT_EQ(m.bit_line_raw(0), 1);
+  m.write(2, 1);  // row 1, column 0: complement side -> BT driven low
+  EXPECT_EQ(m.bit_line_raw(0), 0);
+  EXPECT_EQ(m.bit_line_raw(1), -1);  // other column untouched
+}
+
+TEST(Memory, ReadsRestoreBitLine) {
+  Memory m(Geometry{4, 2});
+  m.write(0, 1);
+  m.write(1, 0);          // column 1
+  EXPECT_EQ(m.read(0), 1);
+  EXPECT_EQ(m.bit_line_raw(0), 1);  // restore drove the read value
+}
+
+TEST(Memory, BufferTracksLastRawIo) {
+  Memory m(Geometry{4, 2});
+  m.write(0, 1);
+  EXPECT_EQ(m.buffer_raw(), 1);
+  m.write(2, 1);  // complement row: raw 0
+  EXPECT_EQ(m.buffer_raw(), 0);
+  m.read(0);
+  EXPECT_EQ(m.buffer_raw(), 1);
+}
+
+TEST(Memory, OperationCountAccumulates) {
+  Memory m(Geometry{2, 2});
+  m.write(0, 1);
+  m.read(0);
+  m.read(1);
+  EXPECT_EQ(m.operations_executed(), 3u);
+}
+
+TEST(Memory, RejectsBadArguments) {
+  Memory m(Geometry{2, 2});
+  EXPECT_THROW(m.write(-1, 0), pf::Error);
+  EXPECT_THROW(m.write(4, 0), pf::Error);
+  EXPECT_THROW(m.write(0, 2), pf::Error);
+  EXPECT_THROW(m.read(99), pf::Error);
+  EXPECT_THROW(m.inject({99, faults::Ffm::kRDF0, Guard::none()}), pf::Error);
+  EXPECT_THROW(m.inject({0, faults::Ffm::kUnknown, Guard::none()}), pf::Error);
+}
+
+}  // namespace
+}  // namespace pf::memsim

@@ -1,0 +1,139 @@
+// Injected fault semantics: full FFMs, partial (guarded) faults, hidden
+// (uncontrollable) guards.
+#include <gtest/gtest.h>
+
+#include "pf/memsim/memory.hpp"
+
+namespace pf::memsim {
+namespace {
+
+using faults::Ffm;
+
+Geometry geom() { return Geometry{4, 2}; }  // victim 0 on true BL, column 0
+
+TEST(FaultSemantics, FullRdf1FlipsAndDestroys) {
+  Memory m(geom());
+  m.inject({0, Ffm::kRDF1, Guard::none()});
+  m.write(0, 1);
+  EXPECT_EQ(m.read(0), 0);
+  EXPECT_EQ(m.cell(0), 0);
+}
+
+TEST(FaultSemantics, Rdf1DoesNotAffectStoredZero) {
+  Memory m(geom());
+  m.inject({0, Ffm::kRDF1, Guard::none()});
+  m.write(0, 0);
+  EXPECT_EQ(m.read(0), 0);
+}
+
+TEST(FaultSemantics, Drdf0ReadsCorrectButFlips) {
+  Memory m(geom());
+  m.inject({0, Ffm::kDRDF0, Guard::none()});
+  m.write(0, 0);
+  EXPECT_EQ(m.read(0), 0) << "first (deceptive) read is correct";
+  EXPECT_EQ(m.cell(0), 1);
+  EXPECT_EQ(m.read(0), 1) << "the flipped state is visible afterwards";
+}
+
+TEST(FaultSemantics, Irf0MisreadsWithoutFlipping) {
+  Memory m(geom());
+  m.inject({0, Ffm::kIRF0, Guard::none()});
+  m.write(0, 0);
+  EXPECT_EQ(m.read(0), 1);
+  EXPECT_EQ(m.cell(0), 0);
+  EXPECT_EQ(m.read(0), 1) << "misread persists because the cell is intact";
+}
+
+TEST(FaultSemantics, TransitionFaultBlocksUpTransition) {
+  Memory m(geom());
+  m.inject({0, Ffm::kTFUp, Guard::none()});
+  m.write(0, 0);
+  m.write(0, 1);  // up-transition fails
+  EXPECT_EQ(m.read(0), 0);
+}
+
+TEST(FaultSemantics, Wdf1FlipsOnNonTransitionWrite) {
+  Memory m(geom());
+  m.inject({0, Ffm::kWDF1, Guard::none()});
+  m.set_cell(0, 1);
+  m.write(0, 1);  // non-transition write destroys
+  EXPECT_EQ(m.cell(0), 0);
+}
+
+TEST(FaultSemantics, Sf0RaisesStoredZero) {
+  Memory m(geom());
+  m.inject({0, Ffm::kSF0, Guard::none()});
+  m.write(0, 0);
+  m.write(1, 1);  // any subsequent activity exposes the state fault
+  EXPECT_EQ(m.read(0), 1);
+}
+
+TEST(PartialFaults, BitLineGuardControlsSensitization) {
+  // The paper's partial RDF1: only sensitized when the true bit line of the
+  // victim's column was left LOW.
+  Memory m(geom());
+  m.inject({0, Ffm::kRDF1, Guard::bit_line(0)});
+  m.write(0, 1);           // BL left high by the write itself
+  EXPECT_EQ(m.read(0), 1) << "w1 preconditioned the BL high: no fault";
+
+  m.write(0, 1);
+  m.write(2, 1);           // complement-row cell: drives the true BL LOW
+  EXPECT_EQ(m.read(0), 0) << "completing operation sensitized the fault";
+  EXPECT_EQ(m.cell(0), 0);
+}
+
+TEST(PartialFaults, SameBlWriteZeroAlsoCompletes) {
+  Memory m(Geometry{4, 2});
+  m.inject({0, Ffm::kRDF1, Guard::bit_line(0)});
+  m.write(0, 1);
+  m.write(4, 0);  // row 2, same column, true side: w0 drives BL low
+  EXPECT_EQ(m.read(0), 0);
+}
+
+TEST(PartialFaults, OtherColumnWriteDoesNotComplete) {
+  Memory m(geom());
+  m.inject({0, Ffm::kRDF1, Guard::bit_line(0)});
+  m.write(0, 1);
+  m.write(1, 0);  // different column: BL of column 0 still high
+  EXPECT_EQ(m.read(0), 1);
+}
+
+TEST(PartialFaults, BufferGuardedIrf) {
+  // Open-8 style fault: r0 returns whatever the output buffer holds.
+  Memory m(geom());
+  m.inject({0, Ffm::kIRF0, Guard::buffer(1)});
+  m.write(0, 0);  // buffer raw = 0
+  EXPECT_EQ(m.read(0), 0) << "buffer holds 0: read happens to be correct";
+  m.write(1, 1);  // buffer raw = 1 (same row, other column)
+  EXPECT_EQ(m.read(0), 1) << "buffer holds 1: incorrect read";
+}
+
+TEST(PartialFaults, HiddenGuardActive) {
+  Memory m(geom());
+  m.inject({0, Ffm::kSF0, Guard::hidden(true)});
+  m.write(0, 0);
+  m.write(1, 0);
+  EXPECT_EQ(m.read(0), 1);
+}
+
+TEST(PartialFaults, HiddenGuardInactiveNeverFires) {
+  Memory m(geom());
+  m.inject({0, Ffm::kSF0, Guard::hidden(false)});
+  m.write(0, 0);
+  for (int i = 0; i < 5; ++i) m.write(1, i % 2);
+  EXPECT_EQ(m.read(0), 0);
+}
+
+TEST(PartialFaults, MultipleInjectedFaultsCoexist) {
+  Memory m(geom());
+  m.inject({0, Ffm::kRDF1, Guard::bit_line(0)});
+  m.inject({1, Ffm::kIRF0, Guard::none()});
+  m.write(0, 1);
+  m.write(1, 0);
+  EXPECT_EQ(m.read(1), 1);  // IRF0 at cell 1
+  m.write(2, 1);            // completes the partial RDF1 at cell 0
+  EXPECT_EQ(m.read(0), 0);
+}
+
+}  // namespace
+}  // namespace pf::memsim

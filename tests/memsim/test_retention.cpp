@@ -1,0 +1,103 @@
+// Data-retention faults and the pause ("Del") mechanism.
+#include <gtest/gtest.h>
+
+#include "pf/march/library.hpp"
+#include "pf/memsim/memory.hpp"
+
+namespace pf::memsim {
+namespace {
+
+Geometry geom() { return Geometry{4, 2}; }
+
+TEST(Retention, CellDecaysAfterRetentionTime) {
+  Memory m(geom());
+  m.inject_retention({0, 1, 1e-3});
+  m.write(0, 1);
+  m.pause(0.4e-3);
+  EXPECT_EQ(m.cell(0), 1) << "below the retention time";
+  m.pause(0.7e-3);
+  EXPECT_EQ(m.cell(0), 0) << "accumulated pause crossed the threshold";
+}
+
+TEST(Retention, OnlyTheLostValueDecays) {
+  Memory m(geom());
+  m.inject_retention({0, 1, 1e-3});
+  m.write(0, 0);
+  m.pause(10e-3);
+  EXPECT_EQ(m.cell(0), 0) << "a stored 0 is unaffected by a DRF1";
+}
+
+TEST(Retention, AccessRefreshesTheCell) {
+  Memory m(geom());
+  m.inject_retention({0, 1, 1e-3});
+  m.write(0, 1);
+  m.pause(0.6e-3);
+  EXPECT_EQ(m.read(0), 1);  // read restores: clock restarts
+  m.pause(0.6e-3);
+  EXPECT_EQ(m.cell(0), 1) << "0.6 ms since the refresh: still holding";
+  m.pause(0.6e-3);
+  EXPECT_EQ(m.cell(0), 0);
+}
+
+TEST(Retention, OtherCellsUnaffected) {
+  Memory m(geom());
+  m.inject_retention({0, 1, 1e-3});
+  m.write(0, 1);
+  m.write(1, 1);
+  m.pause(5e-3);
+  EXPECT_EQ(m.cell(0), 0);
+  EXPECT_EQ(m.cell(1), 1);
+}
+
+TEST(Retention, RejectsBadInjection) {
+  Memory m(geom());
+  EXPECT_THROW(m.inject_retention({99, 1, 1e-3}), pf::Error);
+  EXPECT_THROW(m.inject_retention({0, 2, 1e-3}), pf::Error);
+  EXPECT_THROW(m.inject_retention({0, 1, 0.0}), pf::Error);
+}
+
+TEST(Retention, DrfTestDetectsWhatMatsPlusMisses) {
+  // The classical result: without delay elements a retention fault passes
+  // (every read happens right after the preceding write); with them the
+  // decayed value is caught.
+  {
+    Memory m(geom());
+    m.inject_retention({2, 1, 1e-3});
+    const auto result = march::run_march(march::mats_plus(), m, m.size());
+    EXPECT_FALSE(result.detected);
+  }
+  {
+    Memory m(geom());
+    m.inject_retention({2, 1, 1e-3});
+    const auto result = march::run_march(march::mats_plus_drf(), m, m.size(),
+                                         /*delay_seconds=*/2e-3);
+    EXPECT_TRUE(result.detected);
+  }
+}
+
+TEST(Retention, Drf0VariantAlsoCaught) {
+  Memory m(geom());
+  m.inject_retention({1, 0, 1e-3});
+  const auto result = march::run_march(march::mats_plus_drf(), m, m.size(),
+                                       /*delay_seconds=*/2e-3);
+  EXPECT_TRUE(result.detected);
+}
+
+TEST(Retention, ShortDelayEscapesTheDrfTest) {
+  Memory m(geom());
+  m.inject_retention({2, 1, 10e-3});
+  const auto result = march::run_march(march::mats_plus_drf(), m, m.size(),
+                                       /*delay_seconds=*/1e-3);
+  EXPECT_FALSE(result.detected) << "delay shorter than the retention time";
+}
+
+TEST(Retention, DelayNotationRoundTrips) {
+  const auto t = march::mats_plus_drf();
+  EXPECT_TRUE(t.has_delays());
+  EXPECT_EQ(t.to_string(), "{ m(w0); del; u(r0,w1); del; d(r1,w0) }");
+  EXPECT_EQ(march::MarchTest::parse(t.to_string()), t);
+  EXPECT_EQ(t.ops_per_cell(), 5) << "delays are not operations";
+}
+
+}  // namespace
+}  // namespace pf::memsim

@@ -1,0 +1,172 @@
+// Deck parser/serializer and the waveform trace recorder.
+#include <gtest/gtest.h>
+
+#include "pf/spice/deck.hpp"
+#include "pf/spice/trace.hpp"
+
+namespace pf::spice {
+namespace {
+
+TEST(DeckValues, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_value("3.3"), 3.3);
+  EXPECT_DOUBLE_EQ(parse_value("30f"), 30e-15);
+  EXPECT_DOUBLE_EQ(parse_value("100k"), 100e3);
+  EXPECT_DOUBLE_EQ(parse_value("2.2meg"), 2.2e6);
+  EXPECT_DOUBLE_EQ(parse_value("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_value("400u"), 400e-6);
+  EXPECT_DOUBLE_EQ(parse_value("200p"), 200e-12);
+  EXPECT_DOUBLE_EQ(parse_value("-1.5m"), -1.5e-3);
+}
+
+TEST(DeckValues, RejectsGarbage) {
+  EXPECT_THROW(parse_value(""), ParseError);
+  EXPECT_THROW(parse_value("abc"), ParseError);
+  EXPECT_THROW(parse_value("1.5x"), ParseError);
+}
+
+TEST(DeckValues, FormatRoundTrips) {
+  for (double v : {3.3, 30e-15, 100e3, 2.2e6, 1e9, 400e-6, 0.0, 1.65}) {
+    EXPECT_NEAR(parse_value(format_value(v)), v, std::abs(v) * 1e-6 + 1e-30)
+        << format_value(v);
+  }
+}
+
+TEST(DeckParse, BuildsDividerCircuit) {
+  const Netlist net = parse_deck(R"(
+* a resistive divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+)");
+  EXPECT_EQ(net.resistors().size(), 2u);
+  EXPECT_EQ(net.vsources().size(), 1u);
+  Simulator sim(net);
+  sim.run_for(10e-9);
+  EXPECT_NEAR(sim.node_voltage(net.find_node("mid").value()), 7.5, 1e-3);
+}
+
+TEST(DeckParse, RailsAndMosfets) {
+  const Netlist net = parse_deck(R"(
+.rail vdd 3.3
+.rail gate 4.5
+MN1 vdd gate out NMOS vt=0.7 k=400u lambda=0.02
+C1 out 0 30f
+.end
+this text after .end is ignored
+)");
+  EXPECT_TRUE(net.is_rail(net.find_node("vdd").value()));
+  ASSERT_EQ(net.mosfets().size(), 1u);
+  EXPECT_DOUBLE_EQ(net.mosfets()[0].params.k, 400e-6);
+  Simulator sim(net);
+  sim.run_for(50e-9);
+  EXPECT_NEAR(sim.node_voltage(net.find_node("out").value()), 3.3, 0.05);
+}
+
+TEST(DeckParse, ReportsLineNumbers) {
+  try {
+    parse_deck("R1 a b 1k\nXBAD x y z\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(DeckParse, RejectsMalformedElements) {
+  EXPECT_THROW(parse_deck("R1 a b"), ParseError);
+  EXPECT_THROW(parse_deck("M1 d g s BJT"), ParseError);
+  EXPECT_THROW(parse_deck("M1 d g s NMOS vt"), ParseError);
+  EXPECT_THROW(parse_deck(".rail x"), ParseError);
+  EXPECT_THROW(parse_deck(".frobnicate"), ParseError);
+}
+
+TEST(DeckRoundTrip, WriteParseEquivalentBehaviour) {
+  const Netlist original = parse_deck(R"(
+.rail vdd 3.3
+V1 in 0 1.65
+R1 in a 56k
+C1 a 0 90f
+MN1 vdd in a NMOS vt=0.7 k=300u lambda=0.02
+MP1 a in 0 PMOS vt=0.8 k=200u lambda=0.02
+)");
+  const Netlist reparsed = parse_deck(write_deck(original));
+  EXPECT_EQ(reparsed.resistors().size(), original.resistors().size());
+  EXPECT_EQ(reparsed.capacitors().size(), original.capacitors().size());
+  EXPECT_EQ(reparsed.mosfets().size(), original.mosfets().size());
+  Simulator s1(original), s2(reparsed);
+  s1.run_for(20e-9);
+  s2.run_for(20e-9);
+  EXPECT_NEAR(s1.node_voltage(original.find_node("a").value()),
+              s2.node_voltage(reparsed.find_node("a").value()), 1e-9);
+}
+
+TEST(TraceRecorder, RecordsAndInterpolates) {
+  Netlist n;
+  const NodeId out = n.node("out");
+  n.add_vsource("v", n.node("in"), kGround, 1.0);
+  n.add_resistor("r", n.find_node("in").value(), out, 100e3);
+  n.add_capacitor("c", out, kGround, 30e-15);
+  Trace trace(n, {"out", "in"});
+  Simulator sim(n);
+  sim.run_for(20e-9, trace.callback());
+  EXPECT_GT(trace.num_samples(), 10u);
+  EXPECT_EQ(trace.num_probes(), 2u);
+  // The output rises monotonically toward 1 V.
+  EXPECT_LT(trace.sample_at(0, 1e-9), trace.sample_at(0, 10e-9));
+  EXPECT_NEAR(trace.max_of(0), 1.0, 0.01);
+  EXPECT_GE(trace.min_of(0), -1e-6);
+  // Clamped sampling outside the record.
+  EXPECT_DOUBLE_EQ(trace.sample_at(0, -1.0), trace.series(0).front());
+  EXPECT_DOUBLE_EQ(trace.sample_at(0, 1.0), trace.series(0).back());
+}
+
+TEST(TraceRecorder, CsvHasHeaderAndRows) {
+  Netlist n;
+  n.add_capacitor("c", n.node("x"), kGround, 1e-15);
+  n.add_resistor("r", n.find_node("x").value(), kGround, 1e6);
+  Trace trace(n, {"x"});
+  Simulator sim(n);
+  sim.set_node_voltage(n.find_node("x").value(), 1.0);
+  sim.run_for(1e-9, trace.callback());
+  const std::string csv = trace.to_csv();
+  EXPECT_EQ(csv.substr(0, 7), "time,x\n");
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(TraceRecorder, ClearKeepsProbes) {
+  Netlist n;
+  n.add_capacitor("c", n.node("x"), kGround, 1e-15);
+  n.add_resistor("r", n.find_node("x").value(), kGround, 1e6);
+  Trace trace(n, {"x"});
+  Simulator sim(n);
+  sim.run_for(1e-9, trace.callback());
+  trace.clear();
+  EXPECT_EQ(trace.num_samples(), 0u);
+  EXPECT_EQ(trace.num_probes(), 1u);
+}
+
+TEST(TraceRecorder, UnknownProbeRejected) {
+  Netlist n;
+  n.node("x");
+  EXPECT_THROW(Trace(n, {"nope"}), pf::Error);
+  EXPECT_THROW(Trace(n, {}), pf::Error);
+}
+
+TEST(DeckDramColumn, ColumnNetlistSerializes) {
+  // The DRAM column's netlist (accessed indirectly: rebuild a small slice)
+  // must round-trip through the deck format — spot-check with a mixed
+  // circuit resembling one bit-line segment.
+  const char* deck = R"(
+.rail vdd 3.3
+.rail pre 0
+C1 bt0 0 10f
+C2 bt1 0 40f
+R1 bt0 bt1 10
+MN1 vdd pre bt0 NMOS vt=0.7 k=400u lambda=0.02
+)";
+  const Netlist net = parse_deck(deck);
+  const Netlist again = parse_deck(write_deck(net));
+  EXPECT_EQ(write_deck(net), write_deck(again));
+}
+
+}  // namespace
+}  // namespace pf::spice

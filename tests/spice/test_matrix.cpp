@@ -1,0 +1,101 @@
+#include "pf/spice/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pf/util/rng.hpp"
+
+namespace pf::spice {
+namespace {
+
+TEST(Matrix, ClearZeroesKeepingShape) {
+  Matrix m(3, 3);
+  m(1, 2) = 5.0;
+  m.clear();
+  EXPECT_EQ(m(1, 2), 0.0);
+  EXPECT_EQ(m.rows(), 3u);
+}
+
+TEST(Lu, SolvesIdentity) {
+  Matrix m(3, 3);
+  for (size_t i = 0; i < 3; ++i) m(i, i) = 1.0;
+  std::vector<size_t> perm;
+  lu_factor(m, perm);
+  std::vector<double> b{1.0, 2.0, 3.0};
+  lu_solve(m, perm, b);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 3.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 3;
+  std::vector<size_t> perm;
+  lu_factor(m, perm);
+  std::vector<double> b{5, 10};
+  lu_solve(m, perm, b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotsZeroDiagonal) {
+  // Leading zero forces a row swap.
+  Matrix m(2, 2);
+  m(0, 0) = 0;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 0;
+  std::vector<size_t> perm;
+  lu_factor(m, perm);
+  std::vector<double> b{3.0, 4.0};
+  lu_solve(m, perm, b);
+  EXPECT_NEAR(b[0], 4.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 2;
+  m(1, 1) = 4;
+  std::vector<size_t> perm;
+  EXPECT_THROW(lu_factor(m, perm), pf::ConvergenceError);
+}
+
+// Property: for random well-conditioned systems, A x = b residual is tiny.
+TEST(LuProperty, RandomSystemsResidual) {
+  pf::Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.next_below(20);
+    Matrix a(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      double diag = 0;
+      for (size_t c = 0; c < n; ++c) {
+        a(r, c) = rng.next_double(-1.0, 1.0);
+        diag += std::abs(a(r, c));
+      }
+      a(r, r) += diag + 1.0;  // diagonally dominant -> well conditioned
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.next_double(-5.0, 5.0);
+    std::vector<double> b(n, 0.0);
+    for (size_t r = 0; r < n; ++r)
+      for (size_t c = 0; c < n; ++c) b[r] += a(r, c) * x_true[c];
+
+    Matrix lu = a;
+    std::vector<size_t> perm;
+    lu_factor(lu, perm);
+    lu_solve(lu, perm, b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace pf::spice

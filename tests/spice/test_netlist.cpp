@@ -1,0 +1,66 @@
+#include "pf/spice/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pf::spice {
+namespace {
+
+TEST(Netlist, GroundIsNodeZero) {
+  Netlist n;
+  EXPECT_EQ(n.node("0"), kGround);
+  EXPECT_EQ(n.node("gnd"), kGround);
+  EXPECT_EQ(n.node_name(kGround), "0");
+}
+
+TEST(Netlist, NodeFindOrCreate) {
+  Netlist n;
+  const NodeId a = n.node("bl_t");
+  EXPECT_EQ(n.node("bl_t"), a);
+  EXPECT_NE(n.node("bl_c"), a);
+  EXPECT_EQ(n.node_count(), 3u);  // ground + 2
+  EXPECT_TRUE(n.find_node("bl_t").has_value());
+  EXPECT_FALSE(n.find_node("nope").has_value());
+}
+
+TEST(Netlist, AddDevicesAndQuery) {
+  Netlist n;
+  const NodeId a = n.node("a"), b = n.node("b");
+  n.add_resistor("r1", a, b, 1e3);
+  n.add_capacitor("c1", b, kGround, 30e-15);
+  const SourceId v = n.add_vsource("vdd", a, kGround, 3.3);
+  n.add_nmos("m1", a, b, kGround, MosParams{});
+  n.add_pmos("m2", b, a, kGround, MosParams{});
+  EXPECT_EQ(n.resistors().size(), 1u);
+  EXPECT_EQ(n.capacitors().size(), 1u);
+  EXPECT_EQ(n.vsources().size(), 1u);
+  EXPECT_EQ(n.mosfets().size(), 2u);
+  EXPECT_TRUE(n.mosfets()[1].is_pmos);
+  EXPECT_EQ(n.find_source("vdd"), v);
+  EXPECT_THROW(n.find_source("vpp"), pf::Error);
+}
+
+TEST(Netlist, RejectsNonPositiveValues) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  EXPECT_THROW(n.add_resistor("r", a, kGround, 0.0), pf::Error);
+  EXPECT_THROW(n.add_resistor("r", a, kGround, -5.0), pf::Error);
+  EXPECT_THROW(n.add_capacitor("c", a, kGround, 0.0), pf::Error);
+}
+
+TEST(Netlist, SetResistanceUpdatesValue) {
+  Netlist n;
+  n.add_resistor("r_def", n.node("x"), n.node("y"), 1.0);
+  n.set_resistance("r_def", 150e3);
+  EXPECT_DOUBLE_EQ(n.resistors()[0].ohms, 150e3);
+  EXPECT_THROW(n.set_resistance("missing", 1.0), pf::Error);
+  EXPECT_THROW(n.set_resistance("r_def", -1.0), pf::Error);
+}
+
+TEST(Netlist, BadNodeIdRejected) {
+  Netlist n;
+  EXPECT_THROW(n.add_resistor("r", 99, kGround, 1.0), pf::Error);
+  EXPECT_THROW(n.node_name(42), pf::Error);
+}
+
+}  // namespace
+}  // namespace pf::spice

@@ -1,0 +1,143 @@
+// Parameterized physics properties of the transient engine: closed-form RC
+// behaviour and charge conservation over swept component values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/simulator.hpp"
+#include "pf/util/rng.hpp"
+
+namespace pf::spice {
+namespace {
+
+// --- RC charging accuracy over an (R, C) grid ----------------------------
+
+struct RcCase {
+  double r;
+  double c;
+};
+
+class RcChargeProperty : public ::testing::TestWithParam<RcCase> {};
+
+TEST_P(RcChargeProperty, MatchesClosedFormWithinTolerance) {
+  const auto [r, c] = GetParam();
+  const double tau = r * c;
+  Netlist n;
+  const NodeId in = n.node("in"), out = n.node("out");
+  n.add_vsource("v", in, kGround, 1.0);
+  n.add_resistor("r", in, out, r);
+  n.add_capacitor("c", out, kGround, c);
+  SimOptions opt;
+  opt.default_slew = tau / 1000;
+  // Resolve the time constant regardless of its absolute scale.
+  opt.dt_max = tau / 25;
+  opt.dt_initial = tau / 100;
+  opt.dt_min = std::min(opt.dt_min, tau / 1e5);
+  Simulator sim(n, opt);
+  // Sample at 0.5, 1, 2 and 5 time constants.
+  double t_prev = 0.0;
+  for (double k : {0.5, 1.0, 2.0, 5.0}) {
+    sim.run_for(tau * k - t_prev);
+    t_prev = tau * k;
+    const double expected = 1.0 - std::exp(-k);
+    EXPECT_NEAR(sim.node_voltage(out), expected, 0.04)
+        << "R=" << r << " C=" << c << " at t=" << k << " tau";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RcGrid, RcChargeProperty,
+    ::testing::Values(RcCase{1e3, 10e-15}, RcCase{10e3, 30e-15},
+                      RcCase{100e3, 30e-15}, RcCase{1e6, 30e-15},
+                      RcCase{10e6, 90e-15}, RcCase{56e3, 90e-15},
+                      RcCase{300e3, 5e-15}, RcCase{1e9, 5e-15}));
+
+// --- charge sharing between two capacitors over random cases -------------
+
+class ChargeSharingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChargeSharingProperty, FinalVoltageIsChargeWeightedAverage) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const double c1 = rng.next_double(5e-15, 100e-15);
+    const double c2 = rng.next_double(5e-15, 100e-15);
+    const double v1 = rng.next_double(0.0, 3.3);
+    const double v2 = rng.next_double(0.0, 3.3);
+    const double r = rng.next_double(100.0, 10e3);
+    Netlist n;
+    const NodeId a = n.node("a"), b = n.node("b");
+    n.add_capacitor("c1", a, kGround, c1);
+    n.add_capacitor("c2", b, kGround, c2);
+    n.add_resistor("r", a, b, r);
+    Simulator sim(n);
+    sim.set_node_voltage(a, v1);
+    sim.set_node_voltage(b, v2);
+    sim.run_for(20 * r * (c1 * c2 / (c1 + c2)) + 1e-9);
+    const double expected = (c1 * v1 + c2 * v2) / (c1 + c2);
+    EXPECT_NEAR(sim.node_voltage(a), expected, 2e-3);
+    EXPECT_NEAR(sim.node_voltage(b), expected, 2e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChargeSharingProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- MOSFET pass-device levels over a gate-voltage sweep -----------------
+
+class PassDeviceProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PassDeviceProperty, ChargesLoadToGateMinusVtOrSource) {
+  const double vg = GetParam();
+  const MosParams p{0.7, 400e-6, 0.02};
+  Netlist n;
+  const NodeId d = n.node("d"), g = n.node("g"), s = n.node("s");
+  n.add_vsource("vd", d, kGround, 3.3);
+  n.add_vsource("vg", g, kGround, vg);
+  n.add_nmos("m", d, g, s, p);
+  n.add_capacitor("cl", s, kGround, 30e-15);
+  Simulator sim(n);
+  sim.run_for(200e-9);
+  const double expected = std::max(0.0, std::min(3.3, vg - p.vt));
+  EXPECT_NEAR(sim.node_voltage(s), expected, 0.12) << "vg=" << vg;
+}
+
+INSTANTIATE_TEST_SUITE_P(GateSweep, PassDeviceProperty,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5, 3.3, 4.0, 4.5));
+
+// --- energy sanity: a source-free RC network never gains voltage ---------
+
+class PassiveDecayProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PassiveDecayProperty, MaxNodeVoltageNeverIncreases) {
+  Rng rng(GetParam());
+  Netlist n;
+  const int kNodes = 5;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    nodes.push_back(n.node("n" + std::to_string(i)));
+    n.add_capacitor("c" + std::to_string(i), nodes.back(), kGround,
+                    rng.next_double(5e-15, 50e-15));
+  }
+  for (int i = 0; i + 1 < kNodes; ++i)
+    n.add_resistor("r" + std::to_string(i), nodes[i], nodes[i + 1],
+                   rng.next_double(1e3, 1e6));
+  Simulator sim(n);
+  double vmax_initial = 0;
+  for (auto id : nodes) {
+    const double v = rng.next_double(0.0, 3.3);
+    sim.set_node_voltage(id, v);
+    vmax_initial = std::max(vmax_initial, v);
+  }
+  double vmax_seen = 0;
+  sim.run_for(100e-9, [&](double, const Simulator& s) {
+    for (auto id : nodes) vmax_seen = std::max(vmax_seen, s.node_voltage(id));
+  });
+  EXPECT_LE(vmax_seen, vmax_initial + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassiveDecayProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+}  // namespace
+}  // namespace pf::spice

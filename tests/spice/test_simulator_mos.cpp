@@ -1,0 +1,158 @@
+// MOSFET-level checks: pass-device threshold drop, inverter transfer,
+// cross-coupled latch regeneration (the sense-amplifier core).
+#include <gtest/gtest.h>
+
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/simulator.hpp"
+
+namespace pf::spice {
+namespace {
+
+constexpr double kVdd = 3.3;
+
+MosParams nmos_params() { return MosParams{0.7, 400e-6, 0.02}; }
+MosParams pmos_params() { return MosParams{0.8, 200e-6, 0.02}; }
+
+TEST(SimMos, NmosPassDeviceDropsThreshold) {
+  // NMOS gate at VDD passing VDD charges the load only to ~VDD - Vt.
+  Netlist n;
+  const NodeId d = n.node("d"), g = n.node("g"), s = n.node("s");
+  n.add_vsource("vd", d, kGround, kVdd);
+  n.add_vsource("vg", g, kGround, kVdd);
+  n.add_nmos("m", d, g, s, nmos_params());
+  n.add_capacitor("cl", s, kGround, 30e-15);
+  Simulator sim(n);
+  sim.run_for(50e-9);
+  EXPECT_NEAR(sim.node_voltage(s), kVdd - 0.7, 0.1);
+}
+
+TEST(SimMos, NmosWithBoostedGatePassesFullLevel) {
+  // Boosted word line (VPP = VDD + 1.2) passes a full VDD into the cell.
+  Netlist n;
+  const NodeId d = n.node("d"), g = n.node("g"), s = n.node("s");
+  n.add_vsource("vd", d, kGround, kVdd);
+  n.add_vsource("vg", g, kGround, kVdd + 1.2);
+  n.add_nmos("m", d, g, s, nmos_params());
+  n.add_capacitor("cl", s, kGround, 30e-15);
+  Simulator sim(n);
+  sim.run_for(50e-9);
+  EXPECT_NEAR(sim.node_voltage(s), kVdd, 0.02);
+}
+
+TEST(SimMos, NmosDischargesToGroundFully) {
+  Netlist n;
+  const NodeId g = n.node("g"), s = n.node("cell");
+  n.add_vsource("vg", g, kGround, kVdd);
+  n.add_nmos("m", s, g, kGround, nmos_params());
+  n.add_capacitor("cl", s, kGround, 30e-15);
+  Simulator sim(n);
+  sim.set_node_voltage(s, kVdd);
+  sim.run_for(20e-9);
+  EXPECT_NEAR(sim.node_voltage(s), 0.0, 0.01);
+}
+
+TEST(SimMos, CutoffIsolates) {
+  Netlist n;
+  const NodeId g = n.node("g"), s = n.node("cell"), d = n.node("bl");
+  n.add_vsource("vg", g, kGround, 0.0);
+  n.add_vsource("vbl", d, kGround, kVdd);
+  n.add_nmos("m", d, g, s, nmos_params());
+  n.add_capacitor("cl", s, kGround, 30e-15);
+  Simulator sim(n);
+  sim.set_node_voltage(s, 1.0);
+  sim.run_for(20e-9);
+  EXPECT_NEAR(sim.node_voltage(s), 1.0, 0.01);  // retained: device off
+}
+
+TEST(SimMos, InverterTransfersLogicLevels) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), in = n.node("in"), out = n.node("out");
+  n.add_vsource("vvdd", vdd, kGround, kVdd);
+  const SourceId vin = n.add_vsource("vin", in, kGround, 0.0);
+  n.add_pmos("mp", out, in, vdd, pmos_params());
+  n.add_nmos("mn", out, in, kGround, nmos_params());
+  n.add_capacitor("cl", out, kGround, 10e-15);
+  Simulator sim(n);
+  sim.run_for(10e-9);
+  EXPECT_NEAR(sim.node_voltage(out), kVdd, 0.02);  // input low -> out high
+  sim.set_source(vin, kVdd);
+  sim.run_for(10e-9);
+  EXPECT_NEAR(sim.node_voltage(out), 0.0, 0.02);  // input high -> out low
+}
+
+TEST(SimMos, CrossCoupledLatchAmplifiesSmallDifference) {
+  // The sense-amplifier core: NMOS/PMOS cross-coupled pairs, enabled rails.
+  // A 150 mV initial difference must regenerate to a full-rail split.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId bt = n.node("bt"), bc = n.node("bc");
+  const NodeId san = n.node("san"), sap = n.node("sap");
+  n.add_vsource("vvdd", vdd, kGround, kVdd);
+  const SourceId sen = n.add_vsource("sen", n.node("se"), kGround, 0.0);
+  const SourceId sep = n.add_vsource("sep", n.node("seb"), kGround, kVdd);
+  n.add_nmos("mn1", bt, bc, san, nmos_params());
+  n.add_nmos("mn2", bc, bt, san, nmos_params());
+  n.add_pmos("mp1", bt, bc, sap, pmos_params());
+  n.add_pmos("mp2", bc, bt, sap, pmos_params());
+  n.add_nmos("men", san, n.node("se"), kGround, nmos_params());
+  n.add_pmos("mep", sap, n.node("seb"), vdd, pmos_params());
+  n.add_capacitor("cbt", bt, kGround, 90e-15);
+  n.add_capacitor("cbc", bc, kGround, 90e-15);
+  n.add_capacitor("csan", san, kGround, 5e-15);
+  n.add_capacitor("csap", sap, kGround, 5e-15);
+
+  Simulator sim(n);
+  sim.set_node_voltage(bt, 2.55);
+  sim.set_node_voltage(bc, 2.40);
+  sim.run_for(1e-9);
+  sim.set_source(sen, kVdd);
+  sim.set_source(sep, 0.0);
+  sim.run_for(8e-9);
+  EXPECT_GT(sim.node_voltage(bt), kVdd - 0.25);
+  EXPECT_LT(sim.node_voltage(bc), 0.25);
+}
+
+TEST(SimMos, CrossCoupledLatchResolvesOppositePolarity) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId bt = n.node("bt"), bc = n.node("bc");
+  const NodeId san = n.node("san"), sap = n.node("sap");
+  n.add_vsource("vvdd", vdd, kGround, kVdd);
+  const SourceId sen = n.add_vsource("sen", n.node("se"), kGround, 0.0);
+  const SourceId sep = n.add_vsource("sep", n.node("seb"), kGround, kVdd);
+  n.add_nmos("mn1", bt, bc, san, nmos_params());
+  n.add_nmos("mn2", bc, bt, san, nmos_params());
+  n.add_pmos("mp1", bt, bc, sap, pmos_params());
+  n.add_pmos("mp2", bc, bt, sap, pmos_params());
+  n.add_nmos("men", san, n.node("se"), kGround, nmos_params());
+  n.add_pmos("mep", sap, n.node("seb"), vdd, pmos_params());
+  n.add_capacitor("cbt", bt, kGround, 90e-15);
+  n.add_capacitor("cbc", bc, kGround, 90e-15);
+  n.add_capacitor("csan", san, kGround, 5e-15);
+  n.add_capacitor("csap", sap, kGround, 5e-15);
+
+  Simulator sim(n);
+  sim.set_node_voltage(bt, 2.40);
+  sim.set_node_voltage(bc, 2.55);
+  sim.run_for(1e-9);
+  sim.set_source(sen, kVdd);
+  sim.set_source(sep, 0.0);
+  sim.run_for(8e-9);
+  EXPECT_LT(sim.node_voltage(bt), 0.25);
+  EXPECT_GT(sim.node_voltage(bc), kVdd - 0.25);
+}
+
+TEST(SimMos, PmosPullsUpFully) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd"), out = n.node("out");
+  n.add_vsource("vvdd", vdd, kGround, kVdd);
+  n.add_vsource("vg", n.node("g"), kGround, 0.0);
+  n.add_pmos("mp", out, n.node("g"), vdd, pmos_params());
+  n.add_capacitor("cl", out, kGround, 20e-15);
+  Simulator sim(n);
+  sim.run_for(20e-9);
+  EXPECT_NEAR(sim.node_voltage(out), kVdd, 0.02);
+}
+
+}  // namespace
+}  // namespace pf::spice

@@ -1,0 +1,129 @@
+// Rail (known-voltage node) behaviour: elimination from the unknown vector,
+// retargeting with slew, equivalence with voltage-source driving.
+#include <gtest/gtest.h>
+
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/simulator.hpp"
+
+namespace pf::spice {
+namespace {
+
+TEST(SimRails, RailHoldsInitialValue) {
+  Netlist n;
+  const NodeId vdd = n.add_rail("vdd", 3.3);
+  const NodeId out = n.node("out");
+  n.add_resistor("r1", vdd, out, 1e3);
+  n.add_resistor("r2", out, kGround, 1e3);
+  Simulator sim(n);
+  sim.run_for(5e-9);
+  EXPECT_DOUBLE_EQ(sim.node_voltage(vdd), 3.3);
+  EXPECT_NEAR(sim.node_voltage(out), 1.65, 1e-4);
+}
+
+TEST(SimRails, RailRetargetRampsLoad) {
+  Netlist n;
+  const NodeId ctl = n.add_rail("ctl", 0.0);
+  const NodeId out = n.node("out");
+  n.add_resistor("r", ctl, out, 1e3);
+  n.add_capacitor("c", out, kGround, 1e-15);
+  Simulator sim(n);
+  sim.run_for(1e-9);
+  sim.set_rail(ctl, 2.0, 1e-10);
+  sim.run_for(5e-9);
+  EXPECT_NEAR(sim.node_voltage(out), 2.0, 1e-3);
+}
+
+TEST(SimRails, RailMatchesVsourceDrivenCircuit) {
+  // Same RC circuit driven by a rail and by a vsource must agree closely.
+  auto build = [](bool use_rail) {
+    Netlist n;
+    NodeId in;
+    if (use_rail) {
+      in = n.add_rail("in", 0.0);
+    } else {
+      in = n.node("in");
+      n.add_vsource("vin", in, kGround, 0.0);
+    }
+    const NodeId out = n.node("out");
+    n.add_resistor("r", in, out, 50e3);
+    n.add_capacitor("c", out, kGround, 40e-15);
+    return n;
+  };
+  const Netlist nr = build(true);
+  const Netlist nv = build(false);
+  Simulator sr(nr), sv(nv);
+  sr.run_for(1e-9);
+  sv.run_for(1e-9);
+  sr.set_rail(nr.find_node("in").value(), 3.0, 2e-10);
+  sv.set_source(0, 3.0, 2e-10);
+  sr.run_for(4e-9);
+  sv.run_for(4e-9);
+  EXPECT_NEAR(sr.node_voltage(nr.find_node("out").value()),
+              sv.node_voltage(nv.find_node("out").value()), 2e-3);
+}
+
+TEST(SimRails, MosfetGateOnRailSwitches) {
+  Netlist n;
+  const NodeId gate = n.add_rail("wl", 0.0);
+  const NodeId bl = n.add_rail("bl", 3.3);
+  const NodeId cell = n.node("cell");
+  n.add_nmos("acc", bl, gate, cell, MosParams{0.7, 400e-6, 0.02});
+  n.add_capacitor("ccell", cell, kGround, 30e-15);
+  Simulator sim(n);
+  sim.run_for(2e-9);
+  EXPECT_NEAR(sim.node_voltage(cell), 0.0, 0.01);  // gate low: isolated
+  sim.set_rail(gate, 4.5);  // boosted word line
+  sim.run_for(20e-9);
+  EXPECT_NEAR(sim.node_voltage(cell), 3.3, 0.05);  // full level written
+}
+
+TEST(SimRails, CannotOverrideRailVoltage) {
+  Netlist n;
+  const NodeId r = n.add_rail("vdd", 3.3);
+  n.add_resistor("rl", r, n.node("mid"), 1e3);
+  n.add_resistor("rl2", n.node("mid"), kGround, 1e3);
+  Simulator sim(n);
+  EXPECT_THROW(sim.set_node_voltage(r, 0.0), pf::Error);
+}
+
+TEST(SimRails, VsourceOnRailRejected) {
+  Netlist n;
+  const NodeId r = n.add_rail("vdd", 3.3);
+  EXPECT_THROW(n.add_vsource("v", r, kGround, 1.0), pf::Error);
+}
+
+TEST(SimRails, RailRedeclarationRejected) {
+  Netlist n;
+  n.node("x");
+  EXPECT_THROW(n.add_rail("x", 1.0), pf::Error);
+}
+
+TEST(SimRails, RailFlagsQueryable) {
+  Netlist n;
+  const NodeId r = n.add_rail("vpp", 4.5);
+  const NodeId x = n.node("plain");
+  EXPECT_TRUE(n.is_rail(r));
+  EXPECT_FALSE(n.is_rail(x));
+  EXPECT_DOUBLE_EQ(n.rail_initial(r), 4.5);
+  EXPECT_THROW(n.rail_initial(x), pf::Error);
+}
+
+TEST(SimRails, CapacitorToRampingRailInjectsCharge) {
+  // A cap from a floating node to a stepping rail couples the step in
+  // proportionally (bootstrapping) — checks the companion model uses the
+  // rail's time-varying voltage.
+  Netlist n;
+  const NodeId boot = n.add_rail("boot", 0.0);
+  const NodeId f = n.node("float");
+  n.add_capacitor("cc", f, boot, 10e-15);
+  n.add_capacitor("cg", f, kGround, 10e-15);
+  Simulator sim(n);
+  sim.run_for(1e-9);
+  sim.set_rail(boot, 2.0, 2e-10);
+  sim.run_for(2e-9);
+  // Capacitive divider: df = 2.0 * 10/(10+10) = 1.0.
+  EXPECT_NEAR(sim.node_voltage(f), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace pf::spice

@@ -1,0 +1,90 @@
+#include "pf/spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pf::spice {
+namespace {
+
+TEST(Pwl, DcValueEverywhere) {
+  Pwl w(2.5);
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 2.5);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 2.5);
+}
+
+TEST(Pwl, LinearInterpolation) {
+  Pwl w;
+  w.add_point(0.0, 0.0);
+  w.add_point(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(0.25), 0.5);
+}
+
+TEST(Pwl, ClampsOutsideRange) {
+  Pwl w;
+  w.add_point(1.0, 5.0);
+  w.add_point(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(w.value(3.0), 7.0);
+}
+
+TEST(Pwl, RejectsDecreasingTime) {
+  Pwl w;
+  w.add_point(1.0, 0.0);
+  EXPECT_THROW(w.add_point(0.5, 1.0), pf::Error);
+}
+
+TEST(Pwl, BreakpointsBetweenExclusive) {
+  Pwl w;
+  w.add_point(0.0, 0.0);
+  w.add_point(1.0, 1.0);
+  w.add_point(2.0, 0.0);
+  const auto bp = w.breakpoints_between(0.0, 2.0);
+  ASSERT_EQ(bp.size(), 1u);
+  EXPECT_DOUBLE_EQ(bp[0], 1.0);
+}
+
+TEST(Pwl, CompactKeepsValueAtCut) {
+  Pwl w;
+  w.add_point(0.0, 0.0);
+  w.add_point(2.0, 4.0);
+  w.compact_before(1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 2.0);  // clamped to new first point
+}
+
+TEST(RampedLevel, IdleHoldsValue) {
+  RampedLevel r(1.65);
+  EXPECT_DOUBLE_EQ(r.value(0.0), 1.65);
+  EXPECT_DOUBLE_EQ(r.value(5.0), 1.65);
+}
+
+TEST(RampedLevel, RampInterpolatesAndSettles) {
+  RampedLevel r(0.0);
+  r.retarget(1.0, 3.3, 0.2);
+  EXPECT_DOUBLE_EQ(r.value(1.0), 0.0);
+  EXPECT_NEAR(r.value(1.1), 1.65, 1e-12);
+  EXPECT_DOUBLE_EQ(r.value(1.2), 3.3);
+  EXPECT_DOUBLE_EQ(r.value(9.9), 3.3);
+  EXPECT_DOUBLE_EQ(r.ramp_end(), 1.2);
+}
+
+TEST(RampedLevel, RetargetMidRampStartsFromCurrentValue) {
+  RampedLevel r(0.0);
+  r.retarget(0.0, 2.0, 1.0);
+  // Halfway up (value 1.0), retarget back down.
+  r.retarget(0.5, 0.0, 0.5);
+  EXPECT_NEAR(r.value(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(r.value(0.75), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(r.value(1.0), 0.0);
+}
+
+TEST(RampedLevel, ZeroSlewIsStep) {
+  RampedLevel r(0.0);
+  r.retarget(1.0, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.value(1.0), 5.0);
+}
+
+}  // namespace
+}  // namespace pf::spice

@@ -1,0 +1,70 @@
+#include "pf/util/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pf/util/error.hpp"
+
+namespace pf {
+namespace {
+
+TEST(Linspace, EndpointsExact) {
+  const auto v = linspace(0.0, 3.3, 12);
+  ASSERT_EQ(v.size(), 12u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.3);
+}
+
+TEST(Linspace, UniformSpacing) {
+  const auto v = linspace(1.0, 2.0, 5);
+  for (size_t i = 0; i + 1 < v.size(); ++i)
+    EXPECT_NEAR(v[i + 1] - v[i], 0.25, 1e-12);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = linspace(2.5, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 2.5);
+}
+
+TEST(Logspace, EndpointsExactAndMonotone) {
+  const auto v = logspace(1e3, 1e7, 9);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_DOUBLE_EQ(v.front(), 1e3);
+  EXPECT_DOUBLE_EQ(v.back(), 1e7);
+  for (size_t i = 0; i + 1 < v.size(); ++i) EXPECT_LT(v[i], v[i + 1]);
+}
+
+TEST(Logspace, GeometricRatio) {
+  const auto v = logspace(1.0, 100.0, 3);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+}
+
+TEST(Logspace, RejectsNonPositiveBounds) {
+  EXPECT_THROW(logspace(0.0, 10.0, 4), Error);
+  EXPECT_THROW(logspace(-1.0, 10.0, 4), Error);
+}
+
+TEST(Grid2D, StoresAndRetrieves) {
+  Grid2D<int> g(linspace(0, 1, 4), linspace(0, 1, 3), -1);
+  EXPECT_EQ(g.width(), 4u);
+  EXPECT_EQ(g.height(), 3u);
+  EXPECT_EQ(g.at(2, 1), -1);
+  g.at(2, 1) = 7;
+  EXPECT_EQ(g.at(2, 1), 7);
+  EXPECT_EQ(g.at(3, 2), -1);
+}
+
+TEST(Grid2D, BoundsChecked) {
+  Grid2D<char> g(linspace(0, 1, 2), linspace(0, 1, 2), '.');
+  EXPECT_THROW(g.at(2, 0), Error);
+  EXPECT_THROW(g.at(0, 2), Error);
+}
+
+TEST(Grid2D, EmptyAxesRejected) {
+  EXPECT_THROW((Grid2D<int>(std::vector<double>{}, linspace(0, 1, 2))), Error);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,146 @@
+#include "pf/util/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pf/util/rng.hpp"
+
+namespace pf {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.length(), 0.0);
+  EXPECT_FALSE(iv.contains(0.0));
+}
+
+TEST(Interval, ContainsEndpoints) {
+  Interval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(0.999));
+  EXPECT_FALSE(iv.contains(2.001));
+}
+
+TEST(Interval, OverlapAndTouch) {
+  Interval a{0.0, 1.0}, b{1.0, 2.0}, c{1.1, 2.0};
+  EXPECT_TRUE(a.overlaps(b));  // closed intervals share the point 1.0
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.touches(c, 0.2));
+  EXPECT_FALSE(a.touches(c, 0.05));
+}
+
+TEST(IntervalSet, InsertMergesOverlapping) {
+  IntervalSet s;
+  s.insert({0.0, 1.0});
+  s.insert({0.5, 2.0});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.parts()[0], (Interval{0.0, 2.0}));
+}
+
+TEST(IntervalSet, InsertKeepsDisjointSorted) {
+  IntervalSet s;
+  s.insert({3.0, 4.0});
+  s.insert({0.0, 1.0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.parts()[0], (Interval{0.0, 1.0}));
+  EXPECT_EQ(s.parts()[1], (Interval{3.0, 4.0}));
+}
+
+TEST(IntervalSet, InsertWithEpsMergesNearbyBands) {
+  // Grid-sampled observation bands are merged across one grid cell.
+  IntervalSet s;
+  s.insert({0.0, 1.0}, 0.15);
+  s.insert({1.1, 2.0}, 0.15);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.parts()[0].hi, 2.0);
+}
+
+TEST(IntervalSet, InsertBridgingIntervalMergesAll) {
+  IntervalSet s;
+  s.insert({0.0, 1.0});
+  s.insert({2.0, 3.0});
+  s.insert({0.5, 2.5});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.parts()[0], (Interval{0.0, 3.0}));
+}
+
+TEST(IntervalSet, EmptyInsertIsNoop) {
+  IntervalSet s;
+  s.insert(Interval{});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, CoversFullDomain) {
+  IntervalSet s;
+  s.insert({0.0, 3.3});
+  EXPECT_TRUE(s.covers({0.0, 3.3}, 0.0));
+  EXPECT_TRUE(s.covers({0.1, 3.2}, 0.0));
+}
+
+TEST(IntervalSet, CoverageDetectsGaps) {
+  IntervalSet s;
+  s.insert({0.0, 1.0});
+  s.insert({2.0, 3.3});
+  EXPECT_FALSE(s.covers({0.0, 3.3}, 0.5));
+  EXPECT_TRUE(s.covers({0.0, 3.3}, 1.1));
+}
+
+TEST(IntervalSet, CoverageDetectsMissingEnds) {
+  IntervalSet s;
+  s.insert({0.5, 3.3});
+  EXPECT_FALSE(s.covers({0.0, 3.3}, 0.2));  // hole at the bottom
+  IntervalSet t;
+  t.insert({0.0, 2.0});
+  EXPECT_FALSE(t.covers({0.0, 3.3}, 0.2));  // hole at the top
+}
+
+TEST(IntervalSet, EmptySetCoversNothingButEmptyDomain) {
+  IntervalSet s;
+  EXPECT_FALSE(s.covers({0.0, 1.0}, 0.5));
+  EXPECT_TRUE(s.covers(Interval{}, 0.0));
+}
+
+TEST(IntervalSet, HullAndLength) {
+  IntervalSet s;
+  s.insert({0.0, 1.0});
+  s.insert({2.0, 2.5});
+  EXPECT_EQ(s.hull(), (Interval{0.0, 2.5}));
+  EXPECT_DOUBLE_EQ(s.total_length(), 1.5);
+}
+
+TEST(IntervalSet, ToStringIsReadable) {
+  IntervalSet s;
+  s.insert({0.0, 1.5});
+  EXPECT_EQ(s.to_string(), "{[0, 1.5]}");
+  EXPECT_EQ(IntervalSet{}.to_string(), "{}");
+}
+
+// Property: inserting random intervals always yields disjoint sorted parts,
+// and total_length never exceeds the hull length.
+TEST(IntervalSetProperty, RandomInsertInvariants) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet s;
+    for (int i = 0; i < 40; ++i) {
+      const double a = rng.next_double(0.0, 10.0);
+      const double b = a + rng.next_double(0.0, 2.0);
+      s.insert({a, b});
+    }
+    const auto& parts = s.parts();
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+      EXPECT_LT(parts[i].hi, parts[i + 1].lo);
+    }
+    EXPECT_LE(s.total_length(), s.hull().length() + 1e-12);
+    // Membership agrees with parts.
+    for (int probe = 0; probe < 20; ++probe) {
+      const double x = rng.next_double(0.0, 12.0);
+      bool in_parts = false;
+      for (const auto& p : parts) in_parts |= p.contains(x);
+      EXPECT_EQ(s.contains(x), in_parts);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pf

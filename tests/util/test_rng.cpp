@@ -1,0 +1,61 @@
+#include "pf/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RangedDoubleRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double(1.5, 2.5);
+    EXPECT_GE(d, 1.5);
+    EXPECT_LT(d, 2.5);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(7), 7u);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), 0u);
+}
+
+TEST(Rng, RoughlyUniformBuckets) {
+  Rng r(5);
+  int buckets[8] = {0};
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) buckets[r.next_below(8)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 8 - 200);
+    EXPECT_LT(b, n / 8 + 200);
+  }
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,76 @@
+#include "pf/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, TrimKeepsInteriorWhitespace) {
+  EXPECT_EQ(trim("  a b  c "), "a b  c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitTrimsFields) {
+  const auto parts = split(" x ; y ", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[1], "y");
+}
+
+TEST(Strings, SplitEmptyStringYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitNonemptyDropsBlanks) {
+  const auto parts = split_nonempty(", a, ,b ,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("RDF1 <0R0/1/1>"), "rdf1 <0r0/1/1>");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("march pf", "march"));
+  EXPECT_FALSE(starts_with("ma", "march"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.25, 2), "0.25");
+  EXPECT_EQ(format_double(-0.0), "0");
+  EXPECT_EQ(format_double(150000.0), "150000");
+}
+
+TEST(Strings, FormatDoubleRespectsMaxDecimals) {
+  EXPECT_EQ(format_double(1.23456789, 3), "1.235");
+}
+
+}  // namespace
+}  // namespace pf

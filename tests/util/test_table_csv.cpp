@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "pf/util/ascii_plot.hpp"
+#include "pf/util/csv.hpp"
+#include "pf/util/error.hpp"
+#include "pf/util/table.hpp"
+
+namespace pf {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"FFM", "Open"});
+  t.add_row({"RDF0", "Open 1"});
+  t.add_row({"TF up", "Open 9"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| FFM   | Open   |"), std::string::npos);
+  EXPECT_NE(s.find("| RDF0  | Open 1 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable t({"name", "value"});
+  t.add_row({"completed FP", "<1v [w0,BL] r1v/0/0>"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"<1v [w0,BL] r1v/0/0>\""), std::string::npos);
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = testing::TempDir() + "pf_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"R_def", "U", "fp"});
+    w.write_row({"150000", "1.6", "RDF0"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "R_def,U,fp\n150000,1.6,RDF0\n");
+  std::remove(path.c_str());
+}
+
+TEST(AsciiPlot, RendersRegionGlyphs) {
+  Grid2D<char> g(linspace(0.0, 3.3, 10), logspace(1e3, 1e6, 8), '\0');
+  for (size_t ix = 0; ix < 4; ++ix)
+    for (size_t iy = 4; iy < 8; ++iy) g.at(ix, iy) = '#';
+  AsciiPlotOptions opt;
+  opt.title = "RDF1 region";
+  opt.y_log = true;
+  const std::string s = render_region_map(g, opt);
+  EXPECT_NE(s.find("RDF1 region"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);
+  EXPECT_NE(s.find("U [V]"), std::string::npos);
+}
+
+TEST(AsciiPlot, TopRowIsHighestY) {
+  // The paper's figures put large R_def at the top; verify orientation.
+  Grid2D<char> g(linspace(0.0, 1.0, 4), linspace(0.0, 1.0, 4), '\0');
+  g.at(0, 3) = 'T';  // highest y
+  AsciiPlotOptions opt;
+  const std::string s = render_region_map(g, opt);
+  const auto pos_t = s.find('T');
+  ASSERT_NE(pos_t, std::string::npos);
+  // 'T' must appear before (above) the axis line.
+  EXPECT_LT(pos_t, s.find("+--"));
+}
+
+}  // namespace
+}  // namespace pf
