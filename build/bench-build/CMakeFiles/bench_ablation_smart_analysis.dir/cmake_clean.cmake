@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_smart_analysis"
+  "../bench/bench_ablation_smart_analysis.pdb"
+  "CMakeFiles/bench_ablation_smart_analysis.dir/bench_ablation_smart_analysis.cpp.o"
+  "CMakeFiles/bench_ablation_smart_analysis.dir/bench_ablation_smart_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smart_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

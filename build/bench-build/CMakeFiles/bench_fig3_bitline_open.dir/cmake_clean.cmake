@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_bitline_open"
+  "../bench/bench_fig3_bitline_open.pdb"
+  "CMakeFiles/bench_fig3_bitline_open.dir/bench_fig3_bitline_open.cpp.o"
+  "CMakeFiles/bench_fig3_bitline_open.dir/bench_fig3_bitline_open.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bitline_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

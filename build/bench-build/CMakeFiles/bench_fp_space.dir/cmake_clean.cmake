@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fp_space"
+  "../bench/bench_fp_space.pdb"
+  "CMakeFiles/bench_fp_space.dir/bench_fp_space.cpp.o"
+  "CMakeFiles/bench_fp_space.dir/bench_fp_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_march_pf"
+  "../bench/bench_march_pf.pdb"
+  "CMakeFiles/bench_march_pf.dir/bench_march_pf.cpp.o"
+  "CMakeFiles/bench_march_pf.dir/bench_march_pf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_march_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

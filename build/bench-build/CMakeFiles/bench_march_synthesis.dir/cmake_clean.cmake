@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_march_synthesis"
+  "../bench/bench_march_synthesis.pdb"
+  "CMakeFiles/bench_march_synthesis.dir/bench_march_synthesis.cpp.o"
+  "CMakeFiles/bench_march_synthesis.dir/bench_march_synthesis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_march_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

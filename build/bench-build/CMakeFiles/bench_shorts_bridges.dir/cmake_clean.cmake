@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_shorts_bridges"
+  "../bench/bench_shorts_bridges.pdb"
+  "CMakeFiles/bench_shorts_bridges.dir/bench_shorts_bridges.cpp.o"
+  "CMakeFiles/bench_shorts_bridges.dir/bench_shorts_bridges.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shorts_bridges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

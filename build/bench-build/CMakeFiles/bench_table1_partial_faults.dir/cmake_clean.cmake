@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_partial_faults"
+  "../bench/bench_table1_partial_faults.pdb"
+  "CMakeFiles/bench_table1_partial_faults.dir/bench_table1_partial_faults.cpp.o"
+  "CMakeFiles/bench_table1_partial_faults.dir/bench_table1_partial_faults.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_partial_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

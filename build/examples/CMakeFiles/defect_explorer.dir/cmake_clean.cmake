@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defect_explorer.dir/defect_explorer.cpp.o"
+  "CMakeFiles/defect_explorer.dir/defect_explorer.cpp.o.d"
+  "defect_explorer"
+  "defect_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defect_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

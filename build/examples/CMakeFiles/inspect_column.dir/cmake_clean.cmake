@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_column.dir/inspect_column.cpp.o"
+  "CMakeFiles/inspect_column.dir/inspect_column.cpp.o.d"
+  "inspect_column"
+  "inspect_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march_workbench.dir/march_workbench.cpp.o"
+  "CMakeFiles/march_workbench.dir/march_workbench.cpp.o.d"
+  "march_workbench"
+  "march_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

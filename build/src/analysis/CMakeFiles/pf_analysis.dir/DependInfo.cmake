@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/src/completion.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/completion.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/completion.cpp.o.d"
+  "/root/repo/src/analysis/src/diagnosis.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/diagnosis.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/diagnosis.cpp.o.d"
+  "/root/repo/src/analysis/src/partial.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/partial.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/partial.cpp.o.d"
+  "/root/repo/src/analysis/src/region.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o.d"
+  "/root/repo/src/analysis/src/sos_runner.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o.d"
+  "/root/repo/src/analysis/src/table1.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/table1.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/pf_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pf_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_analysis.dir/src/completion.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/completion.cpp.o.d"
+  "CMakeFiles/pf_analysis.dir/src/diagnosis.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/diagnosis.cpp.o.d"
+  "CMakeFiles/pf_analysis.dir/src/partial.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/partial.cpp.o.d"
+  "CMakeFiles/pf_analysis.dir/src/region.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/region.cpp.o.d"
+  "CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o.d"
+  "CMakeFiles/pf_analysis.dir/src/table1.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/table1.cpp.o.d"
+  "libpf_analysis.a"
+  "libpf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/src/column.cpp" "src/dram/CMakeFiles/pf_dram.dir/src/column.cpp.o" "gcc" "src/dram/CMakeFiles/pf_dram.dir/src/column.cpp.o.d"
+  "/root/repo/src/dram/src/defect.cpp" "src/dram/CMakeFiles/pf_dram.dir/src/defect.cpp.o" "gcc" "src/dram/CMakeFiles/pf_dram.dir/src/defect.cpp.o.d"
+  "/root/repo/src/dram/src/params.cpp" "src/dram/CMakeFiles/pf_dram.dir/src/params.cpp.o" "gcc" "src/dram/CMakeFiles/pf_dram.dir/src/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/pf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

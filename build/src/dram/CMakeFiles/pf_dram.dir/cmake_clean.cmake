@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_dram.dir/src/column.cpp.o"
+  "CMakeFiles/pf_dram.dir/src/column.cpp.o.d"
+  "CMakeFiles/pf_dram.dir/src/defect.cpp.o"
+  "CMakeFiles/pf_dram.dir/src/defect.cpp.o.d"
+  "CMakeFiles/pf_dram.dir/src/params.cpp.o"
+  "CMakeFiles/pf_dram.dir/src/params.cpp.o.d"
+  "libpf_dram.a"
+  "libpf_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/src/coupling.cpp" "src/faults/CMakeFiles/pf_faults.dir/src/coupling.cpp.o" "gcc" "src/faults/CMakeFiles/pf_faults.dir/src/coupling.cpp.o.d"
+  "/root/repo/src/faults/src/ffm.cpp" "src/faults/CMakeFiles/pf_faults.dir/src/ffm.cpp.o" "gcc" "src/faults/CMakeFiles/pf_faults.dir/src/ffm.cpp.o.d"
+  "/root/repo/src/faults/src/fp.cpp" "src/faults/CMakeFiles/pf_faults.dir/src/fp.cpp.o" "gcc" "src/faults/CMakeFiles/pf_faults.dir/src/fp.cpp.o.d"
+  "/root/repo/src/faults/src/space.cpp" "src/faults/CMakeFiles/pf_faults.dir/src/space.cpp.o" "gcc" "src/faults/CMakeFiles/pf_faults.dir/src/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_faults.dir/src/coupling.cpp.o"
+  "CMakeFiles/pf_faults.dir/src/coupling.cpp.o.d"
+  "CMakeFiles/pf_faults.dir/src/ffm.cpp.o"
+  "CMakeFiles/pf_faults.dir/src/ffm.cpp.o.d"
+  "CMakeFiles/pf_faults.dir/src/fp.cpp.o"
+  "CMakeFiles/pf_faults.dir/src/fp.cpp.o.d"
+  "CMakeFiles/pf_faults.dir/src/space.cpp.o"
+  "CMakeFiles/pf_faults.dir/src/space.cpp.o.d"
+  "libpf_faults.a"
+  "libpf_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/march/src/coverage.cpp" "src/march/CMakeFiles/pf_march.dir/src/coverage.cpp.o" "gcc" "src/march/CMakeFiles/pf_march.dir/src/coverage.cpp.o.d"
+  "/root/repo/src/march/src/library.cpp" "src/march/CMakeFiles/pf_march.dir/src/library.cpp.o" "gcc" "src/march/CMakeFiles/pf_march.dir/src/library.cpp.o.d"
+  "/root/repo/src/march/src/synthesis.cpp" "src/march/CMakeFiles/pf_march.dir/src/synthesis.cpp.o" "gcc" "src/march/CMakeFiles/pf_march.dir/src/synthesis.cpp.o.d"
+  "/root/repo/src/march/src/test.cpp" "src/march/CMakeFiles/pf_march.dir/src/test.cpp.o" "gcc" "src/march/CMakeFiles/pf_march.dir/src/test.cpp.o.d"
+  "/root/repo/src/march/src/word.cpp" "src/march/CMakeFiles/pf_march.dir/src/word.cpp.o" "gcc" "src/march/CMakeFiles/pf_march.dir/src/word.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

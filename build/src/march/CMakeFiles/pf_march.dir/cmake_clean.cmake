@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_march.dir/src/coverage.cpp.o"
+  "CMakeFiles/pf_march.dir/src/coverage.cpp.o.d"
+  "CMakeFiles/pf_march.dir/src/library.cpp.o"
+  "CMakeFiles/pf_march.dir/src/library.cpp.o.d"
+  "CMakeFiles/pf_march.dir/src/synthesis.cpp.o"
+  "CMakeFiles/pf_march.dir/src/synthesis.cpp.o.d"
+  "CMakeFiles/pf_march.dir/src/test.cpp.o"
+  "CMakeFiles/pf_march.dir/src/test.cpp.o.d"
+  "CMakeFiles/pf_march.dir/src/word.cpp.o"
+  "CMakeFiles/pf_march.dir/src/word.cpp.o.d"
+  "libpf_march.a"
+  "libpf_march.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/src/memory.cpp" "src/memsim/CMakeFiles/pf_memsim.dir/src/memory.cpp.o" "gcc" "src/memsim/CMakeFiles/pf_memsim.dir/src/memory.cpp.o.d"
+  "/root/repo/src/memsim/src/word_memory.cpp" "src/memsim/CMakeFiles/pf_memsim.dir/src/word_memory.cpp.o" "gcc" "src/memsim/CMakeFiles/pf_memsim.dir/src/word_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

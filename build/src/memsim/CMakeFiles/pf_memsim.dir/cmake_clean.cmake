@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_memsim.dir/src/memory.cpp.o"
+  "CMakeFiles/pf_memsim.dir/src/memory.cpp.o.d"
+  "CMakeFiles/pf_memsim.dir/src/word_memory.cpp.o"
+  "CMakeFiles/pf_memsim.dir/src/word_memory.cpp.o.d"
+  "libpf_memsim.a"
+  "libpf_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

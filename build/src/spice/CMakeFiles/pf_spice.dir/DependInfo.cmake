@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/src/deck.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/deck.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/deck.cpp.o.d"
+  "/root/repo/src/spice/src/matrix.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/matrix.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/spice/src/netlist.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/netlist.cpp.o.d"
+  "/root/repo/src/spice/src/simulator.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/simulator.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/simulator.cpp.o.d"
+  "/root/repo/src/spice/src/trace.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/trace.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/trace.cpp.o.d"
+  "/root/repo/src/spice/src/waveform.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_spice.dir/src/deck.cpp.o"
+  "CMakeFiles/pf_spice.dir/src/deck.cpp.o.d"
+  "CMakeFiles/pf_spice.dir/src/matrix.cpp.o"
+  "CMakeFiles/pf_spice.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/pf_spice.dir/src/netlist.cpp.o"
+  "CMakeFiles/pf_spice.dir/src/netlist.cpp.o.d"
+  "CMakeFiles/pf_spice.dir/src/simulator.cpp.o"
+  "CMakeFiles/pf_spice.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/pf_spice.dir/src/trace.cpp.o"
+  "CMakeFiles/pf_spice.dir/src/trace.cpp.o.d"
+  "CMakeFiles/pf_spice.dir/src/waveform.cpp.o"
+  "CMakeFiles/pf_spice.dir/src/waveform.cpp.o.d"
+  "libpf_spice.a"
+  "libpf_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_util.dir/src/ascii_plot.cpp.o"
+  "CMakeFiles/pf_util.dir/src/ascii_plot.cpp.o.d"
+  "CMakeFiles/pf_util.dir/src/csv.cpp.o"
+  "CMakeFiles/pf_util.dir/src/csv.cpp.o.d"
+  "CMakeFiles/pf_util.dir/src/grid.cpp.o"
+  "CMakeFiles/pf_util.dir/src/grid.cpp.o.d"
+  "CMakeFiles/pf_util.dir/src/interval.cpp.o"
+  "CMakeFiles/pf_util.dir/src/interval.cpp.o.d"
+  "CMakeFiles/pf_util.dir/src/log.cpp.o"
+  "CMakeFiles/pf_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/pf_util.dir/src/strings.cpp.o"
+  "CMakeFiles/pf_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/pf_util.dir/src/table.cpp.o"
+  "CMakeFiles/pf_util.dir/src/table.cpp.o.d"
+  "libpf_util.a"
+  "libpf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

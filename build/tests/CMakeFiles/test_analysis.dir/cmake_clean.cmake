@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_complementary_defect.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_complementary_defect.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_completion.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_completion.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_diagnosis.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_diagnosis.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_sos_runner.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_sos_runner.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_table1.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_table1.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

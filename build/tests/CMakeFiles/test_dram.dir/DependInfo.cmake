@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dram/test_column_defects.cpp" "tests/CMakeFiles/test_dram.dir/dram/test_column_defects.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/dram/test_column_defects.cpp.o.d"
+  "/root/repo/tests/dram/test_column_faultfree.cpp" "tests/CMakeFiles/test_dram.dir/dram/test_column_faultfree.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/dram/test_column_faultfree.cpp.o.d"
+  "/root/repo/tests/dram/test_column_properties.cpp" "tests/CMakeFiles/test_dram.dir/dram/test_column_properties.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/dram/test_column_properties.cpp.o.d"
+  "/root/repo/tests/dram/test_column_sizes.cpp" "tests/CMakeFiles/test_dram.dir/dram/test_column_sizes.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/dram/test_column_sizes.cpp.o.d"
+  "/root/repo/tests/dram/test_retention_temperature.cpp" "tests/CMakeFiles/test_dram.dir/dram/test_retention_temperature.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/dram/test_retention_temperature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/pf_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pf_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/dram/test_column_defects.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_column_defects.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_column_faultfree.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_column_faultfree.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_column_properties.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_column_properties.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_column_sizes.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_column_sizes.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_retention_temperature.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_retention_temperature.cpp.o.d"
+  "test_dram"
+  "test_dram.pdb"
+  "test_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faults/test_coupling.cpp" "tests/CMakeFiles/test_faults.dir/faults/test_coupling.cpp.o" "gcc" "tests/CMakeFiles/test_faults.dir/faults/test_coupling.cpp.o.d"
+  "/root/repo/tests/faults/test_ffm.cpp" "tests/CMakeFiles/test_faults.dir/faults/test_ffm.cpp.o" "gcc" "tests/CMakeFiles/test_faults.dir/faults/test_ffm.cpp.o.d"
+  "/root/repo/tests/faults/test_fp_parse.cpp" "tests/CMakeFiles/test_faults.dir/faults/test_fp_parse.cpp.o" "gcc" "tests/CMakeFiles/test_faults.dir/faults/test_fp_parse.cpp.o.d"
+  "/root/repo/tests/faults/test_fp_properties.cpp" "tests/CMakeFiles/test_faults.dir/faults/test_fp_properties.cpp.o" "gcc" "tests/CMakeFiles/test_faults.dir/faults/test_fp_properties.cpp.o.d"
+  "/root/repo/tests/faults/test_space.cpp" "tests/CMakeFiles/test_faults.dir/faults/test_space.cpp.o" "gcc" "tests/CMakeFiles/test_faults.dir/faults/test_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

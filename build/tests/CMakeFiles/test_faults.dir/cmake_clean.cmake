@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faults.dir/faults/test_coupling.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/test_coupling.cpp.o.d"
+  "CMakeFiles/test_faults.dir/faults/test_ffm.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/test_ffm.cpp.o.d"
+  "CMakeFiles/test_faults.dir/faults/test_fp_parse.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/test_fp_parse.cpp.o.d"
+  "CMakeFiles/test_faults.dir/faults/test_fp_properties.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/test_fp_properties.cpp.o.d"
+  "CMakeFiles/test_faults.dir/faults/test_space.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/test_space.cpp.o.d"
+  "test_faults"
+  "test_faults.pdb"
+  "test_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/march/test_coupling_coverage.cpp" "tests/CMakeFiles/test_march.dir/march/test_coupling_coverage.cpp.o" "gcc" "tests/CMakeFiles/test_march.dir/march/test_coupling_coverage.cpp.o.d"
+  "/root/repo/tests/march/test_march_properties.cpp" "tests/CMakeFiles/test_march.dir/march/test_march_properties.cpp.o" "gcc" "tests/CMakeFiles/test_march.dir/march/test_march_properties.cpp.o.d"
+  "/root/repo/tests/march/test_notation.cpp" "tests/CMakeFiles/test_march.dir/march/test_notation.cpp.o" "gcc" "tests/CMakeFiles/test_march.dir/march/test_notation.cpp.o.d"
+  "/root/repo/tests/march/test_run_coverage.cpp" "tests/CMakeFiles/test_march.dir/march/test_run_coverage.cpp.o" "gcc" "tests/CMakeFiles/test_march.dir/march/test_run_coverage.cpp.o.d"
+  "/root/repo/tests/march/test_synthesis.cpp" "tests/CMakeFiles/test_march.dir/march/test_synthesis.cpp.o" "gcc" "tests/CMakeFiles/test_march.dir/march/test_synthesis.cpp.o.d"
+  "/root/repo/tests/march/test_word_backgrounds.cpp" "tests/CMakeFiles/test_march.dir/march/test_word_backgrounds.cpp.o" "gcc" "tests/CMakeFiles/test_march.dir/march/test_word_backgrounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/march/CMakeFiles/pf_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_march.dir/march/test_coupling_coverage.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_coupling_coverage.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_march_properties.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_march_properties.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_notation.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_notation.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_run_coverage.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_run_coverage.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_synthesis.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_synthesis.cpp.o.d"
+  "CMakeFiles/test_march.dir/march/test_word_backgrounds.cpp.o"
+  "CMakeFiles/test_march.dir/march/test_word_backgrounds.cpp.o.d"
+  "test_march"
+  "test_march.pdb"
+  "test_march[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memsim/test_coupling_faults.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_coupling_faults.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_coupling_faults.cpp.o.d"
+  "/root/repo/tests/memsim/test_decoder_faults.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_decoder_faults.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_decoder_faults.cpp.o.d"
+  "/root/repo/tests/memsim/test_ffm_crossvalidation.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_ffm_crossvalidation.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_ffm_crossvalidation.cpp.o.d"
+  "/root/repo/tests/memsim/test_memory.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_memory.cpp.o.d"
+  "/root/repo/tests/memsim/test_memory_faults.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_memory_faults.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_memory_faults.cpp.o.d"
+  "/root/repo/tests/memsim/test_retention.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_retention.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_retention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pf_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

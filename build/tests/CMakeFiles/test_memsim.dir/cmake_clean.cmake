@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim.dir/memsim/test_coupling_faults.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_coupling_faults.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_decoder_faults.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_decoder_faults.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_ffm_crossvalidation.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_ffm_crossvalidation.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_memory.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_memory.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_memory_faults.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_memory_faults.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_retention.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_retention.cpp.o.d"
+  "test_memsim"
+  "test_memsim.pdb"
+  "test_memsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

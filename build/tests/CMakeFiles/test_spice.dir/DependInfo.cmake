@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spice/test_deck_trace.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o.d"
+  "/root/repo/tests/spice/test_matrix.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
+  "/root/repo/tests/spice/test_netlist.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o.d"
+  "/root/repo/tests/spice/test_properties.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_properties.cpp.o.d"
+  "/root/repo/tests/spice/test_simulator_linear.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_simulator_linear.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_simulator_linear.cpp.o.d"
+  "/root/repo/tests/spice/test_simulator_mos.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_simulator_mos.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_simulator_mos.cpp.o.d"
+  "/root/repo/tests/spice/test_simulator_rails.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_simulator_rails.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_simulator_rails.cpp.o.d"
+  "/root/repo/tests/spice/test_waveform.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/pf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

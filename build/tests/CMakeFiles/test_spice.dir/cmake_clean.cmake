@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_properties.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_properties.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_simulator_linear.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_simulator_linear.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_simulator_mos.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_simulator_mos.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_simulator_rails.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_simulator_rails.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+  "test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

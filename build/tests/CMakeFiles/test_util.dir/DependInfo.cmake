@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_grid.cpp" "tests/CMakeFiles/test_util.dir/util/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_grid.cpp.o.d"
+  "/root/repo/tests/util/test_interval.cpp" "tests/CMakeFiles/test_util.dir/util/test_interval.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_interval.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_strings.cpp" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o.d"
+  "/root/repo/tests/util/test_table_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_table_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table_csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
