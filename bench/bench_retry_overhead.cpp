@@ -1,0 +1,156 @@
+// Overhead of the fault-tolerant sweep engine (retry/backoff + graceful
+// degradation), measured against the same grid swept clean:
+//   * a clean sweep through the robust engine must cost what the plain
+//     engine costs (attempt 1 runs the caller's unmodified options);
+//   * recoverable solver faults (injected at ~17% of grid points, failing
+//     once each) cost one extra attempt per faulty point;
+//   * unrecoverable points cost the full retry budget, then degrade to
+//     Ffm::kSolveFailed cells instead of aborting the sweep.
+//
+// Set PF_DUMP_JSON=1 to write retry_overhead.json next to the binary
+// (mirrors the PF_DUMP_CSV convention of the figure benches).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "pf/analysis/region.hpp"
+#include "pf/spice/fault_injection.hpp"
+
+namespace {
+
+using namespace pf;
+using spice::testing::InjectedFault;
+using spice::testing::InjectionSpec;
+using spice::testing::ScopedFaultPlan;
+
+analysis::SweepSpec small_spec() {
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.defect = dram::Defect::open(dram::OpenSite::kBitLineOuter, 1e6);
+  spec.sos = faults::Sos::parse("1r1");
+  spec.r_axis = pf::logspace(1e6, 10e6, 3);
+  spec.u_axis = pf::linspace(0.0, 3.3, 4);
+  return spec;
+}
+
+std::map<std::string, InjectionSpec> faulty_points(int fail_attempts) {
+  InjectionSpec s;
+  s.kind = InjectedFault::kNonConvergence;
+  s.fail_attempts = fail_attempts;
+  return {{analysis::grid_point_key(0, 1), s},
+          {analysis::grid_point_key(2, 2), s}};
+}
+
+double time_sweep_ms(const analysis::SweepSpec& spec,
+                     const analysis::SweepOptions& opt,
+                     analysis::SweepStats* stats = nullptr) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const analysis::RegionMap map = analysis::sweep_region(spec, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (stats != nullptr) *stats = map.solve_stats();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void print_reproduction() {
+  const analysis::SweepSpec spec = small_spec();
+  analysis::SweepOptions opt;
+  opt.retry.max_attempts = 3;
+
+  time_sweep_ms(spec, opt);  // untimed warm-up so the clean run is not cold
+
+  analysis::SweepStats clean_stats;
+  const double clean_ms = time_sweep_ms(spec, opt, &clean_stats);
+
+  analysis::SweepStats retry_stats;
+  double retry_ms = 0.0;
+  {
+    ScopedFaultPlan plan(faulty_points(/*fail_attempts=*/1));
+    retry_ms = time_sweep_ms(spec, opt, &retry_stats);
+  }
+
+  analysis::SweepStats degraded_stats;
+  double degraded_ms = 0.0;
+  {
+    ScopedFaultPlan plan(faulty_points(/*fail_attempts=*/1000));
+    degraded_ms = time_sweep_ms(spec, opt, &degraded_stats);
+  }
+
+  std::printf("retry/degradation overhead on a %zux%zu grid "
+              "(2 faulty points, budget %d):\n",
+              spec.r_axis.size(), spec.u_axis.size(), opt.retry.max_attempts);
+  std::printf("  clean sweep          %8.1f ms  (%zu solved, %zu retries)\n",
+              clean_ms, clean_stats.solved, clean_stats.retries);
+  std::printf("  recoverable faults   %8.1f ms  (%zu solved, %zu retries)\n",
+              retry_ms, retry_stats.solved, retry_stats.retries);
+  std::printf("  unrecoverable faults %8.1f ms  (%zu solved, %zu failed)\n",
+              degraded_ms, degraded_stats.solved, degraded_stats.failed);
+  std::printf("  retry overhead %+.0f%%, degraded sweep still completed "
+              "%zu/%zu points\n\n",
+              100.0 * (retry_ms - clean_ms) / clean_ms,
+              degraded_stats.solved,
+              spec.r_axis.size() * spec.u_axis.size());
+
+  if (std::getenv("PF_DUMP_JSON") != nullptr) {
+    std::ofstream out("retry_overhead.json");
+    out << "{\n"
+        << "  \"grid_points\": " << spec.r_axis.size() * spec.u_axis.size()
+        << ",\n"
+        << "  \"faulty_points\": 2,\n"
+        << "  \"retry_budget\": " << opt.retry.max_attempts << ",\n"
+        << "  \"clean_ms\": " << clean_ms << ",\n"
+        << "  \"recoverable_ms\": " << retry_ms << ",\n"
+        << "  \"unrecoverable_ms\": " << degraded_ms << ",\n"
+        << "  \"recoverable_retries\": " << retry_stats.retries << ",\n"
+        << "  \"unrecoverable_failed\": " << degraded_stats.failed << "\n"
+        << "}\n";
+    std::printf("wrote retry_overhead.json\n");
+  }
+}
+
+void BM_CleanSweepRobustEngine(benchmark::State& state) {
+  const analysis::SweepSpec spec = small_spec();
+  analysis::SweepOptions opt;
+  opt.retry.max_attempts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto map = analysis::sweep_region(spec, opt);
+    benchmark::DoNotOptimize(map.failed_points());
+  }
+}
+BENCHMARK(BM_CleanSweepRobustEngine)->Arg(1)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepWithRecoverableFaults(benchmark::State& state) {
+  const analysis::SweepSpec spec = small_spec();
+  analysis::SweepOptions opt;
+  opt.retry.max_attempts = 3;
+  for (auto _ : state) {
+    ScopedFaultPlan plan(faulty_points(/*fail_attempts=*/1));
+    const auto map = analysis::sweep_region(spec, opt);
+    benchmark::DoNotOptimize(map.failed_points());
+  }
+}
+BENCHMARK(BM_SweepWithRecoverableFaults)->Unit(benchmark::kMillisecond);
+
+void BM_SweepWithUnrecoverableFaults(benchmark::State& state) {
+  const analysis::SweepSpec spec = small_spec();
+  analysis::SweepOptions opt;
+  opt.retry.max_attempts = 3;
+  for (auto _ : state) {
+    ScopedFaultPlan plan(faulty_points(/*fail_attempts=*/1000));
+    const auto map = analysis::sweep_region(spec, opt);
+    benchmark::DoNotOptimize(map.failed_points());
+  }
+}
+BENCHMARK(BM_SweepWithUnrecoverableFaults)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

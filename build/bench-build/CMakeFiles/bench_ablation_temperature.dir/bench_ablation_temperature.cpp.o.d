@@ -207,6 +207,7 @@ bench-build/CMakeFiles/bench_ablation_temperature.dir/bench_ablation_temperature
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/analysis/include/pf/analysis/partial.hpp \
  /root/repo/src/analysis/include/pf/analysis/region.hpp \
+ /root/repo/src/analysis/include/pf/analysis/robust.hpp \
  /root/repo/src/analysis/include/pf/analysis/sos_runner.hpp \
  /root/repo/src/dram/include/pf/dram/column.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -252,6 +253,9 @@ bench-build/CMakeFiles/bench_ablation_temperature.dir/bench_ablation_temperature
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \
  /root/repo/src/faults/include/pf/faults/ffm.hpp \

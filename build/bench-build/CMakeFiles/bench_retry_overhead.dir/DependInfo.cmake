@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_retry_overhead.cpp" "bench-build/CMakeFiles/bench_retry_overhead.dir/bench_retry_overhead.cpp.o" "gcc" "bench-build/CMakeFiles/bench_retry_overhead.dir/bench_retry_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/pf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pf_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pf_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pf_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/pf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_retry_overhead"
+  "../bench/bench_retry_overhead.pdb"
+  "CMakeFiles/bench_retry_overhead.dir/bench_retry_overhead.cpp.o"
+  "CMakeFiles/bench_retry_overhead.dir/bench_retry_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retry_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

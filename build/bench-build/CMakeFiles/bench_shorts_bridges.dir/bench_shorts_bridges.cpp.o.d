@@ -227,6 +227,9 @@ bench-build/CMakeFiles/bench_shorts_bridges.dir/bench_shorts_bridges.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \
  /root/repo/src/faults/include/pf/faults/coupling.hpp \

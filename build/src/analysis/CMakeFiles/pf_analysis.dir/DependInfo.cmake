@@ -8,10 +8,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/src/checkpoint.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/checkpoint.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/checkpoint.cpp.o.d"
   "/root/repo/src/analysis/src/completion.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/completion.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/completion.cpp.o.d"
   "/root/repo/src/analysis/src/diagnosis.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/diagnosis.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/diagnosis.cpp.o.d"
   "/root/repo/src/analysis/src/partial.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/partial.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/partial.cpp.o.d"
   "/root/repo/src/analysis/src/region.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o.d"
+  "/root/repo/src/analysis/src/robust.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/robust.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/robust.cpp.o.d"
   "/root/repo/src/analysis/src/sos_runner.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o.d"
   "/root/repo/src/analysis/src/table1.cpp" "src/analysis/CMakeFiles/pf_analysis.dir/src/table1.cpp.o" "gcc" "src/analysis/CMakeFiles/pf_analysis.dir/src/table1.cpp.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/pf_analysis.dir/src/checkpoint.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/checkpoint.cpp.o.d"
   "CMakeFiles/pf_analysis.dir/src/completion.cpp.o"
   "CMakeFiles/pf_analysis.dir/src/completion.cpp.o.d"
   "CMakeFiles/pf_analysis.dir/src/diagnosis.cpp.o"
@@ -7,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/pf_analysis.dir/src/partial.cpp.o.d"
   "CMakeFiles/pf_analysis.dir/src/region.cpp.o"
   "CMakeFiles/pf_analysis.dir/src/region.cpp.o.d"
+  "CMakeFiles/pf_analysis.dir/src/robust.cpp.o"
+  "CMakeFiles/pf_analysis.dir/src/robust.cpp.o.d"
   "CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o"
   "CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o.d"
   "CMakeFiles/pf_analysis.dir/src/table1.cpp.o"

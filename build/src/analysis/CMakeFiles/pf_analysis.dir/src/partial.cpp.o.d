@@ -125,6 +125,7 @@ src/analysis/CMakeFiles/pf_analysis.dir/src/partial.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/analysis/include/pf/analysis/robust.hpp \
  /root/repo/src/analysis/include/pf/analysis/sos_runner.hpp \
  /root/repo/src/dram/include/pf/dram/column.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
@@ -224,6 +225,9 @@ src/analysis/CMakeFiles/pf_analysis.dir/src/partial.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /usr/include/c++/12/cstddef \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \

@@ -124,6 +124,7 @@ src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/analysis/include/pf/analysis/robust.hpp \
  /root/repo/src/analysis/include/pf/analysis/sos_runner.hpp \
  /root/repo/src/dram/include/pf/dram/column.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
@@ -223,6 +224,9 @@ src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /usr/include/c++/12/cstddef \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \
@@ -242,8 +246,7 @@ src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -257,5 +260,10 @@ src/analysis/CMakeFiles/pf_analysis.dir/src/region.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/analysis/include/pf/analysis/checkpoint.hpp \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/util/include/pf/util/ascii_plot.hpp \
  /root/repo/src/util/include/pf/util/log.hpp

@@ -219,6 +219,9 @@ src/analysis/CMakeFiles/pf_analysis.dir/src/sos_runner.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /usr/include/c++/12/cstddef \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/spice/src/deck.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/deck.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/deck.cpp.o.d"
+  "/root/repo/src/spice/src/fault_injection.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/fault_injection.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/fault_injection.cpp.o.d"
   "/root/repo/src/spice/src/matrix.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/matrix.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/matrix.cpp.o.d"
   "/root/repo/src/spice/src/netlist.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/netlist.cpp.o.d"
   "/root/repo/src/spice/src/simulator.cpp" "src/spice/CMakeFiles/pf_spice.dir/src/simulator.cpp.o" "gcc" "src/spice/CMakeFiles/pf_spice.dir/src/simulator.cpp.o.d"

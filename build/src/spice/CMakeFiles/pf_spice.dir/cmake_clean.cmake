@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/pf_spice.dir/src/deck.cpp.o"
   "CMakeFiles/pf_spice.dir/src/deck.cpp.o.d"
+  "CMakeFiles/pf_spice.dir/src/fault_injection.cpp.o"
+  "CMakeFiles/pf_spice.dir/src/fault_injection.cpp.o.d"
   "CMakeFiles/pf_spice.dir/src/matrix.cpp.o"
   "CMakeFiles/pf_spice.dir/src/matrix.cpp.o.d"
   "CMakeFiles/pf_spice.dir/src/netlist.cpp.o"

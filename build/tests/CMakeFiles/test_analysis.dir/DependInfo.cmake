@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/analysis/test_completion.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_completion.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_completion.cpp.o.d"
   "/root/repo/tests/analysis/test_diagnosis.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_diagnosis.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_diagnosis.cpp.o.d"
   "/root/repo/tests/analysis/test_region_partial.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o.d"
+  "/root/repo/tests/analysis/test_robust_sweep.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_robust_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_robust_sweep.cpp.o.d"
   "/root/repo/tests/analysis/test_sos_runner.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_sos_runner.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_sos_runner.cpp.o.d"
   "/root/repo/tests/analysis/test_table1.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_table1.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_table1.cpp.o.d"
   )

@@ -318,6 +318,7 @@ tests/CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/analysis/include/pf/analysis/partial.hpp \
  /root/repo/src/analysis/include/pf/analysis/region.hpp \
+ /root/repo/src/analysis/include/pf/analysis/robust.hpp \
  /root/repo/src/analysis/include/pf/analysis/sos_runner.hpp \
  /root/repo/src/dram/include/pf/dram/column.hpp \
  /root/repo/src/dram/include/pf/dram/defect.hpp \
@@ -325,6 +326,8 @@ tests/CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o: \
  /root/repo/src/spice/include/pf/spice/netlist.hpp \
  /root/repo/src/util/include/pf/util/error.hpp \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \
  /root/repo/src/faults/include/pf/faults/ffm.hpp \

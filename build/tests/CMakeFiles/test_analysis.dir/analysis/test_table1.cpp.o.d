@@ -296,6 +296,7 @@ tests/CMakeFiles/test_analysis.dir/analysis/test_table1.cpp.o: \
  /root/repo/src/analysis/include/pf/analysis/table1.hpp \
  /root/repo/src/analysis/include/pf/analysis/completion.hpp \
  /root/repo/src/analysis/include/pf/analysis/region.hpp \
+ /root/repo/src/analysis/include/pf/analysis/robust.hpp \
  /root/repo/src/analysis/include/pf/analysis/sos_runner.hpp \
  /root/repo/src/dram/include/pf/dram/column.hpp \
  /root/repo/src/dram/include/pf/dram/defect.hpp \
@@ -303,6 +304,8 @@ tests/CMakeFiles/test_analysis.dir/analysis/test_table1.cpp.o: \
  /root/repo/src/spice/include/pf/spice/netlist.hpp \
  /root/repo/src/util/include/pf/util/error.hpp \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \
  /root/repo/src/faults/include/pf/faults/ffm.hpp \

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_analysis.dir/analysis/test_diagnosis.cpp.o.d"
   "CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o"
   "CMakeFiles/test_analysis.dir/analysis/test_region_partial.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_robust_sweep.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_robust_sweep.cpp.o.d"
   "CMakeFiles/test_analysis.dir/analysis/test_sos_runner.cpp.o"
   "CMakeFiles/test_analysis.dir/analysis/test_sos_runner.cpp.o.d"
   "CMakeFiles/test_analysis.dir/analysis/test_table1.cpp.o"

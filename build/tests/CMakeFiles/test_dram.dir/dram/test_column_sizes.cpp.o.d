@@ -299,6 +299,8 @@ tests/CMakeFiles/test_dram.dir/dram/test_column_sizes.cpp.o: \
  /root/repo/src/spice/include/pf/spice/netlist.hpp \
  /root/repo/src/util/include/pf/util/error.hpp \
  /root/repo/src/spice/include/pf/spice/simulator.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio \
  /root/repo/src/spice/include/pf/spice/matrix.hpp \
  /root/repo/src/spice/include/pf/spice/waveform.hpp \
  /root/repo/src/march/include/pf/march/library.hpp \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/spice/test_deck_trace.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o.d"
+  "/root/repo/tests/spice/test_fault_injection.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_fault_injection.cpp.o.d"
   "/root/repo/tests/spice/test_matrix.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
   "/root/repo/tests/spice/test_netlist.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o.d"
   "/root/repo/tests/spice/test_properties.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_properties.cpp.o.d"

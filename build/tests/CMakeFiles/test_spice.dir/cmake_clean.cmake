@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o"
   "CMakeFiles/test_spice.dir/spice/test_deck_trace.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_fault_injection.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_fault_injection.cpp.o.d"
   "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o"
   "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
   "CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o"

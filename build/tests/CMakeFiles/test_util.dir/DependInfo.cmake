@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_error.cpp" "tests/CMakeFiles/test_util.dir/util/test_error.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_error.cpp.o.d"
   "/root/repo/tests/util/test_grid.cpp" "tests/CMakeFiles/test_util.dir/util/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_grid.cpp.o.d"
   "/root/repo/tests/util/test_interval.cpp" "tests/CMakeFiles/test_util.dir/util/test_interval.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_interval.cpp.o.d"
   "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_error.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_error.cpp.o.d"
   "CMakeFiles/test_util.dir/util/test_grid.cpp.o"
   "CMakeFiles/test_util.dir/util/test_grid.cpp.o.d"
   "CMakeFiles/test_util.dir/util/test_interval.cpp.o"

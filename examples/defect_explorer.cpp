@@ -1,10 +1,12 @@
 // Defect explorer: interactive reproduction of the paper's fault-analysis
 // method for any open defect and SOS.
 //
-// Usage: defect_explorer [open_number] [sos] [r_points] [u_points]
+// Usage: defect_explorer [open_number] [sos] [r_points] [u_points] [journal]
 //   defect_explorer                 # Open 4, SOS "1r1"  (paper Figure 3a)
 //   defect_explorer 4 "1v [w0BL] r1v"   # Figure 3(b)
 //   defect_explorer 1 "0r0" 13 12       # Figure 4(a) at high resolution
+//   defect_explorer 9 "1r1" 13 12 /tmp/wl   # checkpoint each sweep to
+//       /tmp/wl-line<i>.csv; rerunning resumes instead of re-simulating
 //
 // Prints the (R_def, U) region map, the partial-fault classification per
 // observed FFM, and — for each partial fault — the completing operations
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   const std::string sos_text = argc > 2 ? argv[2] : "1r1";
   const size_t r_points = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 9;
   const size_t u_points = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 10;
+  const std::string journal_prefix = argc > 5 ? argv[5] : "";
 
   analysis::SweepSpec spec;
   spec.params = dram::DramParams{};
@@ -58,8 +61,17 @@ int main(int argc, char** argv) {
     std::printf("analyzing %s, floating line '%s', SOS %s ...\n",
                 dram::defect_name(spec.defect).c_str(), lines[li].label.c_str(),
                 spec.sos.to_string().c_str());
-    const analysis::RegionMap map = analysis::sweep_region(spec);
+    analysis::SweepOptions sweep_opt;
+    if (!journal_prefix.empty())
+      sweep_opt.journal_path =
+          journal_prefix + "-line" + std::to_string(li) + ".csv";
+    const analysis::RegionMap map = analysis::sweep_region(spec, sweep_opt);
     std::printf("%s\n", map.render("FP regions in the (R_def, U) plane").c_str());
+    const analysis::SweepStats& stats = map.solve_stats();
+    if (stats.resumed > 0 || stats.failed > 0 || stats.retries > 0)
+      std::printf("  solver: %zu attempted, %zu resumed from journal, "
+                  "%zu retries, %zu unsolved\n",
+                  stats.attempted, stats.resumed, stats.retries, stats.failed);
 
     for (const auto& finding : analysis::identify_partial_faults(map)) {
       std::printf("  %s: %s  (min R_def %.0f kOhm, widest band %s, "

@@ -1,0 +1,63 @@
+// Checkpoint/resume journal for long (R_def, U) sweeps.
+//
+// A production-scale sweep appends one CSV row per completed grid point to a
+// journal file, flushed immediately, so an interrupted run (crash, kill,
+// power loss) can resume by re-reading the journal and skipping every point
+// it already solved. Rows recording a solver failure (FAIL) are *not*
+// skipped on resume: a later run — possibly with a different retry policy —
+// gets another chance at them.
+//
+// Format (plain CSV after a tagged header):
+//
+//   # pf-sweep-journal v1 fingerprint=<16 hex digits>
+//   iy,ix,r_def,u,ffm,attempts
+//   0,0,10000,0,-,1
+//   0,1,10000,0.3,RDF1,2
+//   1,3,31623,0.9,FAIL,3
+//
+// The fingerprint hashes the sweep identity (defect, floating line, SOS
+// notation, both axes); loading a journal written for a different sweep
+// throws instead of silently mixing grids. DramParams are not fingerprinted:
+// a journal is only as valid as the parameter set it was recorded under. A
+// truncated final row (crash mid-write) is tolerated and dropped.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pf/analysis/region.hpp"
+
+namespace pf::analysis {
+
+class SweepJournal {
+ public:
+  struct Entry {
+    size_t ix = 0;
+    size_t iy = 0;
+    faults::Ffm ffm = faults::Ffm::kUnknown;  ///< kUnknown = solved, no fault
+    int attempts = 1;
+  };
+
+  /// Sweep identity hash over defect, floating line, SOS and both axes.
+  static uint64_t fingerprint(const SweepSpec& spec);
+
+  /// Parse the journal at `path` (empty result when the file does not
+  /// exist). Throws pf::Error when the fingerprint belongs to a different
+  /// sweep or an index is outside the grid. FAIL rows are dropped so failed
+  /// points are re-attempted on resume.
+  static std::vector<Entry> load(const std::string& path,
+                                 const SweepSpec& spec);
+
+  /// Open `path` for appending, writing the header when the file is new or
+  /// empty. Throws pf::Error when the file cannot be opened.
+  SweepJournal(const std::string& path, const SweepSpec& spec);
+
+  /// Append one completed grid point and flush.
+  void append(const Entry& entry, double r_def, double u);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace pf::analysis

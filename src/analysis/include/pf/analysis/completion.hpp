@@ -25,6 +25,7 @@ struct CompletionSpec {
   std::vector<double> probe_r;       ///< R_def rows the candidate must cover
   std::vector<double> probe_u;       ///< floating voltages it must cover
   int max_prefix_ops = 3;
+  RetryPolicy retry;                 ///< per-probe solver retry/backoff
 };
 
 struct CompletionResult {
@@ -32,6 +33,11 @@ struct CompletionResult {
   faults::FaultPrimitive completed;  ///< base with the completing bracket
   int candidates_evaluated = 0;
   uint64_t sos_runs = 0;             ///< electrical experiments performed
+  /// Probe experiments unsolved after retries. The search degrades
+  /// gracefully: an unsolvable probe rejects the candidate (a completion
+  /// must be *demonstrated*, never assumed), so a nonzero count means
+  /// "Not possible" verdicts may be pessimistic.
+  uint64_t solver_failures = 0;
 };
 
 /// Probe rows for a completion search: up to `max_rows` R_def values where

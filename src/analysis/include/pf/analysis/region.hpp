@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "pf/analysis/robust.hpp"
 #include "pf/analysis/sos_runner.hpp"
 #include "pf/util/grid.hpp"
 #include "pf/util/interval.hpp"
@@ -28,14 +29,48 @@ std::vector<double> default_r_axis(size_t n = 13);
 std::vector<double> default_u_axis(const dram::DramParams& params,
                                    size_t n = 12);
 
+/// Solver bookkeeping of one sweep_region call, so partial-fault
+/// classification can state how much of the grid it actually observed.
+struct SweepStats {
+  size_t attempted = 0;  ///< points run in this call (excludes resumed)
+  size_t solved = 0;     ///< points that produced an observation
+  size_t failed = 0;     ///< points recorded as Ffm::kSolveFailed
+  size_t retries = 0;    ///< attempts beyond the first, over all points
+  size_t resumed = 0;    ///< points restored from the journal
+  std::vector<std::string> failure_log;  ///< context, one entry per failure
+};
+
+/// Robustness knobs of sweep_region.
+struct SweepOptions {
+  RetryPolicy retry;
+  /// Record unrecoverable points as Ffm::kSolveFailed cells (graceful
+  /// degradation). When false the first unrecoverable point rethrows with
+  /// full experiment context and the sweep result is discarded.
+  bool record_failures = true;
+  /// Non-empty: append every completed point to this CSV journal (see
+  /// pf/analysis/checkpoint.hpp) and — when `resume` — skip points an
+  /// earlier interrupted run already solved.
+  std::string journal_path;
+  bool resume = true;
+};
+
 class RegionMap {
  public:
   RegionMap(SweepSpec spec, Grid2D<faults::Ffm> grid);
+  RegionMap(SweepSpec spec, Grid2D<faults::Ffm> grid, SweepStats stats);
 
   const SweepSpec& spec() const { return spec_; }
   const Grid2D<faults::Ffm>& grid() const { return grid_; }
 
-  /// All FFMs observed anywhere in the map.
+  /// Retry/failure bookkeeping of the sweep that produced this map.
+  const SweepStats& solve_stats() const { return stats_; }
+  /// Grid points whose experiment could not be solved (kSolveFailed cells).
+  size_t failed_points() const;
+  /// Fraction of grid points actually observed, in [0, 1].
+  double observed_fraction() const;
+
+  /// All FFMs observed anywhere in the map (kSolveFailed cells excluded:
+  /// a solver failure is a hole in the observation, not an FFM).
   std::vector<faults::Ffm> observed_ffms() const;
   /// Grid points where `ffm` is observed.
   size_t count(faults::Ffm ffm) const;
@@ -49,18 +84,25 @@ class RegionMap {
   bool has_fully_covered_row(faults::Ffm ffm) const;
 
   /// ASCII rendering in the style of the paper's figures ('.' = no fault;
-  /// one glyph per FFM, with a legend).
+  /// one glyph per FFM, 'x' = solve failed, with a legend).
   std::string render(const std::string& title) const;
 
-  /// Machine-readable dump: one row per grid point (r_def, u, ffm).
+  /// Machine-readable dump: one row per grid point (r_def, u, ffm); failed
+  /// points dump as "FAIL".
   std::string to_csv() const;
 
  private:
   SweepSpec spec_;
   Grid2D<faults::Ffm> grid_;
+  SweepStats stats_;
 };
 
-/// Run the sweep (|r_axis| * |u_axis| SOS experiments).
+/// Run the sweep (|r_axis| * |u_axis| SOS experiments). Each experiment is
+/// retried under options.retry; unrecoverable points degrade to
+/// Ffm::kSolveFailed cells instead of aborting the sweep (unless
+/// options.record_failures is off), and a journal path enables
+/// checkpoint/resume for long runs.
+RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options);
 RegionMap sweep_region(const SweepSpec& spec);
 
 }  // namespace pf::analysis

@@ -50,6 +50,14 @@ struct Table1Options {
   double r_max_default = 10e6;
   double r_min_wordline = 100e3;
   double r_max_wordline = 1e9;
+
+  /// Robustness of the underlying sweeps and completion probes: failed grid
+  /// points degrade to Ffm::kSolveFailed cells (never classified as FFMs),
+  /// and unsolvable completion probes reject candidates instead of aborting
+  /// the catalogue. `sweep.journal_path` is used as a path *prefix* here —
+  /// one journal per (site, line, SOS) sweep.
+  SweepOptions sweep;
+  RetryPolicy completion_retry;
 };
 
 /// The eight base sensitizing operation sequences of the #O <= 1 FP space.

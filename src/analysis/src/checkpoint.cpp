@@ -1,0 +1,115 @@
+#include "pf/analysis/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "pf/util/strings.hpp"
+
+namespace pf::analysis {
+namespace {
+
+constexpr const char* kHeaderTag = "# pf-sweep-journal v1 fingerprint=";
+constexpr const char* kColumnHeader = "iy,ix,r_def,u,ffm,attempts";
+
+void fnv1a(uint64_t& hash, std::string_view s) {
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  hash ^= '\x1f';  // field separator, so "ab"+"c" != "a"+"bc"
+  hash *= 1099511628211ull;
+}
+
+std::string hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string axis_text(const std::vector<double>& axis) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const double v : axis) os << v << ';';
+  return os.str();
+}
+
+}  // namespace
+
+uint64_t SweepJournal::fingerprint(const SweepSpec& spec) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  fnv1a(hash, dram::defect_name(spec.defect));
+  fnv1a(hash, std::to_string(spec.floating_line_index));
+  fnv1a(hash, spec.sos.to_string());
+  fnv1a(hash, axis_text(spec.r_axis));
+  fnv1a(hash, axis_text(spec.u_axis));
+  return hash;
+}
+
+std::vector<SweepJournal::Entry> SweepJournal::load(const std::string& path,
+                                                    const SweepSpec& spec) {
+  std::vector<Entry> entries;
+  std::ifstream in(path);
+  if (!in.is_open()) return entries;
+  std::string header;
+  if (!std::getline(in, header)) return entries;  // empty file
+  PF_CHECK_MSG(header.rfind(kHeaderTag, 0) == 0,
+               "not a sweep journal: " << path);
+  const std::string expected = hex16(fingerprint(spec));
+  const std::string found = pf::trim(header.substr(std::string(kHeaderTag).size()));
+  PF_CHECK_MSG(found == expected,
+               "journal " << path << " belongs to a different sweep"
+                          << " (fingerprint " << found << ", expected "
+                          << expected << "); delete it to start over");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line == kColumnHeader) continue;
+    const std::vector<std::string> fields = pf::split(line, ',');
+    // A truncated final row (crash mid-write) is dropped, which simply
+    // re-runs that point on resume.
+    if (fields.size() != 6) continue;
+    Entry e;
+    try {
+      e.iy = std::stoul(fields[0]);
+      e.ix = std::stoul(fields[1]);
+      e.attempts = std::stoi(fields[5]);
+    } catch (const std::exception&) {
+      continue;
+    }
+    PF_CHECK_MSG(e.ix < spec.u_axis.size() && e.iy < spec.r_axis.size(),
+                 "journal " << path << " row out of grid: " << line);
+    if (fields[4] == "-") {
+      e.ffm = faults::Ffm::kUnknown;
+    } else {
+      e.ffm = faults::ffm_by_name(fields[4]);
+      if (e.ffm == faults::Ffm::kUnknown) continue;  // unreadable row
+    }
+    if (e.ffm == faults::Ffm::kSolveFailed) continue;  // re-attempt on resume
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+SweepJournal::SweepJournal(const std::string& path, const SweepSpec& spec) {
+  const bool fresh = [&] {
+    std::ifstream probe(path);
+    return !probe.is_open() || probe.peek() == std::ifstream::traits_type::eof();
+  }();
+  out_.open(path, std::ios::app);
+  PF_CHECK_MSG(out_.is_open(), "cannot open sweep journal " << path);
+  if (fresh) {
+    out_ << kHeaderTag << hex16(fingerprint(spec)) << '\n'
+         << kColumnHeader << '\n';
+    out_.flush();
+  }
+}
+
+void SweepJournal::append(const Entry& entry, double r_def, double u) {
+  out_ << entry.iy << ',' << entry.ix << ',' << r_def << ',' << u << ','
+       << (entry.ffm == faults::Ffm::kUnknown ? "-"
+                                              : faults::ffm_name(entry.ffm))
+       << ',' << entry.attempts << '\n';
+  out_.flush();
+}
+
+}  // namespace pf::analysis

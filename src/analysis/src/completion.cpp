@@ -123,8 +123,25 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
         defect.resistance = r;
         for (double u : spec.probe_u) {
           ++result.sos_runs;
-          const SosOutcome out =
-              run_sos(spec.params, defect, &line, u, sos, is_state_fault);
+          ExperimentContext ctx;
+          ctx.key = completion_key(r, u);
+          ctx.defect = dram::defect_name(spec.defect);
+          ctx.line = line.label;
+          ctx.r_def = r;
+          ctx.u = u;
+          ctx.sos = sos.to_string();
+          const RobustOutcome ro = run_sos_robust(
+              spec.params, defect, &line, u, sos, spec.retry, ctx,
+              is_state_fault);
+          if (!ro.solved) {
+            // An unsolvable probe cannot demonstrate the completion; reject
+            // the candidate and keep searching instead of aborting the
+            // whole catalogue run.
+            ++result.solver_failures;
+            accepted = false;
+            break;
+          }
+          const SosOutcome& out = ro.outcome;
           if (!out.faulty ||
               out.final_state != spec.base.faulty_state ||
               out.read_result != spec.base.read_result) {
@@ -189,9 +206,22 @@ CompletionResult search_completing_ops_with_fallback(
       const double u_mid = band.empty()
                                ? (line.min_v + line.max_v) / 2
                                : (hull.lo + hull.hi) / 2;
-      const SosOutcome out = run_sos(spec.params, probe, &line, u_mid,
-                                     spec.base.sos);
+      ExperimentContext ctx;
+      ctx.key = completion_key(probe.resistance, u_mid);
+      ctx.defect = dram::defect_name(spec.defect);
+      ctx.line = line.label;
+      ctx.r_def = probe.resistance;
+      ctx.u = u_mid;
+      ctx.sos = spec.base.sos.to_string();
+      const RobustOutcome ro = run_sos_robust(spec.params, probe, &line,
+                                              u_mid, spec.base.sos,
+                                              spec.retry, ctx);
       ++total.sos_runs;
+      if (!ro.solved) {
+        ++total.solver_failures;
+        continue;  // degrade to the next window
+      }
+      const SosOutcome& out = ro.outcome;
       if (!out.faulty || faults::classify(out.observed) != ffm) continue;
       spec.base.faulty_state = out.final_state;
       spec.base.read_result = out.read_result;
@@ -200,6 +230,7 @@ CompletionResult search_completing_ops_with_fallback(
     const CompletionResult attempt = search_completing_ops(spec);
     total.candidates_evaluated += attempt.candidates_evaluated;
     total.sos_runs += attempt.sos_runs;
+    total.solver_failures += attempt.solver_failures;
     if (attempt.possible) {
       total.possible = true;
       total.completed = attempt.completed;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 #include <sstream>
 
+#include "pf/analysis/checkpoint.hpp"
 #include "pf/util/ascii_plot.hpp"
 #include "pf/util/log.hpp"
 
@@ -21,13 +23,26 @@ std::vector<double> default_u_axis(const dram::DramParams& params, size_t n) {
 }
 
 RegionMap::RegionMap(SweepSpec spec, Grid2D<Ffm> grid)
-    : spec_(std::move(spec)), grid_(std::move(grid)) {}
+    : RegionMap(std::move(spec), std::move(grid), SweepStats{}) {}
+
+RegionMap::RegionMap(SweepSpec spec, Grid2D<Ffm> grid, SweepStats stats)
+    : spec_(std::move(spec)), grid_(std::move(grid)),
+      stats_(std::move(stats)) {}
 
 std::vector<Ffm> RegionMap::observed_ffms() const {
   std::set<Ffm> seen;
   for (Ffm f : grid_.data())
-    if (f != Ffm::kUnknown) seen.insert(f);
+    if (f != Ffm::kUnknown && f != Ffm::kSolveFailed) seen.insert(f);
   return {seen.begin(), seen.end()};
+}
+
+size_t RegionMap::failed_points() const { return count(Ffm::kSolveFailed); }
+
+double RegionMap::observed_fraction() const {
+  const size_t total = grid_.width() * grid_.height();
+  return total == 0 ? 1.0
+                    : 1.0 - static_cast<double>(failed_points()) /
+                                static_cast<double>(total);
 }
 
 size_t RegionMap::count(Ffm ffm) const {
@@ -87,6 +102,7 @@ char glyph_for(Ffm ffm) {
     case Ffm::kDRDF1: return 'D';
     case Ffm::kIRF0: return 'i';
     case Ffm::kIRF1: return 'I';
+    case Ffm::kSolveFailed: return 'x';
   }
   return '?';
 }
@@ -108,13 +124,21 @@ std::string RegionMap::render(const std::string& title) const {
   std::ostringstream os;
   os << plot;
   const auto seen = observed_ffms();
+  const size_t failed = failed_points();
   if (!seen.empty()) {
     os << "  legend:";
     for (Ffm f : seen) os << "  " << glyph_for(f) << " = " << faults::ffm_name(f);
-    os << "  . = no fault\n";
+    os << "  . = no fault";
+    if (failed > 0) os << "  x = solve failed";
+    os << "\n";
+  } else if (failed > 0) {
+    os << "  legend:  x = solve failed  . = no fault\n";
   } else {
     os << "  (no fault observed anywhere)\n";
   }
+  if (failed > 0)
+    os << "  (" << failed << " of " << grid_.width() * grid_.height()
+       << " grid points unsolved)\n";
   return os.str();
 }
 
@@ -130,7 +154,7 @@ std::string RegionMap::to_csv() const {
   return os.str();
 }
 
-RegionMap sweep_region(const SweepSpec& spec) {
+RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options) {
   PF_CHECK(!spec.r_axis.empty() && !spec.u_axis.empty());
   const auto lines = dram::floating_lines_for(spec.defect, spec.params);
   PF_CHECK_MSG(spec.floating_line_index < lines.size(),
@@ -138,19 +162,75 @@ RegionMap sweep_region(const SweepSpec& spec) {
                          << " has no floating line "
                          << spec.floating_line_index);
   const dram::FloatingLine& line = lines[spec.floating_line_index];
+  const std::string defect_label = dram::defect_name(spec.defect);
+  const std::string sos_label = spec.sos.to_string();
 
   Grid2D<Ffm> grid(spec.u_axis, spec.r_axis, Ffm::kUnknown);
+  SweepStats stats;
+  Grid2D<char> done(spec.u_axis, spec.r_axis, 0);
+  std::unique_ptr<SweepJournal> journal;
+  if (!options.journal_path.empty()) {
+    if (options.resume) {
+      for (const SweepJournal::Entry& e :
+           SweepJournal::load(options.journal_path, spec)) {
+        grid.at(e.ix, e.iy) = e.ffm;
+        done.at(e.ix, e.iy) = 1;
+        ++stats.resumed;
+      }
+      if (stats.resumed > 0)
+        PF_LOG_INFO("resumed " << stats.resumed << " solved points from "
+                               << options.journal_path);
+    }
+    journal = std::make_unique<SweepJournal>(options.journal_path, spec);
+  }
+
   for (size_t iy = 0; iy < spec.r_axis.size(); ++iy) {
     dram::Defect defect = spec.defect;
     defect.resistance = spec.r_axis[iy];
     for (size_t ix = 0; ix < spec.u_axis.size(); ++ix) {
-      const SosOutcome out =
-          run_sos(spec.params, defect, &line, spec.u_axis[ix], spec.sos);
-      if (out.faulty) grid.at(ix, iy) = out.ffm;
+      if (done.at(ix, iy)) continue;
+      ExperimentContext ctx;
+      ctx.key = grid_point_key(ix, iy);
+      ctx.defect = defect_label;
+      ctx.line = line.label;
+      ctx.r_def = spec.r_axis[iy];
+      ctx.u = spec.u_axis[ix];
+      ctx.sos = sos_label;
+      const RobustOutcome ro =
+          run_sos_robust(spec.params, defect, &line, spec.u_axis[ix],
+                         spec.sos, options.retry, ctx);
+      ++stats.attempted;
+      stats.retries += static_cast<size_t>(ro.attempts > 0 ? ro.attempts - 1
+                                                           : 0);
+      if (ro.solved) {
+        ++stats.solved;
+        if (ro.outcome.faulty) grid.at(ix, iy) = ro.outcome.ffm;
+      } else {
+        if (!options.record_failures) throw ConvergenceError(ro.error);
+        grid.at(ix, iy) = Ffm::kSolveFailed;
+        ++stats.failed;
+        stats.failure_log.push_back(ro.error);
+      }
+      if (journal) {
+        SweepJournal::Entry e;
+        e.ix = ix;
+        e.iy = iy;
+        e.ffm = grid.at(ix, iy);
+        e.attempts = ro.attempts;
+        journal->append(e, spec.r_axis[iy], spec.u_axis[ix]);
+      }
     }
     PF_LOG_DEBUG("sweep row R_def=" << spec.r_axis[iy] << " done");
   }
-  return RegionMap(spec, std::move(grid));
+  if (stats.failed > 0)
+    PF_LOG_INFO("sweep degraded: " << stats.failed << " of "
+                                   << grid.width() * grid.height()
+                                   << " points unsolved after retries");
+  return RegionMap(spec, std::move(grid), std::move(stats));
+}
+
+RegionMap sweep_region(const SweepSpec& spec) {
+  return sweep_region(spec, SweepOptions{});
 }
 
 }  // namespace pf::analysis

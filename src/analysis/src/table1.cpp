@@ -34,6 +34,7 @@ std::vector<Table1Row> generate_table1(const dram::DramParams& params,
     }
     const auto lines = dram::floating_lines_for(proto, params);
     for (size_t li = 0; li < lines.size(); ++li) {
+      size_t sos_index = 0;
       for (const Sos& sos : base_soses()) {
         SweepSpec spec;
         spec.params = params;
@@ -43,7 +44,21 @@ std::vector<Table1Row> generate_table1(const dram::DramParams& params,
         spec.r_axis = pf::logspace(r_min, r_max, options.r_points);
         spec.u_axis =
             pf::linspace(lines[li].min_v, lines[li].max_v, options.u_points);
-        const RegionMap map = sweep_region(spec);
+        SweepOptions sweep_opt = options.sweep;
+        if (!sweep_opt.journal_path.empty())
+          sweep_opt.journal_path += "-open" +
+                                    std::to_string(dram::open_number(site)) +
+                                    "-line" + std::to_string(li) + "-sos" +
+                                    std::to_string(sos_index) + ".csv";
+        ++sos_index;
+        const RegionMap map = sweep_region(spec, sweep_opt);
+        if (map.failed_points() > 0)
+          PF_LOG_INFO("table1 sweep "
+                      << dram::defect_name(proto) << " / " << lines[li].label
+                      << " / " << sos.to_string() << ": observed only "
+                      << 100.0 * map.observed_fraction()
+                      << "% of the grid (" << map.failed_points()
+                      << " unsolved points)");
         for (const PartialFaultFinding& finding :
              identify_partial_faults(map)) {
           if (!finding.partial || finding.ffm == Ffm::kUnknown) continue;
@@ -73,6 +88,7 @@ std::vector<Table1Row> generate_table1(const dram::DramParams& params,
           cspec.probe_u = pf::linspace(lines[li].min_v, lines[li].max_v,
                                        options.probe_u_points);
           cspec.max_prefix_ops = options.max_prefix_ops;
+          cspec.retry = options.completion_retry;
           const CompletionResult comp = search_completing_ops_with_fallback(
               cspec, map, finding.ffm, /*rows_per_window=*/1,
               options.fallback_windows);

@@ -27,10 +27,20 @@ enum class Ffm {
   kDRDF1,  ///< deceptive RDF        <1r1/0/1>
   kIRF0,   ///< incorrect read       <0r0/0/1>
   kIRF1,   ///< incorrect read       <1r1/1/0>
+  /// Not a fault model: marks a region-map cell whose electrical experiment
+  /// could not be solved (retry budget exhausted). Excluded from all_ffms()
+  /// and from observed-FFM classification; rendered as 'x', dumped as
+  /// "FAIL", so partial-fault analysis can state how much of the grid it
+  /// actually observed.
+  kSolveFailed,
 };
 
-/// Short display name ("RDF0", "TFup", ...).
+/// Short display name ("RDF0", "TFup", ...; kSolveFailed -> "FAIL").
 std::string_view ffm_name(Ffm ffm);
+
+/// Inverse of ffm_name, accepting every concrete FFM plus "FAIL"; returns
+/// kUnknown when the name matches nothing (used by sweep journals).
+Ffm ffm_by_name(std::string_view name);
 
 /// All concrete FFMs (excluding kUnknown), in taxonomy order.
 const std::vector<Ffm>& all_ffms();

@@ -17,8 +17,16 @@ std::string_view ffm_name(Ffm ffm) {
     case Ffm::kDRDF1: return "DRDF1";
     case Ffm::kIRF0: return "IRF0";
     case Ffm::kIRF1: return "IRF1";
+    case Ffm::kSolveFailed: return "FAIL";
   }
   return "?";
+}
+
+Ffm ffm_by_name(std::string_view name) {
+  for (Ffm f : all_ffms())
+    if (ffm_name(f) == name) return f;
+  if (name == ffm_name(Ffm::kSolveFailed)) return Ffm::kSolveFailed;
+  return Ffm::kUnknown;
 }
 
 const std::vector<Ffm>& all_ffms() {
@@ -98,6 +106,7 @@ Ffm complement_ffm(Ffm ffm) {
     case Ffm::kIRF0: return Ffm::kIRF1;
     case Ffm::kIRF1: return Ffm::kIRF0;
     case Ffm::kUnknown: return Ffm::kUnknown;
+    case Ffm::kSolveFailed: return Ffm::kSolveFailed;
   }
   return Ffm::kUnknown;
 }
@@ -117,6 +126,7 @@ FaultPrimitive canonical_fp(Ffm ffm) {
     case Ffm::kIRF0: return FaultPrimitive::parse("<0r0/0/1>");
     case Ffm::kIRF1: return FaultPrimitive::parse("<1r1/1/0>");
     case Ffm::kUnknown: break;
+    case Ffm::kSolveFailed: break;
   }
   throw Error("no canonical FP for unknown FFM");
 }

@@ -1,0 +1,80 @@
+// Deterministic solver fault injection for robustness testing.
+//
+// The sweep-level robustness machinery (retry with tightened options,
+// graceful per-point degradation, checkpoint/resume) is only trustworthy if
+// it can be exercised on demand: natural non-convergence is rare and
+// parameter-dependent. This hook lets a test or bench arm a process-global
+// *injection plan* mapping experiment keys to solver faults. The driver of
+// each experiment attempt declares its key with set_context() — one call per
+// attempt — and the Simulator consults current_injection() at the start of
+// every transient run:
+//
+//   kNonConvergence  -> run_for throws ConvergenceError immediately,
+//   kSingularMatrix  -> run_for throws the singular-pivot flavour,
+//   kSlowConvergence -> each run_for charges slow_penalty_iters Newton
+//                       iterations to the stats, so an armed iteration
+//                       watchdog (SimOptions::max_total_nr_iters) trips while
+//                       an unguarded simulation merely reports inflated
+//                       stats.
+//
+// A key fails its first `fail_attempts` attempts and then recovers, which is
+// exactly the shape retry/backoff must handle. Disarmed (the default) the
+// whole feature is one branch on a bool — no overhead in production sweeps.
+//
+// Not thread-safe by design (matches pf::log: sweeps drive from one thread).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pf::spice::testing {
+
+enum class InjectedFault {
+  kNone,
+  kNonConvergence,   ///< transient Newton loop gives up (ConvergenceError)
+  kSingularMatrix,   ///< MNA pivot collapse (ConvergenceError, singular text)
+  kSlowConvergence,  ///< Newton burns iterations; trips the iteration watchdog
+};
+
+struct InjectionSpec {
+  InjectedFault kind = InjectedFault::kNone;
+  /// How many attempts (set_context calls) of the key fail before the point
+  /// recovers. Use a value above the retry budget for an unrecoverable point.
+  int fail_attempts = 1;
+  /// Newton iterations charged per run_for call by kSlowConvergence.
+  uint64_t slow_penalty_iters = 200000;
+};
+
+/// RAII arm/disarm of the process-global injection plan. Arming replaces any
+/// previous plan and resets the attempt and injection counters.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(std::map<std::string, InjectionSpec> plan);
+  ~ScopedFaultPlan();
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+/// True while a plan is armed.
+bool armed();
+
+/// Declare the experiment attempt about to run. Each call counts one attempt
+/// against the key's fail_attempts budget. No-op while disarmed.
+void set_context(const std::string& key);
+
+/// Forget the current context (e.g. when an attempt finishes), so unrelated
+/// simulations do not inherit a stale injection.
+void clear_context();
+
+/// The injection the current context should suffer, or nullptr. Idempotent:
+/// consulting it does not consume the attempt (set_context does).
+const InjectionSpec* current_injection();
+
+/// Faults actually applied by the Simulator since the plan was armed.
+uint64_t injections_performed();
+
+/// Called by the Simulator when it applies an injected fault.
+void note_injection();
+
+}  // namespace pf::spice::testing

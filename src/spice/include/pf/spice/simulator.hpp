@@ -14,6 +14,7 @@
 // matrix by ~2x this way.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,6 +34,13 @@ struct SimOptions {
   double gmin = 1e-12;         ///< leak conductance per node [S]
   double v_step_limit = 1.0;   ///< Newton damping clamp [V per iteration]
   double default_slew = 2e-10; ///< source/rail retarget ramp time [s]
+
+  // Watchdogs over the Simulator's lifetime (one experiment when, as in the
+  // sweep engines, a fresh column/simulator is built per attempt). Both
+  // throw ConvergenceError when exceeded, so a pathological grid point is
+  // bounded instead of hanging a production sweep.
+  uint64_t max_total_nr_iters = 0;  ///< total Newton budget; 0 = unlimited
+  double max_wall_seconds = 0.0;    ///< wall-clock budget [s]; 0 = unlimited
 };
 
 /// Statistics accumulated over the life of a Simulator (for the solver
@@ -41,6 +49,7 @@ struct SimStats {
   uint64_t steps = 0;
   uint64_t nr_iterations = 0;
   uint64_t rejected_steps = 0;
+  uint64_t injected_faults = 0;  ///< faults applied by the test-only injector
 };
 
 class Simulator {
@@ -89,6 +98,10 @@ class Simulator {
   /// One backward-Euler step of size h; returns Newton iterations used or -1
   /// on non-convergence. On success commits the new state.
   int try_step(double h, double t_new);
+  /// Apply an armed test-only injection (throws or charges iterations).
+  void apply_injected_fault();
+  /// Enforce SimOptions::max_total_nr_iters / max_wall_seconds.
+  void check_watchdogs();
 
   const Netlist& net_;
   SimOptions options_;
@@ -98,8 +111,18 @@ class Simulator {
   size_t n_node_unknowns_ = 0;
   size_t n_unknowns_ = 0;     // node unknowns + #vsources
   std::vector<int> unknown_of_node_;  // -1 for ground/rails
+  std::vector<NodeId> node_of_unknown_;  // inverse map for diagnostics
   double t_ = 0.0;
   double dt_ = 0.0;
+
+  // Failure diagnostics: the node with the largest undamped Newton delta in
+  // the most recent try_step, so convergence errors can name it.
+  NodeId worst_node_ = kGround;
+  double worst_dv_ = 0.0;
+
+  // Wall-clock watchdog anchor, started lazily by the first run_for.
+  std::chrono::steady_clock::time_point wall_start_{};
+  bool wall_started_ = false;
 
   std::vector<double> v_;        // node voltages incl. ground/rails, committed
   std::vector<double> branch_i_; // vsource branch currents, committed

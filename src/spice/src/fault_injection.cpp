@@ -1,0 +1,63 @@
+#include "pf/spice/fault_injection.hpp"
+
+namespace pf::spice::testing {
+namespace {
+
+struct InjectionState {
+  bool armed = false;
+  std::map<std::string, InjectionSpec> plan;
+  std::map<std::string, int> attempts_started;
+  std::string context;
+  uint64_t injections = 0;
+};
+
+InjectionState& state() {
+  static InjectionState s;
+  return s;
+}
+
+}  // namespace
+
+ScopedFaultPlan::ScopedFaultPlan(std::map<std::string, InjectionSpec> plan) {
+  InjectionState& s = state();
+  s.armed = true;
+  s.plan = std::move(plan);
+  s.attempts_started.clear();
+  s.context.clear();
+  s.injections = 0;
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  InjectionState& s = state();
+  s.armed = false;
+  s.plan.clear();
+  s.attempts_started.clear();
+  s.context.clear();
+}
+
+bool armed() { return state().armed; }
+
+void set_context(const std::string& key) {
+  InjectionState& s = state();
+  if (!s.armed) return;
+  s.context = key;
+  ++s.attempts_started[key];
+}
+
+void clear_context() { state().context.clear(); }
+
+const InjectionSpec* current_injection() {
+  InjectionState& s = state();
+  if (!s.armed || s.context.empty()) return nullptr;
+  const auto it = s.plan.find(s.context);
+  if (it == s.plan.end()) return nullptr;
+  const auto started = s.attempts_started.find(s.context);
+  const int attempt = started == s.attempts_started.end() ? 0 : started->second;
+  return attempt <= it->second.fail_attempts ? &it->second : nullptr;
+}
+
+uint64_t injections_performed() { return state().injections; }
+
+void note_injection() { ++state().injections; }
+
+}  // namespace pf::spice::testing

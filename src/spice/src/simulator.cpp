@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+
+#include "pf/spice/fault_injection.hpp"
 
 namespace pf::spice {
 namespace {
@@ -44,10 +47,12 @@ Simulator::Simulator(const Netlist& netlist, SimOptions options)
   rail_levels_.assign(n_nodes_, RampedLevel(0.0));
   int next = 0;
   for (size_t n = 1; n < n_nodes_; ++n) {
-    if (net_.is_rail(static_cast<NodeId>(n)))
+    if (net_.is_rail(static_cast<NodeId>(n))) {
       rail_levels_[n] = RampedLevel(net_.rail_initial(static_cast<NodeId>(n)));
-    else
+    } else {
       unknown_of_node_[n] = next++;
+      node_of_unknown_.push_back(static_cast<NodeId>(n));
+    }
   }
   n_node_unknowns_ = static_cast<size_t>(next);
   n_unknowns_ = n_node_unknowns_ + net_.vsources().size();
@@ -235,17 +240,25 @@ int Simulator::try_step(double h, double t_new) {
     // Damped update with per-node step limiting; convergence measured on the
     // undamped node-voltage deltas.
     double max_dv = 0.0;
+    size_t worst_u = 0;
     bool clamped = false;
     for (size_t u = 0; u < n_unknowns_; ++u) {
       double delta = sol[u] - x_[u];
       if (u < n_node_unknowns_) {
-        max_dv = std::max(max_dv, std::abs(delta));
+        if (std::abs(delta) > max_dv) {
+          max_dv = std::abs(delta);
+          worst_u = u;
+        }
         if (std::abs(delta) > options_.v_step_limit) {
           delta = std::copysign(options_.v_step_limit, delta);
           clamped = true;
         }
       }
       x_[u] += delta;
+    }
+    if (worst_u < node_of_unknown_.size()) {
+      worst_node_ = node_of_unknown_[worst_u];
+      worst_dv_ = max_dv;
     }
     if (!std::isfinite(max_dv)) return -1;
     stats_.nr_iterations++;
@@ -270,6 +283,14 @@ void Simulator::run_for_with_ceiling(double duration, double dt_max,
   options_.dt_initial = dt_max / 10;
   try {
     run_for(duration, callback);
+  } catch (const ConvergenceError& e) {
+    // Rethrow with the ceiling context attached: a sweep-level log must be
+    // able to tell a retention-pause failure from an ordinary step failure.
+    options_ = saved;
+    std::ostringstream os;
+    os << e.what() << " [during relaxed-ceiling run: dt_max=" << dt_max
+       << " s]";
+    throw ConvergenceError(os.str());
   } catch (...) {
     options_ = saved;
     throw;
@@ -277,11 +298,71 @@ void Simulator::run_for_with_ceiling(double duration, double dt_max,
   options_ = saved;
 }
 
+void Simulator::apply_injected_fault() {
+  const testing::InjectionSpec* inj = testing::current_injection();
+  if (inj == nullptr) return;
+  switch (inj->kind) {
+    case testing::InjectedFault::kNone:
+      return;
+    case testing::InjectedFault::kNonConvergence: {
+      testing::note_injection();
+      stats_.injected_faults++;
+      std::ostringstream os;
+      os << "injected non-convergence at t=" << t_ << " s";
+      throw ConvergenceError(os.str());
+    }
+    case testing::InjectedFault::kSingularMatrix: {
+      testing::note_injection();
+      stats_.injected_faults++;
+      std::ostringstream os;
+      os << "injected singular MNA matrix (pivot 0) at t=" << t_ << " s";
+      throw ConvergenceError(os.str());
+    }
+    case testing::InjectedFault::kSlowConvergence:
+      testing::note_injection();
+      stats_.injected_faults++;
+      stats_.nr_iterations += inj->slow_penalty_iters;
+      return;
+  }
+}
+
+void Simulator::check_watchdogs() {
+  if (options_.max_total_nr_iters > 0 &&
+      stats_.nr_iterations > options_.max_total_nr_iters) {
+    std::ostringstream os;
+    os << "Newton iteration watchdog: " << stats_.nr_iterations
+       << " iterations exceed the budget of " << options_.max_total_nr_iters
+       << " at t=" << t_ << " s";
+    throw ConvergenceError(os.str());
+  }
+  if (options_.max_wall_seconds > 0.0 && wall_started_) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - wall_start_;
+    if (elapsed.count() > options_.max_wall_seconds) {
+      std::ostringstream os;
+      os << "wall-clock watchdog: " << elapsed.count()
+         << " s exceed the budget of " << options_.max_wall_seconds
+         << " s at t=" << t_ << " s";
+      throw ConvergenceError(os.str());
+    }
+  }
+}
+
 void Simulator::run_for(double duration, const StepCallback& callback) {
   PF_CHECK(duration >= 0.0);
+  if (options_.max_wall_seconds > 0.0 && !wall_started_) {
+    wall_start_ = std::chrono::steady_clock::now();
+    wall_started_ = true;
+  }
+  if (testing::armed()) apply_injected_fault();
+  check_watchdogs();
   const double t_stop = t_ + duration;
   dt_ = std::min(options_.dt_initial, duration > 0 ? duration : dt_);
+  uint64_t steps_since_wall_check = 0;
   while (t_ < t_stop - 1e-18) {
+    ++steps_since_wall_check;
+    if (options_.max_total_nr_iters > 0 || steps_since_wall_check % 512 == 0)
+      check_watchdogs();
     double h = std::min({dt_, options_.dt_max, t_stop - t_});
     // Land exactly on source/rail ramp corners so edges are not stepped over.
     auto clamp_corner = [&](double corner) {
@@ -295,9 +376,14 @@ void Simulator::run_for(double duration, const StepCallback& callback) {
     if (iters < 0) {
       stats_.rejected_steps++;
       dt_ = h / 4.0;
-      if (dt_ < options_.dt_min)
-        throw ConvergenceError("transient failed to converge at t=" +
-                               std::to_string(t_));
+      if (dt_ < options_.dt_min) {
+        std::ostringstream os;
+        os << "transient failed to converge at t=" << t_ << " s (step h=" << h
+           << " s rejected, next dt " << dt_ << " s below dt_min="
+           << options_.dt_min << " s; worst residual node '"
+           << net_.node_name(worst_node_) << "', |dv|=" << worst_dv_ << " V)";
+        throw ConvergenceError(os.str());
+      }
       continue;
     }
     stats_.steps++;

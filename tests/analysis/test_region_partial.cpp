@@ -6,6 +6,7 @@
 
 #include "pf/analysis/partial.hpp"
 #include "pf/analysis/region.hpp"
+#include "pf/faults/ffm.hpp"
 
 namespace pf::analysis {
 namespace {
@@ -76,6 +77,34 @@ TEST(RegionSweep, FaultFreeRegionIsEmpty) {
   const RegionMap map = sweep_region(spec);
   EXPECT_TRUE(map.observed_ffms().empty());
   EXPECT_TRUE(std::isnan(map.min_r(Ffm::kRDF1)));
+}
+
+TEST(RegionSweep, MinRIsNanForEveryAbsentFfm) {
+  // min_r must signal "never observed" with NaN — not 0, not an axis
+  // endpoint — for every FFM in the taxonomy, and for the solve-failure
+  // marker on a sweep with no failures.
+  SweepSpec spec = bitline_open_spec("1r1");
+  spec.r_axis = {20.0, 100.0};
+  const RegionMap map = sweep_region(spec);
+  for (Ffm ffm : faults::all_ffms()) {
+    EXPECT_TRUE(std::isnan(map.min_r(ffm))) << faults::ffm_name(ffm);
+    EXPECT_TRUE(map.u_band(ffm, 0).empty()) << faults::ffm_name(ffm);
+  }
+  EXPECT_TRUE(std::isnan(map.min_r(Ffm::kSolveFailed)));
+}
+
+TEST(RegionSweep, MinRIsFiniteOnlyForObservedFfms) {
+  const RegionMap map = sweep_region(bitline_open_spec("1r1"));
+  for (Ffm ffm : faults::all_ffms()) {
+    const double r = map.min_r(ffm);
+    if (map.count(ffm) > 0) {
+      EXPECT_FALSE(std::isnan(r)) << faults::ffm_name(ffm);
+      EXPECT_GE(r, map.spec().r_axis.front());
+      EXPECT_LE(r, map.spec().r_axis.back());
+    } else {
+      EXPECT_TRUE(std::isnan(r)) << faults::ffm_name(ffm);
+    }
+  }
 }
 
 TEST(RegionSweep, RenderShowsGlyphAndLegend) {

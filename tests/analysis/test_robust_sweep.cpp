@@ -1,0 +1,291 @@
+// End-to-end robustness of the sweep engine: solver faults injected at
+// chosen grid points must be retried under the policy, degrade to explicit
+// Ffm::kSolveFailed cells when unrecoverable, survive checkpoint/resume,
+// and never contaminate the fault classification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "pf/analysis/checkpoint.hpp"
+#include "pf/analysis/completion.hpp"
+#include "pf/analysis/partial.hpp"
+#include "pf/analysis/region.hpp"
+#include "pf/spice/fault_injection.hpp"
+
+namespace pf::analysis {
+namespace {
+
+using dram::Defect;
+using dram::DramParams;
+using dram::OpenSite;
+using faults::Ffm;
+using faults::Sos;
+using spice::testing::InjectedFault;
+using spice::testing::InjectionSpec;
+using spice::testing::ScopedFaultPlan;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.params = DramParams{};
+  spec.defect = Defect::open(OpenSite::kBitLineOuter, 1e6);
+  spec.sos = Sos::parse("1r1");
+  spec.r_axis = pf::logspace(1e6, 10e6, 3);
+  spec.u_axis = pf::linspace(0.0, 3.3, 4);
+  return spec;
+}
+
+InjectionSpec non_convergence(int fail_attempts) {
+  InjectionSpec s;
+  s.kind = InjectedFault::kNonConvergence;
+  s.fail_attempts = fail_attempts;
+  return s;
+}
+
+std::string temp_journal(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(RobustSweep, CleanSweepIsBitIdenticalUnderRobustDefaults) {
+  // No injected faults: the robust engine must reproduce the figures
+  // exactly, whatever the retry configuration (attempt 1 always runs the
+  // caller's options).
+  const SweepSpec spec = small_spec();
+  const RegionMap plain = sweep_region(spec);
+  SweepOptions heavy;
+  heavy.retry.max_attempts = 7;
+  heavy.retry.dt_initial_scale = 0.01;
+  const RegionMap robust = sweep_region(spec, heavy);
+  EXPECT_EQ(plain.to_csv(), robust.to_csv());
+  EXPECT_EQ(plain.render("t"), robust.render("t"));
+  EXPECT_EQ(plain.failed_points(), 0u);
+  EXPECT_DOUBLE_EQ(plain.observed_fraction(), 1.0);
+  EXPECT_EQ(robust.solve_stats().solved, 12u);
+  EXPECT_EQ(robust.solve_stats().retries, 0u);
+}
+
+TEST(RobustSweep, RetryRecoversTransientNonConvergence) {
+  const SweepSpec spec = small_spec();
+  const RegionMap clean = sweep_region(spec);
+
+  // 2 of 12 grid points (>= 5%) fail twice each, then recover: inside a
+  // 3-attempt budget every point must be solved, and the map must match the
+  // clean sweep bit for bit.
+  ScopedFaultPlan plan({{grid_point_key(0, 1), non_convergence(2)},
+                        {grid_point_key(2, 2), non_convergence(2)}});
+  SweepOptions opt;
+  opt.retry.max_attempts = 3;
+  const RegionMap map = sweep_region(spec, opt);
+
+  EXPECT_EQ(map.failed_points(), 0u);
+  EXPECT_EQ(map.to_csv(), clean.to_csv());
+  EXPECT_EQ(map.solve_stats().solved, 12u);
+  EXPECT_EQ(map.solve_stats().retries, 4u);  // 2 points x 2 failed attempts
+  EXPECT_EQ(spice::testing::injections_performed(), 4u);
+}
+
+TEST(RobustSweep, UnrecoverablePointsDegradeToSolveFailedCells) {
+  const SweepSpec spec = small_spec();
+  const size_t top = spec.r_axis.size() - 1;
+  // One failure in the top row's no-fault corner (u = 3.3) and one in the
+  // bottom row: both unrecoverable.
+  ScopedFaultPlan plan({{grid_point_key(3, top), non_convergence(100)},
+                        {grid_point_key(3, 0), non_convergence(100)}});
+  SweepOptions opt;
+  opt.retry.max_attempts = 2;
+  const RegionMap map = sweep_region(spec, opt);
+
+  // The sweep completed the full grid and marked exactly the injected
+  // points, each retried at most the configured budget.
+  EXPECT_EQ(map.failed_points(), 2u);
+  EXPECT_EQ(map.grid().at(3, top), Ffm::kSolveFailed);
+  EXPECT_EQ(map.grid().at(3, 0), Ffm::kSolveFailed);
+  EXPECT_EQ(map.solve_stats().failed, 2u);
+  EXPECT_EQ(map.solve_stats().solved, 10u);
+  EXPECT_EQ(spice::testing::injections_performed(), 4u);  // 2 points x budget
+  EXPECT_NEAR(map.observed_fraction(), 10.0 / 12.0, 1e-12);
+
+  // Failures carry structured context for sweep-level logs.
+  ASSERT_EQ(map.solve_stats().failure_log.size(), 2u);
+  const std::string& log0 = map.solve_stats().failure_log[0];
+  EXPECT_NE(log0.find("injected non-convergence"), std::string::npos) << log0;
+  EXPECT_NE(log0.find("defect="), std::string::npos) << log0;
+  EXPECT_NE(log0.find("R_def="), std::string::npos) << log0;
+  EXPECT_NE(log0.find("U="), std::string::npos) << log0;
+  EXPECT_NE(log0.find("SOS=1r1"), std::string::npos) << log0;
+  EXPECT_NE(log0.find("attempt 2/2"), std::string::npos) << log0;
+
+  // Failed cells are holes in the observation, not fault models.
+  for (Ffm f : map.observed_ffms()) EXPECT_NE(f, Ffm::kSolveFailed);
+  for (const auto& finding : identify_partial_faults(map))
+    EXPECT_NE(finding.ffm, Ffm::kSolveFailed);
+
+  // Rendering and CSV state the degradation explicitly.
+  const std::string art = map.render("degraded");
+  EXPECT_NE(art.find('x'), std::string::npos);
+  EXPECT_NE(art.find("x = solve failed"), std::string::npos) << art;
+  EXPECT_NE(art.find("2 of 12 grid points unsolved"), std::string::npos)
+      << art;
+  EXPECT_NE(map.to_csv().find("FAIL"), std::string::npos);
+
+  // RegionMap accessors over failed cells: min_r picks the lowest failed
+  // row; u_band isolates the failed cell without touching the real FFM's
+  // band on the same row.
+  EXPECT_DOUBLE_EQ(map.min_r(Ffm::kSolveFailed), spec.r_axis[0]);
+  const auto failed_band = map.u_band(Ffm::kSolveFailed, top);
+  ASSERT_FALSE(failed_band.empty());
+  EXPECT_NEAR(failed_band.hull().lo, spec.u_axis[3] - 0.55, 0.01);
+  const auto rdf1_band = map.u_band(Ffm::kRDF1, top);
+  ASSERT_FALSE(rdf1_band.empty());
+  EXPECT_LT(rdf1_band.hull().hi, failed_band.hull().lo)
+      << "the failed cell must not bleed into the real FFM's band";
+}
+
+TEST(RobustSweep, RecordFailuresOffRethrowsWithContext) {
+  const SweepSpec spec = small_spec();
+  ScopedFaultPlan plan({{grid_point_key(1, 1), non_convergence(100)}});
+  SweepOptions opt;
+  opt.retry.max_attempts = 2;
+  opt.record_failures = false;
+  try {
+    sweep_region(spec, opt);
+    FAIL() << "must rethrow the unrecoverable point";
+  } catch (const ConvergenceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("attempt 2/2"), std::string::npos) << what;
+    EXPECT_NE(what.find("R_def="), std::string::npos) << what;
+  }
+}
+
+TEST(RobustSweep, JournalResumeSkipsSolvedPointsAndRetriesFailedOnes) {
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_journal("resume_journal.csv");
+  std::remove(path.c_str());
+  const RegionMap clean = sweep_region(spec);
+
+  // First run: two unrecoverable points, journal armed.
+  {
+    ScopedFaultPlan plan({{grid_point_key(1, 0), non_convergence(100)},
+                          {grid_point_key(2, 2), non_convergence(100)}});
+    SweepOptions opt;
+    opt.retry.max_attempts = 2;
+    opt.journal_path = path;
+    const RegionMap map = sweep_region(spec, opt);
+    EXPECT_EQ(map.failed_points(), 2u);
+    EXPECT_EQ(map.solve_stats().resumed, 0u);
+  }
+
+  // Second run, faults gone (plan disarmed): only the 2 failed points are
+  // re-attempted, the other 10 come from the journal, and the final map is
+  // indistinguishable from a clean sweep.
+  {
+    SweepOptions opt;
+    opt.journal_path = path;
+    const RegionMap map = sweep_region(spec, opt);
+    EXPECT_EQ(map.solve_stats().resumed, 10u);
+    EXPECT_EQ(map.solve_stats().attempted, 2u);
+    EXPECT_EQ(map.failed_points(), 0u);
+    EXPECT_EQ(map.to_csv(), clean.to_csv());
+  }
+
+  // Third run: everything resumes, nothing is re-simulated.
+  {
+    SweepOptions opt;
+    opt.journal_path = path;
+    const RegionMap map = sweep_region(spec, opt);
+    EXPECT_EQ(map.solve_stats().resumed, 12u);
+    EXPECT_EQ(map.solve_stats().attempted, 0u);
+    EXPECT_EQ(map.to_csv(), clean.to_csv());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustSweep, JournalOfDifferentSweepIsRejected) {
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_journal("mismatch_journal.csv");
+  std::remove(path.c_str());
+  {
+    SweepOptions opt;
+    opt.journal_path = path;
+    sweep_region(spec, opt);
+  }
+  SweepSpec other = small_spec();
+  other.sos = Sos::parse("0w0");
+  SweepOptions opt;
+  opt.journal_path = path;
+  EXPECT_THROW(sweep_region(other, opt), pf::Error);
+  std::remove(path.c_str());
+}
+
+TEST(RobustSweep, TruncatedJournalRowIsDroppedNotFatal) {
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_journal("truncated_journal.csv");
+  std::remove(path.c_str());
+  {
+    SweepOptions opt;
+    opt.journal_path = path;
+    sweep_region(spec, opt);
+  }
+  // Simulate a crash mid-append: chop the last row in half.
+  {
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::trunc);
+    out << all.substr(0, all.size() - 7);
+  }
+  SweepOptions opt;
+  opt.journal_path = path;
+  const RegionMap map = sweep_region(spec, opt);
+  EXPECT_EQ(map.solve_stats().resumed, 11u);
+  EXPECT_EQ(map.solve_stats().attempted, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(RobustCompletion, UnsolvableProbesRejectCandidatesGracefully) {
+  // Every probe experiment of the completion search fails: the search must
+  // terminate with "not possible" and an honest solver_failures count
+  // instead of throwing away the catalogue run.
+  CompletionSpec spec;
+  spec.params = DramParams{};
+  spec.defect = Defect::open(OpenSite::kBitLineOuter, 1e6);
+  spec.base = faults::FaultPrimitive::parse("<1r1/0/0>");
+  spec.probe_r = {1e6};
+  spec.probe_u = {0.0, 1.65, 3.3};
+  spec.max_prefix_ops = 1;
+  spec.retry.max_attempts = 1;
+
+  std::map<std::string, InjectionSpec> plan;
+  for (double u : spec.probe_u)
+    plan[completion_key(1e6, u)] = non_convergence(1000000);
+  ScopedFaultPlan scoped(plan);
+
+  const CompletionResult result = search_completing_ops(spec);
+  EXPECT_FALSE(result.possible);
+  EXPECT_GT(result.candidates_evaluated, 0);
+  EXPECT_GT(result.solver_failures, 0u);
+}
+
+TEST(RobustCompletion, SearchStillSucceedsWhenFaultsAreRecoverable) {
+  CompletionSpec spec;
+  spec.params = DramParams{};
+  spec.defect = Defect::open(OpenSite::kBitLineOuter, 1e6);
+  spec.base = faults::FaultPrimitive::parse("<1r1/0/0>");
+  spec.probe_r = {10e6};
+  spec.probe_u = {0.0, 3.3};
+  spec.max_prefix_ops = 1;
+  spec.retry.max_attempts = 3;
+
+  // The first probe point hiccups twice, then recovers.
+  ScopedFaultPlan scoped(
+      {{completion_key(10e6, 0.0), non_convergence(2)}});
+  const CompletionResult result = search_completing_ops(spec);
+  EXPECT_TRUE(result.possible);
+  EXPECT_EQ(result.solver_failures, 0u);
+}
+
+}  // namespace
+}  // namespace pf::analysis

@@ -1,0 +1,185 @@
+// The solver fault-injection hook, the iteration/wall watchdogs and the
+// context carried by ConvergenceError — the spice-level half of the
+// robustness layer (the sweep-level half lives in analysis tests).
+#include <gtest/gtest.h>
+
+#include "pf/spice/fault_injection.hpp"
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/simulator.hpp"
+
+namespace pf::spice {
+namespace {
+
+using testing::InjectedFault;
+using testing::InjectionSpec;
+using testing::ScopedFaultPlan;
+
+/// A driven RC pair: enough structure for real Newton iterations.
+Netlist rc_circuit() {
+  Netlist n;
+  const NodeId vdd = n.add_rail("vdd", 3.3);
+  const NodeId x = n.node("x");
+  const NodeId y = n.node("y");
+  n.add_resistor("r1", vdd, x, 10e3);
+  n.add_resistor("r2", x, y, 10e3);
+  n.add_capacitor("c1", x, kGround, 30e-15);
+  n.add_capacitor("c2", y, kGround, 30e-15);
+  return n;
+}
+
+TEST(FaultInjection, DisarmedByDefault) {
+  EXPECT_FALSE(testing::armed());
+  EXPECT_EQ(testing::current_injection(), nullptr);
+}
+
+TEST(FaultInjection, InjectedNonConvergenceThrowsForArmedContextOnly) {
+  ScopedFaultPlan plan(
+      {{"pt", {InjectedFault::kNonConvergence, /*fail_attempts=*/1}}});
+  EXPECT_TRUE(testing::armed());
+
+  // A context not in the plan runs clean.
+  testing::set_context("other");
+  {
+    const Netlist n = rc_circuit();
+    Simulator sim(n);
+    EXPECT_NO_THROW(sim.run_for(1e-9));
+  }
+
+  testing::set_context("pt");
+  {
+    const Netlist n = rc_circuit();
+    Simulator sim(n);
+    try {
+      sim.run_for(1e-9);
+      FAIL() << "injection must throw";
+    } catch (const ConvergenceError& e) {
+      EXPECT_NE(std::string(e.what()).find("injected non-convergence"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(testing::injections_performed(), 1u);
+
+  // Second attempt of the same key: the point has recovered.
+  testing::set_context("pt");
+  {
+    const Netlist n = rc_circuit();
+    Simulator sim(n);
+    EXPECT_NO_THROW(sim.run_for(1e-9));
+    EXPECT_EQ(sim.stats().injected_faults, 0u);
+  }
+  testing::clear_context();
+}
+
+TEST(FaultInjection, SingularMatrixFlavourNamesThePivot) {
+  ScopedFaultPlan plan(
+      {{"pt", {InjectedFault::kSingularMatrix, /*fail_attempts=*/1}}});
+  testing::set_context("pt");
+  const Netlist n = rc_circuit();
+  Simulator sim(n);
+  try {
+    sim.run_for(1e-9);
+    FAIL() << "injection must throw";
+  } catch (const ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("singular"), std::string::npos);
+  }
+  testing::clear_context();
+}
+
+TEST(FaultInjection, SlowConvergenceTripsIterationWatchdogOnly) {
+  InjectionSpec slow;
+  slow.kind = InjectedFault::kSlowConvergence;
+  slow.fail_attempts = 1;
+  slow.slow_penalty_iters = 5000;
+  ScopedFaultPlan plan({{"pt", slow}});
+
+  // Without a watchdog the run completes; the stats are merely inflated.
+  testing::set_context("pt");
+  {
+    const Netlist n = rc_circuit();
+    Simulator sim(n);
+    EXPECT_NO_THROW(sim.run_for(1e-9));
+    EXPECT_GE(sim.stats().nr_iterations, 5000u);
+    EXPECT_EQ(sim.stats().injected_faults, 1u);
+  }
+
+  // With the budget below the penalty the watchdog converts slowness into a
+  // bounded, reportable failure. (fail_attempts=1 was consumed above, so
+  // re-arm a fresh plan.)
+  ScopedFaultPlan plan2({{"pt", slow}});
+  testing::set_context("pt");
+  {
+    const Netlist n = rc_circuit();
+    SimOptions opt;
+    opt.max_total_nr_iters = 1000;
+    Simulator sim(n, opt);
+    try {
+      sim.run_for(1e-9);
+      FAIL() << "watchdog must trip";
+    } catch (const ConvergenceError& e) {
+      EXPECT_NE(std::string(e.what()).find("iteration watchdog"),
+                std::string::npos);
+    }
+  }
+  testing::clear_context();
+}
+
+TEST(Watchdog, IterationBudgetBoundsNaturalRuns) {
+  const Netlist n = rc_circuit();
+  SimOptions opt;
+  opt.max_total_nr_iters = 3;  // absurdly small: trips within a few steps
+  Simulator sim(n, opt);
+  EXPECT_THROW(sim.run_for(1e-8), ConvergenceError);
+}
+
+TEST(Watchdog, WallClockBudgetBoundsLongRuns) {
+  const Netlist n = rc_circuit();
+  SimOptions opt;
+  opt.max_wall_seconds = 1e-9;  // any measurable work exceeds a nanosecond
+  Simulator sim(n, opt);
+  EXPECT_THROW(sim.run_for(1e-6), ConvergenceError);
+}
+
+TEST(Watchdog, ZeroBudgetsMeanUnlimited) {
+  const Netlist n = rc_circuit();
+  Simulator sim(n);  // defaults: both watchdogs off
+  EXPECT_NO_THROW(sim.run_for(1e-8));
+  EXPECT_GT(sim.stats().nr_iterations, 3u);
+}
+
+TEST(ConvergenceContext, NaturalFailureNamesTimeStepAndWorstNode) {
+  // vntol = 0 makes Newton formally unsatisfiable, so the step size
+  // collapses below dt_min — deterministically, on any circuit.
+  const Netlist n = rc_circuit();
+  SimOptions opt;
+  opt.vntol = 0.0;
+  Simulator sim(n, opt);
+  try {
+    sim.run_for(1e-9);
+    FAIL() << "must fail to converge";
+  } catch (const ConvergenceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failed to converge at t="), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("step h="), std::string::npos) << what;
+    EXPECT_NE(what.find("worst residual node '"), std::string::npos) << what;
+  }
+}
+
+TEST(ConvergenceContext, CeilingRunAppendsItsContextAndRestoresOptions) {
+  const Netlist n = rc_circuit();
+  SimOptions opt;
+  opt.vntol = 0.0;
+  Simulator sim(n, opt);
+  const double dt_max_before = sim.options().dt_max;
+  try {
+    sim.run_for_with_ceiling(1e-6, 1e-8);
+    FAIL() << "must fail to converge";
+  } catch (const ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("relaxed-ceiling"),
+              std::string::npos);
+  }
+  EXPECT_DOUBLE_EQ(sim.options().dt_max, dt_max_before);
+}
+
+}  // namespace
+}  // namespace pf::spice

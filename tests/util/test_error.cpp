@@ -1,0 +1,92 @@
+// Coverage for pf/util/error.hpp: the PF_CHECK / PF_CHECK_MSG message
+// format and the exception hierarchy every pf_* library relies on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pf/util/error.hpp"
+
+namespace pf {
+namespace {
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(PF_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PF_CHECK_MSG(true, "never " << "streamed"));
+}
+
+TEST(Error, CheckMessageCarriesFileLineAndExpression) {
+  try {
+    PF_CHECK(2 + 2 == 5);
+    FAIL() << "PF_CHECK must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("check failed: 2 + 2 == 5"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Error, CheckMsgAppendsStreamedMessage) {
+  const int x = -3;
+  try {
+    PF_CHECK_MSG(x > 0, "x=" << x << " must be positive");
+    FAIL() << "PF_CHECK_MSG must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check failed: x > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("— x=-3 must be positive"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, CheckMsgEvaluatesMessageLazily) {
+  // The streamed message must not be evaluated when the check passes.
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  PF_CHECK_MSG(true, "count=" << count());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(PF_CHECK_MSG(false, "count=" << count()), Error);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Error, HierarchyParseErrorIsCatchableAsError) {
+  const auto raise = [] { throw ParseError("bad notation"); };
+  EXPECT_THROW(raise(), ParseError);
+  try {
+    raise();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "bad notation");
+  }
+}
+
+TEST(Error, HierarchyConvergenceErrorIsCatchableAsError) {
+  const auto raise = [] { throw ConvergenceError("diverged"); };
+  EXPECT_THROW(raise(), ConvergenceError);
+  try {
+    raise();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "diverged");
+  }
+}
+
+TEST(Error, HierarchyRootsInStdRuntimeError) {
+  // Callers that only know the standard library still see pf failures.
+  try {
+    throw ConvergenceError("as runtime_error");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "as runtime_error");
+  }
+  // Siblings must not be confused with one another.
+  bool caught_as_parse = false;
+  try {
+    throw ConvergenceError("not a parse error");
+  } catch (const ParseError&) {
+    caught_as_parse = true;
+  } catch (const Error&) {
+  }
+  EXPECT_FALSE(caught_as_parse);
+}
+
+}  // namespace
+}  // namespace pf
