@@ -1,0 +1,152 @@
+// Scaling of the parallel sweep engine on a Figure 3-sized workload: the
+// 13x12 (R_def, U) grid of Open 4 under SOS 1r1, swept with 1/2/4/8
+// workers through ExecutionPolicy.threads.
+//
+// Two claims are measured:
+//   * throughput (points/sec) per thread count, with speedup vs the serial
+//     engine — meaningful only up to the machine's hardware concurrency,
+//     which is printed and dumped alongside so recorded numbers from a
+//     1-core container are not mistaken for an engine defect;
+//   * bit-identity: every parallel map must equal the serial map exactly
+//     (CSV dump and rendering) — the determinism guarantee of the engine,
+//     re-verified here on the full figure-sized grid.
+//
+// Set PF_DUMP_JSON=1 to write BENCH_parallel_scaling.json next to the
+// binary (mirrors the PF_DUMP_CSV convention of the figure benches).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "pf/analysis/region.hpp"
+
+namespace {
+
+using namespace pf;
+
+analysis::SweepSpec fig3_spec() {
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.defect = dram::Defect::open(dram::OpenSite::kBitLineOuter, 1e6);
+  spec.sos = faults::Sos::parse("1r1");
+  spec.r_axis = analysis::default_r_axis(13);
+  spec.u_axis = analysis::default_u_axis(spec.params, 12);
+  return spec;
+}
+
+struct ScalingPoint {
+  int threads = 1;
+  double seconds = 0.0;
+  double points_per_sec = 0.0;
+  double speedup = 1.0;
+  bool bit_identical = true;
+};
+
+void print_reproduction() {
+  const analysis::SweepSpec spec = fig3_spec();
+  const size_t n_points = spec.r_axis.size() * spec.u_axis.size();
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  analysis::sweep_region(spec);  // untimed warm-up (cold caches, allocator)
+  const auto t0 = std::chrono::steady_clock::now();
+  const analysis::RegionMap serial = analysis::sweep_region(spec);
+  const double serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::string serial_csv = serial.to_csv();
+
+  std::vector<ScalingPoint> points;
+  for (const int threads : {1, 2, 4, 8}) {
+    analysis::ExecutionPolicy policy;
+    policy.threads = threads;
+    const auto t1 = std::chrono::steady_clock::now();
+    const analysis::RegionMap map = analysis::sweep_region(spec, policy);
+    ScalingPoint p;
+    p.threads = threads;
+    p.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+    p.points_per_sec = static_cast<double>(n_points) / p.seconds;
+    p.speedup = serial_s / p.seconds;
+    p.bit_identical = map.to_csv() == serial_csv &&
+                      map.render("t") == serial.render("t");
+    points.push_back(p);
+  }
+
+  std::printf("parallel sweep scaling, %zux%zu grid (%zu points), "
+              "hardware concurrency %u:\n",
+              spec.r_axis.size(), spec.u_axis.size(), n_points, hw);
+  std::printf("  serial baseline  %7.2f s  %7.1f points/sec\n", serial_s,
+              static_cast<double>(n_points) / serial_s);
+  for (const ScalingPoint& p : points)
+    std::printf("  %d thread%s %7.2f s  %7.1f points/sec  speedup %.2fx  %s\n",
+                p.threads, p.threads == 1 ? "   " : "s  ", p.seconds,
+                p.points_per_sec, p.speedup,
+                p.bit_identical ? "bit-identical" : "MAP DIFFERS");
+  if (hw < 4)
+    std::printf("  (only %u hardware thread%s available: speedups near 1.0x "
+                "are the expected ceiling on this machine)\n",
+                hw, hw == 1 ? "" : "s");
+  std::printf("\n");
+
+  if (std::getenv("PF_DUMP_JSON") != nullptr) {
+    std::ofstream out("BENCH_parallel_scaling.json");
+    out << "{\n"
+        << "  \"grid\": \"" << spec.r_axis.size() << "x"
+        << spec.u_axis.size() << "\",\n"
+        << "  \"grid_points\": " << n_points << ",\n"
+        << "  \"defect\": \"Open 4 (bit line outer)\",\n"
+        << "  \"sos\": \"" << spec.sos.to_string() << "\",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"serial_seconds\": " << serial_s << ",\n"
+        << "  \"serial_points_per_sec\": "
+        << static_cast<double>(n_points) / serial_s << ",\n"
+        << "  \"runs\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ScalingPoint& p = points[i];
+      out << "    {\"threads\": " << p.threads
+          << ", \"seconds\": " << p.seconds
+          << ", \"points_per_sec\": " << p.points_per_sec
+          << ", \"speedup_vs_serial\": " << p.speedup
+          << ", \"bit_identical\": " << (p.bit_identical ? "true" : "false")
+          << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote BENCH_parallel_scaling.json\n");
+  }
+}
+
+void BM_ParallelSweep(benchmark::State& state) {
+  analysis::SweepSpec spec = fig3_spec();
+  // A figure-sized sweep per iteration is too slow for a benchmark loop;
+  // use a quarter-resolution grid with the same defect/SOS.
+  spec.r_axis = analysis::default_r_axis(7);
+  spec.u_axis = analysis::default_u_axis(spec.params, 6);
+  analysis::ExecutionPolicy policy;
+  policy.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto map = analysis::sweep_region(spec, policy);
+    benchmark::DoNotOptimize(map.failed_points());
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(spec.r_axis.size() * spec.u_axis.size() *
+                          state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+// UseRealTime so the points/s rate reflects wall clock, not the summed CPU
+// time of the pool (which would overstate throughput on a loaded machine).
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -45,7 +45,7 @@ std::map<std::string, InjectionSpec> faulty_points(int fail_attempts) {
 }
 
 double time_sweep_ms(const analysis::SweepSpec& spec,
-                     const analysis::SweepOptions& opt,
+                     const analysis::ExecutionPolicy& opt,
                      analysis::SweepStats* stats = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
   const analysis::RegionMap map = analysis::sweep_region(spec, opt);
@@ -56,7 +56,7 @@ double time_sweep_ms(const analysis::SweepSpec& spec,
 
 void print_reproduction() {
   const analysis::SweepSpec spec = small_spec();
-  analysis::SweepOptions opt;
+  analysis::ExecutionPolicy opt;
   opt.retry.max_attempts = 3;
 
   time_sweep_ms(spec, opt);  // untimed warm-up so the clean run is not cold
@@ -112,7 +112,7 @@ void print_reproduction() {
 
 void BM_CleanSweepRobustEngine(benchmark::State& state) {
   const analysis::SweepSpec spec = small_spec();
-  analysis::SweepOptions opt;
+  analysis::ExecutionPolicy opt;
   opt.retry.max_attempts = static_cast<int>(state.range(0));
   for (auto _ : state) {
     const auto map = analysis::sweep_region(spec, opt);
@@ -124,7 +124,7 @@ BENCHMARK(BM_CleanSweepRobustEngine)->Arg(1)->Arg(3)
 
 void BM_SweepWithRecoverableFaults(benchmark::State& state) {
   const analysis::SweepSpec spec = small_spec();
-  analysis::SweepOptions opt;
+  analysis::ExecutionPolicy opt;
   opt.retry.max_attempts = 3;
   for (auto _ : state) {
     ScopedFaultPlan plan(faulty_points(/*fail_attempts=*/1));
@@ -136,7 +136,7 @@ BENCHMARK(BM_SweepWithRecoverableFaults)->Unit(benchmark::kMillisecond);
 
 void BM_SweepWithUnrecoverableFaults(benchmark::State& state) {
   const analysis::SweepSpec spec = small_spec();
-  analysis::SweepOptions opt;
+  analysis::ExecutionPolicy opt;
   opt.retry.max_attempts = 3;
   for (auto _ : state) {
     ScopedFaultPlan plan(faulty_points(/*fail_attempts=*/1000));

@@ -1,18 +1,24 @@
 // Defect explorer: interactive reproduction of the paper's fault-analysis
 // method for any open defect and SOS.
 //
-// Usage: defect_explorer [open_number] [sos] [r_points] [u_points] [journal]
+// Usage: defect_explorer [--threads N] [open_number] [sos] [r_points]
+//                        [u_points] [journal]
 //   defect_explorer                 # Open 4, SOS "1r1"  (paper Figure 3a)
 //   defect_explorer 4 "1v [w0BL] r1v"   # Figure 3(b)
 //   defect_explorer 1 "0r0" 13 12       # Figure 4(a) at high resolution
 //   defect_explorer 9 "1r1" 13 12 /tmp/wl   # checkpoint each sweep to
 //       /tmp/wl-line<i>.csv; rerunning resumes instead of re-simulating
+//   defect_explorer --threads 8 1 "0r0" 13 12   # same map, 8 sweep workers
+//       (--threads 0 = one per hardware thread; results are bit-identical
+//       for any thread count, only wall-clock changes)
 //
 // Prints the (R_def, U) region map, the partial-fault classification per
 // observed FFM, and — for each partial fault — the completing operations
 // found by the search.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "pf/analysis/completion.hpp"
 #include "pf/analysis/partial.hpp"
@@ -38,11 +44,26 @@ pf::dram::OpenSite site_of(int number) {
 
 int main(int argc, char** argv) {
   using namespace pf;
-  const int open_number = argc > 1 ? std::atoi(argv[1]) : 4;
-  const std::string sos_text = argc > 2 ? argv[2] : "1r1";
-  const size_t r_points = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 9;
-  const size_t u_points = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 10;
-  const std::string journal_prefix = argc > 5 ? argv[5] : "";
+  int threads = 1;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads needs a worker count\n");
+        return 1;
+      }
+      threads = std::atoi(argv[++i]);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int open_number = args.size() > 0 ? std::atoi(args[0]) : 4;
+  const std::string sos_text = args.size() > 1 ? args[1] : "1r1";
+  const size_t r_points =
+      args.size() > 2 ? std::strtoul(args[2], nullptr, 10) : 9;
+  const size_t u_points =
+      args.size() > 3 ? std::strtoul(args[3], nullptr, 10) : 10;
+  const std::string journal_prefix = args.size() > 4 ? args[4] : "";
 
   analysis::SweepSpec spec;
   spec.params = dram::DramParams{};
@@ -61,11 +82,12 @@ int main(int argc, char** argv) {
     std::printf("analyzing %s, floating line '%s', SOS %s ...\n",
                 dram::defect_name(spec.defect).c_str(), lines[li].label.c_str(),
                 spec.sos.to_string().c_str());
-    analysis::SweepOptions sweep_opt;
+    analysis::ExecutionPolicy exec;
+    exec.threads = threads;
     if (!journal_prefix.empty())
-      sweep_opt.journal_path =
+      exec.journal_path =
           journal_prefix + "-line" + std::to_string(li) + ".csv";
-    const analysis::RegionMap map = analysis::sweep_region(spec, sweep_opt);
+    const analysis::RegionMap map = analysis::sweep_region(spec, exec);
     std::printf("%s\n", map.render("FP regions in the (R_def, U) plane").c_str());
     const analysis::SweepStats& stats = map.solve_stats();
     if (stats.resumed > 0 || stats.failed > 0 || stats.retries > 0)
@@ -84,6 +106,7 @@ int main(int argc, char** argv) {
       if (!finding.partial) continue;
 
       analysis::CompletionSpec cspec;
+      cspec.exec.threads = threads;
       cspec.params = spec.params;
       cspec.defect = spec.defect;
       cspec.floating_line_index = li;

@@ -20,9 +20,17 @@
 // throws instead of silently mixing grids. DramParams are not fingerprinted:
 // a journal is only as valid as the parameter set it was recorded under. A
 // truncated final row (crash mid-write) is tolerated and dropped.
+//
+// Concurrency: append() is the journal's single-writer path — a mutex
+// serializes the workers of a parallel sweep, and every row is flushed
+// before the mutex is released, so a crash loses at most the row being
+// written. Rows may therefore appear in any grid order; load() keys rows by
+// (iy, ix) and does not care. A journal written by an N-thread run resumes
+// correctly in a serial run and vice versa.
 #pragma once
 
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,10 +61,12 @@ class SweepJournal {
   /// empty. Throws pf::Error when the file cannot be opened.
   SweepJournal(const std::string& path, const SweepSpec& spec);
 
-  /// Append one completed grid point and flush.
+  /// Append one completed grid point and flush. Safe to call from multiple
+  /// sweep workers concurrently (internally serialized).
   void append(const Entry& entry, double r_def, double u);
 
  private:
+  std::mutex mu_;
   std::ofstream out_;
 };
 

@@ -25,14 +25,38 @@ struct CompletionSpec {
   std::vector<double> probe_r;       ///< R_def rows the candidate must cover
   std::vector<double> probe_u;       ///< floating voltages it must cover
   int max_prefix_ops = 3;
-  RetryPolicy retry;                 ///< per-probe solver retry/backoff
+  /// Execution of the probe experiments: exec.retry is the per-probe solver
+  /// retry/backoff; exec.threads > 1 evaluates each candidate's probe grid
+  /// in parallel (the verdict — accepted, rejected, completed FP — is
+  /// thread-count independent; journal/record_failures are ignored here).
+  ExecutionPolicy exec;
+
+  /// Deprecated PR 1 knob; when customized it overrides exec.retry.
+  [[deprecated("collapsed into CompletionSpec::exec.retry")]]
+  RetryPolicy retry;
+
+  // Spelled-out special members so the deprecation warns at user access to
+  // `retry` only, not in every synthesized constructor.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  CompletionSpec() = default;
+  CompletionSpec(const CompletionSpec&) = default;
+  CompletionSpec(CompletionSpec&&) = default;
+  CompletionSpec& operator=(const CompletionSpec&) = default;
+  CompletionSpec& operator=(CompletionSpec&&) = default;
+  ~CompletionSpec() = default;
+#pragma GCC diagnostic pop
 };
 
 struct CompletionResult {
   bool possible = false;
   faults::FaultPrimitive completed;  ///< base with the completing bracket
   int candidates_evaluated = 0;
-  uint64_t sos_runs = 0;             ///< electrical experiments performed
+  /// Electrical experiments performed. Exact for serial runs; with
+  /// exec.threads > 1 probes already in flight when a candidate is
+  /// rejected still count, so the tally may differ slightly between
+  /// thread counts (the verdict never does).
+  uint64_t sos_runs = 0;
   /// Probe experiments unsolved after retries. The search degrades
   /// gracefully: an unsolvable probe rejects the candidate (a completion
   /// must be *demonstrated*, never assumed), so a nonzero count means

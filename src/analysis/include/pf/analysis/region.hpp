@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "pf/analysis/robust.hpp"
+#include "pf/analysis/execution.hpp"
 #include "pf/analysis/sos_runner.hpp"
 #include "pf/util/grid.hpp"
 #include "pf/util/interval.hpp"
@@ -40,18 +40,27 @@ struct SweepStats {
   std::vector<std::string> failure_log;  ///< context, one entry per failure
 };
 
-/// Robustness knobs of sweep_region.
+/// PR 1's robustness knobs, collapsed into ExecutionPolicy. Kept one
+/// release as a forwarding shim for the deprecated sweep_region overload
+/// and the legacy Table1Options fields; see CHANGES.md for the removal
+/// note.
 struct SweepOptions {
   RetryPolicy retry;
-  /// Record unrecoverable points as Ffm::kSolveFailed cells (graceful
-  /// degradation). When false the first unrecoverable point rethrows with
-  /// full experiment context and the sweep result is discarded.
   bool record_failures = true;
-  /// Non-empty: append every completed point to this CSV journal (see
-  /// pf/analysis/checkpoint.hpp) and — when `resume` — skip points an
-  /// earlier interrupted run already solved.
   std::string journal_path;
   bool resume = true;
+
+  bool operator==(const SweepOptions&) const = default;
+
+  /// The equivalent ExecutionPolicy (serial; threads stay at 1).
+  ExecutionPolicy to_policy() const {
+    ExecutionPolicy policy;
+    policy.retry = retry;
+    policy.record_failures = record_failures;
+    policy.journal_path = journal_path;
+    policy.resume = resume;
+    return policy;
+  }
 };
 
 class RegionMap {
@@ -97,12 +106,20 @@ class RegionMap {
   SweepStats stats_;
 };
 
-/// Run the sweep (|r_axis| * |u_axis| SOS experiments). Each experiment is
-/// retried under options.retry; unrecoverable points degrade to
-/// Ffm::kSolveFailed cells instead of aborting the sweep (unless
-/// options.record_failures is off), and a journal path enables
-/// checkpoint/resume for long runs.
+/// Run the sweep (|r_axis| * |u_axis| SOS experiments) under the execution
+/// policy: grid points are dispatched to policy.threads workers (each
+/// experiment on its own freshly built column — no shared solver state),
+/// retried under policy.retry, degraded to Ffm::kSolveFailed cells when
+/// unrecoverable (unless policy.record_failures is off), journaled for
+/// checkpoint/resume when policy.journal_path is set, and merged by grid
+/// index. Any thread count returns a bit-identical RegionMap: same grid,
+/// same SweepStats totals, same index-ordered failure_log.
+RegionMap sweep_region(const SweepSpec& spec,
+                       const ExecutionPolicy& policy = {});
+
+/// Deprecated PR 1 entry point; forwards to the ExecutionPolicy overload.
+[[deprecated("use sweep_region(spec, ExecutionPolicy) — SweepOptions is a "
+             "one-release compatibility shim")]]
 RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options);
-RegionMap sweep_region(const SweepSpec& spec);
 
 }  // namespace pf::analysis

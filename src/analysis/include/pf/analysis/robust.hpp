@@ -39,6 +39,8 @@ struct RetryPolicy {
   /// pathological grid point instead of letting it hang a sweep.
   uint64_t watchdog_nr_iters = 1000000;  ///< Newton budget (0 = off)
   double watchdog_wall_seconds = 0.0;    ///< wall budget [s] (0 = off)
+
+  bool operator==(const RetryPolicy&) const = default;
 };
 
 /// Identification of one experiment, used for failure messages and as the

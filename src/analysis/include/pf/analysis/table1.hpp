@@ -51,13 +51,34 @@ struct Table1Options {
   double r_min_wordline = 100e3;
   double r_max_wordline = 1e9;
 
-  /// Robustness of the underlying sweeps and completion probes: failed grid
-  /// points degrade to Ffm::kSolveFailed cells (never classified as FFMs),
-  /// and unsolvable completion probes reject candidates instead of aborting
-  /// the catalogue. `sweep.journal_path` is used as a path *prefix* here —
-  /// one journal per (site, line, SOS) sweep.
+  /// Execution of the underlying sweeps and completion probes: exec.threads
+  /// workers per sweep/probe grid (Table 1 rows are thread-count
+  /// independent), exec.retry for every experiment, failed grid points
+  /// degrading to Ffm::kSolveFailed cells (never classified as FFMs), and
+  /// unsolvable completion probes rejecting candidates instead of aborting
+  /// the catalogue. `exec.journal_path` is used as a path *prefix* here —
+  /// one journal per (site, line, SOS) sweep. `exec.progress` reports each
+  /// sweep's points individually.
+  ExecutionPolicy exec;
+
+  /// Deprecated PR 1 knobs; when customized they override the matching
+  /// exec fields (sweep first, then completion_retry for exec.retry).
+  [[deprecated("collapsed into Table1Options::exec")]]
   SweepOptions sweep;
+  [[deprecated("collapsed into Table1Options::exec.retry")]]
   RetryPolicy completion_retry;
+
+  // Spelled-out special members so the deprecation warns at user access to
+  // the legacy fields only, not in every synthesized constructor.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Table1Options() = default;
+  Table1Options(const Table1Options&) = default;
+  Table1Options(Table1Options&&) = default;
+  Table1Options& operator=(const Table1Options&) = default;
+  Table1Options& operator=(Table1Options&&) = default;
+  ~Table1Options() = default;
+#pragma GCC diagnostic pop
 };
 
 /// The eight base sensitizing operation sequences of the #O <= 1 FP space.

@@ -105,6 +105,7 @@ SweepJournal::SweepJournal(const std::string& path, const SweepSpec& spec) {
 }
 
 void SweepJournal::append(const Entry& entry, double r_def, double u) {
+  std::lock_guard<std::mutex> lock(mu_);
   out_ << entry.iy << ',' << entry.ix << ',' << r_def << ',' << u << ','
        << (entry.ffm == faults::Ffm::kUnknown ? "-"
                                               : faults::ffm_name(entry.ffm))

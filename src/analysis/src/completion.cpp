@@ -1,6 +1,7 @@
 #include "pf/analysis/completion.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "pf/util/log.hpp"
 
@@ -50,6 +51,17 @@ namespace {
 /// the completing prefix must establish or preserve).
 int required_entry_state(const Sos& base) { return base.initial_victim; }
 
+/// The effective execution policy: exec, unless the deprecated PR 1
+/// CompletionSpec::retry was customized, which then overrides exec.retry.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ExecutionPolicy effective_exec(const CompletionSpec& spec) {
+  ExecutionPolicy policy = spec.exec;
+  if (!(spec.retry == RetryPolicy{})) policy.retry = spec.retry;
+  return policy;
+}
+#pragma GCC diagnostic pop
+
 struct Candidate {
   std::vector<Op> prefix;
   bool keeps_init = false;
@@ -97,6 +109,8 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
   PF_CHECK_MSG(!spec.probe_r.empty() && !spec.probe_u.empty(),
                "completion search needs probe rows and voltages");
   CompletionResult result;
+  const ExecutionPolicy policy = effective_exec(spec);
+  const ParallelGridRunner runner(policy);
   const Sos& base = spec.base.sos;
   const int entry_state = required_entry_state(base);
   const auto lines = dram::floating_lines_for(spec.defect, spec.params);
@@ -117,41 +131,50 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
       sos.ops = cand.prefix;
       sos.ops.insert(sos.ops.end(), base.ops.begin(), base.ops.end());
 
-      bool accepted = true;
-      for (double r : spec.probe_r) {
+      // The candidate is accepted iff it reproduces the base <F, R> at
+      // EVERY probe point — an order-independent predicate, so the probe
+      // grid fans out over the worker pool. `rejected` cancels the probes
+      // still pending (serial runs reproduce PR 1's early-exit counts
+      // exactly; parallel runs may charge a few in-flight extras).
+      std::atomic<bool> rejected{false};
+      std::atomic<uint64_t> runs{0};
+      std::atomic<uint64_t> failures{0};
+      const size_t n_u = spec.probe_u.size();
+      runner.run(spec.probe_r.size() * n_u, [&](size_t k, int /*worker*/) {
+        if (rejected.load(std::memory_order_relaxed)) return;
+        const double r = spec.probe_r[k / n_u];
+        const double u = spec.probe_u[k % n_u];
         dram::Defect defect = spec.defect;
         defect.resistance = r;
-        for (double u : spec.probe_u) {
-          ++result.sos_runs;
-          ExperimentContext ctx;
-          ctx.key = completion_key(r, u);
-          ctx.defect = dram::defect_name(spec.defect);
-          ctx.line = line.label;
-          ctx.r_def = r;
-          ctx.u = u;
-          ctx.sos = sos.to_string();
-          const RobustOutcome ro = run_sos_robust(
-              spec.params, defect, &line, u, sos, spec.retry, ctx,
-              is_state_fault);
-          if (!ro.solved) {
-            // An unsolvable probe cannot demonstrate the completion; reject
-            // the candidate and keep searching instead of aborting the
-            // whole catalogue run.
-            ++result.solver_failures;
-            accepted = false;
-            break;
-          }
-          const SosOutcome& out = ro.outcome;
-          if (!out.faulty ||
-              out.final_state != spec.base.faulty_state ||
-              out.read_result != spec.base.read_result) {
-            accepted = false;
-            break;
-          }
+        runs.fetch_add(1, std::memory_order_relaxed);
+        ExperimentContext ctx;
+        ctx.key = completion_key(r, u);
+        ctx.defect = dram::defect_name(spec.defect);
+        ctx.line = line.label;
+        ctx.r_def = r;
+        ctx.u = u;
+        ctx.sos = sos.to_string();
+        const RobustOutcome ro = run_sos_robust(
+            spec.params, defect, &line, u, sos, policy.retry, ctx,
+            is_state_fault);
+        if (!ro.solved) {
+          // An unsolvable probe cannot demonstrate the completion; reject
+          // the candidate and keep searching instead of aborting the
+          // whole catalogue run.
+          failures.fetch_add(1, std::memory_order_relaxed);
+          rejected.store(true, std::memory_order_relaxed);
+          return;
         }
-        if (!accepted) break;
-      }
-      if (accepted) {
+        const SosOutcome& out = ro.outcome;
+        if (!out.faulty ||
+            out.final_state != spec.base.faulty_state ||
+            out.read_result != spec.base.read_result) {
+          rejected.store(true, std::memory_order_relaxed);
+        }
+      });
+      result.sos_runs += runs.load();
+      result.solver_failures += failures.load();
+      if (!rejected.load()) {
         result.possible = true;
         result.completed.sos = sos;
         result.completed.faulty_state = spec.base.faulty_state;
@@ -215,7 +238,7 @@ CompletionResult search_completing_ops_with_fallback(
       ctx.sos = spec.base.sos.to_string();
       const RobustOutcome ro = run_sos_robust(spec.params, probe, &line,
                                               u_mid, spec.base.sos,
-                                              spec.retry, ctx);
+                                              effective_exec(spec).retry, ctx);
       ++total.sos_runs;
       if (!ro.solved) {
         ++total.solver_failures;

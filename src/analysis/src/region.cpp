@@ -154,7 +154,20 @@ std::string RegionMap::to_csv() const {
   return os.str();
 }
 
-RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options) {
+namespace {
+
+/// Worker-side record of one grid point, merged into the RegionMap and
+/// SweepStats in grid-index order after all workers join.
+struct PointOutcome {
+  Ffm ffm = Ffm::kUnknown;
+  int attempts = 0;
+  bool solved = false;
+  std::string error;
+};
+
+}  // namespace
+
+RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
   PF_CHECK(!spec.r_axis.empty() && !spec.u_axis.empty());
   const auto lines = dram::floating_lines_for(spec.defect, spec.params);
   PF_CHECK_MSG(spec.floating_line_index < lines.size(),
@@ -169,58 +182,83 @@ RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options) {
   SweepStats stats;
   Grid2D<char> done(spec.u_axis, spec.r_axis, 0);
   std::unique_ptr<SweepJournal> journal;
-  if (!options.journal_path.empty()) {
-    if (options.resume) {
+  if (!policy.journal_path.empty()) {
+    if (policy.resume) {
       for (const SweepJournal::Entry& e :
-           SweepJournal::load(options.journal_path, spec)) {
+           SweepJournal::load(policy.journal_path, spec)) {
         grid.at(e.ix, e.iy) = e.ffm;
         done.at(e.ix, e.iy) = 1;
         ++stats.resumed;
       }
       if (stats.resumed > 0)
         PF_LOG_INFO("resumed " << stats.resumed << " solved points from "
-                               << options.journal_path);
+                               << policy.journal_path);
     }
-    journal = std::make_unique<SweepJournal>(options.journal_path, spec);
+    journal = std::make_unique<SweepJournal>(policy.journal_path, spec);
   }
 
-  for (size_t iy = 0; iy < spec.r_axis.size(); ++iy) {
+  // Pending points in row-major grid order; index k of `results` belongs to
+  // flat grid index pending[k], whatever worker solves it.
+  const size_t width = spec.u_axis.size();
+  std::vector<size_t> pending;
+  pending.reserve(width * spec.r_axis.size());
+  for (size_t iy = 0; iy < spec.r_axis.size(); ++iy)
+    for (size_t ix = 0; ix < width; ++ix)
+      if (!done.at(ix, iy)) pending.push_back(iy * width + ix);
+
+  std::vector<PointOutcome> results(pending.size());
+  const ParallelGridRunner runner(policy);
+  runner.run(pending.size(), [&](size_t k, int /*worker*/) {
+    const size_t iy = pending[k] / width;
+    const size_t ix = pending[k] % width;
     dram::Defect defect = spec.defect;
     defect.resistance = spec.r_axis[iy];
-    for (size_t ix = 0; ix < spec.u_axis.size(); ++ix) {
-      if (done.at(ix, iy)) continue;
-      ExperimentContext ctx;
-      ctx.key = grid_point_key(ix, iy);
-      ctx.defect = defect_label;
-      ctx.line = line.label;
-      ctx.r_def = spec.r_axis[iy];
-      ctx.u = spec.u_axis[ix];
-      ctx.sos = sos_label;
-      const RobustOutcome ro =
-          run_sos_robust(spec.params, defect, &line, spec.u_axis[ix],
-                         spec.sos, options.retry, ctx);
-      ++stats.attempted;
-      stats.retries += static_cast<size_t>(ro.attempts > 0 ? ro.attempts - 1
-                                                           : 0);
-      if (ro.solved) {
-        ++stats.solved;
-        if (ro.outcome.faulty) grid.at(ix, iy) = ro.outcome.ffm;
-      } else {
-        if (!options.record_failures) throw ConvergenceError(ro.error);
-        grid.at(ix, iy) = Ffm::kSolveFailed;
-        ++stats.failed;
-        stats.failure_log.push_back(ro.error);
-      }
-      if (journal) {
-        SweepJournal::Entry e;
-        e.ix = ix;
-        e.iy = iy;
-        e.ffm = grid.at(ix, iy);
-        e.attempts = ro.attempts;
-        journal->append(e, spec.r_axis[iy], spec.u_axis[ix]);
-      }
+    ExperimentContext ctx;
+    ctx.key = grid_point_key(ix, iy);
+    ctx.defect = defect_label;
+    ctx.line = line.label;
+    ctx.r_def = spec.r_axis[iy];
+    ctx.u = spec.u_axis[ix];
+    ctx.sos = sos_label;
+    // Each experiment builds its own column/simulator inside run_sos — the
+    // only state shared between workers is the journal (self-serializing).
+    const RobustOutcome ro =
+        run_sos_robust(spec.params, defect, &line, spec.u_axis[ix], spec.sos,
+                       policy.retry, ctx);
+    PointOutcome& out = results[k];
+    out.attempts = ro.attempts;
+    out.solved = ro.solved;
+    if (ro.solved) {
+      if (ro.outcome.faulty) out.ffm = ro.outcome.ffm;
+    } else {
+      if (!policy.record_failures) throw ConvergenceError(ro.error);
+      out.ffm = Ffm::kSolveFailed;
+      out.error = ro.error;
     }
-    PF_LOG_DEBUG("sweep row R_def=" << spec.r_axis[iy] << " done");
+    if (journal) {
+      SweepJournal::Entry e;
+      e.ix = ix;
+      e.iy = iy;
+      e.ffm = out.ffm;
+      e.attempts = ro.attempts;
+      journal->append(e, spec.r_axis[iy], spec.u_axis[ix]);
+    }
+  });
+
+  // Deterministic index-ordered merge: the grid cells and the stats
+  // (including failure_log order) are independent of worker scheduling.
+  for (size_t k = 0; k < pending.size(); ++k) {
+    const PointOutcome& out = results[k];
+    grid.at(pending[k] % width, pending[k] / width) = out.ffm;
+    ++stats.attempted;
+    stats.retries +=
+        static_cast<size_t>(out.attempts > 0 ? out.attempts - 1 : 0);
+    if (out.solved) {
+      ++stats.solved;
+    } else {
+      ++stats.failed;
+      stats.failure_log.push_back(out.error);
+    }
   }
   if (stats.failed > 0)
     PF_LOG_INFO("sweep degraded: " << stats.failed << " of "
@@ -229,8 +267,11 @@ RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options) {
   return RegionMap(spec, std::move(grid), std::move(stats));
 }
 
-RegionMap sweep_region(const SweepSpec& spec) {
-  return sweep_region(spec, SweepOptions{});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options) {
+  return sweep_region(spec, options.to_policy());
 }
+#pragma GCC diagnostic pop
 
 }  // namespace pf::analysis

@@ -19,8 +19,31 @@ std::vector<Sos> base_soses() {
   return out;
 }
 
+namespace {
+
+/// The effective execution policy: options.exec with the deprecated PR 1
+/// fields folded in when they were customized.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ExecutionPolicy effective_exec(const Table1Options& options) {
+  ExecutionPolicy policy = options.exec;
+  if (!(options.sweep == SweepOptions{})) {
+    policy.retry = options.sweep.retry;
+    policy.record_failures = options.sweep.record_failures;
+    policy.journal_path = options.sweep.journal_path;
+    policy.resume = options.sweep.resume;
+  }
+  if (!(options.completion_retry == RetryPolicy{}))
+    policy.retry = options.completion_retry;
+  return policy;
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+
 std::vector<Table1Row> generate_table1(const dram::DramParams& params,
                                        const Table1Options& options) {
+  const ExecutionPolicy exec = effective_exec(options);
   std::vector<Table1Row> rows;
   for (OpenSite site : options.sites) {
     const dram::Defect proto = dram::Defect::open(site, 1e6);
@@ -44,14 +67,14 @@ std::vector<Table1Row> generate_table1(const dram::DramParams& params,
         spec.r_axis = pf::logspace(r_min, r_max, options.r_points);
         spec.u_axis =
             pf::linspace(lines[li].min_v, lines[li].max_v, options.u_points);
-        SweepOptions sweep_opt = options.sweep;
-        if (!sweep_opt.journal_path.empty())
-          sweep_opt.journal_path += "-open" +
-                                    std::to_string(dram::open_number(site)) +
-                                    "-line" + std::to_string(li) + "-sos" +
-                                    std::to_string(sos_index) + ".csv";
+        ExecutionPolicy sweep_exec = exec;
+        if (!sweep_exec.journal_path.empty())
+          sweep_exec.journal_path += "-open" +
+                                     std::to_string(dram::open_number(site)) +
+                                     "-line" + std::to_string(li) + "-sos" +
+                                     std::to_string(sos_index) + ".csv";
         ++sos_index;
-        const RegionMap map = sweep_region(spec, sweep_opt);
+        const RegionMap map = sweep_region(spec, sweep_exec);
         if (map.failed_points() > 0)
           PF_LOG_INFO("table1 sweep "
                       << dram::defect_name(proto) << " / " << lines[li].label
@@ -88,7 +111,8 @@ std::vector<Table1Row> generate_table1(const dram::DramParams& params,
           cspec.probe_u = pf::linspace(lines[li].min_v, lines[li].max_v,
                                        options.probe_u_points);
           cspec.max_prefix_ops = options.max_prefix_ops;
-          cspec.retry = options.completion_retry;
+          cspec.exec = exec;
+          cspec.exec.journal_path.clear();  // probes are not journaled
           const CompletionResult comp = search_completing_ops_with_fallback(
               cspec, map, finding.ffm, /*rows_per_window=*/1,
               options.fallback_windows);

@@ -20,6 +20,13 @@
 //
 // Cells attached to BC store inverted data; the column handles the polarity
 // on write data and read results, so the logical interface is uniform.
+//
+// Threading: a DramColumn owns its netlist and simulator outright and
+// touches no global mutable state, so DISTINCT instances may be built and
+// driven concurrently — the parallel sweep engine (pf/analysis/execution.hpp)
+// gives every worker its own column per experiment. A single instance is not
+// thread-safe; use clone_fresh() to replicate a column's construction
+// parameters onto another worker instead of sharing one.
 #pragma once
 
 #include <functional>
@@ -40,6 +47,11 @@ class DramColumn {
   static constexpr int kAggressorSameBl = 1;  ///< shares BT with the victim
 
   DramColumn(const DramParams& params, const Defect& defect);
+
+  /// A freshly built column with the same parameters and defect (pristine
+  /// power-up state, nothing shared with *this) — the per-worker
+  /// replication hook of the parallel sweep engine.
+  DramColumn clone_fresh() const { return DramColumn(params_, defect_); }
 
   const DramParams& params() const { return params_; }
   const Defect& defect() const { return defect_; }

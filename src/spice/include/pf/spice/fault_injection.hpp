@@ -19,9 +19,13 @@
 //
 // A key fails its first `fail_attempts` attempts and then recovers, which is
 // exactly the shape retry/backoff must handle. Disarmed (the default) the
-// whole feature is one branch on a bool — no overhead in production sweeps.
+// whole feature is one branch on an atomic bool — no overhead in production
+// sweeps.
 //
-// Not thread-safe by design (matches pf::log: sweeps drive from one thread).
+// Thread-safe: the declared context is thread-local (each parallel sweep
+// worker scopes injections to its own current experiment) and the plan,
+// attempt counters and injection tally are mutex-guarded. Arming/disarming
+// (ScopedFaultPlan) must still happen while no experiments are in flight.
 #pragma once
 
 #include <cstdint>

@@ -1,13 +1,22 @@
 #include "pf/spice/fault_injection.hpp"
 
+#include <atomic>
+#include <mutex>
+
 namespace pf::spice::testing {
 namespace {
 
+// The experiment key a worker thread declared for its current attempt.
+// Thread-local so parallel sweep workers cannot inherit each other's
+// injection scope: an injected fault hits exactly the grid point (and
+// thread) whose key matches the plan.
+thread_local std::string t_context;  // NOLINT(runtime/string)
+
 struct InjectionState {
-  bool armed = false;
+  std::atomic<bool> armed{false};
+  std::mutex mu;  ///< guards plan, attempts_started and injections
   std::map<std::string, InjectionSpec> plan;
   std::map<std::string, int> attempts_started;
-  std::string context;
   uint64_t injections = 0;
 };
 
@@ -20,44 +29,58 @@ InjectionState& state() {
 
 ScopedFaultPlan::ScopedFaultPlan(std::map<std::string, InjectionSpec> plan) {
   InjectionState& s = state();
-  s.armed = true;
+  std::lock_guard<std::mutex> lock(s.mu);
   s.plan = std::move(plan);
   s.attempts_started.clear();
-  s.context.clear();
   s.injections = 0;
+  t_context.clear();
+  s.armed.store(true, std::memory_order_release);
 }
 
 ScopedFaultPlan::~ScopedFaultPlan() {
   InjectionState& s = state();
-  s.armed = false;
+  s.armed.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(s.mu);
   s.plan.clear();
   s.attempts_started.clear();
-  s.context.clear();
+  t_context.clear();
 }
 
-bool armed() { return state().armed; }
+bool armed() { return state().armed.load(std::memory_order_acquire); }
 
 void set_context(const std::string& key) {
   InjectionState& s = state();
-  if (!s.armed) return;
-  s.context = key;
+  if (!armed()) return;
+  t_context = key;
+  std::lock_guard<std::mutex> lock(s.mu);
   ++s.attempts_started[key];
 }
 
-void clear_context() { state().context.clear(); }
+void clear_context() { t_context.clear(); }
 
 const InjectionSpec* current_injection() {
   InjectionState& s = state();
-  if (!s.armed || s.context.empty()) return nullptr;
-  const auto it = s.plan.find(s.context);
+  if (!armed() || t_context.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.plan.find(t_context);
   if (it == s.plan.end()) return nullptr;
-  const auto started = s.attempts_started.find(s.context);
+  const auto started = s.attempts_started.find(t_context);
   const int attempt = started == s.attempts_started.end() ? 0 : started->second;
+  // The pointer stays valid after unlocking: the plan map is only mutated
+  // by ScopedFaultPlan construction/destruction, never while armed.
   return attempt <= it->second.fail_attempts ? &it->second : nullptr;
 }
 
-uint64_t injections_performed() { return state().injections; }
+uint64_t injections_performed() {
+  InjectionState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.injections;
+}
 
-void note_injection() { ++state().injections; }
+void note_injection() {
+  InjectionState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.injections;
+}
 
 }  // namespace pf::spice::testing

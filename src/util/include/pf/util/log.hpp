@@ -1,6 +1,6 @@
 // Minimal leveled logger. Off by default; benches and examples raise the
-// level to narrate long sweeps. Not thread-safe by design (all pf_* sweeps
-// log from the driving thread only).
+// level to narrate long sweeps. Thread-safe: the level is atomic and lines
+// are emitted whole (parallel sweep workers log concurrently).
 #pragma once
 
 #include <sstream>

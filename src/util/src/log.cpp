@@ -1,17 +1,30 @@
 #include "pf/util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace pf {
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+// One line at a time: parallel sweep workers log concurrently and their
+// lines must not interleave mid-character.
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
 }
+}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (g_level >= level) std::cerr << "[pf] " << msg << '\n';
+  if (log_level() >= level) {
+    std::lock_guard<std::mutex> lock(log_mutex());
+    std::cerr << "[pf] " << msg << '\n';
+  }
 }
 
 }  // namespace pf

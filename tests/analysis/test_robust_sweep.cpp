@@ -54,7 +54,7 @@ TEST(RobustSweep, CleanSweepIsBitIdenticalUnderRobustDefaults) {
   // caller's options).
   const SweepSpec spec = small_spec();
   const RegionMap plain = sweep_region(spec);
-  SweepOptions heavy;
+  ExecutionPolicy heavy;
   heavy.retry.max_attempts = 7;
   heavy.retry.dt_initial_scale = 0.01;
   const RegionMap robust = sweep_region(spec, heavy);
@@ -75,7 +75,7 @@ TEST(RobustSweep, RetryRecoversTransientNonConvergence) {
   // clean sweep bit for bit.
   ScopedFaultPlan plan({{grid_point_key(0, 1), non_convergence(2)},
                         {grid_point_key(2, 2), non_convergence(2)}});
-  SweepOptions opt;
+  ExecutionPolicy opt;
   opt.retry.max_attempts = 3;
   const RegionMap map = sweep_region(spec, opt);
 
@@ -93,7 +93,7 @@ TEST(RobustSweep, UnrecoverablePointsDegradeToSolveFailedCells) {
   // bottom row: both unrecoverable.
   ScopedFaultPlan plan({{grid_point_key(3, top), non_convergence(100)},
                         {grid_point_key(3, 0), non_convergence(100)}});
-  SweepOptions opt;
+  ExecutionPolicy opt;
   opt.retry.max_attempts = 2;
   const RegionMap map = sweep_region(spec, opt);
 
@@ -146,7 +146,7 @@ TEST(RobustSweep, UnrecoverablePointsDegradeToSolveFailedCells) {
 TEST(RobustSweep, RecordFailuresOffRethrowsWithContext) {
   const SweepSpec spec = small_spec();
   ScopedFaultPlan plan({{grid_point_key(1, 1), non_convergence(100)}});
-  SweepOptions opt;
+  ExecutionPolicy opt;
   opt.retry.max_attempts = 2;
   opt.record_failures = false;
   try {
@@ -169,7 +169,7 @@ TEST(RobustSweep, JournalResumeSkipsSolvedPointsAndRetriesFailedOnes) {
   {
     ScopedFaultPlan plan({{grid_point_key(1, 0), non_convergence(100)},
                           {grid_point_key(2, 2), non_convergence(100)}});
-    SweepOptions opt;
+    ExecutionPolicy opt;
     opt.retry.max_attempts = 2;
     opt.journal_path = path;
     const RegionMap map = sweep_region(spec, opt);
@@ -181,7 +181,7 @@ TEST(RobustSweep, JournalResumeSkipsSolvedPointsAndRetriesFailedOnes) {
   // re-attempted, the other 10 come from the journal, and the final map is
   // indistinguishable from a clean sweep.
   {
-    SweepOptions opt;
+    ExecutionPolicy opt;
     opt.journal_path = path;
     const RegionMap map = sweep_region(spec, opt);
     EXPECT_EQ(map.solve_stats().resumed, 10u);
@@ -192,7 +192,7 @@ TEST(RobustSweep, JournalResumeSkipsSolvedPointsAndRetriesFailedOnes) {
 
   // Third run: everything resumes, nothing is re-simulated.
   {
-    SweepOptions opt;
+    ExecutionPolicy opt;
     opt.journal_path = path;
     const RegionMap map = sweep_region(spec, opt);
     EXPECT_EQ(map.solve_stats().resumed, 12u);
@@ -207,13 +207,13 @@ TEST(RobustSweep, JournalOfDifferentSweepIsRejected) {
   const std::string path = temp_journal("mismatch_journal.csv");
   std::remove(path.c_str());
   {
-    SweepOptions opt;
+    ExecutionPolicy opt;
     opt.journal_path = path;
     sweep_region(spec, opt);
   }
   SweepSpec other = small_spec();
   other.sos = Sos::parse("0w0");
-  SweepOptions opt;
+  ExecutionPolicy opt;
   opt.journal_path = path;
   EXPECT_THROW(sweep_region(other, opt), pf::Error);
   std::remove(path.c_str());
@@ -224,7 +224,7 @@ TEST(RobustSweep, TruncatedJournalRowIsDroppedNotFatal) {
   const std::string path = temp_journal("truncated_journal.csv");
   std::remove(path.c_str());
   {
-    SweepOptions opt;
+    ExecutionPolicy opt;
     opt.journal_path = path;
     sweep_region(spec, opt);
   }
@@ -237,7 +237,7 @@ TEST(RobustSweep, TruncatedJournalRowIsDroppedNotFatal) {
     std::ofstream out(path, std::ios::trunc);
     out << all.substr(0, all.size() - 7);
   }
-  SweepOptions opt;
+  ExecutionPolicy opt;
   opt.journal_path = path;
   const RegionMap map = sweep_region(spec, opt);
   EXPECT_EQ(map.solve_stats().resumed, 11u);
@@ -256,7 +256,7 @@ TEST(RobustCompletion, UnsolvableProbesRejectCandidatesGracefully) {
   spec.probe_r = {1e6};
   spec.probe_u = {0.0, 1.65, 3.3};
   spec.max_prefix_ops = 1;
-  spec.retry.max_attempts = 1;
+  spec.exec.retry.max_attempts = 1;
 
   std::map<std::string, InjectionSpec> plan;
   for (double u : spec.probe_u)
@@ -277,7 +277,7 @@ TEST(RobustCompletion, SearchStillSucceedsWhenFaultsAreRecoverable) {
   spec.probe_r = {10e6};
   spec.probe_u = {0.0, 3.3};
   spec.max_prefix_ops = 1;
-  spec.retry.max_attempts = 3;
+  spec.exec.retry.max_attempts = 3;
 
   // The first probe point hiccups twice, then recovers.
   ScopedFaultPlan scoped(
