@@ -7,15 +7,25 @@
 //   * unrecoverable points cost the full retry budget, then degrade to
 //     Ffm::kSolveFailed cells instead of aborting the sweep.
 //
+// Also measures the journal-v2 append path (per-row CRC-32 + flush) against
+// a plain no-CRC row write with identical formatting, locking and flush
+// behaviour, so the integrity cost per journaled point is a number, not a
+// guess.
+//
 // Set PF_DUMP_JSON=1 to write retry_overhead.json next to the binary
 // (mirrors the PF_DUMP_CSV convention of the figure benches).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
 
+#include "pf/analysis/checkpoint.hpp"
 #include "pf/analysis/region.hpp"
 #include "pf/spice/fault_injection.hpp"
 
@@ -52,6 +62,78 @@ double time_sweep_ms(const analysis::SweepSpec& spec,
   const auto t1 = std::chrono::steady_clock::now();
   if (stats != nullptr) *stats = map.solve_stats();
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Journal-append overhead: every completed grid point appends one CRC'd row
+// to the sweep journal and flushes it. The plain writer below reproduces the
+// append path byte for byte — same ostringstream formatting, same mutex,
+// same per-row flush — minus the CRC-32, so (crc - plain) isolates what the
+// integrity check itself costs.
+
+constexpr size_t kJournalBenchRows = 20000;
+
+double journal_append_seconds(const analysis::SweepSpec& spec, size_t rows,
+                              bool with_crc) {
+  const std::string path =
+      with_crc ? "bench_journal_crc.csv" : "bench_journal_plain.csv";
+  std::remove(path.c_str());
+  double seconds = 0.0;
+  if (with_crc) {
+    analysis::SweepJournal journal(path, spec);
+    analysis::SweepJournal::Entry e;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < rows; ++i) {
+      e.iy = i % spec.r_axis.size();
+      e.ix = i % spec.u_axis.size();
+      journal.append(e, spec.r_axis[e.iy], spec.u_axis[e.ix]);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    seconds = std::chrono::duration<double>(t1 - t0).count();
+  } else {
+    std::ofstream out(path, std::ios::app);
+    std::mutex mu;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < rows; ++i) {
+      const size_t iy = i % spec.r_axis.size();
+      const size_t ix = i % spec.u_axis.size();
+      std::ostringstream row;
+      row << iy << ',' << ix << ',' << spec.r_axis[iy] << ','
+          << spec.u_axis[ix] << ",-,1";
+      const std::string payload = row.str();
+      std::lock_guard<std::mutex> lock(mu);
+      out << payload << '\n';
+      out.flush();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    seconds = std::chrono::duration<double>(t1 - t0).count();
+  }
+  std::remove(path.c_str());
+  return seconds;
+}
+
+struct JournalThroughput {
+  double crc_rows_per_sec = 0.0;
+  double plain_rows_per_sec = 0.0;
+};
+
+JournalThroughput measure_journal_throughput(const analysis::SweepSpec& spec) {
+  journal_append_seconds(spec, kJournalBenchRows / 10, true);   // warm-up
+  journal_append_seconds(spec, kJournalBenchRows / 10, false);  // warm-up
+  // Best of three per path: a 20k-row append run lasts tens of ms, so a
+  // single page-cache hiccup would otherwise masquerade as CRC cost.
+  JournalThroughput t;
+  for (int run = 0; run < 3; ++run) {
+    t.crc_rows_per_sec =
+        std::max(t.crc_rows_per_sec,
+                 kJournalBenchRows /
+                     journal_append_seconds(spec, kJournalBenchRows, true));
+    t.plain_rows_per_sec =
+        std::max(t.plain_rows_per_sec,
+                 kJournalBenchRows /
+                     journal_append_seconds(spec, kJournalBenchRows, false));
+  }
+  return t;
 }
 
 void print_reproduction() {
@@ -93,6 +175,17 @@ void print_reproduction() {
               degraded_stats.solved,
               spec.r_axis.size() * spec.u_axis.size());
 
+  const JournalThroughput journal = measure_journal_throughput(spec);
+  const double crc_overhead_pct =
+      100.0 * (journal.plain_rows_per_sec / journal.crc_rows_per_sec - 1.0);
+  std::printf("journal append throughput (%zu rows, flush per row):\n",
+              kJournalBenchRows);
+  std::printf("  v2 append (CRC-32)   %10.0f rows/s\n",
+              journal.crc_rows_per_sec);
+  std::printf("  plain row (no CRC)   %10.0f rows/s\n",
+              journal.plain_rows_per_sec);
+  std::printf("  CRC integrity cost   %+9.1f%% per row\n\n", crc_overhead_pct);
+
   if (std::getenv("PF_DUMP_JSON") != nullptr) {
     std::ofstream out("retry_overhead.json");
     out << "{\n"
@@ -104,7 +197,13 @@ void print_reproduction() {
         << "  \"recoverable_ms\": " << retry_ms << ",\n"
         << "  \"unrecoverable_ms\": " << degraded_ms << ",\n"
         << "  \"recoverable_retries\": " << retry_stats.retries << ",\n"
-        << "  \"unrecoverable_failed\": " << degraded_stats.failed << "\n"
+        << "  \"unrecoverable_failed\": " << degraded_stats.failed << ",\n"
+        << "  \"journal_bench_rows\": " << kJournalBenchRows << ",\n"
+        << "  \"journal_crc_rows_per_sec\": " << journal.crc_rows_per_sec
+        << ",\n"
+        << "  \"journal_plain_rows_per_sec\": " << journal.plain_rows_per_sec
+        << ",\n"
+        << "  \"journal_crc_overhead_pct\": " << crc_overhead_pct << "\n"
         << "}\n";
     std::printf("wrote retry_overhead.json\n");
   }
@@ -145,6 +244,19 @@ void BM_SweepWithUnrecoverableFaults(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepWithUnrecoverableFaults)->Unit(benchmark::kMillisecond);
+
+void BM_JournalAppend(benchmark::State& state) {
+  const analysis::SweepSpec spec = small_spec();
+  const bool with_crc = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        journal_append_seconds(spec, kJournalBenchRows, with_crc));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kJournalBenchRows));
+  state.SetLabel(with_crc ? "crc32-v2-append" : "plain-no-crc");
+}
+BENCHMARK(BM_JournalAppend)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

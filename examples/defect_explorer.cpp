@@ -1,8 +1,8 @@
 // Defect explorer: interactive reproduction of the paper's fault-analysis
 // method for any open defect and SOS.
 //
-// Usage: defect_explorer [--threads N] [open_number] [sos] [r_points]
-//                        [u_points] [journal]
+// Usage: defect_explorer [--threads N] [--deadline S] [open_number] [sos]
+//                        [r_points] [u_points] [journal]
 //   defect_explorer                 # Open 4, SOS "1r1"  (paper Figure 3a)
 //   defect_explorer 4 "1v [w0BL] r1v"   # Figure 3(b)
 //   defect_explorer 1 "0r0" 13 12       # Figure 4(a) at high resolution
@@ -11,6 +11,12 @@
 //   defect_explorer --threads 8 1 "0r0" 13 12   # same map, 8 sweep workers
 //       (--threads 0 = one per hardware thread; results are bit-identical
 //       for any thread count, only wall-clock changes)
+//   defect_explorer --deadline 300 ...  # give up after 300 s wall clock
+//
+// Graceful shutdown: SIGINT/SIGTERM trips a cooperative cancellation token;
+// in-flight grid points drain, the journal is flushed, and the process
+// exits with status 75 (EX_TEMPFAIL, "interrupted — resumable"). Rerun the
+// same command line to resume. A second SIGINT kills immediately.
 //
 // Prints the (R_def, U) region map, the partial-fault classification per
 // observed FFM, and — for each partial fault — the completing operations
@@ -23,6 +29,8 @@
 #include "pf/analysis/completion.hpp"
 #include "pf/analysis/partial.hpp"
 #include "pf/analysis/table1.hpp"
+#include "pf/util/cancellation.hpp"
+#include "pf/util/error.hpp"
 
 namespace {
 
@@ -45,6 +53,7 @@ pf::dram::OpenSite site_of(int number) {
 int main(int argc, char** argv) {
   using namespace pf;
   int threads = 1;
+  double deadline = 0.0;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
@@ -53,6 +62,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--deadline needs a wall-clock budget in s\n");
+        return 1;
+      }
+      deadline = std::atof(argv[++i]);
     } else {
       args.push_back(argv[i]);
     }
@@ -65,6 +80,14 @@ int main(int argc, char** argv) {
       args.size() > 3 ? std::strtoul(args[3], nullptr, 10) : 10;
   const std::string journal_prefix = args.size() > 4 ? args[4] : "";
 
+  // SIGINT/SIGTERM trip this token; every sweep and completion search below
+  // shares it, so one signal (or the deadline) stops the whole run.
+  pf::SignalCancellation on_signal;
+  analysis::ExecutionPolicy exec;
+  exec.threads = threads;
+  exec.cancel = on_signal.token();
+  exec.deadline_seconds = deadline;
+
   analysis::SweepSpec spec;
   spec.params = dram::DramParams{};
   spec.defect = dram::Defect::open(site_of(open_number), 1e6);
@@ -76,66 +99,87 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "defect has no floating lines\n");
     return 1;
   }
-  for (size_t li = 0; li < lines.size(); ++li) {
-    spec.floating_line_index = li;
-    spec.u_axis = pf::linspace(lines[li].min_v, lines[li].max_v, u_points);
-    std::printf("analyzing %s, floating line '%s', SOS %s ...\n",
-                dram::defect_name(spec.defect).c_str(), lines[li].label.c_str(),
-                spec.sos.to_string().c_str());
-    analysis::ExecutionPolicy exec;
-    exec.threads = threads;
-    if (!journal_prefix.empty())
+  try {
+    for (size_t li = 0; li < lines.size(); ++li) {
+      spec.floating_line_index = li;
+      spec.u_axis = pf::linspace(lines[li].min_v, lines[li].max_v, u_points);
+      std::printf("analyzing %s, floating line '%s', SOS %s ...\n",
+                  dram::defect_name(spec.defect).c_str(),
+                  lines[li].label.c_str(), spec.sos.to_string().c_str());
       exec.journal_path =
-          journal_prefix + "-line" + std::to_string(li) + ".csv";
-    const analysis::RegionMap map = analysis::sweep_region(spec, exec);
-    std::printf("%s\n", map.render("FP regions in the (R_def, U) plane").c_str());
-    const analysis::SweepStats& stats = map.solve_stats();
-    if (stats.resumed > 0 || stats.failed > 0 || stats.retries > 0)
-      std::printf("  solver: %zu attempted, %zu resumed from journal, "
-                  "%zu retries, %zu unsolved\n",
-                  stats.attempted, stats.resumed, stats.retries, stats.failed);
+          journal_prefix.empty()
+              ? std::string()
+              : journal_prefix + "-line" + std::to_string(li) + ".csv";
+      const analysis::RegionMap map = analysis::sweep_region(spec, exec);
+      std::printf("%s\n",
+                  map.render("FP regions in the (R_def, U) plane").c_str());
+      const analysis::SweepStats& stats = map.solve_stats();
+      if (stats.resumed > 0 || stats.failed > 0 || stats.retries > 0)
+        std::printf("  solver: %zu attempted, %zu resumed from journal, "
+                    "%zu retries, %zu unsolved\n",
+                    stats.attempted, stats.resumed, stats.retries,
+                    stats.failed);
+      if (stats.journal_dropped > 0)
+        std::printf("  journal: %zu corrupt row(s) dropped and re-run\n",
+                    stats.journal_dropped);
 
-    for (const auto& finding : analysis::identify_partial_faults(map)) {
-      std::printf("  %s: %s  (min R_def %.0f kOhm, widest band %s, "
-                  "coverage %.0f%%)\n",
-                  faults::ffm_name(finding.ffm).data(),
-                  finding.partial ? "PARTIAL fault" : "full fault",
-                  finding.min_r_def / 1e3,
-                  finding.band_hull.to_string().c_str(),
-                  100.0 * finding.best_coverage);
-      if (!finding.partial) continue;
+      for (const auto& finding : analysis::identify_partial_faults(map)) {
+        std::printf("  %s: %s  (min R_def %.0f kOhm, widest band %s, "
+                    "coverage %.0f%%)\n",
+                    faults::ffm_name(finding.ffm).data(),
+                    finding.partial ? "PARTIAL fault" : "full fault",
+                    finding.min_r_def / 1e3,
+                    finding.band_hull.to_string().c_str(),
+                    100.0 * finding.best_coverage);
+        if (!finding.partial) continue;
 
-      analysis::CompletionSpec cspec;
-      cspec.exec.threads = threads;
-      cspec.params = spec.params;
-      cspec.defect = spec.defect;
-      cspec.floating_line_index = li;
-      cspec.base.sos = spec.sos;
-      cspec.probe_r = analysis::choose_probe_rows(map, finding.ffm, 2);
-      cspec.probe_u = pf::linspace(lines[li].min_v, lines[li].max_v, 5);
-      {
-        // Observe the base <F, R> at the band centre.
-        dram::Defect probe = spec.defect;
-        probe.resistance = cspec.probe_r.front();
-        const auto out = analysis::run_sos(
-            spec.params, probe, &lines[li],
-            (finding.band_hull.lo + finding.band_hull.hi) / 2, spec.sos);
-        cspec.base.faulty_state = out.final_state;
-        cspec.base.read_result = out.read_result;
+        analysis::CompletionSpec cspec;
+        cspec.exec = exec;
+        cspec.exec.journal_path.clear();  // probes are not journaled
+        cspec.params = spec.params;
+        cspec.defect = spec.defect;
+        cspec.floating_line_index = li;
+        cspec.base.sos = spec.sos;
+        cspec.probe_r = analysis::choose_probe_rows(map, finding.ffm, 2);
+        cspec.probe_u = pf::linspace(lines[li].min_v, lines[li].max_v, 5);
+        {
+          // Observe the base <F, R> at the band centre.
+          dram::Defect probe = spec.defect;
+          probe.resistance = cspec.probe_r.front();
+          const auto out = analysis::run_sos(
+              spec.params, probe, &lines[li],
+              (finding.band_hull.lo + finding.band_hull.hi) / 2, spec.sos);
+          cspec.base.faulty_state = out.final_state;
+          cspec.base.read_result = out.read_result;
+        }
+        const auto comp = analysis::search_completing_ops(cspec);
+        if (comp.possible) {
+          std::printf("    completed as %s  (%d candidates, %llu runs)\n",
+                      comp.completed.to_string().c_str(),
+                      comp.candidates_evaluated,
+                      static_cast<unsigned long long>(comp.sos_runs));
+        } else {
+          std::printf("    completing operations: Not possible "
+                      "(%d candidates tried)\n",
+                      comp.candidates_evaluated);
+        }
       }
-      const auto comp = analysis::search_completing_ops(cspec);
-      if (comp.possible) {
-        std::printf("    completed as %s  (%d candidates, %llu runs)\n",
-                    comp.completed.to_string().c_str(),
-                    comp.candidates_evaluated,
-                    static_cast<unsigned long long>(comp.sos_runs));
-      } else {
-        std::printf("    completing operations: Not possible "
-                    "(%d candidates tried)\n",
-                    comp.candidates_evaluated);
-      }
+      std::printf("\n");
     }
-    std::printf("\n");
+  } catch (const pf::CancelledError& e) {
+    // Everything completed before the trip is journaled (flushed per row);
+    // the run is resumable from exactly where it stopped.
+    std::fprintf(stderr, "\ninterrupted — resumable: %s\n", e.what());
+    if (!journal_prefix.empty())
+      std::fprintf(stderr,
+                   "resume with the SAME command line; journaled points "
+                   "under %s-line*.csv are skipped\n",
+                   journal_prefix.c_str());
+    else
+      std::fprintf(stderr,
+                   "hint: pass a journal path (5th positional argument) to "
+                   "make interrupted runs resumable\n");
+    return pf::kExitInterrupted;
   }
   return 0;
 }

@@ -3,17 +3,24 @@
 // under test fails the march; the dictionary names the defect.
 //
 // Usage: diagnose_defect
+//
+// SIGINT/SIGTERM stop the dictionary build cooperatively (the in-flight
+// transient is abandoned at the next solver step) and exit with status 75,
+// "interrupted". The build has no checkpoint journal; rerun from scratch.
 #include <cstdio>
 
 #include "pf/analysis/diagnosis.hpp"
 #include "pf/march/library.hpp"
+#include "pf/util/cancellation.hpp"
+#include "pf/util/error.hpp"
 #include "pf/util/table.hpp"
 
-int main() {
+namespace {
+
+int run(const pf::dram::DramParams& params) {
   using namespace pf;
   using dram::Defect;
   using dram::OpenSite;
-  const dram::DramParams params;
 
   const std::vector<Defect> candidates = {
       Defect::open(OpenSite::kCell, 400e3),
@@ -57,4 +64,18 @@ int main() {
               "defects that manifest through the same partial fault; a\n"
               "second march test with different conditioning splits them.\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  pf::SignalCancellation on_signal;
+  pf::dram::DramParams params;
+  params.sim.cancel = on_signal.token();
+  try {
+    return run(params);
+  } catch (const pf::CancelledError& e) {
+    std::fprintf(stderr, "\ninterrupted: %s\n", e.what());
+    return pf::kExitInterrupted;
+  }
 }

@@ -3,14 +3,23 @@
 // (b) behaviorally injected (partial) fault primitives on a 64-cell array.
 //
 // Usage: march_workbench
+//
+// SIGINT/SIGTERM stop the matrix run cooperatively (the in-flight transient
+// is abandoned at the next solver step) and exit with status 75,
+// "interrupted". The workbench has no checkpoint journal; rerun from
+// scratch.
 #include <cstdio>
 
 #include "pf/dram/column.hpp"
 #include "pf/march/coverage.hpp"
 #include "pf/march/library.hpp"
+#include "pf/util/cancellation.hpp"
+#include "pf/util/error.hpp"
 #include "pf/util/table.hpp"
 
-int main() {
+namespace {
+
+int run(const pf::dram::DramParams& params) {
   using namespace pf;
 
   // --- (a) electrical defects -------------------------------------------
@@ -40,7 +49,7 @@ int main() {
   for (const Row& row : defects) {
     std::vector<std::string> cells = {row.label};
     for (const auto& t : tests) {
-      dram::DramColumn column(dram::DramParams{}, row.defect);
+      dram::DramColumn column(params, row.defect);
       const auto result =
           march::run_march(t, column, dram::DramColumn::kNumCells);
       cells.push_back(result.detected ? "X" : ".");
@@ -86,4 +95,18 @@ int main() {
               ". = escaped):\n%s\n",
               geom.num_rows, geom.num_columns, fp_table.to_string().c_str());
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  pf::SignalCancellation on_signal;
+  pf::dram::DramParams params;
+  params.sim.cancel = on_signal.token();
+  try {
+    return run(params);
+  } catch (const pf::CancelledError& e) {
+    std::fprintf(stderr, "\ninterrupted: %s\n", e.what());
+    return pf::kExitInterrupted;
+  }
 }

@@ -29,23 +29,8 @@ struct CompletionSpec {
   /// retry/backoff; exec.threads > 1 evaluates each candidate's probe grid
   /// in parallel (the verdict — accepted, rejected, completed FP — is
   /// thread-count independent; journal/record_failures are ignored here).
+  /// `exec.cancel` aborts the search with pf::CancelledError.
   ExecutionPolicy exec;
-
-  /// Deprecated PR 1 knob; when customized it overrides exec.retry.
-  [[deprecated("collapsed into CompletionSpec::exec.retry")]]
-  RetryPolicy retry;
-
-  // Spelled-out special members so the deprecation warns at user access to
-  // `retry` only, not in every synthesized constructor.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  CompletionSpec() = default;
-  CompletionSpec(const CompletionSpec&) = default;
-  CompletionSpec(CompletionSpec&&) = default;
-  CompletionSpec& operator=(const CompletionSpec&) = default;
-  CompletionSpec& operator=(CompletionSpec&&) = default;
-  ~CompletionSpec() = default;
-#pragma GCC diagnostic pop
 };
 
 struct CompletionResult {

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "pf/analysis/robust.hpp"
+#include "pf/util/cancellation.hpp"
 
 namespace pf::analysis {
 
@@ -58,6 +59,22 @@ struct ExecutionPolicy {
   /// after every completed grid point. Invoked under the runner's mutex:
   /// the callback need not be thread-safe, but must be fast.
   std::function<void(size_t done, size_t total)> progress;
+
+  /// Cooperative cancellation. The token is checked by ParallelGridRunner
+  /// between grid points (workers stop claiming) and by the solver watchdog
+  /// mid-point, so a signal handler or deadline tripping it stops the sweep
+  /// within one Newton step, not one grid point. Copies of the policy share
+  /// the token's state: tripping any copy trips them all. A cancelled run
+  /// throws pf::CancelledError after in-flight points drain — with a
+  /// journal armed, everything completed before the trip is already on
+  /// disk, so the run is resumable.
+  pf::CancellationToken cancel;
+
+  /// Global wall-clock budget in seconds; <= 0 (default) = unlimited. The
+  /// deadline is armed on the token's *shared* state the first time a
+  /// runner sees the policy, so a multi-sweep driver (generate_table1)
+  /// gets ONE budget across all its sweeps, not one per sweep.
+  double deadline_seconds = 0.0;
 };
 
 /// The worker count `threads` resolves to (0 -> hardware concurrency,
@@ -87,12 +104,21 @@ class ParallelGridRunner {
   /// the lowest index is rethrown on the calling thread. The progress
   /// callback of the policy is invoked (serialized) after every
   /// successfully completed index.
+  ///
+  /// Cooperative cancellation: the policy's token is checked before every
+  /// index is claimed. Once it trips (signal, deadline), workers drain
+  /// their in-flight point and run() throws pf::CancelledError on the
+  /// calling thread. A pf::CancelledError thrown *by* work() (the solver
+  /// watchdog saw the token mid-point) stops the run the same way — it is
+  /// a cancellation, not a per-point error, so it never competes with real
+  /// errors for the lowest-index slot.
   void run(size_t n, const std::function<void(size_t index, int worker)>& work)
       const;
 
  private:
   int workers_;
   std::function<void(size_t, size_t)> progress_;
+  pf::CancellationToken cancel_;
 };
 
 }  // namespace pf::analysis

@@ -37,30 +37,8 @@ struct SweepStats {
   size_t failed = 0;     ///< points recorded as Ffm::kSolveFailed
   size_t retries = 0;    ///< attempts beyond the first, over all points
   size_t resumed = 0;    ///< points restored from the journal
+  size_t journal_dropped = 0;  ///< corrupt journal rows dropped on resume
   std::vector<std::string> failure_log;  ///< context, one entry per failure
-};
-
-/// PR 1's robustness knobs, collapsed into ExecutionPolicy. Kept one
-/// release as a forwarding shim for the deprecated sweep_region overload
-/// and the legacy Table1Options fields; see CHANGES.md for the removal
-/// note.
-struct SweepOptions {
-  RetryPolicy retry;
-  bool record_failures = true;
-  std::string journal_path;
-  bool resume = true;
-
-  bool operator==(const SweepOptions&) const = default;
-
-  /// The equivalent ExecutionPolicy (serial; threads stay at 1).
-  ExecutionPolicy to_policy() const {
-    ExecutionPolicy policy;
-    policy.retry = retry;
-    policy.record_failures = record_failures;
-    policy.journal_path = journal_path;
-    policy.resume = resume;
-    return policy;
-  }
 };
 
 class RegionMap {
@@ -114,12 +92,13 @@ class RegionMap {
 /// checkpoint/resume when policy.journal_path is set, and merged by grid
 /// index. Any thread count returns a bit-identical RegionMap: same grid,
 /// same SweepStats totals, same index-ordered failure_log.
+///
+/// Cancellation: when policy.cancel trips (signal handler, deadline) the
+/// sweep drains in-flight points, journals them, and throws
+/// pf::CancelledError — a later call with the same journal_path resumes
+/// where it stopped and, because points are merged by grid index, yields a
+/// map bit-identical to an uninterrupted run.
 RegionMap sweep_region(const SweepSpec& spec,
                        const ExecutionPolicy& policy = {});
-
-/// Deprecated PR 1 entry point; forwards to the ExecutionPolicy overload.
-[[deprecated("use sweep_region(spec, ExecutionPolicy) — SweepOptions is a "
-             "one-release compatibility shim")]]
-RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options);
 
 }  // namespace pf::analysis

@@ -58,27 +58,10 @@ struct Table1Options {
   /// unsolvable completion probes rejecting candidates instead of aborting
   /// the catalogue. `exec.journal_path` is used as a path *prefix* here —
   /// one journal per (site, line, SOS) sweep. `exec.progress` reports each
-  /// sweep's points individually.
+  /// sweep's points individually. `exec.cancel` / `exec.deadline_seconds`
+  /// bound the whole catalogue: the deadline is armed once on the token's
+  /// shared state, so every sweep and completion probe shares one budget.
   ExecutionPolicy exec;
-
-  /// Deprecated PR 1 knobs; when customized they override the matching
-  /// exec fields (sweep first, then completion_retry for exec.retry).
-  [[deprecated("collapsed into Table1Options::exec")]]
-  SweepOptions sweep;
-  [[deprecated("collapsed into Table1Options::exec.retry")]]
-  RetryPolicy completion_retry;
-
-  // Spelled-out special members so the deprecation warns at user access to
-  // the legacy fields only, not in every synthesized constructor.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Table1Options() = default;
-  Table1Options(const Table1Options&) = default;
-  Table1Options(Table1Options&&) = default;
-  Table1Options& operator=(const Table1Options&) = default;
-  Table1Options& operator=(Table1Options&&) = default;
-  ~Table1Options() = default;
-#pragma GCC diagnostic pop
 };
 
 /// The eight base sensitizing operation sequences of the #O <= 1 FP space.

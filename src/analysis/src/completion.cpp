@@ -51,17 +51,6 @@ namespace {
 /// the completing prefix must establish or preserve).
 int required_entry_state(const Sos& base) { return base.initial_victim; }
 
-/// The effective execution policy: exec, unless the deprecated PR 1
-/// CompletionSpec::retry was customized, which then overrides exec.retry.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ExecutionPolicy effective_exec(const CompletionSpec& spec) {
-  ExecutionPolicy policy = spec.exec;
-  if (!(spec.retry == RetryPolicy{})) policy.retry = spec.retry;
-  return policy;
-}
-#pragma GCC diagnostic pop
-
 struct Candidate {
   std::vector<Op> prefix;
   bool keeps_init = false;
@@ -109,7 +98,7 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
   PF_CHECK_MSG(!spec.probe_r.empty() && !spec.probe_u.empty(),
                "completion search needs probe rows and voltages");
   CompletionResult result;
-  const ExecutionPolicy policy = effective_exec(spec);
+  const ExecutionPolicy& policy = spec.exec;
   const ParallelGridRunner runner(policy);
   const Sos& base = spec.base.sos;
   const int entry_state = required_entry_state(base);
@@ -119,6 +108,10 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
   // State faults have no sensitizing operation; the candidate needs an idle
   // precharge cycle before observation (the mechanism that flips the cell).
   const bool is_state_fault = base.ops.empty();
+  // Probe simulators see the search's cancellation token, so the solver
+  // watchdog can abandon a probe mid-transient.
+  dram::DramParams probe_params = spec.params;
+  probe_params.sim.cancel = policy.cancel;
 
   for (int len = 1; len <= spec.max_prefix_ops; ++len) {
     std::vector<Candidate> candidates;
@@ -155,7 +148,7 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
         ctx.u = u;
         ctx.sos = sos.to_string();
         const RobustOutcome ro = run_sos_robust(
-            spec.params, defect, &line, u, sos, policy.retry, ctx,
+            probe_params, defect, &line, u, sos, policy.retry, ctx,
             is_state_fault);
         if (!ro.solved) {
           // An unsolvable probe cannot demonstrate the completion; reject
@@ -236,9 +229,11 @@ CompletionResult search_completing_ops_with_fallback(
       ctx.r_def = probe.resistance;
       ctx.u = u_mid;
       ctx.sos = spec.base.sos.to_string();
-      const RobustOutcome ro = run_sos_robust(spec.params, probe, &line,
+      dram::DramParams probe_params = spec.params;
+      probe_params.sim.cancel = spec.exec.cancel;
+      const RobustOutcome ro = run_sos_robust(probe_params, probe, &line,
                                               u_mid, spec.base.sos,
-                                              effective_exec(spec).retry, ctx);
+                                              spec.exec.retry, ctx);
       ++total.sos_runs;
       if (!ro.solved) {
         ++total.solver_failures;

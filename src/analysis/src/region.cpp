@@ -182,20 +182,38 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
   SweepStats stats;
   Grid2D<char> done(spec.u_axis, spec.r_axis, 0);
   std::unique_ptr<SweepJournal> journal;
+  bool journal_was_clean = false;
   if (!policy.journal_path.empty()) {
     if (policy.resume) {
-      for (const SweepJournal::Entry& e :
-           SweepJournal::load(policy.journal_path, spec)) {
+      const SweepJournal::LoadResult loaded =
+          SweepJournal::load(policy.journal_path, spec);
+      for (const SweepJournal::Entry& e : loaded.entries) {
         grid.at(e.ix, e.iy) = e.ffm;
         done.at(e.ix, e.iy) = 1;
         ++stats.resumed;
       }
+      stats.journal_dropped = loaded.dropped;
+      journal_was_clean = loaded.clean_end;
+      if (loaded.dropped > 0)
+        PF_LOG_WARN("journal " << policy.journal_path << ": dropped "
+                               << loaded.dropped
+                               << " corrupt/truncated row(s); those points "
+                               << "re-run");
       if (stats.resumed > 0)
         PF_LOG_INFO("resumed " << stats.resumed << " solved points from "
-                               << policy.journal_path);
+                               << policy.journal_path
+                               << (loaded.clean_end
+                                       ? ""
+                                       : " (interrupted sweep, no END "
+                                         "trailer)"));
     }
     journal = std::make_unique<SweepJournal>(policy.journal_path, spec);
   }
+
+  // Workers see the sweep's cancellation token through the solver options,
+  // so the watchdog can abandon a transient mid-point.
+  SweepSpec run_spec = spec;
+  run_spec.params.sim.cancel = policy.cancel;
 
   // Pending points in row-major grid order; index k of `results` belongs to
   // flat grid index pending[k], whatever worker solves it.
@@ -223,8 +241,8 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
     // Each experiment builds its own column/simulator inside run_sos — the
     // only state shared between workers is the journal (self-serializing).
     const RobustOutcome ro =
-        run_sos_robust(spec.params, defect, &line, spec.u_axis[ix], spec.sos,
-                       policy.retry, ctx);
+        run_sos_robust(run_spec.params, defect, &line, spec.u_axis[ix],
+                       spec.sos, policy.retry, ctx);
     PointOutcome& out = results[k];
     out.attempts = ro.attempts;
     out.solved = ro.solved;
@@ -264,14 +282,12 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
     PF_LOG_INFO("sweep degraded: " << stats.failed << " of "
                                    << grid.width() * grid.height()
                                    << " points unsolved after retries");
+  // The sweep covered every grid point: mark the journal cleanly complete.
+  // Skip only when nothing was appended to an already-clean journal (a
+  // fully resumed rerun), so reruns do not stack duplicate trailers.
+  if (journal && !(journal_was_clean && journal->rows_appended() == 0))
+    journal->finalize();
   return RegionMap(spec, std::move(grid), std::move(stats));
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-RegionMap sweep_region(const SweepSpec& spec, const SweepOptions& options) {
-  return sweep_region(spec, options.to_policy());
-}
-#pragma GCC diagnostic pop
 
 }  // namespace pf::analysis

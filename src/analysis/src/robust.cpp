@@ -54,6 +54,11 @@ RobustOutcome run_sos_robust(const dram::DramParams& params,
       ro.solved = true;
       spice::testing::clear_context();
       return ro;
+    } catch (const pf::CancelledError&) {
+      // Cancellation is not a solver failure: never retried, never recorded
+      // as kSolveFailed — the sweep abandons the point and resumes it later.
+      spice::testing::clear_context();
+      throw;
     } catch (const pf::Error& e) {
       spice::testing::clear_context();
       std::ostringstream os;

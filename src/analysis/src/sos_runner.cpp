@@ -1,5 +1,10 @@
 #include "pf/analysis/sos_runner.hpp"
 
+#include <cmath>
+#include <sstream>
+
+#include "pf/util/error.hpp"
+
 namespace pf::analysis {
 
 using dram::DramColumn;
@@ -41,7 +46,16 @@ SosOutcome run_sos_on(DramColumn& column, const dram::FloatingLine* line,
     column.idle_cycle();
   }
 
-  // 4. Observation and classification.
+  // 4. Observation and classification. Guard first: a non-finite storage
+  // voltage (silently diverged solve) must surface as a retryable solver
+  // failure — thresholding NaN would classify a bogus fault primitive.
+  const double victim_v = column.cell_voltage(victim);
+  if (!std::isfinite(victim_v)) {
+    std::ostringstream os;
+    os << "non-finite victim storage voltage (" << victim_v
+       << ") before FFM classification";
+    throw ConvergenceError(os.str());
+  }
   SosOutcome out;
   out.final_state = column.cell_logical(victim);
   out.read_result = last_op_is_victim_read ? last_victim_read : -1;

@@ -19,31 +19,9 @@ std::vector<Sos> base_soses() {
   return out;
 }
 
-namespace {
-
-/// The effective execution policy: options.exec with the deprecated PR 1
-/// fields folded in when they were customized.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ExecutionPolicy effective_exec(const Table1Options& options) {
-  ExecutionPolicy policy = options.exec;
-  if (!(options.sweep == SweepOptions{})) {
-    policy.retry = options.sweep.retry;
-    policy.record_failures = options.sweep.record_failures;
-    policy.journal_path = options.sweep.journal_path;
-    policy.resume = options.sweep.resume;
-  }
-  if (!(options.completion_retry == RetryPolicy{}))
-    policy.retry = options.completion_retry;
-  return policy;
-}
-#pragma GCC diagnostic pop
-
-}  // namespace
-
 std::vector<Table1Row> generate_table1(const dram::DramParams& params,
                                        const Table1Options& options) {
-  const ExecutionPolicy exec = effective_exec(options);
+  const ExecutionPolicy& exec = options.exec;
   std::vector<Table1Row> rows;
   for (OpenSite site : options.sites) {
     const dram::Defect proto = dram::Defect::open(site, 1e6);

@@ -251,6 +251,14 @@ void DramColumn::latch_output_buffer() {
   // leaves the latch holding stale data instead of letting it resolve
   // through the complement line.
   const double d = sim_->node_voltage(nid("iot_b")) - params_.vdd / 2;
+  if (!std::isfinite(d)) {
+    // A non-finite IO voltage would silently retain the previous latch
+    // value and masquerade as a read fault; it is a solver failure.
+    std::ostringstream os;
+    os << "non-finite IO-line voltage at read latch (iot_b="
+       << sim_->node_voltage(nid("iot_b")) << ")";
+    throw ConvergenceError(os.str());
+  }
   if (d > params_.buf_resolution)
     buffer_ = 1;
   else if (d < -params_.buf_resolution)

@@ -39,6 +39,12 @@ enum class InjectedFault {
   kNonConvergence,   ///< transient Newton loop gives up (ConvergenceError)
   kSingularMatrix,   ///< MNA pivot collapse (ConvergenceError, singular text)
   kSlowConvergence,  ///< Newton burns iterations; trips the iteration watchdog
+  /// A silently diverged solve: run_for returns normally but leaves every
+  /// unknown node voltage NaN. No exception from the engine — this exists
+  /// to prove the observation/classification layer (sos_runner, the output
+  /// latch) converts non-finite voltages into a retryable solver failure
+  /// instead of a bogus fault primitive.
+  kNanVoltage,
 };
 
 struct InjectionSpec {

@@ -22,6 +22,7 @@
 #include "pf/spice/matrix.hpp"
 #include "pf/spice/netlist.hpp"
 #include "pf/spice/waveform.hpp"
+#include "pf/util/cancellation.hpp"
 
 namespace pf::spice {
 
@@ -41,6 +42,13 @@ struct SimOptions {
   // bounded instead of hanging a production sweep.
   uint64_t max_total_nr_iters = 0;  ///< total Newton budget; 0 = unlimited
   double max_wall_seconds = 0.0;    ///< wall-clock budget [s]; 0 = unlimited
+
+  /// Cooperative cancellation, checked once per accepted step alongside the
+  /// watchdogs. When the token trips (Ctrl-C in a sweep CLI, a global
+  /// deadline) the transient throws pf::CancelledError — NOT a
+  /// ConvergenceError, so retry loops abandon the experiment instead of
+  /// re-attempting it. The default token is never tripped.
+  pf::CancellationToken cancel;
 };
 
 /// Statistics accumulated over the life of a Simulator (for the solver
@@ -99,8 +107,10 @@ class Simulator {
   /// on non-convergence. On success commits the new state.
   int try_step(double h, double t_new);
   /// Apply an armed test-only injection (throws or charges iterations).
-  void apply_injected_fault();
-  /// Enforce SimOptions::max_total_nr_iters / max_wall_seconds.
+  /// Returns true when the injection consumed the transient (kNanVoltage):
+  /// the caller must skip the solve, leaving the poisoned state committed.
+  bool apply_injected_fault();
+  /// Enforce SimOptions::max_total_nr_iters / max_wall_seconds / cancel.
   void check_watchdogs();
 
   const Netlist& net_;

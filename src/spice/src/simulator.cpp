@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "pf/spice/fault_injection.hpp"
@@ -298,12 +299,12 @@ void Simulator::run_for_with_ceiling(double duration, double dt_max,
   options_ = saved;
 }
 
-void Simulator::apply_injected_fault() {
+bool Simulator::apply_injected_fault() {
   const testing::InjectionSpec* inj = testing::current_injection();
-  if (inj == nullptr) return;
+  if (inj == nullptr) return false;
   switch (inj->kind) {
     case testing::InjectedFault::kNone:
-      return;
+      return false;
     case testing::InjectedFault::kNonConvergence: {
       testing::note_injection();
       stats_.injected_faults++;
@@ -322,11 +323,28 @@ void Simulator::apply_injected_fault() {
       testing::note_injection();
       stats_.injected_faults++;
       stats_.nr_iterations += inj->slow_penalty_iters;
-      return;
+      return false;
+    case testing::InjectedFault::kNanVoltage:
+      // A silently diverged solve: the transient "completes" but every
+      // unknown node is left non-finite. No exception here — the point is
+      // to prove the classification layer refuses to read NaN as data.
+      testing::note_injection();
+      stats_.injected_faults++;
+      for (size_t n = 1; n < n_nodes_; ++n)
+        if (unknown_of_node_[n] >= 0)
+          v_[n] = std::numeric_limits<double>::quiet_NaN();
+      return true;
   }
+  return false;
 }
 
 void Simulator::check_watchdogs() {
+  if (options_.cancel.stop_requested()) {
+    std::ostringstream os;
+    os << "solve cancelled (" << options_.cancel.reason() << ") at t=" << t_
+       << " s";
+    throw CancelledError(os.str());
+  }
   if (options_.max_total_nr_iters > 0 &&
       stats_.nr_iterations > options_.max_total_nr_iters) {
     std::ostringstream os;
@@ -354,14 +372,23 @@ void Simulator::run_for(double duration, const StepCallback& callback) {
     wall_start_ = std::chrono::steady_clock::now();
     wall_started_ = true;
   }
-  if (testing::armed()) apply_injected_fault();
-  check_watchdogs();
   const double t_stop = t_ + duration;
+  if (testing::armed() && apply_injected_fault()) {
+    // kNanVoltage consumed the transient: the poisoned state stays
+    // committed and time advances as if the solve had succeeded.
+    t_ = t_stop;
+    return;
+  }
+  check_watchdogs();
   dt_ = std::min(options_.dt_initial, duration > 0 ? duration : dt_);
   uint64_t steps_since_wall_check = 0;
   while (t_ < t_stop - 1e-18) {
     ++steps_since_wall_check;
-    if (options_.max_total_nr_iters > 0 || steps_since_wall_check % 512 == 0)
+    // Cancellation is checked every step (two relaxed atomic loads); the
+    // costlier wall-clock watchdog keeps its 512-step throttle unless the
+    // Newton-budget watchdog forces a full check anyway.
+    if (options_.cancel.stop_requested() ||
+        options_.max_total_nr_iters > 0 || steps_since_wall_check % 512 == 0)
       check_watchdogs();
     double h = std::min({dt_, options_.dt_max, t_stop - t_});
     // Land exactly on source/rail ramp corners so edges are not stepped over.

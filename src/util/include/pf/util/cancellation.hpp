@@ -1,0 +1,103 @@
+// Cooperative cancellation for long-running sweeps.
+//
+// A production fault-analysis campaign is hours of solver time; the only
+// *correct* way to stop one early is the path that also survives a crash:
+// finish (or abandon) the in-flight grid points, flush the checkpoint
+// journal, and exit with a resumable status. CancellationToken is the signal
+// that threads that request through the whole execution stack:
+//
+//   CLI signal handler / caller --> ExecutionPolicy::cancel
+//       --> ParallelGridRunner (checked between grid points)
+//       --> SimOptions::cancel --> Simulator watchdog (checked mid-solve)
+//
+// A token is a copyable handle onto shared state (copies observe the same
+// cancellation), with two trigger paths:
+//
+//   * request_cancellation() — explicit, async-signal-safe (an atomic
+//     store), callable from a SIGINT handler or another thread;
+//   * a wall-clock deadline armed once via arm_deadline_after(): the token
+//     reports expiry when steady_clock passes it. Re-arming is a no-op, so
+//     a multi-sweep driver that copies its ExecutionPolicy per sweep still
+//     gets ONE global deadline, not one per sweep.
+//
+// Cancellation surfaces as pf::CancelledError, which is deliberately NOT a
+// ConvergenceError: retry/backoff must never retry a cancelled experiment,
+// and a cancelled point must never be recorded as a solver failure.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+namespace pf {
+
+class CancellationToken {
+ public:
+  /// A fresh, independent token: not cancelled, no deadline.
+  CancellationToken();
+
+  /// Copies share state: cancelling any copy cancels them all.
+  CancellationToken(const CancellationToken&) = default;
+  CancellationToken& operator=(const CancellationToken&) = default;
+
+  /// Trip the token. Async-signal-safe and thread-safe; idempotent.
+  void request_cancellation() const noexcept;
+
+  /// Arm the shared wall-clock deadline `seconds` from now. Only the FIRST
+  /// arming takes effect (subsequent calls, e.g. from per-sweep policy
+  /// copies, are no-ops); seconds <= 0 never arms. Thread-safe.
+  void arm_deadline_after(double seconds) const noexcept;
+
+  /// True once request_cancellation() was called on any copy.
+  bool cancellation_requested() const noexcept;
+
+  /// True once the armed deadline has passed (false while unarmed).
+  bool deadline_expired() const noexcept;
+
+  /// The one check execution layers use: cancelled or past deadline.
+  bool stop_requested() const noexcept {
+    return cancellation_requested() || deadline_expired();
+  }
+
+  /// "cancellation requested" or "deadline expired" — for error messages.
+  std::string reason() const;
+
+ private:
+  friend class SignalCancellation;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<int64_t> deadline_ns{0};  ///< steady_clock ns; 0 = unarmed
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Exit status for "interrupted — resumable": distinct from both success
+/// and hard failure so wrappers/CI can retry the command. (BSD sysexits'
+/// EX_TEMPFAIL, the conventional "try again later" code.)
+inline constexpr int kExitInterrupted = 75;
+
+/// RAII installation of SIGINT/SIGTERM handlers that trip `token`. The
+/// FIRST signal requests cooperative cancellation (drain + flush + resumable
+/// exit); a SECOND signal restores the default disposition and re-raises,
+/// so a wedged process can still be killed with a double Ctrl-C. At most
+/// one instance may be live per process.
+class SignalCancellation {
+ public:
+  /// Install handlers tripping a fresh token (retrieve it via token()).
+  SignalCancellation() : SignalCancellation(CancellationToken()) {}
+  explicit SignalCancellation(const CancellationToken& token);
+  ~SignalCancellation();
+  SignalCancellation(const SignalCancellation&) = delete;
+  SignalCancellation& operator=(const SignalCancellation&) = delete;
+
+  /// The token the installed handlers trip.
+  const CancellationToken& token() const { return token_; }
+
+  /// True once a handled signal tripped the token (to pick the exit path).
+  static bool signalled() noexcept;
+
+ private:
+  CancellationToken token_;
+};
+
+}  // namespace pf

@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte strings.
+//
+// Used by the sweep-journal v2 format (pf/analysis/checkpoint.hpp) to give
+// every checkpoint row an integrity check: a bit flip, a partial flush or a
+// torn write is detected and the row dropped on resume instead of silently
+// corrupting the restart state. The implementation is the standard
+// table-driven one — table built once, thread-safe to call concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pf {
+
+/// CRC-32 of `data` (initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF — the
+/// zlib/PNG convention, so values can be cross-checked with external tools).
+uint32_t crc32(std::string_view data);
+
+/// Continue a running CRC-32: feed chunks as
+/// `crc = crc32_update(crc, chunk)` starting from crc32_init(), then
+/// finalize with crc32_final(). crc32(s) == crc32_final(crc32_update(
+/// crc32_init(), s)).
+uint32_t crc32_init();
+uint32_t crc32_update(uint32_t crc, std::string_view data);
+uint32_t crc32_final(uint32_t crc);
+
+}  // namespace pf

@@ -30,6 +30,16 @@ class ConvergenceError : public Error {
   explicit ConvergenceError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a CancellationToken stops an operation early (Ctrl-C, a
+/// wall-clock deadline). Deliberately NOT a ConvergenceError: retry loops
+/// must never re-attempt a cancelled experiment, and a cancelled point is
+/// not a solver failure — it simply was not run to completion. Catch it at
+/// the CLI layer to flush state and exit with pf::kExitInterrupted.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

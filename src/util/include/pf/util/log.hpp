@@ -17,6 +17,11 @@ LogLevel log_level();
 /// Emit a line to stderr if `level` is enabled.
 void log_line(LogLevel level, const std::string& msg);
 
+/// Emit a warning line to stderr unconditionally (ignores the threshold).
+/// For conditions the user must not miss — e.g. a quarantined or corrupt
+/// checkpoint journal — where silence would read as "all data intact".
+void log_warning(const std::string& msg);
+
 }  // namespace pf
 
 #define PF_LOG_INFO(msg)                                        \
@@ -26,6 +31,13 @@ void log_line(LogLevel level, const std::string& msg);
       pf_log_os_ << msg;                                        \
       ::pf::log_line(::pf::LogLevel::kInfo, pf_log_os_.str());  \
     }                                                           \
+  } while (false)
+
+#define PF_LOG_WARN(msg)               \
+  do {                                 \
+    std::ostringstream pf_log_os_;     \
+    pf_log_os_ << msg;                 \
+    ::pf::log_warning(pf_log_os_.str()); \
   } while (false)
 
 #define PF_LOG_DEBUG(msg)                                       \

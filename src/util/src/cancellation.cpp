@@ -1,0 +1,102 @@
+#include "pf/util/cancellation.hpp"
+
+#include <csignal>
+#include <chrono>
+
+#include "pf/util/error.hpp"
+
+namespace pf {
+
+namespace {
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CancellationToken::CancellationToken() : state_(std::make_shared<State>()) {}
+
+void CancellationToken::request_cancellation() const noexcept {
+  state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+void CancellationToken::arm_deadline_after(double seconds) const noexcept {
+  if (seconds <= 0.0) return;
+  const int64_t deadline =
+      now_ns() + static_cast<int64_t>(seconds * 1e9);
+  int64_t unarmed = 0;
+  // First arming wins: per-sweep copies of a driver policy re-arm as no-ops.
+  state_->deadline_ns.compare_exchange_strong(unarmed, deadline,
+                                              std::memory_order_relaxed);
+}
+
+bool CancellationToken::cancellation_requested() const noexcept {
+  return state_->cancelled.load(std::memory_order_relaxed);
+}
+
+bool CancellationToken::deadline_expired() const noexcept {
+  const int64_t deadline = state_->deadline_ns.load(std::memory_order_relaxed);
+  return deadline != 0 && now_ns() >= deadline;
+}
+
+std::string CancellationToken::reason() const {
+  if (cancellation_requested()) return "cancellation requested";
+  if (deadline_expired()) return "deadline expired";
+  return "not cancelled";
+}
+
+namespace {
+
+// The signal handler can only touch lock-free atomics: a raw pointer to the
+// installed token's cancelled flag and a trip counter. The SignalCancellation
+// object keeps the owning shared state alive for as long as the handler is
+// installed.
+std::atomic<std::atomic<bool>*> g_cancel_flag{nullptr};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void pf_cancellation_signal_handler(int signum) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) > 0) {
+    // Second signal: the cooperative path is not draining fast enough (or
+    // is wedged) — fall back to the default disposition and re-raise.
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  std::atomic<bool>* flag = g_cancel_flag.load(std::memory_order_relaxed);
+  if (flag != nullptr) flag->store(true, std::memory_order_relaxed);
+}
+
+// Keeps the token state alive while handlers are installed.
+CancellationToken g_installed_token;
+bool g_installed = false;
+
+}  // namespace
+
+SignalCancellation::SignalCancellation(const CancellationToken& token)
+    : token_(token) {
+  PF_CHECK_MSG(!g_installed,
+               "only one SignalCancellation may be live per process");
+  g_installed = true;
+  g_installed_token = token;
+  g_signal_count.store(0, std::memory_order_relaxed);
+  g_cancel_flag.store(&token.state_->cancelled, std::memory_order_relaxed);
+  std::signal(SIGINT, pf_cancellation_signal_handler);
+  std::signal(SIGTERM, pf_cancellation_signal_handler);
+}
+
+SignalCancellation::~SignalCancellation() {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_cancel_flag.store(nullptr, std::memory_order_relaxed);
+  g_installed_token = CancellationToken();
+  g_installed = false;
+}
+
+bool SignalCancellation::signalled() noexcept {
+  return g_signal_count.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace pf

@@ -1,0 +1,38 @@
+#include "pf/util/crc32.hpp"
+
+#include <array>
+
+namespace pf {
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? kPoly ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+uint32_t crc32_update(uint32_t crc, std::string_view data) {
+  for (const char ch : data)
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+uint32_t crc32_final(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+uint32_t crc32(std::string_view data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace pf

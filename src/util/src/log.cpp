@@ -27,4 +27,9 @@ void log_line(LogLevel level, const std::string& msg) {
   }
 }
 
+void log_warning(const std::string& msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[pf] warning: " << msg << '\n';
+}
+
 }  // namespace pf

@@ -1,0 +1,195 @@
+// Cooperative cancellation across the sweep engine, and the NaN/Inf guards
+// between the solver and FFM classification. The headline property: a
+// cancelled-then-resumed N-thread sweep produces a region map bit-identical
+// to an uninterrupted serial run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "pf/analysis/checkpoint.hpp"
+#include "pf/analysis/region.hpp"
+#include "pf/analysis/sos_runner.hpp"
+#include "pf/spice/fault_injection.hpp"
+#include "pf/util/cancellation.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::analysis {
+namespace {
+
+using dram::Defect;
+using dram::DramParams;
+using dram::OpenSite;
+using faults::Ffm;
+using faults::Sos;
+using spice::testing::InjectedFault;
+using spice::testing::InjectionSpec;
+using spice::testing::ScopedFaultPlan;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.params = DramParams{};
+  spec.defect = Defect::open(OpenSite::kBitLineOuter, 1e6);
+  spec.sos = Sos::parse("1r1");
+  spec.r_axis = pf::logspace(1e6, 10e6, 3);
+  spec.u_axis = pf::linspace(0.0, 3.3, 4);
+  return spec;
+}
+
+std::string temp_journal(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+InjectionSpec nan_voltage(int fail_attempts) {
+  InjectionSpec s;
+  s.kind = InjectedFault::kNanVoltage;
+  s.fail_attempts = fail_attempts;
+  return s;
+}
+
+TEST(SweepCancellation, PreCancelledTokenStopsBeforeAnyPoint) {
+  const SweepSpec spec = small_spec();
+  for (int threads : {1, 4}) {
+    ExecutionPolicy policy;
+    policy.threads = threads;
+    policy.cancel.request_cancellation();
+    EXPECT_THROW(sweep_region(spec, policy), pf::CancelledError)
+        << threads << " threads";
+  }
+}
+
+TEST(SweepCancellation, CancelledErrorIsNotAConvergenceError) {
+  // Retry loops catch ConvergenceError (a pf::Error); CancelledError must
+  // not be caught by a ConvergenceError handler, or cancellation would be
+  // retried like a solver hiccup.
+  const pf::CancelledError e("cancelled");
+  const pf::Error* as_base = &e;
+  EXPECT_EQ(dynamic_cast<const ConvergenceError*>(as_base), nullptr);
+  EXPECT_NE(dynamic_cast<const pf::CancelledError*>(as_base), nullptr);
+}
+
+TEST(SweepCancellation, SolverWatchdogSeesTheTokenMidPoint) {
+  // The token reaches the Simulator through DramParams::sim, so a trip
+  // aborts the in-flight transient at the next accepted step — not after
+  // the grid point completes.
+  SweepSpec spec = small_spec();
+  spec.params.sim.cancel.request_cancellation();
+  Defect defect = spec.defect;
+  defect.resistance = spec.r_axis[0];
+  const auto lines = dram::floating_lines_for(defect, spec.params);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_THROW(
+      run_sos(spec.params, defect, &lines[0], spec.u_axis[1], spec.sos),
+      pf::CancelledError);
+}
+
+TEST(SweepCancellation, ExpiredDeadlineAbortsTheSweep) {
+  const SweepSpec spec = small_spec();
+  ExecutionPolicy policy;
+  policy.deadline_seconds = 1e-9;
+  try {
+    sweep_region(spec, policy);
+    FAIL() << "deadline must abort the sweep";
+  } catch (const pf::CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline expired"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepCancellation, CancelledParallelSweepResumesBitIdentical) {
+  // THE acceptance property: cancel a 4-thread journaled sweep partway,
+  // resume it, and require the final map bit-identical to an uninterrupted
+  // serial run. Cancelled points must never be recorded as failures.
+  const SweepSpec spec = small_spec();
+  const RegionMap serial = sweep_region(spec);  // uninterrupted reference
+  const std::string path = temp_journal("cancel_resume_journal.csv");
+  std::remove(path.c_str());
+
+  ExecutionPolicy policy;
+  policy.threads = 4;
+  policy.journal_path = path;
+  policy.progress = [&policy](size_t done, size_t /*total*/) {
+    if (done >= 3) policy.cancel.request_cancellation();
+  };
+  EXPECT_THROW(sweep_region(spec, policy), pf::CancelledError);
+
+  // The journal holds the drained prefix: at least the 3 points that
+  // completed before the trip, all CRC-valid, no END trailer, no FAIL rows.
+  const SweepJournal::LoadResult loaded = SweepJournal::load(path, spec);
+  EXPECT_GE(loaded.entries.size(), 3u);
+  EXPECT_LT(loaded.entries.size(), 12u);
+  EXPECT_EQ(loaded.dropped, 0u);
+  EXPECT_EQ(loaded.fail_rows, 0u);
+  EXPECT_FALSE(loaded.clean_end);
+
+  // Resume with a fresh policy (new token) and 4 threads.
+  ExecutionPolicy resume;
+  resume.threads = 4;
+  resume.journal_path = path;
+  const RegionMap map = sweep_region(spec, resume);
+  EXPECT_EQ(map.solve_stats().resumed, loaded.entries.size());
+  EXPECT_EQ(map.solve_stats().attempted, 12u - loaded.entries.size());
+  EXPECT_EQ(map.solve_stats().failed, 0u);
+  EXPECT_EQ(map.to_csv(), serial.to_csv());
+  EXPECT_TRUE(SweepJournal::load(path, spec).clean_end);
+  std::remove(path.c_str());
+}
+
+TEST(SweepCancellation, SerialCancelAlsoResumesBitIdentical) {
+  const SweepSpec spec = small_spec();
+  const RegionMap serial = sweep_region(spec);
+  const std::string path = temp_journal("cancel_serial_journal.csv");
+  std::remove(path.c_str());
+
+  ExecutionPolicy policy;
+  policy.journal_path = path;
+  policy.progress = [&policy](size_t done, size_t /*total*/) {
+    if (done == 5) policy.cancel.request_cancellation();
+  };
+  EXPECT_THROW(sweep_region(spec, policy), pf::CancelledError);
+  EXPECT_EQ(SweepJournal::load(path, spec).entries.size(), 5u);
+
+  ExecutionPolicy resume;
+  resume.journal_path = path;
+  const RegionMap map = sweep_region(spec, resume);
+  EXPECT_EQ(map.solve_stats().resumed, 5u);
+  EXPECT_EQ(map.solve_stats().attempted, 7u);
+  EXPECT_EQ(map.to_csv(), serial.to_csv());
+  std::remove(path.c_str());
+}
+
+TEST(NanGuard, UnrecoverableNanVoltageDegradesToSolveFailed) {
+  // A silently diverged solve (all node voltages NaN, no exception from the
+  // engine) must surface as kSolveFailed — never threshold into a bogus
+  // fault primitive, never pass as "no fault".
+  const SweepSpec spec = small_spec();
+  ScopedFaultPlan plan({{grid_point_key(1, 1), nan_voltage(100)}});
+  ExecutionPolicy policy;
+  policy.retry.max_attempts = 2;
+  const RegionMap map = sweep_region(spec, policy);
+  EXPECT_EQ(map.failed_points(), 1u);
+  EXPECT_EQ(map.grid().at(1, 1), Ffm::kSolveFailed);
+  EXPECT_EQ(map.solve_stats().failed, 1u);
+  ASSERT_EQ(map.solve_stats().failure_log.size(), 1u);
+  EXPECT_NE(map.solve_stats().failure_log[0].find("non-finite"),
+            std::string::npos)
+      << map.solve_stats().failure_log[0];
+}
+
+TEST(NanGuard, TransientNanVoltageIsRetriedToABitIdenticalMap) {
+  const SweepSpec spec = small_spec();
+  const RegionMap clean = sweep_region(spec);
+  ScopedFaultPlan plan({{grid_point_key(0, 0), nan_voltage(1)},
+                        {grid_point_key(2, 1), nan_voltage(1)}});
+  ExecutionPolicy policy;
+  policy.retry.max_attempts = 3;
+  const RegionMap map = sweep_region(spec, policy);
+  EXPECT_EQ(map.failed_points(), 0u);
+  EXPECT_EQ(map.to_csv(), clean.to_csv());
+  EXPECT_EQ(map.solve_stats().retries, 2u);
+  EXPECT_GE(spice::testing::injections_performed(), 2u);
+}
+
+}  // namespace
+}  // namespace pf::analysis

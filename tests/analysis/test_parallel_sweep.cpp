@@ -240,19 +240,6 @@ TEST(ParallelSweep, RecordFailuresOffStillThrowsUnderThreads) {
   }
 }
 
-TEST(ParallelSweep, DeprecatedSweepOptionsShimMatchesExecutionPolicy) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const SweepSpec spec = small_spec();
-  SweepOptions legacy;
-  legacy.retry.max_attempts = 2;
-  const RegionMap via_shim = sweep_region(spec, legacy);
-  const RegionMap via_policy = sweep_region(spec, legacy.to_policy());
-  EXPECT_EQ(via_shim.to_csv(), via_policy.to_csv());
-  expect_same_stats(via_shim.solve_stats(), via_policy.solve_stats());
-#pragma GCC diagnostic pop
-}
-
 TEST(ParallelCompletion, VerdictIndependentOfThreadCount) {
   CompletionSpec spec;
   spec.params = DramParams{};

@@ -228,12 +228,16 @@ TEST(RobustSweep, TruncatedJournalRowIsDroppedNotFatal) {
     opt.journal_path = path;
     sweep_region(spec, opt);
   }
-  // Simulate a crash mid-append: chop the last row in half.
+  // Simulate a crash mid-append: drop the clean-completion trailer the
+  // finished run wrote, then chop the last data row in half.
   {
     std::ifstream in(path);
     std::string all((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
     in.close();
+    const size_t trailer = all.rfind("# pf-sweep-journal END");
+    ASSERT_NE(trailer, std::string::npos);
+    all.resize(trailer);
     std::ofstream out(path, std::ios::trunc);
     out << all.substr(0, all.size() - 7);
   }

@@ -1,0 +1,155 @@
+// Kill-and-resume, end to end on the real binary: spawn a 4-thread
+// defect_explorer sweep with a journal, kill it mid-run (SIGINT for the
+// cooperative drain path, SIGKILL for the crash path), then resume and
+// require the recovered region map bit-identical to an uninterrupted serial
+// run. This is the acceptance test of the crash-safe-journal + graceful-
+// shutdown work: whatever way the process dies, the journal never lies.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "pf/analysis/checkpoint.hpp"
+#include "pf/analysis/region.hpp"
+#include "pf/util/cancellation.hpp"
+
+namespace pf::analysis {
+namespace {
+
+using dram::Defect;
+using dram::DramParams;
+using dram::OpenSite;
+using faults::Sos;
+
+// Mirrors `defect_explorer 4 "1r1" 13 12 <prefix>`: Open 4 has exactly one
+// floating line, so the run writes one journal at <prefix>-line0.csv.
+constexpr int kRPoints = 13;
+constexpr int kUPoints = 12;
+
+SweepSpec explorer_spec() {
+  SweepSpec spec;
+  spec.params = DramParams{};
+  spec.defect = Defect::open(OpenSite::kBitLineOuter, 1e6);
+  spec.sos = Sos::parse("1r1");
+  spec.r_axis = default_r_axis(kRPoints);
+  const auto lines = dram::floating_lines_for(spec.defect, spec.params);
+  spec.u_axis = pf::linspace(lines[0].min_v, lines[0].max_v, kUPoints);
+  return spec;
+}
+
+/// Spawn defect_explorer with stdout/stderr discarded; returns the pid.
+pid_t spawn_explorer(const std::string& journal_prefix) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int devnull = open("/dev/null", O_WRONLY);
+    dup2(devnull, STDOUT_FILENO);
+    dup2(devnull, STDERR_FILENO);
+    execl(PF_DEFECT_EXPLORER_PATH, PF_DEFECT_EXPLORER_PATH, "--threads", "4",
+          "4", "1r1", "13", "12", journal_prefix.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+size_t journal_data_rows(const std::string& path) {
+  std::ifstream in(path);
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty() && line[0] != '#' && line.rfind("iy,", 0) != 0) ++rows;
+  return rows;
+}
+
+/// Block until the journal holds at least `rows` data rows (the child is
+/// mid-sweep) or the deadline passes.
+bool wait_for_rows(const std::string& path, size_t rows, double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (journal_data_rows(path) >= rows) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+int wait_status(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+void kill_resume_roundtrip(const char* tag, int signal_to_send) {
+  const std::string prefix = ::testing::TempDir() + tag;
+  const std::string journal = prefix + "-line0.csv";
+  std::remove(journal.c_str());
+
+  // Phase 1: start the 4-thread sweep and kill it once it is demonstrably
+  // mid-run (journal exists, a few points are committed, most are not).
+  const pid_t pid = spawn_explorer(prefix);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_rows(journal, 3, 30.0))
+      << "child never reached 3 journaled points";
+  ASSERT_EQ(kill(pid, signal_to_send), 0);
+  const int status = wait_status(pid);
+  if (signal_to_send == SIGKILL) {
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  } else {
+    // Cooperative path: drained, flushed, distinct resumable exit status.
+    ASSERT_TRUE(WIFEXITED(status)) << "status " << status;
+    EXPECT_EQ(WEXITSTATUS(status), pf::kExitInterrupted);
+  }
+
+  // The interrupted journal must load: valid prefix recovered, no clean-end
+  // trailer, at most one torn row (SIGKILL can land mid-append).
+  const SweepSpec spec = explorer_spec();
+  const SweepJournal::LoadResult loaded = SweepJournal::load(journal, spec);
+  EXPECT_GE(loaded.entries.size(), 3u);
+  EXPECT_FALSE(loaded.clean_end);
+  EXPECT_FALSE(loaded.quarantined);
+  EXPECT_LE(loaded.dropped, 1u);
+
+  // Phase 2: resume with the SAME command line; the child must finish and
+  // exit cleanly without re-running the journaled points.
+  const pid_t resumed = spawn_explorer(prefix);
+  ASSERT_GT(resumed, 0);
+  const int resumed_status = wait_status(resumed);
+  ASSERT_TRUE(WIFEXITED(resumed_status));
+  EXPECT_EQ(WEXITSTATUS(resumed_status), 0);
+
+  // Phase 3: the resumed journal reconstructs a map bit-identical to an
+  // uninterrupted serial in-process run of the same sweep.
+  const SweepJournal::LoadResult final_load = SweepJournal::load(journal, spec);
+  EXPECT_TRUE(final_load.clean_end);
+  EXPECT_EQ(final_load.entries.size(),
+            static_cast<size_t>(kRPoints * kUPoints));
+  ExecutionPolicy from_journal;
+  from_journal.journal_path = journal;
+  const RegionMap resumed_map = sweep_region(spec, from_journal);
+  EXPECT_EQ(resumed_map.solve_stats().attempted, 0u)
+      << "resume must not re-simulate completed points";
+  const RegionMap serial = sweep_region(spec);
+  EXPECT_EQ(resumed_map.to_csv(), serial.to_csv());
+  std::remove(journal.c_str());
+}
+
+TEST(InterruptResume, SigintDrainsFlushesAndResumesBitIdentical) {
+  kill_resume_roundtrip("sigint_sweep", SIGINT);
+}
+
+TEST(InterruptResume, SigkillCrashTailRecoversAndResumesBitIdentical) {
+  kill_resume_roundtrip("sigkill_sweep", SIGKILL);
+}
+
+}  // namespace
+}  // namespace pf::analysis

@@ -1,0 +1,97 @@
+// Coverage for pf/util/cancellation.hpp: shared-state token semantics, the
+// first-arm-wins deadline, and the SIGINT/SIGTERM handler installation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "pf/util/cancellation.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf {
+namespace {
+
+TEST(CancellationToken, FreshTokenIsNotCancelled) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.cancellation_requested());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), "not cancelled");
+}
+
+TEST(CancellationToken, CopiesShareCancellationState) {
+  const CancellationToken token;
+  const CancellationToken copy = token;
+  copy.request_cancellation();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.cancellation_requested());
+  EXPECT_EQ(token.reason(), "cancellation requested");
+}
+
+TEST(CancellationToken, DistinctTokensAreIndependent) {
+  const CancellationToken a;
+  const CancellationToken b;
+  a.request_cancellation();
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_FALSE(b.stop_requested());
+}
+
+TEST(CancellationToken, ExpiredDeadlineTripsStopRequested) {
+  const CancellationToken token;
+  token.arm_deadline_after(1e-9);  // effectively already expired
+  // steady_clock has passed the 1 ns budget by the time we check; spin a
+  // moment to be safe on a coarse clock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(token.cancellation_requested());
+  EXPECT_EQ(token.reason(), "deadline expired");
+}
+
+TEST(CancellationToken, FirstArmedDeadlineWins) {
+  const CancellationToken token;
+  token.arm_deadline_after(3600.0);  // far future
+  // A later, already-expired deadline must NOT replace the armed one: the
+  // per-sweep policy copies of a multi-sweep driver re-arm as no-ops.
+  token.arm_deadline_after(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(token.deadline_expired());
+}
+
+TEST(CancellationToken, NonPositiveDeadlineNeverArms) {
+  const CancellationToken token;
+  token.arm_deadline_after(0.0);
+  token.arm_deadline_after(-5.0);
+  EXPECT_FALSE(token.deadline_expired());
+}
+
+TEST(SignalCancellation, SigintTripsTheTokenCooperatively) {
+  const CancellationToken token;
+  {
+    SignalCancellation guard(token);
+    EXPECT_FALSE(token.stop_requested());
+    EXPECT_FALSE(SignalCancellation::signalled());
+    std::raise(SIGINT);  // delivered synchronously to this thread
+    EXPECT_TRUE(token.cancellation_requested());
+    EXPECT_TRUE(SignalCancellation::signalled());
+  }
+  // Handlers restored: the token stays tripped but new installs start clean.
+  const CancellationToken fresh;
+  SignalCancellation guard(fresh);
+  EXPECT_FALSE(SignalCancellation::signalled());
+}
+
+TEST(SignalCancellation, SigtermTripsTheToken) {
+  SignalCancellation guard;
+  std::raise(SIGTERM);
+  EXPECT_TRUE(guard.token().stop_requested());
+}
+
+TEST(SignalCancellation, SecondLiveInstanceIsRejected) {
+  SignalCancellation first;
+  EXPECT_THROW(SignalCancellation second, pf::Error);
+}
+
+}  // namespace
+}  // namespace pf
