@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "pf/analysis/completion.hpp"
 #include "pf/analysis/partial.hpp"
@@ -125,7 +126,11 @@ BENCHMARK(BM_SmartAnalysisBitLineOpen)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips
+  // the reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_reproduction();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,6 +5,7 @@
 // shift and the cost across solver settings.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cmath>
 #include <cstdio>
 
@@ -103,7 +104,11 @@ BENCHMARK(BM_OperationAtDtMax)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips
+  // the reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_reproduction();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

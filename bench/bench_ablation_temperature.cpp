@@ -7,6 +7,7 @@
 // -20 C to 125 C.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cmath>
 #include <cstdio>
 
@@ -108,7 +109,11 @@ BENCHMARK(BM_LandmarksAtTemperature)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips
+  // the reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_reproduction();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "pf/dram/column.hpp"
 #include "pf/march/coverage.hpp"
@@ -146,8 +147,12 @@ BENCHMARK(BM_MarchPfOnCircuit)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_circuit_matrix();
-  print_fp_matrix();
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips
+  // the reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_circuit_matrix();
+    print_fp_matrix();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

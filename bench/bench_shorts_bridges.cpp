@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "pf/dram/column.hpp"
@@ -170,10 +171,14 @@ BENCHMARK(BM_HistoryCheck)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_floating_line_audit();
-  print_history_dependence();
-  print_cell_bridge_coupling();
-  print_march_detection();
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips
+  // the reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_floating_line_audit();
+    print_history_dependence();
+    print_cell_bridge_coupling();
+    print_march_detection();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

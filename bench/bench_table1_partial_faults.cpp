@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
@@ -112,7 +113,11 @@ BENCHMARK(BM_OneDefectOneSosAnalysis)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips
+  // the reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_reproduction();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,6 +12,9 @@
 //       (--threads 0 = one per hardware thread; results are bit-identical
 //       for any thread count, only wall-clock changes)
 //   defect_explorer --deadline 300 ...  # give up after 300 s wall clock
+//   defect_explorer --no-reuse ...      # rebuild the circuit per grid point
+//       instead of restamping one compiled template (A/B escape hatch; same
+//       map bit for bit, slower)
 //
 // Graceful shutdown: SIGINT/SIGTERM trips a cooperative cancellation token;
 // in-flight grid points drain, the journal is flushed, and the process
@@ -21,6 +24,7 @@
 // Prints the (R_def, U) region map, the partial-fault classification per
 // observed FFM, and — for each partial fault — the completing operations
 // found by the search.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,9 +58,12 @@ int main(int argc, char** argv) {
   using namespace pf;
   int threads = 1;
   double deadline = 0.0;
+  bool reuse = true;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+    if (std::strcmp(argv[i], "--no-reuse") == 0) {
+      reuse = false;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--threads needs a worker count\n");
         return 1;
@@ -87,6 +94,8 @@ int main(int argc, char** argv) {
   exec.threads = threads;
   exec.cancel = on_signal.token();
   exec.deadline_seconds = deadline;
+  exec.circuit = reuse ? analysis::CircuitMode::kReuse
+                       : analysis::CircuitMode::kRebuild;
 
   analysis::SweepSpec spec;
   spec.params = dram::DramParams{};
@@ -110,10 +119,21 @@ int main(int argc, char** argv) {
           journal_prefix.empty()
               ? std::string()
               : journal_prefix + "-line" + std::to_string(li) + ".csv";
+      const auto sweep_t0 = std::chrono::steady_clock::now();
       const analysis::RegionMap map = analysis::sweep_region(spec, exec);
+      const double sweep_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - sweep_t0)
+                                 .count();
       std::printf("%s\n",
                   map.render("FP regions in the (R_def, U) plane").c_str());
       const analysis::SweepStats& stats = map.solve_stats();
+      std::printf("  sweep: %zu points in %.2f s (%.0f points/s), circuit "
+                  "mode %s\n",
+                  spec.r_axis.size() * spec.u_axis.size(), sweep_s,
+                  static_cast<double>(spec.r_axis.size() *
+                                      spec.u_axis.size()) /
+                      sweep_s,
+                  reuse ? "template-reuse" : "per-point rebuild (--no-reuse)");
       if (stats.resumed > 0 || stats.failed > 0 || stats.retries > 0)
         std::printf("  solver: %zu attempted, %zu resumed from journal, "
                     "%zu retries, %zu unsolved\n",

@@ -9,8 +9,11 @@
 // ParallelGridRunner dispatches their grid points to a fixed-size worker
 // pool:
 //
-//   * each point runs on a private, freshly built DramColumn/simulator
-//     (no shared mutable solver state — see DramColumn's threading note),
+//   * each point runs on a private per-worker DramColumn: by default a
+//     reused compiled column restamped per point (CircuitMode::kReuse, the
+//     compile-once pipeline), optionally a fresh build per point — either
+//     way no solver state is shared between workers (see DramColumn's
+//     threading note),
 //   * indices are claimed in ascending order from an atomic cursor, so a
 //     1-thread parallel run visits points exactly like the serial loop,
 //   * results land in caller-owned per-index slots and are merged by grid
@@ -41,6 +44,22 @@ struct ExecutionPolicy {
 
   /// Per-experiment solver retry/backoff (see pf/analysis/robust.hpp).
   RetryPolicy retry;
+
+  /// How each worker obtains the circuit for its grid points (see
+  /// pf/analysis/sos_runner.hpp). kReuse (default) compiles the circuit
+  /// template once per sweep and restamps a per-worker column per point —
+  /// bit-identical to kRebuild at any thread count, several times faster.
+  /// kRebuild reconstructs netlist + template + column per point (the
+  /// pre-pipeline behaviour, kept as the reference / A/B escape hatch).
+  CircuitMode circuit = CircuitMode::kReuse;
+
+  /// Opt-in warm start (requires kReuse): instead of resetting each
+  /// worker's column to the pristine snapshot, the power-up sequence
+  /// replays from the previous point's end state, so the transient starts
+  /// from the neighboring point's solution. Region maps match the cold
+  /// path (power-up re-establishes every observable level); exact node
+  /// trajectories — and therefore solver step counts — need not.
+  bool warm_start = false;
 
   /// Record unrecoverable points as Ffm::kSolveFailed cells (graceful
   /// degradation). When false the failure with the lowest grid index among

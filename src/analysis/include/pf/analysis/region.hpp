@@ -85,13 +85,23 @@ class RegionMap {
 };
 
 /// Run the sweep (|r_axis| * |u_axis| SOS experiments) under the execution
-/// policy: grid points are dispatched to policy.threads workers (each
-/// experiment on its own freshly built column — no shared solver state),
-/// retried under policy.retry, degraded to Ffm::kSolveFailed cells when
+/// policy: grid points are dispatched to policy.threads workers, retried
+/// under policy.retry, degraded to Ffm::kSolveFailed cells when
 /// unrecoverable (unless policy.record_failures is off), journaled for
 /// checkpoint/resume when policy.journal_path is set, and merged by grid
 /// index. Any thread count returns a bit-identical RegionMap: same grid,
 /// same SweepStats totals, same index-ordered failure_log.
+///
+/// Circuit lifecycle: with policy.circuit == CircuitMode::kReuse (default)
+/// the circuit template — netlist, node map, sparsity pattern, elimination
+/// order — is compiled ONCE per sweep; each worker owns a private
+/// SosSession whose column is restamped (defect resistance via ParamHandle,
+/// engine options in place) and reset() per grid point. Because reset() is
+/// bit-identical to a fresh construction (pf/dram/column.hpp), the map
+/// equals a CircuitMode::kRebuild sweep bit for bit at any thread count;
+/// only wall-clock changes. policy.warm_start additionally replays power-up
+/// from the previous point's end state instead of restoring the pristine
+/// snapshot (same map, different solver trajectories).
 ///
 /// Cancellation: when policy.cancel trips (signal handler, deadline) the
 /// sweep drains in-flight points, journals them, and throws

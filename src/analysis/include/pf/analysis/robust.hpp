@@ -73,7 +73,8 @@ spice::SimOptions tightened_sim_options(const spice::SimOptions& base,
 
 /// run_sos under the retry policy. Never throws for solver failures; any
 /// pf::Error from the electrical experiment is converted into a failed
-/// RobustOutcome after the attempt budget is spent.
+/// RobustOutcome after the attempt budget is spent. This overload rebuilds
+/// a fresh column per attempt (CircuitMode::kRebuild semantics).
 RobustOutcome run_sos_robust(const dram::DramParams& params,
                              const dram::Defect& defect,
                              const dram::FloatingLine* line, double u,
@@ -81,6 +82,23 @@ RobustOutcome run_sos_robust(const dram::DramParams& params,
                              const RetryPolicy& policy,
                              const ExperimentContext& ctx,
                              bool idle_before_observe = false);
+
+/// Same retry loop on a reused per-worker session (CircuitMode::kReuse):
+/// attempt k restamps `defect.resistance` and the tightened options onto the
+/// session's compiled column and resets it, which is bit-identical to
+/// rebuilding — both overloads share one attempt-loop implementation, so the
+/// fresh and reused flavors cannot drift. `base` supplies the attempt-1
+/// SimOptions (including the sweep's cancellation token); `defect` must
+/// match the topology the session was compiled for.
+RobustOutcome run_sos_robust(SosSession& session,
+                             const spice::SimOptions& base,
+                             const dram::Defect& defect,
+                             const dram::FloatingLine* line, double u,
+                             const faults::Sos& sos,
+                             const RetryPolicy& policy,
+                             const ExperimentContext& ctx,
+                             bool idle_before_observe = false,
+                             bool warm_start = false);
 
 /// Injection-context key used by sweep_region for the grid point (ix, iy).
 std::string grid_point_key(size_t ix, size_t iy);

@@ -8,6 +8,20 @@
 //   3. apply the SOS's operations (completing prefix + sensitizing suffix),
 //   4. observe the victim's final state F and the final read result R and
 //      classify the deviation as a fault primitive / FFM.
+//
+// There is exactly ONE implementation of that recipe — run_sos_on — and two
+// ways to hand it a column:
+//
+//   * run_sos builds a fresh DramColumn per call (netlist + compiled
+//     template + power-up). Simple, stateless, and the reference semantics
+//     every reuse path must reproduce bit for bit.
+//   * SosSession keeps a per-worker column alive across experiments and
+//     reconfigures it per point through the compile-once pipeline: restamp
+//     the defect resistance via its ParamHandle, swap engine options in
+//     place, reset() to the pristine post-power-up state. Because reset()
+//     is defined as bit-identical to a fresh construction (see
+//     pf/dram/column.hpp), a session run and a run_sos call with the same
+//     (R_def, options, U, SOS) return identical SosOutcomes.
 #pragma once
 
 #include "pf/dram/column.hpp"
@@ -25,6 +39,17 @@ struct SosOutcome {
   faults::Ffm ffm = faults::Ffm::kUnknown;  ///< classification (when faulty)
 };
 
+/// How a sweep driver obtains the circuit for each grid point.
+enum class CircuitMode {
+  /// Per-worker compiled column, restamped + reset() per point. The compiled
+  /// template is built once per sweep and shared by every worker; results
+  /// are bit-identical to kRebuild at any thread count.
+  kReuse,
+  /// Fresh netlist + template + column per point (the pre-pipeline
+  /// behaviour). Kept as the reference implementation and A/B escape hatch.
+  kRebuild,
+};
+
 /// Run one (defect, floating-voltage, SOS) experiment on a fresh column.
 /// `line` may be null (no override — nominal behaviour). For an
 /// operation-free SOS (state faults) one idle precharge cycle runs between
@@ -35,10 +60,62 @@ SosOutcome run_sos(const dram::DramParams& params, const dram::Defect& defect,
                    const dram::FloatingLine* line, double u,
                    const faults::Sos& sos, bool idle_before_observe = false);
 
-/// Convenience overload reusing an existing column (caller must power_up()
-/// between experiments).
+/// The shared implementation behind run_sos and SosSession::run: executes
+/// the SOS on `column`, which must be in the pristine post-power-up state
+/// (fresh construction, reset(), or — for warm starts — a power_up() replay).
 SosOutcome run_sos_on(dram::DramColumn& column, const dram::FloatingLine* line,
                       double u, const faults::Sos& sos,
                       bool idle_before_observe = false);
+
+/// A reusable experiment context for one worker of a sweep: one compiled
+/// column whose topology is fixed at construction and whose swept values
+/// (defect resistance, engine options, floating voltage) are restamped per
+/// run. Not thread-safe — give each worker its own session via clone().
+class SosSession {
+ public:
+  /// Compiles the column once for (params, defect). The defect's
+  /// `resistance` is only the initial stamp — each run() restamps it to
+  /// that experiment's R_def through the template's ParamHandle.
+  SosSession(const dram::DramParams& params, const dram::Defect& defect);
+
+  /// A pristine replica sharing the compiled template (cheap run-state
+  /// clone) — the per-worker fan-out hook of the parallel sweep engine.
+  SosSession clone() const { return SosSession(column_.clone_fresh()); }
+
+  const dram::DramColumn& column() const { return column_; }
+
+  /// One experiment, bit-identical to
+  ///   run_sos(params{sim = options}, defect{resistance = r_def}, ...)
+  /// on a fresh column. With `warm_start` the column is NOT reset to
+  /// pristine first: the power-up sequence replays from the previous
+  /// experiment's end state (the opt-in R-sweep warm start; classifications
+  /// match the cold path, exact node trajectories need not).
+  ///
+  /// Cold runs additionally cache the POST-INITIALIZATION snapshot: the
+  /// SOS's initializing writes (step 1) happen before the floating voltage
+  /// is injected (step 2), so consecutive experiments that share (R_def,
+  /// numerics, initial states) — e.g. one grid row of a sweep, which varies
+  /// only U — restore the snapshot instead of re-solving power-up and the
+  /// initializing writes. Deterministic replay makes the restored state
+  /// equal the re-solved state bit for bit, so outcomes are unaffected.
+  SosOutcome run(double r_def, const spice::SimOptions& options,
+                 const dram::FloatingLine* line, double u,
+                 const faults::Sos& sos, bool idle_before_observe = false,
+                 bool warm_start = false);
+
+ private:
+  explicit SosSession(dram::DramColumn column) : column_(std::move(column)) {}
+
+  dram::DramColumn column_;
+
+  // Post-initialization snapshot cache (valid for cold runs only; keyed on
+  // the exact configuration that determines the pre-injection trajectory).
+  dram::DramColumn::State init_state_;
+  spice::SimOptions init_options_;
+  double init_r_ = 0.0;
+  int init_victim_ = -2;     // -2: cache empty (Sos uses -1 for "no init")
+  int init_aggressor_ = -2;
+  bool init_valid_ = false;
+};
 
 }  // namespace pf::analysis

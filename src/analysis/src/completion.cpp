@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "pf/util/log.hpp"
 
@@ -113,6 +114,20 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
   dram::DramParams probe_params = spec.params;
   probe_params.sim.cancel = policy.cancel;
 
+  // Compile-once pipeline: one template for the whole search, per-worker
+  // sessions that persist ACROSS candidates — every probe restamps + resets
+  // its worker's column (bit-identical to a fresh build), so the search
+  // never reconstructs a netlist after this point. Probes always reset cold
+  // (no warm start): candidate verdicts must not depend on probe order.
+  std::unique_ptr<SosSession> prototype;
+  if (policy.circuit == CircuitMode::kReuse) {
+    dram::Defect proto_defect = spec.defect;
+    proto_defect.resistance = spec.probe_r.front();
+    prototype = std::make_unique<SosSession>(probe_params, proto_defect);
+  }
+  std::vector<std::unique_ptr<SosSession>> sessions(
+      static_cast<size_t>(runner.workers()));
+
   for (int len = 1; len <= spec.max_prefix_ops; ++len) {
     std::vector<Candidate> candidates;
     enumerate_prefixes(len, entry_state, candidates);
@@ -133,7 +148,7 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
       std::atomic<uint64_t> runs{0};
       std::atomic<uint64_t> failures{0};
       const size_t n_u = spec.probe_u.size();
-      runner.run(spec.probe_r.size() * n_u, [&](size_t k, int /*worker*/) {
+      runner.run(spec.probe_r.size() * n_u, [&](size_t k, int worker) {
         if (rejected.load(std::memory_order_relaxed)) return;
         const double r = spec.probe_r[k / n_u];
         const double u = spec.probe_u[k % n_u];
@@ -147,9 +162,18 @@ CompletionResult search_completing_ops(const CompletionSpec& spec) {
         ctx.r_def = r;
         ctx.u = u;
         ctx.sos = sos.to_string();
-        const RobustOutcome ro = run_sos_robust(
-            probe_params, defect, &line, u, sos, policy.retry, ctx,
-            is_state_fault);
+        RobustOutcome ro;
+        if (prototype != nullptr) {
+          std::unique_ptr<SosSession>& session =
+              sessions[static_cast<size_t>(worker)];
+          if (session == nullptr)
+            session = std::make_unique<SosSession>(prototype->clone());
+          ro = run_sos_robust(*session, probe_params.sim, defect, &line, u,
+                              sos, policy.retry, ctx, is_state_fault);
+        } else {
+          ro = run_sos_robust(probe_params, defect, &line, u, sos,
+                              policy.retry, ctx, is_state_fault);
+        }
         if (!ro.solved) {
           // An unsolvable probe cannot demonstrate the completion; reject
           // the candidate and keep searching instead of aborting the

@@ -226,7 +226,22 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
 
   std::vector<PointOutcome> results(pending.size());
   const ParallelGridRunner runner(policy);
-  runner.run(pending.size(), [&](size_t k, int /*worker*/) {
+  // Compile-once pipeline (ExecutionPolicy::circuit): one circuit template
+  // is built per sweep and shared read-only; each worker lazily clones a
+  // private session from it and restamps + resets that column per point
+  // instead of rebuilding the netlist and re-running the symbolic analysis.
+  // Under kRebuild every point constructs its own column inside run_sos
+  // (the reference path). Either way the only mutable state shared between
+  // workers is the journal (self-serializing).
+  std::unique_ptr<SosSession> prototype;
+  if (policy.circuit == CircuitMode::kReuse && !pending.empty()) {
+    dram::Defect proto_defect = spec.defect;
+    proto_defect.resistance = spec.r_axis[pending.front() / width];
+    prototype = std::make_unique<SosSession>(run_spec.params, proto_defect);
+  }
+  std::vector<std::unique_ptr<SosSession>> sessions(
+      static_cast<size_t>(runner.workers()));
+  runner.run(pending.size(), [&](size_t k, int worker) {
     const size_t iy = pending[k] / width;
     const size_t ix = pending[k] % width;
     dram::Defect defect = spec.defect;
@@ -238,11 +253,19 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
     ctx.r_def = spec.r_axis[iy];
     ctx.u = spec.u_axis[ix];
     ctx.sos = sos_label;
-    // Each experiment builds its own column/simulator inside run_sos — the
-    // only state shared between workers is the journal (self-serializing).
-    const RobustOutcome ro =
-        run_sos_robust(run_spec.params, defect, &line, spec.u_axis[ix],
-                       spec.sos, policy.retry, ctx);
+    RobustOutcome ro;
+    if (prototype != nullptr) {
+      std::unique_ptr<SosSession>& session =
+          sessions[static_cast<size_t>(worker)];
+      if (session == nullptr)
+        session = std::make_unique<SosSession>(prototype->clone());
+      ro = run_sos_robust(*session, run_spec.params.sim, defect, &line,
+                          spec.u_axis[ix], spec.sos, policy.retry, ctx,
+                          /*idle_before_observe=*/false, policy.warm_start);
+    } else {
+      ro = run_sos_robust(run_spec.params, defect, &line, spec.u_axis[ix],
+                          spec.sos, policy.retry, ctx);
+    }
     PointOutcome& out = results[k];
     out.attempts = ro.attempts;
     out.solved = ro.solved;

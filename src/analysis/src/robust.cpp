@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "pf/spice/fault_injection.hpp"
+#include "pf/util/error.hpp"
 #include "pf/util/log.hpp"
 
 namespace pf::analysis {
@@ -33,24 +34,25 @@ spice::SimOptions tightened_sim_options(const spice::SimOptions& base,
   return o;
 }
 
-RobustOutcome run_sos_robust(const dram::DramParams& params,
-                             const dram::Defect& defect,
-                             const dram::FloatingLine* line, double u,
-                             const faults::Sos& sos,
-                             const RetryPolicy& policy,
-                             const ExperimentContext& ctx,
-                             bool idle_before_observe) {
+namespace {
+
+/// The retry loop shared by the rebuild and session overloads; `attempt_fn`
+/// runs one attempt under the (already tightened) options it is given.
+template <typename AttemptFn>
+RobustOutcome robust_attempt_loop(const spice::SimOptions& base,
+                                  const RetryPolicy& policy,
+                                  const ExperimentContext& ctx,
+                                  AttemptFn&& attempt_fn) {
   RobustOutcome ro;
   const int budget = std::max(1, policy.max_attempts);
   for (int attempt = 1; attempt <= budget; ++attempt) {
     ro.attempts = attempt;
-    dram::DramParams tightened = params;
-    tightened.sim = tightened_sim_options(params.sim, policy, attempt);
+    const spice::SimOptions tightened =
+        tightened_sim_options(base, policy, attempt);
     if (spice::testing::armed() && !ctx.key.empty())
       spice::testing::set_context(ctx.key);
     try {
-      ro.outcome =
-          run_sos(tightened, defect, line, u, sos, idle_before_observe);
+      ro.outcome = attempt_fn(tightened);
       ro.solved = true;
       spice::testing::clear_context();
       return ro;
@@ -72,6 +74,42 @@ RobustOutcome run_sos_robust(const dram::DramParams& params,
   PF_LOG_INFO("experiment unsolved after " << budget
                                            << " attempts: " << ro.error);
   return ro;
+}
+
+}  // namespace
+
+RobustOutcome run_sos_robust(const dram::DramParams& params,
+                             const dram::Defect& defect,
+                             const dram::FloatingLine* line, double u,
+                             const faults::Sos& sos,
+                             const RetryPolicy& policy,
+                             const ExperimentContext& ctx,
+                             bool idle_before_observe) {
+  return robust_attempt_loop(
+      params.sim, policy, ctx, [&](const spice::SimOptions& tightened) {
+        dram::DramParams attempt_params = params;
+        attempt_params.sim = tightened;
+        return run_sos(attempt_params, defect, line, u, sos,
+                       idle_before_observe);
+      });
+}
+
+RobustOutcome run_sos_robust(SosSession& session,
+                             const spice::SimOptions& base,
+                             const dram::Defect& defect,
+                             const dram::FloatingLine* line, double u,
+                             const faults::Sos& sos,
+                             const RetryPolicy& policy,
+                             const ExperimentContext& ctx,
+                             bool idle_before_observe, bool warm_start) {
+  PF_CHECK_MSG(defect.kind == session.column().defect().kind &&
+                   defect.site == session.column().defect().site,
+               "session compiled for a different defect topology");
+  return robust_attempt_loop(
+      base, policy, ctx, [&](const spice::SimOptions& tightened) {
+        return session.run(defect.resistance, tightened, line, u, sos,
+                           idle_before_observe, warm_start);
+      });
 }
 
 std::string grid_point_key(size_t ix, size_t iy) {

@@ -12,14 +12,38 @@ using faults::CellRole;
 using faults::Op;
 using faults::Sos;
 
+namespace {
+
+// Step 1 of the recipe: the SOS's initializing states, applied as ordinary
+// (defective) operations. Runs BEFORE the floating-voltage injection, so
+// the resulting column state depends only on (configuration, initial
+// states) — the invariant behind SosSession's post-init snapshot cache.
+void apply_initial_states(DramColumn& column, const Sos& sos) {
+  if (sos.initial_aggressor >= 0)
+    column.write(DramColumn::kAggressorSameBl, sos.initial_aggressor);
+  if (sos.initial_victim >= 0)
+    column.write(DramColumn::kVictim, sos.initial_victim);
+}
+
+// Steps 2-4: floating-voltage injection, operations, observation and
+// classification. The column must already carry the initializing states.
+SosOutcome observe_sos(DramColumn& column, const dram::FloatingLine* line,
+                       double u, const Sos& sos, bool idle_before_observe);
+
+}  // namespace
+
 SosOutcome run_sos_on(DramColumn& column, const dram::FloatingLine* line,
                       double u, const Sos& sos, bool idle_before_observe) {
+  apply_initial_states(column, sos);
+  return observe_sos(column, line, u, sos, idle_before_observe);
+}
+
+namespace {
+
+SosOutcome observe_sos(DramColumn& column, const dram::FloatingLine* line,
+                       double u, const Sos& sos, bool idle_before_observe) {
   const int victim = DramColumn::kVictim;
   const int aggressor = DramColumn::kAggressorSameBl;
-
-  // 1. Initializing states, applied as ordinary (defective) operations.
-  if (sos.initial_aggressor >= 0) column.write(aggressor, sos.initial_aggressor);
-  if (sos.initial_victim >= 0) column.write(victim, sos.initial_victim);
 
   // 2. Floating-voltage injection.
   if (line != nullptr) column.apply_floating_voltage(*line, u);
@@ -71,11 +95,55 @@ SosOutcome run_sos_on(DramColumn& column, const dram::FloatingLine* line,
   return out;
 }
 
+}  // namespace
+
 SosOutcome run_sos(const dram::DramParams& params, const dram::Defect& defect,
                    const dram::FloatingLine* line, double u, const Sos& sos,
                    bool idle_before_observe) {
   DramColumn column(params, defect);
   return run_sos_on(column, line, u, sos, idle_before_observe);
+}
+
+SosSession::SosSession(const dram::DramParams& params,
+                       const dram::Defect& defect)
+    : column_(params, defect) {}
+
+SosOutcome SosSession::run(double r_def, const spice::SimOptions& options,
+                           const dram::FloatingLine* line, double u,
+                           const Sos& sos, bool idle_before_observe,
+                           bool warm_start) {
+  // Reconfigure through the compiled template: both setters are cheap
+  // no-ops when the value is already stamped, so consecutive points of one
+  // grid row (same R_def, same options) reset() via snapshot restore
+  // without solving anything.
+  column_.set_defect_resistance(r_def);
+  column_.set_sim_options(options);
+  if (warm_start) {
+    column_.power_up();  // replay from the previous experiment's end state
+    return run_sos_on(column_, line, u, sos, idle_before_observe);
+  }
+  // Cold path with post-init snapshot cache: the floating voltage is only
+  // injected AFTER the initializing writes, so across one grid row (same
+  // R_def, numerics and initial states, varying U) every experiment shares
+  // the exact post-initialization state. Restoring it replays nothing and
+  // is bit-identical to reset() + re-solved writes (deterministic engine).
+  if (init_valid_ && r_def == init_r_ &&
+      sos.initial_victim == init_victim_ &&
+      sos.initial_aggressor == init_aggressor_ &&
+      spice::same_numerics(options, init_options_)) {
+    column_.restore_state(init_state_);
+  } else {
+    init_valid_ = false;  // stays false if power-up or an init write throws
+    column_.reset();  // bit-identical to a freshly built column
+    apply_initial_states(column_, sos);
+    init_state_ = column_.save_state();
+    init_options_ = options;
+    init_r_ = r_def;
+    init_victim_ = sos.initial_victim;
+    init_aggressor_ = sos.initial_aggressor;
+    init_valid_ = true;
+  }
+  return observe_sos(column_, line, u, sos, idle_before_observe);
 }
 
 }  // namespace pf::analysis

@@ -21,12 +21,30 @@
 // Cells attached to BC store inverted data; the column handles the polarity
 // on write data and read results, so the logical interface is uniform.
 //
-// Threading: a DramColumn owns its netlist and simulator outright and
-// touches no global mutable state, so DISTINCT instances may be built and
-// driven concurrently — the parallel sweep engine (pf/analysis/execution.hpp)
-// gives every worker its own column per experiment. A single instance is not
-// thread-safe; use clone_fresh() to replicate a column's construction
-// parameters onto another worker instead of sharing one.
+// Circuit lifecycle (compile-once pipeline): constructing a DramColumn
+// compiles one immutable spice::CircuitTemplate for its (DramParams, Defect)
+// topology and stamps a mutable spice::CompiledCircuit run state from it.
+// Sweeps then vary parameters WITHOUT rebuilding anything:
+//
+//   * set_defect_resistance(r) restamps the defect socket through a typed
+//     ParamHandle (this also covers kLeakyCell leakage sweeps — the leak is
+//     a socket resistor);
+//   * reset() returns the column to its pristine post-power-up state — a
+//     snapshot restore when the configuration is unchanged, or a replayed
+//     power-up after a restamp, in either case bit-identical to a freshly
+//     constructed column with the same configuration;
+//   * set_sim_options() swaps engine tolerances (retry tightening) in
+//     place; the next reset() replays power-up under the new options,
+//     again matching a fresh build bit for bit;
+//   * apply_floating_voltage / set_cell_voltage overwrite node state
+//     directly (the floating-line initial-voltage hook of Section 3).
+//
+// Threading: distinct DramColumn instances share only the immutable
+// template, so they may be built and driven concurrently — the parallel
+// sweep engine (pf/analysis/execution.hpp) gives every worker its own
+// column via clone_fresh(), which copies the run state (cheap) and shares
+// the compiled template instead of re-running netlist construction and the
+// symbolic pass. A single instance is not thread-safe.
 #pragma once
 
 #include <functional>
@@ -35,7 +53,7 @@
 
 #include "pf/dram/defect.hpp"
 #include "pf/dram/params.hpp"
-#include "pf/spice/simulator.hpp"
+#include "pf/spice/circuit.hpp"
 
 namespace pf::dram {
 
@@ -48,19 +66,62 @@ class DramColumn {
 
   DramColumn(const DramParams& params, const Defect& defect);
 
-  /// A freshly built column with the same parameters and defect (pristine
-  /// power-up state, nothing shared with *this) — the per-worker
-  /// replication hook of the parallel sweep engine.
-  DramColumn clone_fresh() const { return DramColumn(params_, defect_); }
+  /// A pristine column with the same parameters and defect — the per-worker
+  /// replication hook of the parallel sweep engine. Shares the compiled
+  /// template with *this (cheap run-state copy, no netlist rebuild, no
+  /// symbolic pass); its state is bit-identical to a freshly constructed
+  /// column's.
+  DramColumn clone_fresh() const;
 
   const DramParams& params() const { return params_; }
   const Defect& defect() const { return defect_; }
 
+  /// The shared compiled topology (reuse-aware tests and benches).
+  const std::shared_ptr<const spice::CircuitTemplate>& circuit_template()
+      const {
+    return tpl_;
+  }
+
   /// Actual address count: 2 * params().cells_per_bl.
   int num_cells() const { return 2 * params_.cells_per_bl; }
 
-  /// Bring the column to a defined post-power-up state: all cells logical 0,
-  /// bit lines precharged, output buffer cleared, one settling cycle run.
+  /// Return to the pristine post-power-up state (all cells logical 0, bit
+  /// lines precharged, output buffer cleared, one settling cycle run) —
+  /// exactly the state of a freshly constructed column with the current
+  /// defect resistance and engine options. When nothing changed since the
+  /// last reset this is a snapshot restore (no solving); after
+  /// set_defect_resistance / set_sim_options it replays the power-up
+  /// sequence once and re-caches the snapshot.
+  void reset();
+
+  /// Restamp the defect's socket resistance (ParamHandle hot path — no
+  /// rebuild). Keeps the current run state: follow with reset() for a
+  /// cold start equivalent to a fresh build at the new resistance, or with
+  /// power_up() to warm-start from the present state. Requires a defect
+  /// with a socket (throws for Defect::none()).
+  void set_defect_resistance(double ohms);
+
+  /// Swap engine options (the retry loop's per-attempt tightening hook).
+  /// Keeps the current run state; follow with reset() to reproduce a fresh
+  /// build under the new options.
+  void set_sim_options(const spice::SimOptions& options);
+
+  /// Deep snapshot of the column's evolving state (circuit state + output
+  /// buffer). restore_state accepts snapshots taken on this column or any
+  /// clone sharing its template; restoring retraces the exact trajectory
+  /// the snapshotted column would have taken.
+  struct State {
+    spice::CompiledCircuit::State ckt;
+    int buffer = 0;
+  };
+  State save_state() const;
+  void restore_state(const State& state);
+
+  /// Bring the column to a defined post-power-up state by replaying the
+  /// power-up sequence from the CURRENT state: all cells preset to logical
+  /// 0, bit lines precharged, output buffer cleared, one settling cycle
+  /// run. Prefer reset() — it restores a cached snapshot when possible;
+  /// power_up() always solves and is the warm-start path of R-sweeps.
   void power_up();
 
   /// Execute a full write operation (precharge/access/sense/drive/recover).
@@ -102,11 +163,11 @@ class DramColumn {
   void set_node_voltage(const std::string& name, double volts);
 
   /// Accumulated engine statistics.
-  const spice::SimStats& sim_stats() const { return sim_->stats(); }
+  const spice::SimStats& sim_stats() const { return ckt_.stats(); }
 
   /// The column's circuit netlist (e.g. for deck export via
-  /// spice::write_deck).
-  const spice::Netlist& netlist() const { return net_; }
+  /// spice::write_deck). Owned by the shared template.
+  const spice::Netlist& netlist() const { return tpl_->netlist(); }
 
   /// Observe every accepted engine step during subsequent operations
   /// (waveform tracing); pass nullptr to stop tracing.
@@ -127,15 +188,25 @@ class DramColumn {
 
   DramParams params_;
   Defect defect_;
-  spice::Netlist net_;
-  std::unique_ptr<spice::Simulator> sim_;
+  std::shared_ptr<const spice::CircuitTemplate> tpl_;
+  spice::CompiledCircuit ckt_;
+  spice::ParamHandle defect_param_;  // invalid for Defect::none()
   TraceCallback trace_;
   int buffer_ = 0;
+
+  // Pristine post-power-up snapshot backing the reset() fast path; stale
+  // (recomputed on the next reset) after a restamp or option change.
+  State pristine_;
+  bool pristine_valid_ = false;
 
   // Rail handles.
   spice::NodeId vdd_, vbleq_, pre_, rwlt_, rwlc_, sen_, sepb_, csl_, wen_,
       vdt_, vdc_;
   std::vector<spice::NodeId> wl_;  // one word-line rail per address
+  // Hot observation nodes, resolved once.
+  spice::NodeId iot_b_;
+  spice::NodeId cell0_acc_;
+  std::vector<spice::NodeId> cell_nodes_;  // one storage node per address
 };
 
 }  // namespace pf::dram

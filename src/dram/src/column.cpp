@@ -8,215 +8,298 @@ namespace pf::dram {
 
 using spice::NodeId;
 
-DramColumn::DramColumn(const DramParams& params, const Defect& defect)
-    : params_(params), defect_(defect) {
-  const DramParams& p = params_;
+namespace {
+
+/// Socket resistor carrying the defect, or nullptr for Defect::none().
+const char* socket_for(const Defect& defect) {
+  switch (defect.kind) {
+    case DefectKind::kNone:
+      return nullptr;
+    case DefectKind::kOpen:
+      switch (defect.site) {
+        case OpenSite::kCell: return "rdef_cell";
+        case OpenSite::kRefCell: return "rdef_ref";
+        case OpenSite::kPrecharge: return "rdef_pre";
+        case OpenSite::kBitLineOuter: return "rdef_bl4";
+        case OpenSite::kBitLineMid: return "rdef_bl5";
+        case OpenSite::kBitLineSense: return "rdef_bl6";
+        case OpenSite::kSenseAmp: return "rdef_sa";
+        case OpenSite::kIoPath: return "rdef_io";
+        case OpenSite::kWordLine: return "rdef_wl";
+        case OpenSite::kBitLineOuterComp: return "rdef_bl4_c";
+        case OpenSite::kNone: return nullptr;
+      }
+      return nullptr;
+    case DefectKind::kShortToGround:
+      return "rshort_gnd";
+    case DefectKind::kShortToVdd:
+      return "rshort_vdd";
+    case DefectKind::kBridge:
+      return "rbridge";
+    case DefectKind::kCellBridge:
+      return "rbridge_cells";
+    case DefectKind::kLeakyCell:
+      return "rleak_cell";
+  }
+  return nullptr;
+}
+
+/// Builds the column topology and splices the defect into its socket. The
+/// result is frozen into the CircuitTemplate; every run-time variation goes
+/// through parameter handles or node-state overrides, never netlist edits.
+spice::Netlist build_netlist(const DramParams& p, const Defect& defect) {
+  spice::Netlist net;
+  const int num_cells = 2 * p.cells_per_bl;
 
   // Rails.
   PF_CHECK_MSG(p.cells_per_bl >= 2,
                "need at least two cells per bit line (victim + aggressor)");
-  vdd_ = net_.add_rail("vdd", p.vdd);
-  vbleq_ = net_.add_rail("vbleq", p.vbleq);
-  pre_ = net_.add_rail("pre", 0.0);
-  wl_.resize(num_cells());
-  for (int i = 0; i < num_cells(); ++i)
-    wl_[i] = net_.add_rail("wl" + std::to_string(i), 0.0);
-  rwlt_ = net_.add_rail("rwlt", 0.0);
-  rwlc_ = net_.add_rail("rwlc", 0.0);
-  sen_ = net_.add_rail("sen", 0.0);
-  sepb_ = net_.add_rail("sepb", p.vdd);
-  csl_ = net_.add_rail("csl", 0.0);
-  wen_ = net_.add_rail("wen", 0.0);
-  vdt_ = net_.add_rail("vdt", 0.0);
-  vdc_ = net_.add_rail("vdc", 0.0);
+  const NodeId vdd = net.add_rail("vdd", p.vdd);
+  const NodeId vbleq = net.add_rail("vbleq", p.vbleq);
+  const NodeId pre = net.add_rail("pre", 0.0);
+  std::vector<NodeId> wl(num_cells);
+  for (int i = 0; i < num_cells; ++i)
+    wl[i] = net.add_rail("wl" + std::to_string(i), 0.0);
+  const NodeId rwlt = net.add_rail("rwlt", 0.0);
+  const NodeId rwlc = net.add_rail("rwlc", 0.0);
+  const NodeId sen = net.add_rail("sen", 0.0);
+  const NodeId sepb = net.add_rail("sepb", p.vdd);
+  const NodeId csl = net.add_rail("csl", 0.0);
+  const NodeId wen = net.add_rail("wen", 0.0);
+  const NodeId vdt = net.add_rail("vdt", 0.0);
+  const NodeId vdc = net.add_rail("vdc", 0.0);
 
   // Bit-line segments.
-  const NodeId bt0 = net_.node("bt0"), bt1 = net_.node("bt1");
-  const NodeId bt2 = net_.node("bt2"), bt3 = net_.node("bt3");
-  const NodeId bc0 = net_.node("bc0"), bc1 = net_.node("bc1");
-  const NodeId bc2 = net_.node("bc2"), bc3 = net_.node("bc3");
-  net_.add_capacitor("cbt0", bt0, spice::kGround, p.c_bl0);
-  net_.add_capacitor("cbt1", bt1, spice::kGround, p.c_bl1);
-  net_.add_capacitor("cbt2", bt2, spice::kGround, p.c_bl2);
-  net_.add_capacitor("cbt3", bt3, spice::kGround, p.c_bl3);
-  net_.add_capacitor("cbc0", bc0, spice::kGround, p.c_bl0);
-  net_.add_capacitor("cbc1", bc1, spice::kGround, p.c_bl1);
-  net_.add_capacitor("cbc2", bc2, spice::kGround, p.c_bl2);
-  net_.add_capacitor("cbc3", bc3, spice::kGround, p.c_bl3);
+  const NodeId bt0 = net.node("bt0"), bt1 = net.node("bt1");
+  const NodeId bt2 = net.node("bt2"), bt3 = net.node("bt3");
+  const NodeId bc0 = net.node("bc0"), bc1 = net.node("bc1");
+  const NodeId bc2 = net.node("bc2"), bc3 = net.node("bc3");
+  net.add_capacitor("cbt0", bt0, spice::kGround, p.c_bl0);
+  net.add_capacitor("cbt1", bt1, spice::kGround, p.c_bl1);
+  net.add_capacitor("cbt2", bt2, spice::kGround, p.c_bl2);
+  net.add_capacitor("cbt3", bt3, spice::kGround, p.c_bl3);
+  net.add_capacitor("cbc0", bc0, spice::kGround, p.c_bl0);
+  net.add_capacitor("cbc1", bc1, spice::kGround, p.c_bl1);
+  net.add_capacitor("cbc2", bc2, spice::kGround, p.c_bl2);
+  net.add_capacitor("cbc3", bc3, spice::kGround, p.c_bl3);
 
   // Segment connectors; the BT-side ones are defect sockets (Opens 4-6).
-  net_.add_resistor("rdef_bl4", bt0, bt1, p.r_socket);
-  net_.add_resistor("rdef_bl5", bt1, bt2, p.r_socket);
-  net_.add_resistor("rdef_bl6", bt2, bt3, p.r_socket);
-  net_.add_resistor("rdef_bl4_c", bc0, bc1, p.r_socket);
-  net_.add_resistor("rbc12", bc1, bc2, p.r_socket);
-  net_.add_resistor("rbc23", bc2, bc3, p.r_socket);
+  net.add_resistor("rdef_bl4", bt0, bt1, p.r_socket);
+  net.add_resistor("rdef_bl5", bt1, bt2, p.r_socket);
+  net.add_resistor("rdef_bl6", bt2, bt3, p.r_socket);
+  net.add_resistor("rdef_bl4_c", bc0, bc1, p.r_socket);
+  net.add_resistor("rbc12", bc1, bc2, p.r_socket);
+  net.add_resistor("rbc23", bc2, bc3, p.r_socket);
 
   // Precharge devices (Open 3 socket on the true side).
-  const NodeId pre_t = net_.node("pre_t");
-  net_.add_nmos("mpre_t", vbleq_, pre_, pre_t, p.precharge);
-  net_.add_resistor("rdef_pre", pre_t, bt0, p.r_socket);
-  net_.add_nmos("mpre_c", vbleq_, pre_, bc0, p.precharge);
+  const NodeId pre_t = net.node("pre_t");
+  net.add_nmos("mpre_t", vbleq, pre, pre_t, p.precharge);
+  net.add_resistor("rdef_pre", pre_t, bt0, p.r_socket);
+  net.add_nmos("mpre_c", vbleq, pre, bc0, p.precharge);
 
   // Memory cells. Cell 0 is the victim: its storage node sits behind the
   // open-1 socket and its gate behind the open-9 socket.
-  const NodeId gate0 = net_.node("gate0");
-  net_.add_resistor("rdef_wl", wl_[0], gate0, p.r_socket);
-  net_.add_capacitor("cgate0", gate0, spice::kGround, p.c_gate);
-  const NodeId cell0_acc = net_.node("cell0_acc");
-  const NodeId cell0 = net_.node("cell0");
-  net_.add_nmos("macc0", bt1, gate0, cell0_acc, p.access);
-  net_.add_resistor("rdef_cell", cell0_acc, cell0, p.r_socket);
-  net_.add_capacitor("ccell0", cell0, spice::kGround, p.c_cell);
+  const NodeId gate0 = net.node("gate0");
+  net.add_resistor("rdef_wl", wl[0], gate0, p.r_socket);
+  net.add_capacitor("cgate0", gate0, spice::kGround, p.c_gate);
+  const NodeId cell0_acc = net.node("cell0_acc");
+  const NodeId cell0 = net.node("cell0");
+  net.add_nmos("macc0", bt1, gate0, cell0_acc, p.access);
+  net.add_resistor("rdef_cell", cell0_acc, cell0, p.r_socket);
+  net.add_capacitor("ccell0", cell0, spice::kGround, p.c_cell);
 
-  const NodeId cell1 = net_.node("cell1");
-  net_.add_nmos("macc1", bt1, wl_[1], cell1, p.access);
-  net_.add_capacitor("ccell1", cell1, spice::kGround, p.c_cell);
-  for (int i = 2; i < num_cells(); ++i) {
+  const NodeId cell1 = net.node("cell1");
+  net.add_nmos("macc1", bt1, wl[1], cell1, p.access);
+  net.add_capacitor("ccell1", cell1, spice::kGround, p.c_cell);
+  for (int i = 2; i < num_cells; ++i) {
     const std::string idx = std::to_string(i);
-    const NodeId cell = net_.node("cell" + idx);
+    const NodeId cell = net.node("cell" + idx);
     const NodeId bl = i < p.cells_per_bl ? bt1 : bc1;
-    net_.add_nmos("macc" + idx, bl, wl_[i], cell, p.access);
-    net_.add_capacitor("ccell" + idx, cell, spice::kGround, p.c_cell);
+    net.add_nmos("macc" + idx, bl, wl[i], cell, p.access);
+    net.add_capacitor("ccell" + idx, cell, spice::kGround, p.c_cell);
   }
 
   // Reference (dummy) cells (Open 2 socket in the true one). Dummies are
   // reset to ground during precharge through dedicated reset devices and
   // connected to the opposite bit line during access, offsetting the
   // reference side ~100 mV below the precharge level.
-  const NodeId reft_acc = net_.node("reft_acc");
-  const NodeId reft = net_.node("reft");
-  net_.add_nmos("mreft", bt2, rwlt_, reft_acc, p.access);
-  net_.add_resistor("rdef_ref", reft_acc, reft, p.r_socket);
-  net_.add_capacitor("creft", reft, spice::kGround, p.c_ref);
-  net_.add_nmos("mrstt", reft, pre_, spice::kGround, p.access);
-  const NodeId refc = net_.node("refc");
-  net_.add_nmos("mrefc", bc2, rwlc_, refc, p.access);
-  net_.add_capacitor("crefc", refc, spice::kGround, p.c_ref);
-  net_.add_nmos("mrstc", refc, pre_, spice::kGround, p.access);
+  const NodeId reft_acc = net.node("reft_acc");
+  const NodeId reft = net.node("reft");
+  net.add_nmos("mreft", bt2, rwlt, reft_acc, p.access);
+  net.add_resistor("rdef_ref", reft_acc, reft, p.r_socket);
+  net.add_capacitor("creft", reft, spice::kGround, p.c_ref);
+  net.add_nmos("mrstt", reft, pre, spice::kGround, p.access);
+  const NodeId refc = net.node("refc");
+  net.add_nmos("mrefc", bc2, rwlc, refc, p.access);
+  net.add_capacitor("crefc", refc, spice::kGround, p.c_ref);
+  net.add_nmos("mrstc", refc, pre, spice::kGround, p.access);
 
   // Sense amplifier (Open 7 socket in the NMOS footer path).
-  const NodeId san = net_.node("san"), sap = net_.node("sap");
-  const NodeId san_int = net_.node("san_int");
-  net_.add_nmos("msan1", bt3, bc3, san, p.sa_nmos);
-  net_.add_nmos("msan2", bc3, bt3, san, p.sa_nmos);
-  net_.add_pmos("msap1", bt3, bc3, sap, p.sa_pmos);
-  net_.add_pmos("msap2", bc3, bt3, sap, p.sa_pmos);
-  net_.add_resistor("rdef_sa", san, san_int, p.r_socket);
-  net_.add_nmos("msen", san_int, sen_, spice::kGround, p.sa_en_nmos);
-  net_.add_pmos("msep", sap, sepb_, vdd_, p.sa_en_pmos);
-  net_.add_capacitor("csan", san, spice::kGround, p.c_sa);
-  net_.add_capacitor("csap", sap, spice::kGround, p.c_sa);
+  const NodeId san = net.node("san"), sap = net.node("sap");
+  const NodeId san_int = net.node("san_int");
+  net.add_nmos("msan1", bt3, bc3, san, p.sa_nmos);
+  net.add_nmos("msan2", bc3, bt3, san, p.sa_nmos);
+  net.add_pmos("msap1", bt3, bc3, sap, p.sa_pmos);
+  net.add_pmos("msap2", bc3, bt3, sap, p.sa_pmos);
+  net.add_resistor("rdef_sa", san, san_int, p.r_socket);
+  net.add_nmos("msen", san_int, sen, spice::kGround, p.sa_en_nmos);
+  net.add_pmos("msep", sap, sepb, vdd, p.sa_en_pmos);
+  net.add_capacitor("csan", san, spice::kGround, p.c_sa);
+  net.add_capacitor("csap", sap, spice::kGround, p.c_sa);
 
   // Column select and shared IO (Open 8 socket on the true IO line).
-  const NodeId iot_a = net_.node("iot_a"), iot_b = net_.node("iot_b");
-  const NodeId ioc_a = net_.node("ioc_a"), ioc_b = net_.node("ioc_b");
-  net_.add_nmos("mcslt", bt3, csl_, iot_a, p.csl);
-  net_.add_nmos("mcslc", bc3, csl_, ioc_a, p.csl);
-  net_.add_resistor("rdef_io", iot_a, iot_b, p.r_socket);
-  net_.add_resistor("rio_c", ioc_a, ioc_b, p.r_socket);
-  net_.add_capacitor("ciot_a", iot_a, spice::kGround, p.c_io);
-  net_.add_capacitor("ciot_b", iot_b, spice::kGround, p.c_io);
-  net_.add_capacitor("cioc_a", ioc_a, spice::kGround, p.c_io);
-  net_.add_capacitor("cioc_b", ioc_b, spice::kGround, p.c_io);
+  const NodeId iot_a = net.node("iot_a"), iot_b = net.node("iot_b");
+  const NodeId ioc_a = net.node("ioc_a"), ioc_b = net.node("ioc_b");
+  net.add_nmos("mcslt", bt3, csl, iot_a, p.csl);
+  net.add_nmos("mcslc", bc3, csl, ioc_a, p.csl);
+  net.add_resistor("rdef_io", iot_a, iot_b, p.r_socket);
+  net.add_resistor("rio_c", ioc_a, ioc_b, p.r_socket);
+  net.add_capacitor("ciot_a", iot_a, spice::kGround, p.c_io);
+  net.add_capacitor("ciot_b", iot_b, spice::kGround, p.c_io);
+  net.add_capacitor("cioc_a", ioc_a, spice::kGround, p.c_io);
+  net.add_capacitor("cioc_b", ioc_b, spice::kGround, p.c_io);
 
   // Write drivers on the far IO segments.
-  net_.add_nmos("mwdt", vdt_, wen_, iot_b, p.wdrv);
-  net_.add_nmos("mwdc", vdc_, wen_, ioc_b, p.wdrv);
+  net.add_nmos("mwdt", vdt, wen, iot_b, p.wdrv);
+  net.add_nmos("mwdc", vdc, wen, ioc_b, p.wdrv);
 
   // Shunt-defect sockets (benign by default).
-  net_.add_resistor("rshort_gnd", bt1, spice::kGround, p.r_benign_shunt);
-  net_.add_resistor("rshort_vdd", bt1, vdd_, p.r_benign_shunt);
-  net_.add_resistor("rbridge", bt1, bc1, p.r_benign_shunt);
-  net_.add_resistor("rbridge_cells", cell0, cell1, p.r_benign_shunt);
-  net_.add_resistor("rleak_cell", cell0, spice::kGround, p.r_benign_shunt);
+  net.add_resistor("rshort_gnd", bt1, spice::kGround, p.r_benign_shunt);
+  net.add_resistor("rshort_vdd", bt1, vdd, p.r_benign_shunt);
+  net.add_resistor("rbridge", bt1, bc1, p.r_benign_shunt);
+  net.add_resistor("rbridge_cells", cell0, cell1, p.r_benign_shunt);
+  net.add_resistor("rleak_cell", cell0, spice::kGround, p.r_benign_shunt);
 
   // Inject the defect into its socket.
-  switch (defect_.kind) {
-    case DefectKind::kNone:
-      break;
-    case DefectKind::kOpen: {
-      PF_CHECK_MSG(defect_.resistance > 0, "open needs R_def > 0");
-      const char* socket = nullptr;
-      switch (defect_.site) {
-        case OpenSite::kCell: socket = "rdef_cell"; break;
-        case OpenSite::kRefCell: socket = "rdef_ref"; break;
-        case OpenSite::kPrecharge: socket = "rdef_pre"; break;
-        case OpenSite::kBitLineOuter: socket = "rdef_bl4"; break;
-        case OpenSite::kBitLineMid: socket = "rdef_bl5"; break;
-        case OpenSite::kBitLineSense: socket = "rdef_bl6"; break;
-        case OpenSite::kSenseAmp: socket = "rdef_sa"; break;
-        case OpenSite::kIoPath: socket = "rdef_io"; break;
-        case OpenSite::kWordLine: socket = "rdef_wl"; break;
-        case OpenSite::kBitLineOuterComp: socket = "rdef_bl4_c"; break;
-        case OpenSite::kNone: break;
-      }
-      PF_CHECK_MSG(socket != nullptr, "open defect needs a site");
-      net_.set_resistance(socket, defect_.resistance);
-      break;
-    }
-    case DefectKind::kShortToGround:
-      PF_CHECK(defect_.resistance > 0);
-      net_.set_resistance("rshort_gnd", defect_.resistance);
-      break;
-    case DefectKind::kShortToVdd:
-      PF_CHECK(defect_.resistance > 0);
-      net_.set_resistance("rshort_vdd", defect_.resistance);
-      break;
-    case DefectKind::kBridge:
-      PF_CHECK(defect_.resistance > 0);
-      net_.set_resistance("rbridge", defect_.resistance);
-      break;
-    case DefectKind::kCellBridge:
-      PF_CHECK(defect_.resistance > 0);
-      net_.set_resistance("rbridge_cells", defect_.resistance);
-      break;
-    case DefectKind::kLeakyCell:
-      PF_CHECK(defect_.resistance > 0);
-      net_.set_resistance("rleak_cell", defect_.resistance);
-      break;
+  if (defect.kind != DefectKind::kNone) {
+    PF_CHECK_MSG(defect.resistance > 0, "defect needs R_def > 0");
+    const char* socket = socket_for(defect);
+    PF_CHECK_MSG(socket != nullptr, "open defect needs a site");
+    net.set_resistance(socket, defect.resistance);
   }
+  return net;
+}
 
-  sim_ = std::make_unique<spice::Simulator>(net_, p.sim);
+}  // namespace
+
+DramColumn::DramColumn(const DramParams& params, const Defect& defect)
+    : params_(params),
+      defect_(defect),
+      tpl_(std::make_shared<const spice::CircuitTemplate>(
+          build_netlist(params_, defect_))),
+      ckt_(tpl_, params_.sim) {
+  const char* socket = socket_for(defect_);
+  if (socket != nullptr) defect_param_ = tpl_->resistance_param(socket);
+
+  vdd_ = nid("vdd");
+  vbleq_ = nid("vbleq");
+  pre_ = nid("pre");
+  wl_.resize(num_cells());
+  for (int i = 0; i < num_cells(); ++i) wl_[i] = nid("wl" + std::to_string(i));
+  rwlt_ = nid("rwlt");
+  rwlc_ = nid("rwlc");
+  sen_ = nid("sen");
+  sepb_ = nid("sepb");
+  csl_ = nid("csl");
+  wen_ = nid("wen");
+  vdt_ = nid("vdt");
+  vdc_ = nid("vdc");
+  iot_b_ = nid("iot_b");
+  cell0_acc_ = nid("cell0_acc");
+  cell_nodes_.resize(num_cells());
+  for (int i = 0; i < num_cells(); ++i)
+    cell_nodes_[i] = nid("cell" + std::to_string(i));
+
   power_up();
+  pristine_ = save_state();
+  pristine_valid_ = true;
+}
+
+DramColumn DramColumn::clone_fresh() const {
+  DramColumn copy(*this);
+  copy.trace_ = nullptr;
+  copy.reset();
+  return copy;
+}
+
+void DramColumn::reset() {
+  if (pristine_valid_) {
+    restore_state(pristine_);
+    return;
+  }
+  // Configuration changed since the snapshot: replay power-up from the
+  // exact state a fresh construction starts from, then re-cache.
+  ckt_.reset_to_initial();
+  power_up();
+  pristine_ = save_state();
+  pristine_valid_ = true;
+}
+
+void DramColumn::set_defect_resistance(double ohms) {
+  if (ohms == defect_.resistance) return;  // already stamped; keep pristine_
+  PF_CHECK_MSG(defect_param_.valid(),
+               "column has no defect socket to restamp (Defect::none())");
+  ckt_.set_resistance(defect_param_, ohms);
+  defect_.resistance = ohms;
+  pristine_valid_ = false;
+}
+
+void DramColumn::set_sim_options(const spice::SimOptions& options) {
+  // A pure cancellation-token / watchdog-free swap cannot change any solved
+  // trajectory, so the pristine snapshot stays valid; only a numeric change
+  // (tolerances, step control, gmin, watchdog budgets) forces the next
+  // reset() to replay power-up under the new options.
+  if (!spice::same_numerics(params_.sim, options)) pristine_valid_ = false;
+  ckt_.set_options(options);
+  params_.sim = options;
+}
+
+DramColumn::State DramColumn::save_state() const {
+  return State{ckt_.save_state(), buffer_};
+}
+
+void DramColumn::restore_state(const State& state) {
+  ckt_.restore_state(state.ckt);
+  buffer_ = state.buffer;
 }
 
 NodeId DramColumn::nid(const std::string& name) const {
-  const auto id = net_.find_node(name);
+  const auto id = tpl_->netlist().find_node(name);
   PF_CHECK_MSG(id.has_value(), "no node named " << name);
   return *id;
 }
 
 void DramColumn::run_phase(double duration) {
   if (trace_) {
-    sim_->run_for(duration,
-                  [this](double t, const spice::Simulator&) { trace_(t, *this); });
+    ckt_.run_for(duration, [this](double t, const spice::CompiledCircuit&) {
+      trace_(t, *this);
+    });
   } else {
-    sim_->run_for(duration);
+    ckt_.run_for(duration);
   }
 }
 
 void DramColumn::power_up() {
   const DramParams& p = params_;
   // Neutral rails.
-  sim_->set_rail(pre_, 0.0);
-  for (int i = 0; i < num_cells(); ++i) sim_->set_rail(wl_[i], 0.0);
-  sim_->set_rail(rwlt_, 0.0);
-  sim_->set_rail(rwlc_, 0.0);
-  sim_->set_rail(sen_, 0.0);
-  sim_->set_rail(sepb_, p.vdd);
-  sim_->set_rail(csl_, 0.0);
-  sim_->set_rail(wen_, 0.0);
+  ckt_.set_rail(pre_, 0.0);
+  for (int i = 0; i < num_cells(); ++i) ckt_.set_rail(wl_[i], 0.0);
+  ckt_.set_rail(rwlt_, 0.0);
+  ckt_.set_rail(rwlc_, 0.0);
+  ckt_.set_rail(sen_, 0.0);
+  ckt_.set_rail(sepb_, p.vdd);
+  ckt_.set_rail(csl_, 0.0);
+  ckt_.set_rail(wen_, 0.0);
   // Defined storage state: logical 0 (low voltage) everywhere.
   for (int i = 0; i < num_cells(); ++i)
-    sim_->set_node_voltage(nid("cell" + std::to_string(i)), 0.0);
+    ckt_.set_node_voltage(cell_nodes_[i], 0.0);
   for (const char* n : {"cell0_acc", "reft", "refc", "reft_acc"})
-    sim_->set_node_voltage(nid(n), 0.0);
+    ckt_.set_node_voltage(nid(n), 0.0);
   for (const char* n : {"bt0", "bt1", "bt2", "bt3", "bc0", "bc1", "bc2",
                         "bc3", "pre_t", "san", "sap", "iot_a", "iot_b",
                         "ioc_a", "ioc_b"})
-    sim_->set_node_voltage(nid(n), p.vbleq);
-  sim_->set_node_voltage(nid("gate0"), 0.0);
+    ckt_.set_node_voltage(nid(n), p.vbleq);
+  ckt_.set_node_voltage(nid("gate0"), 0.0);
   buffer_ = 0;
   idle_cycle();
 }
@@ -226,22 +309,22 @@ void DramColumn::pause(double seconds) {
   const DramParams& p = params_;
   // Everything off (power_up/recover already guarantee this between
   // operations, but be explicit for direct callers).
-  sim_->set_rail(pre_, 0.0);
-  for (int i = 0; i < num_cells(); ++i) sim_->set_rail(wl_[i], 0.0);
-  sim_->set_rail(rwlt_, 0.0);
-  sim_->set_rail(rwlc_, 0.0);
-  sim_->set_rail(sen_, 0.0);
-  sim_->set_rail(sepb_, p.vdd);
-  sim_->set_rail(csl_, 0.0);
-  sim_->set_rail(wen_, 0.0);
-  sim_->run_for_with_ceiling(seconds, seconds / 100.0);
+  ckt_.set_rail(pre_, 0.0);
+  for (int i = 0; i < num_cells(); ++i) ckt_.set_rail(wl_[i], 0.0);
+  ckt_.set_rail(rwlt_, 0.0);
+  ckt_.set_rail(rwlc_, 0.0);
+  ckt_.set_rail(sen_, 0.0);
+  ckt_.set_rail(sepb_, p.vdd);
+  ckt_.set_rail(csl_, 0.0);
+  ckt_.set_rail(wen_, 0.0);
+  ckt_.run_for_with_ceiling(seconds, seconds / 100.0);
 }
 
 void DramColumn::idle_cycle() {
   const DramParams& p = params_;
-  sim_->set_rail(pre_, p.vpp);
+  ckt_.set_rail(pre_, p.vpp);
   run_phase(p.t_precharge);
-  sim_->set_rail(pre_, 0.0);
+  ckt_.set_rail(pre_, 0.0);
   run_phase(p.t_settle + p.t_recover);
 }
 
@@ -250,13 +333,13 @@ void DramColumn::latch_output_buffer() {
   // sensing against VDD/2): an open in the read path (Open 8) therefore
   // leaves the latch holding stale data instead of letting it resolve
   // through the complement line.
-  const double d = sim_->node_voltage(nid("iot_b")) - params_.vdd / 2;
+  const double d = ckt_.node_voltage(iot_b_) - params_.vdd / 2;
   if (!std::isfinite(d)) {
     // A non-finite IO voltage would silently retain the previous latch
     // value and masquerade as a read fault; it is a solver failure.
     std::ostringstream os;
     os << "non-finite IO-line voltage at read latch (iot_b="
-       << sim_->node_voltage(nid("iot_b")) << ")";
+       << ckt_.node_voltage(iot_b_) << ")";
     throw ConvergenceError(os.str());
   }
   if (d > params_.buf_resolution)
@@ -272,45 +355,45 @@ void DramColumn::run_operation(int addr, bool is_write, int value) {
   const bool comp_side = on_complement_bl(addr);
 
   // Phase 1: precharge the bit lines and reset the dummy cells.
-  sim_->set_rail(pre_, p.vpp);
+  ckt_.set_rail(pre_, p.vpp);
   run_phase(p.t_precharge);
 
   // Phase 2: release precharge.
-  sim_->set_rail(pre_, 0.0);
+  ckt_.set_rail(pre_, 0.0);
   run_phase(p.t_settle);
 
   // Phase 3: raise the selected word line and the opposite-side reference
   // word line (the reference cell balances the complement bit line).
-  sim_->set_rail(wl_[addr], p.vpp);
-  sim_->set_rail(comp_side ? rwlt_ : rwlc_, p.vpp);
+  ckt_.set_rail(wl_[addr], p.vpp);
+  ckt_.set_rail(comp_side ? rwlt_ : rwlc_, p.vpp);
   run_phase(p.t_access);
 
   // Phase 4: enable the sense amplifier.
-  sim_->set_rail(sen_, p.vdd);
-  sim_->set_rail(sepb_, 0.0);
+  ckt_.set_rail(sen_, p.vdd);
+  ckt_.set_rail(sepb_, 0.0);
   run_phase(p.t_sense);
 
   // Phase 5: connect the column to the IO lines; for writes, drive them.
-  sim_->set_rail(csl_, p.vpp);
+  ckt_.set_rail(csl_, p.vpp);
   if (is_write) {
     const int raw = comp_side ? 1 - value : value;
-    sim_->set_rail(vdt_, raw ? p.vdd : 0.0);
-    sim_->set_rail(vdc_, raw ? 0.0 : p.vdd);
-    sim_->set_rail(wen_, p.vpp);
+    ckt_.set_rail(vdt_, raw ? p.vdd : 0.0);
+    ckt_.set_rail(vdc_, raw ? 0.0 : p.vdd);
+    ckt_.set_rail(wen_, p.vpp);
   }
   run_phase(p.t_io);
   latch_output_buffer();
 
   // Phase 6: isolate the cell (word line down while the SA still holds the
   // restored level), then shut everything off.
-  sim_->set_rail(wl_[addr], 0.0);
-  sim_->set_rail(rwlt_, 0.0);
-  sim_->set_rail(rwlc_, 0.0);
+  ckt_.set_rail(wl_[addr], 0.0);
+  ckt_.set_rail(rwlt_, 0.0);
+  ckt_.set_rail(rwlc_, 0.0);
   run_phase(p.t_isolate);
-  sim_->set_rail(sen_, 0.0);
-  sim_->set_rail(sepb_, p.vdd);
-  sim_->set_rail(csl_, 0.0);
-  sim_->set_rail(wen_, 0.0);
+  ckt_.set_rail(sen_, 0.0);
+  ckt_.set_rail(sepb_, p.vdd);
+  ckt_.set_rail(csl_, 0.0);
+  ckt_.set_rail(wen_, 0.0);
   run_phase(p.t_recover);
 }
 
@@ -327,7 +410,7 @@ int DramColumn::read(int addr) {
 
 double DramColumn::cell_voltage(int addr) const {
   PF_CHECK_MSG(addr >= 0 && addr < num_cells(), "bad address " << addr);
-  return sim_->node_voltage(nid("cell" + std::to_string(addr)));
+  return ckt_.node_voltage(cell_nodes_[addr]);
 }
 
 int DramColumn::cell_logical(int addr) const {
@@ -339,9 +422,9 @@ int DramColumn::cell_logical(int addr) const {
 
 void DramColumn::set_cell_voltage(int addr, double volts) {
   PF_CHECK_MSG(addr >= 0 && addr < num_cells(), "bad address " << addr);
-  sim_->set_node_voltage(nid("cell" + std::to_string(addr)), volts);
+  ckt_.set_node_voltage(cell_nodes_[addr], volts);
   if (addr == kVictim && defect_.site != OpenSite::kCell)
-    sim_->set_node_voltage(nid("cell0_acc"), volts);
+    ckt_.set_node_voltage(cell0_acc_, volts);
 }
 
 void DramColumn::set_output_buffer(int value) {
@@ -350,18 +433,18 @@ void DramColumn::set_output_buffer(int value) {
 }
 
 void DramColumn::apply_floating_voltage(const FloatingLine& line, double u) {
-  for (const auto& n : line.nodes) sim_->set_node_voltage(nid(n), u);
+  for (const auto& n : line.nodes) ckt_.set_node_voltage(nid(n), u);
   for (const auto& n : line.complement_nodes)
-    sim_->set_node_voltage(nid(n), params_.vdd - u);
+    ckt_.set_node_voltage(nid(n), params_.vdd - u);
   if (line.ties_output_buffer) buffer_ = u > params_.vdd / 2 ? 1 : 0;
 }
 
 double DramColumn::node_voltage(const std::string& name) const {
-  return sim_->node_voltage(nid(name));
+  return ckt_.node_voltage(nid(name));
 }
 
 void DramColumn::set_node_voltage(const std::string& name, double volts) {
-  sim_->set_node_voltage(nid(name), volts);
+  ckt_.set_node_voltage(nid(name), volts);
 }
 
 }  // namespace pf::dram

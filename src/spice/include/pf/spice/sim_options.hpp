@@ -1,0 +1,53 @@
+// Engine knobs and statistics shared by the compile-once circuit pipeline
+// (pf/spice/circuit.hpp) and its backward-compatible Simulator facade
+// (pf/spice/simulator.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "pf/util/cancellation.hpp"
+
+namespace pf::spice {
+
+struct SimOptions {
+  double dt_min = 1e-13;       ///< below this a failed step is fatal [s]
+  double dt_max = 2e-10;       ///< step ceiling [s]
+  double dt_initial = 1e-11;   ///< first step of each run_for segment [s]
+  double vntol = 1e-6;         ///< node-voltage convergence tolerance [V]
+  int max_nr_iters = 60;       ///< Newton iterations per step
+  double gmin = 1e-12;         ///< leak conductance per node [S]
+  double v_step_limit = 1.0;   ///< Newton damping clamp [V per iteration]
+  double default_slew = 2e-10; ///< source/rail retarget ramp time [s]
+
+  // Watchdogs over the run state's lifetime (one experiment when, as in the
+  // sweep engines, a fresh column/simulator — or a state-snapshot restore —
+  // starts each attempt). Both throw ConvergenceError when exceeded, so a
+  // pathological grid point is bounded instead of hanging a production
+  // sweep.
+  uint64_t max_total_nr_iters = 0;  ///< total Newton budget; 0 = unlimited
+  double max_wall_seconds = 0.0;    ///< wall-clock budget [s]; 0 = unlimited
+
+  /// Cooperative cancellation, checked once per accepted step alongside the
+  /// watchdogs. When the token trips (Ctrl-C in a sweep CLI, a global
+  /// deadline) the transient throws pf::CancelledError — NOT a
+  /// ConvergenceError, so retry loops abandon the experiment instead of
+  /// re-attempting it. The default token is never tripped.
+  pf::CancellationToken cancel;
+};
+
+/// True when two option sets prescribe the same deterministic behaviour:
+/// every numeric knob and watchdog budget equal. The cancellation token and
+/// the wall-clock budget's progress are deliberately excluded — they bound
+/// execution but never change a successful solve.
+bool same_numerics(const SimOptions& a, const SimOptions& b);
+
+/// Statistics accumulated over the life of a run state (for the solver
+/// ablation bench and for convergence regression tests).
+struct SimStats {
+  uint64_t steps = 0;
+  uint64_t nr_iterations = 0;
+  uint64_t rejected_steps = 0;
+  uint64_t injected_faults = 0;  ///< faults applied by the test-only injector
+};
+
+}  // namespace pf::spice

@@ -1,75 +1,40 @@
-// Transient MNA engine.
+// Backward-compatible facade over the compile-once circuit pipeline.
 //
-// Integration: backward Euler with adaptive step control driven by Newton
-// iteration counts (L-stable, which matters because the DRAM sequencer holds
-// quasi-DC plateaus between sharp control edges). Nonlinear solve: damped
-// Newton-Raphson with per-iteration voltage-step limiting and a gmin leak on
-// every node so floating segments (the whole point of open-defect analysis)
-// stay numerically well posed without changing charge-sharing behaviour on
-// simulation timescales (gmin = 1e-12 S -> RC leak >> microseconds).
+// Simulator keeps the original one-shot API — construct from a Netlist, run
+// a transient — while the actual engine lives in CircuitTemplate +
+// CompiledCircuit (pf/spice/circuit.hpp). Each Simulator compiles a private
+// template from a frozen copy of the netlist; callers that evaluate the same
+// topology many times (parameter sweeps) should build one CircuitTemplate
+// and stamp CompiledCircuits from it instead.
 //
-// Known-voltage nodes: ground and rails (Netlist::add_rail) are eliminated
-// from the unknown vector; their device contributions are folded into the
-// right-hand side. Control-heavy circuits like the DRAM column shrink their
-// matrix by ~2x this way.
+// Engine notes (see circuit.hpp for the full story): backward Euler with
+// adaptive step control, damped Newton-Raphson with per-iteration voltage
+// step limiting, gmin leak on every node, and known-voltage (rail) nodes
+// eliminated from the unknown vector. Circuits with voltage sources use the
+// dense partial-pivot LU path — bit-identical to the pre-pipeline engine —
+// while source-free circuits take the compiled sparse static-order path.
 #pragma once
 
-#include <chrono>
 #include <functional>
-#include <string>
-#include <vector>
+#include <memory>
 
-#include "pf/spice/matrix.hpp"
-#include "pf/spice/netlist.hpp"
-#include "pf/spice/waveform.hpp"
-#include "pf/util/cancellation.hpp"
+#include "pf/spice/circuit.hpp"
 
 namespace pf::spice {
 
-struct SimOptions {
-  double dt_min = 1e-13;       ///< below this a failed step is fatal [s]
-  double dt_max = 2e-10;       ///< step ceiling [s]
-  double dt_initial = 1e-11;   ///< first step of each run_for segment [s]
-  double vntol = 1e-6;         ///< node-voltage convergence tolerance [V]
-  int max_nr_iters = 60;       ///< Newton iterations per step
-  double gmin = 1e-12;         ///< leak conductance per node [S]
-  double v_step_limit = 1.0;   ///< Newton damping clamp [V per iteration]
-  double default_slew = 2e-10; ///< source/rail retarget ramp time [s]
-
-  // Watchdogs over the Simulator's lifetime (one experiment when, as in the
-  // sweep engines, a fresh column/simulator is built per attempt). Both
-  // throw ConvergenceError when exceeded, so a pathological grid point is
-  // bounded instead of hanging a production sweep.
-  uint64_t max_total_nr_iters = 0;  ///< total Newton budget; 0 = unlimited
-  double max_wall_seconds = 0.0;    ///< wall-clock budget [s]; 0 = unlimited
-
-  /// Cooperative cancellation, checked once per accepted step alongside the
-  /// watchdogs. When the token trips (Ctrl-C in a sweep CLI, a global
-  /// deadline) the transient throws pf::CancelledError — NOT a
-  /// ConvergenceError, so retry loops abandon the experiment instead of
-  /// re-attempting it. The default token is never tripped.
-  pf::CancellationToken cancel;
-};
-
-/// Statistics accumulated over the life of a Simulator (for the solver
-/// ablation bench and for convergence regression tests).
-struct SimStats {
-  uint64_t steps = 0;
-  uint64_t nr_iterations = 0;
-  uint64_t rejected_steps = 0;
-  uint64_t injected_faults = 0;  ///< faults applied by the test-only injector
-};
-
 class Simulator {
  public:
+  /// Compiles a private template from a copy of `netlist`: later mutation of
+  /// the caller's netlist does not affect this Simulator (construct a new
+  /// one after updating, as before).
   explicit Simulator(const Netlist& netlist, SimOptions options = {});
 
-  double time() const { return t_; }
-  const SimOptions& options() const { return options_; }
-  const SimStats& stats() const { return stats_; }
+  double time() const { return ckt_.time(); }
+  const SimOptions& options() const { return ckt_.options(); }
+  const SimStats& stats() const { return ckt_.stats(); }
 
   /// Current voltage of a node (ground returns 0, rails their level).
-  double node_voltage(NodeId n) const;
+  double node_voltage(NodeId n) const { return ckt_.node_voltage(n); }
 
   /// Override a node's state voltage. This is the floating-voltage
   /// initialization hook of the fault-analysis method: it rewrites the
@@ -77,16 +42,22 @@ class Simulator {
   /// the overridden value. Rails and ground cannot be overridden; overriding
   /// a node that a source holds has no lasting effect (the solver snaps it
   /// back within one step).
-  void set_node_voltage(NodeId n, double volts);
+  void set_node_voltage(NodeId n, double volts) {
+    ckt_.set_node_voltage(n, volts);
+  }
 
   /// Retarget an independent source with the default (or given) slew.
-  void set_source(SourceId s, double volts);
-  void set_source(SourceId s, double volts, double slew);
-  double source_value(SourceId s) const;
+  void set_source(SourceId s, double volts) { ckt_.set_source(s, volts); }
+  void set_source(SourceId s, double volts, double slew) {
+    ckt_.set_source(s, volts, slew);
+  }
+  double source_value(SourceId s) const { return ckt_.source_value(s); }
 
   /// Retarget a rail with the default (or given) slew.
-  void set_rail(NodeId rail, double volts);
-  void set_rail(NodeId rail, double volts, double slew);
+  void set_rail(NodeId rail, double volts) { ckt_.set_rail(rail, volts); }
+  void set_rail(NodeId rail, double volts, double slew) {
+    ckt_.set_rail(rail, volts, slew);
+  }
 
   /// Called after every accepted step with (time, simulator).
   using StepCallback = std::function<void(double, const Simulator&)>;
@@ -100,52 +71,17 @@ class Simulator {
   void run_for_with_ceiling(double duration, double dt_max,
                             const StepCallback& callback = {});
 
+  /// The underlying pipeline pieces, for reuse-aware callers that want to
+  /// snapshot/restore state or restamp parameters on the facade's circuit.
+  const std::shared_ptr<const CircuitTemplate>& circuit_template() const {
+    return tpl_;
+  }
+  CompiledCircuit& circuit() { return ckt_; }
+  const CompiledCircuit& circuit() const { return ckt_; }
+
  private:
-  void load_system(double h, const std::vector<double>& v_prev,
-                   double t_new);
-  /// One backward-Euler step of size h; returns Newton iterations used or -1
-  /// on non-convergence. On success commits the new state.
-  int try_step(double h, double t_new);
-  /// Apply an armed test-only injection (throws or charges iterations).
-  /// Returns true when the injection consumed the transient (kNanVoltage):
-  /// the caller must skip the solve, leaving the poisoned state committed.
-  bool apply_injected_fault();
-  /// Enforce SimOptions::max_total_nr_iters / max_wall_seconds / cancel.
-  void check_watchdogs();
-
-  const Netlist& net_;
-  SimOptions options_;
-  SimStats stats_;
-
-  size_t n_nodes_ = 0;        // including ground and rails
-  size_t n_node_unknowns_ = 0;
-  size_t n_unknowns_ = 0;     // node unknowns + #vsources
-  std::vector<int> unknown_of_node_;  // -1 for ground/rails
-  std::vector<NodeId> node_of_unknown_;  // inverse map for diagnostics
-  double t_ = 0.0;
-  double dt_ = 0.0;
-
-  // Failure diagnostics: the node with the largest undamped Newton delta in
-  // the most recent try_step, so convergence errors can name it.
-  NodeId worst_node_ = kGround;
-  double worst_dv_ = 0.0;
-
-  // Wall-clock watchdog anchor, started lazily by the first run_for.
-  std::chrono::steady_clock::time_point wall_start_{};
-  bool wall_started_ = false;
-
-  std::vector<double> v_;        // node voltages incl. ground/rails, committed
-  std::vector<double> branch_i_; // vsource branch currents, committed
-  std::vector<RampedLevel> source_levels_;
-  std::vector<RampedLevel> rail_levels_;  // indexed by NodeId (unused slots idle)
-
-  // Scratch buffers reused across steps (no per-step allocation).
-  Matrix g_;
-  std::vector<double> rhs_;
-  std::vector<size_t> perm_;
-  std::vector<double> x_;       // candidate unknown vector
-  std::vector<double> v_cand_;  // candidate node voltages incl. known nodes
-  std::vector<double> v_prev_scratch_;
+  std::shared_ptr<const CircuitTemplate> tpl_;
+  CompiledCircuit ckt_;
 };
 
 }  // namespace pf::spice

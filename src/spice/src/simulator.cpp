@@ -1,430 +1,32 @@
 #include "pf/spice/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <sstream>
-
-#include "pf/spice/fault_injection.hpp"
-
 namespace pf::spice {
-namespace {
-
-/// Square-law drain current and small-signal parameters, NMOS convention,
-/// evaluated for vds >= 0 (callers normalize polarity/type first).
-struct MosEval {
-  double ids = 0.0;
-  double gm = 0.0;
-  double gds = 0.0;
-};
-
-MosEval eval_square_law(double vgs, double vds, const MosParams& p) {
-  MosEval e;
-  const double vov = vgs - p.vt;
-  if (vov <= 0.0) return e;  // cutoff
-  const double clm = 1.0 + p.lambda * vds;
-  if (vds < vov) {
-    // Triode region.
-    const double core = vov * vds - 0.5 * vds * vds;
-    e.ids = p.k * core * clm;
-    e.gm = p.k * vds * clm;
-    e.gds = p.k * (vov - vds) * clm + p.k * core * p.lambda;
-  } else {
-    // Saturation.
-    const double core = 0.5 * vov * vov;
-    e.ids = p.k * core * clm;
-    e.gm = p.k * vov * clm;
-    e.gds = p.k * core * p.lambda;
-  }
-  return e;
-}
-
-}  // namespace
 
 Simulator::Simulator(const Netlist& netlist, SimOptions options)
-    : net_(netlist), options_(options) {
-  n_nodes_ = net_.node_count();
-  unknown_of_node_.assign(n_nodes_, -1);
-  rail_levels_.assign(n_nodes_, RampedLevel(0.0));
-  int next = 0;
-  for (size_t n = 1; n < n_nodes_; ++n) {
-    if (net_.is_rail(static_cast<NodeId>(n))) {
-      rail_levels_[n] = RampedLevel(net_.rail_initial(static_cast<NodeId>(n)));
-    } else {
-      unknown_of_node_[n] = next++;
-      node_of_unknown_.push_back(static_cast<NodeId>(n));
-    }
+    : tpl_(std::make_shared<CircuitTemplate>(netlist)),
+      ckt_(tpl_, std::move(options)) {}
+
+void Simulator::run_for(double duration, const StepCallback& callback) {
+  if (!callback) {
+    ckt_.run_for(duration);
+    return;
   }
-  n_node_unknowns_ = static_cast<size_t>(next);
-  n_unknowns_ = n_node_unknowns_ + net_.vsources().size();
-  PF_CHECK_MSG(n_unknowns_ > 0, "netlist has no unknowns");
-  v_.assign(n_nodes_, 0.0);
-  for (size_t n = 1; n < n_nodes_; ++n)
-    if (net_.is_rail(static_cast<NodeId>(n)))
-      v_[n] = net_.rail_initial(static_cast<NodeId>(n));
-  branch_i_.assign(net_.vsources().size(), 0.0);
-  source_levels_.reserve(net_.vsources().size());
-  for (const auto& src : net_.vsources()) source_levels_.emplace_back(src.dc);
-  g_ = Matrix(n_unknowns_, n_unknowns_);
-  rhs_.resize(n_unknowns_);
-  x_.resize(n_unknowns_);
-  v_cand_.resize(n_nodes_);
-  v_prev_scratch_.resize(n_nodes_);
-  dt_ = options_.dt_initial;
-}
-
-double Simulator::node_voltage(NodeId n) const {
-  PF_CHECK_MSG(n >= 0 && static_cast<size_t>(n) < n_nodes_, "bad node " << n);
-  return v_[n];
-}
-
-void Simulator::set_node_voltage(NodeId n, double volts) {
-  PF_CHECK_MSG(n > 0 && static_cast<size_t>(n) < n_nodes_,
-               "cannot override node " << n);
-  PF_CHECK_MSG(!net_.is_rail(n), "cannot override rail " << net_.node_name(n));
-  v_[n] = volts;
-}
-
-void Simulator::set_source(SourceId s, double volts) {
-  set_source(s, volts, options_.default_slew);
-}
-
-void Simulator::set_source(SourceId s, double volts, double slew) {
-  PF_CHECK_MSG(s >= 0 && static_cast<size_t>(s) < source_levels_.size(),
-               "bad source " << s);
-  source_levels_[s].retarget(t_, volts, slew);
-}
-
-double Simulator::source_value(SourceId s) const {
-  PF_CHECK_MSG(s >= 0 && static_cast<size_t>(s) < source_levels_.size(),
-               "bad source " << s);
-  return source_levels_[s].value(t_);
-}
-
-void Simulator::set_rail(NodeId rail, double volts) {
-  set_rail(rail, volts, options_.default_slew);
-}
-
-void Simulator::set_rail(NodeId rail, double volts, double slew) {
-  PF_CHECK_MSG(rail > 0 && static_cast<size_t>(rail) < n_nodes_ &&
-                   net_.is_rail(rail),
-               "node " << rail << " is not a rail");
-  rail_levels_[rail].retarget(t_, volts, slew);
-}
-
-void Simulator::load_system(double h, const std::vector<double>& v_prev,
-                            double t_new) {
-  g_.clear();
-  std::fill(rhs_.begin(), rhs_.end(), 0.0);
-
-  // Conductance between two nodes; known-node terms fold into the RHS.
-  auto stamp_g = [&](NodeId a, NodeId b, double g) {
-    const int ia = unknown_of_node_[a];
-    const int ib = unknown_of_node_[b];
-    if (ia >= 0) {
-      g_(ia, ia) += g;
-      if (ib >= 0)
-        g_(ia, ib) -= g;
-      else
-        rhs_[ia] += g * v_cand_[b];
-    }
-    if (ib >= 0) {
-      g_(ib, ib) += g;
-      if (ia >= 0)
-        g_(ib, ia) -= g;
-      else
-        rhs_[ib] += g * v_cand_[a];
-    }
-  };
-  // Constant current i flowing out of `from` into `to`.
-  auto stamp_i = [&](NodeId from, NodeId to, double i) {
-    const int ifrom = unknown_of_node_[from];
-    const int ito = unknown_of_node_[to];
-    if (ifrom >= 0) rhs_[ifrom] -= i;
-    if (ito >= 0) rhs_[ito] += i;
-  };
-
-  for (const auto& r : net_.resistors()) stamp_g(r.a, r.b, 1.0 / r.ohms);
-
-  for (const auto& c : net_.capacitors()) {
-    const double geq = c.farads / h;
-    const double v_ab_prev = v_prev[c.a] - v_prev[c.b];
-    stamp_g(c.a, c.b, geq);
-    // Companion source: i(a->b) = geq * (v_ab - v_ab_prev); the constant part
-    // geq*v_ab_prev flows b->a.
-    stamp_i(c.b, c.a, geq * v_ab_prev);
-  }
-
-  // gmin leak from every unknown node.
-  for (size_t u = 0; u < n_node_unknowns_; ++u) g_(u, u) += options_.gmin;
-
-  // Voltage sources: branch current unknowns after the node block.
-  const auto& sources = net_.vsources();
-  for (size_t k = 0; k < sources.size(); ++k) {
-    const auto& src = sources[k];
-    const size_t row = n_node_unknowns_ + k;
-    const int ip = unknown_of_node_[src.pos];
-    const int in = unknown_of_node_[src.neg];
-    if (ip >= 0) {
-      g_(ip, row) += 1.0;
-      g_(row, ip) += 1.0;
-    }
-    if (in >= 0) {
-      g_(in, row) -= 1.0;
-      g_(row, in) -= 1.0;
-    }
-    rhs_[row] = source_levels_[k].value(t_new);
-  }
-
-  // MOSFETs: normalize polarity (PMOS mirrors through sign flip) and
-  // source/drain order (symmetric device), then stamp the linearization
-  //   I(d->s) = ieq + gm*vg + gds*vd - (gm+gds)*vs.
-  for (const auto& m : net_.mosfets()) {
-    const double sigma = m.is_pmos ? -1.0 : 1.0;
-    NodeId nd = m.d;
-    NodeId ns = m.s;
-    if (sigma * (v_cand_[nd] - v_cand_[ns]) < 0.0) std::swap(nd, ns);
-    const double vgs_eff = sigma * (v_cand_[m.g] - v_cand_[ns]);
-    const double vds_eff = sigma * (v_cand_[nd] - v_cand_[ns]);
-    const MosEval e = eval_square_law(vgs_eff, vds_eff, m.params);
-    const double ieq = sigma * e.ids - e.gm * v_cand_[m.g] -
-                       e.gds * v_cand_[nd] +
-                       (e.gm + e.gds) * v_cand_[ns];
-    const NodeId coef_nodes[3] = {m.g, nd, ns};
-    const double coefs[3] = {e.gm, e.gds, -(e.gm + e.gds)};
-    // KCL: +I at effective drain, -I at effective source.
-    const NodeId rows[2] = {nd, ns};
-    const double signs[2] = {+1.0, -1.0};
-    for (int r = 0; r < 2; ++r) {
-      const int ir = unknown_of_node_[rows[r]];
-      if (ir < 0) continue;
-      rhs_[ir] -= signs[r] * ieq;
-      for (int cidx = 0; cidx < 3; ++cidx) {
-        const int iu = unknown_of_node_[coef_nodes[cidx]];
-        const double c = signs[r] * coefs[cidx];
-        if (iu >= 0)
-          g_(ir, iu) += c;
-        else
-          rhs_[ir] -= c * v_cand_[coef_nodes[cidx]];
-      }
-    }
-  }
-}
-
-int Simulator::try_step(double h, double t_new) {
-  // Start Newton from the committed solution.
-  for (size_t n = 1; n < n_nodes_; ++n) {
-    const int u = unknown_of_node_[n];
-    if (u >= 0) x_[u] = v_[n];
-  }
-  for (size_t k = 0; k < branch_i_.size(); ++k)
-    x_[n_node_unknowns_ + k] = branch_i_[k];
-
-  std::vector<double>& v_prev = v_prev_scratch_;
-  v_prev = v_;
-
-  for (int iter = 1; iter <= options_.max_nr_iters; ++iter) {
-    // Candidate node voltages: unknowns from x_, known nodes at t_new.
-    v_cand_[kGround] = 0.0;
-    for (size_t n = 1; n < n_nodes_; ++n) {
-      const int u = unknown_of_node_[n];
-      v_cand_[n] = u >= 0 ? x_[u] : rail_levels_[n].value(t_new);
-    }
-    load_system(h, v_prev, t_new);
-    std::vector<double>& sol = rhs_;  // solved in place
-    try {
-      lu_factor(g_, perm_);
-      lu_solve(g_, perm_, sol);
-    } catch (const ConvergenceError&) {
-      return -1;
-    }
-    // Damped update with per-node step limiting; convergence measured on the
-    // undamped node-voltage deltas.
-    double max_dv = 0.0;
-    size_t worst_u = 0;
-    bool clamped = false;
-    for (size_t u = 0; u < n_unknowns_; ++u) {
-      double delta = sol[u] - x_[u];
-      if (u < n_node_unknowns_) {
-        if (std::abs(delta) > max_dv) {
-          max_dv = std::abs(delta);
-          worst_u = u;
-        }
-        if (std::abs(delta) > options_.v_step_limit) {
-          delta = std::copysign(options_.v_step_limit, delta);
-          clamped = true;
-        }
-      }
-      x_[u] += delta;
-    }
-    if (worst_u < node_of_unknown_.size()) {
-      worst_node_ = node_of_unknown_[worst_u];
-      worst_dv_ = max_dv;
-    }
-    if (!std::isfinite(max_dv)) return -1;
-    stats_.nr_iterations++;
-    if (!clamped && max_dv < options_.vntol) {
-      // Commit.
-      for (size_t n = 1; n < n_nodes_; ++n) {
-        const int u = unknown_of_node_[n];
-        v_[n] = u >= 0 ? x_[u] : rail_levels_[n].value(t_new);
-      }
-      for (size_t k = 0; k < branch_i_.size(); ++k)
-        branch_i_[k] = x_[n_node_unknowns_ + k];
-      return iter;
-    }
-  }
-  return -1;
+  ckt_.run_for(duration, [this, &callback](double t, const CompiledCircuit&) {
+    callback(t, *this);
+  });
 }
 
 void Simulator::run_for_with_ceiling(double duration, double dt_max,
                                      const StepCallback& callback) {
-  const SimOptions saved = options_;
-  options_.dt_max = dt_max;
-  options_.dt_initial = dt_max / 10;
-  try {
-    run_for(duration, callback);
-  } catch (const ConvergenceError& e) {
-    // Rethrow with the ceiling context attached: a sweep-level log must be
-    // able to tell a retention-pause failure from an ordinary step failure.
-    options_ = saved;
-    std::ostringstream os;
-    os << e.what() << " [during relaxed-ceiling run: dt_max=" << dt_max
-       << " s]";
-    throw ConvergenceError(os.str());
-  } catch (...) {
-    options_ = saved;
-    throw;
-  }
-  options_ = saved;
-}
-
-bool Simulator::apply_injected_fault() {
-  const testing::InjectionSpec* inj = testing::current_injection();
-  if (inj == nullptr) return false;
-  switch (inj->kind) {
-    case testing::InjectedFault::kNone:
-      return false;
-    case testing::InjectedFault::kNonConvergence: {
-      testing::note_injection();
-      stats_.injected_faults++;
-      std::ostringstream os;
-      os << "injected non-convergence at t=" << t_ << " s";
-      throw ConvergenceError(os.str());
-    }
-    case testing::InjectedFault::kSingularMatrix: {
-      testing::note_injection();
-      stats_.injected_faults++;
-      std::ostringstream os;
-      os << "injected singular MNA matrix (pivot 0) at t=" << t_ << " s";
-      throw ConvergenceError(os.str());
-    }
-    case testing::InjectedFault::kSlowConvergence:
-      testing::note_injection();
-      stats_.injected_faults++;
-      stats_.nr_iterations += inj->slow_penalty_iters;
-      return false;
-    case testing::InjectedFault::kNanVoltage:
-      // A silently diverged solve: the transient "completes" but every
-      // unknown node is left non-finite. No exception here — the point is
-      // to prove the classification layer refuses to read NaN as data.
-      testing::note_injection();
-      stats_.injected_faults++;
-      for (size_t n = 1; n < n_nodes_; ++n)
-        if (unknown_of_node_[n] >= 0)
-          v_[n] = std::numeric_limits<double>::quiet_NaN();
-      return true;
-  }
-  return false;
-}
-
-void Simulator::check_watchdogs() {
-  if (options_.cancel.stop_requested()) {
-    std::ostringstream os;
-    os << "solve cancelled (" << options_.cancel.reason() << ") at t=" << t_
-       << " s";
-    throw CancelledError(os.str());
-  }
-  if (options_.max_total_nr_iters > 0 &&
-      stats_.nr_iterations > options_.max_total_nr_iters) {
-    std::ostringstream os;
-    os << "Newton iteration watchdog: " << stats_.nr_iterations
-       << " iterations exceed the budget of " << options_.max_total_nr_iters
-       << " at t=" << t_ << " s";
-    throw ConvergenceError(os.str());
-  }
-  if (options_.max_wall_seconds > 0.0 && wall_started_) {
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - wall_start_;
-    if (elapsed.count() > options_.max_wall_seconds) {
-      std::ostringstream os;
-      os << "wall-clock watchdog: " << elapsed.count()
-         << " s exceed the budget of " << options_.max_wall_seconds
-         << " s at t=" << t_ << " s";
-      throw ConvergenceError(os.str());
-    }
-  }
-}
-
-void Simulator::run_for(double duration, const StepCallback& callback) {
-  PF_CHECK(duration >= 0.0);
-  if (options_.max_wall_seconds > 0.0 && !wall_started_) {
-    wall_start_ = std::chrono::steady_clock::now();
-    wall_started_ = true;
-  }
-  const double t_stop = t_ + duration;
-  if (testing::armed() && apply_injected_fault()) {
-    // kNanVoltage consumed the transient: the poisoned state stays
-    // committed and time advances as if the solve had succeeded.
-    t_ = t_stop;
+  if (!callback) {
+    ckt_.run_for_with_ceiling(duration, dt_max);
     return;
   }
-  check_watchdogs();
-  dt_ = std::min(options_.dt_initial, duration > 0 ? duration : dt_);
-  uint64_t steps_since_wall_check = 0;
-  while (t_ < t_stop - 1e-18) {
-    ++steps_since_wall_check;
-    // Cancellation is checked every step (two relaxed atomic loads); the
-    // costlier wall-clock watchdog keeps its 512-step throttle unless the
-    // Newton-budget watchdog forces a full check anyway.
-    if (options_.cancel.stop_requested() ||
-        options_.max_total_nr_iters > 0 || steps_since_wall_check % 512 == 0)
-      check_watchdogs();
-    double h = std::min({dt_, options_.dt_max, t_stop - t_});
-    // Land exactly on source/rail ramp corners so edges are not stepped over.
-    auto clamp_corner = [&](double corner) {
-      if (corner > t_ + 1e-18 && corner < t_ + h) h = corner - t_;
-    };
-    for (const auto& lvl : source_levels_) clamp_corner(lvl.ramp_end());
-    for (size_t n = 1; n < n_nodes_; ++n)
-      if (unknown_of_node_[n] < 0) clamp_corner(rail_levels_[n].ramp_end());
-    const double t_new = t_ + h;
-    const int iters = try_step(h, t_new);
-    if (iters < 0) {
-      stats_.rejected_steps++;
-      dt_ = h / 4.0;
-      if (dt_ < options_.dt_min) {
-        std::ostringstream os;
-        os << "transient failed to converge at t=" << t_ << " s (step h=" << h
-           << " s rejected, next dt " << dt_ << " s below dt_min="
-           << options_.dt_min << " s; worst residual node '"
-           << net_.node_name(worst_node_) << "', |dv|=" << worst_dv_ << " V)";
-        throw ConvergenceError(os.str());
-      }
-      continue;
-    }
-    stats_.steps++;
-    t_ = t_new;
-    if (callback) callback(t_, *this);
-    // Step-size control from Newton effort.
-    if (iters <= 3)
-      dt_ = std::min(h * 1.5, options_.dt_max);
-    else if (iters > 8)
-      dt_ = std::max(h * 0.6, options_.dt_min);
-    else
-      dt_ = h;
-  }
-  t_ = t_stop;
+  ckt_.run_for_with_ceiling(
+      duration, dt_max,
+      [this, &callback](double t, const CompiledCircuit&) {
+        callback(t, *this);
+      });
 }
 
 }  // namespace pf::spice

@@ -1,0 +1,190 @@
+// The compile-once pipeline at the spice layer: an immutable CircuitTemplate
+// (symbolic analysis, one per topology) stamping mutable CompiledCircuit run
+// states. The load-bearing property for every sweep built on top: restamping
+// a parameter and resetting the run state is BIT-IDENTICAL to building the
+// whole stack afresh with that parameter baked into the netlist.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pf/spice/circuit.hpp"
+#include "pf/spice/netlist.hpp"
+#include "pf/spice/simulator.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::spice {
+namespace {
+
+constexpr double kVdd = 3.3;
+constexpr double kVpp = 4.5;
+
+MosParams nmos_params() { return MosParams{0.7, 400e-6, 0.02}; }
+
+/// Source-free micro-column (rails only, so the compiled sparse path runs):
+/// a word-line-gated access NMOS charging a storage cap from a bit-line cap
+/// through a defect-socket resistor — one DRAM sweep experiment in
+/// miniature.
+Netlist micro_netlist(double r_def) {
+  Netlist n;
+  const NodeId wl = n.add_rail("wl", 0.0);
+  const NodeId bl = n.node("bl");
+  const NodeId acc = n.node("acc");
+  const NodeId cell = n.node("cell");
+  n.add_capacitor("cbl", bl, kGround, 90e-15);
+  n.add_nmos("macc", bl, wl, acc, nmos_params());
+  n.add_resistor("rdef", acc, cell, r_def);
+  n.add_capacitor("ccell", cell, kGround, 30e-15);
+  return n;
+}
+
+/// One access pulse: precharge the bit line, raise the word line, let the
+/// cell charge through the socket, drop the word line again.
+void run_pulse(CompiledCircuit& ckt) {
+  const NodeId wl = *ckt.circuit_template().netlist().find_node("wl");
+  const NodeId bl = *ckt.circuit_template().netlist().find_node("bl");
+  ckt.set_node_voltage(bl, kVdd);
+  ckt.set_rail(wl, kVpp);
+  ckt.run_for(20e-9);
+  ckt.set_rail(wl, 0.0);
+  ckt.run_for(10e-9);
+}
+
+void expect_bit_identical(const CompiledCircuit& a, const CompiledCircuit& b) {
+  const Netlist& net = a.circuit_template().netlist();
+  ASSERT_EQ(net.node_count(), b.circuit_template().netlist().node_count());
+  EXPECT_EQ(a.time(), b.time());
+  for (NodeId n = 0; n < static_cast<NodeId>(net.node_count()); ++n)
+    EXPECT_EQ(a.node_voltage(n), b.node_voltage(n)) << "node " << n;
+  EXPECT_EQ(a.stats().steps, b.stats().steps);
+  EXPECT_EQ(a.stats().nr_iterations, b.stats().nr_iterations);
+  EXPECT_EQ(a.stats().rejected_steps, b.stats().rejected_steps);
+}
+
+TEST(CircuitTemplate, SourceFreeCircuitCompilesSparse) {
+  const CircuitTemplate tpl(micro_netlist(1e6));
+  EXPECT_TRUE(tpl.sparse());
+  EXPECT_GT(tpl.nonzero_count(), 0u);
+
+  // A voltage source forces the dense reference formulation.
+  Netlist with_source = micro_netlist(1e6);
+  with_source.add_vsource("vx", with_source.node("bl"), kGround, kVdd);
+  EXPECT_FALSE(CircuitTemplate(with_source).sparse());
+}
+
+TEST(CircuitTemplate, ResistanceParamValidatesName) {
+  const CircuitTemplate tpl(micro_netlist(1e6));
+  const ParamHandle h = tpl.resistance_param("rdef");
+  EXPECT_TRUE(h.valid());
+  EXPECT_THROW(tpl.resistance_param("no_such_device"), pf::Error);
+  // Capacitors and MOSFETs are not resistance parameters.
+  EXPECT_THROW(tpl.resistance_param("ccell"), pf::Error);
+}
+
+TEST(CompiledCircuit, RestampThenResetMatchesFreshBuildBitwise) {
+  // The sweep hot path: run at one R_def, restamp the socket through the
+  // handle, reset, rerun — must equal a from-scratch build (new netlist,
+  // new template, new circuit) with the resistance baked in, bit for bit.
+  const auto tpl = std::make_shared<CircuitTemplate>(micro_netlist(1e6));
+  CompiledCircuit reused(tpl, SimOptions{});
+  run_pulse(reused);  // dirty every piece of run state at R = 1 MOhm
+
+  const ParamHandle h = tpl->resistance_param("rdef");
+  reused.set_resistance(h, 250e3);
+  reused.reset_to_initial();
+  run_pulse(reused);
+
+  const auto fresh_tpl =
+      std::make_shared<CircuitTemplate>(micro_netlist(250e3));
+  CompiledCircuit fresh(fresh_tpl, SimOptions{});
+  run_pulse(fresh);
+
+  expect_bit_identical(reused, fresh);
+  // Sanity: the experiment actually depends on the restamped value.
+  const NodeId cell = *tpl->netlist().find_node("cell");
+  EXPECT_GT(reused.node_voltage(cell), 1.0);
+}
+
+TEST(CompiledCircuit, SetResistanceRejectsNonPositive) {
+  const auto tpl = std::make_shared<CircuitTemplate>(micro_netlist(1e6));
+  CompiledCircuit ckt(tpl, SimOptions{});
+  const ParamHandle h = tpl->resistance_param("rdef");
+  EXPECT_THROW(ckt.set_resistance(h, 0.0), pf::Error);
+  EXPECT_THROW(ckt.set_resistance(h, -5.0), pf::Error);
+  EXPECT_THROW(ckt.set_resistance(ParamHandle{}, 1e3), pf::Error);
+}
+
+TEST(CompiledCircuit, SnapshotRestoreRetracesTheExactTrajectory) {
+  const auto tpl = std::make_shared<CircuitTemplate>(micro_netlist(500e3));
+  CompiledCircuit ckt(tpl, SimOptions{});
+  const NodeId wl = *tpl->netlist().find_node("wl");
+  const NodeId bl = *tpl->netlist().find_node("bl");
+
+  ckt.set_node_voltage(bl, kVdd);
+  ckt.set_rail(wl, kVpp);
+  ckt.run_for(5e-9);
+  const CompiledCircuit::State snap = ckt.save_state();
+
+  ckt.run_for(15e-9);  // continue past the snapshot
+  CompiledCircuit replay = ckt;  // run-state copy sharing the template
+  replay.restore_state(snap);
+  replay.run_for(15e-9);
+
+  expect_bit_identical(ckt, replay);
+}
+
+TEST(CompiledCircuit, CopySharesTemplateAndEvolvesIndependently) {
+  const auto tpl = std::make_shared<CircuitTemplate>(micro_netlist(1e6));
+  CompiledCircuit a(tpl, SimOptions{});
+  CompiledCircuit b = a;  // cheap clone: same template, own run state
+  EXPECT_EQ(&a.circuit_template(), &b.circuit_template());
+
+  run_pulse(a);
+  const NodeId cell = *tpl->netlist().find_node("cell");
+  EXPECT_EQ(b.time(), 0.0);  // b untouched by a's run
+  run_pulse(b);
+  EXPECT_EQ(a.node_voltage(cell), b.node_voltage(cell));
+  expect_bit_identical(a, b);
+}
+
+TEST(CompiledCircuit, SparseAgreesWithDenseReferenceFormulation) {
+  // The same physics expressed with a rail (compiled sparse path) and with
+  // a voltage source (dense partial-pivot reference path) must land on the
+  // same settled voltages. Not bitwise — different eliminations — but well
+  // inside solver tolerance.
+  Netlist rail_net;
+  const NodeId vr = rail_net.add_rail("v", kVdd);
+  const NodeId out_r = rail_net.node("out");
+  rail_net.add_resistor("r", vr, out_r, 100e3);
+  rail_net.add_capacitor("c", out_r, kGround, 30e-15);
+  const auto rail_tpl = std::make_shared<CircuitTemplate>(rail_net);
+  ASSERT_TRUE(rail_tpl->sparse());
+  CompiledCircuit rail_ckt(rail_tpl, SimOptions{});
+  rail_ckt.run_for(30e-9);  // 10 tau
+
+  Netlist src_net;
+  const NodeId vs = src_net.node("v");
+  const NodeId out_s = src_net.node("out");
+  src_net.add_vsource("vsrc", vs, kGround, kVdd);
+  src_net.add_resistor("r", vs, out_s, 100e3);
+  src_net.add_capacitor("c", out_s, kGround, 30e-15);
+  const auto src_tpl = std::make_shared<CircuitTemplate>(src_net);
+  ASSERT_FALSE(src_tpl->sparse());
+  CompiledCircuit src_ckt(src_tpl, SimOptions{});
+  src_ckt.run_for(30e-9);
+
+  EXPECT_NEAR(rail_ckt.node_voltage(out_r), src_ckt.node_voltage(out_s),
+              1e-4);
+}
+
+TEST(SimulatorFacade, ExposesThePipelinePieces) {
+  Netlist n = micro_netlist(1e6);
+  Simulator sim(n);
+  ASSERT_NE(sim.circuit_template(), nullptr);
+  EXPECT_TRUE(sim.circuit_template()->sparse());
+  // The facade's run state IS the compiled circuit it exposes.
+  sim.circuit().set_node_voltage(*n.find_node("bl"), 1.5);
+  EXPECT_EQ(sim.node_voltage(*n.find_node("bl")), 1.5);
+}
+
+}  // namespace
+}  // namespace pf::spice
