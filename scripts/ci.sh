@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests + benchmark smoke + a bounded fuzz budget.
+#
+#   scripts/ci.sh            # full gate (configure + build + 3 ctest passes)
+#   PF_FUZZ_ITERS=200 scripts/ci.sh   # deeper fuzz pass
+#   PF_CI_BUILD_DIR=out scripts/ci.sh # use a different build tree
+#
+# The fuzz suite (ctest -L tier2-fuzz) is deterministic: PF_TEST_SEED pins
+# the generator stream (defaults baked into pf::testing), and every failure
+# prints the seed plus a shrunk, copy-pasteable repro. PF_FUZZ_ITERS bounds
+# the iteration budget so the gate stays fast; the deep run is
+# PF_FUZZ_ITERS=1000 on a schedule, not on every commit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${PF_CI_BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FUZZ_ITERS="${PF_FUZZ_ITERS:-50}"
+
+echo "== configure + build (${BUILD}, -j${JOBS})"
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== tier-1 tests"
+ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$JOBS"
+
+echo "== benchmark smoke"
+ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
+
+echo "== bounded fuzz (PF_FUZZ_ITERS=${FUZZ_ITERS})"
+PF_FUZZ_ITERS="$FUZZ_ITERS" \
+  ctest --test-dir "$BUILD" -L tier2-fuzz --output-on-failure
+
+echo "== ci gate passed"

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Line coverage of src/ under the tier-1 + fuzz test suites, using raw gcov
+# (no gcovr/lcov dependency).
+#
+#   scripts/coverage.sh                  # configure+build+test+report
+#   scripts/coverage.sh --aggregate-only # report from an existing run
+#   PF_COVERAGE_BUILD_DIR=build-cov scripts/coverage.sh
+#
+# Uses a dedicated instrumented build tree (default build-cov) so coverage
+# objects never mix with the regular build. The report is per-source-file
+# executed/executable line counts plus a repo total; EXPERIMENTS.md records
+# the baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+BUILD="${PF_COVERAGE_BUILD_DIR:-build-cov}"
+case "$BUILD" in /*) ;; *) BUILD="$ROOT/$BUILD" ;; esac
+JOBS="$(nproc 2>/dev/null || echo 2)"
+GCOV="${GCOV:-gcov}"
+
+if [[ "${1:-}" != "--aggregate-only" ]]; then
+  echo "== instrumented configure + build (${BUILD})"
+  cmake -B "$BUILD" -S . -DPF_COVERAGE=ON -DPF_BUILD_BENCH=OFF >/dev/null
+  cmake --build "$BUILD" -j "$JOBS"
+  echo "== running tier-1 + fuzz suites under instrumentation"
+  find "$BUILD" -name '*.gcda' -delete
+  ctest --test-dir "$BUILD" -L 'tier1|tier2-fuzz' --output-on-failure \
+    -j "$JOBS"
+fi
+
+echo "== aggregating with ${GCOV}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+find "$BUILD" -name '*.gcda' -print0 |
+  (cd "$SCRATCH" && xargs -0 -n 16 "$GCOV" -r -s "$ROOT" >/dev/null 2>&1 \
+     || true)
+
+# Each .gcov line is "  count:  lineno:source"; count is a number (hit),
+# '#####'/'=====' (executable, missed) or '-' (not executable). A source
+# file exercised by several test binaries yields several .gcov files; a
+# line counts as hit if ANY of them hit it.
+awk -F':' '
+  {
+    gsub(/^[ \t]+/, "", $1); gsub(/^[ \t]+/, "", $2)
+    if ($2 == "0") { if ($3 == "Source") src = $4; next }
+    if ($1 == "-") next
+    key = src SUBSEP $2
+    executable[key] = src
+    if ($1 != "#####" && $1 != "=====") hit[key] = 1
+  }
+  END {
+    for (key in executable) {
+      src = executable[key]
+      if (src !~ /(^|\/)src\//) continue  # report the library, not tests
+      total[src]++
+      if (key in hit) covered[src]++
+    }
+    for (src in total)
+      print src, covered[src] + 0, total[src]
+  }' "$SCRATCH"/*.gcov | sort |
+awk '
+  BEGIN { printf "%-58s %9s %9s %7s\n", "file", "covered", "lines", "pct" }
+  {
+    printf "%-58s %9d %9d %6.1f%%\n", $1, $2, $3, 100.0 * $2 / $3
+    gc += $2; gt += $3
+  }
+  END {
+    if (gt > 0)
+      printf "%-58s %9d %9d %6.1f%%\n", "TOTAL (src/)", gc, gt,
+             100.0 * gc / gt
+  }'

@@ -45,6 +45,14 @@ enum class InjectedFault {
   /// latch) converts non-finite voltages into a retryable solver failure
   /// instead of a bogus fault primitive.
   kNanVoltage,
+  /// A silently WRONG solve: run_for returns normally but every unknown
+  /// node voltage is mirrored to (corrupt_bias - v), i.e. logic levels are
+  /// inverted while staying finite. Unlike kNanVoltage nothing downstream
+  /// can flag the point as unsolved — the FFM classification of the
+  /// experiment simply comes out wrong. This is the planted *classification
+  /// mutation* the differential test harness (pf::testing) must catch by
+  /// disagreeing with an uncorrupted reference run.
+  kCorruptVoltage,
 };
 
 struct InjectionSpec {
@@ -54,6 +62,10 @@ struct InjectionSpec {
   int fail_attempts = 1;
   /// Newton iterations charged per run_for call by kSlowConvergence.
   uint64_t slow_penalty_iters = 200000;
+  /// Mirror level used by kCorruptVoltage: each unknown node voltage v is
+  /// replaced by (corrupt_bias - v), so 0 V and the default 3.3 V rail swap
+  /// and mid levels barely move — finite, plausible, wrong.
+  double corrupt_bias = 3.3;
 };
 
 /// RAII arm/disarm of the process-global injection plan. Arming replaces any

@@ -829,6 +829,16 @@ bool CompiledCircuit::apply_injected_fault() {
       for (const NodeId n : tpl_->node_of_unknown_)
         v_[n] = std::numeric_limits<double>::quiet_NaN();
       return true;
+    case testing::InjectedFault::kCorruptVoltage:
+      // A silently WRONG solve: logic levels invert but stay finite, so no
+      // guard anywhere can tell the state was never solved. Downstream FFM
+      // classification is silently mutated — only a differential check
+      // against an uncorrupted run can notice.
+      testing::note_injection();
+      stats_.injected_faults++;
+      for (const NodeId n : tpl_->node_of_unknown_)
+        v_[n] = inj->corrupt_bias - v_[n];
+      return true;
   }
   return false;
 }

@@ -1,0 +1,44 @@
+// Greedy delta-debugging shrinker for failing differential cases.
+//
+// Given a FuzzCase that a predicate judges FAILING, shrink_case greedily
+// searches for a smaller case that still fails: normalize the execution
+// mode, drop parameter tweaks, reduce the (R_def, U) grid toward a single
+// point, and simplify the SOS operation by operation (candidates that are
+// not well-formed SOSes are skipped, so every intermediate case is a valid
+// experiment). Each accepted simplification restarts the pass list, so the
+// result is 1-minimal: no single remaining simplification still fails.
+//
+// The predicate is called O(#components) times per accepted shrink; with
+// the fuzz-sized grids (a handful of points) a full shrink costs a few
+// dozen sweeps. The final case is rendered as a copy-pasteable repro
+// (PF_TEST_SEED + defect_explorer command) for CI logs.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pf/testing/generators.hpp"
+
+namespace pf::testing {
+
+/// Returns true when the candidate case still FAILS (i.e. the bug is still
+/// visible). Implementations should treat an exception from the stack under
+/// test as a failure too.
+using FailPredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkResult {
+  FuzzCase minimal;     ///< smallest failing case found
+  int evaluations = 0;  ///< predicate calls spent
+  int accepted = 0;     ///< simplifications that kept the failure
+};
+
+/// Greedily minimize `failing` under `still_fails`. `failing` is assumed to
+/// fail (the predicate is not re-checked on entry).
+ShrinkResult shrink_case(const FuzzCase& failing,
+                         const FailPredicate& still_fails);
+
+/// The failure report printed by fuzz suites: describe() of the minimal
+/// case, the shrink statistics and the repro recipe.
+std::string shrink_report(const ShrinkResult& result, uint64_t seed);
+
+}  // namespace pf::testing

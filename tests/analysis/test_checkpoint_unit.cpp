@@ -1,0 +1,185 @@
+// SweepJournal unit surface — the API contracts test_journal_v2.cpp's
+// corruption fixtures take for granted: fingerprint identity (what it hashes
+// and what it deliberately ignores), rows_appended() accounting, finalize()
+// idempotence, loading a path that does not exist, and FAIL-row bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "pf/analysis/checkpoint.hpp"
+#include "pf/analysis/region.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::analysis {
+namespace {
+
+using dram::Defect;
+using dram::DramParams;
+using dram::OpenSite;
+using faults::Ffm;
+using faults::Sos;
+
+SweepSpec base_spec() {
+  SweepSpec spec;
+  spec.params = DramParams{};
+  spec.defect = Defect::open(OpenSite::kBitLineOuter, 1e6);
+  spec.sos = Sos::parse("1r1");
+  spec.r_axis = pf::logspace(1e6, 10e6, 3);
+  spec.u_axis = pf::linspace(0.0, 3.3, 4);
+  return spec;
+}
+
+std::string temp_path(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(CheckpointUnit, FingerprintIsStableForEqualSpecs) {
+  EXPECT_EQ(SweepJournal::fingerprint(base_spec()),
+            SweepJournal::fingerprint(base_spec()));
+}
+
+TEST(CheckpointUnit, FingerprintCoversTheSweepIdentity) {
+  const uint64_t base = SweepJournal::fingerprint(base_spec());
+
+  SweepSpec s = base_spec();
+  s.defect = Defect::open(OpenSite::kCell, 1e6);
+  EXPECT_NE(SweepJournal::fingerprint(s), base) << "defect site ignored";
+
+  s = base_spec();
+  s.sos = Sos::parse("0r0");
+  EXPECT_NE(SweepJournal::fingerprint(s), base) << "SOS ignored";
+
+  s = base_spec();
+  s.floating_line_index = 1;
+  EXPECT_NE(SweepJournal::fingerprint(s), base)
+      << "floating line index ignored";
+
+  s = base_spec();
+  s.r_axis[1] *= 1.01;
+  EXPECT_NE(SweepJournal::fingerprint(s), base) << "r_axis value ignored";
+
+  s = base_spec();
+  s.u_axis.push_back(3.4);
+  EXPECT_NE(SweepJournal::fingerprint(s), base) << "u_axis shape ignored";
+}
+
+TEST(CheckpointUnit, FingerprintIgnoresDramParams) {
+  // Documented contract: params are NOT part of the identity — a journal is
+  // only as valid as the parameter set it was recorded under, and resuming
+  // a sweep with tweaked capacitances is the caller's responsibility.
+  SweepSpec s = base_spec();
+  s.params.c_cell *= 2.0;
+  s.params.t_access *= 0.5;
+  EXPECT_EQ(SweepJournal::fingerprint(s),
+            SweepJournal::fingerprint(base_spec()));
+}
+
+TEST(CheckpointUnit, LoadOfMissingFileIsAnEmptyFreshStart) {
+  const auto r = SweepJournal::load(temp_path("cpu_missing.csv"), base_spec());
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.fail_rows, 0u);
+  EXPECT_FALSE(r.clean_end);
+  EXPECT_FALSE(r.quarantined);
+  EXPECT_EQ(r.version, 0);
+}
+
+TEST(CheckpointUnit, RowsAppendedCountsOnlyThisObject) {
+  const SweepSpec spec = base_spec();
+  const std::string path = temp_path("cpu_rows.csv");
+  {
+    SweepJournal j(path, spec);
+    EXPECT_EQ(j.rows_appended(), 0u);
+    j.append({0, 0, Ffm::kRDF1, 1}, spec.r_axis[0], spec.u_axis[0]);
+    j.append({1, 0, Ffm::kUnknown, 2}, spec.r_axis[0], spec.u_axis[1]);
+    EXPECT_EQ(j.rows_appended(), 2u);
+  }
+  // A second journal object resuming the same file starts its own count.
+  SweepJournal j2(path, spec);
+  EXPECT_EQ(j2.rows_appended(), 0u);
+  j2.append({2, 0, Ffm::kSolveFailed, 3}, spec.r_axis[0], spec.u_axis[2]);
+  EXPECT_EQ(j2.rows_appended(), 1u);
+  j2.finalize();
+
+  const auto r = SweepJournal::load(path, spec);
+  EXPECT_EQ(r.entries.size() + r.fail_rows, 3u);
+  EXPECT_TRUE(r.clean_end);
+}
+
+TEST(CheckpointUnit, FinalizeIsIdempotent) {
+  const SweepSpec spec = base_spec();
+  const std::string path = temp_path("cpu_finalize.csv");
+  {
+    SweepJournal j(path, spec);
+    j.append({0, 0, Ffm::kUnknown, 1}, spec.r_axis[0], spec.u_axis[0]);
+    j.finalize();
+    j.finalize();  // must not write a second trailer
+  }
+  std::ifstream in(path);
+  std::string line;
+  size_t trailers = 0;
+  while (std::getline(in, line))
+    if (line.find("END") != std::string::npos) ++trailers;
+  EXPECT_EQ(trailers, 1u);
+  EXPECT_TRUE(SweepJournal::load(path, spec).clean_end);
+}
+
+TEST(CheckpointUnit, FailRowsAreCountedButNotResumed) {
+  const SweepSpec spec = base_spec();
+  const std::string path = temp_path("cpu_fail.csv");
+  {
+    SweepJournal j(path, spec);
+    j.append({0, 0, Ffm::kRDF1, 1}, spec.r_axis[0], spec.u_axis[0]);
+    j.append({1, 0, Ffm::kSolveFailed, 3}, spec.r_axis[0], spec.u_axis[1]);
+    j.append({2, 0, Ffm::kSolveFailed, 3}, spec.r_axis[0], spec.u_axis[2]);
+    j.finalize();
+  }
+  const auto r = SweepJournal::load(path, spec);
+  // FAIL rows are valid (counted) but excluded from entries, so a resumed
+  // sweep re-attempts those points with its own retry policy.
+  EXPECT_EQ(r.fail_rows, 2u);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].ix, 0u);
+  EXPECT_EQ(r.entries[0].iy, 0u);
+  EXPECT_EQ(r.entries[0].ffm, Ffm::kRDF1);
+  EXPECT_EQ(r.dropped, 0u);
+}
+
+TEST(CheckpointUnit, UnknownFfmRoundTripsAsSolvedNoFault) {
+  // Entry::ffm == kUnknown means "solved, no fault observed" — it must be
+  // resumed (skipped on re-run), not confused with FAIL.
+  const SweepSpec spec = base_spec();
+  const std::string path = temp_path("cpu_unknown.csv");
+  {
+    SweepJournal j(path, spec);
+    j.append({3, 2, Ffm::kUnknown, 1}, spec.r_axis[2], spec.u_axis[3]);
+    j.finalize();
+  }
+  const auto r = SweepJournal::load(path, spec);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].ix, 3u);
+  EXPECT_EQ(r.entries[0].iy, 2u);
+  EXPECT_EQ(r.entries[0].ffm, Ffm::kUnknown);
+  EXPECT_EQ(r.entries[0].attempts, 1);
+  EXPECT_EQ(r.fail_rows, 0u);
+}
+
+TEST(CheckpointUnit, ResumedJournalRejectsADifferentSweep) {
+  const SweepSpec spec = base_spec();
+  const std::string path = temp_path("cpu_mismatch.csv");
+  {
+    SweepJournal j(path, spec);
+    j.append({0, 0, Ffm::kRDF1, 1}, spec.r_axis[0], spec.u_axis[0]);
+  }
+  SweepSpec other = base_spec();
+  other.sos = Sos::parse("0w1r1");
+  EXPECT_THROW(SweepJournal::load(path, other), pf::Error);
+  EXPECT_THROW(SweepJournal(path, other), pf::Error);
+}
+
+}  // namespace
+}  // namespace pf::analysis

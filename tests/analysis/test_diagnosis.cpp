@@ -97,6 +97,59 @@ TEST(Diagnosis, FaultFreeDutYieldsNoCandidates) {
   EXPECT_TRUE(dict.diagnose(healthy).empty());
 }
 
+TEST(Diagnosis, DictionaryKeepsItsTestsInOrder) {
+  const auto dict = FaultDictionary::build(
+      {march::march_pf(), march::mats_plus()}, DramParams{}, candidate_set());
+  ASSERT_EQ(dict.tests().size(), 2u);
+  EXPECT_EQ(dict.tests()[0].name, march::march_pf().name);
+  EXPECT_EQ(dict.tests()[1].name, march::mats_plus().name);
+  EXPECT_EQ(dict.size(), candidate_set().size());
+  EXPECT_LE(dict.distinct_signatures(), dict.size());
+  EXPECT_GE(dict.distinct_signatures(), 1u);
+}
+
+TEST(Diagnosis, SignatureOfComposesPerTestSignatures) {
+  // signature_of must be exactly the '|'-joined per-test simulate_signature
+  // keys — the dictionary's entries are built the same way, so any format
+  // drift between the two paths silently breaks every lookup.
+  const Defect truth = Defect::open(OpenSite::kCell, 400e3);
+  const auto dict = FaultDictionary::build(
+      {march::march_pf(), march::mats_plus()}, DramParams{}, candidate_set());
+  DramColumn dut(DramParams{}, truth);
+  const std::string combined = dict.signature_of(dut);
+  const std::string expected =
+      simulate_signature(march::march_pf(), DramParams{}, truth) + "|" +
+      simulate_signature(march::mats_plus(), DramParams{}, truth) + "|";
+  EXPECT_EQ(combined, expected);
+  // And the combined key resolves through lookup() just like diagnose().
+  bool found = false;
+  for (const auto& m : dict.lookup(combined))
+    found |= m.kind == truth.kind && m.site == truth.site;
+  EXPECT_TRUE(found);
+}
+
+TEST(Diagnosis, AllPassCombinedKeyNeverMatchesADefect) {
+  // Every multi-test spelling of "no fails anywhere" must yield no
+  // candidates, even if some candidate happened to pass every test too.
+  const auto dict = FaultDictionary::build(
+      {march::march_pf(), march::mats_plus()}, DramParams{}, candidate_set());
+  EXPECT_TRUE(dict.lookup("PASS|PASS|").empty());
+  EXPECT_TRUE(dict.lookup("PASS").empty());
+}
+
+TEST(Diagnosis, SingleTestBuildEqualsOneElementVectorBuild) {
+  const auto a = FaultDictionary::build(march::march_pf(), DramParams{},
+                                        candidate_set());
+  const auto b = FaultDictionary::build(
+      std::vector<march::MarchTest>{march::march_pf()}, DramParams{},
+      candidate_set());
+  ASSERT_EQ(a.tests().size(), 1u);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.distinct_signatures(), b.distinct_signatures());
+  DramColumn dut(DramParams{}, candidate_set().front());
+  EXPECT_EQ(a.signature_of(dut), b.signature_of(dut));
+}
+
 TEST(Diagnosis, ResistanceVariantsOftenShareSignatures) {
   // Two R_def values of the same open in its saturated regime produce the
   // same fail log — diagnosis identifies the LOCATION, not the resistance.

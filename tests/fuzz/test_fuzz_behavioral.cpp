@@ -1,0 +1,134 @@
+// Behavioral half of the differential oracle, exercised exhaustively and
+// randomly: guard semantics of every (FFM, guard) combination and the
+// calibrated March SS / March PF detection guarantees the oracle relies on.
+#include <gtest/gtest.h>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/testing/oracle.hpp"
+
+namespace pf::testing {
+namespace {
+
+using faults::Ffm;
+using memsim::Guard;
+
+memsim::Geometry geom() { return memsim::Geometry{4, 2}; }
+
+TEST(FuzzBehavioral, ExposureMatchesGuardForEveryFfmGuardCombo) {
+  for (const Ffm ffm : faults::all_ffms()) {
+    for (const Guard& guard :
+         {Guard::none(), Guard::bit_line(0), Guard::bit_line(1),
+          Guard::buffer(0), Guard::buffer(1), Guard::hidden(true),
+          Guard::hidden(false)}) {
+      EXPECT_EQ(check_behavioral_exposure(geom(), ffm, guard), "")
+          << faults::ffm_name(ffm);
+    }
+  }
+}
+
+TEST(FuzzBehavioral, MarchSsDetectsEveryFullStaticFfm) {
+  for (const Ffm ffm : faults::all_ffms()) {
+    const auto d = march::evaluate_detection(march::march_ss(), geom(), ffm,
+                                             Guard::none());
+    EXPECT_TRUE(d.detected_all) << faults::ffm_name(ffm) << ": "
+                                << d.detected_count << "/" << d.total_victims;
+  }
+}
+
+// The March PF guarantee table the oracle asserts against (calibrated; see
+// oracle.cpp march_pf_detects_all). Read-type partials are caught at every
+// address under bit-line guards of either level; transition faults only
+// when the guard level matches the level their sensitizing write leaves on
+// the bit line; WDF/DRDF are outside March PF's 16N repertoire.
+TEST(FuzzBehavioral, MarchPfBitLineGuaranteeTable) {
+  const auto all = [&](Ffm ffm, int level) {
+    return march::evaluate_detection(march::march_pf(), geom(), ffm,
+                                     Guard::bit_line(level))
+        .detected_all;
+  };
+  for (const Ffm ffm :
+       {Ffm::kSF0, Ffm::kSF1, Ffm::kRDF0, Ffm::kRDF1, Ffm::kIRF0,
+        Ffm::kIRF1}) {
+    EXPECT_TRUE(all(ffm, 0)) << faults::ffm_name(ffm);
+    EXPECT_TRUE(all(ffm, 1)) << faults::ffm_name(ffm);
+  }
+  EXPECT_TRUE(all(Ffm::kTFUp, 0));
+  EXPECT_FALSE(all(Ffm::kTFUp, 1));
+  EXPECT_FALSE(all(Ffm::kTFDown, 0));
+  EXPECT_TRUE(all(Ffm::kTFDown, 1));
+  for (const Ffm ffm : {Ffm::kWDF0, Ffm::kWDF1, Ffm::kDRDF0, Ffm::kDRDF1}) {
+    EXPECT_FALSE(all(ffm, 0)) << faults::ffm_name(ffm);
+    EXPECT_FALSE(all(ffm, 1)) << faults::ffm_name(ffm);
+  }
+}
+
+TEST(FuzzBehavioral, MarchPfBufferGuardedReadsDetectedSomewhere) {
+  for (const Ffm ffm : {Ffm::kSF0, Ffm::kSF1, Ffm::kRDF0, Ffm::kRDF1,
+                        Ffm::kIRF0, Ffm::kIRF1}) {
+    for (int level = 0; level <= 1; ++level) {
+      const auto d = march::evaluate_detection(march::march_pf(), geom(), ffm,
+                                               Guard::buffer(level));
+      EXPECT_GT(d.detected_count, 0)
+          << faults::ffm_name(ffm) << " buffer(" << level << ")";
+    }
+  }
+}
+
+TEST(FuzzBehavioral, DerivedGuardsFollowTheSiteFamily) {
+  using O = dram::OpenSite;
+  const double vdd = 3.3;
+  // Full findings never need a guard.
+  for (const O site : {O::kCell, O::kBitLineOuter, O::kIoPath}) {
+    const auto g = derive_guard(site, /*partial=*/false, 0.5, vdd);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->kind, Guard::Kind::kNone);
+  }
+  // Bit-line opens guard on the band's level; the complement-line open
+  // inverts it (its floating line is the complement bit line).
+  auto g = derive_guard(O::kBitLineOuter, true, 0.2, vdd);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->kind, Guard::Kind::kBitLine);
+  EXPECT_EQ(g->value, 0);
+  g = derive_guard(O::kBitLineOuter, true, 3.0, vdd);
+  EXPECT_EQ(g->value, 1);
+  g = derive_guard(O::kBitLineOuterComp, true, 3.0, vdd);
+  EXPECT_EQ(g->value, 0);
+  g = derive_guard(O::kIoPath, true, 3.0, vdd);
+  EXPECT_EQ(g->kind, Guard::Kind::kBuffer);
+  EXPECT_EQ(g->value, 1);
+  g = derive_guard(O::kWordLine, true, 1.0, vdd);
+  EXPECT_EQ(g->kind, Guard::Kind::kHidden);
+  // Cell-internal opens have no operation-controllable behavioral guard.
+  EXPECT_FALSE(derive_guard(O::kCell, true, 1.0, vdd).has_value());
+  EXPECT_FALSE(derive_guard(O::kRefCell, true, 1.0, vdd).has_value());
+}
+
+TEST(FuzzBehavioral, RandomGuardedInjectionsBehaveConsistently) {
+  const uint64_t seed = fuzz_seed();
+  const int iters = fuzz_iters(500);
+  SCOPED_TRACE(fuzz_banner("behavioral.random", seed, iters));
+  Rng rng(seed);
+  const auto& ffms = faults::all_ffms();
+  for (int i = 0; i < iters; ++i) {
+    const Ffm ffm = ffms[rng.next_below(ffms.size())];
+    Guard guard;
+    switch (rng.next_below(4)) {
+      case 0: guard = Guard::none(); break;
+      case 1: guard = Guard::bit_line(static_cast<int>(rng.next_below(2))); break;
+      case 2: guard = Guard::buffer(static_cast<int>(rng.next_below(2))); break;
+      default: guard = Guard::hidden(rng.next_bool()); break;
+    }
+    // Larger random geometries: the guard semantics must not depend on the
+    // array size or on the victim's row polarity handling baked into
+    // check_behavioral_exposure's victim (address 0).
+    const memsim::Geometry g{2 + static_cast<int>(rng.next_below(6)) * 2,
+                             2 + static_cast<int>(rng.next_below(3))};
+    ASSERT_EQ(check_behavioral_exposure(g, ffm, guard), "")
+        << faults::ffm_name(ffm) << " rows=" << g.num_rows
+        << " cols=" << g.num_columns;
+  }
+}
+
+}  // namespace
+}  // namespace pf::testing

@@ -3,6 +3,8 @@
 // robustness layer (the sweep-level half lives in analysis tests).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "pf/spice/fault_injection.hpp"
 #include "pf/spice/netlist.hpp"
 #include "pf/spice/simulator.hpp"
@@ -120,6 +122,39 @@ TEST(FaultInjection, SlowConvergenceTripsIterationWatchdogOnly) {
                 std::string::npos);
     }
   }
+  testing::clear_context();
+}
+
+TEST(FaultInjection, CorruptVoltageIsSilentButWrong) {
+  // The classification-mutation flavour: run_for returns NORMALLY, every
+  // voltage stays finite, yet the levels are mirrored about corrupt_bias.
+  // Nothing in the solver's own error machinery may notice — that is the
+  // whole point; only the pf::testing differential oracle convicts it.
+  Netlist n = rc_circuit();
+  const NodeId x = *n.find_node("x");
+  const NodeId y = *n.find_node("y");
+
+  InjectionSpec corrupt;
+  corrupt.kind = InjectedFault::kCorruptVoltage;
+  corrupt.fail_attempts = 1 << 30;
+  corrupt.corrupt_bias = 3.3;
+  ScopedFaultPlan plan({{"pt", corrupt}});
+
+  Simulator sim(n);
+  sim.run_for(50e-9);  // context not set: settles cleanly despite the plan
+  const double clean_x = sim.node_voltage(x);
+  const double clean_y = sim.node_voltage(y);
+  EXPECT_EQ(sim.stats().injected_faults, 0u);
+
+  testing::set_context("pt");
+  EXPECT_NO_THROW(sim.run_for(1e-9));
+  EXPECT_GE(sim.stats().injected_faults, 1u);
+  const double vx = sim.node_voltage(x);
+  const double vy = sim.node_voltage(y);
+  EXPECT_TRUE(std::isfinite(vx));
+  EXPECT_TRUE(std::isfinite(vy));
+  EXPECT_NEAR(vx, corrupt.corrupt_bias - clean_x, 1e-9);
+  EXPECT_NEAR(vy, corrupt.corrupt_bias - clean_y, 1e-9);
   testing::clear_context();
 }
 
