@@ -1,0 +1,181 @@
+// Sweep-service performance: cache hit rate and submit latency through the
+// full stack — Unix socket, JSON codec, admission control, verified
+// (SHA-checked) cache reads — against an in-process SweepServer.
+//
+// The reproduction preamble replays a service workload: K distinct jobs
+// submitted twice each (first submit computes and commits, second is a
+// verified cache hit), recording per-submit wall-clock latency. It reports
+// the hit rate and the p50/p95/p99 latency of hits and misses separately —
+// the number that matters operationally is the hit path, which must stay
+// in the sub-millisecond range no matter what the sweeps underneath cost.
+//
+// Set PF_DUMP_JSON=1 to write service.json next to the binary (the
+// results/BENCH_service.json artifact).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pf/service/client.hpp"
+#include "pf/service/server.hpp"
+#include "pf/util/cancellation.hpp"
+
+namespace {
+
+using namespace pf;
+
+std::string bench_dir(const char* name) {
+  const std::string root = std::filesystem::temp_directory_path().string() +
+                           "/pf_bench_service_" + name;
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+/// In-process server over a real socket, torn down with the object.
+struct BenchServer {
+  explicit BenchServer(const char* name) {
+    config.socket_path = bench_dir(name) + ".sock";
+    config.store_root = bench_dir(name);
+    config.job_workers = 2;
+    config.queue_limit = 16;
+    std::filesystem::remove(config.socket_path);
+    server = std::make_unique<service::SweepServer>(config, token);
+    server->start();
+  }
+  ~BenchServer() { server->stop(); }
+
+  service::ServerConfig config;
+  CancellationToken token;
+  std::unique_ptr<service::SweepServer> server;
+};
+
+service::JobSpec job_for(int index) {
+  service::JobSpec job;
+  job.defect_kind = "open";
+  // Cycle the distinct-key axis over sites with a floating line.
+  const int sites[] = {4, 6, 1, 9, 0};
+  job.open_site = sites[index % 5];
+  job.r_points = 2 + size_t(index / 5) % 2;
+  job.u_points = 2;
+  return job;
+}
+
+double submit_ms(const BenchServer& bs, const service::JobSpec& job,
+                 bool* cached) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const service::SubmitOutcome outcome =
+      service::submit_job(bs.config.socket_path, job);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (outcome.status != service::SubmitStatus::kResult) {
+    std::fprintf(stderr, "bench_service: submit failed: %s\n",
+                 outcome.error_message.c_str());
+    std::exit(1);
+  }
+  if (cached != nullptr) *cached = outcome.cached;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * double(values.size() - 1);
+  const size_t lo = size_t(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - double(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void print_reproduction() {
+  constexpr int kDistinctJobs = 8;
+  constexpr int kRepeatsPerJob = 4;  // 1 miss + 3 hits each -> 75% hit rate
+  BenchServer bs("repro");
+
+  std::vector<double> miss_ms;
+  std::vector<double> hit_ms;
+  for (int round = 0; round < kRepeatsPerJob; ++round) {
+    for (int i = 0; i < kDistinctJobs; ++i) {
+      bool cached = false;
+      const double ms = submit_ms(bs, job_for(i), &cached);
+      (cached ? hit_ms : miss_ms).push_back(ms);
+    }
+  }
+  const size_t total = miss_ms.size() + hit_ms.size();
+  const double hit_rate = double(hit_ms.size()) / double(total);
+
+  const service::CacheStats cache = bs.server->cache().stats();
+  std::printf("service workload: %d distinct jobs x %d submits "
+              "(%zu total, %zu hits, hit rate %.0f%%)\n",
+              kDistinctJobs, kRepeatsPerJob, total, hit_ms.size(),
+              100.0 * hit_rate);
+  std::printf("  miss (compute+commit)  p50 %8.2f ms  p95 %8.2f ms  "
+              "p99 %8.2f ms\n",
+              percentile(miss_ms, 50), percentile(miss_ms, 95),
+              percentile(miss_ms, 99));
+  std::printf("  hit  (verified read)   p50 %8.2f ms  p95 %8.2f ms  "
+              "p99 %8.2f ms\n",
+              percentile(hit_ms, 50), percentile(hit_ms, 95),
+              percentile(hit_ms, 99));
+  std::printf("  cache: %zu commits, %zu hits, %zu misses, "
+              "%zu quarantined\n\n",
+              cache.commits, cache.hits, cache.misses, cache.quarantined);
+
+  if (std::getenv("PF_DUMP_JSON") != nullptr) {
+    std::ofstream out("service.json");
+    out << "{\n"
+        << "  \"distinct_jobs\": " << kDistinctJobs << ",\n"
+        << "  \"submits\": " << total << ",\n"
+        << "  \"hit_rate\": " << hit_rate << ",\n"
+        << "  \"miss_p50_ms\": " << percentile(miss_ms, 50) << ",\n"
+        << "  \"miss_p95_ms\": " << percentile(miss_ms, 95) << ",\n"
+        << "  \"miss_p99_ms\": " << percentile(miss_ms, 99) << ",\n"
+        << "  \"hit_p50_ms\": " << percentile(hit_ms, 50) << ",\n"
+        << "  \"hit_p95_ms\": " << percentile(hit_ms, 95) << ",\n"
+        << "  \"hit_p99_ms\": " << percentile(hit_ms, 99) << ",\n"
+        << "  \"cache_commits\": " << cache.commits << ",\n"
+        << "  \"cache_quarantined\": " << cache.quarantined << "\n"
+        << "}\n";
+    std::printf("wrote service.json\n");
+  }
+}
+
+// One round-trip on the hit path: socket connect + JSON submit + verified
+// cache read (SHA-256 over the result) + response streaming.
+void BM_SubmitCacheHit(benchmark::State& state) {
+  BenchServer bs("hit");
+  submit_ms(bs, job_for(0), nullptr);  // warm the entry
+  for (auto _ : state) {
+    bool cached = false;
+    benchmark::DoNotOptimize(submit_ms(bs, job_for(0), &cached));
+    if (!cached) state.SkipWithError("expected a cache hit");
+  }
+}
+BENCHMARK(BM_SubmitCacheHit)->Unit(benchmark::kMillisecond);
+
+// Ping round-trip: protocol + socket floor, no cache or sweep involved.
+void BM_PingRoundTrip(benchmark::State& state) {
+  BenchServer bs("ping");
+  for (auto _ : state) {
+    const service::Json pong =
+        service::request(bs.config.socket_path, "ping");
+    if (pong.string_or("event", "") != "pong")
+      state.SkipWithError("no pong");
+  }
+}
+BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_reproduction();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -19,7 +19,14 @@
 // Graceful shutdown: SIGINT/SIGTERM trips a cooperative cancellation token;
 // in-flight grid points drain, the journal is flushed, and the process
 // exits with status 75 (EX_TEMPFAIL, "interrupted — resumable"). Rerun the
-// same command line to resume. A second SIGINT kills immediately.
+// same command line to resume. A SECOND signal during the drain forces an
+// immediate exit with status 70 (EX_SOFTWARE) — a stuck worker must never
+// make the process unkillable by Ctrl-C.
+//
+// --wedge-on-interrupt is a test hook (used by the escalating-shutdown
+// integration test): after the cooperative drain completes the process
+// parks forever instead of exiting, simulating a shutdown path that hangs,
+// so the second-signal escape hatch can be exercised deterministically.
 //
 // Prints the (R_def, U) region map, the partial-fault classification per
 // observed FFM, and — for each partial fault — the completing operations
@@ -28,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "pf/analysis/completion.hpp"
@@ -59,10 +67,13 @@ int main(int argc, char** argv) {
   int threads = 1;
   double deadline = 0.0;
   bool reuse = true;
+  bool wedge_on_interrupt = false;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-reuse") == 0) {
       reuse = false;
+    } else if (std::strcmp(argv[i], "--wedge-on-interrupt") == 0) {
+      wedge_on_interrupt = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--threads needs a worker count\n");
@@ -199,6 +210,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "hint: pass a journal path (5th positional argument) to "
                    "make interrupted runs resumable\n");
+    if (wedge_on_interrupt) {
+      // Test hook: simulate a drain that never finishes. The only way out
+      // is the second-signal forced exit (_exit(pf::kExitForced)).
+      std::fprintf(stderr, "wedged (test hook); send a second signal\n");
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
     return pf::kExitInterrupted;
   }
   return 0;

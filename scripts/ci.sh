@@ -24,6 +24,9 @@ cmake --build "$BUILD" -j "$JOBS"
 echo "== tier-1 tests"
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$JOBS"
 
+echo "== service smoke (crash recovery gate)"
+ctest --test-dir "$BUILD" -R service_smoke --output-on-failure
+
 echo "== benchmark smoke"
 ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
 

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Sweep-service crash-recovery gate.
+#
+#   scripts/service_smoke.sh path/to/pf_served path/to/pf_submit [workdir]
+#
+# Drives the REAL binaries through the service's whole crash-safety story:
+#
+#   1. cold miss   — submit a tiny grid, expect "computed"
+#   2. warm hit    — resubmit, expect "cache-hit" with the SAME sha
+#   3. kill -9     — submit a throttled job, SIGKILL the server mid-sweep
+#   4. restart     — resubmit: the crashed journal resumes, the result sha
+#                    must equal a never-crashed reference run, and any
+#                    partial cache entry is quarantined, never served
+#   5. final hit   — resubmit once more, expect a verified cache hit
+#
+# Exit 0 on success; any deviation fails the gate. Registered as a tier-1
+# ctest target (service_smoke) and run by scripts/ci.sh.
+set -euo pipefail
+
+SERVED="${1:?usage: service_smoke.sh pf_served pf_submit [workdir]}"
+SUBMIT="${2:?usage: service_smoke.sh pf_served pf_submit [workdir]}"
+WORK="${3:-$(mktemp -d)}"
+rm -rf "$WORK"  # a reused workdir (ctest rerun) must not start warm
+mkdir -p "$WORK"
+
+SOCK="$WORK/pf.sock"
+STORE="$WORK/store"
+REF_STORE="$WORK/ref-store"
+REF_SOCK="$WORK/ref.sock"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() { echo "service_smoke: FAIL: $*" >&2; exit 1; }
+
+start_server() {  # $1 = store dir, $2 = socket
+  "$SERVED" --socket "$2" --store "$1" --workers 2 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if "$SUBMIT" --socket "$2" --ping >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  fail "server did not come up on $2"
+}
+
+stop_server() {
+  "$SUBMIT" --socket "$1" --shutdown >/dev/null 2>&1 || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+# Tiny job; --throttle-ms widens the kill window for step 3.
+submit() {  # $1 = socket, extra flags after
+  local sock="$1"; shift
+  "$SUBMIT" --socket "$sock" --defect open --site 4 --sos 1r1 \
+            --r-points 3 --u-points 3 --quiet "$@"
+}
+
+sha_of() { awk '{print $4}' <<<"$1"; }
+
+echo "== reference run (never crashed)"
+start_server "$REF_STORE" "$REF_SOCK"
+REF_OUT="$(submit "$REF_SOCK")" || fail "reference submit failed"
+REF_SHA="$(sha_of "$REF_OUT")"
+[ -n "$REF_SHA" ] || fail "no reference sha in: $REF_OUT"
+stop_server "$REF_SOCK"
+
+echo "== 1. cold miss"
+start_server "$STORE" "$SOCK"
+OUT1="$(submit "$SOCK")" || fail "cold submit failed"
+grep -q "computed" <<<"$OUT1" || fail "expected computed, got: $OUT1"
+[ "$(sha_of "$OUT1")" = "$REF_SHA" ] || fail "cold sha != reference sha"
+
+echo "== 2. warm hit"
+OUT2="$(submit "$SOCK")" || fail "warm submit failed"
+grep -q "cache-hit" <<<"$OUT2" || fail "expected cache-hit, got: $OUT2"
+[ "$(sha_of "$OUT2")" = "$REF_SHA" ] || fail "hit sha != reference sha"
+
+echo "== 3. SIGKILL mid-job"
+# A different grid (fresh key) throttled to ~100 ms per point: the journal
+# accumulates rows while we aim kill -9 at the middle of the sweep.
+submit "$SOCK" --u-points 4 --throttle-ms 100 >/dev/null 2>&1 &
+CLIENT_PID=$!
+JOURNAL=""
+for _ in $(seq 1 100); do
+  JOURNAL="$(ls "$STORE"/jobs/*.journal.csv 2>/dev/null | head -1 || true)"
+  if [ -n "$JOURNAL" ] && [ "$(grep -c '^[0-9]' "$JOURNAL" 2>/dev/null || true)" -ge 2 ]; then
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$JOURNAL" ] || fail "no journal appeared for the throttled job"
+kill -9 "$SERVER_PID" || fail "could not SIGKILL the server"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+wait "$CLIENT_PID" 2>/dev/null || true
+[ -f "$JOURNAL" ] || fail "journal vanished with the crash"
+
+echo "== 4. restart + resubmit resumes and matches a clean run"
+start_server "$STORE" "$SOCK"
+# Reference for the 3x4 grid from a fresh, never-crashed server/store.
+"$SERVED" --socket "$REF_SOCK" --store "$WORK/ref2-store" --workers 2 &
+REF2_PID=$!
+for _ in $(seq 1 100); do
+  "$SUBMIT" --socket "$REF_SOCK" --ping >/dev/null 2>&1 && break
+  sleep 0.05
+done
+REF2_OUT="$(submit "$REF_SOCK" --u-points 4)" || fail "3x4 reference failed"
+REF2_SHA="$(sha_of "$REF2_OUT")"
+"$SUBMIT" --socket "$REF_SOCK" --shutdown >/dev/null 2>&1 || true
+wait "$REF2_PID" 2>/dev/null || true
+
+OUT4="$(submit "$SOCK" --u-points 4)" || fail "post-crash resubmit failed"
+grep -q "computed" <<<"$OUT4" || fail "expected recompute, got: $OUT4"
+[ "$(sha_of "$OUT4")" = "$REF2_SHA" ] || \
+  fail "post-crash sha $(sha_of "$OUT4") != clean-run sha $REF2_SHA"
+# The committed manifest must prove the crashed journal was RESUMED, not
+# thrown away: at least one point restored from disk.
+KEY4="$(awk '{print $2}' <<<"$OUT4")"
+MANIFEST="$STORE/cache/$KEY4/manifest.json"
+[ -f "$MANIFEST" ] || fail "no manifest at $MANIFEST"
+RESUMED="$(grep -o '"resumed":[0-9]*' "$MANIFEST" | cut -d: -f2)"
+[ "${RESUMED:-0}" -ge 1 ] || \
+  fail "expected resumed >= 1 in manifest, got '${RESUMED:-}'"
+ls "$STORE"/cache/*.corrupt* >/dev/null 2>&1 && \
+  echo "   (partial entry quarantined, as designed)"
+
+echo "== 5. final verified hit"
+OUT5="$(submit "$SOCK" --u-points 4)" || fail "final resubmit failed"
+grep -q "cache-hit" <<<"$OUT5" || fail "expected cache-hit, got: $OUT5"
+[ "$(sha_of "$OUT5")" = "$REF2_SHA" ] || fail "final hit sha mismatch"
+stop_server "$SOCK"
+
+echo "service_smoke: PASS"

@@ -31,8 +31,10 @@
 //     chronological, later = more recent);
 //   * a file whose header is unreadable (not a journal tag, mangled
 //     fingerprint field, unknown version) is QUARANTINED: renamed to
-//     <path>.corrupt and the sweep restarts fresh — the evidence is kept,
-//     the campaign keeps running;
+//     <path>.corrupt — or <path>.corrupt.1, .2, ... when earlier quarantined
+//     evidence already holds that name — and the sweep restarts fresh; the
+//     evidence is kept, the campaign keeps running (quarantines are counted
+//     in SweepStats::journal_quarantined);
 //   * a v1 journal (PR 1 format, no CRCs) loads transparently: its 6-field
 //     rows are accepted unchecked, and the v2 writer appends CRC'd rows
 //     after them (load() accepts both row shapes in one file). Under a v2

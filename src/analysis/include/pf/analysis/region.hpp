@@ -38,6 +38,7 @@ struct SweepStats {
   size_t retries = 0;    ///< attempts beyond the first, over all points
   size_t resumed = 0;    ///< points restored from the journal
   size_t journal_dropped = 0;  ///< corrupt journal rows dropped on resume
+  size_t journal_quarantined = 0;  ///< unreadable journals moved to .corrupt[.N]
   std::vector<std::string> failure_log;  ///< context, one entry per failure
 };
 

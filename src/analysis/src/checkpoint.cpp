@@ -7,6 +7,7 @@
 
 #include "pf/util/crc32.hpp"
 #include "pf/util/log.hpp"
+#include "pf/util/quarantine.hpp"
 #include "pf/util/strings.hpp"
 
 namespace pf::analysis {
@@ -90,20 +91,21 @@ Header parse_header(const std::string& line) {
   return h;
 }
 
-/// Move an unreadable journal out of the way, keeping the evidence. Returns
-/// false when the rename failed (the caller then proceeds as if no journal
-/// existed; the open-for-append path will truncate-write a fresh header).
+/// Move an unreadable journal out of the way, keeping the evidence. The
+/// quarantine name gets a monotonic counter suffix when <path>.corrupt is
+/// already taken, so a second corrupt journal at the same path never
+/// overwrites the first. Returns false when the rename failed (the caller
+/// then proceeds as if no journal existed; the open-for-append path will
+/// truncate-write a fresh header).
 bool quarantine(const std::string& path) {
-  const std::string target = path + ".corrupt";
-  std::remove(target.c_str());
-  const bool ok = std::rename(path.c_str(), target.c_str()) == 0;
-  if (ok)
+  const std::string target = pf::quarantine_path(path);
+  if (!target.empty())
     PF_LOG_WARN("journal " << path << " is unreadable; quarantined to "
                            << target << " and restarting fresh");
   else
     PF_LOG_WARN("journal " << path << " is unreadable and could not be "
                            << "quarantined; overwriting");
-  return ok;
+  return !target.empty();
 }
 
 /// First line of the file, or nullopt on missing/empty file.

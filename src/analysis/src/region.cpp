@@ -193,6 +193,7 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
         ++stats.resumed;
       }
       stats.journal_dropped = loaded.dropped;
+      if (loaded.quarantined) ++stats.journal_quarantined;
       journal_was_clean = loaded.clean_end;
       if (loaded.dropped > 0)
         PF_LOG_WARN("journal " << policy.journal_path << ": dropped "

@@ -1,0 +1,86 @@
+// Content-addressed, crash-safe result cache for the sweep service.
+//
+// Layout (under the store root):
+//
+//   cache/<key16>/result.csv      the RegionMap CSV dump
+//   cache/<key16>/manifest.json   golden-answer manifest, written LAST
+//   jobs/<key16>.journal.csv      live sweep journal while a job computes
+//
+// The manifest is the per-entry analog of the sweep journal's END trailer:
+// it records the result's SHA-256, the job spec, the journal fingerprint
+// and sweep stats, and is written only AFTER result.csv is durably in
+// place (write to manifest.json.tmp, flush, rename). An entry without a
+// valid manifest is by definition a crashed or torn write; verify-on-read
+// additionally recomputes the result SHA, so silent disk corruption is
+// caught too. Invalid entries are QUARANTINED (directory renamed
+// .corrupt[.N], evidence preserved) and reported as a miss — the server
+// recomputes, never serves them.
+//
+// A SIGKILL mid-job leaves at most (a) a jobs/<key>.journal.csv with a
+// crashed tail — the next submit resumes it via ExecutionPolicy::resume —
+// and (b) a manifest-less cache/<key>/ directory, which recover() or the
+// next get() quarantines. No sequence of kills can make a later get()
+// return wrong bytes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "pf/service/job.hpp"
+#include "pf/service/json.hpp"
+
+namespace pf::service {
+
+/// Counters for the stats endpoint and bench_service.
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t commits = 0;
+  size_t quarantined = 0;  ///< invalid entries moved aside (torn/corrupt)
+};
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) a store rooted at `root`. Throws pf::Error
+  /// when the directories cannot be created.
+  explicit ResultCache(std::string root);
+
+  /// Lookup. On a verified hit, fills `result_csv` and `manifest` and
+  /// returns true. On a miss returns false; if the entry existed but
+  /// failed verification (missing/torn manifest, SHA mismatch) it is
+  /// quarantined first and counted in stats().quarantined.
+  bool get(uint64_t key, std::string* result_csv, Json* manifest);
+
+  /// Commit a computed result: write result.csv, fsync, then write the
+  /// manifest via tmp+rename (manifest-last discipline). Returns the
+  /// manifest. Throws pf::Error on I/O failure — the caller still holds
+  /// the result and can serve it uncached.
+  Json commit(const JobSpec& job, const std::string& result_csv,
+              const Json& stats_json);
+
+  /// Startup sweep: validate every cache/<key>/ entry, quarantining the
+  /// invalid ones (crashed commits from a previous life). Returns the
+  /// number quarantined.
+  size_t recover();
+
+  /// Journal path for a job's live sweep (resumable across crashes).
+  std::string journal_path(uint64_t key) const;
+  /// Remove the live journal after a successful commit.
+  void discard_journal(uint64_t key);
+
+  const std::string& root() const { return root_; }
+  CacheStats stats() const;
+
+ private:
+  std::string entry_dir(uint64_t key) const;
+  bool verify_entry(const std::string& dir, std::string* result_csv,
+                    Json* manifest) const;
+  void quarantine_entry(const std::string& dir);
+
+  std::string root_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+};
+
+}  // namespace pf::service

@@ -1,0 +1,45 @@
+// Client side of the sweep-service wire protocol: connect to the Unix
+// socket, send one request line, consume the event stream. Used by the
+// pf_submit CLI, the service tests and bench_service.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pf/service/job.hpp"
+#include "pf/service/json.hpp"
+
+namespace pf::service {
+
+/// Terminal state of one submit.
+enum class SubmitStatus {
+  kResult,        ///< result event received (csv/sha valid)
+  kRejectedBusy,  ///< queue_full or in_flight (retry_after_ms valid)
+  kInvalid,       ///< request rejected as malformed / out of bounds
+  kError,         ///< server error event (error_message valid)
+  kDisconnected,  ///< connection refused, dropped, or protocol violation
+};
+
+struct SubmitOutcome {
+  SubmitStatus status = SubmitStatus::kDisconnected;
+  std::string key;            ///< 16-hex cache key echoed by the server
+  std::string sha256;         ///< result content hash
+  std::string csv;            ///< the RegionMap CSV
+  bool cached = false;        ///< served from the verified cache
+  bool committed = false;     ///< server committed the entry (fresh runs)
+  size_t progress_events = 0; ///< progress lines observed
+  double retry_after_ms = 0;  ///< backoff hint on kRejectedBusy
+  std::string error_message;  ///< on kInvalid / kError / kDisconnected
+};
+
+/// Submit a job and block until a terminal event (or disconnect).
+/// `on_progress`, when set, observes each progress event.
+SubmitOutcome submit_job(
+    const std::string& socket_path, const JobSpec& job,
+    const std::function<void(size_t done, size_t total)>& on_progress = {});
+
+/// Fire a one-shot command ("ping" | "stats" | "shutdown") and return the
+/// response event; a null Json on connect/read failure.
+Json request(const std::string& socket_path, const std::string& cmd);
+
+}  // namespace pf::service

@@ -1,0 +1,64 @@
+// Deterministic fault injection for the SERVICE layer — the analog of
+// pf/spice/fault_injection.hpp one level up the stack. The solver hooks
+// prove retry/degradation; these hooks prove the service's crash-safety
+// story: torn cache writes, failed manifest commits, and client
+// connections dropped mid-stream, each on demand and deterministically.
+//
+// Faults are armed per *site* (a fixed string naming the vulnerable code
+// point) with an optional trigger count: the site fails on its Nth
+// consultation and recovers afterwards, so a test can make exactly the
+// second cache commit tear. Arming is process-global via ScopedServiceFault
+// (RAII, tests in-process) or the PF_SERVICE_FAULTS environment variable
+// (forked pf_served binaries; format "site[:n][,site[:n]...]"), which the
+// server reads once at startup.
+//
+// Sites:
+//   torn_cache_write    commit() writes result.csv TRUNCATED to half and
+//                       stops before the manifest — the on-disk shape a
+//                       kill -9 between the two writes leaves behind.
+//   manifest_write_fail commit() throws after result.csv (disk-full on the
+//                       manifest): the server must serve the computed
+//                       result uncached and leave no committed entry.
+//   drop_after_accept   server closes the client socket right after the
+//                       "accepted" event (client sees EOF, no result).
+//   drop_mid_stream     server closes the socket after the first progress
+//                       event; the job itself continues and commits (a
+//                       gone client must still warm the cache).
+#pragma once
+
+#include <string>
+
+namespace pf::service::testing {
+
+inline constexpr const char* kTornCacheWrite = "torn_cache_write";
+inline constexpr const char* kManifestWriteFail = "manifest_write_fail";
+inline constexpr const char* kDropAfterAccept = "drop_after_accept";
+inline constexpr const char* kDropMidStream = "drop_mid_stream";
+
+/// RAII arm/disarm of one or more sites, spec format "site[:n],site[:n]".
+/// n = which consultation fires (1-based, default 1). Replaces any
+/// previously armed plan; disarms on destruction.
+class ScopedServiceFault {
+ public:
+  explicit ScopedServiceFault(const std::string& spec);
+  ~ScopedServiceFault();
+  ScopedServiceFault(const ScopedServiceFault&) = delete;
+  ScopedServiceFault& operator=(const ScopedServiceFault&) = delete;
+};
+
+/// Arm from a spec string without RAII (startup path for forked servers).
+/// An empty spec disarms everything.
+void arm_from_spec(const std::string& spec);
+
+/// Arm from the PF_SERVICE_FAULTS environment variable, if set.
+void arm_from_env();
+
+/// Consult a site. Counts one consultation; returns true when the armed
+/// trigger count is reached (the caller must then fail in its documented
+/// way). Always false while disarmed — one mutex-free atomic check.
+bool should_fail(const char* site);
+
+/// Faults actually fired since the last arm.
+size_t faults_fired();
+
+}  // namespace pf::service::testing

@@ -1,0 +1,77 @@
+// Minimal JSON value + parser/serializer for the sweep service wire
+// protocol and the cache manifests.
+//
+// Deliberately small: objects are ordered maps (deterministic dumps, so a
+// manifest's bytes — and therefore its SHA — are reproducible), numbers are
+// doubles printed with enough digits to round-trip, strings support the
+// standard escapes plus BMP \uXXXX. No external dependency; parse errors
+// throw pf::ParseError with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pf::service {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(double(i)) {}
+  Json(int64_t i) : value_(double(i)) {}
+  Json(size_t i) : value_(double(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw pf::Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field lookup; `get` returns null for a missing key, the typed
+  /// helpers apply a default when the key is absent and throw on a present
+  /// key of the wrong type (a half-typed request must not parse quietly).
+  const Json& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, Json value);
+
+  /// Compact single-line serialization (the wire format: one JSON per line).
+  std::string dump() const;
+
+  /// Parse a complete JSON document; trailing garbage is an error.
+  /// Throws pf::ParseError with a byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace pf::service

@@ -1,0 +1,97 @@
+// The sweep service: a Unix-domain-socket daemon that runs region sweeps
+// on behalf of clients, with admission control, a verified result cache,
+// cooperative cancellation and crash-safe journaling.
+//
+// Wire protocol (newline-delimited JSON, one request line per connection):
+//
+//   -> {"cmd":"submit","job":{...}}          run (or fetch) a sweep
+//   -> {"cmd":"ping"} | {"cmd":"stats"} | {"cmd":"shutdown"}
+//
+//   <- {"event":"accepted","key":"<16hex>","cached":false}
+//   <- {"event":"rejected","reason":"queue_full","retry_after_ms":N}
+//   <- {"event":"rejected","reason":"invalid","error":"..."}
+//   <- {"event":"progress","done":n,"total":m}        (misses only)
+//   <- {"event":"result","key":...,"sha256":...,"cached":b,"csv":"..."}
+//   <- {"event":"error","message":"..."}
+//   <- {"event":"pong"} | {"event":"stats",...} | {"event":"shutting_down"}
+//
+// Admission: a submit is REJECTED immediately (retry_after_ms hint, socket
+// closed) when the pending queue is full — overload never queues
+// unboundedly or blocks the accept loop. Verified cache hits are served
+// inline by the accept thread (no queue slot burned); misses are queued to
+// a fixed pool of job workers.
+//
+// Crash safety: each running job journals to <store>/jobs/<key>.journal.csv
+// (sweep-journal v2: CRC rows, END trailer) and commits to the
+// content-addressed cache manifest-last. kill -9 at ANY instant leaves
+// either a resumable journal, a quarantinable manifest-less entry, or
+// both; restart + resubmit recomputes (resuming the journal) and yields a
+// byte-identical result. See pf/service/cache.hpp.
+//
+// Disconnected clients: a client that vanishes mid-job stops receiving
+// events (EPIPE is swallowed; SIGPIPE suppressed per-send) but the job
+// runs to completion and commits — an impatient client still warms the
+// cache for the next one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pf/service/cache.hpp"
+#include "pf/service/job.hpp"
+#include "pf/util/cancellation.hpp"
+
+namespace pf::service {
+
+struct ServerConfig {
+  std::string socket_path;      ///< AF_UNIX path (unlinked + rebound)
+  std::string store_root;       ///< cache + journal store directory
+  int job_workers = 2;          ///< concurrent jobs
+  size_t queue_limit = 4;       ///< pending (queued, not running) jobs
+  double retry_after_ms = 250;  ///< backoff hint in queue_full rejections
+  JobLimits limits;             ///< admission bounds for submitted jobs
+};
+
+/// Counters for the stats endpoint (cache counters live in CacheStats).
+struct ServerStats {
+  size_t accepted = 0;
+  size_t rejected_queue_full = 0;
+  size_t rejected_invalid = 0;
+  size_t completed = 0;          ///< jobs computed and served
+  size_t cache_hits_served = 0;  ///< submits answered from the cache
+  size_t failed = 0;             ///< jobs that errored or were cancelled
+};
+
+class SweepServer {
+ public:
+  /// `token`: the server's lifetime token — tripping it (signal handler,
+  /// test) stops the accept loop and cancels in-flight jobs cooperatively
+  /// (their journals survive for resume).
+  SweepServer(ServerConfig config, pf::CancellationToken token);
+  ~SweepServer();
+  SweepServer(const SweepServer&) = delete;
+  SweepServer& operator=(const SweepServer&) = delete;
+
+  /// Recover the cache, bind the socket and spawn the accept + worker
+  /// threads. Throws pf::Error when the socket cannot be bound. Returns
+  /// the number of cache entries quarantined during recovery.
+  size_t start();
+
+  /// Trip the token and join all threads; idempotent. Queued-but-unstarted
+  /// jobs are answered with a shutting_down error.
+  void stop();
+
+  /// Block until the lifetime token trips, then stop(). (pf_served's main
+  /// loop; tests use start()/stop() directly.)
+  void run();
+
+  ServerStats stats() const;
+  ResultCache& cache();
+  const ServerConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pf::service

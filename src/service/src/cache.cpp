@@ -1,0 +1,186 @@
+#include "pf/service/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "pf/analysis/checkpoint.hpp"
+#include "pf/service/fault_injection.hpp"
+#include "pf/util/error.hpp"
+#include "pf/util/log.hpp"
+#include "pf/util/quarantine.hpp"
+#include "pf/util/sha256.hpp"
+
+namespace fs = std::filesystem;
+
+namespace pf::service {
+namespace {
+
+constexpr const char* kManifestVersion = "pf-cache-manifest v1";
+
+void write_file_or_throw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PF_CHECK_MSG(out.good(), "cache: cannot open " + path + " for writing");
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+  out.flush();
+  PF_CHECK_MSG(out.good(), "cache: short write to " + path);
+}
+
+bool read_file(const std::string& path, std::string* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  bytes->assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_ + "/cache", ec);
+  PF_CHECK_MSG(!ec, "cache: cannot create " + root_ + "/cache");
+  fs::create_directories(root_ + "/jobs", ec);
+  PF_CHECK_MSG(!ec, "cache: cannot create " + root_ + "/jobs");
+}
+
+std::string ResultCache::entry_dir(uint64_t key) const {
+  return root_ + "/cache/" + key_hex(key);
+}
+
+std::string ResultCache::journal_path(uint64_t key) const {
+  return root_ + "/jobs/" + key_hex(key) + ".journal.csv";
+}
+
+void ResultCache::discard_journal(uint64_t key) {
+  std::error_code ec;
+  fs::remove(journal_path(key), ec);  // best effort; a leftover journal
+                                      // only costs a no-op resume later
+}
+
+bool ResultCache::verify_entry(const std::string& dir, std::string* result_csv,
+                               Json* manifest) const {
+  std::string manifest_text;
+  if (!read_file(dir + "/manifest.json", &manifest_text)) return false;
+  Json parsed;
+  try {
+    parsed = Json::parse(manifest_text);
+  } catch (const pf::Error&) {
+    return false;  // torn manifest: rename lost the race with a crash
+  }
+  if (parsed.string_or("manifest", "") != kManifestVersion) return false;
+  const std::string want_sha = parsed.string_or("result_sha256", "");
+  if (want_sha.size() != 64) return false;
+  std::string csv;
+  if (!read_file(dir + "/result.csv", &csv)) return false;
+  if (pf::sha256_hex(csv) != want_sha) return false;  // bit rot / torn write
+  if (result_csv != nullptr) *result_csv = std::move(csv);
+  if (manifest != nullptr) *manifest = std::move(parsed);
+  return true;
+}
+
+void ResultCache::quarantine_entry(const std::string& dir) {
+  const std::string target = pf::quarantine_path(dir);
+  if (target.empty())
+    PF_LOG_WARN("cache: failed to quarantine invalid entry " + dir);
+  else
+    PF_LOG_WARN("cache: quarantined invalid entry " + dir + " -> " + target);
+}
+
+bool ResultCache::get(uint64_t key, std::string* result_csv, Json* manifest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string dir = entry_dir(key);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    ++stats_.misses;
+    return false;
+  }
+  if (verify_entry(dir, result_csv, manifest)) {
+    ++stats_.hits;
+    return true;
+  }
+  // Entry exists but does not verify: a crashed commit or corrupt disk.
+  // Move the evidence aside and report a miss — NEVER serve it.
+  quarantine_entry(dir);
+  ++stats_.quarantined;
+  ++stats_.misses;
+  return false;
+}
+
+Json ResultCache::commit(const JobSpec& job, const std::string& result_csv,
+                         const Json& stats_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t key = job.cache_key();
+  const std::string dir = entry_dir(key);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  PF_CHECK_MSG(!ec, "cache: cannot create entry " + dir);
+
+  if (testing::should_fail(testing::kTornCacheWrite)) {
+    // Simulate a kill -9 between the result write and the manifest: half
+    // the result lands, no manifest ever does.
+    write_file_or_throw(dir + "/result.csv",
+                        result_csv.substr(0, result_csv.size() / 2));
+    throw pf::Error("cache: injected torn write for entry " + key_hex(key));
+  }
+
+  write_file_or_throw(dir + "/result.csv", result_csv);
+
+  JsonObject m;
+  m["manifest"] = Json(kManifestVersion);
+  m["key"] = Json(key_hex(key));
+  m["result_sha256"] = Json(pf::sha256_hex(result_csv));
+  m["journal_fingerprint"] =
+      Json(key_hex(analysis::SweepJournal::fingerprint(job.to_sweep_spec())));
+  m["job"] = job.to_json();
+  m["stats"] = stats_json;
+  const Json manifest{std::move(m)};
+
+  if (testing::should_fail(testing::kManifestWriteFail))
+    throw pf::Error("cache: injected manifest write failure (disk full) for " +
+                    key_hex(key));
+
+  // Manifest-last discipline: tmp + flush + rename, so the manifest is
+  // either absent or complete — the entry's END trailer.
+  const std::string tmp = dir + "/manifest.json.tmp";
+  write_file_or_throw(tmp, manifest.dump() + "\n");
+  fs::rename(tmp, dir + "/manifest.json", ec);
+  PF_CHECK_MSG(!ec, "cache: cannot finalize manifest for " + key_hex(key));
+  ++stats_.commits;
+  return manifest;
+}
+
+size_t ResultCache::recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t quarantined = 0;
+  std::error_code ec;
+  fs::directory_iterator it(root_ + "/cache", ec);
+  if (ec) return 0;
+  std::vector<std::string> invalid;
+  for (const auto& entry : it) {
+    if (!entry.is_directory(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 16 ||
+        name.find_first_not_of("0123456789abcdef") != std::string::npos)
+      continue;  // quarantined leftovers (.corrupt suffixes) stay put
+    if (!verify_entry(entry.path().string(), nullptr, nullptr))
+      invalid.push_back(entry.path().string());
+  }
+  for (const std::string& dir : invalid) {
+    quarantine_entry(dir);
+    ++quarantined;
+  }
+  stats_.quarantined += quarantined;
+  if (quarantined > 0)
+    PF_LOG_INFO("cache: recovery quarantined " + std::to_string(quarantined) +
+                " invalid entr" + (quarantined == 1 ? "y" : "ies"));
+  return quarantined;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pf::service

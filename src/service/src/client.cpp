@@ -1,0 +1,167 @@
+#include "pf/service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "pf/util/error.hpp"
+
+namespace pf::service {
+namespace {
+
+int connect_to(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += size_t(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over one socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool next(std::string* line) {
+    line->clear();
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, size_t(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+SubmitOutcome submit_job(
+    const std::string& socket_path, const JobSpec& job,
+    const std::function<void(size_t done, size_t total)>& on_progress) {
+  SubmitOutcome outcome;
+  const int fd = connect_to(socket_path);
+  if (fd < 0) {
+    outcome.error_message = "cannot connect to " + socket_path;
+    return outcome;
+  }
+  Json request;
+  request.set("cmd", Json("submit"));
+  request.set("job", job.to_json());
+  if (!send_all(fd, request.dump() + "\n")) {
+    ::close(fd);
+    outcome.error_message = "send failed";
+    return outcome;
+  }
+
+  LineReader reader(fd);
+  std::string line;
+  while (reader.next(&line)) {
+    Json event;
+    try {
+      event = Json::parse(line);
+    } catch (const pf::Error& e) {
+      outcome.error_message = std::string("bad event line: ") + e.what();
+      break;
+    }
+    const std::string name = event.string_or("event", "");
+    if (name == "accepted") {
+      outcome.key = event.string_or("key", "");
+      continue;
+    }
+    if (name == "progress") {
+      ++outcome.progress_events;
+      if (on_progress)
+        on_progress(size_t(event.number_or("done", 0)),
+                    size_t(event.number_or("total", 0)));
+      continue;
+    }
+    if (name == "rejected") {
+      const std::string reason = event.string_or("reason", "");
+      if (reason == "invalid") {
+        outcome.status = SubmitStatus::kInvalid;
+        outcome.error_message = event.string_or("error", "invalid request");
+      } else {
+        outcome.status = SubmitStatus::kRejectedBusy;
+        outcome.retry_after_ms = event.number_or("retry_after_ms", 0);
+      }
+      break;
+    }
+    if (name == "result") {
+      outcome.status = SubmitStatus::kResult;
+      outcome.key = event.string_or("key", outcome.key);
+      outcome.sha256 = event.string_or("sha256", "");
+      outcome.csv = event.string_or("csv", "");
+      outcome.cached = event.bool_or("cached", false);
+      outcome.committed = event.bool_or("committed", false);
+      break;
+    }
+    if (name == "error") {
+      outcome.status = SubmitStatus::kError;
+      outcome.error_message = event.string_or("message", "server error");
+      break;
+    }
+    // Unknown event kinds are skipped (forward compatibility).
+  }
+  if (outcome.status == SubmitStatus::kDisconnected &&
+      outcome.error_message.empty())
+    outcome.error_message = "connection closed before a terminal event";
+  ::close(fd);
+  return outcome;
+}
+
+Json request(const std::string& socket_path, const std::string& cmd) {
+  const int fd = connect_to(socket_path);
+  if (fd < 0) return Json();
+  Json req;
+  req.set("cmd", Json(cmd));
+  if (!send_all(fd, req.dump() + "\n")) {
+    ::close(fd);
+    return Json();
+  }
+  LineReader reader(fd);
+  std::string line;
+  Json response;
+  if (reader.next(&line)) {
+    try {
+      response = Json::parse(line);
+    } catch (const pf::Error&) {
+      response = Json();
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace pf::service

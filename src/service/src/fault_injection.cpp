@@ -1,0 +1,75 @@
+#include "pf/service/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "pf/util/strings.hpp"
+
+namespace pf::service::testing {
+namespace {
+
+struct SiteState {
+  size_t trigger = 1;  ///< which consultation fires (1-based)
+  size_t seen = 0;
+};
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::map<std::string, SiteState>& plan() {
+  static std::map<std::string, SiteState> p;
+  return p;
+}
+size_t g_fired = 0;
+
+}  // namespace
+
+void arm_from_spec(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  plan().clear();
+  g_fired = 0;
+  for (const std::string& part : pf::split(spec, ',')) {
+    const std::string entry = pf::trim(part);
+    if (entry.empty()) continue;
+    SiteState state;
+    std::string site = entry;
+    const size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      site = entry.substr(0, colon);
+      state.trigger = size_t(std::atoi(entry.c_str() + colon + 1));
+      if (state.trigger == 0) state.trigger = 1;
+    }
+    plan()[site] = state;
+  }
+  g_armed.store(!plan().empty(), std::memory_order_release);
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("PF_SERVICE_FAULTS");
+  if (spec != nullptr && *spec != '\0') arm_from_spec(spec);
+}
+
+ScopedServiceFault::ScopedServiceFault(const std::string& spec) {
+  arm_from_spec(spec);
+}
+
+ScopedServiceFault::~ScopedServiceFault() { arm_from_spec(""); }
+
+bool should_fail(const char* site) {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = plan().find(site);
+  if (it == plan().end()) return false;
+  ++it->second.seen;
+  if (it->second.seen != it->second.trigger) return false;
+  ++g_fired;
+  return true;
+}
+
+size_t faults_fired() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_fired;
+}
+
+}  // namespace pf::service::testing

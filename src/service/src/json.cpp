@@ -1,0 +1,346 @@
+#include "pf/service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "pf/util/error.hpp"
+
+namespace pf::service {
+namespace {
+
+[[noreturn]] void fail_at(size_t pos, const std::string& what) {
+  throw pf::ParseError("json: " + what + " at byte " + std::to_string(pos));
+}
+
+const Json& null_json() {
+  static const Json kNull;
+  return kNull;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf; a non-finite number is absent data
+    return;
+  }
+  // Integers (the common case: counts, event ids) print without an exponent
+  // or trailing ".0"; everything else gets round-trip precision.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail_at(pos_, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail_at(pos_, "bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail_at(pos_, "bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail_at(pos_, "bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail_at(pos_ - 1, "raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail_at(pos_, "short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else fail_at(pos_ - 1, "bad \\u escape");
+          }
+          // BMP only (no surrogate pairs): encode as UTF-8.
+          if (code < 0x80) {
+            out.push_back(char(code));
+          } else if (code < 0x800) {
+            out.push_back(char(0xC0 | (code >> 6)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(char(0xE0 | (code >> 12)));
+            out.push_back(char(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(char(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail_at(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") fail_at(start, "bad number");
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail_at(start, "bad number");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  PF_CHECK_MSG(is_bool(), "json value is not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  PF_CHECK_MSG(is_number(), "json value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  PF_CHECK_MSG(is_string(), "json value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  PF_CHECK_MSG(is_array(), "json value is not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  PF_CHECK_MSG(is_object(), "json value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonObject& Json::as_object() {
+  PF_CHECK_MSG(is_object(), "json value is not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::get(const std::string& key) const {
+  if (!is_object()) return null_json();
+  const JsonObject& obj = std::get<JsonObject>(value_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? null_json() : it->second;
+}
+
+bool Json::has(const std::string& key) const {
+  return is_object() &&
+         std::get<JsonObject>(value_).find(key) !=
+             std::get<JsonObject>(value_).end();
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json& v = get(key);
+  if (v.is_null() && !has(key)) return fallback;
+  return v.as_number();
+}
+
+std::string Json::string_or(const std::string& key,
+                            const std::string& fallback) const {
+  const Json& v = get(key);
+  if (v.is_null() && !has(key)) return fallback;
+  return v.as_string();
+}
+
+bool Json::bool_or(const std::string& key, bool fallback) const {
+  const Json& v = get(key);
+  if (v.is_null() && !has(key)) return fallback;
+  return v.as_bool();
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (!is_object()) value_ = JsonObject{};
+  std::get<JsonObject>(value_)[key] = std::move(value);
+}
+
+std::string Json::dump() const {
+  std::string out;
+  if (is_null()) {
+    out = "null";
+  } else if (is_bool()) {
+    out = as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    append_number(out, as_number());
+  } else if (is_string()) {
+    append_escaped(out, as_string());
+  } else if (is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Json& v : as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += v.dump();
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, v] : as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_escaped(out, key);
+      out.push_back(':');
+      out += v.dump();
+    }
+    out.push_back('}');
+  }
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace pf::service

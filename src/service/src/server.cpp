@@ -1,0 +1,445 @@
+#include "pf/service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pf/analysis/region.hpp"
+#include "pf/service/fault_injection.hpp"
+#include "pf/util/error.hpp"
+#include "pf/util/log.hpp"
+#include "pf/util/sha256.hpp"
+
+namespace pf::service {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 1 << 16;
+
+/// Write one JSON line; EPIPE (client gone) returns false, never signals.
+bool send_line(int fd, const Json& event) {
+  if (fd < 0) return false;
+  const std::string line = event.dump() + "\n";
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += size_t(n);
+  }
+  return true;
+}
+
+/// Read one newline-terminated request (bounded; EOF before newline fails).
+bool read_line(int fd, std::string* line) {
+  line->clear();
+  char c = 0;
+  while (line->size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    line->push_back(c);
+  }
+  return false;
+}
+
+Json event_obj(const char* name) {
+  JsonObject obj;
+  obj["event"] = Json(name);
+  return Json(std::move(obj));
+}
+
+Json stats_to_json(const analysis::SweepStats& stats) {
+  JsonObject obj;
+  obj["attempted"] = Json(stats.attempted);
+  obj["solved"] = Json(stats.solved);
+  obj["failed"] = Json(stats.failed);
+  obj["retries"] = Json(stats.retries);
+  obj["resumed"] = Json(stats.resumed);
+  obj["journal_dropped"] = Json(stats.journal_dropped);
+  obj["journal_quarantined"] = Json(stats.journal_quarantined);
+  return Json(std::move(obj));
+}
+
+}  // namespace
+
+struct SweepServer::Impl {
+  explicit Impl(ServerConfig cfg, pf::CancellationToken tok)
+      : config(std::move(cfg)), token(std::move(tok)),
+        cache(config.store_root) {}
+
+  struct Pending {
+    JobSpec job;
+    uint64_t key = 0;
+    int fd = -1;  ///< -1: client already gone; job still runs
+  };
+
+  ServerConfig config;
+  pf::CancellationToken token;
+  ResultCache cache;
+
+  int listen_fd = -1;
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+  std::atomic<bool> started{false};
+
+  std::mutex mutex;  ///< guards queue, in_flight, stats
+  std::condition_variable cv;
+  std::deque<Pending> queue;
+  std::set<uint64_t> in_flight;  ///< queued or running keys (journal is
+                                 ///< single-writer: no two same-key jobs)
+  ServerStats stats;
+
+  // --- admission (accept thread) -------------------------------------
+
+  void handle_connection(int fd) {
+    std::string line;
+    if (!read_line(fd, &line)) {
+      ::close(fd);
+      return;
+    }
+    Json request;
+    try {
+      request = Json::parse(line);
+    } catch (const pf::Error& e) {
+      reject_invalid(fd, e.what());
+      return;
+    }
+    const std::string cmd = request.string_or("cmd", "");
+    if (cmd == "submit") {
+      handle_submit(fd, request.get("job"));
+    } else if (cmd == "ping") {
+      send_line(fd, event_obj("pong"));
+      ::close(fd);
+    } else if (cmd == "stats") {
+      send_stats(fd);
+      ::close(fd);
+    } else if (cmd == "shutdown") {
+      send_line(fd, event_obj("shutting_down"));
+      ::close(fd);
+      token.request_cancellation();
+    } else {
+      reject_invalid(fd, "unknown cmd \"" + cmd + "\"");
+    }
+  }
+
+  void reject_invalid(int fd, const std::string& error) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++stats.rejected_invalid;
+    }
+    Json event = event_obj("rejected");
+    event.set("reason", Json("invalid"));
+    event.set("error", Json(error));
+    send_line(fd, event);
+    ::close(fd);
+  }
+
+  void reject_busy(int fd, const char* reason) {
+    Json event = event_obj("rejected");
+    event.set("reason", Json(reason));
+    event.set("retry_after_ms", Json(config.retry_after_ms));
+    send_line(fd, event);
+    ::close(fd);
+  }
+
+  void handle_submit(int fd, const Json& job_json) {
+    JobSpec job;
+    try {
+      job = JobSpec::from_json(job_json, config.limits);
+    } catch (const pf::Error& e) {
+      reject_invalid(fd, e.what());
+      return;
+    }
+    const uint64_t key = job.cache_key();
+
+    // Verified cache hit: served inline, no queue slot, no worker.
+    std::string csv;
+    Json manifest;
+    if (cache.get(key, &csv, &manifest)) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stats.accepted;
+        ++stats.cache_hits_served;
+      }
+      Json accepted = event_obj("accepted");
+      accepted.set("key", Json(key_hex(key)));
+      accepted.set("cached", Json(true));
+      send_line(fd, accepted);
+      send_result(fd, key, csv, manifest.string_or("result_sha256", ""),
+                  /*cached=*/true);
+      ::close(fd);
+      return;
+    }
+
+    // Admission control: bounded queue, immediate rejection on overload.
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (queue.size() >= config.queue_limit) {
+        ++stats.rejected_queue_full;
+        // unlock via scope end; send outside would be nicer but the send
+        // is tiny and non-blocking in practice
+      } else if (in_flight.count(key) != 0) {
+        // Same sweep already queued/running: its journal is single-writer,
+        // so the duplicate backs off and re-submits into a warm cache.
+        ++stats.rejected_queue_full;
+        lock_owned_reject(fd, "in_flight");
+        return;
+      } else {
+        ++stats.accepted;
+        in_flight.insert(key);
+        Json accepted = event_obj("accepted");
+        accepted.set("key", Json(key_hex(key)));
+        accepted.set("cached", Json(false));
+        send_line(fd, accepted);
+        if (testing::should_fail(testing::kDropAfterAccept)) {
+          ::close(fd);
+          fd = -1;  // client gone; the job still runs and warms the cache
+        }
+        queue.push_back(Pending{std::move(job), key, fd});
+        cv.notify_one();
+        return;
+      }
+    }
+    reject_busy(fd, "queue_full");
+  }
+
+  void lock_owned_reject(int fd, const char* reason) {
+    Json event = event_obj("rejected");
+    event.set("reason", Json(reason));
+    event.set("retry_after_ms", Json(config.retry_after_ms));
+    send_line(fd, event);
+    ::close(fd);
+  }
+
+  void send_stats(int fd) {
+    ServerStats s;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      s = stats;
+    }
+    const CacheStats cs = cache.stats();
+    Json event = event_obj("stats");
+    event.set("accepted", Json(s.accepted));
+    event.set("rejected_queue_full", Json(s.rejected_queue_full));
+    event.set("rejected_invalid", Json(s.rejected_invalid));
+    event.set("completed", Json(s.completed));
+    event.set("cache_hits_served", Json(s.cache_hits_served));
+    event.set("failed", Json(s.failed));
+    event.set("cache_hits", Json(cs.hits));
+    event.set("cache_misses", Json(cs.misses));
+    event.set("cache_commits", Json(cs.commits));
+    event.set("cache_quarantined", Json(cs.quarantined));
+    send_line(fd, event);
+  }
+
+  void send_result(int fd, uint64_t key, const std::string& csv,
+                   const std::string& sha, bool cached,
+                   bool committed = true) {
+    Json event = event_obj("result");
+    event.set("key", Json(key_hex(key)));
+    event.set("sha256", Json(sha));
+    event.set("cached", Json(cached));
+    event.set("committed", Json(committed));
+    event.set("csv", Json(csv));
+    send_line(fd, event);
+  }
+
+  // --- execution (worker threads) ------------------------------------
+
+  void run_job(Pending& pending) {
+    int fd = pending.fd;
+    bool dropped_mid_stream = false;
+    try {
+      const analysis::SweepSpec spec = pending.job.to_sweep_spec();
+      analysis::ExecutionPolicy policy = pending.job.to_policy();
+      policy.journal_path = cache.journal_path(pending.key);
+      policy.resume = true;  // a crashed predecessor's journal is picked up
+
+      // Per-job token: the job's own deadline arms on it, and the server's
+      // lifetime token cancels it cooperatively (checked per grid point).
+      const pf::CancellationToken job_token = policy.cancel;
+      const double throttle_ms = pending.job.throttle_ms;
+      const pf::CancellationToken server_token = token;
+      policy.progress = [&fd, &dropped_mid_stream, job_token, server_token,
+                         throttle_ms](size_t done, size_t total) {
+        if (server_token.stop_requested()) job_token.request_cancellation();
+        if (throttle_ms > 0)  // test hook: widen the kill -9 window
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              throttle_ms));
+        if (fd >= 0) {
+          Json event = event_obj("progress");
+          event.set("done", Json(done));
+          event.set("total", Json(total));
+          if (!send_line(fd, event) ||
+              testing::should_fail(testing::kDropMidStream)) {
+            ::close(fd);
+            fd = -1;  // client gone: stop streaming, keep computing
+            dropped_mid_stream = true;
+          }
+        }
+      };
+
+      const analysis::RegionMap map = analysis::sweep_region(spec, policy);
+      const std::string csv = map.to_csv();
+      const std::string sha = pf::sha256_hex(csv);
+
+      bool committed = false;
+      try {
+        cache.commit(pending.job, csv, stats_to_json(map.solve_stats()));
+        cache.discard_journal(pending.key);
+        committed = true;
+      } catch (const pf::Error& e) {
+        // Torn write / manifest failure: serve the result uncached. The
+        // invalid entry (if any) is quarantined by the next get().
+        PF_LOG_WARN("service: commit failed for " << key_hex(pending.key)
+                                                  << ": " << e.what());
+      }
+      // Bookkeeping BEFORE the terminal event: the instant the client sees
+      // it, a resubmit must find the key free and the counters current.
+      finish_job(pending.key, /*ok=*/true);
+      send_result(fd, pending.key, csv, sha, /*cached=*/false, committed);
+    } catch (const pf::CancelledError& e) {
+      // Journal survives: a resubmit after restart resumes this job.
+      finish_job(pending.key, /*ok=*/false);
+      Json event = event_obj("error");
+      event.set("message", Json(std::string("cancelled: ") + e.what()));
+      send_line(fd, event);
+    } catch (const std::exception& e) {
+      finish_job(pending.key, /*ok=*/false);
+      Json event = event_obj("error");
+      event.set("message", Json(std::string(e.what())));
+      send_line(fd, event);
+    }
+    if (fd >= 0) ::close(fd);
+    (void)dropped_mid_stream;
+  }
+
+  void finish_job(uint64_t key, bool ok) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (ok)
+      ++stats.completed;
+    else
+      ++stats.failed;
+    in_flight.erase(key);
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Pending pending;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] {
+          return !queue.empty() || token.stop_requested();
+        });
+        if (queue.empty()) return;  // stopping and drained
+        pending = std::move(queue.front());
+        queue.pop_front();
+        if (token.stop_requested()) {
+          // Drain: answer, do not start new work.
+          in_flight.erase(pending.key);
+          lock.unlock();
+          Json event = event_obj("error");
+          event.set("message", Json("shutting_down"));
+          send_line(pending.fd, event);
+          if (pending.fd >= 0) ::close(pending.fd);
+          continue;
+        }
+      }
+      run_job(pending);
+    }
+  }
+
+  void accept_loop() {
+    while (!token.stop_requested()) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 100);
+      if (ready <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      handle_connection(fd);
+    }
+  }
+};
+
+SweepServer::SweepServer(ServerConfig config, pf::CancellationToken token)
+    : impl_(std::make_unique<Impl>(std::move(config), std::move(token))) {}
+
+SweepServer::~SweepServer() { stop(); }
+
+size_t SweepServer::start() {
+  Impl& impl = *impl_;
+  PF_CHECK_MSG(!impl.started.load(), "service: server already started");
+  testing::arm_from_env();
+  const size_t quarantined = impl.cache.recover();
+
+  impl.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PF_CHECK_MSG(impl.listen_fd >= 0, "service: cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PF_CHECK_MSG(impl.config.socket_path.size() < sizeof(addr.sun_path),
+               "service: socket path too long: " + impl.config.socket_path);
+  std::strncpy(addr.sun_path, impl.config.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(impl.config.socket_path.c_str());
+  if (::bind(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl.listen_fd, 16) != 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    throw pf::Error("service: cannot bind " + impl.config.socket_path);
+  }
+
+  const int workers = impl.config.job_workers < 1 ? 1 : impl.config.job_workers;
+  for (int i = 0; i < workers; ++i)
+    impl.workers.emplace_back([&impl] { impl.worker_loop(); });
+  impl.accept_thread = std::thread([&impl] { impl.accept_loop(); });
+  impl.started.store(true);
+  PF_LOG_INFO("service: listening on " << impl.config.socket_path << " ("
+                                       << workers << " workers)");
+  return quarantined;
+}
+
+void SweepServer::stop() {
+  Impl& impl = *impl_;
+  if (!impl.started.exchange(false)) return;
+  impl.token.request_cancellation();
+  impl.cv.notify_all();
+  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+  for (std::thread& t : impl.workers)
+    if (t.joinable()) t.join();
+  impl.workers.clear();
+  if (impl.listen_fd >= 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+  }
+  ::unlink(impl.config.socket_path.c_str());
+}
+
+void SweepServer::run() {
+  if (!impl_->started.load()) start();
+  while (!impl_->token.stop_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop();
+}
+
+ServerStats SweepServer::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+ResultCache& SweepServer::cache() { return impl_->cache; }
+
+const ServerConfig& SweepServer::config() const { return impl_->config; }
+
+}  // namespace pf::service

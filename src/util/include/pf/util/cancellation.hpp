@@ -76,11 +76,20 @@ class CancellationToken {
 /// EX_TEMPFAIL, the conventional "try again later" code.)
 inline constexpr int kExitInterrupted = 75;
 
+/// Exit status for a FORCED shutdown: a second SIGINT/SIGTERM arrived while
+/// the graceful drain was still running (a wedged worker, a stuck solve), so
+/// the process exited immediately without flushing. Distinct from both 0 and
+/// kExitInterrupted so wrappers can tell "resumable, journal flushed" from
+/// "killed mid-drain, journal holds whatever was flushed before the trip".
+/// (BSD sysexits' EX_SOFTWARE.)
+inline constexpr int kExitForced = 70;
+
 /// RAII installation of SIGINT/SIGTERM handlers that trip `token`. The
 /// FIRST signal requests cooperative cancellation (drain + flush + resumable
-/// exit); a SECOND signal restores the default disposition and re-raises,
-/// so a wedged process can still be killed with a double Ctrl-C. At most
-/// one instance may be live per process.
+/// exit); a SECOND signal forces an immediate _exit(kExitForced) — a wedged
+/// drain (stuck worker, hung solve) must never make the process unkillable
+/// by Ctrl-C, and the distinct code tells wrappers the drain did not finish.
+/// At most one instance may be live per process.
 class SignalCancellation {
  public:
   /// Install handlers tripping a fresh token (retrieve it via token()).

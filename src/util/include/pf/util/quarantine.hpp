@@ -1,0 +1,21 @@
+// Quarantine: move a corrupt artifact aside instead of deleting it.
+//
+// Crash-safe subsystems (the sweep journal, the service result cache) never
+// destroy evidence: an unreadable journal or a failed-verification cache
+// entry is renamed to `<path>.corrupt` and the campaign continues. When a
+// second corruption lands on the same path — one flaky disk can produce
+// many — the suffix gains a monotonic counter (`.corrupt.1`, `.corrupt.2`,
+// ...) so earlier evidence is never overwritten.
+#pragma once
+
+#include <string>
+
+namespace pf {
+
+/// Rename `path` (file or directory) to the first free quarantine name:
+/// `<path>.corrupt`, then `<path>.corrupt.1`, `<path>.corrupt.2`, ...
+/// Returns the target path, or an empty string when the rename failed (the
+/// caller then proceeds as if the artifact did not exist).
+std::string quarantine_path(const std::string& path);
+
+}  // namespace pf

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4) — the content hash behind the service result cache's
+// golden-answer manifests.
+//
+// CRC-32 (pf/util/crc32.hpp) guards individual journal rows against bit rot;
+// it is deliberately cheap and deliberately weak. A *served* result needs a
+// stronger contract: the `.ans.sha` manifest discipline stores the SHA-256
+// of the answer next to the answer, and every cache read recomputes and
+// compares before a byte leaves the store. Self-contained implementation —
+// no OpenSSL dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pf {
+
+/// Streaming SHA-256. update() any number of times, then hex_digest() once.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 64-char lowercase hex digest. The object is
+  /// spent afterwards (construct a fresh one for another message).
+  std::string hex_digest();
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t length_bits_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot digest of an in-memory buffer.
+std::string sha256_hex(std::string_view data);
+
+/// Digest of a file's bytes; empty string when the file cannot be read
+/// (callers treat an unreadable artifact exactly like a corrupt one).
+std::string sha256_file_hex(const std::string& path);
+
+}  // namespace pf

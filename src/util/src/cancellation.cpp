@@ -1,5 +1,7 @@
 #include "pf/util/cancellation.hpp"
 
+#include <unistd.h>
+
 #include <csignal>
 #include <chrono>
 
@@ -58,12 +60,14 @@ std::atomic<std::atomic<bool>*> g_cancel_flag{nullptr};
 std::atomic<int> g_signal_count{0};
 
 extern "C" void pf_cancellation_signal_handler(int signum) {
+  (void)signum;
   if (g_signal_count.fetch_add(1, std::memory_order_relaxed) > 0) {
-    // Second signal: the cooperative path is not draining fast enough (or
-    // is wedged) — fall back to the default disposition and re-raise.
-    std::signal(signum, SIG_DFL);
-    std::raise(signum);
-    return;
+    // Second signal: the cooperative path is not draining fast enough (or a
+    // worker is wedged) — exit NOW with the distinct forced-shutdown code.
+    // _exit is async-signal-safe; no flushing, no destructors: everything
+    // journaled before the first signal is already on disk (appends flush
+    // per row), and whatever was in flight is lost by design.
+    _exit(kExitForced);
   }
   std::atomic<bool>* flag = g_cancel_flag.load(std::memory_order_relaxed);
   if (flag != nullptr) flag->store(true, std::memory_order_relaxed);

@@ -1,0 +1,24 @@
+#include "pf/util/quarantine.hpp"
+
+#include <filesystem>
+#include <string>
+
+namespace pf {
+
+std::string quarantine_path(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  // A bounded scan keeps the worst case sane; 10k corruptions of one path
+  // means something far worse than bit rot is going on.
+  for (int n = 0; n < 10000; ++n) {
+    std::string target = path + ".corrupt";
+    if (n > 0) target += "." + std::to_string(n);
+    if (fs::exists(target, ec)) continue;
+    fs::rename(path, target, ec);
+    if (ec) return "";
+    return target;
+  }
+  return "";
+}
+
+}  // namespace pf

@@ -97,6 +97,74 @@ TEST(SweepCancellation, ExpiredDeadlineAbortsTheSweep) {
   }
 }
 
+TEST(SweepCancellation, DeadlineAndCancelArmingInTheSamePointStopsOnce) {
+  // Both triggers arming in the SAME grid point (the progress callback trips
+  // the token and arms an already-expired deadline) must behave exactly like
+  // one trigger: one CancelledError, the drained prefix journaled, no FAIL
+  // rows, and a resume that is bit-identical to an uninterrupted run. The
+  // tie-break is deterministic: an explicit cancellation is reported over a
+  // deadline expiry (first-arm-wins at the shared-state level; the reason
+  // check order breaks the same-instant tie).
+  const SweepSpec spec = small_spec();
+  const RegionMap serial = sweep_region(spec);
+  for (int threads : {1, 4}) {
+    const std::string path = temp_journal("cancel_both_journal.csv");
+    std::remove(path.c_str());
+    ExecutionPolicy policy;
+    policy.threads = threads;
+    policy.journal_path = path;
+    policy.progress = [&policy](size_t done, size_t /*total*/) {
+      if (done >= 3) {
+        policy.cancel.request_cancellation();
+        policy.cancel.arm_deadline_after(1e-12);  // expires immediately
+      }
+    };
+    try {
+      sweep_region(spec, policy);
+      FAIL() << "both triggers must abort the sweep (" << threads
+             << " threads)";
+    } catch (const pf::CancelledError& e) {
+      EXPECT_NE(std::string(e.what()).find("cancellation requested"),
+                std::string::npos)
+          << e.what();
+    }
+    const SweepJournal::LoadResult loaded = SweepJournal::load(path, spec);
+    EXPECT_GE(loaded.entries.size(), 3u);
+    EXPECT_EQ(loaded.fail_rows, 0u) << "a cancelled point must never be "
+                                       "recorded as a solver failure";
+    EXPECT_EQ(loaded.dropped, 0u);
+    EXPECT_FALSE(loaded.clean_end);
+
+    ExecutionPolicy resume;
+    resume.threads = threads;
+    resume.journal_path = path;
+    const RegionMap map = sweep_region(spec, resume);
+    EXPECT_EQ(map.solve_stats().failed, 0u);
+    EXPECT_EQ(map.to_csv(), serial.to_csv()) << threads << " threads";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SweepCancellation, PreArmedDeadlineAndCancelReportCancellation) {
+  // Same-instant tie at sweep start: both already tripped before the first
+  // point. The sweep stops before any work and the deterministic tie-break
+  // reports the explicit cancellation.
+  const SweepSpec spec = small_spec();
+  ExecutionPolicy policy;
+  policy.cancel.request_cancellation();
+  policy.cancel.arm_deadline_after(1e-12);
+  EXPECT_TRUE(policy.cancel.deadline_expired() ||
+              policy.cancel.cancellation_requested());
+  try {
+    sweep_region(spec, policy);
+    FAIL() << "pre-armed triggers must abort the sweep";
+  } catch (const pf::CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("cancellation requested"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SweepCancellation, CancelledParallelSweepResumesBitIdentical) {
   // THE acceptance property: cancel a 4-thread journaled sweep partway,
   // resume it, and require the final map bit-identical to an uninterrupted

@@ -205,6 +205,48 @@ TEST(JournalV2, GarbageHeaderQuarantinesInsteadOfThrowing) {
   std::remove((path + ".corrupt").c_str());
 }
 
+TEST(JournalV2, RepeatedQuarantinesGetCounterSuffixesAndNeverOverwrite) {
+  // Two corrupt journals landing on the same path must BOTH survive as
+  // evidence: the first goes to <path>.corrupt, the second to
+  // <path>.corrupt.1 — never clobbering the first.
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_journal("jv2_collide.csv");
+  std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".corrupt.1").c_str());
+
+  write_file(path, "garbage one\n");
+  EXPECT_TRUE(SweepJournal::load(path, spec).quarantined);
+  write_file(path, "garbage two\n");
+  EXPECT_TRUE(SweepJournal::load(path, spec).quarantined);
+
+  EXPECT_EQ(read_file(path + ".corrupt"), "garbage one\n");
+  EXPECT_EQ(read_file(path + ".corrupt.1"), "garbage two\n");
+  std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".corrupt.1").c_str());
+}
+
+TEST(JournalV2, SweepStatsCountQuarantines) {
+  // The sweep driver surfaces a quarantine in its stats — a campaign log
+  // that silently restarted a corrupt journal would read as "all intact".
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_journal("jv2_quarantine_stats.csv");
+  write_file(path, "not a journal header\n");
+
+  ExecutionPolicy opt;
+  opt.journal_path = path;
+  const RegionMap map = sweep_region(spec, opt);
+  EXPECT_EQ(map.solve_stats().journal_quarantined, 1u);
+  EXPECT_EQ(map.solve_stats().resumed, 0u);
+  EXPECT_EQ(map.solve_stats().attempted, 12u);
+
+  // A clean rerun over the fresh journal quarantines nothing.
+  const RegionMap rerun = sweep_region(spec, opt);
+  EXPECT_EQ(rerun.solve_stats().journal_quarantined, 0u);
+  EXPECT_EQ(rerun.solve_stats().resumed, 12u);
+  std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
+}
+
 TEST(JournalV2, MissingEndTrailerReadsAsInterrupted) {
   const SweepSpec spec = small_spec();
   const std::string path = make_complete_journal(spec, "jv2_noend.csv");

@@ -46,16 +46,31 @@ SweepSpec explorer_spec() {
   return spec;
 }
 
-/// Spawn defect_explorer with stdout/stderr discarded; returns the pid.
-pid_t spawn_explorer(const std::string& journal_prefix) {
+/// Spawn defect_explorer with stdout discarded; stderr goes to `stderr_path`
+/// when given (so tests can observe shutdown-path progress), else discarded.
+/// `extra_flag` prepends one extra option. Returns the pid.
+pid_t spawn_explorer(const std::string& journal_prefix,
+                     const char* extra_flag = nullptr,
+                     const std::string& stderr_path = "") {
   const pid_t pid = fork();
   if (pid == 0) {
     const int devnull = open("/dev/null", O_WRONLY);
     dup2(devnull, STDOUT_FILENO);
-    dup2(devnull, STDERR_FILENO);
-    execl(PF_DEFECT_EXPLORER_PATH, PF_DEFECT_EXPLORER_PATH, "--threads", "4",
-          "4", "1r1", "13", "12", journal_prefix.c_str(),
-          static_cast<char*>(nullptr));
+    if (stderr_path.empty()) {
+      dup2(devnull, STDERR_FILENO);
+    } else {
+      const int err = open(stderr_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                           0644);
+      dup2(err, STDERR_FILENO);
+    }
+    if (extra_flag != nullptr)
+      execl(PF_DEFECT_EXPLORER_PATH, PF_DEFECT_EXPLORER_PATH, extra_flag,
+            "--threads", "4", "4", "1r1", "13", "12", journal_prefix.c_str(),
+            static_cast<char*>(nullptr));
+    else
+      execl(PF_DEFECT_EXPLORER_PATH, PF_DEFECT_EXPLORER_PATH, "--threads", "4",
+            "4", "1r1", "13", "12", journal_prefix.c_str(),
+            static_cast<char*>(nullptr));
     _exit(127);  // exec failed
   }
   return pid;
@@ -141,6 +156,57 @@ void kill_resume_roundtrip(const char* tag, int signal_to_send) {
   const RegionMap serial = sweep_region(spec);
   EXPECT_EQ(resumed_map.to_csv(), serial.to_csv());
   std::remove(journal.c_str());
+}
+
+/// Block until the file at `path` contains `needle` or the deadline passes.
+bool wait_for_text(const std::string& path, const std::string& needle,
+                   double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    if (text.find(needle) != std::string::npos) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(InterruptResume, SecondSignalForcesExitWithDistinctCode) {
+  // Escalating shutdown: the first SIGINT starts the cooperative drain; if
+  // the drain wedges (here: the --wedge-on-interrupt test hook parks the
+  // process after draining), a second SIGINT must force an immediate exit
+  // with pf::kExitForced — not hang, and not look like a clean interrupt.
+  const std::string prefix = ::testing::TempDir() + "escalate_sweep";
+  const std::string journal = prefix + "-line0.csv";
+  const std::string errlog = prefix + ".stderr";
+  std::remove(journal.c_str());
+  std::remove(errlog.c_str());
+
+  const pid_t pid = spawn_explorer(prefix, "--wedge-on-interrupt", errlog);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_rows(journal, 3, 30.0))
+      << "child never reached 3 journaled points";
+  ASSERT_EQ(kill(pid, SIGINT), 0);
+  // Wait for the drain to finish and the process to park ("wedged" on
+  // stderr) — only then is the second signal unambiguously an escalation.
+  ASSERT_TRUE(wait_for_text(errlog, "wedged", 30.0))
+      << "child never reached the wedge after the first SIGINT";
+  ASSERT_EQ(kill(pid, SIGINT), 0);
+  const int status = wait_status(pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "status " << status;
+  EXPECT_EQ(WEXITSTATUS(status), pf::kExitForced);
+
+  // Everything drained before the forced exit is on disk: the journal loads
+  // as an interrupted-but-resumable tail, exactly like the SIGINT-only path.
+  const SweepJournal::LoadResult loaded =
+      SweepJournal::load(journal, explorer_spec());
+  EXPECT_GE(loaded.entries.size(), 3u);
+  EXPECT_FALSE(loaded.clean_end);
+  EXPECT_FALSE(loaded.quarantined);
+  std::remove(journal.c_str());
+  std::remove(errlog.c_str());
 }
 
 TEST(InterruptResume, SigintDrainsFlushesAndResumesBitIdentical) {

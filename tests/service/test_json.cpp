@@ -1,0 +1,78 @@
+// The service's JSON codec: round-trips, error offsets, deterministic
+// serialization (manifest bytes must be reproducible), typed accessors.
+#include <gtest/gtest.h>
+
+#include "pf/service/json.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::service {
+namespace {
+
+TEST(Json, ParseDumpRoundTripsNestedDocument) {
+  const std::string text =
+      R"({"a":[1,2.5,true,null,"s"],"b":{"nested":-3},"c":""})";
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, ObjectKeysSerializeSorted) {
+  // Insertion order must not leak into the bytes: the manifest SHA relies
+  // on dump() being a pure function of the VALUE.
+  Json a;
+  a.set("zeta", Json(1));
+  a.set("alpha", Json(2));
+  Json b;
+  b.set("alpha", Json(2));
+  b.set("zeta", Json(1));
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a.dump(), R"({"alpha":2,"zeta":1})");
+}
+
+TEST(Json, IntegersPrintWithoutExponentOrFraction) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(size_t(9000)).dump(), "9000");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(0.25).dump(), "0.25");
+  const double reparsed =
+      Json::parse(Json(0.1).dump()).as_number();
+  EXPECT_EQ(reparsed, 0.1);  // %.17g round-trips exactly
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string raw = "line\nquote\"back\\slash\ttab";
+  EXPECT_EQ(Json::parse(Json(raw).dump()).as_string(), raw);
+  EXPECT_EQ(Json::parse(R"("Aé€")").as_string(),
+            "A\xc3\xa9\xe2\x82\xac");  // BMP \u escapes decode to UTF-8
+}
+
+TEST(Json, ParseErrorsCarryByteOffsets) {
+  try {
+    Json::parse(R"({"a":1} trailing)");
+    FAIL() << "expected ParseError";
+  } catch (const pf::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 8"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(Json::parse(""), pf::ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), pf::ParseError);
+  EXPECT_THROW(Json::parse("\"raw\ncontrol\""), pf::ParseError);
+  EXPECT_THROW(Json::parse("[1,2"), pf::ParseError);
+  EXPECT_THROW(Json::parse("tru"), pf::ParseError);
+}
+
+TEST(Json, TypedFieldAccessors) {
+  const Json obj = Json::parse(R"({"n":3,"s":"x","b":true})");
+  EXPECT_EQ(obj.number_or("n", -1), 3);
+  EXPECT_EQ(obj.number_or("missing", -1), -1);
+  EXPECT_EQ(obj.string_or("s", "d"), "x");
+  EXPECT_EQ(obj.string_or("missing", "d"), "d");
+  EXPECT_TRUE(obj.bool_or("b", false));
+  // A PRESENT key of the wrong type must not silently fall back.
+  EXPECT_THROW(obj.number_or("s", -1), pf::Error);
+  EXPECT_THROW(obj.string_or("n", "d"), pf::Error);
+  EXPECT_TRUE(obj.get("missing").is_null());
+  EXPECT_FALSE(obj.has("missing"));
+  EXPECT_TRUE(obj.has("n"));
+}
+
+}  // namespace
+}  // namespace pf::service

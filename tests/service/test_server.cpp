@@ -1,0 +1,248 @@
+// The sweep service end to end, in process over real Unix sockets:
+// admission control (invalid, queue-full, duplicate), verified cache hits,
+// dropped-client and torn-commit fault injections, deadline cancellation
+// with journaled resume.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "pf/service/client.hpp"
+#include "pf/service/fault_injection.hpp"
+#include "pf/service/server.hpp"
+#include "pf/util/cancellation.hpp"
+
+namespace fs = std::filesystem;
+
+namespace pf::service {
+namespace {
+
+JobSpec tiny_job() {
+  JobSpec job;
+  job.defect_kind = "open";
+  job.open_site = 4;
+  job.r_points = 2;
+  job.u_points = 2;
+  return job;
+}
+
+/// A started server on fresh temp socket/store, stopped on destruction.
+struct TestServer {
+  explicit TestServer(const std::string& name, size_t queue_limit = 4,
+                      int workers = 2) {
+    config.socket_path = ::testing::TempDir() + name + ".sock";
+    config.store_root = ::testing::TempDir() + name + ".store";
+    config.queue_limit = queue_limit;
+    config.job_workers = workers;
+    config.retry_after_ms = 17;
+    fs::remove_all(config.store_root);
+    fs::remove(config.socket_path);
+    server = std::make_unique<SweepServer>(config, token);
+    server->start();
+  }
+  ~TestServer() { server->stop(); }
+
+  const std::string& socket() const { return config.socket_path; }
+
+  ServerConfig config;
+  pf::CancellationToken token;
+  std::unique_ptr<SweepServer> server;
+};
+
+bool wait_until(const std::function<bool()>& done, double seconds = 30.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return done();
+}
+
+TEST(SweepServer, ComputesThenServesVerifiedCacheHit) {
+  TestServer ts("srv_hit");
+  const SubmitOutcome first = submit_job(ts.socket(), tiny_job());
+  ASSERT_EQ(first.status, SubmitStatus::kResult);
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(first.committed);
+  EXPECT_EQ(first.sha256.size(), 64u);
+  EXPECT_GT(first.progress_events, 0u);
+  EXPECT_NE(first.csv.find("r_def"), std::string::npos);
+
+  const SubmitOutcome second = submit_job(ts.socket(), tiny_job());
+  ASSERT_EQ(second.status, SubmitStatus::kResult);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.sha256, first.sha256);
+  EXPECT_EQ(second.csv, first.csv);
+  EXPECT_EQ(second.progress_events, 0u);  // hits stream no progress
+
+  const ServerStats stats = ts.server->stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cache_hits_served, 1u);
+  EXPECT_EQ(ts.server->cache().stats().commits, 1u);
+
+  const Json pong = request(ts.socket(), "ping");
+  EXPECT_EQ(pong.string_or("event", ""), "pong");
+  const Json remote = request(ts.socket(), "stats");
+  EXPECT_EQ(remote.number_or("completed", 0), 1);
+}
+
+TEST(SweepServer, MalformedAndInvalidSubmitsAreRejected) {
+  TestServer ts("srv_invalid");
+  JobSpec bad = tiny_job();
+  bad.sos_text = "not an sos";
+  const SubmitOutcome outcome = submit_job(ts.socket(), bad);
+  EXPECT_EQ(outcome.status, SubmitStatus::kInvalid);
+  EXPECT_NE(outcome.error_message.find("sos"), std::string::npos);
+  EXPECT_EQ(ts.server->stats().rejected_invalid, 1u);
+}
+
+TEST(SweepServer, OverloadRejectsImmediatelyWithRetryHint) {
+  // One worker, queue of one. A slow job occupies the worker, a second
+  // fills the queue; the third must bounce instantly with the hint.
+  TestServer ts("srv_full", /*queue_limit=*/1, /*workers=*/1);
+  JobSpec slow = tiny_job();
+  slow.throttle_ms = 150;  // 4 points -> ~600 ms on the worker
+
+  std::thread bg([&] { (void)submit_job(ts.socket(), slow); });
+  ASSERT_TRUE(wait_until([&] { return ts.server->stats().accepted >= 1; }));
+
+  JobSpec queued = tiny_job();
+  queued.open_site = 6;  // distinct key
+  std::thread bg2([&] { (void)submit_job(ts.socket(), queued); });
+  ASSERT_TRUE(wait_until([&] { return ts.server->stats().accepted >= 2; }));
+
+  JobSpec rejected_job = tiny_job();
+  rejected_job.open_site = 1;  // distinct key again
+  const SubmitOutcome outcome = submit_job(ts.socket(), rejected_job);
+  EXPECT_EQ(outcome.status, SubmitStatus::kRejectedBusy);
+  EXPECT_EQ(outcome.retry_after_ms, 17);
+  EXPECT_GE(ts.server->stats().rejected_queue_full, 1u);
+
+  // A duplicate of the RUNNING job is also turned away (its journal is
+  // single-writer), with the same backoff contract.
+  const SubmitOutcome dup = submit_job(ts.socket(), slow);
+  EXPECT_EQ(dup.status, SubmitStatus::kRejectedBusy);
+
+  bg.join();
+  bg2.join();
+}
+
+TEST(SweepServer, GoneClientStillWarmsTheCache) {
+  TestServer ts("srv_gone");
+  {
+    testing::ScopedServiceFault fault(testing::kDropAfterAccept);
+    const SubmitOutcome dropped = submit_job(ts.socket(), tiny_job());
+    EXPECT_EQ(dropped.status, SubmitStatus::kDisconnected);
+    // The job must finish and commit with nobody listening.
+    ASSERT_TRUE(
+        wait_until([&] { return ts.server->cache().stats().commits >= 1; }));
+  }
+  const SubmitOutcome retry = submit_job(ts.socket(), tiny_job());
+  ASSERT_EQ(retry.status, SubmitStatus::kResult);
+  EXPECT_TRUE(retry.cached);
+}
+
+TEST(SweepServer, MidStreamDisconnectKeepsComputing) {
+  TestServer ts("srv_midstream");
+  {
+    testing::ScopedServiceFault fault(testing::kDropMidStream);
+    const SubmitOutcome dropped = submit_job(ts.socket(), tiny_job());
+    EXPECT_EQ(dropped.status, SubmitStatus::kDisconnected);
+    EXPECT_LE(dropped.progress_events, 1u);
+    ASSERT_TRUE(
+        wait_until([&] { return ts.server->cache().stats().commits >= 1; }));
+  }
+  const SubmitOutcome retry = submit_job(ts.socket(), tiny_job());
+  ASSERT_EQ(retry.status, SubmitStatus::kResult);
+  EXPECT_TRUE(retry.cached);
+}
+
+TEST(SweepServer, TornCommitServesUncachedThenRecomputesIdentically) {
+  TestServer ts("srv_torn");
+  std::string clean_sha;
+  {
+    testing::ScopedServiceFault fault(testing::kTornCacheWrite);
+    const SubmitOutcome torn = submit_job(ts.socket(), tiny_job());
+    // The commit tore, but the client still gets the full result.
+    ASSERT_EQ(torn.status, SubmitStatus::kResult);
+    EXPECT_FALSE(torn.committed);
+    clean_sha = torn.sha256;
+  }
+  // Resubmit: the torn entry is quarantined (never served) and the sweep
+  // recomputes to the identical content hash.
+  const SubmitOutcome recomputed = submit_job(ts.socket(), tiny_job());
+  ASSERT_EQ(recomputed.status, SubmitStatus::kResult);
+  EXPECT_FALSE(recomputed.cached);
+  EXPECT_TRUE(recomputed.committed);
+  EXPECT_EQ(recomputed.sha256, clean_sha);
+  EXPECT_GE(ts.server->cache().stats().quarantined, 1u);
+
+  const SubmitOutcome hit = submit_job(ts.socket(), tiny_job());
+  ASSERT_EQ(hit.status, SubmitStatus::kResult);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.sha256, clean_sha);
+}
+
+TEST(SweepServer, ManifestWriteFailureServesResultUncached) {
+  TestServer ts("srv_diskfull");
+  {
+    testing::ScopedServiceFault fault(testing::kManifestWriteFail);
+    const SubmitOutcome outcome = submit_job(ts.socket(), tiny_job());
+    ASSERT_EQ(outcome.status, SubmitStatus::kResult);
+    EXPECT_FALSE(outcome.committed);
+    EXPECT_EQ(ts.server->cache().stats().commits, 0u);
+  }
+  const SubmitOutcome retry = submit_job(ts.socket(), tiny_job());
+  ASSERT_EQ(retry.status, SubmitStatus::kResult);
+  EXPECT_TRUE(retry.committed);
+}
+
+TEST(SweepServer, DeadlineCancelsJobAndJournalEnablesResume) {
+  TestServer ts("srv_deadline");
+  JobSpec doomed = tiny_job();
+  doomed.throttle_ms = 100;
+  doomed.deadline_seconds = 0.05;  // expires mid-sweep
+  const SubmitOutcome cancelled = submit_job(ts.socket(), doomed);
+  ASSERT_EQ(cancelled.status, SubmitStatus::kError);
+  EXPECT_NE(cancelled.error_message.find("cancelled"), std::string::npos);
+  // The journal survives the cancellation for resume.
+  const std::string journal =
+      ts.server->cache().journal_path(doomed.cache_key());
+  EXPECT_TRUE(fs::exists(journal));
+
+  // Resubmitting without the deadline resumes the journal and commits; the
+  // manifest's sweep stats prove points were restored, not recomputed.
+  JobSpec revived = tiny_job();
+  const SubmitOutcome done = submit_job(ts.socket(), revived);
+  ASSERT_EQ(done.status, SubmitStatus::kResult);
+  EXPECT_TRUE(done.committed);
+  EXPECT_FALSE(fs::exists(journal));  // discarded after the commit
+  std::string csv;
+  Json manifest;
+  ASSERT_TRUE(ts.server->cache().get(revived.cache_key(), &csv, &manifest));
+  EXPECT_GT(manifest.get("stats").number_or("resumed", 0), 0);
+}
+
+TEST(SweepServer, StopDrainsAndSocketDisappears) {
+  ServerConfig config;
+  config.socket_path = ::testing::TempDir() + "srv_stop.sock";
+  config.store_root = ::testing::TempDir() + "srv_stop.store";
+  fs::remove_all(config.store_root);
+  pf::CancellationToken token;
+  SweepServer server(config, token);
+  server.start();
+  EXPECT_EQ(request(config.socket_path, "ping").string_or("event", ""),
+            "pong");
+  server.stop();
+  EXPECT_FALSE(fs::exists(config.socket_path));
+  // stop() is idempotent.
+  server.stop();
+  const SubmitOutcome after = submit_job(config.socket_path, tiny_job());
+  EXPECT_EQ(after.status, SubmitStatus::kDisconnected);
+}
+
+}  // namespace
+}  // namespace pf::service

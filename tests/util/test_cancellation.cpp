@@ -59,6 +59,21 @@ TEST(CancellationToken, FirstArmedDeadlineWins) {
   EXPECT_FALSE(token.deadline_expired());
 }
 
+TEST(CancellationToken, SameInstantCancelAndDeadlineTieBreaksToCancellation) {
+  // When both triggers have armed by the time anyone looks (the "both arm in
+  // the same point" case of a sweep), the token stops exactly once and the
+  // reported reason deterministically prefers the explicit cancellation —
+  // whichever order the two fired in.
+  const CancellationToken token;
+  token.arm_deadline_after(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  token.request_cancellation();
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.cancellation_requested());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), "cancellation requested");
+}
+
 TEST(CancellationToken, NonPositiveDeadlineNeverArms) {
   const CancellationToken token;
   token.arm_deadline_after(0.0);

@@ -1,0 +1,81 @@
+// SHA-256 against FIPS 180-4 known-answer vectors, streaming equivalence,
+// and the file-digest helper the result-cache manifests rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "pf/util/quarantine.hpp"
+#include "pf/util/sha256.hpp"
+
+namespace pf {
+namespace {
+
+TEST(Sha256, KnownAnswerVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MultiBlockAndStreamingAgree) {
+  // 200 bytes spans block boundaries; chunked updates must match one-shot.
+  std::string msg;
+  for (int i = 0; i < 200; ++i) msg.push_back(char('a' + i % 26));
+  Sha256 chunked;
+  for (size_t i = 0; i < msg.size(); i += 7)
+    chunked.update(msg.substr(i, 7));
+  EXPECT_EQ(chunked.hex_digest(), sha256_hex(msg));
+}
+
+TEST(Sha256, FileDigestMatchesBufferDigest) {
+  const std::string path = ::testing::TempDir() + "sha256_file.bin";
+  const std::string payload = "r_def,u,ffm\n10000,0.3,RDF1\n";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << payload;
+  }
+  EXPECT_EQ(sha256_file_hex(path), sha256_hex(payload));
+  std::remove(path.c_str());
+  EXPECT_EQ(sha256_file_hex(path), "");  // unreadable = corrupt, not fatal
+}
+
+TEST(Quarantine, CounterSuffixNeverOverwritesEvidence) {
+  const std::string path = ::testing::TempDir() + "quarantine_me.txt";
+  auto write = [&](const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  };
+  std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".corrupt.1").c_str());
+  std::remove((path + ".corrupt.2").c_str());
+
+  write("first");
+  EXPECT_EQ(quarantine_path(path), path + ".corrupt");
+  write("second");
+  EXPECT_EQ(quarantine_path(path), path + ".corrupt.1");
+  write("third");
+  EXPECT_EQ(quarantine_path(path), path + ".corrupt.2");
+
+  auto read = [](const std::string& p) {
+    std::ifstream in(p);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(read(path + ".corrupt"), "first");
+  EXPECT_EQ(read(path + ".corrupt.1"), "second");
+  EXPECT_EQ(read(path + ".corrupt.2"), "third");
+  std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".corrupt.1").c_str());
+  std::remove((path + ".corrupt.2").c_str());
+}
+
+TEST(Quarantine, MissingSourceFails) {
+  EXPECT_EQ(quarantine_path(::testing::TempDir() + "no_such_artifact"), "");
+}
+
+}  // namespace
+}  // namespace pf

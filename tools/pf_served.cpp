@@ -1,0 +1,75 @@
+// pf_served — the sweep service daemon.
+//
+//   pf_served --socket /tmp/pf.sock --store /tmp/pf-store
+//             [--workers N] [--queue-limit N]
+//
+// Listens on a Unix socket for sweep jobs (see pf/service/server.hpp for
+// the protocol), executes them on a worker pool with crash-safe journals
+// and a verified result cache, and streams progress back to clients.
+//
+// Shutdown: SIGINT/SIGTERM (or a client "shutdown" command) starts a
+// graceful drain — in-flight jobs cancel cooperatively, their journals
+// survive for resume, exit status 0. A SECOND signal during the drain
+// forces an immediate _exit with status 70 (pf::kExitForced).
+//
+// PF_SERVICE_FAULTS (tests only) arms service fault injection, e.g.
+// "torn_cache_write:1" — see pf/service/fault_injection.hpp.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "pf/service/server.hpp"
+#include "pf/util/cancellation.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH --store DIR [--workers N] "
+               "[--queue-limit N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pf::service::ServerConfig config;
+  config.job_workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--store" && has_value) {
+      config.store_root = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      config.job_workers = std::atoi(argv[++i]);
+    } else if (arg == "--queue-limit" && has_value) {
+      config.queue_limit = size_t(std::atoi(argv[++i]));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.socket_path.empty() || config.store_root.empty())
+    return usage(argv[0]);
+
+  try {
+    // SIGINT/SIGTERM trip the server's lifetime token (graceful drain);
+    // a second signal _exits with pf::kExitForced.
+    pf::SignalCancellation signals;
+    pf::service::SweepServer server(config, signals.token());
+    const size_t quarantined = server.start();
+    std::printf("pf_served: listening on %s (store %s%s)\n",
+                config.socket_path.c_str(), config.store_root.c_str(),
+                quarantined > 0 ? ", recovery quarantined entries" : "");
+    std::fflush(stdout);
+    server.run();
+    std::printf("pf_served: drained, bye\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pf_served: %s\n", e.what());
+    return 1;
+  }
+}
