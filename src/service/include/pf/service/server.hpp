@@ -8,7 +8,7 @@
 //   -> {"cmd":"ping"} | {"cmd":"stats"} | {"cmd":"shutdown"}
 //
 //   <- {"event":"accepted","key":"<16hex>","cached":false}
-//   <- {"event":"rejected","reason":"queue_full","retry_after_ms":N}
+//   <- {"event":"rejected","reason":"queue_full"|"in_flight","retry_after_ms":N}
 //   <- {"event":"rejected","reason":"invalid","error":"..."}
 //   <- {"event":"progress","done":n,"total":m}        (misses only)
 //   <- {"event":"result","key":...,"sha256":...,"cached":b,"csv":"..."}
@@ -49,6 +49,10 @@ struct ServerConfig {
   int job_workers = 2;          ///< concurrent jobs
   size_t queue_limit = 4;       ///< pending (queued, not running) jobs
   double retry_after_ms = 250;  ///< backoff hint in queue_full rejections
+  double io_timeout_ms = 5000;  ///< per-socket recv/send stall budget; a
+                                ///< client that stops reading or never
+                                ///< finishes its request line is dropped
+                                ///< after this long (0: block forever)
   JobLimits limits;             ///< admission bounds for submitted jobs
 };
 
@@ -56,6 +60,7 @@ struct ServerConfig {
 struct ServerStats {
   size_t accepted = 0;
   size_t rejected_queue_full = 0;
+  size_t rejected_in_flight = 0;  ///< duplicates of a queued/running key
   size_t rejected_invalid = 0;
   size_t completed = 0;          ///< jobs computed and served
   size_t cache_hits_served = 0;  ///< submits answered from the cache

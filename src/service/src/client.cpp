@@ -88,51 +88,52 @@ SubmitOutcome submit_job(
   LineReader reader(fd);
   std::string line;
   while (reader.next(&line)) {
-    Json event;
+    // Typed accessors throw on a present-but-mistyped field; treat that
+    // like unparseable bytes rather than unwinding into the caller.
     try {
-      event = Json::parse(line);
+      const Json event = Json::parse(line);
+      const std::string name = event.string_or("event", "");
+      if (name == "accepted") {
+        outcome.key = event.string_or("key", "");
+        continue;
+      }
+      if (name == "progress") {
+        ++outcome.progress_events;
+        if (on_progress)
+          on_progress(size_t(event.number_or("done", 0)),
+                      size_t(event.number_or("total", 0)));
+        continue;
+      }
+      if (name == "rejected") {
+        const std::string reason = event.string_or("reason", "");
+        if (reason == "invalid") {
+          outcome.status = SubmitStatus::kInvalid;
+          outcome.error_message = event.string_or("error", "invalid request");
+        } else {
+          outcome.status = SubmitStatus::kRejectedBusy;
+          outcome.retry_after_ms = event.number_or("retry_after_ms", 0);
+        }
+        break;
+      }
+      if (name == "result") {
+        outcome.status = SubmitStatus::kResult;
+        outcome.key = event.string_or("key", outcome.key);
+        outcome.sha256 = event.string_or("sha256", "");
+        outcome.csv = event.string_or("csv", "");
+        outcome.cached = event.bool_or("cached", false);
+        outcome.committed = event.bool_or("committed", false);
+        break;
+      }
+      if (name == "error") {
+        outcome.status = SubmitStatus::kError;
+        outcome.error_message = event.string_or("message", "server error");
+        break;
+      }
+      // Unknown event kinds are skipped (forward compatibility).
     } catch (const pf::Error& e) {
       outcome.error_message = std::string("bad event line: ") + e.what();
       break;
     }
-    const std::string name = event.string_or("event", "");
-    if (name == "accepted") {
-      outcome.key = event.string_or("key", "");
-      continue;
-    }
-    if (name == "progress") {
-      ++outcome.progress_events;
-      if (on_progress)
-        on_progress(size_t(event.number_or("done", 0)),
-                    size_t(event.number_or("total", 0)));
-      continue;
-    }
-    if (name == "rejected") {
-      const std::string reason = event.string_or("reason", "");
-      if (reason == "invalid") {
-        outcome.status = SubmitStatus::kInvalid;
-        outcome.error_message = event.string_or("error", "invalid request");
-      } else {
-        outcome.status = SubmitStatus::kRejectedBusy;
-        outcome.retry_after_ms = event.number_or("retry_after_ms", 0);
-      }
-      break;
-    }
-    if (name == "result") {
-      outcome.status = SubmitStatus::kResult;
-      outcome.key = event.string_or("key", outcome.key);
-      outcome.sha256 = event.string_or("sha256", "");
-      outcome.csv = event.string_or("csv", "");
-      outcome.cached = event.bool_or("cached", false);
-      outcome.committed = event.bool_or("committed", false);
-      break;
-    }
-    if (name == "error") {
-      outcome.status = SubmitStatus::kError;
-      outcome.error_message = event.string_or("message", "server error");
-      break;
-    }
-    // Unknown event kinds are skipped (forward compatibility).
   }
   if (outcome.status == SubmitStatus::kDisconnected &&
       outcome.error_message.empty())

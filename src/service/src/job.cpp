@@ -42,6 +42,16 @@ double require_number(const Json& obj, const std::string& key, double lo,
   return v;
 }
 
+/// Integer-valued fields reject non-integral numbers: {"open_site": 2.7}
+/// must not silently truncate into a job (and cache key) the client never
+/// wrote.
+long long require_integer(const Json& obj, const std::string& key, double lo,
+                          double hi, double fallback) {
+  const double v = require_number(obj, key, lo, hi, fallback);
+  if (v != std::floor(v)) reject(key + " must be an integer");
+  return static_cast<long long>(v);
+}
+
 uint64_t fnv1a_fold(uint64_t seed, const std::string& text) {
   uint64_t h = seed;
   for (const char c : text) {
@@ -62,15 +72,15 @@ JobSpec JobSpec::from_json(const Json& json, const JobLimits& limits) {
       job.defect_kind != "short_vdd" && job.defect_kind != "bridge" &&
       job.defect_kind != "cell_bridge" && job.defect_kind != "leaky_cell")
     reject("unknown defect_kind \"" + job.defect_kind + "\"");
-  job.open_site = int(require_number(json, "open_site", 0, 9, job.open_site));
+  job.open_site = int(require_integer(json, "open_site", 0, 9, job.open_site));
   job.floating_line_index =
-      size_t(require_number(json, "floating_line_index", 0, 7, 0));
+      size_t(require_integer(json, "floating_line_index", 0, 7, 0));
   job.sos_text = json.string_or("sos", job.sos_text);
 
-  job.r_points = size_t(require_number(json, "r_points", 2,
-                                       double(limits.max_axis_points), 5));
-  job.u_points = size_t(require_number(json, "u_points", 2,
-                                       double(limits.max_axis_points), 5));
+  job.r_points = size_t(require_integer(json, "r_points", 2,
+                                        double(limits.max_axis_points), 5));
+  job.u_points = size_t(require_integer(json, "u_points", 2,
+                                        double(limits.max_axis_points), 5));
   if (job.r_points * job.u_points > limits.max_grid_points)
     reject("grid " + std::to_string(job.r_points) + "x" +
            std::to_string(job.u_points) + " exceeds " +
@@ -78,10 +88,10 @@ JobSpec JobSpec::from_json(const Json& json, const JobLimits& limits) {
   job.temperature_c = require_number(json, "temperature_c", -55.0, 150.0, 27.0);
 
   job.threads =
-      int(require_number(json, "threads", 0, double(limits.max_threads), 1));
+      int(require_integer(json, "threads", 0, double(limits.max_threads), 1));
   job.deadline_seconds = require_number(json, "deadline_seconds", 0.0,
                                         limits.max_deadline_seconds, 0.0);
-  job.max_attempts = int(require_number(json, "max_attempts", 0, 10, 0));
+  job.max_attempts = int(require_integer(json, "max_attempts", 0, 10, 0));
   job.throttle_ms =
       require_number(json, "throttle_ms", 0.0, limits.max_throttle_ms, 0.0);
 

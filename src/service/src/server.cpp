@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -115,21 +116,31 @@ struct SweepServer::Impl {
       reject_invalid(fd, e.what());
       return;
     }
-    const std::string cmd = request.string_or("cmd", "");
-    if (cmd == "submit") {
-      handle_submit(fd, request.get("job"));
-    } else if (cmd == "ping") {
-      send_line(fd, event_obj("pong"));
-      ::close(fd);
-    } else if (cmd == "stats") {
-      send_stats(fd);
-      ::close(fd);
-    } else if (cmd == "shutdown") {
-      send_line(fd, event_obj("shutting_down"));
-      ::close(fd);
-      token.request_cancellation();
-    } else {
-      reject_invalid(fd, "unknown cmd \"" + cmd + "\"");
+    // Typed accessors throw on a present-but-mistyped key ({"cmd":123} is
+    // valid JSON, so it clears the parse above); this runs on the accept
+    // thread, where an uncaught exception would terminate the daemon, so
+    // the whole dispatch rejects instead of unwinding.
+    try {
+      const std::string cmd = request.string_or("cmd", "");
+      if (cmd == "submit") {
+        handle_submit(fd, request.get("job"));
+      } else if (cmd == "ping") {
+        send_line(fd, event_obj("pong"));
+        ::close(fd);
+      } else if (cmd == "stats") {
+        send_stats(fd);
+        ::close(fd);
+      } else if (cmd == "shutdown") {
+        send_line(fd, event_obj("shutting_down"));
+        ::close(fd);
+        token.request_cancellation();
+      } else {
+        reject_invalid(fd, "unknown cmd \"" + cmd + "\"");
+      }
+    } catch (const pf::Error& e) {
+      reject_invalid(fd, e.what());
+    } catch (const std::exception& e) {
+      reject_invalid(fd, std::string("internal: ") + e.what());
     }
   }
 
@@ -183,18 +194,19 @@ struct SweepServer::Impl {
     }
 
     // Admission control: bounded queue, immediate rejection on overload.
+    // The duplicate check comes first: a duplicate is inadmissible even
+    // with queue room (its journal is single-writer), and "in_flight" is
+    // the more useful signal — back off into a warm cache, not overload.
     {
       std::lock_guard<std::mutex> lock(mutex);
-      if (queue.size() >= config.queue_limit) {
+      if (in_flight.count(key) != 0) {
+        ++stats.rejected_in_flight;
+        lock_owned_reject(fd, "in_flight");
+        return;
+      } else if (queue.size() >= config.queue_limit) {
         ++stats.rejected_queue_full;
         // unlock via scope end; send outside would be nicer but the send
         // is tiny and non-blocking in practice
-      } else if (in_flight.count(key) != 0) {
-        // Same sweep already queued/running: its journal is single-writer,
-        // so the duplicate backs off and re-submits into a warm cache.
-        ++stats.rejected_queue_full;
-        lock_owned_reject(fd, "in_flight");
-        return;
       } else {
         ++stats.accepted;
         in_flight.insert(key);
@@ -232,6 +244,7 @@ struct SweepServer::Impl {
     Json event = event_obj("stats");
     event.set("accepted", Json(s.accepted));
     event.set("rejected_queue_full", Json(s.rejected_queue_full));
+    event.set("rejected_in_flight", Json(s.rejected_in_flight));
     event.set("rejected_invalid", Json(s.rejected_invalid));
     event.set("completed", Json(s.completed));
     event.set("cache_hits_served", Json(s.cache_hits_served));
@@ -360,6 +373,21 @@ struct SweepServer::Impl {
     }
   }
 
+  /// Bound every recv/send on a client socket: the accept thread services
+  /// connections synchronously, so a client that connects and never sends
+  /// its request line (or stops draining a large cached CSV) would
+  /// otherwise wedge admission — and stop(), which joins this thread —
+  /// forever.
+  void set_io_timeouts(int fd) {
+    if (config.io_timeout_ms <= 0) return;
+    const long usec = long(config.io_timeout_ms * 1000.0);
+    timeval tv{};
+    tv.tv_sec = usec / 1000000;
+    tv.tv_usec = usec % 1000000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
   void accept_loop() {
     while (!token.stop_requested()) {
       pollfd pfd{listen_fd, POLLIN, 0};
@@ -367,6 +395,7 @@ struct SweepServer::Impl {
       if (ready <= 0) continue;
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
+      set_io_timeouts(fd);
       handle_connection(fd);
     }
   }

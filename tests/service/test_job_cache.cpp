@@ -58,6 +58,12 @@ TEST(JobSpec, AdmissionRejectsOutOfBoundsRequests) {
   EXPECT_THROW(parse(R"({"sos":"xyzzy"})"), pf::ParseError);
   EXPECT_THROW(parse(R"({"open_site":11})"), pf::ParseError);
   EXPECT_THROW(parse(R"({"floating_line_index":5})"), pf::ParseError);
+  // Integer fields reject non-integral numbers: truncating {"open_site":
+  // 2.7} would run a different job (and cache key) than the client wrote.
+  EXPECT_THROW(parse(R"({"open_site":2.7})"), pf::ParseError);
+  EXPECT_THROW(parse(R"({"r_points":4.5})"), pf::ParseError);
+  EXPECT_THROW(parse(R"({"threads":1.5})"), pf::ParseError);
+  EXPECT_THROW(parse(R"({"max_attempts":0.5})"), pf::ParseError);
   // Shorts/bridges float no line — the paper's point — so there is
   // nothing to sweep and admission says so upfront.
   EXPECT_THROW(parse(R"({"defect_kind":"bridge"})"), pf::ParseError);

@@ -4,7 +4,12 @@
 // with journaled resume.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -31,12 +36,13 @@ JobSpec tiny_job() {
 /// A started server on fresh temp socket/store, stopped on destruction.
 struct TestServer {
   explicit TestServer(const std::string& name, size_t queue_limit = 4,
-                      int workers = 2) {
+                      int workers = 2, double io_timeout_ms = -1) {
     config.socket_path = ::testing::TempDir() + name + ".sock";
     config.store_root = ::testing::TempDir() + name + ".store";
     config.queue_limit = queue_limit;
     config.job_workers = workers;
     config.retry_after_ms = 17;
+    if (io_timeout_ms >= 0) config.io_timeout_ms = io_timeout_ms;
     fs::remove_all(config.store_root);
     fs::remove(config.socket_path);
     server = std::make_unique<SweepServer>(config, token);
@@ -50,6 +56,33 @@ struct TestServer {
   pf::CancellationToken token;
   std::unique_ptr<SweepServer> server;
 };
+
+/// Bare socket to the server, bypassing the well-formed client codec.
+int raw_connect(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Send arbitrary bytes, return the first reply line ('' on EOF/error).
+std::string raw_request(const std::string& socket_path,
+                        const std::string& bytes) {
+  const int fd = raw_connect(socket_path);
+  if (fd < 0) return "";
+  (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  std::string reply;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1 && c != '\n') reply.push_back(c);
+  ::close(fd);
+  return reply;
+}
 
 bool wait_until(const std::function<bool()>& done, double seconds = 30.0) {
   const auto deadline = std::chrono::steady_clock::now() +
@@ -99,6 +132,37 @@ TEST(SweepServer, MalformedAndInvalidSubmitsAreRejected) {
   EXPECT_EQ(ts.server->stats().rejected_invalid, 1u);
 }
 
+TEST(SweepServer, MistypedRequestIsRejectedNotFatal) {
+  TestServer ts("srv_mistyped");
+  // {"cmd":123} is valid JSON, so it clears the parser; the typed accessor
+  // throws on the accept thread, which must reject — an uncaught exception
+  // there would std::terminate the whole daemon.
+  const std::string reply = raw_request(ts.socket(), "{\"cmd\":123}\n");
+  EXPECT_NE(reply.find("\"rejected\""), std::string::npos);
+  EXPECT_NE(reply.find("invalid"), std::string::npos);
+  // Mistyped fields inside the job payload get the same treatment.
+  const std::string reply2 = raw_request(
+      ts.socket(), "{\"cmd\":\"submit\",\"job\":{\"r_points\":\"lots\"}}\n");
+  EXPECT_NE(reply2.find("invalid"), std::string::npos);
+  EXPECT_EQ(ts.server->stats().rejected_invalid, 2u);
+  // The daemon survived and still serves.
+  EXPECT_EQ(request(ts.socket(), "ping").string_or("event", ""), "pong");
+}
+
+TEST(SweepServer, StalledClientIsDroppedAfterIoTimeout) {
+  TestServer ts("srv_stall", /*queue_limit=*/4, /*workers=*/2,
+                /*io_timeout_ms=*/150);
+  const int fd = raw_connect(ts.socket());
+  ASSERT_GE(fd, 0);  // connected, never sends its request line
+  // The accept thread services connections synchronously: without
+  // SO_RCVTIMEO the stalled client above would wedge admission (and
+  // stop()) forever and this ping would never be answered.
+  EXPECT_EQ(request(ts.socket(), "ping").string_or("event", ""), "pong");
+  char c = 0;
+  EXPECT_EQ(::recv(fd, &c, 1, 0), 0);  // server closed the stalled socket
+  ::close(fd);
+}
+
 TEST(SweepServer, OverloadRejectsImmediatelyWithRetryHint) {
   // One worker, queue of one. A slow job occupies the worker, a second
   // fills the queue; the third must bounce instantly with the hint.
@@ -122,9 +186,12 @@ TEST(SweepServer, OverloadRejectsImmediatelyWithRetryHint) {
   EXPECT_GE(ts.server->stats().rejected_queue_full, 1u);
 
   // A duplicate of the RUNNING job is also turned away (its journal is
-  // single-writer), with the same backoff contract.
+  // single-writer), with the same backoff contract — but counted as dedup
+  // backoff, not overload.
   const SubmitOutcome dup = submit_job(ts.socket(), slow);
   EXPECT_EQ(dup.status, SubmitStatus::kRejectedBusy);
+  EXPECT_EQ(ts.server->stats().rejected_in_flight, 1u);
+  EXPECT_EQ(ts.server->stats().rejected_queue_full, 1u);
 
   bg.join();
   bg2.join();
