@@ -1,0 +1,182 @@
+// A/B measurement of the batched solver backend and adaptive boundary
+// tracing: the Figure 3 sweep (Open 4, SOS 1r1, 13x12 (R_def, U) grid)
+// swept single-threaded through every {backend} x {mode} cell of the
+// engine-plan matrix:
+//   * scalar/dense      — the compile-once reuse baseline (PR 6 engine);
+//   * batched/dense     — whole grid rows of U-lanes advanced in lockstep
+//     on one shared template (SIMD across lanes), bit-identical by
+//     contract;
+//   * scalar/adaptive   — seed + bisect + infer per row, boundary-exact on
+//     this map's band structure;
+//   * batched/adaptive  — bisection waves batched as lockstep rows, the
+//     headline configuration.
+// Dense maps must stay bit-identical to scalar/dense; adaptive maps must
+// equal it cell for cell on this grid. Only wall clock moves.
+//
+// Set PF_DUMP_JSON=1 to write BENCH_batched.json next to the binary
+// (mirrors bench_circuit_reuse). The recorded copy lives in results/.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "pf/analysis/region.hpp"
+#include "pf/analysis/sos_runner.hpp"
+#include "pf/dram/batched_column.hpp"
+
+namespace {
+
+using namespace pf;
+using spice::SolverBackend;
+
+// Serial throughput of the seed engine (dense per-point rebuild) on this
+// exact grid, recorded in results/BENCH_parallel_scaling.json. The reuse
+// baseline (~2880 points/sec, results/BENCH_circuit_reuse.json) is measured
+// live here as the scalar/dense cell.
+constexpr double kSeedPointsPerSec = 545.554;
+
+analysis::SweepSpec fig3_spec() {
+  analysis::SweepSpec spec;
+  spec.params = dram::DramParams{};
+  spec.defect = dram::Defect::open(dram::OpenSite::kBitLineOuter, 1e6);
+  spec.sos = faults::Sos::parse("1r1");
+  spec.r_axis = analysis::default_r_axis(13);
+  spec.u_axis = analysis::default_u_axis(spec.params, 12);
+  return spec;
+}
+
+struct ModeTiming {
+  std::string mode;
+  double seconds = 0.0;
+  double points_per_sec = 0.0;
+  bool identical = true;  // map vs the scalar/dense reference
+  size_t inferred = 0;    // adaptive modes: points filled without solving
+};
+
+ModeTiming time_plan(const analysis::SweepSpec& spec, const std::string& name,
+                     SolverBackend backend, bool adaptive,
+                     const std::string& reference_csv) {
+  analysis::ExecutionPolicy policy;
+  policy.plan.backend = backend;
+  policy.plan.adaptive = adaptive;
+  const auto t0 = std::chrono::steady_clock::now();
+  const analysis::RegionMap map = analysis::sweep_region(spec, policy);
+  ModeTiming t;
+  t.mode = name;
+  t.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  t.points_per_sec =
+      static_cast<double>(spec.r_axis.size() * spec.u_axis.size()) /
+      t.seconds;
+  t.identical = reference_csv.empty() || map.to_csv() == reference_csv;
+  t.inferred = map.solve_stats().inferred;
+  return t;
+}
+
+void print_reproduction() {
+  const analysis::SweepSpec spec = fig3_spec();
+  const size_t n_points = spec.r_axis.size() * spec.u_axis.size();
+
+  analysis::sweep_region(spec);  // untimed warm-up (cold caches, allocator)
+  const std::string reference_csv = analysis::sweep_region(spec).to_csv();
+
+  const ModeTiming timings[] = {
+      time_plan(spec, "scalar/dense", SolverBackend::kScalar, false, ""),
+      time_plan(spec, "batched/dense", SolverBackend::kBatched, false,
+                reference_csv),
+      time_plan(spec, "scalar/adaptive", SolverBackend::kScalar, true,
+                reference_csv),
+      time_plan(spec, "batched/adaptive", SolverBackend::kBatched, true,
+                reference_csv),
+  };
+  const double scalar_dense_s = timings[0].seconds;
+
+  std::printf("solver backends x sweep modes, %zux%zu grid (%zu points), "
+              "single thread:\n",
+              spec.r_axis.size(), spec.u_axis.size(), n_points);
+  std::printf("  seed engine (recorded)   %7.1f points/sec\n",
+              kSeedPointsPerSec);
+  for (const ModeTiming& t : timings) {
+    std::printf("  %-16s %6.3f s  %7.1f points/sec  %.2fx vs scalar/dense  "
+                "%.2fx vs seed  %s",
+                t.mode.c_str(), t.seconds, t.points_per_sec,
+                scalar_dense_s / t.seconds,
+                t.points_per_sec / kSeedPointsPerSec,
+                t.identical ? "map identical" : "MAP DIFFERS");
+    if (t.inferred > 0) std::printf("  (%zu inferred)", t.inferred);
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  if (std::getenv("PF_DUMP_JSON") != nullptr) {
+    std::ofstream out("BENCH_batched.json");
+    out << "{\n"
+        << "  \"grid\": \"" << spec.r_axis.size() << "x"
+        << spec.u_axis.size() << "\",\n"
+        << "  \"grid_points\": " << n_points << ",\n"
+        << "  \"defect\": \"Open 4 (bit line outer)\",\n"
+        << "  \"sos\": \"" << spec.sos.to_string() << "\",\n"
+        << "  \"threads\": 1,\n"
+        << "  \"seed_points_per_sec\": " << kSeedPointsPerSec << ",\n"
+        << "  \"modes\": [\n";
+    for (size_t i = 0; i < 4; ++i) {
+      const ModeTiming& t = timings[i];
+      out << "    {\"mode\": \"" << t.mode << "\""
+          << ", \"seconds\": " << t.seconds
+          << ", \"points_per_sec\": " << t.points_per_sec
+          << ", \"speedup_vs_scalar_dense\": " << scalar_dense_s / t.seconds
+          << ", \"speedup_vs_seed\": " << t.points_per_sec / kSeedPointsPerSec
+          << ", \"inferred_points\": " << t.inferred
+          << ", \"bit_identical_to_scalar\": "
+          << (t.identical ? "true" : "false") << "}" << (i < 3 ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote BENCH_batched.json\n");
+  }
+}
+
+// One lockstep whole-row advance (the batched sweep's unit of work) vs the
+// same row solved lane by lane through a scalar session.
+void BM_BatchedRow(benchmark::State& state) {
+  const analysis::SweepSpec spec = fig3_spec();
+  const auto lines = dram::floating_lines_for(spec.defect, spec.params);
+  analysis::SosSession session(spec.params, spec.defect);
+  for (auto _ : state) {
+    const auto lanes = session.run_batch(1e6, spec.params.sim, &lines[0],
+                                         spec.u_axis, spec.sos);
+    benchmark::DoNotOptimize(lanes.size());
+  }
+}
+BENCHMARK(BM_BatchedRow)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarRow(benchmark::State& state) {
+  const analysis::SweepSpec spec = fig3_spec();
+  const auto lines = dram::floating_lines_for(spec.defect, spec.params);
+  analysis::SosSession session(spec.params, spec.defect);
+  for (auto _ : state) {
+    for (double u : spec.u_axis) {
+      const auto out =
+          session.run(1e6, spec.params.sim, &lines[0], u, spec.sos);
+      benchmark::DoNotOptimize(out.faulty);
+    }
+  }
+}
+BENCHMARK(BM_ScalarRow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips
+  // the reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_reproduction();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -73,13 +73,13 @@ void print_reproduction() {
   analysis::sweep_region(spec);  // untimed warm-up (cold caches, allocator)
 
   analysis::ExecutionPolicy rebuild;
-  rebuild.circuit = analysis::CircuitMode::kRebuild;
+  rebuild.plan.circuit_mode = analysis::CircuitMode::kRebuild;
   const std::string reference_csv =
       analysis::sweep_region(spec, rebuild).to_csv();
 
   analysis::ExecutionPolicy reuse;  // the default: CircuitMode::kReuse
   analysis::ExecutionPolicy warm = reuse;
-  warm.warm_start = true;
+  warm.plan.warm_start = true;
 
   const ModeTiming timings[] = {
       time_mode(spec, "rebuild", rebuild, ""),
@@ -164,8 +164,9 @@ void BM_SweepRow(benchmark::State& state) {
   analysis::SweepSpec spec = fig3_spec();
   spec.r_axis = {1e6};
   analysis::ExecutionPolicy policy;
-  policy.circuit = state.range(0) != 0 ? analysis::CircuitMode::kReuse
-                                       : analysis::CircuitMode::kRebuild;
+  policy.plan.circuit_mode = state.range(0) != 0
+                                 ? analysis::CircuitMode::kReuse
+                                 : analysis::CircuitMode::kRebuild;
   for (auto _ : state) {
     const auto map = analysis::sweep_region(spec, policy);
     benchmark::DoNotOptimize(map.count(faults::Ffm::kRDF1));

@@ -28,14 +28,64 @@
 #include <string>
 
 #include "pf/analysis/robust.hpp"
+#include "pf/spice/solver_backend.hpp"
 #include "pf/util/cancellation.hpp"
 
 namespace pf::analysis {
+
+/// How the engine obtains and advances circuits for a sweep — the four
+/// solver-side decisions that used to be scattered across loose
+/// ExecutionPolicy fields. One EnginePlan travels with the policy through
+/// every driver (sweep_region, generate_table1, the completion search) and
+/// through the pf_served job codec, so a job means the same thing at every
+/// layer.
+struct EnginePlan {
+  /// Which transient engine solves grid points. kScalar is the reference
+  /// per-point engine; kBatched advances a whole grid row of U-lanes in
+  /// lockstep on one shared template (SIMD across lanes) and falls back to
+  /// the scalar robust path for any lane the lockstep pass could not solve.
+  /// Batched dense sweeps are bit-identical to scalar ones.
+  spice::SolverBackend backend = spice::SolverBackend::kScalar;
+
+  /// How workers obtain circuits (see pf/analysis/sos_runner.hpp). kReuse
+  /// (default) compiles once per sweep and restamps per point; kRebuild
+  /// reconstructs everything per point (the reference escape hatch).
+  /// kBatched requires kReuse: lanes are seeded from one shared session.
+  CircuitMode circuit_mode = CircuitMode::kReuse;
+
+  /// Opt-in warm start (requires kReuse + kScalar): power-up replays from
+  /// the previous point's end state instead of the pristine snapshot.
+  /// Region maps match the cold path; step counts need not. The batched
+  /// backend ignores it (lanes always start from the pristine snapshot).
+  bool warm_start = false;
+
+  /// Adaptive boundary tracing: instead of evaluating every U-lane of a
+  /// row, evaluate seed points, bisect between neighbours that disagree,
+  /// and infer the agreeing gaps. Exact on maps whose rows are unions of
+  /// bands wider than the seed stride (the paper's Figures 3-4 shape);
+  /// narrower bands can be missed — see DESIGN.md §11. Works under either
+  /// backend.
+  bool adaptive = false;
+};
 
 /// Execution knobs shared by sweep_region, generate_table1 and the
 /// completion search. Replaces PR 1's SweepOptions / Table1Options::sweep /
 /// Table1Options::completion_retry / CompletionSpec::retry scatter.
 struct ExecutionPolicy {
+  // The deprecated shim fields below would make every implicitly-defined
+  // special member warn at the USE site; defining them here (defaulted)
+  // under suppression keeps the warning where it belongs — on code that
+  // actually names the shims.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ExecutionPolicy() = default;
+  ExecutionPolicy(const ExecutionPolicy&) = default;
+  ExecutionPolicy(ExecutionPolicy&&) = default;
+  ExecutionPolicy& operator=(const ExecutionPolicy&) = default;
+  ExecutionPolicy& operator=(ExecutionPolicy&&) = default;
+  ~ExecutionPolicy() = default;
+#pragma GCC diagnostic pop
+
   /// Worker threads for grid dispatch: 1 (default) runs serially on the
   /// calling thread, 0 resolves to the hardware thread count, N > 1 uses a
   /// fixed pool of N workers. Any thread count produces bit-identical
@@ -45,21 +95,20 @@ struct ExecutionPolicy {
   /// Per-experiment solver retry/backoff (see pf/analysis/robust.hpp).
   RetryPolicy retry;
 
-  /// How each worker obtains the circuit for its grid points (see
-  /// pf/analysis/sos_runner.hpp). kReuse (default) compiles the circuit
-  /// template once per sweep and restamps a per-worker column per point —
-  /// bit-identical to kRebuild at any thread count, several times faster.
-  /// kRebuild reconstructs netlist + template + column per point (the
-  /// pre-pipeline behaviour, kept as the reference / A/B escape hatch).
-  CircuitMode circuit = CircuitMode::kReuse;
+  /// Solver-side decisions: backend, circuit lifecycle, warm start,
+  /// adaptive tracing. Drivers read this through resolved_plan(), which
+  /// arbitrates against the deprecated loose fields below.
+  EnginePlan plan;
 
-  /// Opt-in warm start (requires kReuse): instead of resetting each
-  /// worker's column to the pristine snapshot, the power-up sequence
-  /// replays from the previous point's end state, so the transient starts
-  /// from the neighboring point's solution. Region maps match the cold
-  /// path (power-up re-establishes every observable level); exact node
-  /// trajectories — and therefore solver step counts — need not.
-  bool warm_start = false;
+  /// Deprecated forwarding shim (one release): use plan.circuit_mode.
+  /// resolved_plan() honours a non-default value here over plan so code
+  /// that predates EnginePlan keeps its meaning unchanged.
+  [[deprecated("use plan.circuit_mode")]] CircuitMode circuit =
+      CircuitMode::kReuse;
+
+  /// Deprecated forwarding shim (one release): use plan.warm_start.
+  /// resolved_plan() honours `true` here over plan.
+  [[deprecated("use plan.warm_start")]] bool warm_start = false;
 
   /// Record unrecoverable points as Ffm::kSolveFailed cells (graceful
   /// degradation). When false the failure with the lowest grid index among
@@ -99,6 +148,14 @@ struct ExecutionPolicy {
 /// The worker count `threads` resolves to (0 -> hardware concurrency,
 /// never below 1).
 int resolve_worker_count(int threads);
+
+/// The effective EnginePlan of a policy: `policy.plan`, except that a
+/// non-default value in a deprecated shim field (circuit != kReuse,
+/// warm_start == true) wins over the corresponding plan member, so
+/// pre-EnginePlan call sites keep their behaviour for one release.
+/// Throws pf::Error for plans the engine cannot execute
+/// (kBatched + kRebuild).
+EnginePlan resolved_plan(const ExecutionPolicy& policy);
 
 /// Dispatches grid points to a fixed-size worker pool. One runner is
 /// constructed per driver call; each run() spawns `workers() - 1` pool

@@ -24,6 +24,9 @@
 //     (R_def, options, U, SOS) return identical SosOutcomes.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "pf/dram/column.hpp"
 #include "pf/dram/defect.hpp"
 #include "pf/faults/ffm.hpp"
@@ -103,8 +106,49 @@ class SosSession {
                  const faults::Sos& sos, bool idle_before_observe = false,
                  bool warm_start = false);
 
+  /// Swap the underlying column's engine options in place, exactly like a
+  /// per-run `options` argument would. The override is part of the
+  /// session's configuration: clone() carries it into the replica (the
+  /// clone copies the column's parameter block, engine options included).
+  void set_sim_options(const spice::SimOptions& options) {
+    column_.set_sim_options(options);
+  }
+
+  /// One lane of run_batch: the experiment's outcome, or the solver error
+  /// that kept the lockstep pass from completing it. An unsolved lane says
+  /// nothing about the grid point — callers re-run it through the scalar
+  /// robust path.
+  struct LaneOutcome {
+    SosOutcome outcome;
+    bool solved = false;
+    std::string error;
+  };
+
+  /// A whole grid row in one call: every lane shares (r_def, options, sos)
+  /// and varies only the floating-line voltage us[lane] — the batched
+  /// backend's unit of work. All lanes are seeded from the same post-
+  /// initialization snapshot that a cold run() would use, then advanced in
+  /// lockstep by the batched solver (pf/spice/solver_backend.hpp). Solved
+  /// lanes are bit-identical to a cold scalar run() at the same U.
+  ///
+  /// Requires options the batched engine accepts (max_wall_seconds == 0)
+  /// and no armed test-only fault injection; callers gate on both and fall
+  /// back to scalar execution otherwise.
+  std::vector<LaneOutcome> run_batch(double r_def,
+                                     const spice::SimOptions& options,
+                                     const dram::FloatingLine* line,
+                                     const std::vector<double>& us,
+                                     const faults::Sos& sos,
+                                     bool idle_before_observe = false);
+
  private:
   explicit SosSession(dram::DramColumn column) : column_(std::move(column)) {}
+
+  /// Brings column_ to the post-initialization state for (r_def, options,
+  /// sos initial states) — via the snapshot cache when valid, else by a
+  /// reset() + replayed initializing writes (and re-caches).
+  void ensure_post_init_state(double r_def, const spice::SimOptions& options,
+                              const faults::Sos& sos);
 
   dram::DramColumn column_;
 

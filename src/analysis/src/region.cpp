@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "pf/analysis/checkpoint.hpp"
+#include "pf/spice/fault_injection.hpp"
 #include "pf/util/ascii_plot.hpp"
 #include "pf/util/log.hpp"
 
@@ -162,12 +163,82 @@ struct PointOutcome {
   Ffm ffm = Ffm::kUnknown;
   int attempts = 0;
   bool solved = false;
+  bool inferred = false;  ///< adaptive fill — no experiment was run
   std::string error;
+};
+
+/// Adaptive boundary tracing over one grid row. Works on classes only; the
+/// actual experiments are delegated to the caller's evaluator.
+///
+///   1. seed: both row ends plus every stride-4 multiple (resumed points
+///      join for free),
+///   2. bisect: between adjacent KNOWN points whose classes disagree,
+///      evaluate the midpoint; repeat in waves until every disagreeing gap
+///      is down to width 1 (a wave's midpoints batch nicely),
+///   3. infer: interiors of agreeing gaps take the endpoints' class
+///      without solving.
+///
+/// Exact whenever every same-class band of the true row is at least as
+/// wide as the seed stride; a narrower band strictly inside an agreeing
+/// gap is missed by construction (DESIGN.md §11).
+class AdaptiveRowTracer {
+ public:
+  AdaptiveRowTracer(size_t width) : known_(width, 0), cls_(width, Ffm::kUnknown) {}
+
+  void set_known(size_t ix, Ffm cls) {
+    known_[ix] = 1;
+    cls_[ix] = cls;
+  }
+  bool is_known(size_t ix) const { return known_[ix] != 0; }
+  Ffm cls(size_t ix) const { return cls_[ix]; }
+
+  /// Unknown seed indices (ascending).
+  std::vector<size_t> seeds() const {
+    std::vector<size_t> out;
+    const size_t w = known_.size();
+    for (size_t ix = 0; ix < w; ix += 4)
+      if (!known_[ix]) out.push_back(ix);
+    if (w > 1 && (w - 1) % 4 != 0 && !known_[w - 1]) out.push_back(w - 1);
+    return out;
+  }
+
+  /// Midpoints of every gap between adjacent known points of disagreeing
+  /// class (ascending); empty when bisection has converged.
+  std::vector<size_t> bisection_wave() const {
+    std::vector<size_t> mids;
+    size_t prev = known_.size();  // sentinel: none yet
+    for (size_t ix = 0; ix < known_.size(); ++ix) {
+      if (!known_[ix]) continue;
+      if (prev < ix && ix > prev + 1 && cls_[prev] != cls_[ix])
+        mids.push_back(prev + (ix - prev) / 2);
+      prev = ix;
+    }
+    return mids;
+  }
+
+  /// Interior indices of agreeing gaps with the class they inherit. Only
+  /// valid after bisection converged (every remaining gap agrees).
+  std::vector<std::pair<size_t, Ffm>> inferred_fill() const {
+    std::vector<std::pair<size_t, Ffm>> out;
+    size_t prev = known_.size();
+    for (size_t ix = 0; ix < known_.size(); ++ix) {
+      if (!known_[ix]) continue;
+      if (prev < ix && ix > prev + 1 && cls_[prev] == cls_[ix])
+        for (size_t j = prev + 1; j < ix; ++j) out.emplace_back(j, cls_[prev]);
+      prev = ix;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<char> known_;
+  std::vector<Ffm> cls_;
 };
 
 }  // namespace
 
 RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
+  const EnginePlan plan = resolved_plan(policy);
   PF_CHECK(!spec.r_axis.empty() && !spec.u_axis.empty());
   const auto lines = dram::floating_lines_for(spec.defect, spec.params);
   PF_CHECK_MSG(spec.floating_line_index < lines.size(),
@@ -225,9 +296,8 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
     for (size_t ix = 0; ix < width; ++ix)
       if (!done.at(ix, iy)) pending.push_back(iy * width + ix);
 
-  std::vector<PointOutcome> results(pending.size());
   const ParallelGridRunner runner(policy);
-  // Compile-once pipeline (ExecutionPolicy::circuit): one circuit template
+  // Compile-once pipeline (EnginePlan::circuit_mode): one circuit template
   // is built per sweep and shared read-only; each worker lazily clones a
   // private session from it and restamps + resets that column per point
   // instead of rebuilding the netlist and re-running the symbolic analysis.
@@ -235,18 +305,21 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
   // (the reference path). Either way the only mutable state shared between
   // workers is the journal (self-serializing).
   std::unique_ptr<SosSession> prototype;
-  if (policy.circuit == CircuitMode::kReuse && !pending.empty()) {
+  if (plan.circuit_mode == CircuitMode::kReuse && !pending.empty()) {
     dram::Defect proto_defect = spec.defect;
     proto_defect.resistance = spec.r_axis[pending.front() / width];
     prototype = std::make_unique<SosSession>(run_spec.params, proto_defect);
   }
   std::vector<std::unique_ptr<SosSession>> sessions(
       static_cast<size_t>(runner.workers()));
-  runner.run(pending.size(), [&](size_t k, int worker) {
-    const size_t iy = pending[k] / width;
-    const size_t ix = pending[k] % width;
-    dram::Defect defect = spec.defect;
-    defect.resistance = spec.r_axis[iy];
+  const auto session_for = [&](int worker) -> SosSession& {
+    std::unique_ptr<SosSession>& session =
+        sessions[static_cast<size_t>(worker)];
+    if (session == nullptr)
+      session = std::make_unique<SosSession>(prototype->clone());
+    return *session;
+  };
+  const auto ctx_for = [&](size_t ix, size_t iy) {
     ExperimentContext ctx;
     ctx.key = grid_point_key(ix, iy);
     ctx.defect = defect_label;
@@ -254,53 +327,203 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
     ctx.r_def = spec.r_axis[iy];
     ctx.u = spec.u_axis[ix];
     ctx.sos = sos_label;
-    RobustOutcome ro;
-    if (prototype != nullptr) {
-      std::unique_ptr<SosSession>& session =
-          sessions[static_cast<size_t>(worker)];
-      if (session == nullptr)
-        session = std::make_unique<SosSession>(prototype->clone());
-      ro = run_sos_robust(*session, run_spec.params.sim, defect, &line,
-                          spec.u_axis[ix], spec.sos, policy.retry, ctx,
-                          /*idle_before_observe=*/false, policy.warm_start);
-    } else {
-      ro = run_sos_robust(run_spec.params, defect, &line, spec.u_axis[ix],
-                          spec.sos, policy.retry, ctx);
-    }
-    PointOutcome& out = results[k];
-    out.attempts = ro.attempts;
-    out.solved = ro.solved;
-    if (ro.solved) {
-      if (ro.outcome.faulty) out.ffm = ro.outcome.ffm;
-    } else {
-      if (!policy.record_failures) throw ConvergenceError(ro.error);
-      out.ffm = Ffm::kSolveFailed;
-      out.error = ro.error;
-    }
-    if (journal) {
-      SweepJournal::Entry e;
-      e.ix = ix;
-      e.iy = iy;
-      e.ffm = out.ffm;
-      e.attempts = ro.attempts;
-      journal->append(e, spec.r_axis[iy], spec.u_axis[ix]);
-    }
-  });
+    return ctx;
+  };
+  // The full scalar retry loop for one point (reference semantics; also the
+  // per-lane fallback of the batched backend).
+  const auto scalar_point = [&](size_t ix, size_t iy, int worker,
+                                bool warm_start) {
+    dram::Defect defect = spec.defect;
+    defect.resistance = spec.r_axis[iy];
+    if (prototype != nullptr)
+      return run_sos_robust(session_for(worker), run_spec.params.sim, defect,
+                            &line, spec.u_axis[ix], spec.sos, policy.retry,
+                            ctx_for(ix, iy), /*idle_before_observe=*/false,
+                            warm_start);
+    return run_sos_robust(run_spec.params, defect, &line, spec.u_axis[ix],
+                          spec.sos, policy.retry, ctx_for(ix, iy));
+  };
 
-  // Deterministic index-ordered merge: the grid cells and the stats
-  // (including failure_log order) are independent of worker scheduling.
-  for (size_t k = 0; k < pending.size(); ++k) {
-    const PointOutcome& out = results[k];
-    grid.at(pending[k] % width, pending[k] / width) = out.ffm;
-    ++stats.attempted;
-    stats.retries +=
-        static_cast<size_t>(out.attempts > 0 ? out.attempts - 1 : 0);
-    if (out.solved) {
-      ++stats.solved;
-    } else {
-      ++stats.failed;
-      stats.failure_log.push_back(out.error);
+  const bool row_based =
+      plan.backend == spice::SolverBackend::kBatched || plan.adaptive;
+
+  if (!row_based) {
+    // Point-based dispatch (scalar dense): one runner index per pending
+    // grid point.
+    std::vector<PointOutcome> results(pending.size());
+    runner.run(pending.size(), [&](size_t k, int worker) {
+      const size_t iy = pending[k] / width;
+      const size_t ix = pending[k] % width;
+      const RobustOutcome ro = scalar_point(ix, iy, worker, plan.warm_start);
+      PointOutcome& out = results[k];
+      out.attempts = ro.attempts;
+      out.solved = ro.solved;
+      if (ro.solved) {
+        if (ro.outcome.faulty) out.ffm = ro.outcome.ffm;
+      } else {
+        if (!policy.record_failures) throw ConvergenceError(ro.error);
+        out.ffm = Ffm::kSolveFailed;
+        out.error = ro.error;
+      }
+      if (journal) {
+        SweepJournal::Entry e;
+        e.ix = ix;
+        e.iy = iy;
+        e.ffm = out.ffm;
+        e.attempts = ro.attempts;
+        journal->append(e, spec.r_axis[iy], spec.u_axis[ix]);
+      }
+    });
+
+    // Deterministic index-ordered merge: the grid cells and the stats
+    // (including failure_log order) are independent of worker scheduling.
+    for (size_t k = 0; k < pending.size(); ++k) {
+      const PointOutcome& out = results[k];
+      grid.at(pending[k] % width, pending[k] / width) = out.ffm;
+      ++stats.attempted;
+      stats.retries +=
+          static_cast<size_t>(out.attempts > 0 ? out.attempts - 1 : 0);
+      if (out.solved) {
+        ++stats.solved;
+      } else {
+        ++stats.failed;
+        stats.failure_log.push_back(out.error);
+      }
     }
+  } else {
+    // Row-based dispatch (batched backend and/or adaptive tracing): one
+    // runner index per grid row with pending points. Workers own whole
+    // rows, so the per-point outcome slots below are written by exactly
+    // one worker each.
+    std::vector<PointOutcome> outcomes(width * spec.r_axis.size());
+    std::vector<char> ran(width * spec.r_axis.size(), 0);
+    std::vector<size_t> row_ids;
+    for (size_t iy = 0; iy < spec.r_axis.size(); ++iy)
+      for (size_t ix = 0; ix < width; ++ix)
+        if (!done.at(ix, iy)) {
+          row_ids.push_back(iy);
+          break;
+        }
+    // The batched engine runs attempt-1 numerics; it refuses wall-clock
+    // watchdogs (nondeterministic), so such policies run the row scalar.
+    const spice::SimOptions attempt1 =
+        tightened_sim_options(run_spec.params.sim, policy.retry, 1);
+    const bool batch_rows = plan.backend == spice::SolverBackend::kBatched &&
+                            attempt1.max_wall_seconds <= 0.0;
+
+    runner.run(row_ids.size(), [&](size_t k, int worker) {
+      const size_t iy = row_ids[k];
+      const auto record = [&](size_t ix, const PointOutcome& out) {
+        ran[iy * width + ix] = 1;
+        if (journal) {
+          SweepJournal::Entry e;
+          e.ix = ix;
+          e.iy = iy;
+          e.ffm = out.ffm;
+          e.attempts = out.attempts;
+          journal->append(e, spec.r_axis[iy], spec.u_axis[ix]);
+        }
+      };
+      // Evaluate a set of pending columns of this row (ascending ix): one
+      // lockstep pass over all of them when the batched backend may run
+      // (injection hooks disarmed), then the scalar retry loop for every
+      // lane the lockstep pass could not solve — or for everything under
+      // the scalar backend. Journal order inside a row is ascending ix.
+      const auto evaluate = [&](const std::vector<size_t>& ixs) {
+        std::vector<char> lane_done(ixs.size(), 0);
+        // Lockstep only pays off with enough lanes to amortize the batch
+        // setup (measured crossover ~6 on the Figure 3 circuit); short
+        // waves — adaptive seeding and bisection probe 1-4 points — run
+        // faster through the scalar session. Identical results either way
+        // (that is the backend contract), so this is purely a wave-size
+        // heuristic.
+        if (batch_rows && ixs.size() >= 6 && !spice::testing::armed()) {
+          std::vector<double> us;
+          us.reserve(ixs.size());
+          for (size_t ix : ixs) us.push_back(spec.u_axis[ix]);
+          const auto lanes = session_for(worker).run_batch(
+              spec.r_axis[iy], attempt1, &line, us, spec.sos);
+          for (size_t i = 0; i < ixs.size(); ++i) {
+            if (!lanes[i].solved) continue;  // scalar fallback below
+            PointOutcome& out = outcomes[iy * width + ixs[i]];
+            out.attempts = 1;
+            out.solved = true;
+            if (lanes[i].outcome.faulty) out.ffm = lanes[i].outcome.ffm;
+            lane_done[i] = 1;
+          }
+        }
+        for (size_t i = 0; i < ixs.size(); ++i) {
+          const size_t ix = ixs[i];
+          PointOutcome& out = outcomes[iy * width + ix];
+          if (!lane_done[i]) {
+            const RobustOutcome ro =
+                scalar_point(ix, iy, worker, /*warm_start=*/false);
+            out.attempts = ro.attempts;
+            out.solved = ro.solved;
+            if (ro.solved) {
+              if (ro.outcome.faulty) out.ffm = ro.outcome.ffm;
+            } else {
+              if (!policy.record_failures) throw ConvergenceError(ro.error);
+              out.ffm = Ffm::kSolveFailed;
+              out.error = ro.error;
+            }
+          }
+          record(ix, out);
+        }
+      };
+
+      if (!plan.adaptive) {
+        std::vector<size_t> ixs;
+        for (size_t ix = 0; ix < width; ++ix)
+          if (!done.at(ix, iy)) ixs.push_back(ix);
+        evaluate(ixs);
+        return;
+      }
+
+      // Adaptive boundary tracing: seed, bisect disagreeing gaps in
+      // batchable waves, infer the interiors of agreeing gaps.
+      AdaptiveRowTracer tracer(width);
+      for (size_t ix = 0; ix < width; ++ix)
+        if (done.at(ix, iy)) tracer.set_known(ix, grid.at(ix, iy));
+      for (std::vector<size_t> wave = tracer.seeds();;) {
+        if (!wave.empty()) {
+          evaluate(wave);
+          for (size_t ix : wave)
+            tracer.set_known(ix, outcomes[iy * width + ix].ffm);
+        }
+        wave = tracer.bisection_wave();
+        if (wave.empty()) break;
+      }
+      for (const auto& [ix, cls] : tracer.inferred_fill()) {
+        PointOutcome& out = outcomes[iy * width + ix];
+        out.ffm = cls;
+        out.solved = true;
+        out.inferred = true;
+        out.attempts = 0;
+        record(ix, out);
+      }
+    });
+
+    // Deterministic merge in row-major grid order.
+    for (size_t iy = 0; iy < spec.r_axis.size(); ++iy)
+      for (size_t ix = 0; ix < width; ++ix) {
+        if (!ran[iy * width + ix]) continue;
+        const PointOutcome& out = outcomes[iy * width + ix];
+        grid.at(ix, iy) = out.ffm;
+        if (out.inferred) {
+          ++stats.inferred;
+          continue;
+        }
+        ++stats.attempted;
+        stats.retries +=
+            static_cast<size_t>(out.attempts > 0 ? out.attempts - 1 : 0);
+        if (out.solved) {
+          ++stats.solved;
+        } else {
+          ++stats.failed;
+          stats.failure_log.push_back(out.error);
+        }
+      }
   }
   if (stats.failed > 0)
     PF_LOG_INFO("sweep degraded: " << stats.failed << " of "

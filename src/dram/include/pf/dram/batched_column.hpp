@@ -1,0 +1,78 @@
+// Whole-row batched replay of DRAM column operations.
+//
+// A sweep grid row shares everything but the floating-line voltage U: same
+// defect resistance, same SimOptions, same SOS — therefore the SAME phase
+// schedule (DramColumn::operation_phases) on every lane. BatchedColumnRun
+// replays that schedule once per operation on a spice::BatchedTransient,
+// advancing all lanes of the row in lockstep, and keeps per-lane output
+// buffers with the scalar column's exact latch semantics.
+//
+// Failure contract mirrors the solver backend's: a lane whose transient
+// fails, or whose latch samples a non-finite IO voltage, is flagged
+// (lane_failed / lane_error) and skips all further operations; the batch
+// keeps going, and callers re-run failed lanes through the scalar robust
+// path. Cancellation (pf::CancelledError) aborts the whole batch.
+//
+// Lifetime: holds a reference to the donor column (phase schedules, node
+// lookups); the donor must outlive the batch. The donor's circuit state is
+// never touched — lanes are seeded from DramColumn::State snapshots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pf/dram/column.hpp"
+#include "pf/spice/solver_backend.hpp"
+
+namespace pf::dram {
+
+class BatchedColumnRun {
+ public:
+  /// Builds a batch over the donor's template, options and parameter stamps
+  /// (defect resistance included — restamp the donor FIRST). Throws
+  /// pf::Error when the donor's options are incompatible with the batched
+  /// backend (wall-clock watchdog armed).
+  BatchedColumnRun(const DramColumn& column, size_t lanes);
+
+  size_t lanes() const { return engine_.lanes(); }
+
+  /// Seed a lane from a scalar snapshot (same template). All lanes must be
+  /// seeded from the same phase time — in practice, the same snapshot.
+  void load_state(size_t lane, const DramColumn::State& state);
+
+  /// Per-lane floating-line override (the U injection of Section 3).
+  void apply_floating_voltage(size_t lane, const FloatingLine& line, double u);
+
+  /// Batch-wide operations: every live lane executes the same op.
+  void write(int addr, int value);
+  void read(int addr);
+  void idle_cycle();
+
+  /// Polarity-corrected result of the most recent read on `addr` (the
+  /// scalar DramColumn::read return value).
+  int read_value(size_t lane, int addr) const;
+
+  int output_buffer(size_t lane) const;
+  double cell_voltage(size_t lane, int addr) const;
+  int cell_logical(size_t lane, int addr) const;
+
+  bool lane_failed(size_t lane) const;
+  const std::string& lane_error(size_t lane) const;
+  const spice::SimStats& lane_stats(size_t lane) const;
+
+ private:
+  void run_operation(int addr, bool is_write, int value);
+  void latch_lanes();
+
+  const DramColumn& donor_;
+  DramParams params_;
+  spice::BatchedTransient engine_;
+  spice::NodeId iot_b_;
+  std::vector<spice::NodeId> cell_nodes_;
+  std::vector<int> buffer_;
+  // Latch failures are column-level (the engine only knows solver state).
+  std::vector<char> latch_failed_;
+  std::vector<std::string> latch_error_;
+};
+
+}  // namespace pf::dram

@@ -50,12 +50,39 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "pf/dram/defect.hpp"
 #include "pf/dram/params.hpp"
 #include "pf/spice/circuit.hpp"
 
 namespace pf::dram {
+
+/// One rail retarget applied at a phase boundary of a DRAM operation.
+struct RailTarget {
+  spice::NodeId rail = spice::kGround;
+  double volts = 0.0;
+};
+
+/// One transient segment of a DRAM operation: retarget the listed rails,
+/// advance the circuit for `duration` seconds, then (for the IO phase)
+/// latch the output buffer. DramColumn::operation_phases/idle_phases emit
+/// the schedule and both execution engines replay it — the scalar column
+/// below and the batched whole-row replay (pf/dram/batched_column.hpp) —
+/// so the sequencing cannot drift between backends.
+struct OpPhase {
+  std::vector<RailTarget> rails;
+  double duration = 0.0;
+  bool latch_after = false;
+};
+
+/// The output-buffer latch decision on the TRUE shared IO line (secondary
+/// sensing against VDD/2): returns the new buffer value given the sampled
+/// iot_b voltage and the previous value (retained below resolution). Throws
+/// pf::ConvergenceError on a non-finite voltage — a silently diverged
+/// solve must surface as a solver failure, not stale read data.
+int resolve_output_latch(double iot_b_volts, const DramParams& params,
+                         int previous);
 
 class DramColumn {
  public:
@@ -132,6 +159,17 @@ class DramColumn {
 
   /// A precharge-only cycle (no word line raised).
   void idle_cycle();
+
+  /// The phase schedule of a full operation / an idle cycle — the single
+  /// definition of the column's sequencing, replayed by run_operation here
+  /// and by the batched whole-row engine. Pure functions of (params,
+  /// topology): no circuit state is read or written.
+  std::vector<OpPhase> operation_phases(int addr, bool is_write,
+                                        int value) const;
+  std::vector<OpPhase> idle_phases() const;
+
+  /// The compiled run state (donor for the batched backend's lanes).
+  const spice::CompiledCircuit& circuit() const { return ckt_; }
 
   /// An idle pause with everything switched off (word lines low, SA off):
   /// storage nodes decay through whatever leakage paths exist (the gmin

@@ -1,0 +1,127 @@
+#include "pf/dram/batched_column.hpp"
+
+#include "pf/util/error.hpp"
+
+namespace pf::dram {
+
+using spice::NodeId;
+
+namespace {
+
+NodeId find_node_or_throw(const DramColumn& column, const std::string& name) {
+  const auto id = column.netlist().find_node(name);
+  PF_CHECK_MSG(id.has_value(), "no node named " << name);
+  return *id;
+}
+
+}  // namespace
+
+BatchedColumnRun::BatchedColumnRun(const DramColumn& column, size_t lanes)
+    : donor_(column),
+      params_(column.params()),
+      engine_(column.circuit(), lanes),
+      iot_b_(find_node_or_throw(column, "iot_b")) {
+  cell_nodes_.reserve(static_cast<size_t>(column.num_cells()));
+  for (int i = 0; i < column.num_cells(); ++i)
+    cell_nodes_.push_back(find_node_or_throw(column, "cell" + std::to_string(i)));
+  buffer_.assign(lanes, 0);
+  latch_failed_.assign(lanes, 0);
+  latch_error_.assign(lanes, std::string());
+}
+
+void BatchedColumnRun::load_state(size_t lane, const DramColumn::State& state) {
+  engine_.load_state(lane, state.ckt);
+  PF_CHECK_MSG(lane < buffer_.size(), "bad lane " << lane);
+  buffer_[lane] = state.buffer;
+  latch_failed_[lane] = 0;
+  latch_error_[lane].clear();
+}
+
+void BatchedColumnRun::apply_floating_voltage(size_t lane,
+                                              const FloatingLine& line,
+                                              double u) {
+  for (const auto& n : line.nodes)
+    engine_.set_node_voltage(lane, find_node_or_throw(donor_, n), u);
+  for (const auto& n : line.complement_nodes)
+    engine_.set_node_voltage(lane, find_node_or_throw(donor_, n),
+                             params_.vdd - u);
+  if (line.ties_output_buffer)
+    buffer_[lane] = u > params_.vdd / 2 ? 1 : 0;
+}
+
+bool BatchedColumnRun::lane_failed(size_t lane) const {
+  return engine_.lane_failed(lane) || latch_failed_[lane] != 0;
+}
+
+const std::string& BatchedColumnRun::lane_error(size_t lane) const {
+  if (engine_.lane_failed(lane)) return engine_.lane_error(lane);
+  return latch_error_[lane];
+}
+
+const spice::SimStats& BatchedColumnRun::lane_stats(size_t lane) const {
+  return engine_.lane_stats(lane);
+}
+
+void BatchedColumnRun::latch_lanes() {
+  for (size_t lane = 0; lane < lanes(); ++lane) {
+    if (lane_failed(lane)) continue;
+    try {
+      buffer_[lane] = resolve_output_latch(engine_.node_voltage(lane, iot_b_),
+                                           params_, buffer_[lane]);
+    } catch (const ConvergenceError& e) {
+      latch_failed_[lane] = 1;
+      latch_error_[lane] = e.what();
+    }
+  }
+}
+
+void BatchedColumnRun::run_operation(int addr, bool is_write, int value) {
+  bool any_live = false;
+  for (size_t lane = 0; lane < lanes(); ++lane) any_live |= !lane_failed(lane);
+  if (!any_live) return;
+  for (const OpPhase& phase : donor_.operation_phases(addr, is_write, value)) {
+    for (const RailTarget& rt : phase.rails)
+      engine_.set_rail(rt.rail, rt.volts);
+    engine_.run_for(phase.duration);
+    if (phase.latch_after) latch_lanes();
+  }
+}
+
+void BatchedColumnRun::write(int addr, int value) {
+  PF_CHECK_MSG(value == 0 || value == 1, "bad write value " << value);
+  run_operation(addr, /*is_write=*/true, value);
+}
+
+void BatchedColumnRun::read(int addr) {
+  run_operation(addr, /*is_write=*/false, 0);
+}
+
+void BatchedColumnRun::idle_cycle() {
+  for (const OpPhase& phase : donor_.idle_phases()) {
+    for (const RailTarget& rt : phase.rails)
+      engine_.set_rail(rt.rail, rt.volts);
+    engine_.run_for(phase.duration);
+    if (phase.latch_after) latch_lanes();
+  }
+}
+
+int BatchedColumnRun::read_value(size_t lane, int addr) const {
+  const int raw = output_buffer(lane);
+  return donor_.on_complement_bl(addr) ? 1 - raw : raw;
+}
+
+int BatchedColumnRun::output_buffer(size_t lane) const {
+  PF_CHECK_MSG(lane < buffer_.size(), "bad lane " << lane);
+  return buffer_[lane];
+}
+
+double BatchedColumnRun::cell_voltage(size_t lane, int addr) const {
+  PF_CHECK_MSG(addr >= 0 && addr < donor_.num_cells(), "bad address " << addr);
+  return engine_.node_voltage(lane, cell_nodes_[static_cast<size_t>(addr)]);
+}
+
+int BatchedColumnRun::cell_logical(size_t lane, int addr) const {
+  return cell_voltage(lane, addr) > params_.cell_read_threshold() ? 1 : 0;
+}
+
+}  // namespace pf::dram

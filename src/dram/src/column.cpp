@@ -321,80 +321,94 @@ void DramColumn::pause(double seconds) {
 }
 
 void DramColumn::idle_cycle() {
-  const DramParams& p = params_;
-  ckt_.set_rail(pre_, p.vpp);
-  run_phase(p.t_precharge);
-  ckt_.set_rail(pre_, 0.0);
-  run_phase(p.t_settle + p.t_recover);
+  for (const OpPhase& phase : idle_phases()) {
+    for (const RailTarget& rt : phase.rails) ckt_.set_rail(rt.rail, rt.volts);
+    run_phase(phase.duration);
+    if (phase.latch_after) latch_output_buffer();
+  }
 }
 
-void DramColumn::latch_output_buffer() {
+int resolve_output_latch(double iot_b_volts, const DramParams& params,
+                         int previous) {
   // The output buffer taps the TRUE shared IO line single-endedly (secondary
   // sensing against VDD/2): an open in the read path (Open 8) therefore
   // leaves the latch holding stale data instead of letting it resolve
   // through the complement line.
-  const double d = ckt_.node_voltage(iot_b_) - params_.vdd / 2;
+  const double d = iot_b_volts - params.vdd / 2;
   if (!std::isfinite(d)) {
     // A non-finite IO voltage would silently retain the previous latch
     // value and masquerade as a read fault; it is a solver failure.
     std::ostringstream os;
-    os << "non-finite IO-line voltage at read latch (iot_b="
-       << ckt_.node_voltage(iot_b_) << ")";
+    os << "non-finite IO-line voltage at read latch (iot_b=" << iot_b_volts
+       << ")";
     throw ConvergenceError(os.str());
   }
-  if (d > params_.buf_resolution)
-    buffer_ = 1;
-  else if (d < -params_.buf_resolution)
-    buffer_ = 0;
-  // else: below resolution — the latch retains its previous state.
+  if (d > params.buf_resolution) return 1;
+  if (d < -params.buf_resolution) return 0;
+  return previous;  // below resolution — the latch retains its state
 }
 
-void DramColumn::run_operation(int addr, bool is_write, int value) {
+void DramColumn::latch_output_buffer() {
+  buffer_ = resolve_output_latch(ckt_.node_voltage(iot_b_), params_, buffer_);
+}
+
+std::vector<OpPhase> DramColumn::idle_phases() const {
+  const DramParams& p = params_;
+  std::vector<OpPhase> phases;
+  phases.push_back({{{pre_, p.vpp}}, p.t_precharge, false});
+  phases.push_back({{{pre_, 0.0}}, p.t_settle + p.t_recover, false});
+  return phases;
+}
+
+std::vector<OpPhase> DramColumn::operation_phases(int addr, bool is_write,
+                                                  int value) const {
   PF_CHECK_MSG(addr >= 0 && addr < num_cells(), "bad address " << addr);
   const DramParams& p = params_;
   const bool comp_side = on_complement_bl(addr);
+  std::vector<OpPhase> phases;
 
   // Phase 1: precharge the bit lines and reset the dummy cells.
-  ckt_.set_rail(pre_, p.vpp);
-  run_phase(p.t_precharge);
+  phases.push_back({{{pre_, p.vpp}}, p.t_precharge, false});
 
   // Phase 2: release precharge.
-  ckt_.set_rail(pre_, 0.0);
-  run_phase(p.t_settle);
+  phases.push_back({{{pre_, 0.0}}, p.t_settle, false});
 
   // Phase 3: raise the selected word line and the opposite-side reference
   // word line (the reference cell balances the complement bit line).
-  ckt_.set_rail(wl_[addr], p.vpp);
-  ckt_.set_rail(comp_side ? rwlt_ : rwlc_, p.vpp);
-  run_phase(p.t_access);
+  phases.push_back({{{wl_[addr], p.vpp}, {comp_side ? rwlt_ : rwlc_, p.vpp}},
+                    p.t_access,
+                    false});
 
   // Phase 4: enable the sense amplifier.
-  ckt_.set_rail(sen_, p.vdd);
-  ckt_.set_rail(sepb_, 0.0);
-  run_phase(p.t_sense);
+  phases.push_back({{{sen_, p.vdd}, {sepb_, 0.0}}, p.t_sense, false});
 
   // Phase 5: connect the column to the IO lines; for writes, drive them.
-  ckt_.set_rail(csl_, p.vpp);
+  // The latch samples iot_b at the end of this phase.
+  OpPhase io{{{csl_, p.vpp}}, p.t_io, true};
   if (is_write) {
     const int raw = comp_side ? 1 - value : value;
-    ckt_.set_rail(vdt_, raw ? p.vdd : 0.0);
-    ckt_.set_rail(vdc_, raw ? 0.0 : p.vdd);
-    ckt_.set_rail(wen_, p.vpp);
+    io.rails.push_back({vdt_, raw ? p.vdd : 0.0});
+    io.rails.push_back({vdc_, raw ? 0.0 : p.vdd});
+    io.rails.push_back({wen_, p.vpp});
   }
-  run_phase(p.t_io);
-  latch_output_buffer();
+  phases.push_back(std::move(io));
 
   // Phase 6: isolate the cell (word line down while the SA still holds the
   // restored level), then shut everything off.
-  ckt_.set_rail(wl_[addr], 0.0);
-  ckt_.set_rail(rwlt_, 0.0);
-  ckt_.set_rail(rwlc_, 0.0);
-  run_phase(p.t_isolate);
-  ckt_.set_rail(sen_, 0.0);
-  ckt_.set_rail(sepb_, p.vdd);
-  ckt_.set_rail(csl_, 0.0);
-  ckt_.set_rail(wen_, 0.0);
-  run_phase(p.t_recover);
+  phases.push_back(
+      {{{wl_[addr], 0.0}, {rwlt_, 0.0}, {rwlc_, 0.0}}, p.t_isolate, false});
+  phases.push_back(
+      {{{sen_, 0.0}, {sepb_, p.vdd}, {csl_, 0.0}, {wen_, 0.0}}, p.t_recover,
+       false});
+  return phases;
+}
+
+void DramColumn::run_operation(int addr, bool is_write, int value) {
+  for (const OpPhase& phase : operation_phases(addr, is_write, value)) {
+    for (const RailTarget& rt : phase.rails) ckt_.set_rail(rt.rail, rt.volts);
+    run_phase(phase.duration);
+    if (phase.latch_after) latch_output_buffer();
+  }
 }
 
 void DramColumn::write(int addr, int value) {

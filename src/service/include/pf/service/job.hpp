@@ -49,6 +49,12 @@ struct JobSpec {
   int max_attempts = 0;              ///< 0 = RetryPolicy default
   double throttle_ms = 0.0;          ///< sleep per grid point (crash-window
                                      ///< widener for the kill -9 tests)
+  std::string backend = "scalar";    ///< solver backend: scalar|batched.
+                                     ///< Batched dense maps are bit-identical
+                                     ///< to scalar, so the cache key excludes
+                                     ///< the backend by construction.
+  bool adaptive = false;             ///< adaptive boundary tracing (see
+                                     ///< EnginePlan::adaptive)
 
   /// Parse + validate a submit request's "job" object. Throws
   /// pf::ParseError with a field-specific message on anything out of

@@ -1,0 +1,173 @@
+// Solver backends: scalar (one transient per CompiledCircuit) and batched
+// (N transients advanced in lockstep over one shared CircuitTemplate).
+//
+// The batched backend exists because the sweep engines evaluate whole grid
+// rows whose lanes differ ONLY in initial conditions — same topology, same
+// defect resistance, same operation sequence. With the template's compiled
+// elimination schedule shared across lanes, every factor/solve loop becomes
+// a lane-inner loop over contiguous SoA storage that the compiler
+// auto-vectorizes (SIMD across the U axis), and all schedule traversal and
+// index arithmetic is paid once per row instead of once per point.
+//
+// Bit-identity contract: a lane of BatchedTransient retraces EXACTLY the
+// floating-point trajectory of a scalar CompiledCircuit given the same
+// starting state — same step-size decisions, same Newton iterations, same
+// committed voltages and statistics. This holds because lanes never exchange
+// data (each performs the scalar arithmetic on its own values, merely
+// interleaved in time with the other lanes) and both engines compile the
+// kernels in engine_internal.hpp. The golden A/B suite gates it.
+//
+// Divergence/fallback contract: lanes fail INDEPENDENTLY. A lane whose step
+// control collapses below dt_min or whose Newton budget trips records the
+// failure (lane_failed / lane_error) and stops advancing; the batch keeps
+// going. Callers re-run failed lanes through the scalar robust-retry path,
+// so a batched failure can cost only performance, never a wrong result.
+// Cancellation is the one batch-wide event: it throws pf::CancelledError for
+// the whole batch, matching the scalar engine's abandon-don't-retry rule.
+//
+// Deliberate non-features (the dispatcher routes such work to the scalar
+// engine instead): wall-clock watchdogs (nondeterministic — which lane trips
+// first depends on scheduling), solver fault injection (per-experiment
+// thread-local context has no lane analogue), step callbacks, and circuits
+// with voltage sources (no compiled sparse schedule to share).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pf/spice/circuit.hpp"
+
+namespace pf::spice {
+
+/// Which transient engine a sweep uses per grid point / per grid row.
+enum class SolverBackend {
+  kScalar,   ///< one CompiledCircuit per point (the reference engine)
+  kBatched,  ///< whole-row lockstep lanes over one shared template
+};
+
+/// Stable names for flags, wire formats and logs: "scalar" / "batched".
+const char* solver_backend_name(SolverBackend backend);
+
+/// Inverse of solver_backend_name; throws pf::Error on an unknown name.
+SolverBackend parse_solver_backend(const std::string& name);
+
+/// N transient run states advanced in lockstep (see file comment for the
+/// full contract). Not thread-safe; one BatchedTransient per thread.
+///
+/// Lanes share what a grid row shares — template, SimOptions, parameter
+/// values (defect resistance), rail drive — and hold per-lane everything
+/// that evolves: node voltages, step size, statistics, failure state.
+/// Storage is lane-major SoA: element e of lane l lives at [e * lanes + l],
+/// so per-element lane loops run over contiguous memory.
+class BatchedTransient {
+ public:
+  /// Builds a batch from a donor run state: the donor's template, options
+  /// and parameter values (resistances) are shared by every lane. Throws
+  /// pf::Error when the template has no compiled sparse schedule (voltage
+  /// sources present) or when options request a wall-clock watchdog.
+  BatchedTransient(const CompiledCircuit& donor, size_t lanes);
+
+  size_t lanes() const { return lanes_; }
+  const SimOptions& options() const { return options_; }
+  /// Common phase time: every run_for ends with all live lanes exactly at
+  /// the same t, which is what lets rail retargeting stay batch-wide.
+  double time() const { return t_; }
+
+  /// Seed a lane from a scalar snapshot (CompiledCircuit::save_state of a
+  /// circuit on the same template). Every lane must be seeded from the same
+  /// phase point: the first load fixes the batch time and rail ramps, later
+  /// loads must agree on t. Statistics are restored per lane, so watchdog
+  /// budgets accrue exactly as they would in the scalar engine.
+  void load_state(size_t lane, const CompiledCircuit::State& state);
+
+  double node_voltage(size_t lane, NodeId n) const;
+  /// Per-lane floating-voltage override (same rules as the scalar engine:
+  /// neither ground nor a rail).
+  void set_node_voltage(size_t lane, NodeId n, double volts);
+
+  /// Batch-wide rail retarget with the default (or given) slew, applied at
+  /// the common phase time — identical to each lane's scalar set_rail.
+  void set_rail(NodeId rail, double volts);
+  void set_rail(NodeId rail, double volts, double slew);
+
+  /// Advance every live lane by `duration` seconds. Lane step control is
+  /// fully independent (per-lane h, dt, Newton effort); the lockstep is in
+  /// the execution schedule, not the numerics. Failed lanes are skipped.
+  /// Throws pf::CancelledError batch-wide on cooperative cancellation.
+  void run_for(double duration);
+
+  /// Advance with a temporarily raised step ceiling (retention pauses),
+  /// mirroring CompiledCircuit::run_for_with_ceiling.
+  void run_for_with_ceiling(double duration, double dt_max);
+
+  bool lane_failed(size_t lane) const { return failed_[check_lane(lane)]; }
+  /// The failure message (scalar ConvergenceError format) of a failed lane.
+  const std::string& lane_error(size_t lane) const {
+    return error_[check_lane(lane)];
+  }
+  const SimStats& lane_stats(size_t lane) const {
+    return stats_[check_lane(lane)];
+  }
+
+ private:
+  enum class StepPhase : uint8_t { kIdle, kInNewton, kDone };
+
+  size_t check_lane(size_t lane) const;
+  /// Cancel throws batch-wide; a tripped Newton budget fails the lane and
+  /// returns false.
+  bool check_lane_watchdogs(size_t lane);
+  void fail_lane(size_t lane, std::string message);
+
+  void ensure_static_stamps();
+  void ensure_rc_stamps(size_t lane, double h);
+  void build_rhs_base(size_t lane, double h);
+  void begin_step(size_t lane, double h, double t_new);
+  /// One Newton iteration for every in-step lane; resolves lanes that
+  /// converge (commit + accept) or exhaust/diverge (reject) this wave.
+  void newton_wave(double t_stop, size_t& live);
+  void resolve_accept(size_t lane, int iters);
+  void resolve_reject(size_t lane, double t_stop, size_t& live);
+
+  std::shared_ptr<const CircuitTemplate> tpl_;
+  SimOptions options_;
+  size_t lanes_ = 0;
+  double t_ = 0.0;
+  bool time_seeded_ = false;
+
+  // Shared across lanes (identical by the row contract).
+  std::vector<double> r_ohms_;
+  std::vector<RampedLevel> rail_levels_;  // indexed by NodeId
+  bool static_dirty_ = true;
+  std::vector<double> g_static_;  // per slot (lane-invariant)
+
+  // Per-lane scalars.
+  std::vector<double> t_lane_;
+  std::vector<double> dt_;
+  std::vector<double> cached_h_;
+  std::vector<SimStats> stats_;
+  std::vector<char> failed_;
+  std::vector<std::string> error_;
+  std::vector<NodeId> worst_node_;
+  std::vector<double> worst_dv_;
+
+  // Lane-major SoA state and scratch ([element * lanes_ + lane]).
+  std::vector<double> v_;         // committed node voltages incl. known nodes
+  std::vector<double> v_prev_;    // previous committed solution, per step
+  std::vector<double> v_cand_;    // candidate node voltages
+  std::vector<double> x_;         // candidate unknowns, elimination order
+  std::vector<double> g_rc_;      // g_static_ + capacitor geq, per slot
+  std::vector<double> a_;         // working factor values, per slot
+  std::vector<double> rhs_;
+  std::vector<double> rhs_base_;
+  std::vector<double> pivot_row_;  // packed U(k, j), per k
+
+  // Per-run_for step bookkeeping (members to avoid per-call allocation).
+  std::vector<StepPhase> step_phase_;
+  std::vector<double> step_h_;
+  std::vector<double> step_t_new_;
+  std::vector<int> step_iter_;
+  std::vector<uint64_t> steps_since_check_;
+  std::vector<char> pivot_failed_;
+};
+
+}  // namespace pf::spice

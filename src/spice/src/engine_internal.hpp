@@ -1,0 +1,44 @@
+// Numeric kernels shared by the scalar transient engine (circuit.cpp) and
+// the batched lockstep backend (solver_backend.cpp).
+//
+// Bit-identity between the two engines rests on both compiling EXACTLY this
+// arithmetic: the square-law evaluation and the pivot floor live here so a
+// change to one engine cannot silently diverge from the other.
+#pragma once
+
+#include "pf/spice/netlist.hpp"
+
+namespace pf::spice::detail {
+
+/// Square-law drain current and small-signal parameters, NMOS convention,
+/// evaluated for vds >= 0 (callers normalize polarity/type first).
+struct MosEval {
+  double ids = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+};
+
+inline MosEval eval_square_law(double vgs, double vds, const MosParams& p) {
+  MosEval e;
+  const double vov = vgs - p.vt;
+  if (vov <= 0.0) return e;  // cutoff
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode region.
+    const double core = vov * vds - 0.5 * vds * vds;
+    e.ids = p.k * core * clm;
+    e.gm = p.k * vds * clm;
+    e.gds = p.k * (vov - vds) * clm + p.k * core * p.lambda;
+  } else {
+    // Saturation.
+    const double core = 0.5 * vov * vov;
+    e.ids = p.k * core * clm;
+    e.gm = p.k * vov * clm;
+    e.gds = p.k * core * p.lambda;
+  }
+  return e;
+}
+
+constexpr double kMinPivot = 1e-30;
+
+}  // namespace pf::spice::detail

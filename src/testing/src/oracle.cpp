@@ -160,8 +160,8 @@ TrialResult run_differential_trial(const FuzzCase& c,
   const analysis::SweepSpec spec = c.sweep_spec();
   analysis::ExecutionPolicy policy;
   policy.threads = c.threads;
-  policy.circuit = c.circuit;
-  policy.warm_start = c.warm_start;
+  policy.plan.circuit_mode = c.circuit;
+  policy.plan.warm_start = c.warm_start;
   policy.retry = opts.retry;
   const analysis::RegionMap map = sweep_region(spec, policy);
 

@@ -61,16 +61,20 @@ TEST(FuzzDifferential, GridIsBitIdenticalAcrossExecutionModes) {
     analysis::ExecutionPolicy threaded;
     threaded.threads = 3;
     analysis::ExecutionPolicy rebuild;
-    rebuild.circuit = analysis::CircuitMode::kRebuild;
+    rebuild.plan.circuit_mode = analysis::CircuitMode::kRebuild;
     analysis::ExecutionPolicy warm;
-    warm.warm_start = true;
-    for (const auto* policy : {&threaded, &rebuild, &warm}) {
+    warm.plan.warm_start = true;
+    analysis::ExecutionPolicy batched;
+    batched.plan.backend = spice::SolverBackend::kBatched;
+    for (const auto* policy : {&threaded, &rebuild, &warm, &batched}) {
       const auto other = sweep_region(spec, *policy);
       ASSERT_EQ(base.grid().data(), other.grid().data())
           << c.describe() << " (threads=" << policy->threads << ", circuit="
-          << (policy->circuit == analysis::CircuitMode::kReuse ? "reuse"
-                                                               : "rebuild")
-          << ", warm=" << policy->warm_start << ")";
+          << (policy->plan.circuit_mode == analysis::CircuitMode::kReuse
+                  ? "reuse"
+                  : "rebuild")
+          << ", warm=" << policy->plan.warm_start << ", backend="
+          << spice::solver_backend_name(policy->plan.backend) << ")";
     }
   }
 }

@@ -40,9 +40,17 @@ TEST(JobSpec, JsonRoundTripIsExact) {
   job.threads = 4;
   job.deadline_seconds = 10.5;
   job.throttle_ms = 2.5;
+  job.backend = "batched";
+  job.adaptive = true;
   const JobSpec back = JobSpec::from_json(job.to_json());
   EXPECT_EQ(back.to_json().dump(), job.to_json().dump());
   EXPECT_EQ(back.cache_key(), job.cache_key());
+  EXPECT_EQ(back.backend, "batched");
+  EXPECT_TRUE(back.adaptive);
+  // ...and the execution plan the workers see reflects the wire fields.
+  const analysis::ExecutionPolicy policy = back.to_policy();
+  EXPECT_EQ(policy.plan.backend, spice::SolverBackend::kBatched);
+  EXPECT_TRUE(policy.plan.adaptive);
 }
 
 TEST(JobSpec, AdmissionRejectsOutOfBoundsRequests) {
@@ -68,6 +76,25 @@ TEST(JobSpec, AdmissionRejectsOutOfBoundsRequests) {
   // nothing to sweep and admission says so upfront.
   EXPECT_THROW(parse(R"({"defect_kind":"bridge"})"), pf::ParseError);
   EXPECT_THROW(parse("[1,2,3]"), pf::ParseError);
+  // An unknown solver backend dies at the socket, not on a worker thread;
+  // adaptive must be an actual boolean, not a truthy string.
+  EXPECT_THROW(parse(R"({"backend":"simd"})"), pf::ParseError);
+  EXPECT_THROW(parse(R"({"adaptive":"yes"})"), pf::ParseError);
+}
+
+TEST(JobSpec, CacheKeyIsSolverBackendInvariant) {
+  // Batched dense sweeps are bit-identical to scalar ones (the batched
+  // engine's contract, gated in tests/analysis), so the backend is an
+  // execution knob: two jobs differing only in backend/adaptive must share
+  // one cache entry. Structural, not incidental — cache_key() fingerprints
+  // to_sweep_spec(), which the backend fields never enter.
+  const JobSpec scalar = tiny_job();
+  JobSpec batched = scalar;
+  batched.backend = "batched";
+  EXPECT_EQ(scalar.cache_key(), batched.cache_key());
+  JobSpec adaptive = batched;
+  adaptive.adaptive = true;
+  EXPECT_EQ(scalar.cache_key(), adaptive.cache_key());
 }
 
 TEST(JobSpec, CacheKeyTracksResultIdentityNotExecutionKnobs) {

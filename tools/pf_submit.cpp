@@ -5,7 +5,8 @@
 //
 // Job flags mirror pf::service::JobSpec: --defect KIND, --site N,
 // --line N, --sos TEXT, --r-points N, --u-points N, --temperature C,
-// --threads N, --deadline S, --throttle-ms MS.
+// --threads N, --deadline S, --throttle-ms MS, --backend scalar|batched,
+// --adaptive.
 //
 // Prints the result's cache key, SHA-256 and hit/miss status; --out writes
 // the CSV. Exit status: 0 result (hit or computed), 3 rejected busy
@@ -26,7 +27,8 @@ int usage(const char* argv0) {
       "usage: %s --socket PATH [--defect KIND] [--site N] [--line N]\n"
       "          [--sos TEXT] [--r-points N] [--u-points N]\n"
       "          [--temperature C] [--threads N] [--deadline S]\n"
-      "          [--throttle-ms MS] [--out FILE] [--quiet]\n"
+      "          [--throttle-ms MS] [--backend scalar|batched] [--adaptive]\n"
+      "          [--out FILE] [--quiet]\n"
       "       %s --socket PATH --ping|--stats|--shutdown\n",
       argv0, argv0);
   return 2;
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
       job.deadline_seconds = std::atof(argv[++i]);
     else if (arg == "--throttle-ms" && has_value)
       job.throttle_ms = std::atof(argv[++i]);
+    else if (arg == "--backend" && has_value) job.backend = argv[++i];
+    else if (arg == "--adaptive") job.adaptive = true;
     else if (arg == "--out" && has_value) out_path = argv[++i];
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--ping") one_shot = "ping";
