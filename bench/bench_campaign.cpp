@@ -1,0 +1,157 @@
+// Campaign-layer performance: what the orchestration buys (cross-job
+// dedup, shared-prefix session reuse) and what it costs (journal + memo
+// bookkeeping per job) over driving the same sweeps sequentially.
+//
+// The reproduction preamble replays a Table-1-shaped workload — K distinct
+// sweep jobs, each submitted twice (the duplicate is the cross-job dedup
+// hit), all in one row-family so the compiled SosSession hands forward —
+// once through run_campaign and once as bare sequential sweep_region calls
+// (the pre-campaign driver). It reports both wall clocks, the dedup hit
+// rate, and the session reuse counters.
+//
+// Set PF_DUMP_JSON=1 to write campaign.json next to the binary (the
+// results/BENCH_campaign.json artifact).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pf/analysis/region.hpp"
+#include "pf/campaign/runner.hpp"
+#include "pf/campaign/spec.hpp"
+
+namespace {
+
+using namespace pf;
+
+campaign::CampaignJob sweep_job(const std::string& id, const char* sos,
+                                size_t r_points) {
+  campaign::CampaignJob job;
+  job.id = id;
+  job.kind = campaign::CampaignJob::Kind::kSweep;
+  job.sweep.defect_kind = "open";
+  job.sweep.open_site = 4;
+  job.sweep.sos_text = sos;
+  job.sweep.r_points = r_points;
+  job.sweep.u_points = 6;
+  return job;
+}
+
+/// K distinct jobs (SOS x r_points), each duplicated once: 2K jobs, K
+/// dedup hits, one row-family end to end.
+campaign::CampaignSpec duplicate_heavy_spec(size_t r_lo, size_t r_hi) {
+  const char* kSos[] = {"1r1", "0w0", "0r0", "1w1"};
+  campaign::CampaignSpec spec;
+  spec.name = "bench";
+  for (size_t r = r_lo; r <= r_hi; ++r) {
+    for (const char* sos : kSos) {
+      const std::string id = std::string(sos) + "-r" + std::to_string(r);
+      spec.jobs.push_back(sweep_job(id, sos, r));
+      spec.jobs.push_back(sweep_job(id + "-again", sos, r));
+    }
+  }
+  return spec;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_reproduction() {
+  const campaign::CampaignSpec spec = duplicate_heavy_spec(4, 6);
+
+  // Campaign run: memo dedup + session handoff, no store/journal so the
+  // comparison is pure orchestration (no disk in either lane).
+  campaign::CampaignOptions options;
+  const auto t0 = std::chrono::steady_clock::now();
+  const campaign::CampaignResult result = campaign::run_campaign(spec, options);
+  const double campaign_s = seconds_since(t0);
+  if (!result.all_done()) {
+    std::fprintf(stderr, "bench_campaign: campaign did not complete\n");
+    std::exit(1);
+  }
+
+  // Sequential baseline: the same 2K sweeps driven the pre-campaign way —
+  // every job computed, every session compiled from scratch.
+  analysis::ExecutionPolicy exec;
+  const auto t1 = std::chrono::steady_clock::now();
+  for (const campaign::CampaignJob& job : spec.jobs) {
+    const analysis::RegionMap map =
+        analysis::sweep_region(job.sweep.to_sweep_spec(), exec);
+    benchmark::DoNotOptimize(map.observed_fraction());
+  }
+  const double sequential_s = seconds_since(t1);
+
+  const campaign::CampaignStats& stats = result.stats;
+  const double hit_rate = double(stats.dedup_hits) / double(spec.jobs.size());
+  std::printf("campaign workload: %zu jobs (%zu distinct), one row-family\n",
+              spec.jobs.size(), spec.jobs.size() - stats.dedup_hits);
+  std::printf("  campaign run     %8.2f s  (%zu dedup hits, rate %.0f%%, "
+              "%zu session hits / %zu misses)\n",
+              campaign_s, stats.dedup_hits, 100.0 * hit_rate,
+              stats.session_hits, stats.session_misses);
+  std::printf("  sequential run   %8.2f s  (every job computed cold)\n",
+              sequential_s);
+  std::printf("  speedup          %8.2fx\n\n", sequential_s / campaign_s);
+
+  if (std::getenv("PF_DUMP_JSON") != nullptr) {
+    std::ofstream out("campaign.json");
+    out << "{\n"
+        << "  \"jobs\": " << spec.jobs.size() << ",\n"
+        << "  \"distinct_jobs\": " << spec.jobs.size() - stats.dedup_hits
+        << ",\n"
+        << "  \"dedup_hits\": " << stats.dedup_hits << ",\n"
+        << "  \"dedup_hit_rate\": " << hit_rate << ",\n"
+        << "  \"session_hits\": " << stats.session_hits << ",\n"
+        << "  \"session_misses\": " << stats.session_misses << ",\n"
+        << "  \"campaign_seconds\": " << campaign_s << ",\n"
+        << "  \"sequential_seconds\": " << sequential_s << ",\n"
+        << "  \"speedup\": " << sequential_s / campaign_s << "\n"
+        << "}\n";
+    std::printf("wrote campaign.json\n");
+  }
+}
+
+// One tiny campaign per iteration — two jobs, the second a pure memo
+// dedup hit — so the per-job orchestration overhead (validation, topo
+// order, memo, event plumbing) rides on top of exactly one real sweep.
+void BM_CampaignWithDedupHit(benchmark::State& state) {
+  campaign::CampaignSpec spec;
+  spec.name = "smoke";
+  spec.jobs.push_back(sweep_job("a", "1r1", 2));
+  spec.jobs.back().sweep.u_points = 2;
+  spec.jobs.push_back(sweep_job("a-again", "1r1", 2));
+  spec.jobs.back().sweep.u_points = 2;
+  campaign::CampaignOptions options;
+  for (auto _ : state) {
+    const campaign::CampaignResult result =
+        campaign::run_campaign(spec, options);
+    if (result.stats.dedup_hits != 1) state.SkipWithError("no dedup hit");
+  }
+}
+BENCHMARK(BM_CampaignWithDedupHit)->Unit(benchmark::kMillisecond);
+
+// Spec fingerprint over a Table-1-sized DAG: the resume-identity check
+// every journaled run pays on startup.
+void BM_SpecFingerprint(benchmark::State& state) {
+  const campaign::CampaignSpec spec = duplicate_heavy_spec(3, 6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spec.fingerprint());
+}
+BENCHMARK(BM_SpecFingerprint)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) {
+    print_reproduction();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

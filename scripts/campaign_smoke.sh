@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Campaign crash-recovery gate.
+#
+#   scripts/campaign_smoke.sh path/to/pf_campaign [workdir]
+#
+# Drives the REAL pf_campaign binary through the campaign layer's whole
+# crash-safety story:
+#
+#   1. control  — run a throttled multi-job campaign to completion on a
+#                 pristine store; keep its report as the reference
+#   2. kill -9  — rerun the same spec in a fresh workdir, SIGKILL the
+#                 process once the campaign journal shows the first DONE
+#                 job (demonstrably mid-campaign); no report may exist
+#   3. resume   — rerun the same command: finished jobs restore from the
+#                 campaign journal, the interrupted sweep resumes from its
+#                 own journal, exit 0
+#   4. compare  — the resumed report must be byte-identical to the control
+#
+# Exit 0 on success; any deviation fails the gate. Registered as a tier-1
+# ctest target (campaign_smoke) and run by scripts/ci.sh.
+set -euo pipefail
+
+CAMPAIGN="${1:?usage: campaign_smoke.sh pf_campaign [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+rm -rf "$WORK"  # a reused workdir (ctest rerun) must not start warm
+mkdir -p "$WORK"
+
+CHILD_PID=""
+cleanup() {
+  [ -n "$CHILD_PID" ] && kill -9 "$CHILD_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() { echo "campaign_smoke: FAIL: $*" >&2; exit 1; }
+
+# Four distinct throttled sweep jobs (20 ms x 16 points each widens the
+# kill window) plus a duplicate of the first for a cross-job dedup hit.
+SPEC="$WORK/spec.json"
+cat >"$SPEC" <<'EOF'
+{"name":"smoke","jobs":[
+  {"id":"j1","job":{"open_site":4,"sos":"1r1","r_points":4,"u_points":4,"throttle_ms":20}},
+  {"id":"j2","job":{"open_site":4,"sos":"0w0","r_points":4,"u_points":4,"throttle_ms":20}},
+  {"id":"j3","job":{"open_site":4,"sos":"0r0","r_points":4,"u_points":4,"throttle_ms":20}},
+  {"id":"j4","job":{"open_site":4,"sos":"1w1","r_points":4,"u_points":4,"throttle_ms":20}},
+  {"id":"j1-again","deps":["j1"],"job":{"open_site":4,"sos":"1r1","r_points":4,"u_points":4,"throttle_ms":20}}
+]}
+EOF
+
+run_campaign() {  # $1 = dir; extra flags after
+  local dir="$1"; shift
+  "$CAMPAIGN" --spec "$SPEC" --store "$dir/store" \
+              --journal "$dir/journal.csv" --report "$dir/report.txt" \
+              --quiet "$@"
+}
+
+echo "== 1. control run (never crashed)"
+mkdir -p "$WORK/control"
+run_campaign "$WORK/control" || fail "control campaign failed"
+CONTROL="$WORK/control/report.txt"
+[ -s "$CONTROL" ] || fail "control run wrote no report"
+grep -q '^job j1-again DONE' "$CONTROL" || fail "dedup job missing from report"
+
+echo "== 2. SIGKILL mid-campaign"
+DIR="$WORK/crash"
+mkdir -p "$DIR"
+# A simple command with &, NOT the run_campaign wrapper: $! must be the
+# pf_campaign binary itself — the SIGKILL below has to hit the campaign
+# mid-flight, not a wrapper subshell that leaves it running.
+"$CAMPAIGN" --spec "$SPEC" --store "$DIR/store" \
+            --journal "$DIR/journal.csv" --report "$DIR/report.txt" \
+            --quiet >/dev/null 2>&1 &
+CHILD_PID=$!
+# Wait until the campaign journal has recorded the first DONE job: the
+# child is provably mid-campaign, with later jobs still pending.
+DEADLINE=$((SECONDS + 60))
+while [ "$SECONDS" -lt "$DEADLINE" ]; do
+  if [ "$(grep -c ',DONE,' "$DIR/journal.csv" 2>/dev/null || true)" -ge 1 ]; then
+    break
+  fi
+  sleep 0.02
+done
+[ "$(grep -c ',DONE,' "$DIR/journal.csv" 2>/dev/null || true)" -ge 1 ] || \
+  fail "campaign never journaled a DONE job"
+kill -9 "$CHILD_PID" || fail "could not SIGKILL the campaign"
+wait "$CHILD_PID" 2>/dev/null || true
+CHILD_PID=""
+[ -f "$DIR/journal.csv" ] || fail "campaign journal vanished with the crash"
+[ ! -f "$DIR/report.txt" ] || fail "a killed campaign must not write a report"
+
+echo "== 3. resume"
+run_campaign "$DIR" || fail "resumed campaign failed (exit $?)"
+[ -s "$DIR/report.txt" ] || fail "resumed run wrote no report"
+
+echo "== 4. byte-identical report"
+cmp -s "$DIR/report.txt" "$CONTROL" || {
+  diff "$CONTROL" "$DIR/report.txt" >&2 || true
+  fail "resumed report differs from the control run"
+}
+
+echo "campaign_smoke: PASS"

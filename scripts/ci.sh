@@ -27,6 +27,9 @@ ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$JOBS"
 echo "== service smoke (crash recovery gate)"
 ctest --test-dir "$BUILD" -R service_smoke --output-on-failure
 
+echo "== campaign smoke (campaign crash recovery gate)"
+ctest --test-dir "$BUILD" -R campaign_smoke --output-on-failure
+
 echo "== benchmark smoke"
 ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
 

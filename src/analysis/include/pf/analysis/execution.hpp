@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "pf/analysis/robust.hpp"
@@ -32,6 +33,8 @@
 #include "pf/util/cancellation.hpp"
 
 namespace pf::analysis {
+
+class SessionCache;
 
 /// How the engine obtains and advances circuits for a sweep — the four
 /// solver-side decisions that used to be scattered across loose
@@ -72,20 +75,6 @@ struct EnginePlan {
 /// completion search. Replaces PR 1's SweepOptions / Table1Options::sweep /
 /// Table1Options::completion_retry / CompletionSpec::retry scatter.
 struct ExecutionPolicy {
-  // The deprecated shim fields below would make every implicitly-defined
-  // special member warn at the USE site; defining them here (defaulted)
-  // under suppression keeps the warning where it belongs — on code that
-  // actually names the shims.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ExecutionPolicy() = default;
-  ExecutionPolicy(const ExecutionPolicy&) = default;
-  ExecutionPolicy(ExecutionPolicy&&) = default;
-  ExecutionPolicy& operator=(const ExecutionPolicy&) = default;
-  ExecutionPolicy& operator=(ExecutionPolicy&&) = default;
-  ~ExecutionPolicy() = default;
-#pragma GCC diagnostic pop
-
   /// Worker threads for grid dispatch: 1 (default) runs serially on the
   /// calling thread, 0 resolves to the hardware thread count, N > 1 uses a
   /// fixed pool of N workers. Any thread count produces bit-identical
@@ -97,18 +86,20 @@ struct ExecutionPolicy {
 
   /// Solver-side decisions: backend, circuit lifecycle, warm start,
   /// adaptive tracing. Drivers read this through resolved_plan(), which
-  /// arbitrates against the deprecated loose fields below.
+  /// validates it (kBatched requires kReuse).
   EnginePlan plan;
 
-  /// Deprecated forwarding shim (one release): use plan.circuit_mode.
-  /// resolved_plan() honours a non-default value here over plan so code
-  /// that predates EnginePlan keeps its meaning unchanged.
-  [[deprecated("use plan.circuit_mode")]] CircuitMode circuit =
-      CircuitMode::kReuse;
-
-  /// Deprecated forwarding shim (one release): use plan.warm_start.
-  /// resolved_plan() honours `true` here over plan.
-  [[deprecated("use plan.warm_start")]] bool warm_start = false;
+  /// Cross-sweep session reuse (see pf/analysis/session_cache.hpp). When
+  /// both fields are set and plan.circuit_mode == kReuse, sweep_region
+  /// borrows a previously compiled SosSession for `session_family` from the
+  /// cache instead of compiling from scratch, and returns it (with its
+  /// post-initialization snapshot cache intact) when the sweep completes.
+  /// Campaign runners set the family to a key covering everything that
+  /// affects compilation (defect topology + process parameters); results
+  /// stay bit-identical because SosSession::run restamps and reset()s the
+  /// borrowed column exactly like a fresh one.
+  std::shared_ptr<SessionCache> session_cache;
+  std::string session_family;
 
   /// Record unrecoverable points as Ffm::kSolveFailed cells (graceful
   /// degradation). When false the failure with the lowest grid index among
@@ -149,12 +140,10 @@ struct ExecutionPolicy {
 /// never below 1).
 int resolve_worker_count(int threads);
 
-/// The effective EnginePlan of a policy: `policy.plan`, except that a
-/// non-default value in a deprecated shim field (circuit != kReuse,
-/// warm_start == true) wins over the corresponding plan member, so
-/// pre-EnginePlan call sites keep their behaviour for one release.
+/// The effective EnginePlan of a policy: `policy.plan`, validated.
 /// Throws pf::Error for plans the engine cannot execute
-/// (kBatched + kRebuild).
+/// (kBatched + kRebuild). The PR 8 [[deprecated]] `circuit`/`warm_start`
+/// forwarding shims are gone — EnginePlan is the only spelling.
 EnginePlan resolved_plan(const ExecutionPolicy& policy);
 
 /// Dispatches grid points to a fixed-size worker pool. One runner is

@@ -126,4 +126,13 @@ class RegionMap {
 RegionMap sweep_region(const SweepSpec& spec,
                        const ExecutionPolicy& policy = {});
 
+/// Inverse of RegionMap::to_csv for a KNOWN spec: parses the header plus
+/// |r_axis| * |u_axis| data rows (row-major) and takes the ffm column
+/// ("-" = no fault, "FAIL" = kSolveFailed). The r/u columns are redundant
+/// with the spec's axes (and printed at reduced precision), so they are
+/// not parsed back. Solve stats are not representable in the CSV; the
+/// returned map has empty SweepStats. Throws pf::ParseError on a wrong
+/// header, malformed row, unknown FFM name or row-count mismatch.
+RegionMap region_map_from_csv(const SweepSpec& spec, const std::string& csv);
+
 }  // namespace pf::analysis

@@ -1,0 +1,65 @@
+// Cross-sweep SosSession reuse for campaign runners.
+//
+// Compiling a column (netlist, sparsity, elimination order, power-up) is
+// the fixed cost of every sweep; a campaign running many sweeps over the
+// same defect topology pays it once per *job* today. A SessionCache keyed
+// by a caller-chosen "family" string lets consecutive sweeps that share a
+// compiled-circuit prefix hand the session (including its
+// post-initialization snapshot cache, see pf/analysis/sos_runner.hpp) from
+// one job to the next.
+//
+// The family key is the caller's promise: two sweeps in the same family
+// must agree on everything that affects compilation — DramParams and
+// defect topology (kind + site). Per-point state (defect resistance, SOS,
+// engine options, initial voltages) is restamped by SosSession::run, so it
+// does NOT belong in the key. Reuse is bit-identical by the same contract
+// that makes CircuitMode::kReuse bit-identical to kRebuild: reset()
+// restores the pristine snapshot, and the snapshot cache validates its key
+// (r_def, options, init states) before restoring.
+//
+// Thread safety: take()/put() are mutex-serialized. A taken session is
+// owned exclusively by the caller until put() back; sweep_region only
+// borrows for its worker-0 session (clones for other workers do not carry
+// the snapshot cache anyway).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pf/analysis/sos_runner.hpp"
+
+namespace pf::analysis {
+
+class SessionCache {
+ public:
+  struct Stats {
+    size_t hits = 0;    ///< take() calls that found a session
+    size_t misses = 0;  ///< take() calls that found nothing
+    size_t stored = 0;  ///< put() calls (replacing an entry still counts)
+  };
+
+  /// Remove and return the cached session for `family`, or nullptr. The
+  /// caller owns the session until it put()s one back (there is at most
+  /// one session per family; concurrent sweeps of the same family simply
+  /// miss and compile their own).
+  std::unique_ptr<SosSession> take(const std::string& family);
+
+  /// Store `session` for later take(). A session already cached under the
+  /// same family is replaced (last writer wins — both are equally valid).
+  /// Null sessions and empty families are ignored.
+  void put(const std::string& family, std::unique_ptr<SosSession> session);
+
+  /// Drop every cached session.
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<SosSession>> by_family_;
+  Stats stats_;
+};
+
+}  // namespace pf::analysis

@@ -24,13 +24,6 @@ namespace {
 
 EnginePlan resolved_plan(const ExecutionPolicy& policy) {
   EnginePlan plan = policy.plan;
-  // The deprecated shim fields forward for one release: a non-default
-  // value there predates EnginePlan and wins over the plan member.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  if (policy.circuit != CircuitMode::kReuse) plan.circuit_mode = policy.circuit;
-  if (policy.warm_start) plan.warm_start = true;
-#pragma GCC diagnostic pop
   if (plan.backend == spice::SolverBackend::kBatched &&
       plan.circuit_mode == CircuitMode::kRebuild)
     throw pf::Error(

@@ -7,9 +7,11 @@
 #include <sstream>
 
 #include "pf/analysis/checkpoint.hpp"
+#include "pf/analysis/session_cache.hpp"
 #include "pf/spice/fault_injection.hpp"
 #include "pf/util/ascii_plot.hpp"
 #include "pf/util/log.hpp"
+#include "pf/util/strings.hpp"
 
 namespace pf::analysis {
 
@@ -306,19 +308,41 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
   // workers is the journal (self-serializing).
   std::unique_ptr<SosSession> prototype;
   if (plan.circuit_mode == CircuitMode::kReuse && !pending.empty()) {
-    dram::Defect proto_defect = spec.defect;
-    proto_defect.resistance = spec.r_axis[pending.front() / width];
-    prototype = std::make_unique<SosSession>(run_spec.params, proto_defect);
+    // Cross-sweep reuse: a campaign runner hands compiled sessions from one
+    // job to the next through a SessionCache keyed by row-family. A cache
+    // hit skips the compile entirely and keeps the post-initialization
+    // snapshot cache warm; a miss compiles exactly like before.
+    if (policy.session_cache && !policy.session_family.empty())
+      prototype = policy.session_cache->take(policy.session_family);
+    if (prototype == nullptr) {
+      dram::Defect proto_defect = spec.defect;
+      proto_defect.resistance = spec.r_axis[pending.front() / width];
+      prototype = std::make_unique<SosSession>(run_spec.params, proto_defect);
+    }
   }
+  // With a session cache armed, worker 0 runs experiments directly on the
+  // prototype (clone() does not carry the snapshot cache, so only direct
+  // reuse preserves it across jobs).
+  const bool adopt_prototype = prototype != nullptr &&
+                               policy.session_cache != nullptr &&
+                               !policy.session_family.empty();
   std::vector<std::unique_ptr<SosSession>> sessions(
       static_cast<size_t>(runner.workers()));
   const auto session_for = [&](int worker) -> SosSession& {
+    if (worker == 0 && adopt_prototype) return *prototype;
     std::unique_ptr<SosSession>& session =
         sessions[static_cast<size_t>(worker)];
     if (session == nullptr)
       session = std::make_unique<SosSession>(prototype->clone());
     return *session;
   };
+  if (adopt_prototype && runner.workers() > 1) {
+    // Worker 0 mutates the prototype from its first point on, so the other
+    // workers' clones must be taken eagerly, before dispatch starts.
+    for (int w = 1; w < runner.workers(); ++w)
+      sessions[static_cast<size_t>(w)] =
+          std::make_unique<SosSession>(prototype->clone());
+  }
   const auto ctx_for = [&](size_t ix, size_t iy) {
     ExperimentContext ctx;
     ctx.key = grid_point_key(ix, iy);
@@ -534,7 +558,46 @@ RegionMap sweep_region(const SweepSpec& spec, const ExecutionPolicy& policy) {
   // fully resumed rerun), so reruns do not stack duplicate trailers.
   if (journal && !(journal_was_clean && journal->rows_appended() == 0))
     journal->finalize();
+  // Hand the compiled session back for the next sweep in this family. Only
+  // reached on success: a cancelled or failed sweep drops the session (the
+  // next borrower misses and recompiles — correct, just colder).
+  if (adopt_prototype)
+    policy.session_cache->put(policy.session_family, std::move(prototype));
   return RegionMap(spec, std::move(grid), std::move(stats));
+}
+
+RegionMap region_map_from_csv(const SweepSpec& spec, const std::string& csv) {
+  const size_t width = spec.u_axis.size();
+  const size_t height = spec.r_axis.size();
+  PF_CHECK(width > 0 && height > 0);
+  Grid2D<Ffm> grid(spec.u_axis, spec.r_axis, Ffm::kUnknown);
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) || pf::trim(line) != "r_def,u,ffm")
+    throw pf::ParseError("region CSV: missing r_def,u,ffm header");
+  size_t k = 0;
+  while (std::getline(in, line)) {
+    if (pf::trim(line).empty()) continue;
+    const std::vector<std::string> fields = pf::split(line, ',');
+    if (fields.size() != 3)
+      throw pf::ParseError("region CSV: malformed row: " + line);
+    if (k >= width * height)
+      throw pf::ParseError("region CSV: more rows than grid points");
+    const std::string name = pf::trim(fields[2]);
+    Ffm f = Ffm::kUnknown;
+    if (name != "-") {
+      f = faults::ffm_by_name(name);
+      if (f == Ffm::kUnknown)
+        throw pf::ParseError("region CSV: unknown FFM name: " + name);
+    }
+    grid.at(k % width, k / width) = f;
+    ++k;
+  }
+  if (k != width * height)
+    throw pf::ParseError("region CSV: expected " +
+                         std::to_string(width * height) + " rows, got " +
+                         std::to_string(k));
+  return RegionMap(spec, std::move(grid));
 }
 
 }  // namespace pf::analysis

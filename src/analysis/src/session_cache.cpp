@@ -1,0 +1,37 @@
+#include "pf/analysis/session_cache.hpp"
+
+namespace pf::analysis {
+
+std::unique_ptr<SosSession> SessionCache::take(const std::string& family) {
+  if (family.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_family_.find(family);
+  if (it == by_family_.end() || !it->second) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  std::unique_ptr<SosSession> session = std::move(it->second);
+  by_family_.erase(it);
+  ++stats_.hits;
+  return session;
+}
+
+void SessionCache::put(const std::string& family,
+                       std::unique_ptr<SosSession> session) {
+  if (family.empty() || !session) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  by_family_[family] = std::move(session);
+  ++stats_.stored;
+}
+
+void SessionCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_family_.clear();
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pf::analysis

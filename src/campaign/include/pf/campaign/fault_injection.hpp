@@ -1,0 +1,66 @@
+// Deterministic fault injection for the CAMPAIGN layer — the analog of
+// pf/service/fault_injection.hpp one level further up the stack. The
+// solver hooks prove retry/degradation, the service hooks prove cache
+// crash-safety; these prove the campaign's failure-isolation story: a job
+// that fails deterministically, a campaign-journal record torn mid-write,
+// and a dependency cycle reported at validation, each on demand.
+//
+// Faults are armed per *site*, optionally scoped to one job id, with a
+// firing budget: "site[=job][:n]" fires the first n matching
+// consultations (default 1) and is inert afterwards. Scoping plus a
+// budget lets a test make exactly one job fail exactly max_attempts
+// times — the terminal-quarantine path — while every other job runs
+// clean. Arming is process-global via ScopedCampaignFault (RAII,
+// in-process tests) or the PF_CAMPAIGN_FAULTS environment variable
+// (forked pf_campaign binaries), read once at campaign start.
+//
+// Sites:
+//   job_fail_once         the runner throws pf::Error at the start of a
+//                         matching job attempt (before any sweep work).
+//                         n = 1 proves retry; n >= max_attempts proves
+//                         terminal quarantine + dependent blocking.
+//   torn_campaign_journal CampaignJournal::append writes only half the
+//                         record's payload — the on-disk shape of a
+//                         kill -9 mid-append. The row fails its CRC on
+//                         the next load and is dropped, not trusted.
+//   dep_cycle             CampaignSpec::validate reports a dependency
+//                         cycle even on an acyclic spec, driving the
+//                         cycle-rejection path end to end (runner + CLI).
+#pragma once
+
+#include <string>
+
+namespace pf::campaign::testing {
+
+inline constexpr const char* kJobFailOnce = "job_fail_once";
+inline constexpr const char* kTornCampaignJournal = "torn_campaign_journal";
+inline constexpr const char* kDepCycle = "dep_cycle";
+
+/// RAII arm/disarm, spec format "site[=job][:n],site[=job][:n]...".
+/// n = how many matching consultations fire (1-based budget, default 1).
+/// Replaces any previously armed plan; disarms on destruction.
+class ScopedCampaignFault {
+ public:
+  explicit ScopedCampaignFault(const std::string& spec);
+  ~ScopedCampaignFault();
+  ScopedCampaignFault(const ScopedCampaignFault&) = delete;
+  ScopedCampaignFault& operator=(const ScopedCampaignFault&) = delete;
+};
+
+/// Arm from a spec string without RAII (startup path for forked runners).
+/// An empty spec disarms everything.
+void arm_from_spec(const std::string& spec);
+
+/// Arm from the PF_CAMPAIGN_FAULTS environment variable, if set.
+void arm_from_env();
+
+/// Consult a site for `arg` (the job id; empty for site-wide sites).
+/// Returns true while the matching plan's firing budget lasts — the caller
+/// must then fail in its documented way. Always false while disarmed —
+/// one mutex-free atomic check.
+bool should_fail(const char* site, const std::string& arg);
+
+/// Faults actually fired since the last arm.
+size_t faults_fired();
+
+}  // namespace pf::campaign::testing

@@ -1,0 +1,113 @@
+// Crash-safe campaign journal — the job-level analog of the sweep
+// journal's v2 format (pf/analysis/checkpoint.hpp), one level up: where a
+// sweep journal checkpoints grid POINTS, a campaign journal checkpoints
+// JOBS, so a kill -9 at any moment costs at most the in-flight job's
+// un-journaled grid points (which that job's own sweep journal covers).
+//
+// Format (CSV-ish; the detail field is a single-line JSON document and
+// may itself contain commas, so rows are parsed positionally: the first
+// three comma fields, the last comma field, and everything between is the
+// detail):
+//
+//   # pf-campaign-journal v1 fingerprint=<16 hex>
+//   seq,event,job,detail,crc
+//   1,BEGIN,open4-line0-sos0,{},1a2b3c4d
+//   2,DONE,open4-line0-sos0,{"key":"...","sha256":"...","cached":false},...
+//   5,FAILED,flaky-job,{"error":"...","attempts":2},...
+//   # pf-campaign-journal END fingerprint=<16 hex>
+//
+// The same three crash-safety rules as journal v2 apply:
+//   * the header fingerprint (CampaignSpec::fingerprint) pins the journal
+//     to one campaign; a mismatch is a caller error, an unreadable header
+//     quarantines the file to <path>.corrupt[.N] and restarts fresh,
+//   * every record carries a CRC-32 of its payload; a torn or bit-rotted
+//     row is dropped (counted, never trusted) and the affected job simply
+//     re-runs — resume is lossless minus the damaged rows,
+//   * the END trailer is written only when the campaign ran to completion,
+//     so its absence distinguishes "crashed mid-campaign" from "done".
+//
+// Record semantics (last occurrence wins per job, file is chronological):
+//   BEGIN   the job started an execution attempt sequence. A BEGIN with no
+//           later terminal record marks the job the crash interrupted.
+//   DONE    the job completed; detail holds what a resume needs (sweep:
+//           cache key + result sha + cached flag; custom: the payload).
+//   FAILED  the job exhausted its retry budget; detail holds the error
+//           context. Resume keeps it quarantined (terminal) unless the
+//           runner is told to retry failed jobs.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pf/campaign/spec.hpp"
+#include "pf/service/json.hpp"
+
+namespace pf::campaign {
+
+class CampaignJournal {
+ public:
+  enum class Event { kBegin, kDone, kFailed };
+
+  struct Record {
+    uint64_t seq = 0;
+    Event event = Event::kBegin;
+    std::string job;
+    service::Json detail;
+  };
+
+  struct LoadResult {
+    /// Last terminal (DONE/FAILED) record per job id.
+    std::map<std::string, Record> terminal;
+    /// Jobs with a BEGIN but no terminal record — interrupted mid-run.
+    std::vector<std::string> interrupted;
+    uint64_t max_seq = 0;      ///< highest sequence number seen
+    size_t dropped = 0;        ///< corrupt/truncated rows dropped
+    bool clean_end = false;    ///< END trailer present and last
+    bool quarantined = false;  ///< unreadable journal moved to .corrupt[.N]
+  };
+
+  /// Campaign identity for the header (CampaignSpec::fingerprint).
+  static uint64_t fingerprint(const CampaignSpec& spec);
+
+  /// Recover a journal. Missing/empty file -> empty result. Unreadable
+  /// header -> quarantine + empty result. Fingerprint mismatch -> throws
+  /// pf::Error (the journal belongs to a different campaign; delete it to
+  /// start over). Corrupt rows are dropped and counted.
+  static LoadResult load(const std::string& path, const CampaignSpec& spec);
+
+  /// Open for append, writing the v1 header if the file is fresh (after
+  /// the same quarantine probe as load). `next_seq` continues the loaded
+  /// sequence (LoadResult::max_seq + 1) so records stay totally ordered
+  /// across resumes.
+  CampaignJournal(const std::string& path, const CampaignSpec& spec,
+                  uint64_t next_seq = 1);
+
+  /// Append one record (thread-safe, flushed). The torn_campaign_journal
+  /// injection site truncates the write mid-payload, leaving a row the
+  /// next load must drop.
+  void begin(const std::string& job);
+  void done(const std::string& job, const service::Json& detail);
+  void failed(const std::string& job, const service::Json& detail);
+
+  /// Write the END trailer (idempotent).
+  void finalize();
+
+  size_t records_appended() const { return records_appended_; }
+
+ private:
+  void append(Event event, const std::string& job,
+              const service::Json& detail);
+
+  std::ofstream out_;
+  std::mutex mu_;
+  uint64_t fingerprint_ = 0;
+  uint64_t next_seq_ = 1;
+  size_t records_appended_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace pf::campaign

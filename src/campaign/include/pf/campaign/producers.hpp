@@ -1,0 +1,71 @@
+// The repo's two multi-sweep drivers, rewritten as trivial CampaignSpec
+// producers: instead of hand-rolled loops over sweeps (generate_table1's
+// site x line x SOS nest, the completion example's sweep-then-search), each
+// driver just DESCRIBES its jobs and lets the CampaignRunner own execution
+// — journaling, kill -9 resume, retry/quarantine, cross-job dedup and
+// session reuse come for free and behave identically for every driver.
+//
+// Both producers are golden-compatible: run through a campaign, the
+// reassembled output is byte-identical to the pre-campaign implementation
+// (generate_table1 / search_completing_ops_with_fallback) — sweeps restored
+// from CSV reconstruct the exact RegionMap, analysis runs in a custom job
+// with the same code path, and the final ordering is reproduced.
+//
+// The producers cover the wire JobSpec's parameter space: the reference
+// DramParams (at the JobSpec temperature knob). Drivers needing bespoke
+// parameter sets keep calling the analysis layer directly.
+#pragma once
+
+#include <vector>
+
+#include "pf/analysis/completion.hpp"
+#include "pf/analysis/table1.hpp"
+#include "pf/campaign/runner.hpp"
+#include "pf/campaign/spec.hpp"
+
+namespace pf::campaign {
+
+/// Table 1 as a campaign: one sweep job per (site, floating line, base SOS)
+/// named "open{N}-line{L}-sos{S}", plus one custom analysis job per site
+/// ("open{N}-analysis") depending on that site's sweeps — it identifies the
+/// partial faults and runs the completion searches, exactly like the
+/// matching slice of generate_table1. Sites/grid/ranges come from
+/// `options`; options.exec drives the completion probes inside the analysis
+/// jobs (the sweeps themselves run under CampaignOptions::exec).
+CampaignSpec table1_campaign(const analysis::Table1Options& options = {});
+
+/// Reassemble Table1Rows from a finished table1_campaign run. Byte-identical
+/// to generate_table1(reference params, same options). Throws pf::Error when
+/// an analysis job did not reach kJobDone.
+std::vector<analysis::Table1Row> table1_rows_from_result(
+    const CampaignSpec& spec, const CampaignResult& result);
+
+/// Convenience wrapper: build the campaign, run it, reassemble the rows.
+/// `result_out` (optional) receives the full campaign result (stats, per-job
+/// states) for callers that want the robustness telemetry too.
+std::vector<analysis::Table1Row> generate_table1_via_campaign(
+    const analysis::Table1Options& options, const CampaignOptions& campaign,
+    CampaignResult* result_out = nullptr);
+
+struct CompletionCampaignOptions {
+  faults::Ffm ffm = faults::Ffm::kUnknown;  ///< the partial FFM to complete
+  size_t probe_u_points = 5;
+  int max_prefix_ops = 3;
+  size_t fallback_windows = 4;
+  /// Exec for the completion probes (the base-map sweep runs under
+  /// CampaignOptions::exec).
+  analysis::ExecutionPolicy exec;
+};
+
+/// Completion search as a two-job campaign: "base-map" (the sweep whose
+/// region map seeds the search) and "completion" (a custom job running
+/// search_completing_ops_with_fallback on the reconstructed map).
+CampaignSpec completion_campaign(const service::JobSpec& sweep,
+                                 const CompletionCampaignOptions& options);
+
+/// Extract the CompletionResult from a finished completion_campaign run.
+/// Identical to calling search_completing_ops_with_fallback on the same
+/// map. Throws pf::Error when the completion job did not reach kJobDone.
+analysis::CompletionResult completion_from_result(const CampaignResult& result);
+
+}  // namespace pf::campaign

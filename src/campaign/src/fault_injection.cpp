@@ -1,0 +1,93 @@
+#include "pf/campaign/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "pf/util/strings.hpp"
+
+namespace pf::campaign::testing {
+namespace {
+
+struct Plan {
+  std::string site;
+  std::string arg;       ///< job id filter; empty matches every consultation
+  size_t remaining = 0;  ///< firing budget left
+};
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::vector<Plan> g_plans;
+size_t g_fired = 0;
+
+void arm_locked(const std::string& spec) {
+  g_plans.clear();
+  g_fired = 0;
+  for (const std::string& part : pf::split(spec, ',')) {
+    const std::string entry = pf::trim(part);
+    if (entry.empty()) continue;
+    Plan plan;
+    plan.remaining = 1;
+    std::string head = entry;
+    const size_t colon = head.rfind(':');
+    if (colon != std::string::npos) {
+      const std::string count = head.substr(colon + 1);
+      // A trailing ":n" is a budget only when n parses; job ids cannot
+      // contain ':' (spec validation), so there is no ambiguity.
+      try {
+        plan.remaining = std::stoul(count);
+        head = head.substr(0, colon);
+      } catch (const std::exception&) {
+      }
+    }
+    const size_t eq = head.find('=');
+    if (eq != std::string::npos) {
+      plan.site = head.substr(0, eq);
+      plan.arg = head.substr(eq + 1);
+    } else {
+      plan.site = head;
+    }
+    if (!plan.site.empty() && plan.remaining > 0)
+      g_plans.push_back(std::move(plan));
+  }
+  g_armed.store(!g_plans.empty(), std::memory_order_release);
+}
+
+}  // namespace
+
+ScopedCampaignFault::ScopedCampaignFault(const std::string& spec) {
+  arm_from_spec(spec);
+}
+
+ScopedCampaignFault::~ScopedCampaignFault() { arm_from_spec(""); }
+
+void arm_from_spec(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  arm_locked(spec);
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("PF_CAMPAIGN_FAULTS");
+  if (spec != nullptr && *spec != '\0') arm_from_spec(spec);
+}
+
+bool should_fail(const char* site, const std::string& arg) {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (Plan& plan : g_plans) {
+    if (plan.remaining == 0 || plan.site != site) continue;
+    if (!plan.arg.empty() && plan.arg != arg) continue;
+    --plan.remaining;
+    ++g_fired;
+    return true;
+  }
+  return false;
+}
+
+size_t faults_fired() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_fired;
+}
+
+}  // namespace pf::campaign::testing

@@ -1,0 +1,252 @@
+#include "pf/campaign/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "pf/campaign/fault_injection.hpp"
+#include "pf/util/crc32.hpp"
+#include "pf/util/error.hpp"
+#include "pf/util/log.hpp"
+#include "pf/util/quarantine.hpp"
+#include "pf/util/strings.hpp"
+
+namespace pf::campaign {
+namespace {
+
+// Header: "# pf-campaign-journal v1 fingerprint=<16 hex>".
+constexpr const char* kJournalTag = "# pf-campaign-journal ";
+constexpr const char* kFingerprintField = "fingerprint=";
+constexpr const char* kTrailerWord = "END";
+constexpr const char* kColumnHeader = "seq,event,job,detail,crc";
+
+std::string hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string hex8(uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08" PRIx32, v);
+  return buf;
+}
+
+bool is_hex(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+std::string trailer_line(uint64_t fingerprint) {
+  return std::string(kJournalTag) + kTrailerWord + ' ' + kFingerprintField +
+         hex16(fingerprint);
+}
+
+const char* event_word(CampaignJournal::Event event) {
+  switch (event) {
+    case CampaignJournal::Event::kBegin: return "BEGIN";
+    case CampaignJournal::Event::kDone: return "DONE";
+    case CampaignJournal::Event::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+struct Header {
+  int version = 0;  ///< 0 = unreadable
+  std::string fingerprint;
+};
+
+Header parse_header(const std::string& line) {
+  Header h;
+  if (line.rfind(kJournalTag, 0) != 0) return h;
+  const std::vector<std::string> fields =
+      pf::split(pf::trim(line.substr(std::string(kJournalTag).size())), ' ');
+  if (fields.size() != 2 || fields[0] != "v1") return h;
+  const std::string fp_field(kFingerprintField);
+  if (fields[1].rfind(fp_field, 0) != 0) return h;
+  const std::string fp = fields[1].substr(fp_field.size());
+  if (fp.size() != 16 || !is_hex(fp)) return h;
+  h.version = 1;
+  h.fingerprint = fp;
+  return h;
+}
+
+bool quarantine(const std::string& path) {
+  const std::string target = pf::quarantine_path(path);
+  if (!target.empty())
+    PF_LOG_WARN("campaign journal " << path << " is unreadable; quarantined "
+                                    << "to " << target
+                                    << " and restarting fresh");
+  else
+    PF_LOG_WARN("campaign journal " << path << " is unreadable and could "
+                                    << "not be quarantined; overwriting");
+  return !target.empty();
+}
+
+bool read_first_line(const std::string& path, std::string* line) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  return static_cast<bool>(std::getline(in, *line));
+}
+
+}  // namespace
+
+uint64_t CampaignJournal::fingerprint(const CampaignSpec& spec) {
+  return spec.fingerprint();
+}
+
+CampaignJournal::LoadResult CampaignJournal::load(const std::string& path,
+                                                  const CampaignSpec& spec) {
+  LoadResult result;
+  std::ifstream in(path);
+  if (!in.is_open()) return result;
+  std::string header_line;
+  if (!std::getline(in, header_line)) return result;  // empty file
+
+  const Header header = parse_header(header_line);
+  if (header.version == 0) {
+    in.close();
+    result.quarantined = quarantine(path);
+    return result;
+  }
+  const std::string expected = hex16(fingerprint(spec));
+  PF_CHECK_MSG(header.fingerprint == expected,
+               "campaign journal " << path << " belongs to a different "
+                                   << "campaign (fingerprint "
+                                   << header.fingerprint << ", expected "
+                                   << expected
+                                   << "); delete it to start over");
+  const std::string trailer = trailer_line(fingerprint(spec));
+
+  // Recover chronologically: BEGIN marks a job in flight, DONE/FAILED
+  // terminate it (last occurrence wins per job).
+  std::map<std::string, char> in_flight;  // BEGIN seen, no terminal yet
+  std::string line;
+  bool last_is_trailer = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    last_is_trailer = line == trailer;
+    if (line[0] == '#' || line == kColumnHeader) continue;
+    // Positional parse: "seq,event,job,<detail...>,crc". The detail is a
+    // one-line JSON document and may contain commas, so it is everything
+    // between the third and the last comma.
+    const size_t c1 = line.find(',');
+    const size_t c2 = c1 == std::string::npos ? c1 : line.find(',', c1 + 1);
+    const size_t c3 = c2 == std::string::npos ? c2 : line.find(',', c2 + 1);
+    const size_t clast = line.rfind(',');
+    if (c3 == std::string::npos || clast <= c3) {
+      ++result.dropped;
+      continue;
+    }
+    const uint32_t want = pf::crc32(std::string_view(line).substr(0, clast));
+    if (line.substr(clast + 1) != hex8(want)) {
+      ++result.dropped;
+      continue;
+    }
+    Record record;
+    const std::string event_text = line.substr(c1 + 1, c2 - c1 - 1);
+    if (event_text == "BEGIN")
+      record.event = Event::kBegin;
+    else if (event_text == "DONE")
+      record.event = Event::kDone;
+    else if (event_text == "FAILED")
+      record.event = Event::kFailed;
+    else {
+      ++result.dropped;
+      continue;
+    }
+    record.job = line.substr(c2 + 1, c3 - c2 - 1);
+    try {
+      record.seq = std::stoull(line.substr(0, c1));
+      record.detail = service::Json::parse(line.substr(c3 + 1, clast - c3 - 1));
+    } catch (const std::exception&) {
+      ++result.dropped;
+      continue;
+    }
+    if (record.seq > result.max_seq) result.max_seq = record.seq;
+    if (record.event == Event::kBegin) {
+      in_flight[record.job] = 1;
+    } else {
+      in_flight.erase(record.job);
+      result.terminal[record.job] = std::move(record);
+    }
+  }
+  result.clean_end = last_is_trailer;
+  for (const auto& [job, flag] : in_flight) result.interrupted.push_back(job);
+  return result;
+}
+
+CampaignJournal::CampaignJournal(const std::string& path,
+                                 const CampaignSpec& spec, uint64_t next_seq)
+    : fingerprint_(fingerprint(spec)), next_seq_(next_seq) {
+  bool fresh = true;
+  std::string first_line;
+  if (read_first_line(path, &first_line)) {
+    const Header header = parse_header(first_line);
+    if (header.version == 0) {
+      if (!quarantine(path)) std::remove(path.c_str());
+    } else {
+      PF_CHECK_MSG(header.fingerprint == hex16(fingerprint_),
+                   "campaign journal " << path << " belongs to a different "
+                                       << "campaign; delete it to start over");
+      fresh = false;
+    }
+  }
+  out_.open(path, std::ios::app);
+  PF_CHECK_MSG(out_.is_open(), "cannot open campaign journal " << path);
+  if (fresh) {
+    out_ << kJournalTag << "v1 " << kFingerprintField << hex16(fingerprint_)
+         << '\n'
+         << kColumnHeader << '\n';
+    out_.flush();
+  }
+}
+
+void CampaignJournal::append(Event event, const std::string& job,
+                             const service::Json& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string payload = std::to_string(next_seq_++);
+  payload += ',';
+  payload += event_word(event);
+  payload += ',';
+  payload += job;
+  payload += ',';
+  payload += detail.is_null() ? "{}" : detail.dump();
+  if (testing::should_fail(testing::kTornCampaignJournal, job)) {
+    // Emulate a kill -9 mid-append: half the payload, no CRC. The row
+    // fails its checksum on the next load and is dropped — the job simply
+    // re-runs. (A newline keeps subsequent in-process appends parseable;
+    // in a real crash there would be none.)
+    out_ << payload.substr(0, payload.size() / 2) << '\n';
+    out_.flush();
+    return;
+  }
+  out_ << payload << ',' << hex8(pf::crc32(payload)) << '\n';
+  out_.flush();
+  ++records_appended_;
+}
+
+void CampaignJournal::begin(const std::string& job) {
+  append(Event::kBegin, job, service::Json(service::JsonObject{}));
+}
+
+void CampaignJournal::done(const std::string& job,
+                           const service::Json& detail) {
+  append(Event::kDone, job, detail);
+}
+
+void CampaignJournal::failed(const std::string& job,
+                             const service::Json& detail) {
+  append(Event::kFailed, job, detail);
+}
+
+void CampaignJournal::finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  out_ << trailer_line(fingerprint_) << '\n';
+  out_.flush();
+  finalized_ = true;
+}
+
+}  // namespace pf::campaign

@@ -29,6 +29,7 @@ struct SubmitOutcome {
   bool committed = false;     ///< server committed the entry (fresh runs)
   size_t progress_events = 0; ///< progress lines observed
   double retry_after_ms = 0;  ///< backoff hint on kRejectedBusy
+  size_t busy_retries = 0;    ///< submit_job_wait: busy rejections absorbed
   std::string error_message;  ///< on kInvalid / kError / kDisconnected
 };
 
@@ -36,6 +37,29 @@ struct SubmitOutcome {
 /// `on_progress`, when set, observes each progress event.
 SubmitOutcome submit_job(
     const std::string& socket_path, const JobSpec& job,
+    const std::function<void(size_t done, size_t total)>& on_progress = {});
+
+/// Backoff schedule for submit_job_wait. The server's retry_after_ms hint
+/// is the floor of every sleep; repeated rejections grow the wait
+/// geometrically up to max_backoff_ms so a saturated server is not
+/// hammered at its own hint rate forever.
+struct WaitPolicy {
+  double max_wait_seconds = 60.0;  ///< total budget across all attempts
+  double initial_backoff_ms = 50.0;
+  double max_backoff_ms = 5000.0;
+  double growth = 2.0;
+};
+
+/// submit_job, but absorb queue_full / in_flight rejections: honour the
+/// server's retry_after_ms (never sleeping less than the hint), back off
+/// geometrically, and resubmit until a non-busy terminal outcome or the
+/// wait budget runs out (then the last kRejectedBusy outcome is returned).
+/// `busy_retries` in the outcome counts the rejections absorbed. An
+/// in_flight rejection resolves naturally: once the duplicate finishes,
+/// the resubmit is served from the cache.
+SubmitOutcome submit_job_wait(
+    const std::string& socket_path, const JobSpec& job,
+    const WaitPolicy& wait = {},
     const std::function<void(size_t done, size_t total)>& on_progress = {});
 
 /// Fire a one-shot command ("ping" | "stats" | "shutdown") and return the

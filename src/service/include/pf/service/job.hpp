@@ -41,6 +41,11 @@ struct JobSpec {
   std::string sos_text = "1r1";
   size_t r_points = 5;
   size_t u_points = 5;
+  double r_min = 0.0;                ///< R axis range override (ohms). Both 0
+  double r_max = 0.0;                ///< (default) = default_r_axis 10k..10M;
+                                     ///< both set = logspace(r_min, r_max).
+                                     ///< Needed by Table-1-as-campaign: the
+                                     ///< catalogue sweeps per-site R ranges.
   double temperature_c = 27.0;       ///< DramParams::at_temperature knob
 
   // --- execution knobs (NOT fingerprinted: results are bit-identical) ---

@@ -4,7 +4,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "pf/util/error.hpp"
 
@@ -140,6 +143,33 @@ SubmitOutcome submit_job(
     outcome.error_message = "connection closed before a terminal event";
   ::close(fd);
   return outcome;
+}
+
+SubmitOutcome submit_job_wait(
+    const std::string& socket_path, const JobSpec& job, const WaitPolicy& wait,
+    const std::function<void(size_t done, size_t total)>& on_progress) {
+  const auto start = std::chrono::steady_clock::now();
+  double backoff_ms = wait.initial_backoff_ms;
+  size_t busy_retries = 0;
+  for (;;) {
+    SubmitOutcome outcome = submit_job(socket_path, job, on_progress);
+    outcome.busy_retries = busy_retries;
+    if (outcome.status != SubmitStatus::kRejectedBusy) return outcome;
+    // Sleep the larger of the server's hint and our own geometric backoff,
+    // capped; give up (returning the busy outcome) when the next sleep
+    // would overrun the budget.
+    const double sleep_ms =
+        std::min(std::max(outcome.retry_after_ms, backoff_ms),
+                 wait.max_backoff_ms);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed + sleep_ms / 1000.0 > wait.max_wait_seconds) return outcome;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+    backoff_ms = std::min(backoff_ms * wait.growth, wait.max_backoff_ms);
+    ++busy_retries;
+  }
 }
 
 Json request(const std::string& socket_path, const std::string& cmd) {

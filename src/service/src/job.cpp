@@ -85,6 +85,12 @@ JobSpec JobSpec::from_json(const Json& json, const JobLimits& limits) {
     reject("grid " + std::to_string(job.r_points) + "x" +
            std::to_string(job.u_points) + " exceeds " +
            std::to_string(limits.max_grid_points) + " points");
+  job.r_min = require_number(json, "r_min", 0.0, 1e12, 0.0);
+  job.r_max = require_number(json, "r_max", 0.0, 1e12, 0.0);
+  if ((job.r_min > 0.0) != (job.r_max > 0.0))
+    reject("r_min and r_max must be set together (both > 0) or both omitted");
+  if (job.r_min > 0.0 && job.r_min >= job.r_max)
+    reject("r_min must be < r_max");
   job.temperature_c = require_number(json, "temperature_c", -55.0, 150.0, 27.0);
 
   job.threads =
@@ -120,6 +126,8 @@ Json JobSpec::to_json() const {
   obj["sos"] = Json(sos_text);
   obj["r_points"] = Json(r_points);
   obj["u_points"] = Json(u_points);
+  obj["r_min"] = Json(r_min);
+  obj["r_max"] = Json(r_max);
   obj["temperature_c"] = Json(temperature_c);
   obj["threads"] = Json(threads);
   obj["deadline_seconds"] = Json(deadline_seconds);
@@ -168,7 +176,8 @@ analysis::SweepSpec JobSpec::to_sweep_spec() const {
     reject("bad sos \"" + sos_text + "\": " + e.what());
   }
 
-  spec.r_axis = analysis::default_r_axis(r_points);
+  spec.r_axis = r_min > 0.0 ? pf::logspace(r_min, r_max, r_points)
+                            : analysis::default_r_axis(r_points);
   const dram::FloatingLine& line = lines[floating_line_index];
   spec.u_axis = pf::linspace(line.min_v, line.max_v, u_points);
   return spec;

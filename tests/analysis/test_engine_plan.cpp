@@ -1,7 +1,8 @@
-// The EnginePlan API contract: resolved_plan arbitration between the new
-// plan struct and the deprecated loose ExecutionPolicy fields, the
-// batched-requires-reuse invariant, and the SosSession::set_sim_options
-// override travelling through clone() (the per-worker fan-out path).
+// The EnginePlan API contract: resolved_plan pass-through and validation
+// (EnginePlan is the only spelling — the PR 8 deprecated circuit/warm_start
+// shims are gone), the batched-requires-reuse invariant, and the
+// SosSession::set_sim_options override travelling through clone() (the
+// per-worker fan-out path).
 #include <gtest/gtest.h>
 
 #include "pf/analysis/execution.hpp"
@@ -31,27 +32,14 @@ TEST(EnginePlan, ResolvedPlanPassesThroughExplicitPlanFields) {
   EXPECT_TRUE(plan.adaptive);
 }
 
-TEST(EnginePlan, DeprecatedShimFieldsStillSteerThePlan) {
-  // Pre-EnginePlan code sets the loose fields; during the deprecation
-  // window resolved_plan must honour a non-default shim value over the
-  // plan's default, so that code keeps its exact meaning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ExecutionPolicy rebuild;
-  rebuild.circuit = CircuitMode::kRebuild;
-  EXPECT_EQ(resolved_plan(rebuild).circuit_mode, CircuitMode::kRebuild);
-
-  ExecutionPolicy warm;
-  warm.warm_start = true;
-  EXPECT_TRUE(resolved_plan(warm).warm_start);
-
-  // A default-valued shim must NOT override an explicit plan.
+TEST(EnginePlan, ExplicitPlanIsPreservedVerbatim) {
+  // With the deprecated loose fields gone, resolved_plan is pure
+  // pass-through + validation: an explicit plan must come back verbatim.
   ExecutionPolicy planned;
   planned.plan.circuit_mode = CircuitMode::kRebuild;
   planned.plan.warm_start = true;
   EXPECT_EQ(resolved_plan(planned).circuit_mode, CircuitMode::kRebuild);
   EXPECT_TRUE(resolved_plan(planned).warm_start);
-#pragma GCC diagnostic pop
 }
 
 TEST(EnginePlan, BatchedBackendRequiresCircuitReuse) {

@@ -1,0 +1,238 @@
+// Campaign-journal corruption drills (ISSUE satellite): truncated tail,
+// CRC-corrupted record, unreadable header -> .corrupt[.N] quarantine,
+// fingerprint pinning, the torn-write injection site, and sequence
+// continuity across resumes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pf/campaign/fault_injection.hpp"
+#include "pf/campaign/journal.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::campaign {
+namespace {
+
+using service::Json;
+using service::JsonObject;
+
+CampaignSpec two_job_spec() {
+  CampaignSpec spec;
+  spec.name = "journal-test";
+  CampaignJob a;
+  a.id = "a";
+  a.sweep.r_points = 3;
+  a.sweep.u_points = 3;
+  CampaignJob b = a;
+  b.id = "b";
+  b.deps = {"a"};
+  spec.jobs = {a, b};
+  return spec;
+}
+
+std::string temp_path(const char* tag) {
+  const std::string path = ::testing::TempDir() + tag;
+  std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
+  return path;
+}
+
+Json done_detail(const std::string& sha) {
+  JsonObject obj;
+  obj["key"] = Json("00000000deadbeef");
+  obj["sha256"] = Json(sha);
+  obj["cached"] = Json(false);
+  return Json(std::move(obj));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+TEST(CampaignJournal, RoundTripsRecordsAndTrailer) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_roundtrip.csv");
+  {
+    CampaignJournal journal(path, spec);
+    journal.begin("a");
+    journal.done("a", done_detail("aa"));
+    journal.begin("b");
+    JsonObject fail;
+    fail["error"] = Json("solver exploded, with a comma");
+    fail["attempts"] = Json(2);
+    journal.failed("b", Json(std::move(fail)));
+    journal.finalize();
+    journal.finalize();  // idempotent
+  }
+  const auto loaded = CampaignJournal::load(path, spec);
+  EXPECT_TRUE(loaded.clean_end);
+  EXPECT_EQ(loaded.dropped, 0u);
+  EXPECT_TRUE(loaded.interrupted.empty());
+  ASSERT_EQ(loaded.terminal.size(), 2u);
+  EXPECT_EQ(loaded.terminal.at("a").event, CampaignJournal::Event::kDone);
+  EXPECT_EQ(loaded.terminal.at("a").detail.string_or("sha256", ""), "aa");
+  EXPECT_EQ(loaded.terminal.at("b").event, CampaignJournal::Event::kFailed);
+  // The detail JSON contains a comma — the positional row parse must keep
+  // it intact.
+  EXPECT_EQ(loaded.terminal.at("b").detail.string_or("error", ""),
+            "solver exploded, with a comma");
+  EXPECT_EQ(loaded.max_seq, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, BeginWithoutTerminalIsInterrupted) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_interrupted.csv");
+  {
+    CampaignJournal journal(path, spec);
+    journal.begin("a");
+    journal.done("a", done_detail("aa"));
+    journal.begin("b");
+    // no terminal for b, no trailer: the crash shape
+  }
+  const auto loaded = CampaignJournal::load(path, spec);
+  EXPECT_FALSE(loaded.clean_end);
+  ASSERT_EQ(loaded.interrupted.size(), 1u);
+  EXPECT_EQ(loaded.interrupted[0], "b");
+  EXPECT_EQ(loaded.terminal.count("a"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, TruncatedTailRowIsDroppedNotTrusted) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_truncated.csv");
+  {
+    CampaignJournal journal(path, spec);
+    journal.begin("a");
+    journal.done("a", done_detail("aa"));
+  }
+  // Emulate kill -9 mid-append: chop the last row in half.
+  std::string text = read_file(path);
+  ASSERT_FALSE(text.empty());
+  text.resize(text.size() - text.size() / 4);
+  write_file(path, text);
+
+  const auto loaded = CampaignJournal::load(path, spec);
+  EXPECT_EQ(loaded.dropped, 1u);
+  EXPECT_EQ(loaded.terminal.count("a"), 0u) << "the torn DONE must not count";
+  ASSERT_EQ(loaded.interrupted.size(), 1u) << "its BEGIN row survives";
+  EXPECT_EQ(loaded.interrupted[0], "a");
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, CrcCorruptedRecordIsDropped) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_bitrot.csv");
+  {
+    CampaignJournal journal(path, spec);
+    journal.begin("a");
+    journal.done("a", done_detail("aa"));
+    journal.begin("b");
+    journal.done("b", done_detail("bb"));
+  }
+  // Flip one byte inside job a's DONE detail (sha "aa" -> "ax").
+  std::string text = read_file(path);
+  const size_t pos = text.find("\"aa\"");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 2] = 'x';
+  write_file(path, text);
+
+  const auto loaded = CampaignJournal::load(path, spec);
+  EXPECT_EQ(loaded.dropped, 1u);
+  EXPECT_EQ(loaded.terminal.count("a"), 0u);
+  EXPECT_EQ(loaded.terminal.count("b"), 1u)
+      << "rows after the corrupt one still load";
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, UnreadableHeaderQuarantinesToCorrupt) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_garbage.csv");
+  write_file(path, "this is not a campaign journal\n1,2,3\n");
+
+  const auto loaded = CampaignJournal::load(path, spec);
+  EXPECT_TRUE(loaded.quarantined);
+  EXPECT_TRUE(loaded.terminal.empty());
+  std::ifstream moved(path + ".corrupt");
+  EXPECT_TRUE(moved.is_open()) << "original bytes must be preserved aside";
+  std::ifstream original(path);
+  EXPECT_FALSE(original.is_open()) << "the journal path must be free again";
+  std::remove((path + ".corrupt").c_str());
+}
+
+TEST(CampaignJournal, FingerprintMismatchThrows) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_foreign.csv");
+  { CampaignJournal journal(path, spec); }
+
+  CampaignSpec other = spec;
+  other.jobs[0].sweep.u_points = 4;
+  try {
+    CampaignJournal::load(path, other);
+    FAIL() << "a foreign journal must be rejected, not silently reused";
+  } catch (const pf::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("delete it to start over"),
+              std::string::npos);
+  }
+  EXPECT_THROW(CampaignJournal(path, other), pf::Error);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, TornWriteInjectionProducesDroppableRow) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_torn.csv");
+  {
+    CampaignJournal journal(path, spec);
+    journal.begin("a");
+    testing::ScopedCampaignFault fault("torn_campaign_journal=a");
+    journal.done("a", done_detail("aa"));  // torn mid-payload
+    EXPECT_EQ(testing::faults_fired(), 1u);
+    journal.begin("b");
+    journal.done("b", done_detail("bb"));  // budget spent: written whole
+  }
+  const auto loaded = CampaignJournal::load(path, spec);
+  EXPECT_EQ(loaded.dropped, 1u);
+  EXPECT_EQ(loaded.terminal.count("a"), 0u);
+  ASSERT_EQ(loaded.interrupted.size(), 1u);
+  EXPECT_EQ(loaded.interrupted[0], "a");
+  EXPECT_EQ(loaded.terminal.count("b"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, SequenceContinuesAcrossResume) {
+  const CampaignSpec spec = two_job_spec();
+  const std::string path = temp_path("cj_seq.csv");
+  {
+    CampaignJournal journal(path, spec);
+    journal.begin("a");
+    journal.done("a", done_detail("aa"));
+  }
+  const auto first = CampaignJournal::load(path, spec);
+  EXPECT_EQ(first.max_seq, 2u);
+  {
+    CampaignJournal journal(path, spec, first.max_seq + 1);
+    journal.begin("b");
+    journal.done("b", done_detail("bb"));
+    journal.finalize();
+  }
+  const auto loaded = CampaignJournal::load(path, spec);
+  EXPECT_TRUE(loaded.clean_end);
+  EXPECT_EQ(loaded.max_seq, 4u);
+  EXPECT_EQ(loaded.terminal.size(), 2u);
+  EXPECT_EQ(loaded.dropped, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pf::campaign

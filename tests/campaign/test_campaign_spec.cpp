@@ -1,0 +1,193 @@
+// CampaignSpec: validation (ids, deps, cycles — real and injected), the
+// deterministic topological order, the fingerprint, and the spec-file JSON
+// round trip.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "pf/campaign/fault_injection.hpp"
+#include "pf/campaign/spec.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::campaign {
+namespace {
+
+CampaignJob sweep_job(const std::string& id,
+                      std::vector<std::string> deps = {}) {
+  CampaignJob job;
+  job.id = id;
+  job.kind = CampaignJob::Kind::kSweep;
+  job.deps = std::move(deps);
+  job.sweep.r_points = 3;
+  job.sweep.u_points = 3;
+  return job;
+}
+
+CampaignJob custom_job(const std::string& id,
+                       std::vector<std::string> deps = {}) {
+  CampaignJob job;
+  job.id = id;
+  job.kind = CampaignJob::Kind::kCustom;
+  job.deps = std::move(deps);
+  job.custom = [](const DepContext&) { return service::Json(true); };
+  return job;
+}
+
+TEST(CampaignSpec, RejectsEmptyCampaign) {
+  CampaignSpec spec;
+  EXPECT_THROW(spec.validate(), pf::Error);
+}
+
+TEST(CampaignSpec, RejectsBadAndDuplicateIds) {
+  CampaignSpec spec;
+  spec.jobs = {sweep_job("ok"), sweep_job("has space")};
+  EXPECT_THROW(spec.validate(), pf::Error);
+  spec.jobs = {sweep_job("twin"), sweep_job("twin")};
+  EXPECT_THROW(spec.validate(), pf::Error);
+  spec.jobs = {sweep_job("")};
+  EXPECT_THROW(spec.validate(), pf::Error);
+}
+
+TEST(CampaignSpec, RejectsBadDependencies) {
+  CampaignSpec self;
+  self.jobs = {sweep_job("a", {"a"})};
+  EXPECT_THROW(self.validate(), pf::Error);
+
+  CampaignSpec unknown;
+  unknown.jobs = {sweep_job("a", {"ghost"})};
+  EXPECT_THROW(unknown.validate(), pf::Error);
+
+  CampaignSpec twice;
+  twice.jobs = {sweep_job("a"), sweep_job("b", {"a", "a"})};
+  EXPECT_THROW(twice.validate(), pf::Error);
+
+  CampaignSpec no_fn;
+  no_fn.jobs = {sweep_job("a")};
+  no_fn.jobs.push_back({});
+  no_fn.jobs.back().id = "c";
+  no_fn.jobs.back().kind = CampaignJob::Kind::kCustom;
+  EXPECT_THROW(no_fn.validate(), pf::Error);
+}
+
+TEST(CampaignSpec, RejectsDependencyCycleNamingItsJobs) {
+  CampaignSpec spec;
+  spec.jobs = {sweep_job("a", {"c"}), sweep_job("b", {"a"}),
+               sweep_job("c", {"b"}), sweep_job("free")};
+  try {
+    spec.validate();
+    FAIL() << "cycle must be rejected";
+  } catch (const pf::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle"), std::string::npos);
+    EXPECT_NE(what.find("\"a\""), std::string::npos);
+    EXPECT_NE(what.find("\"b\""), std::string::npos);
+    EXPECT_NE(what.find("\"c\""), std::string::npos);
+    EXPECT_EQ(what.find("\"free\""), std::string::npos)
+        << "jobs off the cycle must not be blamed";
+  }
+}
+
+TEST(CampaignSpec, DepCycleInjectionForcesTheErrorPath) {
+  CampaignSpec spec;
+  spec.name = "clean";
+  spec.jobs = {sweep_job("a"), sweep_job("b", {"a"})};
+  spec.validate();  // acyclic: passes
+
+  testing::ScopedCampaignFault fault("dep_cycle=clean");
+  try {
+    spec.validate();
+    FAIL() << "injected cycle must be reported";
+  } catch (const pf::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("(injected)"), std::string::npos);
+  }
+  EXPECT_EQ(testing::faults_fired(), 1u);
+  spec.validate();  // budget spent: clean again
+}
+
+TEST(CampaignSpec, TopoOrderIsDeterministicDeclarationOrderAmongReady) {
+  CampaignSpec spec;
+  spec.jobs = {sweep_job("z", {"m"}), sweep_job("a"), sweep_job("m", {"a"}),
+               sweep_job("b")};
+  const std::vector<size_t> order = spec.topo_order();
+  // Declaration-order scan, cascading within a pass: z waits, a places,
+  // m's dependency is already placed so m follows immediately, then b;
+  // pass 2 places z. Deterministic for a given declaration order.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(spec.jobs[order[0]].id, "a");
+  EXPECT_EQ(spec.jobs[order[1]].id, "m");
+  EXPECT_EQ(spec.jobs[order[2]].id, "b");
+  EXPECT_EQ(spec.jobs[order[3]].id, "z");
+}
+
+TEST(CampaignSpec, FingerprintCoversIdsDepsAndSweepKeys) {
+  CampaignSpec spec;
+  spec.jobs = {sweep_job("a"), sweep_job("b", {"a"})};
+  const uint64_t base = spec.fingerprint();
+
+  CampaignSpec renamed = spec;
+  renamed.jobs[1].id = "b2";
+  renamed.jobs[1].deps = {"a"};
+  EXPECT_NE(renamed.fingerprint(), base);
+
+  CampaignSpec rewired = spec;
+  rewired.jobs[1].deps.clear();
+  EXPECT_NE(rewired.fingerprint(), base);
+
+  CampaignSpec regridded = spec;
+  regridded.jobs[0].sweep.u_points = 4;  // different sweep cache key
+  EXPECT_NE(regridded.fingerprint(), base);
+
+  EXPECT_EQ(CampaignSpec(spec).fingerprint(), base);
+}
+
+TEST(CampaignSpec, JsonRoundTripPreservesJobsAndOrder) {
+  CampaignSpec spec;
+  spec.name = "roundtrip";
+  spec.jobs = {sweep_job("first"), sweep_job("second", {"first"})};
+  spec.jobs[1].sweep.sos_text = "0w0";
+  spec.jobs[1].sweep.r_min = 1e4;
+  spec.jobs[1].sweep.r_max = 1e6;
+
+  const CampaignSpec back = CampaignSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.name, "roundtrip");
+  ASSERT_EQ(back.jobs.size(), 2u);
+  EXPECT_EQ(back.jobs[0].id, "first");
+  EXPECT_EQ(back.jobs[1].id, "second");
+  ASSERT_EQ(back.jobs[1].deps.size(), 1u);
+  EXPECT_EQ(back.jobs[1].deps[0], "first");
+  EXPECT_EQ(back.jobs[1].sweep.sos_text, "0w0");
+  EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+}
+
+TEST(CampaignSpec, CustomJobsCannotSerializeToSpecFiles) {
+  CampaignSpec spec;
+  spec.jobs = {sweep_job("a"), custom_job("analyze", {"a"})};
+  spec.validate();
+  EXPECT_THROW(spec.to_json(), pf::Error);
+}
+
+TEST(CampaignSpec, FromJsonAppliesWireAdmissionBounds) {
+  CampaignSpec spec;
+  spec.jobs = {sweep_job("big")};
+  spec.jobs[0].sweep.r_points = 999;  // beyond JobLimits::max_axis_points
+  EXPECT_THROW(CampaignSpec::from_json(spec.to_json()), pf::ParseError);
+}
+
+TEST(CampaignSpec, LoadFileReadsAndValidates) {
+  const std::string path = ::testing::TempDir() + "campaign_spec_test.json";
+  CampaignSpec spec;
+  spec.name = "fromfile";
+  spec.jobs = {sweep_job("a"), sweep_job("b", {"a"})};
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << spec.to_json().dump();
+  }
+  const CampaignSpec back = CampaignSpec::load_file(path);
+  EXPECT_EQ(back.name, "fromfile");
+  EXPECT_EQ(back.jobs.size(), 2u);
+  EXPECT_THROW(CampaignSpec::load_file(path + ".missing"), pf::Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pf::campaign

@@ -1,0 +1,83 @@
+// JobSpec r_min/r_max: the R-axis range override Table-1-as-campaign needs
+// (per-site analyzed ranges). Wire round trip, admission validation, axis
+// materialization and cache-key distinctness.
+#include <gtest/gtest.h>
+
+#include "pf/service/job.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::service {
+namespace {
+
+JobSpec ranged_job() {
+  JobSpec job;
+  job.defect_kind = "open";
+  job.open_site = 4;
+  job.r_points = 5;
+  job.u_points = 5;
+  job.r_min = 1e5;
+  job.r_max = 1e9;
+  return job;
+}
+
+TEST(JobAxis, RangeRoundTripsThroughTheWire) {
+  const JobSpec job = ranged_job();
+  const JobSpec back = JobSpec::from_json(job.to_json());
+  EXPECT_EQ(back.r_min, 1e5);
+  EXPECT_EQ(back.r_max, 1e9);
+  EXPECT_EQ(back.cache_key(), job.cache_key());
+}
+
+TEST(JobAxis, DefaultRangeKeepsDefaultAxis) {
+  JobSpec job = ranged_job();
+  job.r_min = 0.0;
+  job.r_max = 0.0;
+  const analysis::SweepSpec spec = job.to_sweep_spec();
+  const std::vector<double> expected = analysis::default_r_axis(5);
+  ASSERT_EQ(spec.r_axis.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(spec.r_axis[i], expected[i]) << i;
+}
+
+TEST(JobAxis, ExplicitRangeProducesLogspacedAxis) {
+  const analysis::SweepSpec spec = ranged_job().to_sweep_spec();
+  ASSERT_EQ(spec.r_axis.size(), 5u);
+  EXPECT_DOUBLE_EQ(spec.r_axis.front(), 1e5);
+  EXPECT_DOUBLE_EQ(spec.r_axis.back(), 1e9);
+  EXPECT_NEAR(spec.r_axis[1] / spec.r_axis[0], 10.0, 1e-9)
+      << "the override axis must be log-spaced";
+}
+
+TEST(JobAxis, HalfSetOrInvertedRangeIsRejectedAtAdmission) {
+  JobSpec only_min = ranged_job();
+  only_min.r_max = 0.0;
+  EXPECT_THROW(JobSpec::from_json(only_min.to_json()), pf::ParseError);
+
+  JobSpec only_max = ranged_job();
+  only_max.r_min = 0.0;
+  EXPECT_THROW(JobSpec::from_json(only_max.to_json()), pf::ParseError);
+
+  JobSpec inverted = ranged_job();
+  inverted.r_min = 1e9;
+  inverted.r_max = 1e5;
+  EXPECT_THROW(JobSpec::from_json(inverted.to_json()), pf::ParseError);
+}
+
+TEST(JobAxis, RangeIsPartOfTheCacheKey) {
+  const JobSpec ranged = ranged_job();
+  JobSpec wider = ranged;
+  wider.r_max = 1e10;
+  JobSpec defaulted = ranged;
+  defaulted.r_min = 0.0;
+  defaulted.r_max = 0.0;
+  EXPECT_NE(ranged.cache_key(), wider.cache_key());
+  EXPECT_NE(ranged.cache_key(), defaulted.cache_key());
+
+  // Execution knobs still do not split the cache.
+  JobSpec threaded = ranged;
+  threaded.threads = 8;
+  EXPECT_EQ(ranged.cache_key(), threaded.cache_key());
+}
+
+}  // namespace
+}  // namespace pf::service

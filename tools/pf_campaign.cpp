@@ -1,0 +1,170 @@
+// pf_campaign — run a campaign of sweep jobs with crash-safe orchestration.
+//
+//   pf_campaign --spec FILE   [run flags]     run a campaign spec file
+//   pf_campaign --table1      [run flags]     run the Table 1 catalogue as
+//                                             a campaign (in-process
+//                                             analysis jobs cannot live in
+//                                             a spec file)
+//
+// Run flags:
+//   --store DIR        result store (pf_served layout): cross-job and
+//                      cross-campaign dedup + per-job sweep journals
+//   --journal FILE     campaign journal: kill -9 at any point, rerun the
+//                      same command, and the campaign resumes — DONE jobs
+//                      restored, FAILED jobs kept quarantined, the
+//                      interrupted job re-run
+//   --no-resume        ignore existing journal records (cold re-run)
+//   --retry-failed     re-attempt journaled FAILED jobs on resume
+//   --socket PATH      submit sweep jobs to a running pf_served instead of
+//                      executing locally (busy rejections absorbed)
+//   --threads N        worker threads per local sweep
+//   --attempts N       max attempts per job (default 2)
+//   --backoff-ms MS    base retry backoff (doubles per attempt)
+//   --deadline S       wall-clock budget for the whole campaign
+//   --report FILE      write the deterministic campaign report (the smoke
+//                      test's A/B artifact); "-" = stdout
+//   --quiet            no per-job progress on stderr
+//
+// Exit status: 0 every job DONE, 4 campaign completed but some jobs
+// FAILED/BLOCKED, 75 interrupted (resumable: rerun the same command),
+// 2 usage/invalid spec, 1 error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "pf/campaign/fault_injection.hpp"
+#include "pf/campaign/producers.hpp"
+#include "pf/campaign/runner.hpp"
+#include "pf/util/cancellation.hpp"
+#include "pf/util/error.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --spec FILE | --table1\n"
+      "          [--store DIR] [--journal FILE] [--no-resume]\n"
+      "          [--retry-failed] [--socket PATH] [--threads N]\n"
+      "          [--attempts N] [--backoff-ms MS] [--deadline S]\n"
+      "          [--report FILE|-] [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+const char* event_tag(pf::campaign::CampaignEvent::Kind kind) {
+  using Kind = pf::campaign::CampaignEvent::Kind;
+  switch (kind) {
+    case Kind::kBegin: return "begin";
+    case Kind::kRetry: return "retry";
+    case Kind::kDone: return "done";
+    case Kind::kFailed: return "FAILED";
+    case Kind::kBlocked: return "blocked";
+    case Kind::kResumed: return "resumed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string report_path;
+  bool table1 = false;
+  bool quiet = false;
+  double deadline_seconds = 0.0;
+  pf::campaign::CampaignOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--spec" && has_value) spec_path = argv[++i];
+    else if (arg == "--table1") table1 = true;
+    else if (arg == "--store" && has_value) options.store_root = argv[++i];
+    else if (arg == "--journal" && has_value) options.journal_path = argv[++i];
+    else if (arg == "--no-resume") options.resume = false;
+    else if (arg == "--retry-failed") options.retry_failed = true;
+    else if (arg == "--socket" && has_value) options.socket_path = argv[++i];
+    else if (arg == "--threads" && has_value)
+      options.exec.threads = std::atoi(argv[++i]);
+    else if (arg == "--attempts" && has_value)
+      options.max_job_attempts = std::atoi(argv[++i]);
+    else if (arg == "--backoff-ms" && has_value)
+      options.backoff_ms = std::atof(argv[++i]);
+    else if (arg == "--deadline" && has_value)
+      deadline_seconds = std::atof(argv[++i]);
+    else if (arg == "--report" && has_value) report_path = argv[++i];
+    else if (arg == "--quiet") quiet = true;
+    else return usage(argv[0]);
+  }
+  if (spec_path.empty() == !table1) return usage(argv[0]);
+
+  // Deterministic fault injection for the crash/robustness tests
+  // (PF_CAMPAIGN_FAULTS="site[=job][:n],...").
+  pf::campaign::testing::arm_from_env();
+
+  pf::SignalCancellation signals;
+  options.exec.cancel = signals.token();
+  options.exec.deadline_seconds = deadline_seconds;
+
+  if (!quiet)
+    options.on_event = [](const pf::campaign::CampaignEvent& event) {
+      std::fprintf(stderr, "[%zu/%zu] %s %s", event.finished, event.total,
+                   event_tag(event.kind), event.job.c_str());
+      if (event.kind == pf::campaign::CampaignEvent::Kind::kRetry)
+        std::fprintf(stderr, " (attempt %d)", event.attempt);
+      if (event.cached) std::fprintf(stderr, " (cached)");
+      if (!event.message.empty())
+        std::fprintf(stderr, ": %s", event.message.c_str());
+      std::fprintf(stderr, "\n");
+    };
+
+  try {
+    pf::campaign::CampaignSpec spec;
+    if (table1)
+      spec = pf::campaign::table1_campaign();
+    else
+      spec = pf::campaign::CampaignSpec::load_file(spec_path);
+
+    const pf::campaign::CampaignResult result =
+        pf::campaign::run_campaign(spec, options);
+
+    const pf::campaign::CampaignStats& s = result.stats;
+    std::fprintf(stderr,
+                 "campaign %s: %zu done (%zu resumed, %zu dedup hits), "
+                 "%zu failed, %zu blocked\n",
+                 spec.name.c_str(), s.done, s.resumed, s.dedup_hits, s.failed,
+                 s.blocked);
+
+    if (table1 && result.all_done()) {
+      const std::vector<pf::analysis::Table1Row> rows =
+          pf::campaign::table1_rows_from_result(spec, result);
+      std::printf("%s", pf::analysis::format_table1(rows).c_str());
+    }
+    if (!report_path.empty()) {
+      const std::string report = result.report(spec);
+      if (report_path == "-") {
+        std::printf("%s", report.c_str());
+      } else {
+        std::ofstream out(report_path, std::ios::trunc);
+        out << report;
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write report %s\n",
+                       report_path.c_str());
+          return 1;
+        }
+      }
+    }
+    return result.all_done() ? 0 : 4;
+  } catch (const pf::CancelledError& e) {
+    std::fprintf(stderr, "interrupted: %s (rerun to resume)\n", e.what());
+    return pf::kExitInterrupted;
+  } catch (const pf::ParseError& e) {
+    std::fprintf(stderr, "invalid campaign: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -9,8 +9,11 @@
 // --adaptive.
 //
 // Prints the result's cache key, SHA-256 and hit/miss status; --out writes
-// the CSV. Exit status: 0 result (hit or computed), 3 rejected busy
-// (retry later), 2 invalid request/usage, 1 error/disconnect.
+// the CSV. --wait S absorbs busy rejections for up to S seconds, honouring
+// the server's retry_after hint with capped geometric backoff, instead of
+// making the caller hand-roll the retry loop. Exit status: 0 result (hit
+// or computed), 3 rejected busy (retry later / wait budget exhausted),
+// 2 invalid request/usage, 1 error/disconnect.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,9 +29,10 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --socket PATH [--defect KIND] [--site N] [--line N]\n"
       "          [--sos TEXT] [--r-points N] [--u-points N]\n"
-      "          [--temperature C] [--threads N] [--deadline S]\n"
+      "          [--r-min OHMS --r-max OHMS] [--temperature C]\n"
+      "          [--threads N] [--deadline S]\n"
       "          [--throttle-ms MS] [--backend scalar|batched] [--adaptive]\n"
-      "          [--out FILE] [--quiet]\n"
+      "          [--wait S] [--out FILE] [--quiet]\n"
       "       %s --socket PATH --ping|--stats|--shutdown\n",
       argv0, argv0);
   return 2;
@@ -41,6 +45,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string one_shot;
   bool quiet = false;
+  double wait_seconds = 0.0;
   pf::service::JobSpec job;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +60,8 @@ int main(int argc, char** argv) {
       job.r_points = size_t(std::atoi(argv[++i]));
     else if (arg == "--u-points" && has_value)
       job.u_points = size_t(std::atoi(argv[++i]));
+    else if (arg == "--r-min" && has_value) job.r_min = std::atof(argv[++i]);
+    else if (arg == "--r-max" && has_value) job.r_max = std::atof(argv[++i]);
     else if (arg == "--temperature" && has_value)
       job.temperature_c = std::atof(argv[++i]);
     else if (arg == "--threads" && has_value)
@@ -65,6 +72,7 @@ int main(int argc, char** argv) {
       job.throttle_ms = std::atof(argv[++i]);
     else if (arg == "--backend" && has_value) job.backend = argv[++i];
     else if (arg == "--adaptive") job.adaptive = true;
+    else if (arg == "--wait" && has_value) wait_seconds = std::atof(argv[++i]);
     else if (arg == "--out" && has_value) out_path = argv[++i];
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--ping") one_shot = "ping";
@@ -86,14 +94,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto outcome = pf::service::submit_job(
-      socket_path, job, [quiet](size_t done, size_t total) {
-        if (!quiet) {
-          std::fprintf(stderr, "\rprogress %zu/%zu", done, total);
-          if (done == total) std::fprintf(stderr, "\n");
-          std::fflush(stderr);
-        }
-      });
+  const auto progress = [quiet](size_t done, size_t total) {
+    if (!quiet) {
+      std::fprintf(stderr, "\rprogress %zu/%zu", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+    }
+  };
+  pf::service::SubmitOutcome outcome;
+  if (wait_seconds > 0.0) {
+    pf::service::WaitPolicy wait;
+    wait.max_wait_seconds = wait_seconds;
+    outcome = pf::service::submit_job_wait(socket_path, job, wait, progress);
+    if (!quiet && outcome.busy_retries > 0)
+      std::fprintf(stderr, "pf_submit: absorbed %zu busy rejection(s)\n",
+                   outcome.busy_retries);
+  } else {
+    outcome = pf::service::submit_job(socket_path, job, progress);
+  }
 
   using pf::service::SubmitStatus;
   switch (outcome.status) {
