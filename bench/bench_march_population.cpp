@@ -1,0 +1,236 @@
+// Word-parallel population engine vs the scalar reference at array scale.
+//
+// The scalar path answers "does March PF detect the guarded RDF1 at every
+// victim of a 64 Kb array?" with 65536 full march runs. The plane engine
+// injects all 65536 instances as one population (64 machines per uint64_t
+// bit-plane word) and answers with ONE march pass. The headline number is
+// cell-steps/s — machine-operations evaluated per second — which is the
+// unit both engines spend; the acceptance bar is >= 20x over scalar.
+//
+// The preamble also runs the full Table 1 catalogue (12 guarded classes) in
+// one pass, and A/B-checks the plane matrix against the scalar per-victim
+// path: exhaustively on the 8x8 tier-1 geometry, and on sampled victims at
+// 64 Kb (an exhaustive scalar run at that size is the very cost the engine
+// exists to avoid).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/memsim/plane_memory.hpp"
+
+namespace {
+
+using namespace pf;
+using faults::Ffm;
+using memsim::Geometry;
+using memsim::Guard;
+using memsim::Memory;
+using memsim::PlaneMemory;
+using memsim::PopulationFault;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<PopulationFault> rdf1_population(const Geometry& geom) {
+  std::vector<PopulationFault> population;
+  population.reserve(static_cast<std::size_t>(geom.num_cells()));
+  for (std::int64_t v = 0; v < geom.num_cells(); ++v)
+    population.push_back(
+        PopulationFault::single(v, Ffm::kRDF1, Guard::bit_line(0)));
+  return population;
+}
+
+/// Exhaustive A/B on the tier-1 geometry: the full Table 1 catalogue,
+/// per-victim bits compared between engines. Returns true when identical.
+bool ab_identical_8x8() {
+  const Geometry geom{8, 8};
+  const auto classes = march::table1_partial_classes();
+  const auto scalar = march::evaluate_population(
+      march::march_pf(), geom, classes, march::MemEngine::kScalar);
+  const auto plane = march::evaluate_population(
+      march::march_pf(), geom, classes, march::MemEngine::kPlane);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    if (scalar.classes[c].detected != plane.classes[c].detected ||
+        !(scalar.classes[c].outcome == plane.classes[c].outcome)) {
+      std::printf("A/B MISMATCH in class %s\n", classes[c].name().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_headline() {
+  const Geometry geom{256, 256};  // 65536 cells = the 64 Kb array
+  const auto test = march::march_pf();
+  const bool ab_small = ab_identical_8x8();
+  std::printf("A/B on 8x8 (12 Table 1 classes x March PF): %s\n",
+              ab_small ? "matrices identical" : "MATRICES DIFFER");
+
+  // Plane: every victim of the 64 Kb array carries the guarded RDF1; one
+  // march pass covers the whole population.
+  const auto t_plane = std::chrono::steady_clock::now();
+  PlaneMemory plane(geom, rdf1_population(geom));
+  march::run_march_population(test, plane, geom.num_cells());
+  const double plane_seconds = seconds_since(t_plane);
+  const double plane_steps = static_cast<double>(plane.lane_steps());
+  const double plane_rate = plane_steps / plane_seconds;
+
+  // Scalar: sample victims across the array (an exhaustive 65536-run sweep
+  // is precisely the cost being replaced); the per-run rate is what an
+  // exhaustive sweep would sustain.
+  const int kScalarSamples = 8;
+  std::uint64_t scalar_ops = 0;
+  std::int64_t scalar_detected = 0;
+  bool ab_large = true;
+  const auto t_scalar = std::chrono::steady_clock::now();
+  for (int s = 0; s < kScalarSamples; ++s) {
+    const std::int64_t victim =
+        geom.num_cells() * (2 * s + 1) / (2 * kScalarSamples);
+    Memory mem(geom);
+    mem.inject({victim, Ffm::kRDF1, Guard::bit_line(0)});
+    const march::MarchResult r = march::run_march(test, mem, mem.size());
+    scalar_ops += r.ops_executed;
+    scalar_detected += r.detected;
+    ab_large &= r.detected == plane.detected(victim);
+  }
+  const double scalar_seconds = seconds_since(t_scalar);
+  const double scalar_rate = static_cast<double>(scalar_ops) / scalar_seconds;
+  const double speedup = plane_rate / scalar_rate;
+
+  std::printf(
+      "RDF1|BL=0 x March PF on %dx%d (%lld cells):\n"
+      "  plane : 1 march pass, %lld machines, %.0f cell-steps in %.3f s "
+      "= %.3g cell-steps/s\n"
+      "  scalar: %d sampled runs (%d/%d detected), %llu cell-steps in "
+      "%.3f s = %.3g cell-steps/s\n"
+      "  speedup %.1fx (acceptance: >= 20x)  |  sampled victims %s\n",
+      geom.num_rows, geom.num_columns,
+      static_cast<long long>(geom.num_cells()),
+      static_cast<long long>(plane.population_size()), plane_steps,
+      plane_seconds, plane_rate, kScalarSamples,
+      static_cast<int>(scalar_detected), kScalarSamples,
+      static_cast<unsigned long long>(scalar_ops), scalar_seconds,
+      scalar_rate, speedup, ab_large ? "agree" : "DISAGREE");
+
+  // The full catalogue in one pass: 12 guarded classes x every victim.
+  const Geometry cat_geom{128, 128};
+  const auto t_cat = std::chrono::steady_clock::now();
+  const auto catalogue = march::evaluate_population(
+      test, cat_geom, march::table1_partial_classes(),
+      march::MemEngine::kPlane);
+  const double cat_seconds = seconds_since(t_cat);
+  std::int64_t cat_instances = 0, cat_full = 0;
+  for (const auto& po : catalogue.classes) {
+    cat_instances += po.outcome.total_victims;
+    cat_full += po.outcome.detected_all;
+  }
+  std::printf(
+      "Table 1 catalogue x March PF on %dx%d: %lld instances, %llu march "
+      "pass, %llu cell-steps in %.3f s = %.3g cell-steps/s, %lld/12 "
+      "classes fully detected\n\n",
+      cat_geom.num_rows, cat_geom.num_columns,
+      static_cast<long long>(cat_instances),
+      static_cast<unsigned long long>(catalogue.march_passes),
+      static_cast<unsigned long long>(catalogue.cell_steps), cat_seconds,
+      static_cast<double>(catalogue.cell_steps) / cat_seconds,
+      static_cast<long long>(cat_full));
+
+  if (std::getenv("PF_DUMP_JSON") != nullptr) {
+    std::ofstream out("BENCH_march_population.json");
+    out << "{\n"
+        << "  \"array\": \"" << geom.num_rows << "x" << geom.num_columns
+        << "\",\n"
+        << "  \"cells\": " << geom.num_cells() << ",\n"
+        << "  \"test\": \"" << test.name << "\",\n"
+        << "  \"fault_class\": \"RDF1|BL=0\",\n"
+        << "  \"population\": " << plane.population_size() << ",\n"
+        << "  \"plane_march_passes\": 1,\n"
+        << "  \"plane_seconds\": " << plane_seconds << ",\n"
+        << "  \"plane_cell_steps\": " << plane_steps << ",\n"
+        << "  \"plane_cell_steps_per_sec\": " << plane_rate << ",\n"
+        << "  \"scalar_sampled_runs\": " << kScalarSamples << ",\n"
+        << "  \"scalar_seconds\": " << scalar_seconds << ",\n"
+        << "  \"scalar_cell_steps\": " << scalar_ops << ",\n"
+        << "  \"scalar_cell_steps_per_sec\": " << scalar_rate << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"ab_identical_8x8\": " << (ab_small ? "true" : "false")
+        << ",\n"
+        << "  \"ab_sampled_victims_64kb\": " << (ab_large ? "true" : "false")
+        << ",\n"
+        << "  \"catalogue\": {\"array\": \"" << cat_geom.num_rows << "x"
+        << cat_geom.num_columns << "\", \"instances\": " << cat_instances
+        << ", \"march_passes\": " << catalogue.march_passes
+        << ", \"seconds\": " << cat_seconds << ", \"cell_steps_per_sec\": "
+        << static_cast<double>(catalogue.cell_steps) / cat_seconds
+        << ", \"classes_fully_detected\": " << cat_full << "}\n"
+        << "}\n";
+    std::printf("wrote BENCH_march_population.json\n");
+  }
+}
+
+/// One full-population march pass: rows x 64 cells, one guarded-RDF1
+/// machine per cell. Items = cell-steps (machine-operations).
+void BM_PopulationPass(benchmark::State& state) {
+  const Geometry geom{static_cast<int>(state.range(0)), 64};
+  const auto test = march::march_pf();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    PlaneMemory plane(geom, rdf1_population(geom));
+    march::run_march_population(test, plane, geom.num_cells());
+    benchmark::DoNotOptimize(plane.detected_count());
+    steps += plane.lane_steps();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_PopulationPass)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// The scalar unit the plane pass replaces: ONE single-instance march run
+/// (an exhaustive sweep needs one per cell). Items = cell-steps.
+void BM_ScalarDetectionRun(benchmark::State& state) {
+  const Geometry geom{static_cast<int>(state.range(0)), 64};
+  const auto test = march::march_pf();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    Memory mem(geom);
+    mem.inject({geom.num_cells() / 2, Ffm::kRDF1, Guard::bit_line(0)});
+    const march::MarchResult r = march::run_march(test, mem, mem.size());
+    benchmark::DoNotOptimize(r.detected);
+    steps += r.ops_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_ScalarDetectionRun)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// The one-pass coverage matrix at tier-1 scale (also the smoke target's
+/// sibling): 12 classes x March PF through evaluate_population.
+void BM_CatalogueMatrix(benchmark::State& state) {
+  const Geometry geom{8, 8};
+  const auto test = march::march_pf();
+  const auto classes = march::table1_partial_classes();
+  for (auto _ : state) {
+    const auto coverage = march::evaluate_population(
+        test, geom, classes, march::MemEngine::kPlane);
+    benchmark::DoNotOptimize(coverage.classes.size());
+  }
+}
+BENCHMARK(BM_CatalogueMatrix);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // PF_BENCH_SMOKE=1 (set by the `ctest -L bench-smoke` targets) skips the
+  // reproduction preamble so the smoke run only ticks one benchmark.
+  if (std::getenv("PF_BENCH_SMOKE") == nullptr) print_headline();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

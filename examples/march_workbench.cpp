@@ -2,13 +2,26 @@
 // (a) electrically injected defects on the 4-cell DRAM column, and
 // (b) behaviorally injected (partial) fault primitives on a 64-cell array.
 //
-// Usage: march_workbench
+// Usage: march_workbench [--population] [--cells N] [--engine scalar|plane]
+//
+//   --population   skip the electrical section and evaluate the paper's
+//                  full Table 1 partial-fault catalogue (12 guarded
+//                  classes) as ONE population per march test
+//   --cells N      array size for the population matrix (default 4096)
+//   --engine E     memory engine for the behavioral matrices: "plane"
+//                  (word-parallel, default) or "scalar" (reference)
+//
+// Both behavioral modes report the engine mode and the achieved
+// cell-steps/s (machine-operations per second).
 //
 // SIGINT/SIGTERM stop the matrix run cooperatively (the in-flight transient
 // is abandoned at the next solver step) and exit with status 75,
 // "interrupted". The workbench has no checkpoint journal; rerun from
 // scratch.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "pf/dram/column.hpp"
 #include "pf/march/coverage.hpp"
@@ -19,7 +32,84 @@
 
 namespace {
 
-int run(const pf::dram::DramParams& params) {
+struct Options {
+  bool population = false;
+  std::int64_t cells = 4096;
+  pf::march::MemEngine engine = pf::march::MemEngine::kPlane;
+};
+
+/// Tracks machine-operations and wall time across evaluate_population
+/// calls, for the cell-steps/s report.
+struct StepMeter {
+  std::uint64_t cell_steps = 0;
+  std::chrono::steady_clock::duration elapsed{0};
+
+  pf::march::PopulationCoverage run(
+      const pf::march::MarchTest& test, const pf::memsim::Geometry& geom,
+      const std::vector<pf::march::PopulationClass>& classes,
+      pf::march::MemEngine engine) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto coverage = pf::march::evaluate_population(test, geom, classes, engine);
+    elapsed += std::chrono::steady_clock::now() - t0;
+    cell_steps += coverage.cell_steps;
+    return coverage;
+  }
+
+  void report(pf::march::MemEngine engine) const {
+    const double seconds =
+        std::chrono::duration<double>(elapsed).count();
+    std::printf("engine: %s | %llu cell-steps in %.3f s = %.3g cell-steps/s\n",
+                pf::march::mem_engine_name(engine),
+                static_cast<unsigned long long>(cell_steps), seconds,
+                seconds > 0 ? static_cast<double>(cell_steps) / seconds : 0.0);
+  }
+};
+
+std::string outcome_mark(const pf::march::DetectionOutcome& outcome) {
+  if (outcome.detected_all) return "X";
+  if (outcome.detected_count > 0) return "(x)";
+  return ".";
+}
+
+int run_population(const Options& opts) {
+  using namespace pf;
+  // A multiple of 64 packs the bit-line broadcast best; fall back to the
+  // 8-wide demo layout for odd sizes.
+  const int columns = opts.cells % 64 == 0 ? 64 : 8;
+  PF_CHECK_MSG(opts.cells >= columns && opts.cells % columns == 0,
+               "--cells must be a positive multiple of " << columns);
+  const memsim::Geometry geom{static_cast<int>(opts.cells / columns), columns};
+
+  auto tests = march::standard_tests();
+  tests.insert(tests.begin(), march::naive_w1r1());
+  const auto classes = march::table1_partial_classes();
+
+  std::vector<std::string> header = {"fault class \\ test"};
+  for (const auto& t : tests) header.push_back(t.name);
+  pf::TextTable table(header);
+  std::vector<std::vector<std::string>> rows(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c)
+    rows[c].push_back(classes[c].name());
+
+  StepMeter meter;
+  for (const auto& t : tests) {
+    const auto coverage = meter.run(t, geom, classes, opts.engine);
+    for (std::size_t c = 0; c < classes.size(); ++c)
+      rows[c].push_back(outcome_mark(coverage.classes[c].outcome));
+  }
+  for (auto& row : rows) table.add_row(std::move(row));
+
+  std::printf("Table 1 partial-fault catalogue vs march tests on a %dx%d "
+              "array (%lld cells)\n(X = detected at every victim, "
+              "(x) = some victims, . = escaped):\n%s\n",
+              geom.num_rows, geom.num_columns,
+              static_cast<long long>(geom.num_cells()),
+              table.to_string().c_str());
+  meter.report(opts.engine);
+  return 0;
+}
+
+int run(const pf::dram::DramParams& params, const Options& opts) {
   using namespace pf;
 
   // --- (a) electrical defects -------------------------------------------
@@ -75,38 +165,69 @@ int run(const pf::dram::DramParams& params) {
       {"WDF1 partial [BL=0]", faults::Ffm::kWDF1, memsim::Guard::bit_line(0)},
       {"SF0 hidden (active)", faults::Ffm::kSF0, memsim::Guard::hidden(true)},
   };
+  std::vector<march::PopulationClass> classes;
+  for (const FaultRow& row : fault_rows)
+    classes.push_back(march::PopulationClass::single(row.ffm, row.guard));
+
   pf::TextTable fp_table(header);
-  for (const FaultRow& row : fault_rows) {
-    std::vector<std::string> cells = {row.label};
-    for (const auto& t : tests) {
-      const auto outcome =
-          march::evaluate_detection(t, geom, row.ffm, row.guard);
-      if (outcome.detected_all)
-        cells.push_back("X");
-      else if (outcome.detected_count > 0)
-        cells.push_back("(x)");
-      else
-        cells.push_back(".");
-    }
-    fp_table.add_row(std::move(cells));
+  std::vector<std::vector<std::string>> rows(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c)
+    rows[c].push_back(fault_rows[c].label);
+  StepMeter meter;
+  for (const auto& t : tests) {
+    const auto coverage = meter.run(t, geom, classes, opts.engine);
+    for (std::size_t c = 0; c < classes.size(); ++c)
+      rows[c].push_back(outcome_mark(coverage.classes[c].outcome));
   }
+  for (auto& row : rows) fp_table.add_row(std::move(row));
   std::printf("march tests vs injected fault primitives on a %dx%d array\n"
               "(X = detected at every victim, (x) = some victims, "
               ". = escaped):\n%s\n",
               geom.num_rows, geom.num_columns, fp_table.to_string().c_str());
+  meter.report(opts.engine);
   return 0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--population") {
+      opts.population = true;
+    } else if (arg == "--cells" && i + 1 < argc) {
+      opts.cells = std::atoll(argv[++i]);
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const std::string engine = argv[++i];
+      if (engine == "scalar") {
+        opts.engine = pf::march::MemEngine::kScalar;
+      } else if (engine == "plane") {
+        opts.engine = pf::march::MemEngine::kPlane;
+      } else {
+        std::fprintf(stderr, "unknown engine '%s' (scalar|plane)\n",
+                     engine.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: march_workbench [--population] [--cells N] "
+                   "[--engine scalar|plane]\n");
+      return 2;
+    }
+  }
+
   pf::SignalCancellation on_signal;
   pf::dram::DramParams params;
   params.sim.cancel = on_signal.token();
   try {
-    return run(params);
+    if (opts.population) return run_population(opts);
+    return run(params, opts);
   } catch (const pf::CancelledError& e) {
     std::fprintf(stderr, "\ninterrupted: %s\n", e.what());
     return pf::kExitInterrupted;
+  } catch (const pf::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 }

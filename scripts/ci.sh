@@ -37,20 +37,21 @@ echo "== bounded fuzz (PF_FUZZ_ITERS=${FUZZ_ITERS})"
 PF_FUZZ_ITERS="$FUZZ_ITERS" \
   ctest --test-dir "$BUILD" -L tier2-fuzz --output-on-failure
 
-# Solver-backend A/B golden suite under ASan+UBSan: the batched lockstep
-# kernel is the one place in the engine where raw SoA indexing and lane
-# masks could hide out-of-bounds or UB that the bit-identity tests alone
-# would not surface. Build a separate sanitized tree (PF_SANITIZE plumbs
-# into -fsanitize=) and run exactly the suites that drive both backends
-# over the same grids. PF_SKIP_SANITIZE=1 opts out (e.g. toolchains
-# without libasan).
+# Backend A/B golden suites under ASan+UBSan: the batched lockstep kernel
+# and the word-parallel PlaneMemory are the places where raw SoA indexing
+# and lane masks could hide out-of-bounds or UB that the bit-identity tests
+# alone would not surface. Build a separate sanitized tree (PF_SANITIZE
+# plumbs into -fsanitize=) and run exactly the suites that drive both
+# backends over the same grids/populations. PF_SKIP_SANITIZE=1 opts out
+# (e.g. toolchains without libasan).
 if [[ "${PF_SKIP_SANITIZE:-0}" != "1" ]]; then
   SAN_BUILD="${BUILD}-asan"
   echo "== backend A/B under sanitizers (${SAN_BUILD}, address,undefined)"
   cmake -B "$SAN_BUILD" -S . -DPF_SANITIZE=address,undefined >/dev/null
-  cmake --build "$SAN_BUILD" -j "$JOBS" --target test_dram test_analysis
+  cmake --build "$SAN_BUILD" -j "$JOBS" \
+    --target test_dram test_analysis test_memsim test_march
   ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$JOBS" \
-    -R 'BatchedColumn|CircuitReuse|EnginePlan'
+    -R 'BatchedColumn|CircuitReuse|EnginePlan|PlaneMemory|PopulationAB'
 fi
 
 echo "== ci gate passed"

@@ -22,6 +22,7 @@
 #include "pf/analysis/table1.hpp"
 #include "pf/campaign/runner.hpp"
 #include "pf/campaign/spec.hpp"
+#include "pf/march/coverage.hpp"
 
 namespace pf::campaign {
 
@@ -67,5 +68,42 @@ CampaignSpec completion_campaign(const service::JobSpec& sweep,
 /// Identical to calling search_completing_ops_with_fallback on the same
 /// map. Throws pf::Error when the completion job did not reach kJobDone.
 analysis::CompletionResult completion_from_result(const CampaignResult& result);
+
+struct CoverageCampaignOptions {
+  memsim::Geometry geometry{8, 8};
+  /// Engine the per-test jobs evaluate with (kPlane: the whole class
+  /// catalogue costs one march pass per test).
+  march::MemEngine engine = march::MemEngine::kPlane;
+  /// Tests to evaluate; empty = naive {m(w1,r1)} plus the standard library.
+  std::vector<march::MarchTest> tests;
+  /// Fault classes; empty = the paper's Table 1 partial-fault catalogue.
+  std::vector<march::PopulationClass> classes;
+};
+
+/// Behavioral coverage matrix as a campaign: one custom job per march test
+/// ("coverage-{test}") evaluating the whole class catalogue against the
+/// population engine, plus a "coverage-summary" job that aggregates the
+/// detected_all counts. Crash-safe like every campaign: finished tests are
+/// restored from the journal on resume.
+CampaignSpec coverage_campaign(const CoverageCampaignOptions& options = {});
+
+/// One test's slice of a finished coverage_campaign run.
+struct CoverageCampaignEntry {
+  std::string test;
+  std::string engine;
+  std::uint64_t march_passes = 0;
+  std::uint64_t cell_steps = 0;
+  struct ClassResult {
+    std::string name;
+    march::DetectionOutcome outcome;
+  };
+  std::vector<ClassResult> classes;
+};
+
+/// Reassemble the coverage matrix from a finished coverage_campaign run, in
+/// the spec's test order. Throws pf::Error when a coverage job did not
+/// reach kJobDone.
+std::vector<CoverageCampaignEntry> coverage_from_result(
+    const CampaignSpec& spec, const CampaignResult& result);
 
 }  // namespace pf::campaign

@@ -1,8 +1,10 @@
 #include "pf/campaign/producers.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "pf/dram/defect.hpp"
+#include "pf/march/library.hpp"
 #include "pf/util/error.hpp"
 #include "pf/util/grid.hpp"
 #include "pf/util/log.hpp"
@@ -287,6 +289,142 @@ CampaignSpec completion_campaign(const service::JobSpec& sweep,
   };
   spec.jobs.push_back(std::move(search));
   return spec;
+}
+
+namespace {
+
+/// Journal/filename-safe job-id slug of a march-test name ("March C-" ->
+/// "march-c", "MATS+" -> "mats-p": '+'/'-' are what tells the MATS family
+/// apart, so they get letter spellings instead of being squashed).
+std::string test_slug(const std::string& name) {
+  std::string slug;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (c == '+') {
+      if (!slug.empty() && slug.back() != '-') slug += '-';
+      slug += 'p';
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "test" : slug;
+}
+
+Json outcome_to_json(const march::DetectionOutcome& outcome) {
+  JsonObject obj;
+  obj["detected_all"] = Json(outcome.detected_all);
+  obj["detected_count"] = Json(double(outcome.detected_count));
+  obj["total_victims"] = Json(double(outcome.total_victims));
+  obj["first_escape"] = Json(double(outcome.first_escape));
+  return Json(std::move(obj));
+}
+
+march::DetectionOutcome outcome_from_json(const Json& json) {
+  march::DetectionOutcome outcome;
+  outcome.detected_all = json.get("detected_all").as_bool();
+  outcome.detected_count = std::int64_t(json.get("detected_count").as_number());
+  outcome.total_victims = std::int64_t(json.get("total_victims").as_number());
+  outcome.first_escape = std::int64_t(json.get("first_escape").as_number());
+  return outcome;
+}
+
+}  // namespace
+
+CampaignSpec coverage_campaign(const CoverageCampaignOptions& options) {
+  CoverageCampaignOptions opts = options;
+  if (opts.tests.empty()) {
+    opts.tests = march::standard_tests();
+    opts.tests.insert(opts.tests.begin(), march::naive_w1r1());
+  }
+  if (opts.classes.empty()) opts.classes = march::table1_partial_classes();
+  PF_CHECK_MSG(opts.geometry.num_rows > 0 && opts.geometry.num_columns > 0,
+               "coverage campaign needs a non-empty geometry");
+
+  CampaignSpec spec;
+  spec.name = "coverage";
+  CampaignJob summary;
+  summary.id = "coverage-summary";
+  summary.kind = CampaignJob::Kind::kCustom;
+
+  for (const march::MarchTest& test : opts.tests) {
+    CampaignJob job;
+    job.id = "coverage-" + test_slug(test.name);
+    job.kind = CampaignJob::Kind::kCustom;
+    const march::MarchTest test_copy = test;
+    const memsim::Geometry geometry = opts.geometry;
+    const march::MemEngine engine = opts.engine;
+    const std::vector<march::PopulationClass> classes = opts.classes;
+    job.custom = [test_copy, geometry, engine, classes](const DepContext&) {
+      const march::PopulationCoverage coverage =
+          march::evaluate_population(test_copy, geometry, classes, engine);
+      JsonObject obj;
+      obj["test"] = Json(test_copy.name);
+      obj["engine"] = Json(std::string(march::mem_engine_name(engine)));
+      obj["march_passes"] = Json(double(coverage.march_passes));
+      obj["cell_steps"] = Json(double(coverage.cell_steps));
+      JsonArray rows;
+      for (const march::PopulationOutcome& po : coverage.classes) {
+        JsonObject row;
+        row["name"] = Json(po.cls.name());
+        row["outcome"] = outcome_to_json(po.outcome);
+        rows.push_back(Json(std::move(row)));
+      }
+      obj["classes"] = Json(std::move(rows));
+      return Json(std::move(obj));
+    };
+    summary.deps.push_back(job.id);
+    spec.jobs.push_back(std::move(job));
+  }
+
+  const auto dep_ids = summary.deps;
+  summary.custom = [dep_ids](const DepContext& ctx) {
+    std::int64_t full = 0, cells_total = 0;
+    double steps = 0.0;
+    for (const std::string& id : dep_ids) {
+      const Json& payload = ctx.payload(id);
+      steps += payload.get("cell_steps").as_number();
+      for (const Json& row : payload.get("classes").as_array()) {
+        full += row.get("outcome").get("detected_all").as_bool();
+        ++cells_total;
+      }
+    }
+    JsonObject obj;
+    obj["tests"] = Json(double(dep_ids.size()));
+    obj["matrix_cells"] = Json(double(cells_total));
+    obj["full_detections"] = Json(double(full));
+    obj["cell_steps"] = Json(steps);
+    return Json(std::move(obj));
+  };
+  spec.jobs.push_back(std::move(summary));
+  return spec;
+}
+
+std::vector<CoverageCampaignEntry> coverage_from_result(
+    const CampaignSpec& spec, const CampaignResult& result) {
+  std::vector<CoverageCampaignEntry> entries;
+  for (const CampaignJob& job : spec.jobs) {
+    if (job.kind != CampaignJob::Kind::kCustom ||
+        job.id == "coverage-summary" ||
+        job.id.rfind("coverage-", 0) != 0)
+      continue;
+    const auto it = result.jobs.find(job.id);
+    PF_CHECK_MSG(it != result.jobs.end() &&
+                     it->second.state == JobState::kJobDone,
+                 "coverage campaign job \"" << job.id << "\" did not complete");
+    const Json& payload = it->second.detail.get("payload");
+    CoverageCampaignEntry entry;
+    entry.test = payload.get("test").as_string();
+    entry.engine = payload.get("engine").as_string();
+    entry.march_passes = std::uint64_t(payload.get("march_passes").as_number());
+    entry.cell_steps = std::uint64_t(payload.get("cell_steps").as_number());
+    for (const Json& row : payload.get("classes").as_array())
+      entry.classes.push_back(
+          {row.get("name").as_string(), outcome_from_json(row.get("outcome"))});
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 analysis::CompletionResult completion_from_result(

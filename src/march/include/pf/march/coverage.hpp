@@ -1,31 +1,117 @@
 // Fault-coverage evaluation: does a march test detect a given (possibly
 // partial) fault at *every* victim location of a memory?
+//
+// Two engines compute the same matrices:
+//  * MemEngine::kScalar — the reference: one fresh memsim::Memory and one
+//    full march run per fault instance (O(cells) runs per class);
+//  * MemEngine::kPlane  — the word-parallel path: the whole population
+//    (every class x every instance) is injected into ONE
+//    memsim::PlaneMemory and the march runs ONCE, 64 machines per
+//    bit-plane word.
+// The two are A/B-gated byte-identical (tests/march/).
 #pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "pf/march/test.hpp"
 #include "pf/memsim/memory.hpp"
+#include "pf/memsim/plane_memory.hpp"
 
 namespace pf::march {
 
-struct DetectionOutcome {
-  bool detected_all = false; ///< detected at every victim address
-  int detected_count = 0;
-  int total_victims = 0;
-  int first_escape = -1;     ///< first victim address that escaped (-1: none)
+/// Which memory engine evaluates the coverage matrix.
+enum class MemEngine {
+  kScalar,  ///< reference: one march run per fault instance
+  kPlane,   ///< word-parallel: one march pass for the whole population
 };
 
-/// Inject `ffm` with `guard` at each victim address in turn (fresh memory
-/// per victim) and run the march test. A partial fault counts as detected
-/// only if the test exposes it at that address.
+const char* mem_engine_name(MemEngine engine);
+
+struct DetectionOutcome {
+  bool detected_all = false;  ///< detected at every victim address
+  std::int64_t detected_count = 0;
+  std::int64_t total_victims = 0;
+  std::int64_t first_escape = -1;  ///< first victim address that escaped
+                                   ///< (-1: none)
+  friend bool operator==(const DetectionOutcome&,
+                         const DetectionOutcome&) = default;
+};
+
+/// One class of a fault population: a guarded FFM (expanded to an instance
+/// per victim address) or a guarded coupling fault (expanded to an instance
+/// per ordered aggressor/victim pair, aggressor-major).
+struct PopulationClass {
+  faults::Ffm ffm = faults::Ffm::kUnknown;
+  std::optional<faults::CouplingFault> coupling;
+  memsim::Guard guard;
+
+  static PopulationClass single(faults::Ffm f,
+                                memsim::Guard g = memsim::Guard::none()) {
+    PopulationClass c;
+    c.ffm = f;
+    c.guard = g;
+    return c;
+  }
+  static PopulationClass coupled(const faults::CouplingFault& cf,
+                                 memsim::Guard g = memsim::Guard::none()) {
+    PopulationClass c;
+    c.coupling = cf;
+    c.guard = g;
+    return c;
+  }
+
+  /// Instances this class expands to on `geometry`.
+  std::int64_t instances(const memsim::Geometry& geometry) const;
+  /// "RDF1|BL=0", "CFst<1;0>", "SF0|hidden+", ...
+  std::string name() const;
+};
+
+/// One class's slice of the coverage matrix.
+struct PopulationOutcome {
+  PopulationClass cls;
+  DetectionOutcome outcome;
+  /// Per-instance detection bits in expansion order (victims ascending for
+  /// FFM classes; aggressor-major pairs for coupling classes).
+  std::vector<bool> detected;
+};
+
+/// The full detection matrix of one test over a population, plus the cost
+/// accounting that makes scalar and plane runs comparable.
+struct PopulationCoverage {
+  std::vector<PopulationOutcome> classes;
+  std::uint64_t march_passes = 0;  ///< full march executions performed
+  std::uint64_t cell_steps = 0;    ///< machine-operations evaluated
+};
+
+/// Evaluate the whole test x class x instance detection matrix. The plane
+/// engine injects every instance of every class into one PlaneMemory and
+/// runs the march ONCE; the scalar engine re-runs it per instance.
+PopulationCoverage evaluate_population(const MarchTest& test,
+                                       const memsim::Geometry& geometry,
+                                       const std::vector<PopulationClass>& classes,
+                                       MemEngine engine = MemEngine::kPlane);
+
+/// The paper's Table 1 catalogue as guarded population classes: the 12
+/// completed partial FPs (simulated + complementary) with their bit-line /
+/// buffer / hidden-word-line guards.
+std::vector<PopulationClass> table1_partial_classes();
+
+/// Inject `ffm` with `guard` at each victim address in turn and run the
+/// march test. A partial fault counts as detected only if the test exposes
+/// it at that address. kScalar keeps this the reference implementation.
 DetectionOutcome evaluate_detection(const MarchTest& test,
                                     const memsim::Geometry& geometry,
                                     faults::Ffm ffm,
-                                    const memsim::Guard& guard);
+                                    const memsim::Guard& guard,
+                                    MemEngine engine = MemEngine::kScalar);
 
 /// Fraction of the 12 single-cell static FFMs (as full faults) the test
 /// detects at every address.
 double static_ffm_coverage(const MarchTest& test,
-                           const memsim::Geometry& geometry);
+                           const memsim::Geometry& geometry,
+                           MemEngine engine = MemEngine::kPlane);
 
 /// Inject the coupling fault for EVERY ordered (aggressor, victim) pair of
 /// the memory in turn and run the test; detected_all requires detection for
@@ -35,11 +121,14 @@ DetectionOutcome evaluate_coupling_detection(const MarchTest& test,
                                              const memsim::Geometry& geometry,
                                              const faults::CouplingFault& cf,
                                              const memsim::Guard& guard =
-                                                 memsim::Guard::none());
+                                                 memsim::Guard::none(),
+                                             MemEngine engine =
+                                                 MemEngine::kScalar);
 
 /// Fraction of the 32 static two-cell coupling faults the test detects for
 /// every aggressor/victim pair.
 double coupling_coverage(const MarchTest& test,
-                         const memsim::Geometry& geometry);
+                         const memsim::Geometry& geometry,
+                         MemEngine engine = MemEngine::kPlane);
 
 }  // namespace pf::march

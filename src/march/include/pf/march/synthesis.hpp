@@ -50,6 +50,10 @@ struct SynthesisOptions {
   int max_elements = 8;
   /// Extra candidate elements beyond the built-in pool.
   std::vector<MarchElement> extra_candidates;
+  /// Engine scoring candidate tests. kPlane evaluates every target at every
+  /// victim in ONE march pass per candidate; kScalar is the reference
+  /// (one pass per target instance).
+  MemEngine engine = MemEngine::kPlane;
 };
 
 struct SynthesisResult {
@@ -57,7 +61,7 @@ struct SynthesisResult {
   bool success = false;             ///< all targets detected everywhere
   int detected_targets = 0;
   int total_targets = 0;
-  uint64_t evaluations = 0;         ///< march executions performed
+  uint64_t evaluations = 0;         ///< march passes executed
 };
 
 /// The built-in candidate element pool (read/write passes in both orders,

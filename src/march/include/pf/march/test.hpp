@@ -7,9 +7,11 @@
 // where m = either order, u = ascending, d = descending.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "pf/memsim/engine.hpp"
 #include "pf/util/error.hpp"
 
 namespace pf::march {
@@ -65,11 +67,13 @@ class MarchTest {
 };
 
 /// One read that deviated from its expected value during a march run.
+/// `expected`/`got` are cell values for bit marches and background words for
+/// word marches (64-bit word widths need the wide fields).
 struct MarchFail {
   size_t element = 0;  ///< index of the march element
-  int addr = 0;
-  int expected = 0;
-  int got = 0;
+  std::int64_t addr = 0;
+  std::int64_t expected = 0;
+  std::int64_t got = 0;
 };
 
 struct MarchResult {
@@ -78,15 +82,15 @@ struct MarchResult {
   uint64_t ops_executed = 0;
 };
 
-/// Apply a march test to anything with `write(int addr, int value)` and
-/// `int read(int addr)` (memsim::Memory, dram::DramColumn, ...). Detection
-/// is judged against the r0/r1 digits of the notation — the fault-free
-/// expectation every march test encodes. `num_cells` is the address space.
-/// Delay elements call `memory.pause(delay_seconds)` when the memory
-/// supports it and are skipped otherwise.
-template <typename MemoryLike>
+/// Apply a march test to any scalar memsim::MemoryEngine — anything with
+/// `write(addr, value)` and `read(addr)` (memsim::Memory, dram::DramColumn,
+/// ...). Detection is judged against the r0/r1 digits of the notation — the
+/// fault-free expectation every march test encodes. `num_cells` is the
+/// address space. Delay elements call `memory.pause(delay_seconds)` when
+/// the memory supports it and are skipped otherwise.
+template <memsim::MemoryEngine MemoryLike>
 MarchResult run_march(const MarchTest& test, MemoryLike& memory,
-                      int num_cells, double delay_seconds = 1e-3) {
+                      std::int64_t num_cells, double delay_seconds = 1e-3) {
   PF_CHECK(num_cells > 0);
   MarchResult result;
   for (size_t e = 0; e < test.elements.size(); ++e) {
@@ -97,8 +101,8 @@ MarchResult run_march(const MarchTest& test, MemoryLike& memory,
       continue;
     }
     const bool descending = elem.order == Order::kDown;
-    for (int i = 0; i < num_cells; ++i) {
-      const int addr = descending ? num_cells - 1 - i : i;
+    for (std::int64_t i = 0; i < num_cells; ++i) {
+      const std::int64_t addr = descending ? num_cells - 1 - i : i;
       for (const MarchOp& op : elem.ops) {
         ++result.ops_executed;
         if (op.is_read) {
@@ -114,6 +118,37 @@ MarchResult run_march(const MarchTest& test, MemoryLike& memory,
     }
   }
   return result;
+}
+
+/// Apply a march test to a memsim::PopulationEngine: one pass steps every
+/// machine of the population; each lane judges its own reads against the
+/// expectation internally, so there is no MarchResult — consume the
+/// engine's detected() bits afterwards. Returns operations applied.
+template <memsim::PopulationEngine Engine>
+std::uint64_t run_march_population(const MarchTest& test, Engine& engine,
+                                   std::int64_t num_cells,
+                                   double delay_seconds = 1e-3) {
+  PF_CHECK(num_cells > 0);
+  std::uint64_t ops = 0;
+  for (const MarchElement& elem : test.elements) {
+    if (elem.is_delay) {
+      if constexpr (requires { engine.pause(delay_seconds); })
+        engine.pause(delay_seconds);
+      continue;
+    }
+    const bool descending = elem.order == Order::kDown;
+    for (std::int64_t i = 0; i < num_cells; ++i) {
+      const std::int64_t addr = descending ? num_cells - 1 - i : i;
+      for (const MarchOp& op : elem.ops) {
+        ++ops;
+        if (op.is_read)
+          engine.read(addr, op.value);
+        else
+          engine.write(addr, op.value);
+      }
+    }
+  }
+  return ops;
 }
 
 }  // namespace pf::march

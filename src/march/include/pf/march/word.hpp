@@ -19,18 +19,19 @@ namespace pf::march {
 /// The standard background set for `width`-bit words: ceil(log2(width)) + 1
 /// patterns; for width 8: 00000000, 01010101, 00110011, 00001111. Every
 /// pair of bit positions differs in at least one background.
-std::vector<uint32_t> standard_backgrounds(int width);
+std::vector<std::uint64_t> standard_backgrounds(int width);
 
 /// Run `test` on a word memory under one background. A r0 expects B, r1
 /// expects ~B (masked to the word width).
 MarchResult run_march_word(const MarchTest& test, memsim::WordMemory& memory,
-                           uint32_t background, double delay_seconds = 1e-3);
+                           std::uint64_t background,
+                           double delay_seconds = 1e-3);
 
 /// Run under every background in `backgrounds` (power-up state is NOT reset
 /// in between — each march initializes itself); detected when any
 /// background run fails.
 MarchResult run_march_backgrounds(const MarchTest& test,
                                   memsim::WordMemory& memory,
-                                  const std::vector<uint32_t>& backgrounds);
+                                  const std::vector<std::uint64_t>& backgrounds);
 
 }  // namespace pf::march

@@ -3,70 +3,228 @@
 #include "pf/faults/ffm.hpp"
 
 namespace pf::march {
+namespace {
 
-DetectionOutcome evaluate_detection(const MarchTest& test,
-                                    const memsim::Geometry& geometry,
-                                    faults::Ffm ffm,
-                                    const memsim::Guard& guard) {
+using memsim::Geometry;
+using memsim::Guard;
+using memsim::Memory;
+using memsim::PlaneMemory;
+using memsim::PopulationFault;
+
+std::string guard_suffix(const Guard& guard) {
+  switch (guard.kind) {
+    case Guard::Kind::kNone:
+      return "";
+    case Guard::Kind::kBitLine:
+      return "|BL=" + std::to_string(guard.value);
+    case Guard::Kind::kBuffer:
+      return "|buf=" + std::to_string(guard.value);
+    case Guard::Kind::kHidden:
+      return guard.hidden_active ? "|hidden+" : "|hidden-";
+  }
+  return "";
+}
+
+/// Expand a class into population instances, in the SCALAR evaluation
+/// order: victims ascending for FFM classes, aggressor-major ordered pairs
+/// for coupling classes. The plane path's per-instance bits line up with
+/// the scalar loops exactly because both sides share this order.
+void expand_class(const PopulationClass& cls, const Geometry& geometry,
+                  std::vector<PopulationFault>& out) {
+  const std::int64_t n = geometry.num_cells();
+  if (cls.coupling.has_value()) {
+    for (std::int64_t a = 0; a < n; ++a)
+      for (std::int64_t v = 0; v < n; ++v)
+        if (a != v)
+          out.push_back(
+              PopulationFault::coupled(a, v, *cls.coupling, cls.guard));
+  } else {
+    for (std::int64_t v = 0; v < n; ++v)
+      out.push_back(PopulationFault::single(v, cls.ffm, cls.guard));
+  }
+}
+
+/// Victim address of instance `i` of a class (expansion order), for
+/// first_escape reporting — the scalar loops record the victim.
+std::int64_t instance_victim(const PopulationClass& cls,
+                             const Geometry& geometry, std::int64_t i) {
+  const std::int64_t n = geometry.num_cells();
+  if (!cls.coupling.has_value()) return i;
+  const std::int64_t a = i / (n - 1);
+  std::int64_t v = i % (n - 1);
+  if (v >= a) ++v;  // the diagonal (a == v) is skipped
+  return v;
+}
+
+DetectionOutcome outcome_from_bits(const PopulationClass& cls,
+                                   const Geometry& geometry,
+                                   const std::vector<bool>& bits) {
   DetectionOutcome outcome;
-  outcome.total_victims = geometry.num_cells();
-  for (int victim = 0; victim < geometry.num_cells(); ++victim) {
-    memsim::Memory mem(geometry);
-    mem.inject({victim, ffm, guard});
-    const MarchResult r = run_march(test, mem, mem.size());
-    if (r.detected) {
+  outcome.total_victims = static_cast<std::int64_t>(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
       ++outcome.detected_count;
     } else if (outcome.first_escape < 0) {
-      outcome.first_escape = victim;
+      outcome.first_escape =
+          instance_victim(cls, geometry, static_cast<std::int64_t>(i));
     }
   }
   outcome.detected_all = outcome.detected_count == outcome.total_victims;
   return outcome;
 }
 
-double static_ffm_coverage(const MarchTest& test,
-                           const memsim::Geometry& geometry) {
-  int detected = 0;
-  const auto& ffms = faults::all_ffms();
-  for (faults::Ffm ffm : ffms) {
-    if (evaluate_detection(test, geometry, ffm, memsim::Guard::none())
-            .detected_all)
-      ++detected;
+PopulationCoverage evaluate_population_scalar(
+    const MarchTest& test, const Geometry& geometry,
+    const std::vector<PopulationClass>& classes) {
+  PopulationCoverage coverage;
+  for (const PopulationClass& cls : classes) {
+    PopulationOutcome po;
+    po.cls = cls;
+    const std::int64_t n = geometry.num_cells();
+    auto run_one = [&](const PopulationFault& f) {
+      Memory mem(geometry);
+      if (f.aggressor >= 0)
+        mem.inject_coupling({f.aggressor, f.victim, f.coupling, f.guard});
+      else
+        mem.inject({f.victim, f.ffm, f.guard});
+      const MarchResult r = run_march(test, mem, mem.size());
+      ++coverage.march_passes;
+      coverage.cell_steps += r.ops_executed;
+      po.detected.push_back(r.detected);
+    };
+    if (cls.coupling.has_value()) {
+      for (std::int64_t a = 0; a < n; ++a)
+        for (std::int64_t v = 0; v < n; ++v)
+          if (a != v)
+            run_one(PopulationFault::coupled(a, v, *cls.coupling, cls.guard));
+    } else {
+      for (std::int64_t v = 0; v < n; ++v)
+        run_one(PopulationFault::single(v, cls.ffm, cls.guard));
+    }
+    po.outcome = outcome_from_bits(cls, geometry, po.detected);
+    coverage.classes.push_back(std::move(po));
   }
-  return static_cast<double>(detected) / static_cast<double>(ffms.size());
+  return coverage;
+}
+
+PopulationCoverage evaluate_population_plane(
+    const MarchTest& test, const Geometry& geometry,
+    const std::vector<PopulationClass>& classes) {
+  std::vector<PopulationFault> population;
+  std::vector<std::int64_t> offsets;
+  for (const PopulationClass& cls : classes) {
+    offsets.push_back(static_cast<std::int64_t>(population.size()));
+    expand_class(cls, geometry, population);
+  }
+  PlaneMemory engine(geometry, std::move(population));
+  run_march_population(test, engine, geometry.num_cells());
+
+  PopulationCoverage coverage;
+  coverage.march_passes = 1;
+  coverage.cell_steps = engine.lane_steps();
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    PopulationOutcome po;
+    po.cls = classes[c];
+    const std::int64_t count = classes[c].instances(geometry);
+    po.detected.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i)
+      po.detected.push_back(engine.detected(offsets[c] + i));
+    po.outcome = outcome_from_bits(classes[c], geometry, po.detected);
+    coverage.classes.push_back(std::move(po));
+  }
+  return coverage;
+}
+
+}  // namespace
+
+const char* mem_engine_name(MemEngine engine) {
+  return engine == MemEngine::kScalar ? "scalar" : "plane";
+}
+
+std::int64_t PopulationClass::instances(const Geometry& geometry) const {
+  const std::int64_t n = geometry.num_cells();
+  return coupling.has_value() ? n * (n - 1) : n;
+}
+
+std::string PopulationClass::name() const {
+  const std::string base =
+      coupling.has_value() ? coupling->name() : std::string(faults::ffm_name(ffm));
+  return base + guard_suffix(guard);
+}
+
+PopulationCoverage evaluate_population(const MarchTest& test,
+                                       const Geometry& geometry,
+                                       const std::vector<PopulationClass>& classes,
+                                       MemEngine engine) {
+  if (classes.empty()) return {};
+  return engine == MemEngine::kScalar
+             ? evaluate_population_scalar(test, geometry, classes)
+             : evaluate_population_plane(test, geometry, classes);
+}
+
+std::vector<PopulationClass> table1_partial_classes() {
+  using faults::Ffm;
+  return {
+      PopulationClass::single(Ffm::kRDF1, Guard::bit_line(0)),
+      PopulationClass::single(Ffm::kRDF0, Guard::bit_line(1)),
+      PopulationClass::single(Ffm::kDRDF1, Guard::bit_line(1)),
+      PopulationClass::single(Ffm::kDRDF0, Guard::bit_line(0)),
+      PopulationClass::single(Ffm::kIRF0, Guard::buffer(1)),
+      PopulationClass::single(Ffm::kIRF1, Guard::buffer(0)),
+      PopulationClass::single(Ffm::kWDF1, Guard::bit_line(0)),
+      PopulationClass::single(Ffm::kWDF0, Guard::bit_line(1)),
+      PopulationClass::single(Ffm::kTFDown, Guard::bit_line(1)),
+      PopulationClass::single(Ffm::kTFUp, Guard::bit_line(0)),
+      PopulationClass::single(Ffm::kSF0, Guard::hidden(true)),
+      PopulationClass::single(Ffm::kSF1, Guard::hidden(true)),
+  };
+}
+
+DetectionOutcome evaluate_detection(const MarchTest& test,
+                                    const Geometry& geometry,
+                                    faults::Ffm ffm, const Guard& guard,
+                                    MemEngine engine) {
+  const PopulationCoverage coverage = evaluate_population(
+      test, geometry, {PopulationClass::single(ffm, guard)}, engine);
+  return coverage.classes.front().outcome;
+}
+
+double static_ffm_coverage(const MarchTest& test, const Geometry& geometry,
+                           MemEngine engine) {
+  std::vector<PopulationClass> classes;
+  for (faults::Ffm ffm : faults::all_ffms())
+    classes.push_back(PopulationClass::single(ffm));
+  const PopulationCoverage coverage =
+      evaluate_population(test, geometry, classes, engine);
+  std::int64_t detected = 0;
+  for (const PopulationOutcome& po : coverage.classes)
+    detected += po.outcome.detected_all;
+  return static_cast<double>(detected) /
+         static_cast<double>(coverage.classes.size());
 }
 
 DetectionOutcome evaluate_coupling_detection(const MarchTest& test,
-                                             const memsim::Geometry& geometry,
+                                             const Geometry& geometry,
                                              const faults::CouplingFault& cf,
-                                             const memsim::Guard& guard) {
-  DetectionOutcome outcome;
-  const int n = geometry.num_cells();
-  for (int aggressor = 0; aggressor < n; ++aggressor) {
-    for (int victim = 0; victim < n; ++victim) {
-      if (aggressor == victim) continue;
-      ++outcome.total_victims;
-      memsim::Memory mem(geometry);
-      mem.inject_coupling({aggressor, victim, cf, guard});
-      if (run_march(test, mem, mem.size()).detected) {
-        ++outcome.detected_count;
-      } else if (outcome.first_escape < 0) {
-        outcome.first_escape = victim;
-      }
-    }
-  }
-  outcome.detected_all = outcome.detected_count == outcome.total_victims;
-  return outcome;
+                                             const Guard& guard,
+                                             MemEngine engine) {
+  const PopulationCoverage coverage = evaluate_population(
+      test, geometry, {PopulationClass::coupled(cf, guard)}, engine);
+  return coverage.classes.front().outcome;
 }
 
-double coupling_coverage(const MarchTest& test,
-                         const memsim::Geometry& geometry) {
-  int detected = 0;
-  const auto& cfs = faults::all_coupling_faults();
-  for (const auto& cf : cfs)
-    if (evaluate_coupling_detection(test, geometry, cf).detected_all)
-      ++detected;
-  return static_cast<double>(detected) / static_cast<double>(cfs.size());
+double coupling_coverage(const MarchTest& test, const Geometry& geometry,
+                         MemEngine engine) {
+  std::vector<PopulationClass> classes;
+  for (const auto& cf : faults::all_coupling_faults())
+    classes.push_back(PopulationClass::coupled(cf));
+  const PopulationCoverage coverage =
+      evaluate_population(test, geometry, classes, engine);
+  std::int64_t detected = 0;
+  for (const PopulationOutcome& po : coverage.classes)
+    detected += po.outcome.detected_all;
+  return static_cast<double>(detected) /
+         static_cast<double>(coverage.classes.size());
 }
 
 }  // namespace pf::march

@@ -7,44 +7,21 @@
 namespace pf::march {
 namespace {
 
-/// One atomic detection obligation: a target fault at a specific victim
-/// (and aggressor, for coupling targets). Scoring at unit granularity keeps
-/// the greedy search informed of partial progress — detection of a guarded
-/// fault usually needs several cooperating elements, and whole-target
-/// scoring would report zero gain until the last one lands.
-struct Unit {
-  size_t target = 0;
-  int aggressor = -1;  ///< -1 for single-cell targets
-  int victim = 0;
-};
-
-std::vector<Unit> build_units(const std::vector<TargetFault>& targets,
-                              const memsim::Geometry& geom) {
-  std::vector<Unit> units;
-  for (size_t t = 0; t < targets.size(); ++t) {
-    if (targets[t].coupling.has_value()) {
-      for (int a = 0; a < geom.num_cells(); ++a)
-        for (int v = 0; v < geom.num_cells(); ++v)
-          if (a != v) units.push_back({t, a, v});
-    } else {
-      for (int v = 0; v < geom.num_cells(); ++v) units.push_back({t, -1, v});
-    }
-  }
-  return units;
-}
-
-bool detects_unit(const MarchTest& test, const memsim::Geometry& geom,
-                  const std::vector<TargetFault>& targets, const Unit& unit,
-                  uint64_t& evaluations) {
-  memsim::Memory mem(geom);
-  const TargetFault& target = targets[unit.target];
-  if (target.coupling.has_value())
-    mem.inject_coupling(
-        {unit.aggressor, unit.victim, *target.coupling, target.guard});
-  else
-    mem.inject({unit.victim, target.ffm, target.guard});
-  ++evaluations;
-  return run_march(test, mem, mem.size()).detected;
+/// The synthesis targets as population classes: scoring runs at unit
+/// (per-victim, per-pair) granularity, which keeps the greedy search
+/// informed of partial progress — detection of a guarded fault usually
+/// needs several cooperating elements, and whole-target scoring would
+/// report zero gain until the last one lands. With MemEngine::kPlane the
+/// whole unit matrix costs ONE march pass per candidate test.
+std::vector<PopulationClass> population_classes(
+    const std::vector<TargetFault>& targets) {
+  std::vector<PopulationClass> classes;
+  classes.reserve(targets.size());
+  for (const TargetFault& t : targets)
+    classes.push_back(t.coupling.has_value()
+                          ? PopulationClass::coupled(*t.coupling, t.guard)
+                          : PopulationClass::single(t.ffm, t.guard));
+  return classes;
 }
 
 /// A test is self-consistent when a fault-free memory passes it (its read
@@ -129,16 +106,21 @@ SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
   test.name = "synthesized";
   test.elements.push_back(elem(Order::kUp, {MarchOp::w(0)}));
 
-  const std::vector<Unit> units = build_units(targets, options.geometry);
+  const std::vector<PopulationClass> classes = population_classes(targets);
   auto count_units = [&](const MarchTest& t) {
-    int detected = 0;
-    for (const Unit& u : units)
-      detected += detects_unit(t, options.geometry, targets, u,
-                               result.evaluations);
-    return detected;
+    const PopulationCoverage coverage =
+        evaluate_population(t, options.geometry, classes, options.engine);
+    result.evaluations += coverage.march_passes;
+    std::int64_t detected = 0;
+    for (const PopulationOutcome& po : coverage.classes)
+      detected += po.outcome.detected_count;
+    return static_cast<int>(detected);
   };
 
-  const int total_units = static_cast<int>(units.size());
+  std::int64_t unit_count = 0;
+  for (const PopulationClass& cls : classes)
+    unit_count += cls.instances(options.geometry);
+  const int total_units = static_cast<int>(unit_count);
   int best_count = count_units(test);
 
   while (best_count < total_units &&
@@ -203,15 +185,11 @@ SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
   result.success = best_count == total_units;
   // Report at target granularity: a target counts when all its units hold.
   {
-    std::vector<int> per_target_total(targets.size(), 0);
-    std::vector<int> per_target_hit(targets.size(), 0);
-    for (const Unit& u : units) {
-      ++per_target_total[u.target];
-      per_target_hit[u.target] += detects_unit(
-          result.test, options.geometry, targets, u, result.evaluations);
-    }
-    for (size_t t = 0; t < targets.size(); ++t)
-      result.detected_targets += per_target_hit[t] == per_target_total[t];
+    const PopulationCoverage coverage = evaluate_population(
+        result.test, options.geometry, classes, options.engine);
+    result.evaluations += coverage.march_passes;
+    for (const PopulationOutcome& po : coverage.classes)
+      result.detected_targets += po.outcome.detected_all;
   }
   PF_LOG_INFO("synthesized " << result.test.to_string() << " detecting "
                              << best_count << "/" << result.total_targets);

@@ -2,30 +2,31 @@
 
 namespace pf::march {
 
-std::vector<uint32_t> standard_backgrounds(int width) {
-  PF_CHECK_MSG(width > 0 && width <= 32, "word width must be 1..32");
-  const uint32_t mask =
-      width == 32 ? 0xffffffffu : ((1u << width) - 1u);
-  std::vector<uint32_t> out = {0u};
+std::vector<std::uint64_t> standard_backgrounds(int width) {
+  PF_CHECK_MSG(width > 0 && width <= 64, "word width must be 1..64");
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1u);
+  std::vector<std::uint64_t> out = {0u};
   // Stripe patterns of period 2, 4, 8, ...: bit b of pattern k is
   // (b >> k) & 1. Stop when the stripe no longer changes within the word.
   for (int k = 0; (1 << k) < width; ++k) {
-    uint32_t pattern = 0;
+    std::uint64_t pattern = 0;
     for (int b = 0; b < width; ++b)
-      if ((b >> k) & 1) pattern |= 1u << b;
+      if ((b >> k) & 1) pattern |= std::uint64_t{1} << b;
     out.push_back(pattern & mask);
   }
   return out;
 }
 
 MarchResult run_march_word(const MarchTest& test, memsim::WordMemory& memory,
-                           uint32_t background, double delay_seconds) {
+                           std::uint64_t background, double delay_seconds) {
   MarchResult result;
   const int n = memory.size();
-  const uint32_t mask =
-      memory.width() == 32 ? 0xffffffffu : ((1u << memory.width()) - 1u);
-  const uint32_t b0 = background & mask;
-  const uint32_t b1 = ~background & mask;
+  const std::uint64_t mask = memory.width() == 64
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << memory.width()) - 1u);
+  const std::uint64_t b0 = background & mask;
+  const std::uint64_t b1 = ~background & mask;
   for (size_t e = 0; e < test.elements.size(); ++e) {
     const MarchElement& elem = test.elements[e];
     if (elem.is_delay) {
@@ -37,13 +38,13 @@ MarchResult run_march_word(const MarchTest& test, memsim::WordMemory& memory,
       const int addr = descending ? n - 1 - i : i;
       for (const MarchOp& op : elem.ops) {
         ++result.ops_executed;
-        const uint32_t data = op.value ? b1 : b0;
+        const std::uint64_t data = op.value ? b1 : b0;
         if (op.is_read) {
-          const uint32_t got = memory.read(addr);
+          const std::uint64_t got = memory.read(addr);
           if (got != data) {
             result.detected = true;
-            result.fails.push_back(
-                {e, addr, static_cast<int>(data), static_cast<int>(got)});
+            result.fails.push_back({e, addr, static_cast<std::int64_t>(data),
+                                    static_cast<std::int64_t>(got)});
           }
         } else {
           memory.write(addr, data);
@@ -56,9 +57,9 @@ MarchResult run_march_word(const MarchTest& test, memsim::WordMemory& memory,
 
 MarchResult run_march_backgrounds(const MarchTest& test,
                                   memsim::WordMemory& memory,
-                                  const std::vector<uint32_t>& backgrounds) {
+                                  const std::vector<std::uint64_t>& backgrounds) {
   MarchResult combined;
-  for (uint32_t background : backgrounds) {
+  for (std::uint64_t background : backgrounds) {
     MarchResult r = run_march_word(test, memory, background);
     combined.detected |= r.detected;
     combined.ops_executed += r.ops_executed;

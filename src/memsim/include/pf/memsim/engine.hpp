@@ -1,0 +1,207 @@
+// The semantic core of the behavioral memory model, shared by every engine.
+//
+// Two engines implement these semantics today:
+//  * memsim::Memory       — the scalar reference: one machine, faults applied
+//                           one operation at a time (memory.hpp);
+//  * memsim::PlaneMemory  — the word-parallel population engine: 64 machines
+//                           per uint64_t bit-plane word (plane_memory.hpp).
+//
+// Everything an engine must agree on lives here: the folded-array geometry
+// (odd rows on the complement bit line), the partial-fault guard and its
+// victim-local interpretation, and the per-operation FFM / coupling fault
+// transfer functions. Keeping the transfer functions as shared free
+// functions is what makes the A/B "byte-identical DetectionOutcome" gates
+// meaningful — the two engines cannot drift apart on what an RDF1 does to a
+// read, only on how they schedule it.
+#pragma once
+
+#include <cstdint>
+
+#include "pf/faults/coupling.hpp"
+#include "pf/faults/ffm.hpp"
+
+namespace pf::memsim {
+
+struct Geometry {
+  int num_rows = 8;
+  int num_columns = 8;
+
+  /// Cell count in 64-bit arithmetic: megabit+ geometries (2^20 cells and
+  /// beyond) must not overflow the int multiply.
+  std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(num_rows) * num_columns;
+  }
+  int column_of(std::int64_t addr) const {
+    return static_cast<int>(addr % num_columns);
+  }
+  std::int64_t row_of(std::int64_t addr) const { return addr / num_columns; }
+  /// Odd rows attach to the complement bit line (folded array).
+  bool on_complement_bl(std::int64_t addr) const { return row_of(addr) % 2 == 1; }
+  /// Raw (true-bit-line) level corresponding to logical v at this address.
+  int raw_level(std::int64_t addr, int v) const {
+    return on_complement_bl(addr) ? 1 - v : v;
+  }
+};
+
+/// The condition a partial fault needs to be sensitized. Values are
+/// victim-local: kBitLine value 0 means the victim's OWN bit line is low
+/// (for complement-row victims that is the complement line), and kBuffer
+/// values are interpreted with the victim's data polarity.
+struct Guard {
+  enum class Kind {
+    kNone,    ///< full (non-partial) fault: always sensitized
+    kBitLine, ///< victim's own bit line must carry level `value`
+    kBuffer,  ///< output buffer must hold victim-local level `value`
+    kHidden,  ///< uncontrollable floating line (e.g. a word line): the fault
+              ///< is active iff `hidden_active` — operations cannot change it
+  };
+  Kind kind = Kind::kNone;
+  int value = 0;
+  bool hidden_active = true;
+
+  static Guard none() { return {}; }
+  static Guard bit_line(int raw_value) {
+    return {Kind::kBitLine, raw_value, true};
+  }
+  static Guard buffer(int raw_value) { return {Kind::kBuffer, raw_value, true}; }
+  static Guard hidden(bool active) { return {Kind::kHidden, 0, active}; }
+};
+
+/// Guard satisfaction against explicitly observed internal state: the raw
+/// level of the victim's own column bit line (`bl_raw_victim_col`, -1 until
+/// first driven) and the output-buffer raw level (`buffer_raw`, -1 until
+/// first driven). Guard values are victim-local, the tracked state is raw
+/// (true-bit-line) level, so translate through the victim's polarity.
+inline bool guard_satisfied_state(const Geometry& geom, const Guard& guard,
+                                  std::int64_t victim, int bl_raw_victim_col,
+                                  int buffer_raw) {
+  switch (guard.kind) {
+    case Guard::Kind::kNone:
+      return true;
+    case Guard::Kind::kBitLine:
+      return bl_raw_victim_col == geom.raw_level(victim, guard.value);
+    case Guard::Kind::kBuffer:
+      return buffer_raw == geom.raw_level(victim, guard.value);
+    case Guard::Kind::kHidden:
+      return guard.hidden_active;
+  }
+  return false;
+}
+
+/// FFM transfer function for a write of `value` over cell content `before`:
+/// returns the value the cell latches, assuming the guard is satisfied.
+/// Non-write-class FFMs leave `stored` unchanged.
+inline int apply_ffm_write(faults::Ffm ffm, int before, int value, int stored) {
+  using faults::Ffm;
+  switch (ffm) {
+    case Ffm::kTFUp:
+      if (before == 0 && value == 1) stored = 0;
+      break;
+    case Ffm::kTFDown:
+      if (before == 1 && value == 0) stored = 1;
+      break;
+    case Ffm::kWDF0:
+      if (before == 0 && value == 0) stored = 1;
+      break;
+    case Ffm::kWDF1:
+      if (before == 1 && value == 1) stored = 0;
+      break;
+    default:
+      break;
+  }
+  return stored;
+}
+
+/// FFM transfer function for a read that sensed cell content `x`: updates
+/// the returned value and the restored cell content in place, assuming the
+/// guard is satisfied. Non-read-class FFMs are no-ops.
+inline void apply_ffm_read(faults::Ffm ffm, int x, int& result, int& stored) {
+  using faults::Ffm;
+  switch (ffm) {
+    case Ffm::kRDF0:
+      if (x == 0) { result = 1; stored = 1; }
+      break;
+    case Ffm::kRDF1:
+      if (x == 1) { result = 0; stored = 0; }
+      break;
+    case Ffm::kDRDF0:
+      if (x == 0) { result = 0; stored = 1; }
+      break;
+    case Ffm::kDRDF1:
+      if (x == 1) { result = 1; stored = 0; }
+      break;
+    case Ffm::kIRF0:
+      if (x == 0) result = 1;
+      break;
+    case Ffm::kIRF1:
+      if (x == 1) result = 0;
+      break;
+    default:
+      break;
+  }
+}
+
+/// Coupling transfer function for a write to the VICTIM cell: `before` is
+/// the victim content, `value` the written value. Assumes the guard is
+/// satisfied and the aggressor holds its sensitizing value.
+inline int apply_coupling_write(const faults::CouplingFault& cf, int before,
+                                int value, int stored) {
+  using CfKind = faults::CouplingFault::Kind;
+  switch (cf.kind) {
+    case CfKind::kTransition:
+      if (before == cf.victim_value && value == 1 - cf.victim_value)
+        stored = cf.victim_value;  // the transition fails
+      break;
+    case CfKind::kWriteDestructive:
+      if (before == cf.victim_value && value == cf.victim_value)
+        stored = 1 - cf.victim_value;
+      break;
+    default:
+      break;
+  }
+  return stored;
+}
+
+/// Coupling transfer function for a read of the VICTIM cell that sensed
+/// `x == cf.victim_value`. Assumes the guard is satisfied and the aggressor
+/// holds its sensitizing value.
+inline void apply_coupling_read(const faults::CouplingFault& cf, int x,
+                                int& result, int& stored) {
+  using CfKind = faults::CouplingFault::Kind;
+  switch (cf.kind) {
+    case CfKind::kReadDestructive:
+      result = 1 - x;
+      stored = 1 - x;
+      break;
+    case CfKind::kDeceptiveRead:
+      result = x;
+      stored = 1 - x;
+      break;
+    case CfKind::kIncorrectRead:
+      result = 1 - x;
+      break;
+    default:
+      break;
+  }
+}
+
+/// A scalar memory engine: anything a march test can drive one operation at
+/// a time — memsim::Memory, memsim::WordMemory, dram::DramColumn.
+template <typename E>
+concept MemoryEngine = requires(E e, std::int64_t addr, int value) {
+  e.write(addr, value);
+  { e.read(addr) } -> std::convertible_to<int>;
+};
+
+/// A population engine: steps MANY single-fault machines per operation and
+/// judges each machine's reads against the march expectation internally
+/// (a population read cannot return one value — every lane has its own).
+template <typename E>
+concept PopulationEngine = requires(E e, std::int64_t addr, int value) {
+  e.write(addr, value);
+  e.read(addr, value);  // (addr, expected)
+  { e.detected(addr) } -> std::convertible_to<bool>;
+  { e.population_size() } -> std::convertible_to<std::int64_t>;
+};
+
+}  // namespace pf::memsim

@@ -15,57 +15,24 @@
 // end up performing the paper's completing operations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "pf/faults/coupling.hpp"
 #include "pf/faults/ffm.hpp"
+#include "pf/memsim/engine.hpp"
 #include "pf/util/error.hpp"
 
 namespace pf::memsim {
 
-struct Geometry {
-  int num_rows = 8;
-  int num_columns = 8;
-
-  int num_cells() const { return num_rows * num_columns; }
-  int column_of(int addr) const { return addr % num_columns; }
-  int row_of(int addr) const { return addr / num_columns; }
-  /// Odd rows attach to the complement bit line (folded array).
-  bool on_complement_bl(int addr) const { return row_of(addr) % 2 == 1; }
-  /// Raw (true-bit-line) level corresponding to logical v at this address.
-  int raw_level(int addr, int v) const {
-    return on_complement_bl(addr) ? 1 - v : v;
-  }
-};
-
-/// The condition a partial fault needs to be sensitized. Values are
-/// victim-local: kBitLine value 0 means the victim's OWN bit line is low
-/// (for complement-row victims that is the complement line), and kBuffer
-/// values are interpreted with the victim's data polarity.
-struct Guard {
-  enum class Kind {
-    kNone,    ///< full (non-partial) fault: always sensitized
-    kBitLine, ///< victim's own bit line must carry level `value`
-    kBuffer,  ///< output buffer must hold victim-local level `value`
-    kHidden,  ///< uncontrollable floating line (e.g. a word line): the fault
-              ///< is active iff `hidden_active` — operations cannot change it
-  };
-  Kind kind = Kind::kNone;
-  int value = 0;
-  bool hidden_active = true;
-
-  static Guard none() { return {}; }
-  static Guard bit_line(int raw_value) {
-    return {Kind::kBitLine, raw_value, true};
-  }
-  static Guard buffer(int raw_value) { return {Kind::kBuffer, raw_value, true}; }
-  static Guard hidden(bool active) { return {Kind::kHidden, 0, active}; }
-};
+// Geometry, Guard and the per-operation fault transfer functions live in
+// engine.hpp — they are the engine-independent semantic core shared with
+// the word-parallel PlaneMemory.
 
 /// One injected fault: a base FFM behaviour at a victim address plus the
 /// partial-fault guard (Guard::none() for a classical full fault).
 struct InjectedFault {
-  int victim = 0;
+  std::int64_t victim = 0;
   faults::Ffm ffm = faults::Ffm::kUnknown;
   Guard guard;
 };
@@ -74,8 +41,8 @@ struct InjectedFault {
 /// single-cell scope). Guards compose: a coupling fault can itself be
 /// partial.
 struct InjectedCouplingFault {
-  int aggressor = 0;
-  int victim = 0;
+  std::int64_t aggressor = 0;
+  std::int64_t victim = 0;
   faults::CouplingFault fault;
   Guard guard;
 };
@@ -85,7 +52,7 @@ struct InjectedCouplingFault {
 /// `retention_time` seconds of accumulated pause. Exposed only by march
 /// tests with delay elements.
 struct InjectedRetentionFault {
-  int victim = 0;
+  std::int64_t victim = 0;
   int lost_value = 1;
   double retention_time = 1e-3;
 };
@@ -100,8 +67,8 @@ struct InjectedRetentionFault {
 struct InjectedDecoderFault {
   enum class Kind { kNoAccess, kWrongCell, kMultiCell };
   Kind kind = Kind::kNoAccess;
-  int addr = 0;
-  int other = 0;  ///< unused for kNoAccess
+  std::int64_t addr = 0;
+  std::int64_t other = 0;  ///< unused for kNoAccess
 };
 
 class Memory {
@@ -109,7 +76,7 @@ class Memory {
   explicit Memory(Geometry geometry);
 
   const Geometry& geometry() const { return geom_; }
-  int size() const { return geom_.num_cells(); }
+  std::int64_t size() const { return geom_.num_cells(); }
 
   void inject(const InjectedFault& fault);
   void inject_coupling(const InjectedCouplingFault& fault);
@@ -127,8 +94,8 @@ class Memory {
   }
 
   /// Execute operations (with fault semantics).
-  void write(int addr, int value);
-  int read(int addr);
+  void write(std::int64_t addr, int value);
+  int read(std::int64_t addr);
 
   /// An idle retention pause (the "Del" element of data-retention tests):
   /// victims of injected retention faults that have not been refreshed for
@@ -144,8 +111,8 @@ class Memory {
   void end_atomic();
 
   /// Direct state access (test setup / assertions, not operations).
-  int cell(int addr) const;
-  void set_cell(int addr, int value);
+  int cell(std::int64_t addr) const;
+  void set_cell(std::int64_t addr, int value);
 
   /// Tracked internal state.
   int bit_line_raw(int column) const;  ///< -1 until first driven
@@ -156,10 +123,11 @@ class Memory {
   uint64_t operations_executed() const { return ops_; }
 
  private:
-  bool guard_satisfied(const Guard& guard, int victim) const;
+  bool guard_satisfied(const Guard& guard, std::int64_t victim) const;
   void apply_state_faults();
-  void apply_disturbs(int addr, bool is_read, int value);
-  int apply_victim_write_couplings(int addr, int value, int stored) const;
+  void apply_disturbs(std::int64_t addr, bool is_read, int value);
+  int apply_victim_write_couplings(std::int64_t addr, int value,
+                                   int stored) const;
 
   Geometry geom_;
   std::vector<int> cells_;
@@ -173,5 +141,7 @@ class Memory {
   std::vector<double> since_refresh_;  // parallel to retention_faults_
   std::vector<InjectedDecoderFault> decoder_faults_;
 };
+
+static_assert(MemoryEngine<Memory>);
 
 }  // namespace pf::memsim

@@ -1,0 +1,197 @@
+// Word-parallel fault-population engine: 64 single-fault machines per
+// uint64_t bit-plane word.
+//
+// The scalar Memory validates a march test against one injected fault per
+// run, so array-scale coverage is O(cells) march re-runs. PlaneMemory turns
+// that inside out: inject a POPULATION of guarded FFM / coupling instances
+// (thousands at once), then run the march ONCE — each bit lane of the SoA
+// planes is an independent single-fault machine stepped in lockstep with
+// the fault-free machine.
+//
+// Lanes are MACHINES, not cells. That is the design decision that makes
+// intra-population independence hold by construction: two partial faults
+// whose victims share a column would interact through the shared bit line
+// if they lived in one machine (the first victim's corrupted restore level
+// re-arms or disarms the second's guard). One fault per lane means every
+// instance sees exactly the bit-line/buffer history the scalar
+// single-injection run sees — which is what the A/B identity gates assert.
+//
+// Sparse representation: a lane's machine differs from the fault-free
+// machine ONLY at its victim cell (plus, transiently, the victim-column bit
+// line and the output buffer after an access to the victim). So per batch
+// of 64 lanes we keep bit-planes of the victim cell value, the lane's OWN
+// victim-column bit-line level, the buffer level, the aggressor cell value
+// (coupling lanes) and the sticky detect flag — O(population) memory, not
+// O(population x cells). Per operation the fault-free machine steps once,
+// the few lanes whose victim/aggressor is the addressed cell get scalar
+// fixups in exact scalar order, and the bit-line/buffer drives plus the
+// state-fault (SF / CFst) evaluation broadcast word-parallel over all
+// batches.
+//
+// Scheduling equivalence: the scalar engine applies state faults at the
+// START of operation k against the settled state of operation k-1;
+// PlaneMemory applies them at the END of operation k-1 (and once at
+// construction, covering the first operation) — the observed state is
+// identical, so the machines agree operation for operation.
+//
+// Not supported in populations (use the scalar Memory): retention faults
+// (pause() is a deliberate no-op — a population lane has exactly its one
+// FFM/coupling fault and no retention behaviour, matching a scalar machine
+// with only that fault injected) and address-decoder faults (they redirect
+// the access itself, which is not a per-victim divergence).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pf/faults/coupling.hpp"
+#include "pf/faults/ffm.hpp"
+#include "pf/memsim/engine.hpp"
+#include "pf/util/error.hpp"
+
+namespace pf::memsim {
+
+/// One member of a fault population: a guarded single-cell FFM instance
+/// (aggressor < 0) or a guarded two-cell coupling instance.
+struct PopulationFault {
+  std::int64_t victim = 0;
+  std::int64_t aggressor = -1;  ///< >= 0 marks a coupling instance
+  faults::Ffm ffm = faults::Ffm::kUnknown;
+  faults::CouplingFault coupling{};  ///< valid when aggressor >= 0
+  Guard guard;
+
+  static PopulationFault single(std::int64_t victim, faults::Ffm ffm,
+                                Guard guard = Guard::none()) {
+    PopulationFault f;
+    f.victim = victim;
+    f.ffm = ffm;
+    f.guard = guard;
+    return f;
+  }
+  static PopulationFault coupled(std::int64_t aggressor, std::int64_t victim,
+                                 const faults::CouplingFault& cf,
+                                 Guard guard = Guard::none()) {
+    PopulationFault f;
+    f.victim = victim;
+    f.aggressor = aggressor;
+    f.coupling = cf;
+    f.guard = guard;
+    return f;
+  }
+};
+
+class PlaneMemory {
+ public:
+  PlaneMemory(Geometry geometry, std::vector<PopulationFault> population);
+
+  const Geometry& geometry() const { return geom_; }
+  std::int64_t size() const { return geom_.num_cells(); }
+  std::int64_t population_size() const {
+    return static_cast<std::int64_t>(population_.size());
+  }
+  const std::vector<PopulationFault>& population() const { return population_; }
+
+  /// Execute one march operation on every machine of the population (plus
+  /// the fault-free reference machine).
+  void write(std::int64_t addr, int value);
+  /// Read with the march expectation: every lane whose (faulty) read result
+  /// deviates from `expected` latches its sticky detect flag. Returns the
+  /// fault-free machine's result.
+  int read(std::int64_t addr, int expected);
+  /// Populations carry no retention faults: a pause is a no-op, exactly as
+  /// it is for a scalar machine with only an FFM/coupling fault injected.
+  void pause(double) {}
+
+  /// Sticky detection flag of population instance `i` (injection order).
+  bool detected(std::int64_t i) const {
+    PF_CHECK_MSG(i >= 0 && i < population_size(), "bad instance " << i);
+    return (batches_[static_cast<std::size_t>(i >> 6)].detect >>
+            (i & 63)) & 1u;
+  }
+  std::int64_t detected_count() const;
+
+  /// Fault-free machine state (testing / assertions).
+  int reference_cell(std::int64_t addr) const;
+  /// Instance `i`'s machine view of its own victim cell.
+  int victim_cell(std::int64_t i) const;
+
+  std::uint64_t operations_executed() const { return ops_; }
+  /// Machine-operations evaluated so far: population x operations. This is
+  /// the unit the scalar path spends one full march run per machine on.
+  std::uint64_t lane_steps() const {
+    return ops_ * static_cast<std::uint64_t>(population_.size());
+  }
+
+ private:
+  struct Batch {
+    // Dynamic per-lane planes (bit l = lane l's machine).
+    std::uint64_t vic_val = 0;    ///< victim cell content
+    std::uint64_t bl_val = 0;     ///< raw level of the lane's victim column
+    std::uint64_t bl_known = 0;   ///< that line has been driven at least once
+    std::uint64_t buf_val = 0;    ///< output-buffer raw level
+    std::uint64_t buf_known = 0;
+    std::uint64_t agg_val = 0;    ///< aggressor cell content (coupling lanes)
+    std::uint64_t detect = 0;     ///< sticky: some read mismatched
+    std::uint64_t scratch = 0;    ///< per-op scratch (victim-lane exclusion)
+
+    // Static behaviour planes, fixed at construction.
+    std::uint64_t used = 0;       ///< lanes populated in this batch
+    std::uint64_t g_const = 0;    ///< guard kNone / kHidden(active): always on
+    std::uint64_t g_bl = 0;       ///< guard kBitLine lanes
+    std::uint64_t g_buf = 0;      ///< guard kBuffer lanes
+    std::uint64_t g_expect = 0;   ///< raw level the bl/buf guard expects
+    std::uint64_t state_mask = 0; ///< SF + kState-coupling lanes (per-op eval)
+    std::uint64_t state_vuln = 0; ///< cell value at which the state fault fires
+    std::uint64_t pin_target = 0; ///< value the victim is forced to
+    std::uint64_t cfst = 0;       ///< kState-coupling subset of state_mask
+    std::uint64_t cfst_agg = 0;   ///< aggressor value the CFst needs
+    bool needs_bl = false;        ///< any kBitLine-guarded lane
+    bool needs_buf = false;       ///< any kBuffer-guarded lane
+  };
+
+  static int bit(std::uint64_t plane, int lane) {
+    return static_cast<int>((plane >> lane) & 1u);
+  }
+  static void set_bit(std::uint64_t& plane, int lane, int value) {
+    plane = (plane & ~(std::uint64_t{1} << lane)) |
+            (static_cast<std::uint64_t>(value & 1) << lane);
+  }
+
+  bool lane_guard(const Batch& b, int lane, const PopulationFault& f) const;
+  /// Word-parallel SF / CFst evaluation over all batches (the eager
+  /// end-of-op equivalent of the scalar apply_state_faults()).
+  void step_state_faults();
+  std::uint64_t column_lanes(std::size_t batch, int column) const;
+
+  Geometry geom_;
+  std::vector<PopulationFault> population_;
+  std::vector<Batch> batches_;
+  // Per-batch lane masks by victim column, for the bit-line broadcast.
+  // Direct-indexed [batch * num_columns + column] for narrow arrays; sorted
+  // (column, mask) pairs per batch for wide ones (a batch holds at most 64
+  // distinct columns).
+  bool col_direct_ = false;
+  std::vector<std::uint64_t> col_masks_;
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> col_pairs_;
+  // Dispatch indices: instance ids by victim / aggressor address, in
+  // injection order (O(population) memory; no per-cell tables).
+  std::unordered_map<std::int64_t, std::vector<std::int32_t>> by_victim_;
+  std::unordered_map<std::int64_t, std::vector<std::int32_t>> by_aggressor_;
+  // The fault-free reference machine.
+  std::vector<std::uint8_t> cells_ff_;
+  std::vector<std::int8_t> bl_ff_;  ///< -1 until driven
+  int buf_ff_ = -1;
+  std::uint64_t ops_ = 0;
+  // Scratch for read(): per-op victim-lane fixups.
+  struct Fix {
+    std::int32_t instance;
+    std::int8_t stored;
+    std::int8_t result;
+  };
+  std::vector<Fix> fixes_;
+};
+
+static_assert(PopulationEngine<PlaneMemory>);
+
+}  // namespace pf::memsim

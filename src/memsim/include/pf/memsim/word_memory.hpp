@@ -28,24 +28,24 @@ namespace pf::memsim {
 
 class WordMemory {
  public:
-  /// `num_words` addresses of `width`-bit words (width <= 32).
+  /// `num_words` addresses of `width`-bit words (width <= 64).
   WordMemory(int num_words, int width, int columns_per_row = 8);
 
   int size() const { return num_words_; }
   int width() const { return width_; }
 
-  void write(int addr, uint32_t value);
-  uint32_t read(int addr);
+  void write(int addr, std::uint64_t value);
+  std::uint64_t read(int addr);
 
   /// The underlying bit-cell memory (fault injection, state inspection).
   Memory& bits() { return bits_; }
   const Memory& bits() const { return bits_; }
 
   /// The bit-cell index of (word, bit).
-  int cell_of(int addr, int bit) const;
+  std::int64_t cell_of(int addr, int bit) const;
 
   /// Direct word state (no operation semantics).
-  uint32_t word(int addr) const;
+  std::uint64_t word(int addr) const;
 
  private:
   int num_words_;

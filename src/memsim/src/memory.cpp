@@ -61,12 +61,12 @@ void Memory::inject_coupling(const InjectedCouplingFault& fault) {
   coupling_faults_.push_back(fault);
 }
 
-int Memory::cell(int addr) const {
+int Memory::cell(std::int64_t addr) const {
   PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
   return cells_[addr];
 }
 
-void Memory::set_cell(int addr, int value) {
+void Memory::set_cell(std::int64_t addr, int value) {
   PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
   PF_CHECK_MSG(value == 0 || value == 1, "bad value");
   cells_[addr] = value;
@@ -88,23 +88,13 @@ void Memory::set_buffer_raw(int raw) {
   buffer_raw_ = raw;
 }
 
-bool Memory::guard_satisfied(const Guard& guard, int victim) const {
+bool Memory::guard_satisfied(const Guard& guard, std::int64_t victim) const {
   // Guard values are *victim-local*: "bit line low" means the victim's own
   // bit line (BC for complement-row victims), and "buffer holds 1" means
   // the buffer content interpreted with the victim's data polarity. The
-  // tracked state is raw (true-bit-line) level, so translate.
-  switch (guard.kind) {
-    case Guard::Kind::kNone:
-      return true;
-    case Guard::Kind::kBitLine:
-      return bl_raw_[geom_.column_of(victim)] ==
-             geom_.raw_level(victim, guard.value);
-    case Guard::Kind::kBuffer:
-      return buffer_raw_ == geom_.raw_level(victim, guard.value);
-    case Guard::Kind::kHidden:
-      return guard.hidden_active;
-  }
-  return false;
+  // shared predicate translates through the victim's polarity.
+  return guard_satisfied_state(geom_, guard, victim,
+                               bl_raw_[geom_.column_of(victim)], buffer_raw_);
 }
 
 void Memory::begin_atomic() { atomic_ = true; }
@@ -135,7 +125,7 @@ void Memory::apply_state_faults() {
   }
 }
 
-void Memory::apply_disturbs(int addr, bool is_read, int value) {
+void Memory::apply_disturbs(std::int64_t addr, bool is_read, int value) {
   // Disturb coupling faults: an operation on the aggressor flips the victim.
   using CfKind = faults::CouplingFault::Kind;
   using OpKind = faults::Op::Kind;
@@ -155,32 +145,18 @@ void Memory::apply_disturbs(int addr, bool is_read, int value) {
   }
 }
 
-int Memory::apply_victim_write_couplings(int addr, int value,
+int Memory::apply_victim_write_couplings(std::int64_t addr, int value,
                                          int stored) const {
-  using CfKind = faults::CouplingFault::Kind;
   for (const auto& f : coupling_faults_) {
     if (f.victim != addr) continue;
     if (!guard_satisfied(f.guard, f.victim)) continue;
     if (cells_[f.aggressor] != f.fault.aggressor_value) continue;
-    const int before = cells_[addr];
-    switch (f.fault.kind) {
-      case CfKind::kTransition:
-        if (before == f.fault.victim_value &&
-            value == 1 - f.fault.victim_value)
-          stored = f.fault.victim_value;  // the transition fails
-        break;
-      case CfKind::kWriteDestructive:
-        if (before == f.fault.victim_value && value == f.fault.victim_value)
-          stored = 1 - f.fault.victim_value;
-        break;
-      default:
-        break;
-    }
+    stored = apply_coupling_write(f.fault, cells_[addr], value, stored);
   }
   return stored;
 }
 
-void Memory::write(int addr, int value) {
+void Memory::write(std::int64_t addr, int value) {
   PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
   PF_CHECK_MSG(value == 0 || value == 1, "bad value");
   // Address-decoder faults redirect or suppress the access itself; they are
@@ -215,23 +191,7 @@ void Memory::write(int addr, int value) {
   int stored = value;
   for (const auto& f : faults_) {
     if (f.victim != addr || !guard_satisfied(f.guard, addr)) continue;
-    const int before = cells_[addr];
-    switch (f.ffm) {
-      case Ffm::kTFUp:
-        if (before == 0 && value == 1) stored = 0;
-        break;
-      case Ffm::kTFDown:
-        if (before == 1 && value == 0) stored = 1;
-        break;
-      case Ffm::kWDF0:
-        if (before == 0 && value == 0) stored = 1;
-        break;
-      case Ffm::kWDF1:
-        if (before == 1 && value == 1) stored = 0;
-        break;
-      default:
-        break;
-    }
+    stored = apply_ffm_write(f.ffm, cells_[addr], value, stored);
   }
   stored = apply_victim_write_couplings(addr, value, stored);
   cells_[addr] = stored;
@@ -242,7 +202,7 @@ void Memory::write(int addr, int value) {
   buffer_raw_ = geom_.raw_level(addr, value);
 }
 
-int Memory::read(int addr) {
+int Memory::read(std::int64_t addr) {
   PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
   for (const auto& df : decoder_faults_) {
     if (df.addr != addr) continue;
@@ -283,51 +243,15 @@ int Memory::read(int addr) {
   const int x = cells_[addr];
   int result = x;
   int stored = x;
-  using CfKind = faults::CouplingFault::Kind;
   for (const auto& f : coupling_faults_) {
     if (f.victim != addr || x != f.fault.victim_value) continue;
     if (!guard_satisfied(f.guard, f.victim)) continue;
     if (cells_[f.aggressor] != f.fault.aggressor_value) continue;
-    switch (f.fault.kind) {
-      case CfKind::kReadDestructive:
-        result = 1 - x;
-        stored = 1 - x;
-        break;
-      case CfKind::kDeceptiveRead:
-        result = x;
-        stored = 1 - x;
-        break;
-      case CfKind::kIncorrectRead:
-        result = 1 - x;
-        break;
-      default:
-        break;
-    }
+    apply_coupling_read(f.fault, x, result, stored);
   }
   for (const auto& f : faults_) {
     if (f.victim != addr || !guard_satisfied(f.guard, addr)) continue;
-    switch (f.ffm) {
-      case Ffm::kRDF0:
-        if (x == 0) { result = 1; stored = 1; }
-        break;
-      case Ffm::kRDF1:
-        if (x == 1) { result = 0; stored = 0; }
-        break;
-      case Ffm::kDRDF0:
-        if (x == 0) { result = 0; stored = 1; }
-        break;
-      case Ffm::kDRDF1:
-        if (x == 1) { result = 1; stored = 0; }
-        break;
-      case Ffm::kIRF0:
-        if (x == 0) result = 1;
-        break;
-      case Ffm::kIRF1:
-        if (x == 1) result = 0;
-        break;
-      default:
-        break;
-    }
+    apply_ffm_read(f.ffm, x, result, stored);
   }
   cells_[addr] = stored;
   // The restore drives the (possibly corrupted) stored value back onto the

@@ -1,0 +1,355 @@
+#include "pf/memsim/plane_memory.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace pf::memsim {
+
+using faults::CouplingFault;
+using faults::Ffm;
+
+namespace {
+
+// Direct per-(batch, column) mask tables are O(batches x columns); switch to
+// sorted per-batch pair lists (a batch spans at most 64 columns) when the
+// array is wide enough that the direct table would dominate memory.
+constexpr int kMaxDirectColumns = 4096;
+
+}  // namespace
+
+PlaneMemory::PlaneMemory(Geometry geometry,
+                         std::vector<PopulationFault> population)
+    : geom_(geometry), population_(std::move(population)) {
+  PF_CHECK_MSG(geom_.num_rows > 0 && geom_.num_columns > 0,
+               "geometry must be positive");
+  const std::int64_t cells = geom_.num_cells();
+  cells_ff_.assign(static_cast<std::size_t>(cells), 0);
+  bl_ff_.assign(static_cast<std::size_t>(geom_.num_columns), -1);
+
+  const std::size_t n = population_.size();
+  batches_.resize((n + 63) / 64);
+  col_direct_ = geom_.num_columns <= kMaxDirectColumns;
+  if (col_direct_)
+    col_masks_.assign(batches_.size() *
+                          static_cast<std::size_t>(geom_.num_columns),
+                      0);
+  else
+    col_pairs_.resize(batches_.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PopulationFault& f = population_[i];
+    PF_CHECK_MSG(f.victim >= 0 && f.victim < cells,
+                 "victim address out of range");
+    const bool coupling = f.aggressor >= 0;
+    if (coupling) {
+      PF_CHECK_MSG(f.aggressor < cells, "aggressor address out of range");
+      PF_CHECK_MSG(f.aggressor != f.victim,
+                   "aggressor and victim must differ");
+    } else {
+      PF_CHECK_MSG(f.ffm != Ffm::kUnknown, "population fault needs an FFM");
+    }
+
+    Batch& b = batches_[i >> 6];
+    const int lane = static_cast<int>(i & 63);
+    const std::uint64_t m = std::uint64_t{1} << lane;
+    b.used |= m;
+
+    switch (f.guard.kind) {
+      case Guard::Kind::kNone:
+        b.g_const |= m;
+        break;
+      case Guard::Kind::kHidden:
+        if (f.guard.hidden_active) b.g_const |= m;
+        // inactive hidden guard: the fault never sensitizes — no mask bits.
+        break;
+      case Guard::Kind::kBitLine:
+        b.g_bl |= m;
+        b.needs_bl = true;
+        if (geom_.raw_level(f.victim, f.guard.value)) b.g_expect |= m;
+        break;
+      case Guard::Kind::kBuffer:
+        b.g_buf |= m;
+        b.needs_buf = true;
+        if (geom_.raw_level(f.victim, f.guard.value)) b.g_expect |= m;
+        break;
+    }
+
+    if (!coupling && (f.ffm == Ffm::kSF0 || f.ffm == Ffm::kSF1)) {
+      b.state_mask |= m;
+      if (f.ffm == Ffm::kSF1) b.state_vuln |= m;  // fires while holding 1
+      if (f.ffm == Ffm::kSF0) b.pin_target |= m;  // pinned to 1
+    }
+    if (coupling && f.coupling.kind == CouplingFault::Kind::kState) {
+      b.state_mask |= m;
+      b.cfst |= m;
+      if (f.coupling.victim_value) b.state_vuln |= m;
+      if (f.coupling.aggressor_value) b.cfst_agg |= m;
+      if (1 - f.coupling.victim_value) b.pin_target |= m;
+    }
+
+    const int col = geom_.column_of(f.victim);
+    if (col_direct_)
+      col_masks_[(i >> 6) * static_cast<std::size_t>(geom_.num_columns) +
+                 static_cast<std::size_t>(col)] |= m;
+    else
+      col_pairs_[i >> 6].emplace_back(col, m);
+
+    by_victim_[f.victim].push_back(static_cast<std::int32_t>(i));
+    if (coupling)
+      by_aggressor_[f.aggressor].push_back(static_cast<std::int32_t>(i));
+  }
+
+  if (!col_direct_) {
+    for (auto& pairs : col_pairs_) {
+      std::sort(pairs.begin(), pairs.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Merge duplicate columns.
+      std::vector<std::pair<int, std::uint64_t>> merged;
+      for (const auto& [col, m] : pairs) {
+        if (!merged.empty() && merged.back().first == col)
+          merged.back().second |= m;
+        else
+          merged.emplace_back(col, m);
+      }
+      pairs = std::move(merged);
+    }
+  }
+
+  // Power-up state evaluation: the scalar engine applies state faults at the
+  // start of the first operation; evaluating here observes identical state
+  // (all cells 0, bit lines and buffer undriven).
+  step_state_faults();
+}
+
+std::uint64_t PlaneMemory::column_lanes(std::size_t batch, int column) const {
+  if (col_direct_)
+    return col_masks_[batch * static_cast<std::size_t>(geom_.num_columns) +
+                      static_cast<std::size_t>(column)];
+  const auto& pairs = col_pairs_[batch];
+  const auto it = std::lower_bound(
+      pairs.begin(), pairs.end(), column,
+      [](const auto& p, int c) { return p.first < c; });
+  return (it != pairs.end() && it->first == column) ? it->second : 0;
+}
+
+bool PlaneMemory::lane_guard(const Batch& b, int lane,
+                             const PopulationFault& f) const {
+  switch (f.guard.kind) {
+    case Guard::Kind::kNone:
+      return true;
+    case Guard::Kind::kHidden:
+      return f.guard.hidden_active;
+    case Guard::Kind::kBitLine:
+      return bit(b.bl_known, lane) != 0 &&
+             bit(b.bl_val, lane) == bit(b.g_expect, lane);
+    case Guard::Kind::kBuffer:
+      return bit(b.buf_known, lane) != 0 &&
+             bit(b.buf_val, lane) == bit(b.g_expect, lane);
+  }
+  return false;
+}
+
+void PlaneMemory::step_state_faults() {
+  for (Batch& b : batches_) {
+    if (b.state_mask == 0) continue;
+    const std::uint64_t sat =
+        b.g_const | (b.g_bl & b.bl_known & ~(b.bl_val ^ b.g_expect)) |
+        (b.g_buf & b.buf_known & ~(b.buf_val ^ b.g_expect));
+    std::uint64_t fire = sat & b.state_mask & ~(b.vic_val ^ b.state_vuln);
+    if (b.cfst != 0) fire &= ~b.cfst | ~(b.agg_val ^ b.cfst_agg);
+    if (fire != 0)
+      b.vic_val = (b.vic_val & ~fire) | (b.pin_target & fire);
+  }
+}
+
+void PlaneMemory::write(std::int64_t addr, int value) {
+  PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
+  PF_CHECK_MSG(value == 0 || value == 1, "bad value");
+  ++ops_;
+  // State faults for this operation's start were applied eagerly at the end
+  // of the previous one (and at construction) — see step_state_faults().
+
+  // Victim fixups: lanes whose machine stores something other than `value`.
+  if (const auto it = by_victim_.find(addr); it != by_victim_.end()) {
+    for (const std::int32_t inst : it->second) {
+      Batch& b = batches_[static_cast<std::size_t>(inst) >> 6];
+      const int lane = inst & 63;
+      const PopulationFault& f = population_[static_cast<std::size_t>(inst)];
+      const int before = bit(b.vic_val, lane);
+      int stored = value;
+      if (lane_guard(b, lane, f)) {
+        if (f.aggressor < 0)
+          stored = apply_ffm_write(f.ffm, before, value, stored);
+        else if (bit(b.agg_val, lane) == f.coupling.aggressor_value)
+          stored = apply_coupling_write(f.coupling, before, value, stored);
+      }
+      set_bit(b.vic_val, lane, stored);
+    }
+  }
+
+  // Aggressor bookkeeping + write-triggered disturbs. The scalar engine
+  // applies disturbs after the victim store but BEFORE the bit-line/buffer
+  // drive, so lane guards are evaluated against the pre-drive planes.
+  if (const auto it = by_aggressor_.find(addr); it != by_aggressor_.end()) {
+    using OpKind = faults::Op::Kind;
+    for (const std::int32_t inst : it->second) {
+      Batch& b = batches_[static_cast<std::size_t>(inst) >> 6];
+      const int lane = inst & 63;
+      const PopulationFault& f = population_[static_cast<std::size_t>(inst)];
+      set_bit(b.agg_val, lane, value);
+      if (f.coupling.kind != CouplingFault::Kind::kDisturb) continue;
+      const bool matches =
+          (f.coupling.aggressor_op == OpKind::kWrite0 && value == 0) ||
+          (f.coupling.aggressor_op == OpKind::kWrite1 && value == 1);
+      if (matches && bit(b.vic_val, lane) == f.coupling.victim_value &&
+          lane_guard(b, lane, f))
+        set_bit(b.vic_val, lane, 1 - f.coupling.victim_value);
+    }
+  }
+
+  // Fault-free machine + broadcast drives. A write drives the bit line and
+  // buffer to the written raw level in every machine — victim lanes too.
+  const int col = geom_.column_of(addr);
+  const int raw = geom_.raw_level(addr, value);
+  cells_ff_[static_cast<std::size_t>(addr)] = static_cast<std::uint8_t>(value);
+  bl_ff_[static_cast<std::size_t>(col)] = static_cast<std::int8_t>(raw);
+  buf_ff_ = raw;
+  const std::size_t nb = batches_.size();
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    Batch& b = batches_[bi];
+    if (b.needs_bl) {
+      const std::uint64_t m = column_lanes(bi, col);
+      if (m != 0) {
+        b.bl_val = raw ? (b.bl_val | m) : (b.bl_val & ~m);
+        b.bl_known |= m;
+      }
+    }
+    if (b.needs_buf) {
+      b.buf_val = raw ? b.used : 0;
+      b.buf_known = b.used;
+    }
+  }
+  step_state_faults();
+}
+
+int PlaneMemory::read(std::int64_t addr, int expected) {
+  PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
+  PF_CHECK_MSG(expected == 0 || expected == 1, "bad expected value");
+  ++ops_;
+
+  // Read-triggered disturbs come first (scalar order), against pre-drive
+  // guard state. The aggressor cell never diverges in its own lane, so the
+  // sensitizing value check reads the fault-free machine.
+  const int x_ff = cells_ff_[static_cast<std::size_t>(addr)];
+  if (const auto it = by_aggressor_.find(addr); it != by_aggressor_.end()) {
+    using OpKind = faults::Op::Kind;
+    for (const std::int32_t inst : it->second) {
+      Batch& b = batches_[static_cast<std::size_t>(inst) >> 6];
+      const int lane = inst & 63;
+      const PopulationFault& f = population_[static_cast<std::size_t>(inst)];
+      if (f.coupling.kind != CouplingFault::Kind::kDisturb) continue;
+      if (f.coupling.aggressor_op != OpKind::kRead ||
+          x_ff != f.coupling.aggressor_value)
+        continue;
+      if (bit(b.vic_val, lane) == f.coupling.victim_value &&
+          lane_guard(b, lane, f))
+        set_bit(b.vic_val, lane, 1 - f.coupling.victim_value);
+    }
+  }
+
+  // Victim fixups: each lane senses its own cell and applies its fault's
+  // read transfer function (coupling rules before FFM rules, scalar order).
+  fixes_.clear();
+  if (const auto it = by_victim_.find(addr); it != by_victim_.end()) {
+    for (const std::int32_t inst : it->second) {
+      Batch& b = batches_[static_cast<std::size_t>(inst) >> 6];
+      const int lane = inst & 63;
+      const PopulationFault& f = population_[static_cast<std::size_t>(inst)];
+      const int x = bit(b.vic_val, lane);
+      int result = x;
+      int stored = x;
+      if (f.aggressor >= 0) {
+        if (x == f.coupling.victim_value && lane_guard(b, lane, f) &&
+            bit(b.agg_val, lane) == f.coupling.aggressor_value)
+          apply_coupling_read(f.coupling, x, result, stored);
+      } else if (lane_guard(b, lane, f)) {
+        apply_ffm_read(f.ffm, x, result, stored);
+      }
+      set_bit(b.vic_val, lane, stored);
+      if (result != expected)
+        b.detect |= std::uint64_t{1} << lane;
+      fixes_.push_back({inst, static_cast<std::int8_t>(stored),
+                        static_cast<std::int8_t>(result)});
+    }
+  }
+  // Fault-free mismatch (a non-self-consistent test): every NON-victim lane
+  // reads the fault-free value and fails too. Victim lanes were already
+  // judged individually above, so exclude them from the blanket — detect is
+  // sticky (a bit set by an earlier op must never be retracted), which rules
+  // out set-then-clear.
+  if (x_ff != expected) {
+    for (const Fix& fix : fixes_)
+      batches_[static_cast<std::size_t>(fix.instance) >> 6].scratch |=
+          std::uint64_t{1} << (fix.instance & 63);
+    for (Batch& b : batches_) {
+      b.detect |= b.used & ~b.scratch;
+      b.scratch = 0;
+    }
+  }
+
+  // Fault-free restore + broadcast drives (restore level = stored content,
+  // buffer = returned result; for the fault-free machine both equal x_ff).
+  const int col = geom_.column_of(addr);
+  const int raw_ff = geom_.raw_level(addr, x_ff);
+  bl_ff_[static_cast<std::size_t>(col)] = static_cast<std::int8_t>(raw_ff);
+  buf_ff_ = raw_ff;
+  const std::size_t nb = batches_.size();
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    Batch& b = batches_[bi];
+    if (b.needs_bl) {
+      const std::uint64_t m = column_lanes(bi, col);
+      if (m != 0) {
+        b.bl_val = raw_ff ? (b.bl_val | m) : (b.bl_val & ~m);
+        b.bl_known |= m;
+      }
+    }
+    if (b.needs_buf) {
+      b.buf_val = raw_ff ? b.used : 0;
+      b.buf_known = b.used;
+    }
+  }
+  // Victim-lane overrides: their restore level and buffer content follow
+  // the lane's own stored/result, not the fault-free machine's.
+  for (const Fix& fix : fixes_) {
+    Batch& b = batches_[static_cast<std::size_t>(fix.instance) >> 6];
+    const int lane = fix.instance & 63;
+    if (b.needs_bl) {
+      set_bit(b.bl_val, lane, geom_.raw_level(addr, fix.stored));
+      b.bl_known |= std::uint64_t{1} << lane;
+    }
+    if (b.needs_buf)
+      set_bit(b.buf_val, lane, geom_.raw_level(addr, fix.result));
+  }
+  step_state_faults();
+  return x_ff;
+}
+
+std::int64_t PlaneMemory::detected_count() const {
+  std::int64_t count = 0;
+  for (const Batch& b : batches_)
+    count += std::popcount(b.detect);
+  return count;
+}
+
+int PlaneMemory::reference_cell(std::int64_t addr) const {
+  PF_CHECK_MSG(addr >= 0 && addr < size(), "bad address " << addr);
+  return cells_ff_[static_cast<std::size_t>(addr)];
+}
+
+int PlaneMemory::victim_cell(std::int64_t i) const {
+  PF_CHECK_MSG(i >= 0 && i < population_size(), "bad instance " << i);
+  return bit(batches_[static_cast<std::size_t>(i >> 6)].vic_val,
+             static_cast<int>(i & 63));
+}
+
+}  // namespace pf::memsim

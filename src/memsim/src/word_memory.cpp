@@ -17,18 +17,18 @@ WordMemory::WordMemory(int num_words, int width, int columns_per_row)
       width_(width),
       bits_(geometry_for(num_words, width, columns_per_row)) {
   PF_CHECK_MSG(num_words > 0, "need at least one word");
-  PF_CHECK_MSG(width > 0 && width <= 32, "word width must be 1..32");
+  PF_CHECK_MSG(width > 0 && width <= 64, "word width must be 1..64");
 }
 
-int WordMemory::cell_of(int addr, int bit) const {
+std::int64_t WordMemory::cell_of(int addr, int bit) const {
   PF_CHECK_MSG(addr >= 0 && addr < num_words_, "bad word address " << addr);
   PF_CHECK_MSG(bit >= 0 && bit < width_, "bad bit index " << bit);
-  return addr * width_ + bit;
+  return static_cast<std::int64_t>(addr) * width_ + bit;
 }
 
-void WordMemory::write(int addr, uint32_t value) {
+void WordMemory::write(int addr, std::uint64_t value) {
   PF_CHECK_MSG(addr >= 0 && addr < num_words_, "bad word address " << addr);
-  PF_CHECK_MSG(width_ == 32 || value < (1u << width_),
+  PF_CHECK_MSG(width_ == 64 || value < (std::uint64_t{1} << width_),
                "value wider than the word");
   // All bits of a word are driven simultaneously: suppress mid-word
   // state-fault transients (see the header's semantics note).
@@ -38,20 +38,20 @@ void WordMemory::write(int addr, uint32_t value) {
   bits_.end_atomic();
 }
 
-uint32_t WordMemory::read(int addr) {
+std::uint64_t WordMemory::read(int addr) {
   PF_CHECK_MSG(addr >= 0 && addr < num_words_, "bad word address " << addr);
-  uint32_t out = 0;
+  std::uint64_t out = 0;
   bits_.begin_atomic();
   for (int b = 0; b < width_; ++b)
-    out |= static_cast<uint32_t>(bits_.read(cell_of(addr, b))) << b;
+    out |= static_cast<std::uint64_t>(bits_.read(cell_of(addr, b))) << b;
   bits_.end_atomic();
   return out;
 }
 
-uint32_t WordMemory::word(int addr) const {
-  uint32_t out = 0;
+std::uint64_t WordMemory::word(int addr) const {
+  std::uint64_t out = 0;
   for (int b = 0; b < width_; ++b)
-    out |= static_cast<uint32_t>(bits_.cell(cell_of(addr, b))) << b;
+    out |= static_cast<std::uint64_t>(bits_.cell(cell_of(addr, b))) << b;
   return out;
 }
 

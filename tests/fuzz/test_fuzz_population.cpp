@@ -1,0 +1,193 @@
+// Differential fuzz: the word-parallel population engine vs the scalar
+// reference (DESIGN.md §10/§13). Two harnesses:
+//
+//  * whole-matrix: random geometry x random march test x random guarded
+//    class set through evaluate_population on BOTH engines — the detection
+//    matrices must be identical bit for bit;
+//  * lockstep: random operation sequences (including patterns no march test
+//    produces, e.g. address ping-pong with inconsistent expectations)
+//    driven simultaneously into a PlaneMemory and per-instance scalar
+//    Memory machines, comparing victim state and detect flags after every
+//    operation.
+//
+// Deterministic by default; PF_TEST_SEED picks the run, PF_FUZZ_ITERS the
+// budget. Failures carry the seed banner plus a per-iteration repro trace
+// (geometry, test, classes).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/memsim/memory.hpp"
+#include "pf/memsim/plane_memory.hpp"
+#include "pf/testing/generators.hpp"
+
+namespace pf::testing {
+namespace {
+
+using faults::CouplingFault;
+using faults::Ffm;
+using march::MarchTest;
+using march::MemEngine;
+using march::PopulationClass;
+using memsim::Geometry;
+using memsim::Guard;
+using memsim::Memory;
+using memsim::PlaneMemory;
+using memsim::PopulationFault;
+
+Guard random_guard(Rng& rng) {
+  switch (rng.next_below(5)) {
+    case 0: return Guard::none();
+    case 1: return Guard::bit_line(static_cast<int>(rng.next_below(2)));
+    case 2: return Guard::buffer(static_cast<int>(rng.next_below(2)));
+    case 3: return Guard::hidden(true);
+    default: return Guard::hidden(false);
+  }
+}
+
+Ffm random_ffm(Rng& rng) {
+  const auto& ffms = faults::all_ffms();
+  return ffms[rng.next_below(ffms.size())];
+}
+
+CouplingFault random_coupling(Rng& rng) {
+  const auto& cfs = faults::all_coupling_faults();
+  return cfs[rng.next_below(cfs.size())];
+}
+
+TEST(FuzzPopulation, MatrixIdenticalAcrossEngines) {
+  const uint64_t seed = fuzz_seed();
+  const int iters = fuzz_iters(40);
+  SCOPED_TRACE(fuzz_banner("population.matrix", seed, iters));
+  Rng rng(seed);
+
+  std::vector<MarchTest> tests = march::standard_tests();
+  tests.push_back(march::naive_w1r1());
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const Geometry geom{2 + static_cast<int>(rng.next_below(4)),
+                        2 + static_cast<int>(rng.next_below(4))};
+    const MarchTest& test = tests[rng.next_below(tests.size())];
+
+    // 1..5 guarded FFM classes plus at most 2 coupling classes (coupling
+    // expands quadratically; the scalar reference pays one march run per
+    // instance).
+    std::vector<PopulationClass> classes;
+    const std::size_t n_single = 1 + rng.next_below(5);
+    for (std::size_t i = 0; i < n_single; ++i)
+      classes.push_back(
+          PopulationClass::single(random_ffm(rng), random_guard(rng)));
+    const std::size_t n_coupled = rng.next_below(3);
+    for (std::size_t i = 0; i < n_coupled; ++i)
+      classes.push_back(
+          PopulationClass::coupled(random_coupling(rng), random_guard(rng)));
+
+    std::ostringstream repro;
+    repro << "iter " << iter << ": " << geom.num_rows << "x"
+          << geom.num_columns << ", test " << test.name << ", classes [";
+    for (const auto& cls : classes) repro << " " << cls.name();
+    repro << " ]";
+    SCOPED_TRACE(repro.str());
+
+    const auto scalar =
+        march::evaluate_population(test, geom, classes, MemEngine::kScalar);
+    const auto plane =
+        march::evaluate_population(test, geom, classes, MemEngine::kPlane);
+    ASSERT_EQ(scalar.classes.size(), plane.classes.size());
+    EXPECT_EQ(plane.march_passes, 1u);
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      SCOPED_TRACE("class " + classes[c].name());
+      ASSERT_EQ(scalar.classes[c].detected, plane.classes[c].detected);
+      ASSERT_EQ(scalar.classes[c].outcome, plane.classes[c].outcome);
+    }
+  }
+}
+
+TEST(FuzzPopulation, LockstepUnderRandomOperationSequences) {
+  const uint64_t seed = fuzz_seed();
+  const int iters = fuzz_iters(60);
+  SCOPED_TRACE(fuzz_banner("population.lockstep", seed, iters));
+  Rng rng(seed);
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const Geometry geom{2 + static_cast<int>(rng.next_below(4)),
+                        2 + static_cast<int>(rng.next_below(4))};
+    const std::int64_t cells = geom.num_cells();
+
+    // A random population of 1..70 instances (always crossing the 64-lane
+    // batch boundary eventually), duplicates and shared columns allowed.
+    const std::size_t n = 1 + rng.next_below(70);
+    std::vector<PopulationFault> population;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t victim = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(cells)));
+      if (rng.next_below(4) == 0 && cells > 1) {
+        std::int64_t aggressor = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(cells - 1)));
+        if (aggressor >= victim) ++aggressor;
+        population.push_back(PopulationFault::coupled(
+            aggressor, victim, random_coupling(rng), random_guard(rng)));
+      } else {
+        population.push_back(PopulationFault::single(
+            victim, random_ffm(rng), random_guard(rng)));
+      }
+    }
+
+    std::ostringstream repro;
+    repro << "iter " << iter << ": " << geom.num_rows << "x"
+          << geom.num_columns << ", population " << n;
+    SCOPED_TRACE(repro.str());
+
+    PlaneMemory plane(geom, population);
+    std::vector<Memory> scalars;
+    std::vector<bool> scalar_detect(population.size(), false);
+    for (const PopulationFault& f : population) {
+      scalars.emplace_back(geom);
+      if (f.aggressor >= 0)
+        scalars.back().inject_coupling(
+            {f.aggressor, f.victim, f.coupling, f.guard});
+      else
+        scalars.back().inject({f.victim, f.ffm, f.guard});
+    }
+
+    const int n_ops = 8 + static_cast<int>(rng.next_below(40));
+    for (int k = 0; k < n_ops; ++k) {
+      const std::int64_t addr = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(cells)));
+      const int value = static_cast<int>(rng.next_below(2));
+      if (rng.next_bool()) {
+        // `value` doubles as the march expectation — deliberately often
+        // wrong, which exercises the detect latch on both sides.
+        const int ff = plane.read(addr, value);
+        ASSERT_EQ(ff, plane.reference_cell(addr)) << "op " << k;
+        for (std::size_t i = 0; i < scalars.size(); ++i)
+          if (scalars[i].read(addr) != value) scalar_detect[i] = true;
+      } else {
+        plane.write(addr, value);
+        for (Memory& m : scalars) m.write(addr, value);
+      }
+      for (std::size_t i = 0; i < scalars.size(); ++i) {
+        const auto idx = static_cast<std::int64_t>(i);
+        // State-type faults (SF, CFst) act at start-of-next-op in the
+        // scalar engine vs end-of-op in the plane — the between-ops cell
+        // snapshot legitimately differs; the detect flags never do.
+        const PopulationFault& f = population[i];
+        const bool state_type =
+            f.aggressor >= 0
+                ? f.coupling.kind == CouplingFault::Kind::kState
+                : (f.ffm == Ffm::kSF0 || f.ffm == Ffm::kSF1);
+        if (!state_type)
+          ASSERT_EQ(plane.victim_cell(idx), scalars[i].cell(f.victim))
+              << "instance " << i << " after op " << k;
+        ASSERT_EQ(plane.detected(idx), scalar_detect[i])
+            << "instance " << i << " after op " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pf::testing

@@ -1,0 +1,184 @@
+// The A/B identity gates for the word-parallel coverage path: the plane
+// engine's detection matrix must be byte-identical to the scalar reference
+// (same per-instance bits, same DetectionOutcome including first_escape),
+// while spending ONE march pass where the scalar engine spends one per
+// instance.
+#include <gtest/gtest.h>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/march/synthesis.hpp"
+
+namespace pf::march {
+namespace {
+
+using faults::Ffm;
+using memsim::Geometry;
+using memsim::Guard;
+
+/// Assert the two engines produced the same matrix for the same request.
+void expect_identical(const PopulationCoverage& scalar,
+                      const PopulationCoverage& plane,
+                      const std::vector<PopulationClass>& classes) {
+  ASSERT_EQ(scalar.classes.size(), classes.size());
+  ASSERT_EQ(plane.classes.size(), classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    SCOPED_TRACE("class " + classes[c].name());
+    EXPECT_EQ(scalar.classes[c].detected, plane.classes[c].detected);
+    EXPECT_EQ(scalar.classes[c].outcome, plane.classes[c].outcome);
+  }
+}
+
+TEST(PopulationAB, Table1CatalogueTimesMarchPfInOnePass) {
+  // The ISSUE's acceptance gate: 12 guarded partial classes x March PF on
+  // the tier-1 8x8 geometry, full matrix from ONE plane march pass,
+  // byte-identical to the scalar per-victim reference.
+  const Geometry geom{8, 8};
+  const auto classes = table1_partial_classes();
+  ASSERT_EQ(classes.size(), 12u);
+  const auto scalar =
+      evaluate_population(march_pf(), geom, classes, MemEngine::kScalar);
+  const auto plane =
+      evaluate_population(march_pf(), geom, classes, MemEngine::kPlane);
+  expect_identical(scalar, plane, classes);
+
+  // Cost accounting: one pass vs one run per instance.
+  EXPECT_EQ(plane.march_passes, 1u);
+  std::int64_t instances = 0;
+  for (const auto& cls : classes) instances += cls.instances(geom);
+  EXPECT_EQ(scalar.march_passes, static_cast<std::uint64_t>(instances));
+  // Every plane cell-step advances the whole population.
+  EXPECT_EQ(plane.cell_steps,
+            march_pf().length(static_cast<std::uint64_t>(geom.num_cells())) *
+                static_cast<std::uint64_t>(instances));
+  // The paper's headline rows through the one-pass matrix: March PF clears
+  // the guarded RDF classes everywhere (the IRF|buffer rows stay partial —
+  // that boundary is the PaperHeadline suite's territory).
+  for (const auto& po : plane.classes) {
+    if (po.cls.ffm == Ffm::kRDF1 || po.cls.ffm == Ffm::kRDF0) {
+      EXPECT_TRUE(po.outcome.detected_all) << po.cls.name();
+      EXPECT_EQ(po.outcome.first_escape, -1) << po.cls.name();
+    }
+  }
+}
+
+TEST(PopulationAB, EveryStandardTestOnTable1Catalogue) {
+  // Weaker tests leave escapes; the engines must agree on exactly which
+  // instances escape, not just on the counts.
+  const Geometry geom{4, 4};
+  const auto classes = table1_partial_classes();
+  for (const MarchTest& test : standard_tests()) {
+    SCOPED_TRACE(test.name);
+    const auto scalar =
+        evaluate_population(test, geom, classes, MemEngine::kScalar);
+    const auto plane =
+        evaluate_population(test, geom, classes, MemEngine::kPlane);
+    expect_identical(scalar, plane, classes);
+    EXPECT_EQ(plane.march_passes, 1u);
+  }
+}
+
+TEST(PopulationAB, FullCouplingTaxonomyOnSmallArray) {
+  // All 32 two-cell coupling classes, expanded to every ordered pair of a
+  // 2x2 array (12 pairs each): aggressor-major expansion order and the
+  // victim-address first_escape convention must match the scalar path.
+  const Geometry geom{2, 2};
+  std::vector<PopulationClass> classes;
+  for (const auto& cf : faults::all_coupling_faults())
+    classes.push_back(PopulationClass::coupled(cf));
+  for (const MarchTest& test : {march_ss(), march_c_minus(), mats_plus()}) {
+    SCOPED_TRACE(test.name);
+    const auto scalar =
+        evaluate_population(test, geom, classes, MemEngine::kScalar);
+    const auto plane =
+        evaluate_population(test, geom, classes, MemEngine::kPlane);
+    expect_identical(scalar, plane, classes);
+  }
+}
+
+TEST(PopulationAB, GuardedCouplingClassesAgree) {
+  // Coupling + partial-fault guard composition (beyond the Table 1
+  // catalogue) through both engines.
+  const Geometry geom{4, 2};
+  std::vector<PopulationClass> classes;
+  for (const auto& cf : faults::all_coupling_faults()) {
+    classes.push_back(PopulationClass::coupled(cf, Guard::bit_line(0)));
+    classes.push_back(PopulationClass::coupled(cf, Guard::buffer(1)));
+  }
+  const auto scalar =
+      evaluate_population(march_pf(), geom, classes, MemEngine::kScalar);
+  const auto plane =
+      evaluate_population(march_pf(), geom, classes, MemEngine::kPlane);
+  expect_identical(scalar, plane, classes);
+}
+
+TEST(PopulationAB, SingleClassEntryPointsAgreeAcrossEngines) {
+  const Geometry geom{4, 4};
+  for (const Ffm ffm : faults::all_ffms()) {
+    for (const Guard& guard :
+         {Guard::none(), Guard::bit_line(0), Guard::bit_line(1),
+          Guard::buffer(0), Guard::buffer(1), Guard::hidden(true),
+          Guard::hidden(false)}) {
+      for (const MarchTest& test : {march_pf(), mats(), march_c_minus()}) {
+        const DetectionOutcome scalar = evaluate_detection(
+            test, geom, ffm, guard, MemEngine::kScalar);
+        const DetectionOutcome plane = evaluate_detection(
+            test, geom, ffm, guard, MemEngine::kPlane);
+        EXPECT_EQ(scalar, plane)
+            << test.name << " on " << PopulationClass::single(ffm, guard).name();
+      }
+    }
+  }
+}
+
+TEST(PopulationAB, CoverageFractionsAgreeAcrossEngines) {
+  const Geometry geom{4, 2};
+  for (const MarchTest& test : standard_tests()) {
+    SCOPED_TRACE(test.name);
+    EXPECT_EQ(static_ffm_coverage(test, geom, MemEngine::kScalar),
+              static_ffm_coverage(test, geom, MemEngine::kPlane));
+    EXPECT_EQ(coupling_coverage(test, geom, MemEngine::kScalar),
+              coupling_coverage(test, geom, MemEngine::kPlane));
+  }
+}
+
+TEST(PopulationAB, HiddenInactiveGuardNeverDetects) {
+  // A hidden- guard means the fault is never sensitized: both engines must
+  // report zero detections with the first victim as the first escape.
+  const Geometry geom{4, 4};
+  const auto classes = {PopulationClass::single(Ffm::kRDF1,
+                                                Guard::hidden(false))};
+  for (const MemEngine engine : {MemEngine::kScalar, MemEngine::kPlane}) {
+    const auto coverage =
+        evaluate_population(march_pf(), geom, classes, engine);
+    EXPECT_EQ(coverage.classes[0].outcome.detected_count, 0);
+    EXPECT_EQ(coverage.classes[0].outcome.first_escape, 0);
+    EXPECT_FALSE(coverage.classes[0].outcome.detected_all);
+  }
+}
+
+TEST(PopulationAB, SynthesisFindsSameTestOnEitherEngine) {
+  // The greedy synthesizer scores candidates through evaluate_population;
+  // engine choice must affect only the cost (march passes), never the
+  // search result.
+  SynthesisOptions scalar_options;
+  scalar_options.geometry = {4, 2};
+  scalar_options.engine = MemEngine::kScalar;
+  SynthesisOptions plane_options = scalar_options;
+  plane_options.engine = MemEngine::kPlane;
+  const std::vector<TargetFault> targets = {
+      TargetFault::single(Ffm::kRDF1, Guard::bit_line(0)),
+      TargetFault::single(Ffm::kIRF0, Guard::buffer(1)),
+      TargetFault::single(Ffm::kTFUp),
+  };
+  const SynthesisResult scalar = synthesize_march(targets, scalar_options);
+  const SynthesisResult plane = synthesize_march(targets, plane_options);
+  EXPECT_EQ(scalar.test.to_string(), plane.test.to_string());
+  EXPECT_EQ(scalar.detected_targets, plane.detected_targets);
+  // kPlane pays one march pass per candidate scored; kScalar pays one per
+  // candidate x instance.
+  EXPECT_LT(plane.evaluations, scalar.evaluations);
+}
+
+}  // namespace
+}  // namespace pf::march

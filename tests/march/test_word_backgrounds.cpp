@@ -37,7 +37,7 @@ TEST(WordMemory, BitMappingIsWordMajor) {
 TEST(WordMemory, RejectsBadArguments) {
   EXPECT_THROW(WordMemory(0, 8), pf::Error);
   EXPECT_THROW(WordMemory(8, 0), pf::Error);
-  EXPECT_THROW(WordMemory(8, 33), pf::Error);
+  EXPECT_THROW(WordMemory(8, 65), pf::Error);
   WordMemory mem(4, 8);
   EXPECT_THROW(mem.write(0, 0x100), pf::Error);
   EXPECT_THROW(mem.write(9, 0), pf::Error);
@@ -51,6 +51,7 @@ TEST(Backgrounds, StandardSetSizeIsLogPlusOne) {
   EXPECT_EQ(standard_backgrounds(8).size(), 4u);
   EXPECT_EQ(standard_backgrounds(16).size(), 5u);
   EXPECT_EQ(standard_backgrounds(32).size(), 6u);
+  EXPECT_EQ(standard_backgrounds(64).size(), 7u);
 }
 
 TEST(Backgrounds, EightBitPatternsAreTheClassicSet) {
@@ -63,12 +64,12 @@ TEST(Backgrounds, EightBitPatternsAreTheClassicSet) {
 }
 
 TEST(Backgrounds, EveryBitPairIsDistinguished) {
-  for (int width : {2, 4, 8, 16, 32}) {
+  for (int width : {2, 4, 8, 16, 32, 64}) {
     const auto bgs = standard_backgrounds(width);
     for (int i = 0; i < width; ++i)
       for (int j = i + 1; j < width; ++j) {
         bool distinguished = false;
-        for (uint32_t bg : bgs)
+        for (std::uint64_t bg : bgs)
           distinguished |= ((bg >> i) & 1u) != ((bg >> j) & 1u);
         EXPECT_TRUE(distinguished)
             << "width " << width << " bits " << i << "," << j;
@@ -144,6 +145,59 @@ TEST(WordMarch, IntraWordWriteDisturbIsMaskedByTheWordWrite) {
   EXPECT_FALSE(run_march_backgrounds(march_c_minus(), mem,
                                      standard_backgrounds(8))
                    .detected);
+}
+
+TEST(WordMemory, Width64RoundTrip) {
+  WordMemory mem(2, 64);
+  const std::uint64_t pattern = 0xDEADBEEFCAFEF00Dull;
+  mem.write(1, pattern);
+  EXPECT_EQ(mem.read(1), pattern);
+  mem.write(1, ~std::uint64_t{0});
+  EXPECT_EQ(mem.read(1), ~std::uint64_t{0});
+  EXPECT_EQ(mem.cell_of(1, 63), 127);
+}
+
+TEST(WordMarch, Width64FaultFreePassesAllBackgrounds) {
+  WordMemory mem(2, 64);
+  const auto result = run_march_backgrounds(march_c_minus(), mem,
+                                            standard_backgrounds(64));
+  EXPECT_FALSE(result.detected);
+  EXPECT_EQ(result.ops_executed, 7u * march_c_minus().length(2));
+}
+
+TEST(WordMarch, Width64IntraWordCouplingNeedsNonSolidBackground) {
+  // CFst between bit 63 and bit 1 of one 64-bit word: invisible under the
+  // solid background (all bits agree), exposed by the standard 7-background
+  // set, which distinguishes every bit pair of a 64-bit word. This is the
+  // behavior the width <= 32 limit used to make untestable.
+  auto inject = [](WordMemory& mem) {
+    mem.bits().inject_coupling({mem.cell_of(1, 63), mem.cell_of(1, 1),
+                                {CfKind::kState, 1, Op::Kind::kWrite0, 0},
+                                memsim::Guard::none()});
+  };
+  WordMemory solid(2, 64);
+  inject(solid);
+  EXPECT_FALSE(run_march_word(march_c_minus(), solid, 0x00).detected);
+  WordMemory swept(2, 64);
+  inject(swept);
+  EXPECT_TRUE(run_march_backgrounds(march_c_minus(), swept,
+                                    standard_backgrounds(64))
+                  .detected);
+}
+
+TEST(WordMarch, Width64DoubleCheckerboardExposesAdjacentPairBits) {
+  // The double-checkerboard stripe (period 4) distinguishes bits 2k and
+  // 2k+2 where the plain checkerboard does not; verify on a 64-bit word.
+  WordMemory mem(2, 64);
+  mem.bits().inject_coupling({mem.cell_of(0, 2), mem.cell_of(0, 0),
+                              {CfKind::kState, 1, Op::Kind::kWrite0, 0},
+                              memsim::Guard::none()});
+  const auto bgs = standard_backgrounds(64);
+  // Solid and checkerboard agree on bits 0 and 2...
+  EXPECT_FALSE(run_march_word(march_c_minus(), mem, bgs[0]).detected);
+  EXPECT_FALSE(run_march_word(march_c_minus(), mem, bgs[1]).detected);
+  // ...the double checkerboard splits them.
+  EXPECT_TRUE(run_march_word(march_c_minus(), mem, bgs[2]).detected);
 }
 
 TEST(WordMarch, PartialFaultDetectionCarriesOver) {

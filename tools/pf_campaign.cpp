@@ -5,6 +5,12 @@
 //                                             a campaign (in-process
 //                                             analysis jobs cannot live in
 //                                             a spec file)
+//   pf_campaign --coverage    [run flags]     behavioral coverage matrix:
+//                                             Table 1 partial-fault classes
+//                                             x standard march tests, one
+//                                             population job per test
+//     --cells N      array size for --coverage (default 4096)
+//     --engine E     memory engine for --coverage: plane (default) | scalar
 //
 // Run flags:
 //   --store DIR        result store (pf_served layout): cross-job and
@@ -45,7 +51,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --spec FILE | --table1\n"
+      "usage: %s --spec FILE | --table1 | --coverage\n"
+      "          [--cells N] [--engine plane|scalar]\n"
       "          [--store DIR] [--journal FILE] [--no-resume]\n"
       "          [--retry-failed] [--socket PATH] [--threads N]\n"
       "          [--attempts N] [--backoff-ms MS] [--deadline S]\n"
@@ -73,14 +80,26 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string report_path;
   bool table1 = false;
+  bool coverage = false;
   bool quiet = false;
   double deadline_seconds = 0.0;
+  long long coverage_cells = 4096;
+  pf::march::MemEngine coverage_engine = pf::march::MemEngine::kPlane;
   pf::campaign::CampaignOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
     if (arg == "--spec" && has_value) spec_path = argv[++i];
     else if (arg == "--table1") table1 = true;
+    else if (arg == "--coverage") coverage = true;
+    else if (arg == "--cells" && has_value)
+      coverage_cells = std::atoll(argv[++i]);
+    else if (arg == "--engine" && has_value) {
+      const std::string engine = argv[++i];
+      if (engine == "scalar") coverage_engine = pf::march::MemEngine::kScalar;
+      else if (engine == "plane") coverage_engine = pf::march::MemEngine::kPlane;
+      else return usage(argv[0]);
+    }
     else if (arg == "--store" && has_value) options.store_root = argv[++i];
     else if (arg == "--journal" && has_value) options.journal_path = argv[++i];
     else if (arg == "--no-resume") options.resume = false;
@@ -98,7 +117,8 @@ int main(int argc, char** argv) {
     else if (arg == "--quiet") quiet = true;
     else return usage(argv[0]);
   }
-  if (spec_path.empty() == !table1) return usage(argv[0]);
+  const int modes = int(!spec_path.empty()) + int(table1) + int(coverage);
+  if (modes != 1) return usage(argv[0]);
 
   // Deterministic fault injection for the crash/robustness tests
   // (PF_CAMPAIGN_FAULTS="site[=job][:n],...").
@@ -122,10 +142,22 @@ int main(int argc, char** argv) {
 
   try {
     pf::campaign::CampaignSpec spec;
-    if (table1)
+    pf::campaign::CoverageCampaignOptions coverage_options;
+    if (table1) {
       spec = pf::campaign::table1_campaign();
-    else
+    } else if (coverage) {
+      const int columns = coverage_cells % 64 == 0 ? 64 : 8;
+      if (coverage_cells < columns || coverage_cells % columns != 0) {
+        std::fprintf(stderr, "--cells must be a positive multiple of %d\n",
+                     columns);
+        return 2;
+      }
+      coverage_options.geometry = {int(coverage_cells / columns), columns};
+      coverage_options.engine = coverage_engine;
+      spec = pf::campaign::coverage_campaign(coverage_options);
+    } else {
       spec = pf::campaign::CampaignSpec::load_file(spec_path);
+    }
 
     const pf::campaign::CampaignResult result =
         pf::campaign::run_campaign(spec, options);
@@ -141,6 +173,25 @@ int main(int argc, char** argv) {
       const std::vector<pf::analysis::Table1Row> rows =
           pf::campaign::table1_rows_from_result(spec, result);
       std::printf("%s", pf::analysis::format_table1(rows).c_str());
+    }
+    if (coverage && result.all_done()) {
+      const auto entries = pf::campaign::coverage_from_result(spec, result);
+      std::printf("coverage matrix (%s engine, %dx%d array):\n",
+                  pf::march::mem_engine_name(coverage_options.engine),
+                  coverage_options.geometry.num_rows,
+                  coverage_options.geometry.num_columns);
+      for (const auto& entry : entries) {
+        std::printf("  %-12s", entry.test.c_str());
+        for (const auto& cls : entry.classes)
+          std::printf(" %s:%s", cls.name.c_str(),
+                      cls.outcome.detected_all
+                          ? "X"
+                          : (cls.outcome.detected_count > 0 ? "(x)" : "."));
+        std::printf("  [%llu cell-steps, %llu march pass%s]\n",
+                    static_cast<unsigned long long>(entry.cell_steps),
+                    static_cast<unsigned long long>(entry.march_passes),
+                    entry.march_passes == 1 ? "" : "es");
+      }
     }
     if (!report_path.empty()) {
       const std::string report = result.report(spec);
