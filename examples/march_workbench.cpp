@@ -3,6 +3,8 @@
 // (b) behaviorally injected (partial) fault primitives on a 64-cell array.
 //
 // Usage: march_workbench [--population] [--cells N] [--engine scalar|plane]
+//                        [--search] [--seed S] [--budget N] [--set NAME]
+//                        [--fuzz-case SEED:ITER]
 //
 //   --population   skip the electrical section and evaluate the paper's
 //                  full Table 1 partial-fault catalogue (12 guarded
@@ -10,6 +12,17 @@
 //   --cells N      array size for the population matrix (default 4096)
 //   --engine E     memory engine for the behavioral matrices: "plane"
 //                  (word-parallel, default) or "scalar" (reference)
+//   --search       run the seeded anytime march-test optimizer
+//                  (pf/march/search.hpp) over the standard target sets on
+//                  the 4x2 tier-1 geometry, printing the incumbent-
+//                  improvement trace and the necessity-certificate table
+//   --seed S       search seed (default 1)
+//   --budget N     search evaluation budget in march passes (default 20000)
+//   --set NAME     restrict --search to one named target set
+//   --fuzz-case SEED:ITER
+//                  replay the exact random target set the fuzz suite
+//                  (tests/fuzz/test_fuzz_search.cpp) drew at iteration ITER
+//                  of PF_TEST_SEED=SEED — the shrinker's repro line
 //
 // Both behavioral modes report the engine mode and the achieved
 // cell-steps/s (machine-operations per second).
@@ -26,6 +39,8 @@
 #include "pf/dram/column.hpp"
 #include "pf/march/coverage.hpp"
 #include "pf/march/library.hpp"
+#include "pf/march/search.hpp"
+#include "pf/testing/generators.hpp"
 #include "pf/util/cancellation.hpp"
 #include "pf/util/error.hpp"
 #include "pf/util/table.hpp"
@@ -34,8 +49,14 @@ namespace {
 
 struct Options {
   bool population = false;
+  bool search = false;
   std::int64_t cells = 4096;
   pf::march::MemEngine engine = pf::march::MemEngine::kPlane;
+  std::uint64_t seed = 1;
+  std::uint64_t budget = 20000;
+  std::string set;        ///< --search: restrict to one named target set
+  std::string fuzz_case;  ///< --search: "SEED:ITER" fuzz repro
+  pf::CancellationToken cancel;
 };
 
 /// Tracks machine-operations and wall time across evaluate_population
@@ -106,6 +127,104 @@ int run_population(const Options& opts) {
               static_cast<long long>(geom.num_cells()),
               table.to_string().c_str());
   meter.report(opts.engine);
+  return 0;
+}
+
+/// The --search mode: seeded anytime optimization over march tests with
+/// per-element/per-operation necessity certificates, vs the greedy
+/// assembler and March PF's 16N.
+int run_search(const Options& opts) {
+  using namespace pf;
+
+  std::vector<march::NamedTargetSet> sets;
+  if (!opts.fuzz_case.empty()) {
+    const auto colon = opts.fuzz_case.find(':');
+    PF_CHECK_MSG(colon != std::string::npos,
+                 "--fuzz-case wants SEED:ITER, got '" << opts.fuzz_case
+                                                      << "'");
+    const std::uint64_t seed =
+        std::strtoull(opts.fuzz_case.substr(0, colon).c_str(), nullptr, 0);
+    const int iter = std::atoi(opts.fuzz_case.c_str() + colon + 1);
+    Rng rng(testing::fuzz_case_seed(seed, iter));
+    sets.push_back({"fuzz-" + opts.fuzz_case, testing::random_target_set(rng)});
+  } else {
+    for (auto& set : march::standard_target_sets())
+      if (opts.set.empty() || set.name == opts.set) sets.push_back(set);
+    PF_CHECK_MSG(!sets.empty(), "unknown target set '" << opts.set << "'");
+  }
+
+  const memsim::Geometry geom{4, 2};
+  const int pf_ops = march::march_pf().ops_per_cell();
+  for (const march::NamedTargetSet& set : sets) {
+    std::printf("=== target set %s (%zu targets) ===\n", set.name.c_str(),
+                set.targets.size());
+    for (const auto& t : set.targets) std::printf("    %s\n", t.name().c_str());
+
+    march::SearchOptions sopt;
+    sopt.synthesis.geometry = geom;
+    sopt.synthesis.engine = opts.engine;
+    sopt.synthesis.budget.seed = opts.seed;
+    sopt.synthesis.budget.max_evaluations = opts.budget;
+    sopt.synthesis.budget.cancel = opts.cancel;
+    const march::SearchResult result = march::search_march(set.targets, sopt);
+
+    std::printf("greedy   : %2dN  %s%s\n",
+                result.greedy.test.ops_per_cell(),
+                result.greedy.test.to_string().c_str(),
+                result.greedy.success ? "" : "  [incomplete detection]");
+    std::printf("March PF : %2dN  %s\n", pf_ops,
+                march::march_pf().to_string().c_str());
+    std::printf("incumbent trace (seed %llu, budget %llu march passes):\n",
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(opts.budget));
+    for (const march::SearchImprovement& imp : result.trace)
+      std::printf("  eval %8llu  %2dN %zu elems  %-20s %s\n",
+                  static_cast<unsigned long long>(imp.evaluation),
+                  imp.ops_per_cell, imp.elements, imp.move.c_str(),
+                  imp.test.to_string().c_str());
+    std::printf("search   : %2dN  %s%s%s\n", result.ops_per_cell,
+                result.test.to_string().c_str(),
+                result.budget_exhausted ? "  [budget exhausted]" : "",
+                result.cancelled ? "  [interrupted]" : "");
+
+    if (result.success) {
+      // The scalar oracle has the last word on every returned test.
+      std::vector<march::PopulationClass> classes;
+      for (const auto& t : set.targets)
+        classes.push_back(t.coupling.has_value()
+                              ? march::PopulationClass::coupled(*t.coupling,
+                                                                t.guard)
+                              : march::PopulationClass::single(t.ffm, t.guard));
+      const auto oracle = march::evaluate_population(
+          result.test, geom, classes, march::MemEngine::kScalar);
+      bool verified = true;
+      for (const auto& po : oracle.classes) verified &= po.outcome.detected_all;
+      std::printf("scalar oracle: %s\n",
+                  verified ? "full detection CONFIRMED" : "DISAGREES (BUG)");
+
+      std::printf("necessity certificate (%s, %llu passes):\n",
+                  result.certificate.complete
+                      ? "complete: test is 1-minimal"
+                      : "INCOMPLETE (interrupted)",
+                  static_cast<unsigned long long>(
+                      result.certificate.evaluations));
+      for (const march::NecessityWitness& w : result.certificate.witnesses)
+        std::printf("  %s\n", w.to_string(result.test).c_str());
+    } else {
+      std::printf("no feasible test found (greedy detected %d/%d targets)\n",
+                  result.greedy.detected_targets, result.greedy.total_targets);
+    }
+    const char* verdict =
+        !result.success ? "open"
+        : result.ops_per_cell < result.greedy.test.ops_per_cell()
+            ? "STRICTLY SHORTER than greedy"
+        : result.certificate.complete
+            ? "greedy already 1-minimal (certificate above)"
+            : "no improvement";
+    std::printf("verdict: %s; vs March PF %dN: %+dN\n\n", verdict, pf_ops,
+                result.ops_per_cell - pf_ops);
+    if (result.cancelled) return pf::kExitInterrupted;
+  }
   return 0;
 }
 
@@ -196,8 +315,18 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--population") {
       opts.population = true;
+    } else if (arg == "--search") {
+      opts.search = true;
     } else if (arg == "--cells" && i + 1 < argc) {
       opts.cells = std::atoll(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--budget" && i + 1 < argc) {
+      opts.budget = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--set" && i + 1 < argc) {
+      opts.set = argv[++i];
+    } else if (arg == "--fuzz-case" && i + 1 < argc) {
+      opts.fuzz_case = argv[++i];
     } else if (arg == "--engine" && i + 1 < argc) {
       const std::string engine = argv[++i];
       if (engine == "scalar") {
@@ -212,15 +341,19 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: march_workbench [--population] [--cells N] "
-                   "[--engine scalar|plane]\n");
+                   "[--engine scalar|plane]\n"
+                   "                       [--search] [--seed S] [--budget N] "
+                   "[--set NAME] [--fuzz-case SEED:ITER]\n");
       return 2;
     }
   }
 
   pf::SignalCancellation on_signal;
+  opts.cancel = on_signal.token();
   pf::dram::DramParams params;
   params.sim.cancel = on_signal.token();
   try {
+    if (opts.search) return run_search(opts);
     if (opts.population) return run_population(opts);
     return run(params, opts);
   } catch (const pf::CancelledError& e) {

@@ -49,9 +49,19 @@ if [[ "${PF_SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "== backend A/B under sanitizers (${SAN_BUILD}, address,undefined)"
   cmake -B "$SAN_BUILD" -S . -DPF_SANITIZE=address,undefined >/dev/null
   cmake --build "$SAN_BUILD" -j "$JOBS" \
-    --target test_dram test_analysis test_memsim test_march
+    --target test_dram test_analysis test_memsim test_march test_fuzz
   ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$JOBS" \
     -R 'BatchedColumn|CircuitReuse|EnginePlan|PlaneMemory|PopulationAB'
+
+  # SearchAB: the march-search optimizer mutates candidate tests in a hot
+  # loop (element/op erase + crossover splices) and walks per-unit
+  # detection bit vectors — exactly the indexing ASan/UBSan should watch.
+  # Runs the full Search* suite plus the seeded FuzzSearch containment
+  # property at a bounded iteration budget.
+  echo "== SearchAB under sanitizers (${SAN_BUILD})"
+  PF_FUZZ_ITERS="$FUZZ_ITERS" \
+    ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$JOBS" \
+    -R 'Search|FuzzSearch'
 fi
 
 echo "== ci gate passed"

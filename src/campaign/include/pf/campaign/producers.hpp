@@ -23,6 +23,7 @@
 #include "pf/campaign/runner.hpp"
 #include "pf/campaign/spec.hpp"
 #include "pf/march/coverage.hpp"
+#include "pf/march/search.hpp"
 
 namespace pf::campaign {
 
@@ -104,6 +105,50 @@ struct CoverageCampaignEntry {
 /// the spec's test order. Throws pf::Error when a coverage job did not
 /// reach kJobDone.
 std::vector<CoverageCampaignEntry> coverage_from_result(
+    const CampaignSpec& spec, const CampaignResult& result);
+
+struct SearchCampaignOptions {
+  memsim::Geometry geometry{4, 2};
+  /// Engine scoring candidates inside each search job (kPlane: one march
+  /// pass per candidate); the scalar oracle check stays in the tests.
+  march::MemEngine engine = march::MemEngine::kPlane;
+  std::uint64_t seed = 0x5EA12C4ULL;
+  std::uint64_t max_evaluations = 20000;
+  /// Target sets to optimize; empty = march::standard_target_sets().
+  std::vector<march::NamedTargetSet> sets;
+  /// When non-empty, every improvement of a job's best incumbent is
+  /// journaled to "<incumbent_dir>/<set-slug>.incumbent" (tmp + rename,
+  /// march notation) and a resumed job re-seeds its search from that file —
+  /// a kill -9 mid-search loses at most the work since the last
+  /// improvement, not the incumbent itself. Empty disables the side
+  /// journal (the campaign's own DONE journal still makes finished jobs
+  /// crash-safe).
+  std::string incumbent_dir;
+};
+
+/// March-test search as a campaign: one resumable custom job per target set
+/// ("search-{set}") running search_march seeded from greedy, March PF and
+/// the job's journaled incumbent (if any), plus a "search-summary" job that
+/// counts strictly-shorter-than-greedy wins and complete certificates.
+CampaignSpec search_campaign(const SearchCampaignOptions& options = {});
+
+/// One target set's slice of a finished search_campaign run.
+struct SearchCampaignEntry {
+  std::string set;
+  march::MarchTest test;
+  bool success = false;
+  int ops_per_cell = 0;
+  int greedy_ops_per_cell = 0;
+  bool shorter_than_greedy = false;
+  bool certificate_complete = false;
+  std::size_t witnesses = 0;
+  std::uint64_t evaluations = 0;  ///< search + certification march passes
+};
+
+/// Reassemble per-set results from a finished search_campaign run, in the
+/// spec's set order. Throws pf::Error when a search job did not reach
+/// kJobDone.
+std::vector<SearchCampaignEntry> search_from_result(
     const CampaignSpec& spec, const CampaignResult& result);
 
 }  // namespace pf::campaign

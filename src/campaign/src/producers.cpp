@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 
 #include "pf/dram/defect.hpp"
 #include "pf/march/library.hpp"
@@ -443,6 +446,163 @@ analysis::CompletionResult completion_from_result(
   comp.sos_runs = uint64_t(payload.number_or("sos_runs", 0));
   comp.solver_failures = uint64_t(payload.number_or("solver_failures", 0));
   return comp;
+}
+
+// --- march-search campaign ---------------------------------------------------
+
+namespace {
+
+/// Journal the improved incumbent with the cache's manifest-last
+/// discipline (tmp + rename) so a kill -9 mid-write never leaves a torn
+/// file for the resumed job to parse.
+void write_incumbent(const std::string& path, const march::MarchTest& test) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // journaling is best-effort; the search goes on
+    out << test.to_string() << "\n";
+    out.flush();
+    if (!out) return;
+  }
+  fs::rename(tmp, path, ec);
+}
+
+/// The last journaled incumbent, if the file exists and parses; an
+/// unreadable / torn file is ignored (search_march drops infeasible
+/// incumbents anyway, this only skips the obviously broken ones).
+std::optional<march::MarchTest> read_incumbent(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string notation;
+  std::getline(in, notation);
+  try {
+    return march::MarchTest::parse(notation, "journaled incumbent");
+  } catch (const pf::Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+CampaignSpec search_campaign(const SearchCampaignOptions& options) {
+  SearchCampaignOptions opts = options;
+  if (opts.sets.empty()) opts.sets = march::standard_target_sets();
+  PF_CHECK_MSG(opts.geometry.num_rows > 0 && opts.geometry.num_columns > 0,
+               "search campaign needs a non-empty geometry");
+  PF_CHECK_MSG(!opts.sets.empty(), "search campaign needs target sets");
+
+  CampaignSpec spec;
+  spec.name = "march-search";
+  CampaignJob summary;
+  summary.id = "search-summary";
+  summary.kind = CampaignJob::Kind::kCustom;
+
+  for (const march::NamedTargetSet& set : opts.sets) {
+    CampaignJob job;
+    job.id = "search-" + test_slug(set.name);
+    job.kind = CampaignJob::Kind::kCustom;
+    const march::NamedTargetSet set_copy = set;
+    const memsim::Geometry geometry = opts.geometry;
+    const march::MemEngine engine = opts.engine;
+    const std::uint64_t seed = opts.seed;
+    const std::uint64_t max_evaluations = opts.max_evaluations;
+    const std::string incumbent_path =
+        opts.incumbent_dir.empty()
+            ? std::string()
+            : opts.incumbent_dir + "/" + test_slug(set.name) + ".incumbent";
+    job.custom = [set_copy, geometry, engine, seed, max_evaluations,
+                  incumbent_path](const DepContext&) {
+      march::SearchOptions search;
+      search.synthesis.geometry = geometry;
+      search.synthesis.engine = engine;
+      search.synthesis.budget.seed = seed;
+      search.synthesis.budget.max_evaluations = max_evaluations;
+      if (!incumbent_path.empty()) {
+        if (auto journaled = read_incumbent(incumbent_path))
+          search.extra_incumbents.push_back(std::move(*journaled));
+        search.on_improvement = [incumbent_path](
+                                    const march::SearchImprovement& imp) {
+          write_incumbent(incumbent_path, imp.test);
+        };
+      }
+      const march::SearchResult result =
+          march::search_march(set_copy.targets, search);
+      JsonObject obj;
+      obj["set"] = Json(set_copy.name);
+      obj["test"] = Json(result.test.to_string());
+      obj["success"] = Json(result.success);
+      obj["ops_per_cell"] = Json(double(result.ops_per_cell));
+      obj["greedy_ops_per_cell"] =
+          Json(double(result.greedy.test.ops_per_cell()));
+      obj["greedy_success"] = Json(result.greedy.success);
+      obj["evaluations"] = Json(double(result.evaluations));
+      obj["certificate_complete"] = Json(result.certificate.complete);
+      obj["witnesses"] = Json(double(result.certificate.witnesses.size()));
+      obj["improvements"] = Json(double(result.trace.size()));
+      return Json(std::move(obj));
+    };
+    summary.deps.push_back(job.id);
+    spec.jobs.push_back(std::move(job));
+  }
+
+  const auto dep_ids = summary.deps;
+  summary.custom = [dep_ids](const DepContext& ctx) {
+    std::int64_t shorter = 0, certified = 0, solved = 0;
+    double evaluations = 0.0;
+    for (const std::string& id : dep_ids) {
+      const Json& payload = ctx.payload(id);
+      const bool success = payload.get("success").as_bool();
+      solved += success;
+      shorter += success && payload.get("greedy_success").as_bool() &&
+                 payload.get("ops_per_cell").as_number() <
+                     payload.get("greedy_ops_per_cell").as_number();
+      certified += payload.get("certificate_complete").as_bool();
+      evaluations += payload.get("evaluations").as_number();
+    }
+    JsonObject obj;
+    obj["sets"] = Json(double(dep_ids.size()));
+    obj["solved"] = Json(double(solved));
+    obj["shorter_than_greedy"] = Json(double(shorter));
+    obj["certified_minimal"] = Json(double(certified));
+    obj["evaluations"] = Json(evaluations);
+    return Json(std::move(obj));
+  };
+  spec.jobs.push_back(std::move(summary));
+  return spec;
+}
+
+std::vector<SearchCampaignEntry> search_from_result(
+    const CampaignSpec& spec, const CampaignResult& result) {
+  std::vector<SearchCampaignEntry> entries;
+  for (const CampaignJob& job : spec.jobs) {
+    if (job.kind != CampaignJob::Kind::kCustom || job.id == "search-summary" ||
+        job.id.rfind("search-", 0) != 0)
+      continue;
+    const auto it = result.jobs.find(job.id);
+    PF_CHECK_MSG(it != result.jobs.end() &&
+                     it->second.state == JobState::kJobDone,
+                 "search campaign job \"" << job.id << "\" did not complete");
+    const Json& payload = it->second.detail.get("payload");
+    SearchCampaignEntry entry;
+    entry.set = payload.get("set").as_string();
+    entry.test = march::MarchTest::parse(payload.get("test").as_string(),
+                                         "search(" + entry.set + ")");
+    entry.success = payload.get("success").as_bool();
+    entry.ops_per_cell = int(payload.get("ops_per_cell").as_number());
+    entry.greedy_ops_per_cell =
+        int(payload.get("greedy_ops_per_cell").as_number());
+    entry.shorter_than_greedy =
+        entry.success && payload.get("greedy_success").as_bool() &&
+        entry.ops_per_cell < entry.greedy_ops_per_cell;
+    entry.certificate_complete = payload.get("certificate_complete").as_bool();
+    entry.witnesses = std::size_t(payload.get("witnesses").as_number());
+    entry.evaluations = std::uint64_t(payload.get("evaluations").as_number());
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 }  // namespace pf::campaign

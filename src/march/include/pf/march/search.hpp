@@ -1,0 +1,138 @@
+// March-test search beyond greedy synthesis: a seeded, deterministic,
+// ANYTIME optimizer over march tests.
+//
+// The greedy assembler (pf/march/synthesis.hpp) has no way to escape a bad
+// early pick — it routinely lands on tests no shorter than March PF's 16N.
+// The PlaneMemory population engine made scoring a full candidate test ONE
+// march pass, which is exactly the cheap fitness oracle a serious search
+// needs. search_march starts from the greedy result (and March PF itself)
+// as incumbents, then runs a local-search loop over moves
+//
+//   element deletion / single-operation deletion / intra-element reorder /
+//   address-order flip / element swap-in from the candidate pool /
+//   crossover between archived incumbents
+//
+// accepting moves that preserve FULL detection of the target set while
+// shortening weighted length (ops/cell first, element count second), with
+// simulated-annealing escapes under a fixed seed and an evaluation /
+// wall-clock budget. Determinism contract: identical (targets, options,
+// seed, max_evaluations, engine) reproduce a byte-identical result at any
+// thread count — the optimizer is single-threaded by construction and draws
+// every choice from one splitmix64 stream.
+//
+// Every returned test carries a NECESSITY CERTIFICATE: for each surviving
+// element, and each operation inside it, the optimizer re-evaluates the
+// test with that piece removed and records which target x victim pair goes
+// undetected (or which fault-free read turns inconsistent) — so minimality
+// claims are checkable artifacts, not trust. A complete certificate states
+// the test is 1-minimal: no single piece can be removed. All scoring routes
+// through evaluate_population on the configured engine (kPlane by default);
+// MemEngine::kScalar remains the verification oracle (tests/march/).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pf/march/synthesis.hpp"
+
+namespace pf::march {
+
+/// Why removing one piece of the returned test breaks it.
+struct NecessityWitness {
+  enum class Piece {
+    kElement,  ///< removing whole element `element`
+    kOp,       ///< removing operation `op` of element `element`
+  };
+  enum class Reason {
+    kEscape,        ///< the cited target x victim pair goes undetected
+    kInconsistent,  ///< a fault-free memory now fails the test (the piece
+                    ///< establishes data a later read expects)
+  };
+  Piece piece = Piece::kElement;
+  std::size_t element = 0;
+  int op = -1;  ///< operation index within the element (kOp only)
+  Reason reason = Reason::kEscape;
+  std::string target;          ///< escaping class name (kEscape)
+  std::int64_t victim = -1;    ///< escaping victim / failing read address
+  std::int64_t aggressor = -1; ///< coupling pairs only; -1 otherwise
+
+  /// "- u(r0,w1)[1] => RDF1|BL=0 escapes at victim 3" style line.
+  std::string to_string(const MarchTest& test) const;
+};
+
+/// The checkable minimality artifact attached to every search result.
+struct NecessityCertificate {
+  /// Every element and every operation of the test has a witness: the test
+  /// is 1-minimal (no single-piece removal survives). False when the
+  /// budget/deadline expired before certification finished.
+  bool complete = false;
+  std::vector<NecessityWitness> witnesses;
+  /// March passes spent certifying (also folded into SearchResult::
+  /// evaluations).
+  std::uint64_t evaluations = 0;
+};
+
+/// One accepted improvement of the best incumbent (the trace the workbench
+/// prints and the campaign journals per improvement).
+struct SearchImprovement {
+  std::uint64_t evaluation = 0;  ///< evaluations consumed at acceptance
+  int ops_per_cell = 0;
+  std::size_t elements = 0;
+  std::string move;  ///< "seed:greedy", "op-delete", "crossover", ...
+  MarchTest test;
+};
+
+struct SearchOptions {
+  /// Geometry, candidate pool, scoring engine and the seed/budget knobs
+  /// (SynthesisOptions::strategy is ignored here — search_march IS the
+  /// search strategy).
+  SynthesisOptions synthesis;
+  /// Extra starting incumbents beyond greedy + March PF (e.g. the last
+  /// journaled incumbent of a resumed campaign job). Infeasible entries
+  /// (failing self-consistency or full detection) are silently dropped.
+  std::vector<MarchTest> extra_incumbents;
+  /// Called on every improvement of the best incumbent, including the
+  /// seeding one — the campaign's per-improvement journal hook.
+  std::function<void(const SearchImprovement&)> on_improvement;
+  /// Build the necessity certificate for the returned test (a final
+  /// fixed-point descent: any feasible single-piece removal found while
+  /// certifying is itself accepted as an improvement).
+  bool certify = true;
+};
+
+struct SearchResult {
+  MarchTest test;          ///< best incumbent found
+  bool success = false;    ///< full detection of every target unit
+  int ops_per_cell = 0;
+  std::uint64_t evaluations = 0;  ///< march passes spent by the search +
+                                  ///< certification (greedy seeding is
+                                  ///< reported via `greedy` instead)
+  bool budget_exhausted = false;  ///< stopped on max_evaluations
+  bool cancelled = false;         ///< stopped on deadline / cancel token
+  std::vector<SearchImprovement> trace;  ///< improvements, in order
+  NecessityCertificate certificate;
+  /// The greedy seeding run (its own evaluation accounting), for
+  /// shorter-than-greedy comparisons.
+  SynthesisResult greedy;
+};
+
+/// Run the seeded anytime optimizer. Throws pf::Error only on an empty
+/// target list; budget exhaustion, deadline and cancellation all return the
+/// best incumbent found so far.
+SearchResult search_march(const std::vector<TargetFault>& targets,
+                          const SearchOptions& options = {});
+
+/// A named target set for benches/campaigns/CLIs.
+struct NamedTargetSet {
+  std::string name;
+  std::vector<TargetFault> targets;
+};
+
+/// The standard target sets the bench, the search campaign and the
+/// workbench sweep: the paper's Table 1 completable partial faults (full
+/// catalogue plus read-path and write-path slices), the 12 static FFMs,
+/// the combined static+partial set, and a two-class CFst coupling set.
+std::vector<NamedTargetSet> standard_target_sets();
+
+}  // namespace pf::march

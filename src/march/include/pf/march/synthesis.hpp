@@ -11,12 +11,14 @@
 // not needed for full detection.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "pf/march/coverage.hpp"
 #include "pf/march/test.hpp"
 #include "pf/memsim/memory.hpp"
+#include "pf/util/cancellation.hpp"
 
 namespace pf::march {
 
@@ -45,6 +47,30 @@ struct TargetFault {
   std::string name() const;
 };
 
+/// How synthesize_march assembles a test.
+enum class SearchStrategy {
+  kGreedy,  ///< the classic one-pass greedy grow + reverse prune
+  kSearch,  ///< seeded anytime local search over tests (pf/march/search.hpp)
+};
+
+/// Budget for SearchStrategy::kSearch. `max_evaluations` counts march
+/// passes the optimizer executes (self-consistency runs count 1, population
+/// scores count PopulationCoverage::march_passes — 1 on kPlane, one per
+/// instance on kScalar). The seeding greedy run and the final certification
+/// pass are accounted in the result but not bounded by `max_evaluations`;
+/// the deadline/cancel token bounds EVERYTHING (anytime: the best incumbent
+/// so far is returned, never an exception).
+struct SearchBudget {
+  std::uint64_t seed = 0x5EA12C4ULL;
+  std::uint64_t max_evaluations = 20000;
+  /// Wall-clock budget in seconds, armed on `cancel` at search start
+  /// (first-arm-wins, like ExecutionPolicy); 0 = unbounded.
+  double deadline_seconds = 0.0;
+  /// Cooperative stop: tripping it ends the search at the next evaluation
+  /// and returns the incumbent (the CLI SIGINT path).
+  pf::CancellationToken cancel;
+};
+
 struct SynthesisOptions {
   memsim::Geometry geometry{4, 2};
   int max_elements = 8;
@@ -54,6 +80,10 @@ struct SynthesisOptions {
   /// victim in ONE march pass per candidate; kScalar is the reference
   /// (one pass per target instance).
   MemEngine engine = MemEngine::kPlane;
+  /// kSearch routes synthesize_march through search_march() with `budget`,
+  /// starting from the greedy result (and March PF) as incumbents.
+  SearchStrategy strategy = SearchStrategy::kGreedy;
+  SearchBudget budget;
 };
 
 struct SynthesisResult {

@@ -1,0 +1,519 @@
+#include "pf/march/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "pf/march/library.hpp"
+#include "pf/util/log.hpp"
+#include "pf/util/rng.hpp"
+
+namespace pf::march {
+namespace {
+
+/// Weighted length: ops/cell first (the paper's kN complexity factor),
+/// element count second (fewer address sweeps), notation last so the order
+/// is TOTAL — a deterministic tie-break keeps the whole search replayable.
+struct Cost {
+  int ops = 0;
+  int elements = 0;
+  std::string notation;
+
+  static Cost of(const MarchTest& test) {
+    return {test.ops_per_cell(), static_cast<int>(test.elements.size()),
+            test.to_string()};
+  }
+  friend bool operator<(const Cost& a, const Cost& b) {
+    if (a.ops != b.ops) return a.ops < b.ops;
+    if (a.elements != b.elements) return a.elements < b.elements;
+    return a.notation < b.notation;
+  }
+  friend bool operator==(const Cost& a, const Cost& b) {
+    return a.ops == b.ops && a.elements == b.elements &&
+           a.notation == b.notation;
+  }
+};
+
+/// Flattened score of one candidate test over the whole target population.
+struct Score {
+  bool consistent = false;  ///< passes a fault-free memory
+  bool full = false;        ///< every unit of every class detected
+  std::int64_t detected = 0;
+  std::vector<bool> bits;  ///< per-unit detection, classes concatenated in
+                           ///< expansion order
+};
+
+/// Victim/aggressor of instance `i` of a class in expansion order (victims
+/// ascending for FFMs, aggressor-major ordered pairs for coupling) — the
+/// same order coverage.cpp's scalar loops walk.
+void instance_pair(const PopulationClass& cls, const memsim::Geometry& geom,
+                   std::int64_t i, std::int64_t& victim,
+                   std::int64_t& aggressor) {
+  const std::int64_t n = geom.num_cells();
+  if (!cls.coupling.has_value()) {
+    victim = i;
+    aggressor = -1;
+    return;
+  }
+  aggressor = i / (n - 1);
+  victim = i % (n - 1);
+  if (victim >= aggressor) ++victim;
+}
+
+/// The scoring oracle: every candidate goes through ONE fault-free
+/// consistency run plus one evaluate_population call on the configured
+/// engine, with march passes charged to `evaluations`.
+class Evaluator {
+ public:
+  Evaluator(const std::vector<TargetFault>& targets,
+            const SynthesisOptions& options)
+      : geometry_(options.geometry), engine_(options.engine) {
+    classes_.reserve(targets.size());
+    for (const TargetFault& t : targets)
+      classes_.push_back(t.coupling.has_value()
+                             ? PopulationClass::coupled(*t.coupling, t.guard)
+                             : PopulationClass::single(t.ffm, t.guard));
+    for (const PopulationClass& cls : classes_)
+      total_units_ += cls.instances(geometry_);
+  }
+
+  Score score(const MarchTest& test) {
+    Score s;
+    memsim::Memory clean(geometry_);
+    ++evaluations_;
+    if (run_march(test, clean, clean.size()).detected) return s;
+    s.consistent = true;
+    const PopulationCoverage coverage =
+        evaluate_population(test, geometry_, classes_, engine_);
+    evaluations_ += coverage.march_passes;
+    s.bits.reserve(static_cast<std::size_t>(total_units_));
+    for (const PopulationOutcome& po : coverage.classes) {
+      s.detected += po.outcome.detected_count;
+      s.bits.insert(s.bits.end(), po.detected.begin(), po.detected.end());
+    }
+    s.full = s.detected == total_units_;
+    return s;
+  }
+
+  /// Witness for "removing `piece` from a full-detection test breaks it",
+  /// given the removal's score. Returns false when the removal is still
+  /// feasible (no witness exists — the caller accepts it as an improvement).
+  bool witness(const MarchTest& removed, const Score& s,
+               NecessityWitness& w) {
+    if (s.full && s.consistent) return false;
+    if (!s.consistent) {
+      memsim::Memory clean(geometry_);
+      ++evaluations_;
+      const MarchResult r = run_march(removed, clean, clean.size());
+      w.reason = NecessityWitness::Reason::kInconsistent;
+      w.target = "fault-free";
+      w.victim = r.fails.empty() ? -1 : r.fails.front().addr;
+      w.aggressor = -1;
+      return true;
+    }
+    std::size_t offset = 0;
+    for (const PopulationClass& cls : classes_) {
+      const std::int64_t count = cls.instances(geometry_);
+      for (std::int64_t i = 0; i < count; ++i) {
+        if (!s.bits[offset + static_cast<std::size_t>(i)]) {
+          w.reason = NecessityWitness::Reason::kEscape;
+          w.target = cls.name();
+          instance_pair(cls, geometry_, i, w.victim, w.aggressor);
+          return true;
+        }
+      }
+      offset += static_cast<std::size_t>(count);
+    }
+    return false;  // unreachable for !full, defensive
+  }
+
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::int64_t total_units() const { return total_units_; }
+
+ private:
+  memsim::Geometry geometry_;
+  MemEngine engine_;
+  std::vector<PopulationClass> classes_;
+  std::int64_t total_units_ = 0;
+  std::uint64_t evaluations_ = 0;
+};
+
+MarchTest without_element(const MarchTest& test, std::size_t e) {
+  MarchTest t = test;
+  t.elements.erase(t.elements.begin() + static_cast<std::ptrdiff_t>(e));
+  return t;
+}
+
+MarchTest without_op(const MarchTest& test, std::size_t e, std::size_t o) {
+  MarchTest t = test;
+  t.elements[e].ops.erase(t.elements[e].ops.begin() +
+                          static_cast<std::ptrdiff_t>(o));
+  return t;
+}
+
+}  // namespace
+
+std::string NecessityWitness::to_string(const MarchTest& test) const {
+  std::ostringstream out;
+  const MarchElement& el = element < test.elements.size()
+                               ? test.elements[element]
+                               : MarchElement{};
+  MarchTest one;
+  one.elements.push_back(el);
+  std::string elem_str = one.to_string();  // "{ u(r0,w1) }"
+  if (elem_str.size() > 4)
+    elem_str = elem_str.substr(2, elem_str.size() - 4);
+  if (piece == Piece::kElement) {
+    out << "- " << elem_str << " [elem " << element << "]";
+  } else {
+    out << "- " << (element < test.elements.size() && op >= 0 &&
+                            op < static_cast<int>(el.ops.size())
+                        ? el.ops[static_cast<std::size_t>(op)].to_string()
+                        : "?")
+        << " of " << elem_str << " [elem " << element << " op " << op << "]";
+  }
+  if (reason == Reason::kInconsistent) {
+    out << " => fault-free memory fails";
+    if (victim >= 0) out << " at address " << victim;
+  } else {
+    out << " => " << target << " escapes at victim " << victim;
+    if (aggressor >= 0) out << " (aggressor " << aggressor << ")";
+  }
+  return out.str();
+}
+
+std::vector<NamedTargetSet> standard_target_sets() {
+  using faults::Ffm;
+  using memsim::Guard;
+  auto single = [](Ffm f, Guard g) { return TargetFault::single(f, g); };
+
+  NamedTargetSet read_path{"table1-read",
+                           {single(Ffm::kRDF1, Guard::bit_line(0)),
+                            single(Ffm::kRDF0, Guard::bit_line(1)),
+                            single(Ffm::kDRDF1, Guard::bit_line(1)),
+                            single(Ffm::kDRDF0, Guard::bit_line(0)),
+                            single(Ffm::kIRF0, Guard::buffer(1)),
+                            single(Ffm::kIRF1, Guard::buffer(0))}};
+  NamedTargetSet write_path{"table1-write",
+                            {single(Ffm::kWDF1, Guard::bit_line(0)),
+                             single(Ffm::kWDF0, Guard::bit_line(1)),
+                             single(Ffm::kTFDown, Guard::bit_line(1)),
+                             single(Ffm::kTFUp, Guard::bit_line(0))}};
+
+  NamedTargetSet full{"table1-full", {}};
+  for (const PopulationClass& cls : table1_partial_classes()) {
+    TargetFault t;
+    t.ffm = cls.ffm;
+    t.coupling = cls.coupling;
+    t.guard = cls.guard;
+    full.targets.push_back(t);
+  }
+
+  NamedTargetSet statics{"static-ffms", {}};
+  for (Ffm ffm : faults::all_ffms())
+    statics.targets.push_back(TargetFault::single(ffm));
+
+  NamedTargetSet combined{"static+partial", statics.targets};
+  combined.targets.insert(combined.targets.end(), read_path.targets.begin(),
+                          read_path.targets.end());
+
+  using CfKind = faults::CouplingFault::Kind;
+  NamedTargetSet coupling{
+      "cfst-pair",
+      {TargetFault::coupled(
+           faults::CouplingFault{CfKind::kState, 1, faults::Op::Kind::kWrite0,
+                                 0}),
+       TargetFault::coupled(faults::CouplingFault{
+           CfKind::kState, 0, faults::Op::Kind::kWrite1, 1})}};
+
+  return {full, read_path, write_path, statics, combined, coupling};
+}
+
+SearchResult search_march(const std::vector<TargetFault>& targets,
+                          const SearchOptions& options) {
+  PF_CHECK_MSG(!targets.empty(), "search needs at least one target");
+  const SynthesisOptions& syn = options.synthesis;
+  const SearchBudget& budget = syn.budget;
+  if (budget.deadline_seconds > 0)
+    budget.cancel.arm_deadline_after(budget.deadline_seconds);
+
+  SearchResult result;
+
+  // Seed 1: the greedy assembler (its evaluations are reported separately —
+  // the search budget bounds the OPTIMIZER, greedy is its starting point).
+  {
+    SynthesisOptions greedy_opts = syn;
+    greedy_opts.strategy = SearchStrategy::kGreedy;
+    result.greedy = synthesize_march(targets, greedy_opts);
+  }
+
+  Evaluator eval(targets, syn);
+  Rng rng(budget.seed);
+  const auto stopped = [&] {
+    return budget.cancel.stop_requested() ||
+           eval.evaluations() >= budget.max_evaluations;
+  };
+
+  // Incumbent archive: distinct feasible tests, best first, for crossover.
+  struct Incumbent {
+    MarchTest test;
+    Cost cost;
+  };
+  std::vector<Incumbent> archive;
+  const auto archive_add = [&](const MarchTest& t) {
+    Cost c = Cost::of(t);
+    for (const Incumbent& inc : archive)
+      if (inc.cost == c) return;
+    archive.push_back({t, std::move(c)});
+    std::sort(archive.begin(), archive.end(),
+              [](const Incumbent& a, const Incumbent& b) {
+                return a.cost < b.cost;
+              });
+    if (archive.size() > 8) archive.pop_back();
+  };
+
+  MarchTest best;
+  bool have_best = false;
+  const auto record_improvement = [&](const MarchTest& t,
+                                      const std::string& move) {
+    best = t;
+    best.name = "searched";
+    have_best = true;
+    SearchImprovement imp;
+    imp.evaluation = eval.evaluations();
+    imp.ops_per_cell = t.ops_per_cell();
+    imp.elements = t.elements.size();
+    imp.move = move;
+    imp.test = best;
+    result.trace.push_back(imp);
+    if (options.on_improvement) options.on_improvement(result.trace.back());
+  };
+
+  // Seed the archive: greedy result, March PF, caller incumbents — each
+  // admitted only when feasible (full detection + self-consistent).
+  {
+    std::vector<std::pair<MarchTest, std::string>> seeds;
+    if (result.greedy.success)
+      seeds.emplace_back(result.greedy.test, "seed:greedy");
+    seeds.emplace_back(march_pf(), "seed:march-pf");
+    for (const MarchTest& t : options.extra_incumbents)
+      seeds.emplace_back(t, "seed:incumbent");
+    for (const auto& [t, move] : seeds) {
+      const Score s = eval.score(t);
+      if (!s.consistent || !s.full) continue;
+      archive_add(t);
+      if (!have_best || Cost::of(t) < Cost::of(best))
+        record_improvement(t, move);
+    }
+  }
+
+  if (!have_best) {
+    // No feasible incumbent (e.g. an undetectable hidden-inactive target):
+    // nothing to optimize. Return the greedy attempt, uncertified.
+    result.test = result.greedy.test;
+    result.success = false;
+    result.ops_per_cell = result.test.ops_per_cell();
+    result.evaluations = eval.evaluations();
+    result.cancelled = budget.cancel.stop_requested();
+    return result;
+  }
+
+  std::vector<MarchElement> pool = default_candidate_pool();
+  pool.insert(pool.end(), syn.extra_candidates.begin(),
+              syn.extra_candidates.end());
+
+  // --- the anytime loop ---------------------------------------------------
+  MarchTest current = best;
+  Cost current_cost = Cost::of(current);
+  double temperature = 2.0;
+  constexpr double kCooling = 0.9995;
+  int rejects_in_a_row = 0;
+
+  while (!stopped()) {
+    temperature *= kCooling;
+
+    // Propose a neighbor of `current`.
+    MarchTest neighbor = current;
+    std::string move;
+    const std::size_t n_elems = neighbor.elements.size();
+    switch (rng.next_below(6)) {
+      case 0: {  // element deletion
+        if (n_elems <= 1) continue;
+        neighbor = without_element(neighbor, rng.next_below(n_elems));
+        move = "elem-delete";
+        break;
+      }
+      case 1: {  // single-operation deletion
+        const std::size_t e = rng.next_below(n_elems);
+        auto& ops = neighbor.elements[e].ops;
+        if (ops.empty()) continue;
+        if (ops.size() == 1) {
+          if (n_elems <= 1) continue;
+          neighbor = without_element(neighbor, e);
+          move = "elem-delete";
+        } else {
+          neighbor = without_op(neighbor, e, rng.next_below(ops.size()));
+          move = "op-delete";
+        }
+        break;
+      }
+      case 2: {  // intra-element reorder
+        const std::size_t e = rng.next_below(n_elems);
+        auto& ops = neighbor.elements[e].ops;
+        if (ops.size() < 2) continue;
+        const std::size_t a = rng.next_below(ops.size());
+        const std::size_t b = rng.next_below(ops.size());
+        if (a == b) continue;
+        std::swap(ops[a], ops[b]);
+        move = "reorder";
+        break;
+      }
+      case 3: {  // address-order flip
+        const std::size_t e = rng.next_below(n_elems);
+        Order& order = neighbor.elements[e].order;
+        order = order == Order::kDown ? Order::kUp : Order::kDown;
+        move = "order-flip";
+        break;
+      }
+      case 4: {  // element swap-in from the candidate pool
+        const MarchElement& cand = pool[rng.next_below(pool.size())];
+        if (rng.next_bool()) {
+          neighbor.elements[rng.next_below(n_elems)] = cand;
+          move = "swap-in";
+        } else {
+          neighbor.elements.insert(
+              neighbor.elements.begin() +
+                  static_cast<std::ptrdiff_t>(rng.next_below(n_elems + 1)),
+              cand);
+          move = "insert";
+        }
+        break;
+      }
+      default: {  // crossover with an archived incumbent
+        if (archive.size() < 2) continue;
+        const Incumbent& other = archive[rng.next_below(archive.size())];
+        const std::size_t cut_a = rng.next_below(n_elems + 1);
+        const std::size_t cut_b = rng.next_below(other.test.elements.size() + 1);
+        neighbor.elements.resize(cut_a);
+        neighbor.elements.insert(neighbor.elements.end(),
+                                 other.test.elements.begin() +
+                                     static_cast<std::ptrdiff_t>(cut_b),
+                                 other.test.elements.end());
+        if (neighbor.elements.empty()) continue;
+        move = "crossover";
+        break;
+      }
+    }
+
+    const Score s = eval.score(neighbor);
+    if (!s.consistent || !s.full) {
+      ++rejects_in_a_row;
+      if (rejects_in_a_row >= 64) {  // intensify: return to the incumbent
+        current = best;
+        current_cost = Cost::of(current);
+        rejects_in_a_row = 0;
+      }
+      continue;
+    }
+
+    const Cost neighbor_cost = Cost::of(neighbor);
+    bool accept = neighbor_cost < current_cost;
+    if (!accept) {
+      // Simulated-annealing escape: worse-but-feasible moves keep the walk
+      // out of local minima; the fixed seed keeps it replayable.
+      const double delta =
+          static_cast<double>(neighbor_cost.ops - current_cost.ops) +
+          0.25 * static_cast<double>(neighbor_cost.elements -
+                                     current_cost.elements);
+      accept = rng.next_double() < std::exp(-(delta + 0.05) / temperature);
+    }
+    if (!accept) {
+      ++rejects_in_a_row;
+      if (rejects_in_a_row >= 64) {
+        current = best;
+        current_cost = Cost::of(current);
+        rejects_in_a_row = 0;
+      }
+      continue;
+    }
+
+    rejects_in_a_row = 0;
+    current = neighbor;
+    current_cost = neighbor_cost;
+    archive_add(current);
+    if (current_cost < Cost::of(best)) record_improvement(current, move);
+  }
+
+  result.budget_exhausted = eval.evaluations() >= budget.max_evaluations;
+  result.cancelled = budget.cancel.stop_requested();
+
+  // --- certification: a fixed-point descent over single-piece removals ----
+  // Any feasible removal found here is itself a strict improvement (fewer
+  // ops or fewer elements at equal ops), so accepting it and restarting
+  // keeps the loop finite; at the fixed point every piece has a witness and
+  // the test is 1-minimal. Certification is bounded by the deadline/cancel
+  // token only — a budget-exhausted search still certifies its incumbent.
+  if (options.certify) {
+    const std::uint64_t certify_start = eval.evaluations();
+    bool descended = true;
+    bool aborted = false;
+    while (descended && !aborted) {
+      descended = false;
+      result.certificate.witnesses.clear();
+      for (std::size_t e = 0; e < best.elements.size() && !descended; ++e) {
+        if (budget.cancel.stop_requested()) {
+          aborted = true;
+          break;
+        }
+        if (best.elements.size() > 1) {
+          const MarchTest removed = without_element(best, e);
+          const Score s = eval.score(removed);
+          NecessityWitness w;
+          w.piece = NecessityWitness::Piece::kElement;
+          w.element = e;
+          if (!eval.witness(removed, s, w)) {
+            record_improvement(removed, "certify:elem-delete");
+            descended = true;
+            break;
+          }
+          result.certificate.witnesses.push_back(w);
+        }
+        const std::size_t n_ops = best.elements[e].ops.size();
+        for (std::size_t o = 0; o < n_ops && n_ops > 1; ++o) {
+          if (budget.cancel.stop_requested()) {
+            aborted = true;
+            break;
+          }
+          const MarchTest removed = without_op(best, e, o);
+          const Score s = eval.score(removed);
+          NecessityWitness w;
+          w.piece = NecessityWitness::Piece::kOp;
+          w.element = e;
+          w.op = static_cast<int>(o);
+          if (!eval.witness(removed, s, w)) {
+            record_improvement(removed, "certify:op-delete");
+            descended = true;
+            break;
+          }
+          result.certificate.witnesses.push_back(w);
+        }
+      }
+    }
+    result.certificate.complete = !aborted;
+    if (aborted) result.cancelled = true;
+    result.certificate.evaluations = eval.evaluations() - certify_start;
+  }
+
+  result.test = best;
+  result.success = true;
+  result.ops_per_cell = best.ops_per_cell();
+  result.evaluations = eval.evaluations();
+  PF_LOG_INFO("search found " << result.test.to_string() << " ("
+                              << result.ops_per_cell << "N vs greedy "
+                              << result.greedy.test.ops_per_cell()
+                              << "N) in " << result.evaluations
+                              << " evaluations");
+  return result;
+}
+
+}  // namespace pf::march

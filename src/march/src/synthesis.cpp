@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pf/march/search.hpp"
 #include "pf/util/log.hpp"
 
 namespace pf::march {
@@ -94,6 +95,21 @@ std::vector<MarchElement> default_candidate_pool() {
 SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
                                  const SynthesisOptions& options) {
   PF_CHECK_MSG(!targets.empty(), "synthesis needs at least one target");
+  if (options.strategy == SearchStrategy::kSearch) {
+    // Route through the seeded anytime optimizer (pf/march/search.hpp);
+    // greedy runs inside it as the seeding incumbent.
+    SearchOptions search_options;
+    search_options.synthesis = options;
+    const SearchResult sr = search_march(targets, search_options);
+    SynthesisResult out;
+    out.test = sr.test;
+    out.success = sr.success;
+    out.total_targets = static_cast<int>(targets.size());
+    out.detected_targets =
+        sr.success ? out.total_targets : sr.greedy.detected_targets;
+    out.evaluations = sr.evaluations + sr.greedy.evaluations;
+    return out;
+  }
   SynthesisResult result;
   result.total_targets = static_cast<int>(targets.size());
 
@@ -107,14 +123,24 @@ SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
   test.elements.push_back(elem(Order::kUp, {MarchOp::w(0)}));
 
   const std::vector<PopulationClass> classes = population_classes(targets);
-  auto count_units = [&](const MarchTest& t) {
+  // Score through the SAME engine everywhere — greedy gain, reverse-pass
+  // re-verification and the final report must agree on what is detected.
+  // `score_bits` returns per-unit detection so the reverse pass can demand
+  // a detection SUPERSET, not just an equal count: when synthesis falls
+  // short of full detection, two tests can tie on count while detecting
+  // different units, and count-equality pruning silently traded them.
+  auto score_bits = [&](const MarchTest& t) {
     const PopulationCoverage coverage =
         evaluate_population(t, options.geometry, classes, options.engine);
     result.evaluations += coverage.march_passes;
-    std::int64_t detected = 0;
+    std::vector<bool> bits;
     for (const PopulationOutcome& po : coverage.classes)
-      detected += po.outcome.detected_count;
-    return static_cast<int>(detected);
+      bits.insert(bits.end(), po.detected.begin(), po.detected.end());
+    return bits;
+  };
+  auto count_units = [&](const MarchTest& t) {
+    const std::vector<bool> bits = score_bits(t);
+    return static_cast<int>(std::count(bits.begin(), bits.end(), true));
   };
 
   std::int64_t unit_count = 0;
@@ -170,15 +196,31 @@ SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
     best_count = count_units(test);
   }
 
-  // Reverse pass: drop elements that are not needed.
+  // Reverse pass: drop elements that are not needed. A drop is accepted
+  // only when the shortened test still detects every unit the full test
+  // detected (superset check on the per-unit bits, same engine as scoring).
+  std::vector<bool> kept_bits = score_bits(test);
   for (size_t i = test.elements.size(); i-- > 0;) {
     if (test.elements.size() <= 1) break;
     MarchTest trial = test;
     trial.elements.erase(trial.elements.begin() + static_cast<long>(i));
     if (!self_consistent(trial, options.geometry, result.evaluations))
       continue;
-    if (count_units(trial) == best_count)
+    const std::vector<bool> trial_bits = score_bits(trial);
+    bool covers = true;
+    for (size_t u = 0; u < kept_bits.size(); ++u) {
+      if (kept_bits[u] && !trial_bits[u]) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) {
       test.elements.erase(test.elements.begin() + static_cast<long>(i));
+      kept_bits = trial_bits;
+      best_count =
+          static_cast<int>(std::count(kept_bits.begin(), kept_bits.end(),
+                                      true));
+    }
   }
 
   result.test = std::move(test);
@@ -192,7 +234,9 @@ SynthesisResult synthesize_march(const std::vector<TargetFault>& targets,
       result.detected_targets += po.outcome.detected_all;
   }
   PF_LOG_INFO("synthesized " << result.test.to_string() << " detecting "
-                             << best_count << "/" << result.total_targets);
+                             << best_count << "/" << total_units
+                             << " fault units (" << result.detected_targets
+                             << "/" << result.total_targets << " targets)");
   return result;
 }
 

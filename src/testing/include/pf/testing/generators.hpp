@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "pf/analysis/region.hpp"
+#include "pf/march/synthesis.hpp"
 #include "pf/util/rng.hpp"
 
 namespace pf::testing {
@@ -45,6 +46,15 @@ int fuzz_iters(int default_iters);
 /// One-line banner ("[fuzz] suite=... seed=... iters=...") printed by each
 /// randomized suite so failures carry their reproduction recipe.
 std::string fuzz_banner(const std::string& suite, uint64_t seed, int iters);
+
+/// Derived per-iteration seed: fuzz suites that need an externally
+/// replayable case (march_workbench --fuzz-case SEED:ITER) seed one Rng per
+/// iteration from this instead of drawing from a shared stream, so a repro
+/// does not have to replay every earlier iteration.
+inline uint64_t fuzz_case_seed(uint64_t seed, int iter) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(iter) +
+                 0x5EA12C4ULL);
+}
 
 // --- DramParams perturbations ----------------------------------------------
 
@@ -133,5 +143,16 @@ struct CaseGenConfig {
 };
 
 FuzzCase random_case(Rng& rng, const CaseGenConfig& cfg = {});
+
+// --- March-search target sets ------------------------------------------------
+
+/// A random guarded target set for the march-search fuzz suite: 1..4
+/// guarded FFM targets plus at most one coupling target. Guards are drawn
+/// from the detectable kinds only (hidden guards always active): an
+/// inactive hidden fault is undetectable by construction and would make
+/// every generated case trivially unsynthesizable. Deterministic in `rng`;
+/// `march_workbench --search --fuzz-case SEED:ITER` replays the exact set
+/// the fuzz suite drew at iteration ITER of seed SEED.
+std::vector<march::TargetFault> random_target_set(Rng& rng);
 
 }  // namespace pf::testing

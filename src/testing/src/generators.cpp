@@ -334,4 +334,32 @@ FuzzCase random_case(Rng& rng, const CaseGenConfig& cfg) {
   return c;
 }
 
+std::vector<march::TargetFault> random_target_set(Rng& rng) {
+  using march::TargetFault;
+  const auto random_guard = [&rng] {
+    switch (rng.next_below(4)) {
+      case 0:
+        return memsim::Guard::none();
+      case 1:
+        return memsim::Guard::bit_line(static_cast<int>(rng.next_below(2)));
+      case 2:
+        return memsim::Guard::buffer(static_cast<int>(rng.next_below(2)));
+      default:
+        return memsim::Guard::hidden(true);
+    }
+  };
+  std::vector<TargetFault> targets;
+  const auto& ffms = faults::all_ffms();
+  const std::size_t n_single = 1 + rng.next_below(4);
+  for (std::size_t i = 0; i < n_single; ++i)
+    targets.push_back(TargetFault::single(ffms[rng.next_below(ffms.size())],
+                                          random_guard()));
+  if (rng.next_below(3) == 0) {
+    const auto& cfs = faults::all_coupling_faults();
+    targets.push_back(TargetFault::coupled(cfs[rng.next_below(cfs.size())],
+                                           random_guard()));
+  }
+  return targets;
+}
+
 }  // namespace pf::testing

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "pf/analysis/region.hpp"
 #include "pf/analysis/table1.hpp"
@@ -145,6 +146,90 @@ TEST(CampaignProducers, CompletionCampaignMatchesDirectSearch) {
   EXPECT_EQ(direct.completed.to_string(), via.completed.to_string());
   EXPECT_EQ(direct.candidates_evaluated, via.candidates_evaluated);
   EXPECT_EQ(direct.sos_runs, via.sos_runs);
+}
+
+TEST(CampaignProducers, SearchCampaignMatchesDirectSearch) {
+  SearchCampaignOptions options;
+  options.max_evaluations = 500;
+  options.sets = {march::standard_target_sets().back()};  // cfst-pair
+
+  const CampaignSpec spec = search_campaign(options);
+  ASSERT_EQ(spec.jobs.size(), 2u);  // one set + summary
+  spec.validate();
+  EXPECT_EQ(spec.jobs[0].id, "search-cfst-pair");
+  const CampaignResult result = run_campaign(spec, CampaignOptions{});
+  ASSERT_TRUE(result.all_done());
+
+  const auto entries = search_from_result(spec, result);
+  ASSERT_EQ(entries.size(), 1u);
+
+  // Direct run with the same knobs: identical test (the search is
+  // deterministic, the campaign only wraps it).
+  march::SearchOptions direct_options;
+  direct_options.synthesis.geometry = options.geometry;
+  direct_options.synthesis.budget.seed = options.seed;
+  direct_options.synthesis.budget.max_evaluations = options.max_evaluations;
+  const march::SearchResult direct =
+      march::search_march(options.sets[0].targets, direct_options);
+  EXPECT_EQ(entries[0].test.to_string(), direct.test.to_string());
+  EXPECT_EQ(entries[0].success, direct.success);
+  EXPECT_EQ(entries[0].ops_per_cell, direct.ops_per_cell);
+  EXPECT_EQ(entries[0].certificate_complete, direct.certificate.complete);
+}
+
+TEST(CampaignProducers, SearchCampaignJournalsAndResumesIncumbents) {
+  const std::string dir = ::testing::TempDir() + "producers_search";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SearchCampaignOptions options;
+  options.max_evaluations = 500;
+  options.sets = {march::standard_target_sets().back()};  // cfst-pair
+  options.incumbent_dir = dir + "/incumbents";
+
+  CampaignOptions campaign;
+  campaign.journal_path = dir + "/journal.csv";
+
+  const CampaignSpec spec = search_campaign(options);
+  const CampaignResult cold = run_campaign(spec, campaign);
+  ASSERT_TRUE(cold.all_done());
+  const auto cold_entries = search_from_result(spec, cold);
+  ASSERT_EQ(cold_entries.size(), 1u);
+
+  // Per-improvement journaling left the best incumbent on disk, parseable
+  // and identical to the returned test (the last improvement IS the best).
+  const std::string incumbent_path =
+      options.incumbent_dir + "/cfst-pair.incumbent";
+  ASSERT_TRUE(std::filesystem::exists(incumbent_path));
+  std::ifstream in(incumbent_path);
+  std::string notation;
+  std::getline(in, notation);
+  EXPECT_EQ(march::MarchTest::parse(notation).to_string(),
+            cold_entries[0].test.to_string());
+
+  // Resume: the journal restores the DONE job without re-running it.
+  const CampaignResult resumed = run_campaign(search_campaign(options),
+                                              campaign);
+  ASSERT_TRUE(resumed.all_done());
+  EXPECT_GE(resumed.stats.resumed, 1u);
+  const auto resumed_entries =
+      search_from_result(search_campaign(options), resumed);
+  EXPECT_EQ(resumed_entries[0].test.to_string(),
+            cold_entries[0].test.to_string());
+
+  // A cold re-run (fresh journal) seeds the search from the journaled
+  // incumbent: with a ZERO budget the optimizer cannot rediscover the 5N
+  // test, so reproducing it proves the incumbent file was loaded.
+  SearchCampaignOptions warm = options;
+  warm.max_evaluations = 0;
+  CampaignOptions fresh;
+  const CampaignSpec warm_spec = search_campaign(warm);
+  const CampaignResult warm_result = run_campaign(warm_spec, fresh);
+  ASSERT_TRUE(warm_result.all_done());
+  const auto warm_entries = search_from_result(warm_spec, warm_result);
+  EXPECT_EQ(warm_entries[0].test.to_string(),
+            cold_entries[0].test.to_string());
+  EXPECT_LT(warm_entries[0].ops_per_cell, 6);  // better than greedy's 6N
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// Randomized march-search properties (DESIGN.md §10/§14): random guarded
+// target sets through search_march, checking on every iteration that
+//
+//  * the returned test passes a fault-free memory (self-consistency);
+//  * search coverage CONTAINS greedy coverage per fault unit — the
+//    optimizer may shorten the test but never trades away a unit the
+//    greedy assembler already detected;
+//  * a successful result is confirmed by the scalar oracle.
+//
+// Deterministic by default; PF_TEST_SEED picks the run, PF_FUZZ_ITERS the
+// budget. Each iteration seeds its own Rng from fuzz_case_seed(seed, iter),
+// so a failure replays in isolation:
+//   march_workbench --search --fuzz-case SEED:ITER
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/search.hpp"
+#include "pf/memsim/memory.hpp"
+#include "pf/testing/generators.hpp"
+
+namespace pf::testing {
+namespace {
+
+using march::MemEngine;
+using march::PopulationClass;
+using march::PopulationCoverage;
+using march::SearchOptions;
+using march::SearchResult;
+using march::SynthesisOptions;
+using march::SynthesisResult;
+using march::TargetFault;
+using memsim::Geometry;
+
+const Geometry kGeom{4, 2};
+
+std::vector<PopulationClass> classes_for(const std::vector<TargetFault>& ts) {
+  std::vector<PopulationClass> classes;
+  for (const TargetFault& t : ts)
+    classes.push_back(t.coupling.has_value()
+                          ? PopulationClass::coupled(*t.coupling, t.guard)
+                          : PopulationClass::single(t.ffm, t.guard));
+  return classes;
+}
+
+/// Per-unit detection bits of `test` over `targets`, classes concatenated.
+std::vector<bool> detection_bits(const march::MarchTest& test,
+                                 const std::vector<TargetFault>& targets,
+                                 MemEngine engine) {
+  const PopulationCoverage coverage =
+      march::evaluate_population(test, kGeom, classes_for(targets), engine);
+  std::vector<bool> bits;
+  for (const march::PopulationOutcome& po : coverage.classes)
+    bits.insert(bits.end(), po.detected.begin(), po.detected.end());
+  return bits;
+}
+
+std::string describe(const std::vector<TargetFault>& targets) {
+  std::ostringstream out;
+  for (const TargetFault& t : targets) out << " " << t.name();
+  return out.str();
+}
+
+TEST(FuzzSearch, CoverageContainsGreedyAndPassesFaultFree) {
+  const uint64_t seed = fuzz_seed();
+  const int iters = fuzz_iters(12);
+  std::printf("%s", fuzz_banner("search", seed, iters).c_str());
+
+  for (int iter = 0; iter < iters; ++iter) {
+    Rng rng(fuzz_case_seed(seed, iter));
+    const std::vector<TargetFault> targets = random_target_set(rng);
+    std::ostringstream repro;
+    repro << "repro: march_workbench --search --fuzz-case " << seed << ":"
+          << iter << " | targets:" << describe(targets);
+    SCOPED_TRACE(repro.str());
+
+    SynthesisOptions greedy_opts;
+    greedy_opts.geometry = kGeom;
+    const SynthesisResult greedy =
+        march::synthesize_march(targets, greedy_opts);
+
+    SearchOptions opt;
+    opt.synthesis.geometry = kGeom;
+    opt.synthesis.budget.max_evaluations = 800;
+    opt.certify = false;
+    const SearchResult result = march::search_march(targets, opt);
+
+    // Fault-free pass: the optimizer never returns an inconsistent test.
+    memsim::Memory clean(kGeom);
+    EXPECT_FALSE(march::run_march(result.test, clean, clean.size()).detected)
+        << result.test.to_string();
+
+    // Per-unit containment: everything greedy detects, search detects.
+    const std::vector<bool> greedy_bits =
+        detection_bits(greedy.test, targets, MemEngine::kPlane);
+    const std::vector<bool> search_bits =
+        detection_bits(result.test, targets, MemEngine::kPlane);
+    ASSERT_EQ(greedy_bits.size(), search_bits.size());
+    for (std::size_t i = 0; i < greedy_bits.size(); ++i)
+      EXPECT_LE(greedy_bits[i], search_bits[i])
+          << "unit " << i << " detected by greedy "
+          << greedy.test.to_string() << " but not by search "
+          << result.test.to_string();
+
+    // Success claims are held to the scalar oracle.
+    if (result.success) {
+      const std::vector<bool> oracle =
+          detection_bits(result.test, targets, MemEngine::kScalar);
+      for (std::size_t i = 0; i < oracle.size(); ++i)
+        EXPECT_TRUE(oracle[i]) << "unit " << i << " escapes on the scalar "
+                               << "oracle: " << result.test.to_string();
+      if (greedy.success)
+        EXPECT_LE(result.ops_per_cell, greedy.test.ops_per_cell());
+    }
+  }
+}
+
+TEST(FuzzSearch, SameCaseSeedReplaysTheSameTargetSet) {
+  const uint64_t seed = fuzz_seed();
+  const int iters = fuzz_iters(8);
+  for (int iter = 0; iter < iters; ++iter) {
+    Rng a(fuzz_case_seed(seed, iter));
+    Rng b(fuzz_case_seed(seed, iter));
+    const auto ta = random_target_set(a);
+    const auto tb = random_target_set(b);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i)
+      EXPECT_EQ(ta[i].name(), tb[i].name());
+  }
+}
+
+}  // namespace
+}  // namespace pf::testing

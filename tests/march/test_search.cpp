@@ -1,0 +1,263 @@
+// The march-test search optimizer, verified end-to-end against the SCALAR
+// oracle: every returned test is re-checked one fault instance at a time on
+// the reference engine, every necessity witness is replayed (removing the
+// cited piece really does let the cited target x victim escape), and the
+// determinism contract (same seed + budget => byte-identical result) is
+// enforced directly.
+#include <gtest/gtest.h>
+
+#include "pf/march/coverage.hpp"
+#include "pf/march/library.hpp"
+#include "pf/march/search.hpp"
+
+namespace pf::march {
+namespace {
+
+using faults::Ffm;
+using memsim::Guard;
+
+const memsim::Geometry kGeom{4, 2};
+
+SearchOptions small(std::uint64_t budget = 2000) {
+  SearchOptions opt;
+  opt.synthesis.geometry = kGeom;
+  opt.synthesis.budget.max_evaluations = budget;
+  return opt;
+}
+
+std::vector<PopulationClass> classes_for(const std::vector<TargetFault>& ts) {
+  std::vector<PopulationClass> classes;
+  for (const TargetFault& t : ts)
+    classes.push_back(t.coupling.has_value()
+                          ? PopulationClass::coupled(*t.coupling, t.guard)
+                          : PopulationClass::single(t.ffm, t.guard));
+  return classes;
+}
+
+/// The oracle: per-instance scalar evaluation of `test` over `targets`.
+PopulationCoverage scalar_coverage(const MarchTest& test,
+                                   const std::vector<TargetFault>& targets) {
+  return evaluate_population(test, kGeom, classes_for(targets),
+                             MemEngine::kScalar);
+}
+
+TEST(Search, ScalarOracleConfirmsEveryStandardSet) {
+  for (const NamedTargetSet& set : standard_target_sets()) {
+    const SearchResult result = search_march(set.targets, small());
+    if (!result.success) continue;  // table1-full is not fully detectable
+    // Fault-free self-consistency on the plain scalar memory.
+    memsim::Memory clean(kGeom);
+    EXPECT_FALSE(run_march(result.test, clean, clean.size()).detected)
+        << set.name << ": " << result.test.to_string();
+    // Every target class fully detected, judged instance by instance.
+    const PopulationCoverage oracle = scalar_coverage(result.test, set.targets);
+    for (const PopulationOutcome& po : oracle.classes)
+      EXPECT_TRUE(po.outcome.detected_all)
+          << set.name << ": " << po.cls.name() << " escapes "
+          << result.test.to_string();
+  }
+}
+
+TEST(Search, NeverWorseThanGreedyOrMarchPf) {
+  for (const NamedTargetSet& set : standard_target_sets()) {
+    const SearchResult result = search_march(set.targets, small());
+    if (!result.success) continue;
+    if (result.greedy.success)
+      EXPECT_LE(result.ops_per_cell, result.greedy.test.ops_per_cell())
+          << set.name;
+    EXPECT_LE(result.ops_per_cell, march_pf().ops_per_cell()) << set.name;
+  }
+}
+
+TEST(Search, CertificateReplaysOnTheScalarOracle) {
+  const auto sets = standard_target_sets();
+  const NamedTargetSet& set = sets[1];  // table1-read
+  const SearchResult result = search_march(set.targets, small());
+  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.certificate.complete);
+  // 1-minimality: every element and (for multi-op elements) every op has a
+  // witness.
+  std::size_t expected = 0;
+  for (const MarchElement& el : result.test.elements) {
+    if (result.test.elements.size() > 1) ++expected;
+    if (el.ops.size() > 1) expected += el.ops.size();
+  }
+  EXPECT_EQ(result.certificate.witnesses.size(), expected);
+
+  for (const NecessityWitness& w : result.certificate.witnesses) {
+    // Replay: remove the cited piece and re-judge on the scalar engine.
+    MarchTest removed = result.test;
+    ASSERT_LT(w.element, removed.elements.size());
+    if (w.piece == NecessityWitness::Piece::kElement) {
+      removed.elements.erase(removed.elements.begin() +
+                             static_cast<std::ptrdiff_t>(w.element));
+    } else {
+      auto& ops = removed.elements[w.element].ops;
+      ASSERT_GE(w.op, 0);
+      ASSERT_LT(static_cast<std::size_t>(w.op), ops.size());
+      ops.erase(ops.begin() + w.op);
+    }
+    if (w.reason == NecessityWitness::Reason::kInconsistent) {
+      memsim::Memory clean(kGeom);
+      EXPECT_TRUE(run_march(removed, clean, clean.size()).detected)
+          << w.to_string(result.test);
+      continue;
+    }
+    // The cited target must no longer be fully detected, and the cited
+    // victim must be among the escapes.
+    const PopulationCoverage oracle = scalar_coverage(removed, set.targets);
+    bool found = false;
+    for (const PopulationOutcome& po : oracle.classes) {
+      if (po.cls.name() != w.target) continue;
+      found = true;
+      EXPECT_FALSE(po.outcome.detected_all) << w.to_string(result.test);
+      ASSERT_LT(static_cast<std::size_t>(w.victim), po.detected.size());
+      EXPECT_FALSE(po.detected[static_cast<std::size_t>(w.victim)])
+          << w.to_string(result.test);
+    }
+    EXPECT_TRUE(found) << "witness cites unknown target " << w.target;
+  }
+}
+
+TEST(Search, SameSeedSameBudgetIsByteIdentical) {
+  const auto sets = standard_target_sets();
+  const NamedTargetSet& set = sets[2];  // table1-write: a non-trivial trace
+  const SearchResult a = search_march(set.targets, small());
+  const SearchResult b = search_march(set.targets, small());
+  EXPECT_EQ(a.test.to_string(), b.test.to_string());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.certificate.witnesses.size(), b.certificate.witnesses.size());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].test.to_string(), b.trace[i].test.to_string());
+    EXPECT_EQ(a.trace[i].evaluation, b.trace[i].evaluation);
+    EXPECT_EQ(a.trace[i].move, b.trace[i].move);
+  }
+}
+
+TEST(Search, DifferentSeedsMayDifferButStayVerified) {
+  const auto sets = standard_target_sets();
+  SearchOptions opt = small(500);
+  opt.synthesis.budget.seed = 1234567;
+  const SearchResult result = search_march(sets[3].targets, opt);
+  ASSERT_TRUE(result.success);
+  const PopulationCoverage oracle =
+      scalar_coverage(result.test, sets[3].targets);
+  for (const PopulationOutcome& po : oracle.classes)
+    EXPECT_TRUE(po.outcome.detected_all) << po.cls.name();
+}
+
+TEST(Search, RespectsTheEvaluationBudget) {
+  SearchOptions opt = small(64);
+  opt.certify = false;  // certification is deadline-bounded, not eval-bounded
+  const SearchResult result =
+      search_march({TargetFault::single(Ffm::kRDF1)}, opt);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.budget_exhausted);
+  // One in-flight score may overshoot by its own march passes, never more.
+  EXPECT_LE(result.evaluations, 64u + 16u);
+}
+
+TEST(Search, PreCancelledTokenStillReturnsAFeasibleIncumbent) {
+  SearchOptions opt = small();
+  opt.synthesis.budget.cancel.request_cancellation();
+  const SearchResult result =
+      search_march({TargetFault::single(Ffm::kRDF1)}, opt);
+  // Anytime contract: the seeding incumbent comes back, flagged cancelled,
+  // with an incomplete certificate — never an exception.
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.certificate.complete);
+  const PopulationCoverage oracle =
+      scalar_coverage(result.test, {TargetFault::single(Ffm::kRDF1)});
+  EXPECT_TRUE(oracle.classes[0].outcome.detected_all);
+}
+
+TEST(Search, ExtraIncumbentSeedsTheArchive) {
+  const auto sets = standard_target_sets();
+  const NamedTargetSet& set = sets.back();  // cfst-pair
+  SearchOptions opt = small(0);             // seeding only, no SA loop
+  opt.certify = false;
+  opt.extra_incumbents.push_back(
+      MarchTest::parse("{ u(r0,w1); u(r1,w0,r0) }", "journaled"));
+  const SearchResult result = search_march(set.targets, opt);
+  ASSERT_TRUE(result.success);
+  // The 5N incumbent beats both greedy (6N) and March PF (16N).
+  EXPECT_EQ(result.ops_per_cell, 5);
+  bool seeded_from_incumbent = false;
+  for (const SearchImprovement& imp : result.trace)
+    seeded_from_incumbent |= imp.move == "seed:incumbent";
+  EXPECT_TRUE(seeded_from_incumbent);
+}
+
+TEST(Search, InfeasibleExtraIncumbentsAreDropped) {
+  SearchOptions opt = small(200);
+  opt.certify = false;
+  // Detects nothing / fails fault-free: both must be silently skipped.
+  opt.extra_incumbents.push_back(MarchTest::parse("{ u(w0) }", "useless"));
+  opt.extra_incumbents.push_back(MarchTest::parse("{ u(r1) }", "inconsistent"));
+  const SearchResult result =
+      search_march({TargetFault::single(Ffm::kRDF1)}, opt);
+  EXPECT_TRUE(result.success);
+  for (const SearchImprovement& imp : result.trace)
+    EXPECT_NE(imp.move, "seed:incumbent");
+}
+
+TEST(Search, ImprovementCallbackSeesEveryTraceEntry) {
+  const auto sets = standard_target_sets();
+  SearchOptions opt = small(1000);
+  std::vector<std::string> seen;
+  opt.on_improvement = [&seen](const SearchImprovement& imp) {
+    seen.push_back(imp.test.to_string());
+  };
+  const SearchResult result = search_march(sets[2].targets, opt);
+  ASSERT_EQ(seen.size(), result.trace.size());
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], result.trace[i].test.to_string());
+}
+
+TEST(Search, UndetectableTargetReportsFailureUncertified) {
+  const SearchResult result = search_march(
+      {TargetFault::single(Ffm::kSF0, Guard::hidden(false))}, small(100));
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.certificate.complete);
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(Search, RejectsEmptyTargetList) {
+  EXPECT_THROW(search_march({}, small()), pf::Error);
+}
+
+TEST(Search, SynthesizeMarchRoutesThroughSearchStrategy) {
+  const auto sets = standard_target_sets();
+  SynthesisOptions opt;
+  opt.geometry = kGeom;
+  opt.strategy = SearchStrategy::kSearch;
+  opt.budget.max_evaluations = 2000;
+  const SynthesisResult via = synthesize_march(sets[2].targets, opt);
+  ASSERT_TRUE(via.success);
+  EXPECT_EQ(via.detected_targets, via.total_targets);
+  // Same knobs through the direct entry point: identical test.
+  const SearchResult direct = search_march(sets[2].targets, small());
+  EXPECT_EQ(via.test.to_string(), direct.test.to_string());
+  // Routed evaluations include both the search and its greedy seeding.
+  EXPECT_EQ(via.evaluations, direct.evaluations + direct.greedy.evaluations);
+}
+
+TEST(Search, WitnessLinesNameThePieceAndTheEscape) {
+  const auto sets = standard_target_sets();
+  const SearchResult result = search_march(sets[1].targets, small());
+  ASSERT_TRUE(result.certificate.complete);
+  ASSERT_FALSE(result.certificate.witnesses.empty());
+  for (const NecessityWitness& w : result.certificate.witnesses) {
+    const std::string line = w.to_string(result.test);
+    EXPECT_NE(line.find("=>"), std::string::npos) << line;
+    if (w.reason == NecessityWitness::Reason::kEscape)
+      EXPECT_NE(line.find(w.target), std::string::npos) << line;
+    else
+      EXPECT_NE(line.find("fault-free"), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace pf::march

@@ -112,5 +112,66 @@ TEST(Synthesis, RejectsEmptyTargetList) {
   EXPECT_THROW(synthesize_march({}, small()), pf::Error);
 }
 
+TEST(Synthesis, PrunedTestKeepsEveryDetectedUnitUnderPartialDetection) {
+  // Regression: the reverse prune used to compare detected-unit COUNTS, so
+  // under incomplete detection it could accept a drop that trades a
+  // detected unit for a different one of equal count. The prune must only
+  // accept drops whose detection is a SUPERSET of the kept test's: the
+  // classes the grow phase covered stay fully covered after pruning.
+  //
+  // This mix is deliberately not fully synthesizable (the hidden-inactive
+  // target is undetectable, and WDF0|BL=1 stalls the greedy grow loop in
+  // this context), so the prune runs in the incomplete-detection regime
+  // the bug lived in.
+  std::vector<TargetFault> targets = {
+      TargetFault::single(Ffm::kSF0, Guard::hidden(false)),  // undetectable
+      TargetFault::single(Ffm::kRDF1, Guard::bit_line(0)),
+      TargetFault::single(Ffm::kWDF0, Guard::bit_line(1)),
+      TargetFault::single(Ffm::kTFDown),
+  };
+  const auto result = synthesize_march(targets, small());
+  EXPECT_FALSE(result.success);
+  EXPECT_GE(result.detected_targets, 2);
+  // The classes the grow phase detects must survive the prune intact —
+  // count-trading would let one of these lose units to the stalled WDF0.
+  EXPECT_TRUE(evaluate_detection(result.test, small().geometry, Ffm::kRDF1,
+                                 Guard::bit_line(0))
+                  .detected_all)
+      << result.test.to_string();
+  EXPECT_TRUE(evaluate_detection(result.test, small().geometry, Ffm::kTFDown,
+                                 Guard::none())
+                  .detected_all)
+      << result.test.to_string();
+}
+
+TEST(Synthesis, EvaluationsCountMarchPassesPerEngine) {
+  // Regression for the evaluation accounting: the scalar engine pays one
+  // march pass per fault instance, the plane engine one per candidate —
+  // the reported `evaluations` must reflect the engine actually used.
+  const std::vector<TargetFault> targets = {
+      TargetFault::single(Ffm::kRDF1), TargetFault::single(Ffm::kWDF0)};
+  SynthesisOptions plane = small();
+  SynthesisOptions scalar = small();
+  scalar.engine = MemEngine::kScalar;
+  const auto plane_result = synthesize_march(targets, plane);
+  const auto scalar_result = synthesize_march(targets, scalar);
+  ASSERT_TRUE(plane_result.success);
+  ASSERT_TRUE(scalar_result.success);
+  EXPECT_GT(plane_result.evaluations, 0u);
+  EXPECT_GT(scalar_result.evaluations, plane_result.evaluations);
+  // Both engines assemble the same test (plane is A/B-identical to scalar).
+  EXPECT_EQ(plane_result.test.to_string(), scalar_result.test.to_string());
+}
+
+TEST(Synthesis, GreedyIsDeterministic) {
+  std::vector<TargetFault> targets;
+  for (Ffm ffm : faults::all_ffms())
+    targets.push_back(TargetFault::single(ffm));
+  const auto a = synthesize_march(targets, small());
+  const auto b = synthesize_march(targets, small());
+  EXPECT_EQ(a.test.to_string(), b.test.to_string());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
 }  // namespace
 }  // namespace pf::march

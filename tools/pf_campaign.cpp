@@ -9,8 +9,16 @@
 //                                             Table 1 partial-fault classes
 //                                             x standard march tests, one
 //                                             population job per test
+//   pf_campaign --search      [run flags]     march-test search: one
+//                                             resumable job per standard
+//                                             target set, best incumbent
+//                                             journaled per improvement
 //     --cells N      array size for --coverage (default 4096)
 //     --engine E     memory engine for --coverage: plane (default) | scalar
+//     --seed S       search RNG seed (default 0x5EA12C4)
+//     --budget N     search evaluation budget per set (default 20000)
+//     --incumbents D incumbent journal dir for --search (defaults to
+//                    "<store>/incumbents" when --store is set, else off)
 //
 // Run flags:
 //   --store DIR        result store (pf_served layout): cross-job and
@@ -51,8 +59,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --spec FILE | --table1 | --coverage\n"
+      "usage: %s --spec FILE | --table1 | --coverage | --search\n"
       "          [--cells N] [--engine plane|scalar]\n"
+      "          [--seed S] [--budget N] [--incumbents DIR]\n"
       "          [--store DIR] [--journal FILE] [--no-resume]\n"
       "          [--retry-failed] [--socket PATH] [--threads N]\n"
       "          [--attempts N] [--backoff-ms MS] [--deadline S]\n"
@@ -81,10 +90,13 @@ int main(int argc, char** argv) {
   std::string report_path;
   bool table1 = false;
   bool coverage = false;
+  bool search = false;
   bool quiet = false;
   double deadline_seconds = 0.0;
   long long coverage_cells = 4096;
   pf::march::MemEngine coverage_engine = pf::march::MemEngine::kPlane;
+  pf::campaign::SearchCampaignOptions search_options;
+  std::string incumbent_dir;
   pf::campaign::CampaignOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +104,12 @@ int main(int argc, char** argv) {
     if (arg == "--spec" && has_value) spec_path = argv[++i];
     else if (arg == "--table1") table1 = true;
     else if (arg == "--coverage") coverage = true;
+    else if (arg == "--search") search = true;
+    else if (arg == "--seed" && has_value)
+      search_options.seed = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg == "--budget" && has_value)
+      search_options.max_evaluations = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg == "--incumbents" && has_value) incumbent_dir = argv[++i];
     else if (arg == "--cells" && has_value)
       coverage_cells = std::atoll(argv[++i]);
     else if (arg == "--engine" && has_value) {
@@ -117,7 +135,8 @@ int main(int argc, char** argv) {
     else if (arg == "--quiet") quiet = true;
     else return usage(argv[0]);
   }
-  const int modes = int(!spec_path.empty()) + int(table1) + int(coverage);
+  const int modes =
+      int(!spec_path.empty()) + int(table1) + int(coverage) + int(search);
   if (modes != 1) return usage(argv[0]);
 
   // Deterministic fault injection for the crash/robustness tests
@@ -155,6 +174,11 @@ int main(int argc, char** argv) {
       coverage_options.geometry = {int(coverage_cells / columns), columns};
       coverage_options.engine = coverage_engine;
       spec = pf::campaign::coverage_campaign(coverage_options);
+    } else if (search) {
+      if (incumbent_dir.empty() && !options.store_root.empty())
+        incumbent_dir = options.store_root + "/incumbents";
+      search_options.incumbent_dir = incumbent_dir;
+      spec = pf::campaign::search_campaign(search_options);
     } else {
       spec = pf::campaign::CampaignSpec::load_file(spec_path);
     }
@@ -192,6 +216,22 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(entry.march_passes),
                     entry.march_passes == 1 ? "" : "es");
       }
+    }
+    if (search && result.all_done()) {
+      const auto entries = pf::campaign::search_from_result(spec, result);
+      std::printf("march search (seed 0x%llx, budget %llu per set):\n",
+                  static_cast<unsigned long long>(search_options.seed),
+                  static_cast<unsigned long long>(
+                      search_options.max_evaluations));
+      for (const auto& entry : entries)
+        std::printf("  %-16s %2dN vs greedy %2dN  %s%s  %s\n",
+                    entry.set.c_str(), entry.ops_per_cell,
+                    entry.greedy_ops_per_cell,
+                    entry.success ? "solved" : "open",
+                    entry.shorter_than_greedy ? ", SHORTER" : "",
+                    entry.certificate_complete
+                        ? "certificate: 1-minimal"
+                        : "certificate: incomplete");
     }
     if (!report_path.empty()) {
       const std::string report = result.report(spec);
